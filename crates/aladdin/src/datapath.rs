@@ -1,0 +1,254 @@
+//! Datapath reverse-engineering from the dynamic trace.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hw_profile::{fu_for_opcode, FuKind, HardwareProfile};
+use salam_ir::{Function, Opcode};
+
+use crate::trace::Trace;
+
+/// The memory design the trace is scheduled against. Changing this changes
+/// the derived datapath — the paper's Table II observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AladdinMemModel {
+    /// Multi-ported scratchpad with fixed latency.
+    Spm {
+        /// Access latency in cycles.
+        latency: u32,
+        /// Accesses per cycle.
+        ports: u32,
+    },
+    /// A direct-mapped cache in front of a long-latency memory.
+    Cache {
+        /// Capacity in bytes.
+        size_bytes: u64,
+        /// Line size in bytes.
+        line_bytes: u32,
+        /// Hit latency in cycles.
+        hit_latency: u32,
+        /// Miss latency in cycles.
+        miss_latency: u32,
+    },
+}
+
+impl AladdinMemModel {
+    /// The paper's default SPM assumption.
+    pub fn default_spm() -> Self {
+        AladdinMemModel::Spm { latency: 2, ports: 4 }
+    }
+}
+
+/// State for hit/miss classification while walking the trace in order.
+#[derive(Debug)]
+struct CacheState {
+    line_bytes: u64,
+    tags: Vec<Option<u64>>,
+}
+
+impl CacheState {
+    fn new(size: u64, line: u32) -> Self {
+        let lines = (size / line as u64).max(1) as usize;
+        CacheState { line_bytes: line as u64, tags: vec![None; lines] }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let idx = (line % self.tags.len() as u64) as usize;
+        let hit = self.tags[idx] == Some(line);
+        self.tags[idx] = Some(line);
+        hit
+    }
+}
+
+/// A datapath derived from a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatapathReport {
+    /// Functional units allocated per kind — the peak per-cycle concurrency
+    /// the trace exhibited under the memory model.
+    pub fu_counts: BTreeMap<FuKind, u32>,
+    /// ASAP (resource-unconstrained) schedule length in cycles.
+    pub asap_cycles: u64,
+}
+
+impl DatapathReport {
+    /// Units of `kind`.
+    pub fn fu_count(&self, kind: FuKind) -> u32 {
+        self.fu_counts.get(&kind).copied().unwrap_or(0)
+    }
+}
+
+/// Latency of one trace operation under a memory model.
+pub(crate) fn op_latency(
+    f: &Function,
+    profile: &HardwareProfile,
+    mem: &AladdinMemModel,
+    inst: salam_ir::InstId,
+    cache: &mut Option<CacheStateBox>,
+    addr: Option<u64>,
+) -> u64 {
+    let i = f.inst(inst);
+    match i.op {
+        Opcode::Load | Opcode::Store => match mem {
+            AladdinMemModel::Spm { latency, .. } => *latency as u64,
+            AladdinMemModel::Cache { hit_latency, miss_latency, .. } => {
+                let state = cache.as_mut().expect("cache state for cache model");
+                let hit = addr.map(|a| state.0.access(a)).unwrap_or(true);
+                if hit {
+                    *hit_latency as u64
+                } else {
+                    *miss_latency as u64
+                }
+            }
+        },
+        _ => {
+            let bits = bits_of(f, inst);
+            profile.opcode_latency(&i.op, bits) as u64
+        }
+    }
+}
+
+pub(crate) struct CacheStateBox(CacheState);
+
+pub(crate) fn make_cache(mem: &AladdinMemModel) -> Option<CacheStateBox> {
+    match mem {
+        AladdinMemModel::Cache { size_bytes, line_bytes, .. } => {
+            Some(CacheStateBox(CacheState::new(*size_bytes, *line_bytes)))
+        }
+        AladdinMemModel::Spm { .. } => None,
+    }
+}
+
+pub(crate) fn bits_of(f: &Function, inst: salam_ir::InstId) -> u32 {
+    let i = f.inst(inst);
+    if i.has_result() {
+        match &i.ty {
+            salam_ir::Type::Void | salam_ir::Type::Array { .. } => 32,
+            t => t.bits(),
+        }
+    } else if let Some(&v) = i.operands.first() {
+        match f.value_type(v) {
+            salam_ir::Type::Void | salam_ir::Type::Array { .. } => 32,
+            t => t.bits(),
+        }
+    } else {
+        32
+    }
+}
+
+/// Reverse-engineers the datapath: ASAP-schedules the trace (memory timing
+/// included) and allocates one functional unit per op of a kind that runs in
+/// the same cycle as another.
+pub fn derive_datapath(
+    f: &Function,
+    trace: &Trace,
+    profile: &HardwareProfile,
+    mem: &AladdinMemModel,
+) -> DatapathReport {
+    let mut finish: Vec<u64> = Vec::with_capacity(trace.entries.len());
+    // (cycle, kind) -> concurrent ops
+    let mut concurrency: HashMap<(u64, FuKind), u32> = HashMap::new();
+    let mut peak: BTreeMap<FuKind, u32> = BTreeMap::new();
+    let mut cache = make_cache(mem);
+    let mut makespan = 0u64;
+
+    for e in &trace.entries {
+        let mut start = 0u64;
+        for &d in &e.deps {
+            start = start.max(finish[d as usize]);
+        }
+        let lat = op_latency(f, profile, mem, e.inst, &mut cache, e.addr);
+        let end = start + lat;
+        finish.push(end.max(start));
+        makespan = makespan.max(end.max(start + 1));
+        let bits = bits_of(f, e.inst);
+        if let Some(kind) = fu_for_opcode(&f.inst(e.inst).op, bits) {
+            let c = concurrency.entry((start, kind)).or_insert(0);
+            *c += 1;
+            let p = peak.entry(kind).or_insert(0);
+            if *c > *p {
+                *p = *c;
+            }
+        }
+    }
+    DatapathReport { fu_counts: peak, asap_cycles: makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::generate_trace;
+    use salam_ir::interp::{RtVal, SparseMemory};
+
+    #[test]
+    fn spmv_datapath_depends_on_dataset() {
+        // Table I reproduction at unit-test scale: the triggered dataset
+        // executes shifts, so the derived datapath gains a shifter; the
+        // quiet dataset's datapath has none, even though the kernel source
+        // is identical.
+        let profile = HardwareProfile::default_40nm();
+        let derive_for = |trigger: bool| {
+            let k = machsuite::spmv::build(&machsuite::spmv::Params {
+                dataset_triggers_shift: trigger,
+                ..machsuite::spmv::Params::default()
+            });
+            let mut mem = SparseMemory::new();
+            k.load_into(&mut mem);
+            let t = generate_trace(&k.func, &k.args, &mut mem);
+            derive_datapath(&k.func, &t, &profile, &AladdinMemModel::default_spm())
+        };
+        let quiet = derive_for(false);
+        let loud = derive_for(true);
+        assert_eq!(quiet.fu_count(FuKind::Shifter), 0, "quiet data hides the shifter");
+        assert!(loud.fu_count(FuKind::Shifter) >= 1, "triggered data exposes it");
+    }
+
+    #[test]
+    fn gemm_datapath_depends_on_cache_size() {
+        // Table II reproduction at unit-test scale: sweeping the cache
+        // changes data availability and therefore the derived FU counts.
+        let profile = HardwareProfile::default_40nm();
+        let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 4 });
+        let mut mem = SparseMemory::new();
+        k.load_into(&mut mem);
+        let t = generate_trace(&k.func, &k.args, &mut mem);
+        let counts: Vec<u32> = [256u64, 1024, 4096]
+            .iter()
+            .map(|&size| {
+                let dp = derive_datapath(
+                    &k.func,
+                    &t,
+                    &profile,
+                    &AladdinMemModel::Cache {
+                        size_bytes: size,
+                        line_bytes: 64,
+                        hit_latency: 2,
+                        miss_latency: 40,
+                    },
+                );
+                dp.fu_count(FuKind::FpMulF64)
+            })
+            .collect();
+        assert!(
+            counts.windows(2).any(|w| w[0] != w[1]),
+            "FU counts should vary with cache size: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn asap_cycles_positive_and_bounded() {
+        let profile = HardwareProfile::default_40nm();
+        let mut fb = salam_ir::FunctionBuilder::new("f", &[("p", salam_ir::Type::Ptr)]);
+        let p = fb.arg(0);
+        let x = fb.load(salam_ir::Type::F64, p, "x");
+        let y = fb.fmul(x, x, "y");
+        fb.store(y, p);
+        fb.ret();
+        let f = fb.finish();
+        let mut mem = SparseMemory::new();
+        let t = generate_trace(&f, &[RtVal::P(0x10)], &mut mem);
+        let dp = derive_datapath(&f, &t, &profile, &AladdinMemModel::default_spm());
+        // load(2) + fmul(3) + store(2) = 7.
+        assert_eq!(dp.asap_cycles, 7);
+        assert_eq!(dp.fu_count(FuKind::FpMulF64), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # salam-aladdin
+//!
+//! A trace-based pre-RTL accelerator simulator in the mold of Aladdin /
+//! gem5-Aladdin — the baseline the paper compares against (§II, Tables I,
+//! II and IV).
+//!
+//! The pipeline mirrors the original:
+//!
+//! 1. [`trace::generate_trace`] instruments a reference execution of the
+//!    kernel and records every executed instruction with its resolved
+//!    dynamic data dependencies and memory address; the trace serializes to
+//!    a text form ([`trace::Trace::to_text`]) like Aladdin's gzipped traces.
+//! 2. [`datapath::derive_datapath`] reverse-engineers a datapath from the
+//!    trace: an ASAP dataflow schedule (with memory timing folded in)
+//!    determines how many functional units of each kind run concurrently —
+//!    so the allocation **depends on the input data and on the memory
+//!    design**, which is exactly the limitation Tables I and II demonstrate.
+//! 3. [`sim::simulate_trace`] re-schedules the trace under the derived
+//!    resource constraints to produce a cycle estimate.
+
+pub mod datapath;
+pub mod sim;
+pub mod trace;
+
+pub use datapath::{derive_datapath, AladdinMemModel, DatapathReport};
+pub use sim::simulate_trace;
+pub use trace::{generate_trace, Trace, TraceEntry};

@@ -1,0 +1,211 @@
+//! Dynamic trace generation and (de)serialization.
+
+use std::collections::HashMap;
+
+use salam_ir::interp::{run_function, Memory, Observer, RtVal, SparseMemory};
+use salam_ir::{Function, InstId, Opcode, ValueKind};
+
+/// One executed instruction in the dynamic trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The static instruction executed.
+    pub inst: InstId,
+    /// Memory address for loads/stores.
+    pub addr: Option<u64>,
+    /// Indices of earlier trace entries this one consumed values from
+    /// (the dynamic data-dependence edges).
+    pub deps: Vec<u32>,
+}
+
+/// A complete runtime trace of one kernel invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Traced function name.
+    pub func_name: String,
+    /// Executed instructions in order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Dynamic instruction count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes to the line-oriented text format (one entry per line:
+    /// `inst_idx[,@addr][:dep,dep,...]`) — the analogue of Aladdin's
+    /// on-disk dynamic trace, used to make preprocessing and load costs
+    /// real in the Table IV comparison.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 16);
+        out.push_str(&format!("trace {}\n", self.func_name));
+        for e in &self.entries {
+            out.push_str(&e.inst.index().to_string());
+            if let Some(a) = e.addr {
+                out.push_str(&format!(",@{a:x}"));
+            }
+            if !e.deps.is_empty() {
+                out.push(':');
+                for (i, d) in e.deps.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&d.to_string());
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format back (the "load trace into the simulation
+    /// engine" step).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input; traces are machine-generated.
+    pub fn parse(text: &str) -> Trace {
+        let mut lines = text.lines();
+        let header = lines.next().expect("trace header");
+        let func_name = header.strip_prefix("trace ").expect("trace header").to_string();
+        let mut entries = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (head, deps_s) = match line.split_once(':') {
+                Some((h, d)) => (h, Some(d)),
+                None => (line, None),
+            };
+            let (idx_s, addr) = match head.split_once(",@") {
+                Some((i, a)) => (i, Some(u64::from_str_radix(a, 16).expect("hex addr"))),
+                None => (head, None),
+            };
+            let inst = InstId::from_raw(idx_s.parse().expect("inst index"));
+            let deps = deps_s
+                .map(|d| d.split(',').map(|x| x.parse().expect("dep index")).collect())
+                .unwrap_or_default();
+            entries.push(TraceEntry { inst, addr, deps });
+        }
+        Trace { func_name, entries }
+    }
+}
+
+struct TraceObserver<'a> {
+    f: &'a Function,
+    entries: Vec<TraceEntry>,
+    /// value id -> producing trace entry index.
+    producer: HashMap<salam_ir::ValueId, u32>,
+}
+
+impl Observer for TraceObserver<'_> {
+    fn on_inst(
+        &mut self,
+        f: &Function,
+        id: InstId,
+        _result: Option<&RtVal>,
+        mem_addr: Option<u64>,
+    ) {
+        let inst = f.inst(id);
+        let mut deps = Vec::new();
+        for &v in &inst.operands {
+            if let ValueKind::Inst(_) = f.value_kind(v) {
+                if let Some(&p) = self.producer.get(&v) {
+                    deps.push(p);
+                }
+            }
+        }
+        // Phi deps: the interpreter already resolved the incoming edge, but
+        // operands list all edges; keep only producers seen (executed), which
+        // over-approximates by at most the dead edge (absent for first entry).
+        deps.sort_unstable();
+        deps.dedup();
+        let idx = self.entries.len() as u32;
+        if let Some(res) = f.inst_result(id) {
+            self.producer.insert(res, idx);
+        }
+        let addr = if matches!(inst.op, Opcode::Load | Opcode::Store) { mem_addr } else { None };
+        self.entries.push(TraceEntry { inst: id, addr, deps });
+        let _ = &self.f;
+    }
+}
+
+/// Executes `f` functionally and records its dynamic trace.
+///
+/// # Panics
+///
+/// Panics if the reference execution faults.
+pub fn generate_trace(f: &Function, args: &[RtVal], mem: &mut SparseMemory) -> Trace {
+    let mut obs = TraceObserver { f, entries: Vec::new(), producer: HashMap::new() };
+    run_function(f, args, mem, &mut obs, 500_000_000).expect("trace generation run");
+    let _ = mem as &mut dyn Memory;
+    Trace { func_name: f.name.clone(), entries: obs.entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salam_ir::{FunctionBuilder, Type};
+
+    fn small_kernel() -> (Function, Vec<RtVal>, SparseMemory) {
+        let mut fb = FunctionBuilder::new("k", &[("p", Type::Ptr), ("n", Type::I64)]);
+        let p = fb.arg(0);
+        let n = fb.arg(1);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |fb, iv| {
+            let g = fb.gep1(Type::I64, p, iv, "g");
+            let x = fb.load(Type::I64, g, "x");
+            let two = fb.i64c(2);
+            let y = fb.mul(x, two, "y");
+            fb.store(y, g);
+        });
+        fb.ret();
+        let mut mem = SparseMemory::new();
+        mem.write_i64_slice(0x100, &[1, 2, 3, 4]);
+        (fb.finish(), vec![RtVal::P(0x100), RtVal::I(4)], mem)
+    }
+
+    #[test]
+    fn trace_length_scales_with_data() {
+        let (f, args, mut mem) = small_kernel();
+        let t4 = generate_trace(&f, &args, &mut mem);
+        let mut mem2 = SparseMemory::new();
+        mem2.write_i64_slice(0x100, &[0; 8]);
+        let t8 = generate_trace(&f, &[RtVal::P(0x100), RtVal::I(8)], &mut mem2);
+        assert!(t8.len() > t4.len());
+    }
+
+    #[test]
+    fn loads_and_stores_carry_addresses() {
+        let (f, args, mut mem) = small_kernel();
+        let t = generate_trace(&f, &args, &mut mem);
+        let with_addr = t.entries.iter().filter(|e| e.addr.is_some()).count();
+        assert_eq!(with_addr, 8, "4 loads + 4 stores");
+        assert!(t.entries.iter().any(|e| e.addr == Some(0x100)));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let (f, args, mut mem) = small_kernel();
+        let t = generate_trace(&f, &args, &mut mem);
+        let text = t.to_text();
+        let back = Trace::parse(&text);
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn deps_point_backwards() {
+        let (f, args, mut mem) = small_kernel();
+        let t = generate_trace(&f, &args, &mut mem);
+        for (i, e) in t.entries.iter().enumerate() {
+            for &d in &e.deps {
+                assert!((d as usize) < i, "dep must precede entry");
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Microbenchmarks of the dynamic runtime engine itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use hw_profile::HardwareProfile;
+use salam_cdfg::{FuConstraints, StaticCdfg};
+use salam_ir::interp::RtVal;
+use salam_ir::{FunctionBuilder, Type};
+use salam_runtime::{Engine, EngineConfig, SimpleMem};
+
+fn vadd_kernel() -> salam_ir::Function {
+    let mut fb = FunctionBuilder::new(
+        "vadd",
+        &[("a", Type::Ptr), ("b", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)],
+    );
+    let (a, b, c, n) = (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3));
+    let zero = fb.i64c(0);
+    fb.counted_loop("i", zero, n, |fb, i| {
+        let pa = fb.gep1(Type::F64, a, i, "pa");
+        let pb = fb.gep1(Type::F64, b, i, "pb");
+        let pc = fb.gep1(Type::F64, c, i, "pc");
+        let x = fb.load(Type::F64, pa, "x");
+        let y = fb.load(Type::F64, pb, "y");
+        let s = fb.fadd(x, y, "s");
+        fb.store(s, pc);
+    });
+    fb.ret();
+    fb.finish()
+}
+
+/// Dynamic-instruction throughput of the engine on a streaming kernel.
+fn bench_engine_throughput(c: &mut Criterion) {
+    let f = vadd_kernel();
+    let profile = HardwareProfile::default_40nm();
+    let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+    let n = 256u64;
+    let dyn_insts = n * 10; // ~10 dynamic ops per iteration
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(dyn_insts));
+    group.bench_function("vadd_256_elements", |b| {
+        b.iter(|| {
+            let mut mem = SimpleMem::new(1, 4, 4);
+            mem.memory_mut().write_f64_slice(0x1000, &vec![1.0; n as usize]);
+            mem.memory_mut().write_f64_slice(0x9000, &vec![2.0; n as usize]);
+            let mut e = Engine::new(
+                f.clone(),
+                cdfg.clone(),
+                profile.clone(),
+                EngineConfig::default(),
+                vec![RtVal::P(0x1000), RtVal::P(0x9000), RtVal::P(0x11000), RtVal::I(n as i64)],
+            );
+            black_box(e.run_to_completion(&mut mem))
+        })
+    });
+    group.finish();
+}
+
+/// Static-elaboration (compile) latency — the preprocessing step of Table IV.
+fn bench_elaboration(c: &mut Criterion) {
+    let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 16, unroll: 16 });
+    let profile = HardwareProfile::default_40nm();
+    c.bench_function("static_elaboration_gemm_unroll16", |b| {
+        b.iter(|| {
+            black_box(StaticCdfg::elaborate(
+                &k.func,
+                &profile,
+                &FuConstraints::unconstrained(),
+            ))
+        })
+    });
+}
+
+/// Reference-interpreter throughput (trace-generation cost driver).
+fn bench_interpreter(c: &mut Criterion) {
+    let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 1 });
+    c.bench_function("interpreter_gemm8", |b| {
+        b.iter(|| {
+            let mut mem = salam_ir::interp::SparseMemory::new();
+            k.load_into(&mut mem);
+            salam_ir::interp::run_function(
+                &k.func,
+                &k.args,
+                &mut mem,
+                &mut salam_ir::interp::NullObserver,
+                100_000_000,
+            )
+            .unwrap();
+        })
+    });
+}
+
+criterion_group!(engine, bench_engine_throughput, bench_elaboration, bench_interpreter);
+criterion_main!(engine);

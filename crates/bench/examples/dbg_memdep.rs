@@ -1,0 +1,13 @@
+fn main() {
+    for (name, k) in [
+        ("mdgrid", machsuite::Bench::MdGrid.build_standard()),
+        ("fft", machsuite::Bench::FftStrided.build_standard()),
+        ("nw", machsuite::Bench::Nw.build_standard()),
+    ] {
+        let (_, deps) = salam_hls::profile_memdeps(&k.func, &k.args, &k.init);
+        let mut dists: Vec<u64> = deps.by_header_distances();
+        dists.sort();
+        dists.dedup();
+        println!("{name}: distances {:?}", dists);
+    }
+}

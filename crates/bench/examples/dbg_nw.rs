@@ -1,0 +1,32 @@
+use hw_profile::HardwareProfile;
+use salam_cdfg::{FuConstraints, StaticCdfg};
+use salam_ir::interp::RtVal;
+use salam_ir::{FunctionBuilder, Type};
+use salam_runtime::{Engine, EngineConfig, SimpleMem};
+
+fn main() {
+    // for i in 1..n: a[i] = a[i-1] + 1  — strict distance-1 memory recurrence.
+    let mut fb = FunctionBuilder::new("chain", &[("a", Type::Ptr), ("n", Type::I64)]);
+    let a = fb.arg(0);
+    let n = fb.arg(1);
+    let one = fb.i64c(1);
+    fb.counted_loop("i", one, n, |fb, iv| {
+        let onec = fb.i64c(1);
+        let im1 = fb.sub(iv, onec, "im1");
+        let pprev = fb.gep1(Type::I64, a, im1, "pprev");
+        let prev = fb.load(Type::I64, pprev, "prev");
+        let next = fb.add(prev, onec, "next");
+        let pcur = fb.gep1(Type::I64, a, iv, "pcur");
+        fb.store(next, pcur);
+    });
+    fb.ret();
+    let f = fb.finish();
+    let profile = HardwareProfile::default_40nm();
+    let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+    let mut mem = SimpleMem::new(2, 2, 2);
+    mem.memory_mut().write_i64_slice(0x100, &[7]);
+    let mut e = Engine::new(f, cdfg, profile, EngineConfig::default(), vec![RtVal::P(0x100), RtVal::I(64)]);
+    let cycles = e.run_to_completion(&mut mem);
+    let vals = mem.memory_mut().read_i64_slice(0x100, 64);
+    println!("cycles={} per-iter={:.2} first={:?} last={:?}", cycles, cycles as f64 / 63.0, &vals[..3], &vals[61..]);
+}

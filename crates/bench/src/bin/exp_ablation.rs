@@ -1,0 +1,102 @@
+//! Ablations of the design decisions called out in DESIGN.md §5: what each
+//! modeling choice in the runtime engine costs or buys.
+
+use hw_profile::FuKind;
+use machsuite::Bench;
+use salam::standalone::{run_kernel, StandaloneConfig};
+use salam_bench::table::Table;
+use salam_cdfg::FuConstraints;
+
+fn run_with(bench: Bench, f: impl FnOnce(&mut StandaloneConfig)) -> u64 {
+    let k = bench.build_standard();
+    let mut cfg = StandaloneConfig::default();
+    f(&mut cfg);
+    let r = run_kernel(&k, &cfg);
+    assert!(r.verified, "{bench:?} ablation broke correctness");
+    r.cycles
+}
+
+fn main() {
+    // 1. Register-hazard model: per-instance dynamic contexts (default,
+    //    implicit renaming) vs strict WAR/WAW on architectural registers.
+    let mut t = Table::new(
+        "Ablation 1: register-hazard model (cycles)",
+        &["bench", "renamed (default)", "strict WAR/WAW", "slowdown"],
+    );
+    for bench in [Bench::MdKnn, Bench::GemmNcubed, Bench::FftStrided, Bench::Stencil2d] {
+        let renamed = run_with(bench, |_| {});
+        let strict = run_with(bench, |c| c.engine.strict_register_hazards = true);
+        t.row(vec![
+            bench.label().into(),
+            renamed.to_string(),
+            strict.to_string(),
+            format!("{:.2}x", strict as f64 / renamed as f64),
+        ]);
+    }
+    println!("{}", t.render_auto());
+
+    // 2. Functional-unit pipelining: units busy until commit (default,
+    //    SALAM's model) vs initiation-interval-1 pipelines.
+    let mut t = Table::new(
+        "Ablation 2: functional-unit pipelining (cycles)",
+        &["bench", "unpipelined (default)", "pipelined II=1", "speedup"],
+    );
+    for bench in [Bench::MdKnn, Bench::MdGrid, Bench::GemmNcubed] {
+        let unpiped = run_with(bench, |_| {});
+        let piped = run_with(bench, |c| c.engine.pipelined_fus = true);
+        t.row(vec![
+            bench.label().into(),
+            unpiped.to_string(),
+            piped.to_string(),
+            format!("{:.2}x", unpiped as f64 / piped as f64),
+        ]);
+    }
+    println!("{}", t.render_auto());
+
+    // 3. Reservation-window depth: the block-fetch lookahead knob.
+    let mut t = Table::new(
+        "Ablation 3: reservation window (cycles)",
+        &["bench", "w=32", "w=128", "w=512", "w=2048"],
+    );
+    for bench in [Bench::Nw, Bench::MdGrid, Bench::GemmNcubed] {
+        let cells: Vec<String> = [32usize, 128, 512, 2048]
+            .iter()
+            .map(|&w| run_with(bench, |c| c.engine.reservation_entries = w).to_string())
+            .collect();
+        let mut row = vec![bench.label().to_string()];
+        row.extend(cells);
+        t.row(row);
+    }
+    println!("{}", t.render_auto());
+
+    // 4. Datapath/memory decoupling: sweeping FU limits at fixed memory and
+    //    memory ports at fixed FUs, independently — the knob separation
+    //    gem5-Aladdin cannot offer (§II).
+    let mut t = Table::new(
+        "Ablation 4: independent datapath / memory sweeps on GEMM (cycles)",
+        &["fmul limit", "ports=2", "ports=8", "ports=32"],
+    );
+    let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 16, unroll: 8 });
+    for fu in [1u32, 4, 16] {
+        let mut row = vec![fu.to_string()];
+        for ports in [2u32, 8, 32] {
+            let mut cfg = StandaloneConfig::default().with_ports(ports).with_constraints(
+                FuConstraints::unconstrained()
+                    .with_limit(FuKind::FpMulF64, fu)
+                    .with_limit(FuKind::FpAddF64, fu),
+            );
+            cfg.engine.reservation_entries = 512;
+            let r = run_kernel(&k, &cfg);
+            assert!(r.verified);
+            row.push(r.cycles.to_string());
+        }
+        t.row(row);
+    }
+    println!("{}", t.render_auto());
+    println!(
+        "Ablation 1 shows why per-instance contexts matter: strict register\n\
+         hazards serialize every value consumed late in an iteration. Ablation 3\n\
+         shows the window's role: NW's wavefront appears only with a window deep\n\
+         enough to bridge rows."
+    );
+}

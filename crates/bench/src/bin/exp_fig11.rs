@@ -1,0 +1,39 @@
+//! Fig. 11 — power validation: gem5-SALAM's profile-driven power estimate
+//! vs. the gate-level netlist estimate (the Design Compiler stand-in).
+
+use machsuite::Bench;
+use salam_bench::runners::{profile_kernel, run_kernel, StandaloneConfig};
+use salam_bench::table::{mean_abs_pct, pct_err, Table};
+use salam_hls::estimate_netlist;
+
+fn main() {
+    let mut t = Table::new(
+        "Fig 11: datapath power validation (mW)",
+        &["bench", "gem5-SALAM", "netlist(DC)", "error%"],
+    );
+    let mut errors = Vec::new();
+    // Stencil3D is excluded, as in the paper (where Design Compiler ran out
+    // of memory during elaboration).
+    for bench in Bench::ALL.into_iter().filter(|b| !matches!(b, Bench::Stencil3d | Bench::Bfs)) {
+        let k = bench.build_standard();
+        let r = run_kernel(&k, &StandaloneConfig::default());
+        assert!(r.verified, "{} failed verification", k.name);
+        // Datapath-only power (both tools see the datapath, not the SPM).
+        let salam_mw = r.power.dynamic_fu_mw
+            + r.power.dynamic_reg_mw
+            + r.power.static_fu_mw
+            + r.power.static_reg_mw;
+        let (cdfg, obs) = profile_kernel(&k);
+        let dc = estimate_netlist(&k.func, &cdfg, &obs, r.runtime_ns);
+        let err = pct_err(salam_mw, dc.total_mw);
+        errors.push(err);
+        t.row(vec![
+            bench.label().into(),
+            format!("{salam_mw:.3}"),
+            format!("{:.3}", dc.total_mw),
+            format!("{err:+.2}"),
+        ]);
+    }
+    println!("{}", t.render_auto());
+    println!("average |error|: {:.2}%  (paper: ~3.25%)", mean_abs_pct(&errors));
+}

@@ -1,0 +1,34 @@
+//! Fig. 12 — area validation: gem5-SALAM's profile-driven area estimate vs.
+//! the gate-level netlist estimate (the Design Compiler stand-in).
+
+use machsuite::Bench;
+use salam_bench::runners::profile_kernel;
+use salam_bench::table::{mean_abs_pct, pct_err, Table};
+use salam_hls::estimate_netlist;
+
+fn main() {
+    let profile = hw_profile::HardwareProfile::default_40nm();
+    let mut t = Table::new(
+        "Fig 12: datapath area validation (um^2)",
+        &["bench", "gem5-SALAM", "netlist(DC)", "error%"],
+    );
+    let mut errors = Vec::new();
+    // MD-Grid is excluded, as in the paper (custom IPs blocked Design
+    // Compiler's area estimation).
+    for bench in Bench::ALL.into_iter().filter(|b| !matches!(b, Bench::MdGrid | Bench::Bfs)) {
+        let k = bench.build_standard();
+        let (cdfg, obs) = profile_kernel(&k);
+        let salam = cdfg.area_report(&profile).total_um2;
+        let dc = estimate_netlist(&k.func, &cdfg, &obs, 1000.0).area_um2;
+        let err = pct_err(salam, dc);
+        errors.push(err);
+        t.row(vec![
+            bench.label().into(),
+            format!("{salam:.0}"),
+            format!("{dc:.0}"),
+            format!("{err:+.2}"),
+        ]);
+    }
+    println!("{}", t.render_auto());
+    println!("average |error|: {:.2}%  (paper: ~2.24%)", mean_abs_pct(&errors));
+}

@@ -1,0 +1,80 @@
+//! Fig. 13 — GEMM design-space Pareto curve: accelerator power vs.
+//! execution time across functional-unit allocations and memory bandwidth.
+//!
+//! Three series match the paper's legend: datapath only, datapath + SPM,
+//! datapath + cache-class memory (modeled as a longer-latency, narrower
+//! memory interface).
+
+use hw_profile::FuKind;
+use salam::standalone::{run_kernel, StandaloneConfig};
+
+fn wide_window(mut cfg: StandaloneConfig) -> StandaloneConfig {
+    cfg.engine.reservation_entries = 512;
+    cfg
+}
+use salam_bench::table::Table;
+use salam_cdfg::FuConstraints;
+
+fn main() {
+    let kernel = machsuite::gemm::build(&machsuite::gemm::Params { n: 16, unroll: 16 });
+    let fu_limits = [1u32, 2, 4, 8, 16];
+    let ports = [1u32, 2, 4, 8, 16, 32, 64];
+
+    let mut t = Table::new(
+        "Fig 13: GEMM Pareto sweep (execution time vs power)",
+        &["series", "fmul/fadd limit", "ports", "time(us)", "power(mW)"],
+    );
+    for &fu in &fu_limits {
+        for &p in &ports {
+            let constraints = FuConstraints::unconstrained()
+                .with_limit(FuKind::FpMulF64, fu)
+                .with_limit(FuKind::FpAddF64, fu);
+            // Datapath + SPM.
+            let cfg = wide_window(StandaloneConfig::default()
+                .with_ports(p)
+                .with_constraints(constraints.clone()));
+            let r = run_kernel(&kernel, &cfg);
+            assert!(r.verified);
+            let time_us = r.runtime_ns / 1000.0;
+            let dp_only = r.power.dynamic_fu_mw
+                + r.power.dynamic_reg_mw
+                + r.power.static_fu_mw
+                + r.power.static_reg_mw;
+            t.row(vec![
+                "datapath".into(),
+                fu.to_string(),
+                p.to_string(),
+                format!("{time_us:.2}"),
+                format!("{dp_only:.2}"),
+            ]);
+            t.row(vec![
+                "datapath+spm".into(),
+                fu.to_string(),
+                p.to_string(),
+                format!("{time_us:.2}"),
+                format!("{:.2}", r.power.total_mw()),
+            ]);
+            // Datapath + a real cache hierarchy (L1 in front of DRAM).
+            let cache_cfg = wide_window(
+                StandaloneConfig::default()
+                    .with_ports(p.min(8))
+                    .with_constraints(constraints),
+            );
+            let rc = salam::run_kernel_cached(
+                &kernel,
+                &cache_cfg,
+                memsys::CacheConfig::default().with_size(4096),
+            );
+            assert!(rc.verified);
+            t.row(vec![
+                "datapath+cache".into(),
+                fu.to_string(),
+                p.to_string(),
+                format!("{:.2}", rc.runtime_ns / 1000.0),
+                format!("{:.2}", rc.power.total_mw()),
+            ]);
+        }
+    }
+    println!("{}", t.render_auto());
+    println!("(plot time vs power per series to recover the Pareto front)");
+}

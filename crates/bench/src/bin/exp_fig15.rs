@@ -1,0 +1,72 @@
+//! Fig. 15 — GEMM memory/compute co-design exploration with the
+//! floating-point adder pool fixed at 64 units.
+//!
+//! (a) stalls vs. new-execution per configuration; (b) memory-parallelism
+//! mix vs. FP-multiplier occupancy; (c) scheduling-mix vs. execution time;
+//! (d) scheduling-mix vs. power.
+
+use hw_profile::FuKind;
+use salam::standalone::{run_kernel, StandaloneConfig};
+
+fn wide_window(mut cfg: StandaloneConfig) -> StandaloneConfig {
+    cfg.engine.reservation_entries = 512;
+    cfg
+}
+use salam_bench::table::Table;
+use salam_cdfg::FuConstraints;
+
+fn main() {
+    let kernel = machsuite::gemm::build(&machsuite::gemm::Params { n: 16, unroll: 16 });
+
+    let mut t = Table::new(
+        "Fig 15: co-design sweep (FADD pool fixed at 64)",
+        &[
+            "fmul", "ports", "stall%", "exec%", "ld-only%", "st-only%", "ld+st%", "fmul-occ%",
+            "float-sched%", "mem-sched%", "cycles", "power(mW)",
+        ],
+    );
+    for fmul in [2u32, 4, 8, 16] {
+        for ports in [4u32, 8, 16, 32, 64] {
+            let constraints = FuConstraints::unconstrained()
+                .with_limit(FuKind::FpAddF64, 64)
+                .with_limit(FuKind::FpMulF64, fmul);
+            let cfg = wide_window(
+                StandaloneConfig::default()
+                    .with_ports(ports)
+                    .with_constraints(constraints),
+            );
+            let r = run_kernel(&kernel, &cfg);
+            assert!(r.verified);
+            let st = &r.stats;
+            let total = st.cycles as f64;
+            let execp = st.new_exec_cycles as f64 / total * 100.0;
+            // Percentages are over all cycles, like the paper's per-cycle
+            // scheduling-activity plots.
+            let mix = |k: &str| {
+                st.mem_mix_cycles.get(k).copied().unwrap_or(0) as f64 / total * 100.0
+            };
+            let sched = |k: &str| {
+                st.class_active_cycles.get(k).copied().unwrap_or(0) as f64 / total * 100.0
+            };
+            t.row(vec![
+                fmul.to_string(),
+                ports.to_string(),
+                format!("{:.1}", st.stall_cycles as f64 / total * 100.0),
+                format!("{execp:.1}"),
+                format!("{:.1}", mix("load")),
+                format!("{:.1}", mix("store")),
+                format!("{:.1}", mix("load+store")),
+                format!("{:.1}", st.fu_occupancy(FuKind::FpMulF64) * 100.0),
+                format!("{:.1}", sched("float")),
+                format!("{:.1}", sched("load") + sched("store")),
+                st.cycles.to_string(),
+                format!("{:.2}", r.power.total_mw()),
+            ]);
+        }
+    }
+    println!("{}", t.render_auto());
+    println!(
+        "(a)=stall/exec columns, (b)=memory-mix vs fmul occupancy,\n\
+         (c)=scheduling mix vs cycles, (d)=scheduling mix vs power"
+    );
+}

@@ -1,0 +1,39 @@
+//! Fig. 4 — total power breakdown per benchmark with private SPM.
+//!
+//! For each MachSuite kernel, the contribution of each power category
+//! (dynamic FU / registers / SPM-read / SPM-write, static FU / registers /
+//! SPM) as a percentage of total power.
+
+use machsuite::Bench;
+use salam::standalone::{run_kernel, StandaloneConfig};
+use salam_bench::table::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Fig 4: total power contribution (%) per benchmark, private SPM",
+        &[
+            "bench", "dynFU", "dynReg", "dynSPM-R", "dynSPM-W", "statFU", "statReg", "statSPM",
+            "total(mW)",
+        ],
+    );
+    for bench in Bench::ALL {
+        let k = bench.build_standard();
+        let r = run_kernel(&k, &StandaloneConfig::default());
+        assert!(r.verified, "{} failed verification", k.name);
+        let total = r.power.total_mw();
+        let pct = |v: f64| format!("{:.1}", v / total * 100.0);
+        let c = r.power;
+        t.row(vec![
+            bench.label().into(),
+            pct(c.dynamic_fu_mw),
+            pct(c.dynamic_reg_mw),
+            pct(c.dynamic_spm_read_mw),
+            pct(c.dynamic_spm_write_mw),
+            pct(c.static_fu_mw),
+            pct(c.static_reg_mw),
+            pct(c.static_spm_mw),
+            format!("{total:.3}"),
+        ]);
+    }
+    println!("{}", t.render_auto());
+}

@@ -1,0 +1,57 @@
+//! Table I — Aladdin datapath vs. data-dependent execution.
+//!
+//! The SPMV-CRS kernel contains a guarded shift that only executes when a
+//! matrix value falls in a trigger range. Dataset 1 never triggers it;
+//! dataset 2 does. Aladdin's trace-derived datapath changes between the two
+//! runs of the *same source code*; gem5-SALAM's static datapath does not.
+
+use hw_profile::{FuKind, HardwareProfile};
+use salam_aladdin::{derive_datapath, generate_trace, AladdinMemModel};
+use salam_bench::table::Table;
+use salam_cdfg::{FuConstraints, StaticCdfg};
+use salam_ir::interp::SparseMemory;
+
+fn main() {
+    let profile = HardwareProfile::default_40nm();
+    let mut t = Table::new(
+        "Table I: SPMV-CRS functional units vs dataset",
+        &["simulator", "dataset", "FMUL", "FADD", "IntShifter"],
+    );
+
+    for (ds, trigger) in [(1, false), (2, true)] {
+        let k = machsuite::spmv::build(&machsuite::spmv::Params {
+            dataset_triggers_shift: trigger,
+            ..machsuite::spmv::Params::default()
+        });
+        let mut mem = SparseMemory::new();
+        k.load_into(&mut mem);
+        let trace = generate_trace(&k.func, &k.args, &mut mem);
+        let dp = derive_datapath(&k.func, &trace, &profile, &AladdinMemModel::default_spm());
+        t.row(vec![
+            "Aladdin".into(),
+            ds.to_string(),
+            dp.fu_count(FuKind::FpMulF64).to_string(),
+            dp.fu_count(FuKind::FpAddF64).to_string(),
+            dp.fu_count(FuKind::Shifter).to_string(),
+        ]);
+    }
+
+    // SALAM's static datapath: identical for both datasets by construction.
+    let k = machsuite::spmv::build(&machsuite::spmv::Params::default());
+    let cdfg = StaticCdfg::elaborate(&k.func, &profile, &FuConstraints::unconstrained());
+    for ds in [1, 2] {
+        t.row(vec![
+            "gem5-SALAM".into(),
+            ds.to_string(),
+            cdfg.fu_count(FuKind::FpMulF64).to_string(),
+            cdfg.fu_count(FuKind::FpAddF64).to_string(),
+            cdfg.fu_count(FuKind::Shifter).to_string(),
+        ]);
+    }
+
+    println!("{}", t.render_auto());
+    println!(
+        "Aladdin's datapath changes with input data (shifter appears only when\n\
+         the dataset exercises it); SALAM's static elaboration is data-invariant."
+    );
+}

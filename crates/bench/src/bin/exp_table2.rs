@@ -1,0 +1,70 @@
+//! Table II — Aladdin datapath vs. memory design.
+//!
+//! The GEMM trace is fixed, but scheduling it against different cache sizes
+//! (and against a multi-ported SPM) changes data availability and therefore
+//! the functional-unit counts Aladdin reverse-engineers. gem5-SALAM's
+//! datapath is independent of the memory configuration.
+
+use hw_profile::{FuKind, HardwareProfile};
+use salam_aladdin::{derive_datapath, generate_trace, AladdinMemModel};
+use salam_bench::table::Table;
+use salam_cdfg::{FuConstraints, StaticCdfg};
+use salam_ir::interp::SparseMemory;
+
+fn main() {
+    let profile = HardwareProfile::default_40nm();
+    // The paper uses fully-unrolled GEMM; a high unroll factor gives the
+    // trace the same bursty parallelism at tractable scale.
+    let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 16, unroll: 16 });
+    let mut mem = SparseMemory::new();
+    k.load_into(&mut mem);
+    let trace = generate_trace(&k.func, &k.args, &mut mem);
+
+    let mut t = Table::new(
+        "Table II: GEMM functional units vs memory design (Aladdin)",
+        &["memory", "size", "FMUL", "FADD"],
+    );
+    for size in [256u64, 512, 1024, 2048, 4096, 8192, 16384] {
+        let mm = AladdinMemModel::Cache {
+            size_bytes: size,
+            line_bytes: 64,
+            hit_latency: 2,
+            miss_latency: 40,
+        };
+        let dp = derive_datapath(&k.func, &trace, &profile, &mm);
+        t.row(vec![
+            "Cache".into(),
+            format!("{size}B"),
+            dp.fu_count(FuKind::FpMulF64).to_string(),
+            dp.fu_count(FuKind::FpAddF64).to_string(),
+        ]);
+    }
+    let dp = derive_datapath(
+        &k.func,
+        &trace,
+        &profile,
+        &AladdinMemModel::Spm { latency: 1, ports: 8 },
+    );
+    t.row(vec![
+        "SPM".into(),
+        "-".into(),
+        dp.fu_count(FuKind::FpMulF64).to_string(),
+        dp.fu_count(FuKind::FpAddF64).to_string(),
+    ]);
+
+    // SALAM's static datapath for reference: memory-invariant.
+    let cdfg = StaticCdfg::elaborate(&k.func, &profile, &FuConstraints::unconstrained());
+    t.row(vec![
+        "gem5-SALAM (any)".into(),
+        "-".into(),
+        cdfg.fu_count(FuKind::FpMulF64).to_string(),
+        cdfg.fu_count(FuKind::FpAddF64).to_string(),
+    ]);
+
+    println!("{}", t.render_auto());
+    println!(
+        "With a fixed kernel and dataset, Aladdin's allocation varies with the\n\
+         memory hierarchy; SALAM's datapath is elaborated before memory timing\n\
+         exists, so it cannot."
+    );
+}

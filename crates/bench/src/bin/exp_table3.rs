@@ -1,0 +1,48 @@
+//! Table III — system validation: simulated end-to-end times (compute, bulk
+//! transfer, total) against the analytical FPGA-style reference.
+
+use machsuite::Bench;
+use salam_bench::table::{mean_abs_pct, pct_err, Table};
+use salam_bench::table3::{reference_model, simulate_system};
+
+fn main() {
+    let mut t = Table::new(
+        "Table III: system validation (us)",
+        &[
+            "bench", "ref comp", "ref xfer", "ref total", "sim comp", "sim xfer", "sim total",
+            "e_comp%", "e_xfer%", "e_tot%",
+        ],
+    );
+    let (mut ec, mut ex, mut et) = (Vec::new(), Vec::new(), Vec::new());
+    for bench in [Bench::FftStrided, Bench::GemmNcubed, Bench::Stencil2d, Bench::Stencil3d, Bench::MdKnn] {
+        let k = bench.build_standard();
+        let reference = reference_model(&k);
+        let (sim, verified) = simulate_system(&k);
+        assert!(verified, "{} failed system verification", k.name);
+        let e1 = pct_err(sim.compute_us, reference.compute_us);
+        let e2 = pct_err(sim.xfer_us, reference.xfer_us);
+        let e3 = pct_err(sim.total_us, reference.total_us);
+        ec.push(e1);
+        ex.push(e2);
+        et.push(e3);
+        t.row(vec![
+            bench.label().into(),
+            format!("{:.2}", reference.compute_us),
+            format!("{:.2}", reference.xfer_us),
+            format!("{:.2}", reference.total_us),
+            format!("{:.2}", sim.compute_us),
+            format!("{:.2}", sim.xfer_us),
+            format!("{:.2}", sim.total_us),
+            format!("{e1:+.2}"),
+            format!("{e2:+.2}"),
+            format!("{e3:+.2}"),
+        ]);
+    }
+    println!("{}", t.render_auto());
+    println!(
+        "average |error|: compute {:.2}%, transfer {:.2}%, total {:.2}%  (paper: 1.94 / 2.35 / 1.62)",
+        mean_abs_pct(&ec),
+        mean_abs_pct(&ex),
+        mean_abs_pct(&et)
+    );
+}

@@ -1,0 +1,317 @@
+//! CNN layer-1 kernels (§IV-E): 2-D convolution, ReLU, and 2×2 max-pool,
+//! in both memory-addressed and streaming forms.
+//!
+//! Dimensions are fixed to the experiment: a 24×24 single-channel input,
+//! a 3×3 kernel (valid padding → 22×22), ReLU, then 2×2/stride-2 pooling
+//! (→ 11×11).
+
+use salam_ir::{FloatPredicate, FunctionBuilder, Function, IntPredicate, Type};
+
+/// Input width/height.
+pub const IN_DIM: usize = 24;
+/// Convolution kernel size.
+pub const K: usize = 3;
+/// Convolution output dimension (valid padding).
+pub const CONV_DIM: usize = IN_DIM - K + 1; // 22
+/// Pool output dimension.
+pub const POOL_DIM: usize = CONV_DIM / 2; // 11
+
+/// Golden layer: returns `(conv_out, relu_out, pool_out)`.
+pub fn golden(input: &[f32], weights: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut conv = vec![0.0f32; CONV_DIM * CONV_DIM];
+    for r in 0..CONV_DIM {
+        for c in 0..CONV_DIM {
+            let mut acc = 0.0;
+            for k1 in 0..K {
+                for k2 in 0..K {
+                    acc += weights[k1 * K + k2] * input[(r + k1) * IN_DIM + (c + k2)];
+                }
+            }
+            conv[r * CONV_DIM + c] = acc;
+        }
+    }
+    let relu: Vec<f32> = conv.iter().map(|&x| x.max(0.0)).collect();
+    let mut pool = vec![0.0f32; POOL_DIM * POOL_DIM];
+    for r in 0..POOL_DIM {
+        for c in 0..POOL_DIM {
+            let mut m = f32::MIN;
+            for dr in 0..2 {
+                for dc in 0..2 {
+                    m = m.max(relu[(2 * r + dr) * CONV_DIM + (2 * c + dc)]);
+                }
+            }
+            pool[r * POOL_DIM + c] = m;
+        }
+    }
+    (conv, relu, pool)
+}
+
+/// 3×3 convolution. `stream_out` writes every output to the bare `out`
+/// pointer (a stream buffer) instead of indexed memory.
+pub fn conv_kernel(stream_out: bool) -> Function {
+    let mut fb = FunctionBuilder::new(
+        "cnn_conv",
+        &[("input", Type::Ptr), ("weights", Type::Ptr), ("out", Type::Ptr)],
+    );
+    let (input, weights, out) = (fb.arg(0), fb.arg(1), fb.arg(2));
+    let zero = fb.i64c(0);
+    let od = fb.i64c(CONV_DIM as i64);
+    fb.counted_loop("r", zero, od, |fb, r| {
+        let zero = fb.i64c(0);
+        let od = fb.i64c(CONV_DIM as i64);
+        fb.counted_loop("c", zero, od, |fb, c| {
+            let in_dim = fb.i64c(IN_DIM as i64);
+            let mut acc = fb.f32c(0.0);
+            for k1 in 0..K as i64 {
+                for k2 in 0..K as i64 {
+                    let widx = fb.i64c(k1 * K as i64 + k2);
+                    let pw = fb.gep1(Type::F32, weights, widx, "pw");
+                    let w = fb.load(Type::F32, pw, "w");
+                    let k1v = fb.i64c(k1);
+                    let rr = fb.add(r, k1v, "rr");
+                    let roff = fb.mul(rr, in_dim, "roff");
+                    let k2v = fb.i64c(k2);
+                    let cc = fb.add(c, k2v, "cc");
+                    let idx = fb.add(roff, cc, "idx");
+                    let pi = fb.gep1(Type::F32, input, idx, "pi");
+                    let x = fb.load(Type::F32, pi, "x");
+                    let prod = fb.fmul(w, x, "prod");
+                    acc = fb.fadd(acc, prod, "acc");
+                }
+            }
+            if stream_out {
+                fb.store(acc, out);
+            } else {
+                let od = fb.i64c(CONV_DIM as i64);
+                let roff = fb.mul(r, od, "oroff");
+                let oidx = fb.add(roff, c, "oidx");
+                let po = fb.gep1(Type::F32, out, oidx, "po");
+                fb.store(acc, po);
+            }
+        });
+    });
+    fb.ret();
+    fb.finish()
+}
+
+/// Elementwise ReLU over `CONV_DIM²` values. Stream sides read/write the
+/// bare pointers.
+pub fn relu_kernel(stream_in: bool, stream_out: bool) -> Function {
+    let mut fb = FunctionBuilder::new("cnn_relu", &[("input", Type::Ptr), ("out", Type::Ptr)]);
+    let (input, out) = (fb.arg(0), fb.arg(1));
+    let zero = fb.i64c(0);
+    let n = fb.i64c((CONV_DIM * CONV_DIM) as i64);
+    fb.counted_loop("i", zero, n, |fb, i| {
+        let x = if stream_in {
+            fb.load(Type::F32, input, "x")
+        } else {
+            let p = fb.gep1(Type::F32, input, i, "p");
+            fb.load(Type::F32, p, "x")
+        };
+        let zf = fb.f32c(0.0);
+        let pos = fb.fcmp(FloatPredicate::Ogt, x, zf, "pos");
+        let y = fb.select(pos, x, zf, "y");
+        if stream_out {
+            fb.store(y, out);
+        } else {
+            let po = fb.gep1(Type::F32, out, i, "po");
+            fb.store(y, po);
+        }
+    });
+    fb.ret();
+    fb.finish()
+}
+
+/// 2×2 stride-2 max-pool.
+///
+/// * memory form (`stream_in = false`): reads the full `CONV_DIM²` input.
+/// * streaming form: pops row-major values from the bare `input` pointer,
+///   staging rows in a two-row line buffer at `linebuf` (private SPM) —
+///   the classic streaming-pooler structure.
+pub fn pool_kernel(stream_in: bool) -> Function {
+    let mut fb = FunctionBuilder::new(
+        "cnn_pool",
+        &[("input", Type::Ptr), ("linebuf", Type::Ptr), ("out", Type::Ptr)],
+    );
+    let (input, linebuf, out) = (fb.arg(0), fb.arg(1), fb.arg(2));
+    let fmax = |fb: &mut FunctionBuilder, a, b| {
+        let c = fb.fcmp(FloatPredicate::Ogt, a, b, "c");
+        fb.select(c, a, b, "m")
+    };
+    if !stream_in {
+        let zero = fb.i64c(0);
+        let pd = fb.i64c(POOL_DIM as i64);
+        fb.counted_loop("r", zero, pd, |fb, r| {
+            let zero = fb.i64c(0);
+            let pd = fb.i64c(POOL_DIM as i64);
+            fb.counted_loop("c", zero, pd, |fb, c| {
+                let cd = fb.i64c(CONV_DIM as i64);
+                let two = fb.i64c(2);
+                let r2 = fb.mul(r, two, "r2");
+                let c2 = fb.mul(c, two, "c2");
+                let mut vals = Vec::new();
+                for dr in 0..2i64 {
+                    for dc in 0..2i64 {
+                        let drv = fb.i64c(dr);
+                        let rr = fb.add(r2, drv, "rr");
+                        let roff = fb.mul(rr, cd, "roff");
+                        let dcv = fb.i64c(dc);
+                        let cc = fb.add(c2, dcv, "cc");
+                        let idx = fb.add(roff, cc, "idx");
+                        let p = fb.gep1(Type::F32, input, idx, "p");
+                        vals.push(fb.load(Type::F32, p, "v"));
+                    }
+                }
+                let m1 = fmax(fb, vals[0], vals[1]);
+                let m2 = fmax(fb, vals[2], vals[3]);
+                let m = fmax(fb, m1, m2);
+                let pdv = fb.i64c(POOL_DIM as i64);
+                let roff = fb.mul(r, pdv, "oroff");
+                let oidx = fb.add(roff, c, "oidx");
+                let po = fb.gep1(Type::F32, out, oidx, "po");
+                fb.store(m, po);
+            });
+        });
+    } else {
+        // Streaming pooler with a two-row line buffer.
+        let zero = fb.i64c(0);
+        let cd = fb.i64c(CONV_DIM as i64);
+        fb.counted_loop("r", zero, cd, |fb, r| {
+            let zero = fb.i64c(0);
+            let cd = fb.i64c(CONV_DIM as i64);
+            fb.counted_loop("c", zero, cd, |fb, c| {
+                let x = fb.load(Type::F32, input, "x"); // stream pop
+                let one = fb.i64c(1);
+                let rpar = fb.and(r, one, "rpar");
+                let cdv = fb.i64c(CONV_DIM as i64);
+                let lb_row = fb.mul(rpar, cdv, "lb_row");
+                let lb_idx = fb.add(lb_row, c, "lb_idx");
+                let plb = fb.gep1(Type::F32, linebuf, lb_idx, "plb");
+                fb.store(x, plb);
+
+                // Emit a pooled value on odd rows at odd columns.
+                let odd_r = fb.icmp(IntPredicate::Eq, rpar, one, "odd_r");
+                let cpar = fb.and(c, one, "cpar");
+                let odd_c = fb.icmp(IntPredicate::Eq, cpar, one, "odd_c");
+                let emit = fb.and(odd_r, odd_c, "emit");
+                let emit_b = fb.add_block("emit");
+                let skip_b = fb.add_block("skip");
+                fb.cond_br(emit, emit_b, skip_b);
+                fb.position_at(emit_b);
+                let cm1 = fb.sub(c, one, "cm1");
+                let p00 = fb.gep1(Type::F32, linebuf, cm1, "p00");
+                let v00 = fb.load(Type::F32, p00, "v00");
+                let p01 = fb.gep1(Type::F32, linebuf, c, "p01");
+                let v01 = fb.load(Type::F32, p01, "v01");
+                let row1m1 = fb.add(cdv, cm1, "row1m1");
+                let p10 = fb.gep1(Type::F32, linebuf, row1m1, "p10");
+                let v10 = fb.load(Type::F32, p10, "v10");
+                let m1 = fmax(fb, v00, v01);
+                let m2 = fmax(fb, v10, x);
+                let m = fmax(fb, m1, m2);
+                let two = fb.i64c(2);
+                let orow = fb.sdiv(r, two, "orow");
+                let ocol = fb.sdiv(c, two, "ocol");
+                let pdv = fb.i64c(POOL_DIM as i64);
+                let roff = fb.mul(orow, pdv, "roff");
+                let oidx = fb.add(roff, ocol, "oidx");
+                let po = fb.gep1(Type::F32, out, oidx, "po");
+                fb.store(m, po);
+                fb.br(skip_b);
+                fb.position_at(skip_b);
+            });
+        });
+    }
+    fb.ret();
+    fb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salam_ir::interp::{run_function, NullObserver, RtVal, SparseMemory};
+
+    fn input_and_weights() -> (Vec<f32>, Vec<f32>) {
+        let mut rng = machsuite::data::rng(0xC44);
+        let input = machsuite::data::f32_vec(&mut rng, IN_DIM * IN_DIM, -1.0, 1.0);
+        let weights = machsuite::data::f32_vec(&mut rng, K * K, -1.0, 1.0);
+        (input, weights)
+    }
+
+    #[test]
+    fn memory_form_pipeline_matches_golden() {
+        let (input, weights) = input_and_weights();
+        let (want_conv, want_relu, want_pool) = golden(&input, &weights);
+
+        let mut mem = SparseMemory::new();
+        mem.write_f32_slice(0x1000, &input);
+        mem.write_f32_slice(0x2000, &weights);
+        let conv = conv_kernel(false);
+        salam_ir::verify_function(&conv).unwrap();
+        run_function(
+            &conv,
+            &[RtVal::P(0x1000), RtVal::P(0x2000), RtVal::P(0x3000)],
+            &mut mem,
+            &mut NullObserver,
+            50_000_000,
+        )
+        .unwrap();
+        let got_conv = mem.read_f32_slice(0x3000, CONV_DIM * CONV_DIM);
+        machsuite::data::check_f32_close("conv", &got_conv, &want_conv, 1e-4).unwrap();
+
+        let relu = relu_kernel(false, false);
+        run_function(
+            &relu,
+            &[RtVal::P(0x3000), RtVal::P(0x4000)],
+            &mut mem,
+            &mut NullObserver,
+            50_000_000,
+        )
+        .unwrap();
+        let got_relu = mem.read_f32_slice(0x4000, CONV_DIM * CONV_DIM);
+        machsuite::data::check_f32_close("relu", &got_relu, &want_relu, 1e-4).unwrap();
+
+        let pool = pool_kernel(false);
+        run_function(
+            &pool,
+            &[RtVal::P(0x4000), RtVal::P(0x5000), RtVal::P(0x6000)],
+            &mut mem,
+            &mut NullObserver,
+            50_000_000,
+        )
+        .unwrap();
+        let got_pool = mem.read_f32_slice(0x6000, POOL_DIM * POOL_DIM);
+        machsuite::data::check_f32_close("pool", &got_pool, &want_pool, 1e-4).unwrap();
+    }
+
+    #[test]
+    fn streaming_pooler_matches_memory_pooler() {
+        // Feed the relu output "stream" through interpreter memory: since
+        // the interpreter reads the same address repeatedly, emulate the
+        // stream by running the line-buffer pooler against a memory where
+        // the stream address is rewritten per pop. Simplest check: the
+        // streaming pooler against a constant stream (all values equal)
+        // yields that constant everywhere.
+        let pool = pool_kernel(true);
+        salam_ir::verify_function(&pool).unwrap();
+        let mut mem = SparseMemory::new();
+        mem.write_f32_slice(0x100, &[2.5]);
+        run_function(
+            &pool,
+            &[RtVal::P(0x100), RtVal::P(0x1000), RtVal::P(0x2000)],
+            &mut mem,
+            &mut NullObserver,
+            50_000_000,
+        )
+        .unwrap();
+        let got = mem.read_f32_slice(0x2000, POOL_DIM * POOL_DIM);
+        assert!(got.iter().all(|&v| (v - 2.5).abs() < 1e-6), "{got:?}");
+    }
+
+    #[test]
+    fn stream_variants_verify() {
+        for f in [conv_kernel(true), relu_kernel(true, true), pool_kernel(true)] {
+            salam_ir::verify_function(&f).unwrap();
+        }
+    }
+}

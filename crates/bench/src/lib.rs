@@ -1,0 +1,24 @@
+//! # salam-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures.
+//!
+//! * [`table`] — plain-text/CSV table rendering and error metrics.
+//! * [`runners`] — timed runs of the three execution models (SALAM engine,
+//!   HLS static schedule, Aladdin trace flow) on MachSuite kernels.
+//! * [`cnn`] — the CNN layer-1 kernels (conv/ReLU/pool) of §IV-E, including
+//!   streaming variants with a line-buffered pooler.
+//! * [`fig16`] — the three producer-consumer integration scenarios of
+//!   Fig. 16 as full-system simulations.
+//! * [`table3`] — the end-to-end system-validation flow of Table III
+//!   (DMA in → accelerate → DMA out) with its analytical reference model.
+//!
+//! One binary per table/figure lives in `src/bin/exp_*.rs`; Criterion
+//! benches covering the same experiments at reduced scale live in
+//! `benches/`.
+
+pub mod cnn;
+pub mod fig16;
+pub mod runners;
+pub mod table;
+pub mod table3;

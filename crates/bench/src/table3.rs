@@ -1,0 +1,172 @@
+//! End-to-end system validation (Table III): DMA in → accelerate → DMA out,
+//! compared against an analytical FPGA-style reference.
+
+use machsuite::BuiltKernel;
+use memsys::{DmaCmd, MemMsg, ScratchpadConfig};
+use salam::{AcceleratorConfig, ClusterBuilder, ClusterConfig, ComputeUnit, Host, HostConfig, HostOp, MemoryStyle};
+use salam_cdfg::FuConstraints;
+use salam_hls::HlsConfig;
+use sim_core::Simulation;
+
+/// Timing split of one end-to-end run, in microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EndToEnd {
+    /// Kernel compute time.
+    pub compute_us: f64,
+    /// Bulk transfer time (input + output DMA).
+    pub xfer_us: f64,
+    /// Total end-to-end time.
+    pub total_us: f64,
+}
+
+const DRAM_BASE: u64 = 0x8000_0000;
+
+/// Runs `kernel` through the full system: the host DMAs the kernel's data
+/// footprint from DRAM into the accelerator's private SPM, starts it via
+/// MMRs, waits for completion, and DMAs the footprint back.
+///
+/// Returns the measured split plus whether the DRAM output verified.
+pub fn simulate_system(kernel: &BuiltKernel) -> (EndToEnd, bool) {
+    let (lo, hi) = kernel.footprint;
+    let len = hi - lo;
+    let spm_size = len.next_power_of_two().max(4096);
+    let dram_stage = DRAM_BASE + 0x10_0000; // staging copy of the footprint
+
+    let mut sim: Simulation<MemMsg> = Simulation::new();
+    let mut builder = ClusterBuilder::new(
+        ClusterConfig { shared_spm_bytes: 0, ..ClusterConfig::default() },
+        hw_profile::HardwareProfile::default_40nm(),
+    );
+    let mmr_base = 0x7F00_0000u64; // clear of every kernel footprint
+    builder.add_accelerator(
+        AcceleratorConfig::new(&kernel.name.clone()),
+        kernel.func.clone(),
+        // The kernel addresses its data absolutely, so the SPM sits at the
+        // footprint's own base.
+        MemoryStyle::PrivateSpm {
+            base: lo,
+            size: spm_size,
+            spm: ScratchpadConfig::default().with_ports(4, 4),
+        },
+        mmr_base,
+        None,
+    );
+    let (cluster, dram, gxbar) =
+        salam::build_system(&mut sim, builder, DRAM_BASE, 4 << 20);
+    let acc = cluster.accels[0];
+
+    // Stage the initial image in DRAM at `dram_stage + (addr - lo)`.
+    {
+        let d = sim.component_as_mut::<memsys::Dram>(dram).unwrap();
+        for (addr, bytes) in &kernel.init {
+            d.poke(dram_stage + (addr - lo), bytes);
+        }
+    }
+
+    // Host program: bulk in, program + run, bulk out.
+    let host = sim.add_component(Host::new(HostConfig::default(), vec![]));
+    sim.component_as_mut::<ComputeUnit>(acc.unit).unwrap().subscribe_done(host);
+    let mut ops = vec![
+        HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(1, dram_stage, lo, len, host) },
+        HostOp::WaitDmaDone { id: 1 },
+    ];
+    for (i, arg) in kernel.args.iter().enumerate() {
+        let raw = match arg {
+            salam_ir::interp::RtVal::P(p) => *p,
+            salam_ir::interp::RtVal::I(v) => *v as u64,
+            salam_ir::interp::RtVal::F(_) => panic!("float args not supported over MMRs"),
+        };
+        ops.push(HostOp::WriteMmr { via: gxbar, addr: mmr_base + ((2 + i) as u64) * 8, value: raw });
+    }
+    ops.push(HostOp::StartAccelerator { via: gxbar, mmr_base });
+    ops.push(HostOp::WaitAccDone { unit: acc.unit });
+    ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(2, lo, dram_stage, len, host) });
+    ops.push(HostOp::WaitDmaDone { id: 2 });
+    let dma_in_wait = 1usize;
+    let acc_wait = ops.len() - 3;
+    let dma_out_wait = ops.len() - 1;
+    *sim.component_as_mut::<Host>(host).unwrap() = Host::new(HostConfig::default(), ops);
+    sim.post(host, 0, MemMsg::Start);
+    sim.run();
+
+    let h = sim.component_as::<Host>(host).unwrap();
+    let t_in = h.op_finished_at(dma_in_wait).expect("input DMA finished") as f64;
+    let t_acc = h.op_finished_at(acc_wait).expect("accelerator finished") as f64;
+    let t_out = h.op_finished_at(dma_out_wait).expect("output DMA finished") as f64;
+    let total = h.finished_at().expect("program finished") as f64;
+
+    let cu = sim.component_as::<ComputeUnit>(acc.unit).unwrap();
+    let compute_ps = match cu.span() {
+        (Some(s), Some(e)) => (e - s) as f64,
+        _ => t_acc - t_in,
+    };
+    let xfer_ps = t_in + (t_out - t_acc);
+    let e2e = EndToEnd {
+        compute_us: compute_ps / 1e6,
+        xfer_us: xfer_ps / 1e6,
+        total_us: total / 1e6,
+    };
+
+    // Verify: read the staged footprint back out of DRAM.
+    let mut check_mem = salam_ir::interp::SparseMemory::new();
+    {
+        let d = sim.component_as::<memsys::Dram>(dram).unwrap();
+        let bytes = d.peek(dram_stage, len as usize).to_vec();
+        use salam_ir::interp::Memory as _;
+        check_mem.write(lo, &bytes);
+    }
+    let verified = kernel.check(&mut check_mem).is_ok();
+    (e2e, verified)
+}
+
+/// The FPGA-style analytical reference: compute time from the HLS static
+/// schedule at the accelerator clock, transfer time from a bandwidth/latency
+/// model of the data mover (burst setup cost plus streaming at bus width).
+pub fn reference_model(kernel: &BuiltKernel) -> EndToEnd {
+    let (lo, hi) = kernel.footprint;
+    let bytes = (hi - lo) as f64;
+
+    // The default device config (2R/2W, 2-cycle memory) approximates the
+    // cluster accelerator's effective private-SPM interface: the comm
+    // interface's port budget and SPM round-trip average out to the same
+    // bandwidth/latency product.
+    let hls = crate::runners::hls_cycles(
+        kernel,
+        &FuConstraints::unconstrained(),
+        &HlsConfig::default(),
+    );
+    let compute_us = hls.cycles as f64 / 1e3; // 1 GHz: 1 cycle = 1 ns
+
+    // Data mover: 64-byte bursts at 20 ns each (pipelined row activations
+    // over an 8 B/ns bus) plus per-direction driver/descriptor setup —
+    // round-trip for in + out.
+    let burst = 64.0;
+    let per_burst_ns = 20.0;
+    let bursts = (bytes / burst).ceil();
+    let one_way_ns = bursts * per_burst_ns + 655.0;
+    let xfer_us = 2.0 * one_way_ns / 1e3;
+
+    EndToEnd { compute_us, xfer_us, total_us: compute_us + xfer_us }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_system_run_verifies_and_splits_time() {
+        let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 1 });
+        let (e2e, verified) = simulate_system(&k);
+        assert!(verified, "system run produced wrong results in DRAM");
+        assert!(e2e.compute_us > 0.0);
+        assert!(e2e.xfer_us > 0.0);
+        assert!(e2e.total_us >= e2e.compute_us);
+    }
+
+    #[test]
+    fn reference_model_is_positive() {
+        let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 1 });
+        let r = reference_model(&k);
+        assert!(r.compute_us > 0.0 && r.xfer_us > 0.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! # salam-cdfg
+//!
+//! Static elaboration: turns an IR function into the *static CDFG* that
+//! gem5-SALAM builds during setup — every instruction linked to a virtual
+//! hardware functional unit and registers, at basic-block granularity.
+//!
+//! This is the first half of the paper's *dual CDFG* design: the static
+//! skeleton fixes the datapath (and therefore area and leakage power) from
+//! algorithm-intrinsic structure alone, while the dynamic CDFG is
+//! instantiated from it at runtime by `salam-runtime`. Because the datapath
+//! comes from the static IR, it is **independent of input data and of the
+//! memory hierarchy** — the property Tables I and II of the paper show
+//! trace-based Aladdin lacks.
+//!
+//! # Example
+//!
+//! ```
+//! use hw_profile::{FuKind, HardwareProfile};
+//! use salam_cdfg::{FuConstraints, StaticCdfg};
+//! use salam_ir::{FunctionBuilder, Type};
+//!
+//! let mut fb = FunctionBuilder::new("saxpy", &[("x", Type::Ptr), ("y", Type::Ptr)]);
+//! let (x, y) = (fb.arg(0), fb.arg(1));
+//! let a = fb.load(Type::F32, x, "a");
+//! let b = fb.load(Type::F32, y, "b");
+//! let two = fb.f32c(2.0);
+//! let ab = fb.fmul(a, two, "ab");
+//! let s = fb.fadd(ab, b, "s");
+//! fb.store(s, y);
+//! fb.ret();
+//! let f = fb.finish();
+//!
+//! let profile = HardwareProfile::default_40nm();
+//! let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+//! assert_eq!(cdfg.fu_count(FuKind::FpMulF32), 1);
+//! assert_eq!(cdfg.fu_count(FuKind::FpAddF32), 1);
+//! assert!(cdfg.area_report(&profile).total_um2 > 0.0);
+//! ```
+
+use std::collections::BTreeMap;
+
+use hw_profile::{fu_for_opcode, FuKind, HardwareProfile};
+use salam_ir::{BlockId, Function, InstId, Opcode};
+
+/// User-imposed limits on functional-unit counts (the "device config"
+/// datapath constraints of the paper). Absent kinds default to the 1-to-1
+/// instruction↔unit mapping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuConstraints {
+    limits: BTreeMap<FuKind, u32>,
+}
+
+impl FuConstraints {
+    /// No limits: every instruction gets a dedicated unit.
+    pub fn unconstrained() -> Self {
+        FuConstraints::default()
+    }
+
+    /// Caps `kind` at `max` units, forcing runtime reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn with_limit(mut self, kind: FuKind, max: u32) -> Self {
+        assert!(max > 0, "functional-unit limit must be at least 1");
+        self.limits.insert(kind, max);
+        self
+    }
+
+    /// The limit for `kind`, if any.
+    pub fn limit(&self, kind: FuKind) -> Option<u32> {
+        self.limits.get(&kind).copied()
+    }
+}
+
+/// One statically elaborated operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticOp {
+    /// The IR instruction.
+    pub inst: InstId,
+    /// Its basic block.
+    pub block: BlockId,
+    /// Functional unit executing it (`None` for wiring/control/memory ops).
+    pub fu: Option<FuKind>,
+    /// Issue-to-commit latency in accelerator cycles.
+    pub latency: u32,
+    /// Operand/result width in bits (for power scaling and precision).
+    pub bits: u32,
+}
+
+/// The statically elaborated CDFG of one accelerator function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticCdfg {
+    /// Name of the elaborated function.
+    pub func_name: String,
+    ops: Vec<StaticOp>,
+    fu_counts: BTreeMap<FuKind, u32>,
+    register_bits: u64,
+    constraints: FuConstraints,
+}
+
+impl StaticCdfg {
+    /// Elaborates `f` against a hardware profile and datapath constraints.
+    ///
+    /// Every live instruction is assigned a latency, a width, and (for
+    /// compute ops) a functional-unit kind. The datapath allocation is
+    /// `min(instruction count, constraint)` per kind.
+    pub fn elaborate(
+        f: &Function,
+        profile: &HardwareProfile,
+        constraints: &FuConstraints,
+    ) -> Self {
+        let mut ops = vec![
+            StaticOp { inst: InstId::from_raw(0), block: f.entry(), fu: None, latency: 1, bits: 0 };
+            f.num_insts()
+        ];
+        let mut inst_counts: BTreeMap<FuKind, u32> = BTreeMap::new();
+        let mut register_bits: u64 = 0;
+        for (bid, b) in f.blocks() {
+            for &iid in &b.insts {
+                let inst = f.inst(iid);
+                let bits = op_bits(f, iid);
+                let fu = fu_for_opcode(&inst.op, bits);
+                if let Some(k) = fu {
+                    *inst_counts.entry(k).or_insert(0) += 1;
+                }
+                if inst.has_result() {
+                    register_bits += bits as u64;
+                }
+                ops[iid.index()] = StaticOp {
+                    inst: iid,
+                    block: bid,
+                    fu,
+                    latency: profile.opcode_latency(&inst.op, bits),
+                    bits,
+                };
+            }
+        }
+        let fu_counts = inst_counts
+            .into_iter()
+            .map(|(k, n)| (k, constraints.limit(k).map_or(n, |l| n.min(l))))
+            .collect();
+        StaticCdfg {
+            func_name: f.name.clone(),
+            ops,
+            fu_counts,
+            register_bits,
+            constraints: constraints.clone(),
+        }
+    }
+
+    /// The static op for an instruction.
+    pub fn op(&self, inst: InstId) -> &StaticOp {
+        &self.ops[inst.index()]
+    }
+
+    /// Allocated units of `kind` in the datapath.
+    pub fn fu_count(&self, kind: FuKind) -> u32 {
+        self.fu_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// All allocated `(kind, count)` pairs.
+    pub fn fu_counts(&self) -> impl Iterator<Item = (FuKind, u32)> + '_ {
+        self.fu_counts.iter().map(|(&k, &n)| (k, n))
+    }
+
+    /// Total datapath register bits.
+    pub fn register_bits(&self) -> u64 {
+        self.register_bits
+    }
+
+    /// The constraints this CDFG was elaborated under.
+    pub fn constraints(&self) -> &FuConstraints {
+        &self.constraints
+    }
+
+    /// Chip-area estimate from the static datapath.
+    pub fn area_report(&self, profile: &HardwareProfile) -> AreaReport {
+        let fu_area: f64 = self
+            .fu_counts
+            .iter()
+            .map(|(&k, &n)| profile.spec(k).area_um2 * n as f64)
+            .sum();
+        let reg_area = profile.register.area_um2_per_bit * self.register_bits as f64;
+        AreaReport { fu_um2: fu_area, register_um2: reg_area, total_um2: fu_area + reg_area }
+    }
+
+    /// Static (leakage) power estimate from the static datapath.
+    pub fn static_power_report(&self, profile: &HardwareProfile) -> StaticPowerReport {
+        let fu_leak: f64 = self
+            .fu_counts
+            .iter()
+            .map(|(&k, &n)| profile.spec(k).leakage_mw * n as f64)
+            .sum();
+        let reg_leak = profile.register.leakage_mw_per_bit * self.register_bits as f64;
+        StaticPowerReport { fu_mw: fu_leak, register_mw: reg_leak, total_mw: fu_leak + reg_leak }
+    }
+}
+
+/// Operand/result width in bits for an instruction.
+fn op_bits(f: &Function, iid: InstId) -> u32 {
+    let inst = f.inst(iid);
+    match &inst.op {
+        Opcode::Gep { .. } => 64,
+        Opcode::ICmp(_) | Opcode::FCmp(_) | Opcode::Store => inst
+            .operands
+            .first()
+            .map(|&v| scalar_bits(f, v))
+            .unwrap_or(32),
+        _ => {
+            if inst.has_result() {
+                scalar_bits_ty(&inst.ty)
+            } else {
+                inst.operands.first().map(|&v| scalar_bits(f, v)).unwrap_or(32)
+            }
+        }
+    }
+}
+
+fn scalar_bits(f: &Function, v: salam_ir::ValueId) -> u32 {
+    scalar_bits_ty(&f.value_type(v))
+}
+
+fn scalar_bits_ty(ty: &salam_ir::Type) -> u32 {
+    match ty {
+        salam_ir::Type::Void | salam_ir::Type::Array { .. } => 0,
+        t => t.bits(),
+    }
+}
+
+/// Datapath area breakdown in square micrometres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Functional units.
+    pub fu_um2: f64,
+    /// Registers.
+    pub register_um2: f64,
+    /// Sum of the above.
+    pub total_um2: f64,
+}
+
+/// Static (leakage) power breakdown in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticPowerReport {
+    /// Functional units.
+    pub fu_mw: f64,
+    /// Registers.
+    pub register_mw: f64,
+    /// Sum of the above.
+    pub total_mw: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salam_ir::{FunctionBuilder, Type};
+
+    fn fp_kernel(n_mults: usize) -> Function {
+        let mut fb = FunctionBuilder::new("k", &[("p", Type::Ptr)]);
+        let p = fb.arg(0);
+        let mut v = fb.load(Type::F64, p, "v");
+        for i in 0..n_mults {
+            v = fb.fmul(v, v, &format!("m{i}"));
+        }
+        fb.store(v, p);
+        fb.ret();
+        fb.finish()
+    }
+
+    #[test]
+    fn one_to_one_mapping_by_default() {
+        let f = fp_kernel(5);
+        let p = HardwareProfile::default_40nm();
+        let cdfg = StaticCdfg::elaborate(&f, &p, &FuConstraints::unconstrained());
+        assert_eq!(cdfg.fu_count(FuKind::FpMulF64), 5);
+    }
+
+    #[test]
+    fn constraints_cap_allocation() {
+        let f = fp_kernel(8);
+        let p = HardwareProfile::default_40nm();
+        let c = FuConstraints::unconstrained().with_limit(FuKind::FpMulF64, 2);
+        let cdfg = StaticCdfg::elaborate(&f, &p, &c);
+        assert_eq!(cdfg.fu_count(FuKind::FpMulF64), 2);
+    }
+
+    #[test]
+    fn constraint_below_count_is_noop() {
+        let f = fp_kernel(1);
+        let p = HardwareProfile::default_40nm();
+        let c = FuConstraints::unconstrained().with_limit(FuKind::FpMulF64, 64);
+        let cdfg = StaticCdfg::elaborate(&f, &p, &c);
+        assert_eq!(cdfg.fu_count(FuKind::FpMulF64), 1);
+    }
+
+    #[test]
+    fn area_and_leakage_scale_with_datapath() {
+        let p = HardwareProfile::default_40nm();
+        let small = StaticCdfg::elaborate(&fp_kernel(1), &p, &FuConstraints::unconstrained());
+        let large = StaticCdfg::elaborate(&fp_kernel(10), &p, &FuConstraints::unconstrained());
+        assert!(large.area_report(&p).total_um2 > small.area_report(&p).total_um2);
+        assert!(large.static_power_report(&p).total_mw > small.static_power_report(&p).total_mw);
+        // Reports are internally consistent.
+        let a = large.area_report(&p);
+        assert!((a.fu_um2 + a.register_um2 - a.total_um2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn datapath_independent_of_memory_and_data() {
+        // Elaborating the same function twice yields the identical datapath —
+        // the defining property vs. trace-based simulators.
+        let f = fp_kernel(4);
+        let p = HardwareProfile::default_40nm();
+        let a = StaticCdfg::elaborate(&f, &p, &FuConstraints::unconstrained());
+        let b = StaticCdfg::elaborate(&f, &p, &FuConstraints::unconstrained());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ops_carry_latency_and_block() {
+        let f = fp_kernel(1);
+        let p = HardwareProfile::default_40nm();
+        let cdfg = StaticCdfg::elaborate(&f, &p, &FuConstraints::unconstrained());
+        let (_, entry) = f.blocks().next().unwrap();
+        for &iid in &entry.insts {
+            let op = cdfg.op(iid);
+            assert_eq!(op.block, f.entry());
+        }
+        // FP multiplies keep their 3-stage latency; wiring ops may be 0.
+        let fmul = entry
+            .insts
+            .iter()
+            .find(|&&i| f.inst(i).op == salam_ir::Opcode::FMul)
+            .copied()
+            .unwrap();
+        assert_eq!(cdfg.op(fmul).latency, 3);
+    }
+
+    #[test]
+    fn register_bits_counted() {
+        let f = fp_kernel(2);
+        let p = HardwareProfile::default_40nm();
+        let cdfg = StaticCdfg::elaborate(&f, &p, &FuConstraints::unconstrained());
+        // load (64) + 2 fmul (64 each) = 192 bits of results.
+        assert_eq!(cdfg.register_bits(), 192);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_limit_rejected() {
+        let _ = FuConstraints::unconstrained().with_limit(FuKind::IntAdder, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Post-simulation reports: performance, power and area rollups.
+
+use hw_profile::{HardwareProfile, SramSpec};
+use salam_cdfg::StaticCdfg;
+use salam_runtime::EngineStats;
+
+/// Power decomposition in milliwatts, matching the categories of the
+/// paper's Fig. 4 (dynamic/static × functional units / registers / SPM).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerBreakdown {
+    /// Dynamic functional-unit power.
+    pub dynamic_fu_mw: f64,
+    /// Dynamic internal-register power.
+    pub dynamic_reg_mw: f64,
+    /// Dynamic SPM read power.
+    pub dynamic_spm_read_mw: f64,
+    /// Dynamic SPM write power.
+    pub dynamic_spm_write_mw: f64,
+    /// Static functional-unit leakage.
+    pub static_fu_mw: f64,
+    /// Static internal-register leakage.
+    pub static_reg_mw: f64,
+    /// Static SPM leakage.
+    pub static_spm_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power.
+    pub fn total_mw(&self) -> f64 {
+        self.dynamic_fu_mw
+            + self.dynamic_reg_mw
+            + self.dynamic_spm_read_mw
+            + self.dynamic_spm_write_mw
+            + self.static_fu_mw
+            + self.static_reg_mw
+            + self.static_spm_mw
+    }
+
+    /// The seven components as `(label, milliwatts)` pairs, in Fig. 4's
+    /// legend order.
+    pub fn components(&self) -> [(&'static str, f64); 7] {
+        [
+            ("dynamic_fu", self.dynamic_fu_mw),
+            ("dynamic_registers", self.dynamic_reg_mw),
+            ("dynamic_spm_read", self.dynamic_spm_read_mw),
+            ("dynamic_spm_write", self.dynamic_spm_write_mw),
+            ("static_fu", self.static_fu_mw),
+            ("static_registers", self.static_reg_mw),
+            ("static_spm", self.static_spm_mw),
+        ]
+    }
+}
+
+/// The rollup of one accelerator run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Benchmark / accelerator name.
+    pub name: String,
+    /// Engine cycles.
+    pub cycles: u64,
+    /// Wall-clock of the modeled run in nanoseconds.
+    pub runtime_ns: f64,
+    /// Full power breakdown.
+    pub power: PowerBreakdown,
+    /// Datapath area in square micrometres (FUs + registers).
+    pub datapath_area_um2: f64,
+    /// Private SPM area in square micrometres (0 if none).
+    pub spm_area_um2: f64,
+    /// Output verified against the golden model.
+    pub verified: bool,
+    /// Raw engine statistics.
+    pub stats: EngineStats,
+}
+
+impl RunReport {
+    /// Assembles a report from engine stats and the static CDFG.
+    ///
+    /// `spm` describes the private scratchpad (if any) for Cacti-style SPM
+    /// power/area; `clock_period_ps` converts cycles to time.
+    pub fn assemble(
+        name: &str,
+        stats: &EngineStats,
+        cdfg: &StaticCdfg,
+        profile: &HardwareProfile,
+        spm: Option<&SramSpec>,
+        clock_period_ps: u64,
+        verified: bool,
+    ) -> Self {
+        let runtime_ns = (stats.cycles * clock_period_ps) as f64 / 1000.0;
+        let safe_ns = runtime_ns.max(1e-9);
+        let static_rep = cdfg.static_power_report(profile);
+        let mut power = PowerBreakdown {
+            dynamic_fu_mw: stats.fu_dynamic_pj / safe_ns,
+            dynamic_reg_mw: (stats.reg_read_pj + stats.reg_write_pj) / safe_ns,
+            static_fu_mw: static_rep.fu_mw,
+            static_reg_mw: static_rep.register_mw,
+            ..PowerBreakdown::default()
+        };
+        let area = cdfg.area_report(profile);
+        let mut spm_area = 0.0;
+        if let Some(s) = spm {
+            power.dynamic_spm_read_mw = stats.loads as f64 * s.read_energy_pj() / safe_ns;
+            power.dynamic_spm_write_mw = stats.stores as f64 * s.write_energy_pj() / safe_ns;
+            power.static_spm_mw = s.leakage_mw();
+            spm_area = s.area_um2();
+        }
+        RunReport {
+            name: name.to_string(),
+            cycles: stats.cycles,
+            runtime_ns,
+            power,
+            datapath_area_um2: area.total_um2,
+            spm_area_um2: spm_area,
+            verified,
+            stats: stats.clone(),
+        }
+    }
+
+    /// Total area (datapath + SPM).
+    pub fn total_area_um2(&self) -> f64 {
+        self.datapath_area_um2 + self.spm_area_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals_sum() {
+        let b = PowerBreakdown {
+            dynamic_fu_mw: 1.0,
+            dynamic_reg_mw: 2.0,
+            dynamic_spm_read_mw: 3.0,
+            dynamic_spm_write_mw: 4.0,
+            static_fu_mw: 5.0,
+            static_reg_mw: 6.0,
+            static_spm_mw: 7.0,
+        };
+        assert!((b.total_mw() - 28.0).abs() < 1e-12);
+        let sum: f64 = b.components().iter().map(|(_, v)| v).sum();
+        assert!((sum - b.total_mw()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,3 @@
+fn main() {
+    print!("{}", hw_profile::HardwareProfile::default_40nm().to_text());
+}

@@ -1,0 +1,157 @@
+//! Analytical SRAM model in the spirit of McPAT's Cacti.
+//!
+//! gem5-SALAM passes private scratchpad parameters and usage statistics to
+//! Cacti to obtain SRAM power and area. This module reproduces the same
+//! interface with a closed-form model: area, leakage, and per-access read /
+//! write energies as smooth functions of capacity, word width, port count
+//! and banking. The constants are fitted to 40 nm-class SRAM compiler
+//! outputs; the experiments only rely on the scaling *shape* (energy growing
+//! roughly with the square root of capacity, ports multiplying area).
+
+/// Analytical SRAM (scratchpad / cache data array) characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramSpec {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Access word width in bytes.
+    pub word_bytes: u32,
+    /// Concurrent read ports.
+    pub read_ports: u32,
+    /// Concurrent write ports.
+    pub write_ports: u32,
+    /// Number of banks the capacity is split across.
+    pub banks: u32,
+}
+
+impl SramSpec {
+    /// Creates a single-bank, single-read/single-write-port SRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` or `word_bytes` is zero.
+    pub fn new(capacity_bytes: u64, word_bytes: u32) -> Self {
+        assert!(capacity_bytes > 0 && word_bytes > 0, "SRAM dimensions must be nonzero");
+        SramSpec { capacity_bytes, word_bytes, read_ports: 1, write_ports: 1, banks: 1 }
+    }
+
+    /// Sets the port counts.
+    pub fn with_ports(mut self, read: u32, write: u32) -> Self {
+        self.read_ports = read.max(1);
+        self.write_ports = write.max(1);
+        self
+    }
+
+    /// Sets the bank count.
+    pub fn with_banks(mut self, banks: u32) -> Self {
+        self.banks = banks.max(1);
+        self
+    }
+
+    fn bits(&self) -> f64 {
+        self.capacity_bytes as f64 * 8.0
+    }
+
+    fn bank_bits(&self) -> f64 {
+        self.bits() / self.banks as f64
+    }
+
+    /// Extra-port area/power multiplier: each port beyond 1R1W adds wordline
+    /// and bitline overhead (~35% per port, the classic multi-port penalty).
+    fn port_factor(&self) -> f64 {
+        1.0 + 0.35 * ((self.read_ports + self.write_ports) as f64 - 2.0).max(0.0)
+    }
+
+    /// Macro area in square micrometres.
+    pub fn area_um2(&self) -> f64 {
+        // 0.45 um^2/bit cell + per-bank periphery.
+        let cell = 0.45 * self.bits();
+        let periphery = 900.0 * self.banks as f64 + 6.0 * (self.bank_bits()).sqrt() * self.banks as f64;
+        (cell + periphery) * self.port_factor()
+    }
+
+    /// Static leakage in milliwatts.
+    pub fn leakage_mw(&self) -> f64 {
+        (0.0000035 * self.bits() + 0.004 * self.banks as f64) * self.port_factor()
+    }
+
+    /// Energy per read access in picojoules.
+    pub fn read_energy_pj(&self) -> f64 {
+        // Bitline/sense energy scales with sqrt(bank bits); data energy with
+        // the word width.
+        let word_bits = self.word_bytes as f64 * 8.0;
+        0.011 * self.bank_bits().sqrt() + 0.05 * word_bits
+    }
+
+    /// Energy per write access in picojoules.
+    pub fn write_energy_pj(&self) -> f64 {
+        let word_bits = self.word_bytes as f64 * 8.0;
+        0.013 * self.bank_bits().sqrt() + 0.06 * word_bits
+    }
+
+    /// Suggested access latency in cycles at ~1 GHz: grows with capacity.
+    pub fn access_latency_cycles(&self) -> u32 {
+        let kb = self.capacity_bytes as f64 / 1024.0;
+        if kb <= 32.0 {
+            1
+        } else if kb <= 256.0 {
+            2
+        } else {
+            3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_with_capacity() {
+        let a = SramSpec::new(1024, 4).area_um2();
+        let b = SramSpec::new(16 * 1024, 4).area_um2();
+        assert!(b > 8.0 * a, "16x capacity should be ~16x cell area ({a} vs {b})");
+    }
+
+    #[test]
+    fn read_energy_sublinear_in_capacity() {
+        let e1 = SramSpec::new(1024, 4).read_energy_pj();
+        let e16 = SramSpec::new(16 * 1024, 4).read_energy_pj();
+        assert!(e16 > e1);
+        assert!(e16 < 16.0 * e1, "per-access energy must grow sublinearly");
+    }
+
+    #[test]
+    fn ports_multiply_area() {
+        let base = SramSpec::new(4096, 4);
+        let multi = base.with_ports(4, 2);
+        assert!(multi.area_um2() > 1.5 * base.area_um2());
+        assert!(multi.leakage_mw() > base.leakage_mw());
+    }
+
+    #[test]
+    fn banking_reduces_access_energy() {
+        let flat = SramSpec::new(64 * 1024, 8);
+        let banked = flat.with_banks(8);
+        assert!(banked.read_energy_pj() < flat.read_energy_pj());
+        assert!(banked.area_um2() > flat.area_um2(), "banking costs periphery area");
+    }
+
+    #[test]
+    fn write_costs_more_than_read() {
+        let s = SramSpec::new(8192, 4);
+        assert!(s.write_energy_pj() > s.read_energy_pj());
+    }
+
+    #[test]
+    fn latency_tiers() {
+        assert_eq!(SramSpec::new(1024, 4).access_latency_cycles(), 1);
+        assert_eq!(SramSpec::new(128 * 1024, 4).access_latency_cycles(), 2);
+        assert_eq!(SramSpec::new(1024 * 1024, 4).access_latency_cycles(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = SramSpec::new(0, 4);
+    }
+}

@@ -1,0 +1,216 @@
+//! Functional-unit kinds and the opcode → FU mapping.
+
+use salam_ir::Opcode;
+
+/// Kinds of virtual hardware functional units.
+///
+/// Mirrors the unit classes in gem5-SALAM's hardware profile (which in turn
+/// follows gem5-Aladdin's power/area models): integer ALU pieces, separate
+/// single/double-precision floating-point units, comparators, shifters,
+/// converters and multiplexers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuKind {
+    /// Integer adder/subtractor (also used for address arithmetic / GEP).
+    IntAdder,
+    /// Integer multiplier.
+    IntMultiplier,
+    /// Integer divider/remainder unit.
+    IntDivider,
+    /// Barrel shifter.
+    Shifter,
+    /// Bitwise logic unit (and/or/xor).
+    Bitwise,
+    /// Integer comparator.
+    IntComparator,
+    /// Single-precision floating-point adder/subtractor.
+    FpAddF32,
+    /// Double-precision floating-point adder/subtractor.
+    FpAddF64,
+    /// Single-precision floating-point multiplier.
+    FpMulF32,
+    /// Double-precision floating-point multiplier.
+    FpMulF64,
+    /// Single-precision floating-point divider.
+    FpDivF32,
+    /// Double-precision floating-point divider.
+    FpDivF64,
+    /// Floating-point comparator.
+    FpComparator,
+    /// Int/float converter.
+    Converter,
+    /// Multiplexer (phi / select lowering).
+    Mux,
+}
+
+impl FuKind {
+    /// All kinds, for iteration in reports and profiles.
+    pub const ALL: [FuKind; 15] = [
+        FuKind::IntAdder,
+        FuKind::IntMultiplier,
+        FuKind::IntDivider,
+        FuKind::Shifter,
+        FuKind::Bitwise,
+        FuKind::IntComparator,
+        FuKind::FpAddF32,
+        FuKind::FpAddF64,
+        FuKind::FpMulF32,
+        FuKind::FpMulF64,
+        FuKind::FpDivF32,
+        FuKind::FpDivF64,
+        FuKind::FpComparator,
+        FuKind::Converter,
+        FuKind::Mux,
+    ];
+
+    /// Stable lowercase name used in profile files and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuKind::IntAdder => "int_adder",
+            FuKind::IntMultiplier => "int_multiplier",
+            FuKind::IntDivider => "int_divider",
+            FuKind::Shifter => "shifter",
+            FuKind::Bitwise => "bitwise",
+            FuKind::IntComparator => "int_comparator",
+            FuKind::FpAddF32 => "fp_add_sp",
+            FuKind::FpAddF64 => "fp_add_dp",
+            FuKind::FpMulF32 => "fp_mul_sp",
+            FuKind::FpMulF64 => "fp_mul_dp",
+            FuKind::FpDivF32 => "fp_div_sp",
+            FuKind::FpDivF64 => "fp_div_dp",
+            FuKind::FpComparator => "fp_comparator",
+            FuKind::Converter => "converter",
+            FuKind::Mux => "mux",
+        }
+    }
+
+    /// Parses a stable name back to a kind.
+    pub fn from_name(s: &str) -> Option<Self> {
+        FuKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Whether this is a floating-point unit.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            FuKind::FpAddF32
+                | FuKind::FpAddF64
+                | FuKind::FpMulF32
+                | FuKind::FpMulF64
+                | FuKind::FpDivF32
+                | FuKind::FpDivF64
+                | FuKind::FpComparator
+        )
+    }
+}
+
+impl std::fmt::Display for FuKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps an opcode to the functional-unit kind that executes it, or `None`
+/// for operations that are pure wiring (casts between integer widths,
+/// bitcasts, branches, memory ops handled by the memory system).
+///
+/// `bits` is the operand width, used to pick single- vs double-precision
+/// floating-point units.
+pub fn fu_for_opcode(op: &Opcode, bits: u32) -> Option<FuKind> {
+    let dp = bits > 32;
+    Some(match op {
+        Opcode::Add | Opcode::Sub => FuKind::IntAdder,
+        // Address arithmetic synthesizes to integer adders.
+        Opcode::Gep { .. } => FuKind::IntAdder,
+        Opcode::Mul => FuKind::IntMultiplier,
+        Opcode::UDiv | Opcode::SDiv | Opcode::URem | Opcode::SRem => FuKind::IntDivider,
+        Opcode::Shl | Opcode::LShr | Opcode::AShr => FuKind::Shifter,
+        Opcode::And | Opcode::Or | Opcode::Xor => FuKind::Bitwise,
+        Opcode::ICmp(_) => FuKind::IntComparator,
+        Opcode::FAdd | Opcode::FSub | Opcode::FNeg => {
+            if dp {
+                FuKind::FpAddF64
+            } else {
+                FuKind::FpAddF32
+            }
+        }
+        Opcode::FMul => {
+            if dp {
+                FuKind::FpMulF64
+            } else {
+                FuKind::FpMulF32
+            }
+        }
+        Opcode::FDiv => {
+            if dp {
+                FuKind::FpDivF64
+            } else {
+                FuKind::FpDivF32
+            }
+        }
+        Opcode::FCmp(_) => FuKind::FpComparator,
+        Opcode::FPToSI | Opcode::FPToUI | Opcode::SIToFP | Opcode::UIToFP | Opcode::FPTrunc
+        | Opcode::FPExt => FuKind::Converter,
+        Opcode::Phi | Opcode::Select => FuKind::Mux,
+        // Width changes, pointer casts, control flow and memory operations
+        // consume no datapath FU.
+        Opcode::Trunc
+        | Opcode::ZExt
+        | Opcode::SExt
+        | Opcode::BitCast
+        | Opcode::PtrToInt
+        | Opcode::IntToPtr
+        | Opcode::Load
+        | Opcode::Store
+        | Opcode::Br
+        | Opcode::CondBr
+        | Opcode::Ret => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salam_ir::{FloatPredicate, IntPredicate};
+
+    #[test]
+    fn names_roundtrip() {
+        for k in FuKind::ALL {
+            assert_eq!(FuKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(FuKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn precision_selected_by_width() {
+        assert_eq!(fu_for_opcode(&Opcode::FAdd, 32), Some(FuKind::FpAddF32));
+        assert_eq!(fu_for_opcode(&Opcode::FAdd, 64), Some(FuKind::FpAddF64));
+        assert_eq!(fu_for_opcode(&Opcode::FMul, 32), Some(FuKind::FpMulF32));
+        assert_eq!(fu_for_opcode(&Opcode::FDiv, 64), Some(FuKind::FpDivF64));
+    }
+
+    #[test]
+    fn wiring_ops_have_no_fu() {
+        for op in [Opcode::ZExt, Opcode::SExt, Opcode::Trunc, Opcode::BitCast, Opcode::Load, Opcode::Store, Opcode::Br, Opcode::Ret] {
+            assert_eq!(fu_for_opcode(&op, 32), None, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn control_lowering_uses_muxes() {
+        assert_eq!(fu_for_opcode(&Opcode::Phi, 64), Some(FuKind::Mux));
+        assert_eq!(fu_for_opcode(&Opcode::Select, 32), Some(FuKind::Mux));
+    }
+
+    #[test]
+    fn comparators_and_shifters() {
+        assert_eq!(fu_for_opcode(&Opcode::ICmp(IntPredicate::Slt), 32), Some(FuKind::IntComparator));
+        assert_eq!(fu_for_opcode(&Opcode::FCmp(FloatPredicate::Ogt), 64), Some(FuKind::FpComparator));
+        assert_eq!(fu_for_opcode(&Opcode::Shl, 32), Some(FuKind::Shifter));
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(FuKind::FpAddF32.is_float());
+        assert!(!FuKind::IntAdder.is_float());
+    }
+}

@@ -1,0 +1,32 @@
+//! # hw-profile
+//!
+//! Hardware functional-unit profiles: per-FU latency, area, leakage and
+//! dynamic energy, a single-bit register model, and an analytical SRAM model
+//! in the spirit of McPAT's Cacti.
+//!
+//! The paper validates a default 40 nm hardware profile (functional-unit
+//! power/area modeled after gem5-Aladdin's, SRAM modeled through Cacti)
+//! against Synopsys Design Compiler. This crate provides that default
+//! profile as [`HardwareProfile::default_40nm`] and lets users edit or
+//! persist profiles as simple `key = value` text.
+//!
+//! # Example
+//!
+//! ```
+//! use hw_profile::{FuKind, HardwareProfile};
+//! use salam_ir::Opcode;
+//!
+//! let profile = HardwareProfile::default_40nm();
+//! // Floating-point adders default to 3 pipeline stages, as in the paper.
+//! assert_eq!(profile.spec(FuKind::FpAddF64).latency, 3);
+//! // Every opcode maps to at most one functional-unit kind.
+//! assert_eq!(hw_profile::fu_for_opcode(&Opcode::FAdd, 64), Some(FuKind::FpAddF64));
+//! ```
+
+mod cacti;
+mod fu;
+mod profile;
+
+pub use cacti::SramSpec;
+pub use fu::{fu_for_opcode, FuKind};
+pub use profile::{FuSpec, HardwareProfile, ProfileParseError, RegisterSpec};

@@ -1,0 +1,287 @@
+//! The hardware profile: per-FU specs, register model, persistence.
+
+use std::collections::BTreeMap;
+
+use crate::fu::FuKind;
+
+/// Latency, area and power characteristics of one functional-unit kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuSpec {
+    /// Cycles from issue to commit (pipeline depth).
+    pub latency: u32,
+    /// Cell area in square micrometres.
+    pub area_um2: f64,
+    /// Static leakage power in milliwatts.
+    pub leakage_mw: f64,
+    /// Switching energy per operation in picojoules.
+    pub switch_energy_pj: f64,
+    /// Internal (clock/pipeline) power in milliwatts while active.
+    pub internal_power_mw: f64,
+}
+
+impl FuSpec {
+    /// Dynamic energy for one activation at the given clock period.
+    ///
+    /// Combines per-operation switching energy with internal power dissipated
+    /// over the cycles the unit is busy — the same split the paper describes
+    /// for its dynamic power model.
+    pub fn dynamic_energy_pj(&self, clock_period_ps: u64) -> f64 {
+        let busy_ns = (self.latency as f64 * clock_period_ps as f64) / 1000.0;
+        self.switch_energy_pj + self.internal_power_mw * busy_ns
+    }
+}
+
+/// Single-bit register characteristics (the internal register file / pipeline
+/// register model of the datapath).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegisterSpec {
+    /// Area per bit in square micrometres.
+    pub area_um2_per_bit: f64,
+    /// Leakage per bit in milliwatts.
+    pub leakage_mw_per_bit: f64,
+    /// Energy per bit read in picojoules.
+    pub read_energy_pj_per_bit: f64,
+    /// Energy per bit written in picojoules.
+    pub write_energy_pj_per_bit: f64,
+}
+
+/// A complete hardware profile: the power/area/latency basis for the whole
+/// simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareProfile {
+    specs: BTreeMap<FuKind, FuSpec>,
+    /// Register-bit model.
+    pub register: RegisterSpec,
+}
+
+impl HardwareProfile {
+    /// The validated default 40 nm-class profile.
+    ///
+    /// Latencies follow the paper's defaults (3-stage floating-point adders
+    /// and multipliers); area/power magnitudes follow the 40 nm functional-
+    /// unit models the paper inherits from gem5-Aladdin.
+    pub fn default_40nm() -> Self {
+        use FuKind::*;
+        let mut specs = BTreeMap::new();
+        let mut put = |k: FuKind, latency: u32, area: f64, leak: f64, sw: f64, int_p: f64| {
+            specs.insert(
+                k,
+                FuSpec {
+                    latency,
+                    area_um2: area,
+                    leakage_mw: leak,
+                    switch_energy_pj: sw,
+                    internal_power_mw: int_p,
+                },
+            );
+        };
+        //            kind           lat   area(um2) leak(mW)  sw(pJ)  int(mW)
+        put(IntAdder,       1,   280.0, 0.0030, 0.10, 0.012);
+        put(IntMultiplier,  3,  1650.0, 0.0180, 0.95, 0.085);
+        put(IntDivider,    16,  2100.0, 0.0230, 1.30, 0.110);
+        put(Shifter,        1,   310.0, 0.0034, 0.11, 0.013);
+        put(Bitwise,        1,   140.0, 0.0015, 0.05, 0.006);
+        put(IntComparator,  0,   180.0, 0.0019, 0.06, 0.008);
+        put(FpAddF32,       3,  3450.0, 0.0380, 1.80, 0.160);
+        put(FpAddF64,       3,  6900.0, 0.0760, 3.60, 0.320);
+        put(FpMulF32,       3,  4750.0, 0.0520, 2.60, 0.230);
+        put(FpMulF64,       3,  9500.0, 0.1040, 5.20, 0.460);
+        put(FpDivF32,      16, 10200.0, 0.1120, 7.80, 0.500);
+        put(FpDivF64,      16, 20400.0, 0.2240, 15.6, 1.000);
+        put(FpComparator,   1,   520.0, 0.0057, 0.21, 0.024);
+        put(Converter,      2,  1900.0, 0.0210, 0.90, 0.090);
+        put(Mux,            0,    95.0, 0.0010, 0.03, 0.004);
+        HardwareProfile {
+            specs,
+            register: RegisterSpec {
+                area_um2_per_bit: 4.2,
+                leakage_mw_per_bit: 0.000045,
+                read_energy_pj_per_bit: 0.0022,
+                write_energy_pj_per_bit: 0.0031,
+            },
+        }
+    }
+
+    /// The spec for a functional-unit kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was removed from the profile; the default profile
+    /// covers all kinds.
+    pub fn spec(&self, kind: FuKind) -> FuSpec {
+        self.specs[&kind]
+    }
+
+    /// Overrides a spec (e.g. to model a deeper-pipelined FPU).
+    pub fn set_spec(&mut self, kind: FuKind, spec: FuSpec) {
+        self.specs.insert(kind, spec);
+    }
+
+    /// Issue-to-commit latency in cycles for an opcode of the given width.
+    ///
+    /// Chainable units (muxes, comparators) and pure wiring ops (casts,
+    /// branches) have latency 0: they complete within the cycle they issue,
+    /// modeling HLS operator chaining — this is the per-opcode cycle tuning
+    /// the paper validates against Vivado HLS. Memory latency comes from the
+    /// memory system, not this table.
+    pub fn opcode_latency(&self, op: &salam_ir::Opcode, bits: u32) -> u32 {
+        match crate::fu::fu_for_opcode(op, bits) {
+            Some(k) => self.spec(k).latency,
+            None => 0,
+        }
+    }
+
+    /// Serializes the profile to a `key = value` text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, s) in &self.specs {
+            out.push_str(&format!(
+                "{k}.latency = {}\n{k}.area_um2 = {}\n{k}.leakage_mw = {}\n{k}.switch_energy_pj = {}\n{k}.internal_power_mw = {}\n",
+                s.latency, s.area_um2, s.leakage_mw, s.switch_energy_pj, s.internal_power_mw
+            ));
+        }
+        out.push_str(&format!(
+            "register.area_um2_per_bit = {}\nregister.leakage_mw_per_bit = {}\nregister.read_energy_pj_per_bit = {}\nregister.write_energy_pj_per_bit = {}\n",
+            self.register.area_um2_per_bit,
+            self.register.leakage_mw_per_bit,
+            self.register.read_energy_pj_per_bit,
+            self.register.write_energy_pj_per_bit
+        ));
+        out
+    }
+
+    /// Parses a profile from the text form, starting from the default and
+    /// applying overrides line by line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileParseError`] on malformed lines or unknown keys.
+    pub fn from_text(text: &str) -> Result<Self, ProfileParseError> {
+        let mut p = HardwareProfile::default_40nm();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: String| ProfileParseError { line: ln + 1, message: msg };
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err("expected 'key = value'".to_string()))?;
+            let key = key.trim();
+            let value = value.trim();
+            let (unit, field) = key
+                .split_once('.')
+                .ok_or_else(|| err(format!("expected 'unit.field', got '{key}'")))?;
+            let num: f64 =
+                value.parse().map_err(|_| err(format!("bad number '{value}'")))?;
+            if unit == "register" {
+                match field {
+                    "area_um2_per_bit" => p.register.area_um2_per_bit = num,
+                    "leakage_mw_per_bit" => p.register.leakage_mw_per_bit = num,
+                    "read_energy_pj_per_bit" => p.register.read_energy_pj_per_bit = num,
+                    "write_energy_pj_per_bit" => p.register.write_energy_pj_per_bit = num,
+                    other => return Err(err(format!("unknown register field '{other}'"))),
+                }
+                continue;
+            }
+            let kind = FuKind::from_name(unit)
+                .ok_or_else(|| err(format!("unknown functional unit '{unit}'")))?;
+            let spec = p.specs.get_mut(&kind).expect("default covers all kinds");
+            match field {
+                "latency" => spec.latency = num as u32,
+                "area_um2" => spec.area_um2 = num,
+                "leakage_mw" => spec.leakage_mw = num,
+                "switch_energy_pj" => spec.switch_energy_pj = num,
+                "internal_power_mw" => spec.internal_power_mw = num,
+                other => return Err(err(format!("unknown field '{other}'"))),
+            }
+        }
+        Ok(p)
+    }
+}
+
+impl Default for HardwareProfile {
+    fn default() -> Self {
+        HardwareProfile::default_40nm()
+    }
+}
+
+/// An error from [`HardwareProfile::from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProfileParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "profile parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ProfileParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salam_ir::Opcode;
+
+    #[test]
+    fn default_covers_all_kinds() {
+        let p = HardwareProfile::default_40nm();
+        for k in FuKind::ALL {
+            let s = p.spec(k);
+            assert!(s.area_um2 > 0.0, "{k}");
+        }
+    }
+
+    #[test]
+    fn paper_default_latencies() {
+        let p = HardwareProfile::default_40nm();
+        assert_eq!(p.spec(FuKind::FpAddF32).latency, 3);
+        assert_eq!(p.spec(FuKind::FpMulF64).latency, 3);
+        assert_eq!(p.spec(FuKind::IntAdder).latency, 1);
+        assert_eq!(p.opcode_latency(&Opcode::FAdd, 64), 3);
+        assert_eq!(p.opcode_latency(&Opcode::Br, 32), 0);
+        assert_eq!(p.opcode_latency(&Opcode::Phi, 64), 0);
+    }
+
+    #[test]
+    fn double_precision_costs_more() {
+        let p = HardwareProfile::default_40nm();
+        assert!(p.spec(FuKind::FpAddF64).area_um2 > p.spec(FuKind::FpAddF32).area_um2);
+        assert!(p.spec(FuKind::FpMulF64).switch_energy_pj > p.spec(FuKind::FpMulF32).switch_energy_pj);
+    }
+
+    #[test]
+    fn dynamic_energy_grows_with_period() {
+        let p = HardwareProfile::default_40nm();
+        let s = p.spec(FuKind::FpMulF64);
+        assert!(s.dynamic_energy_pj(2000) > s.dynamic_energy_pj(1000));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let p = HardwareProfile::default_40nm();
+        let text = p.to_text();
+        let q = HardwareProfile::from_text(&text).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn text_overrides_apply() {
+        let q = HardwareProfile::from_text("fp_add_dp.latency = 5\n# comment\n").unwrap();
+        assert_eq!(q.spec(FuKind::FpAddF64).latency, 5);
+        assert_eq!(q.spec(FuKind::FpAddF32).latency, 3);
+    }
+
+    #[test]
+    fn parse_errors_carry_line() {
+        let e = HardwareProfile::from_text("fp_add_dp.latency = 5\nnonsense\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = HardwareProfile::from_text("warp_core.latency = 5\n").unwrap_err();
+        assert!(e.message.contains("unknown functional unit"));
+    }
+}

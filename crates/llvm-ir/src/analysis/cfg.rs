@@ -1,0 +1,120 @@
+//! Control-flow graph: successor/predecessor maps and orderings.
+
+use crate::function::{BlockId, Function};
+
+/// The control-flow graph of one function.
+///
+/// ```
+/// use salam_ir::{FunctionBuilder, Type, analysis::Cfg};
+/// let mut fb = FunctionBuilder::new("f", &[("n", Type::I64)]);
+/// let n = fb.arg(0);
+/// let zero = fb.i64c(0);
+/// fb.counted_loop("i", zero, n, |_, _| {});
+/// fb.ret();
+/// let f = fb.finish();
+/// let cfg = Cfg::new(&f);
+/// assert_eq!(cfg.successors(f.entry()).len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `f`.
+    pub fn new(f: &Function) -> Self {
+        let n = f.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bid, _) in f.blocks() {
+            for s in f.successors(bid) {
+                succs[bid.index()].push(s);
+                preds[s.index()].push(bid);
+            }
+        }
+        // Reverse postorder from entry via iterative DFS.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        // Stack of (block, next successor index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        visited[f.entry().index()] = true;
+        while let Some((b, i)) = stack.pop() {
+            if i < succs[b.index()].len() {
+                stack.push((b, i + 1));
+                let s = succs[b.index()][i];
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+            }
+        }
+        postorder.reverse();
+        Cfg { succs, preds, rpo: postorder }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn successors(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn predecessors(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks reachable from entry in reverse postorder.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo.contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn loop_cfg_shape() {
+        let mut fb = FunctionBuilder::new("f", &[("n", Type::I64)]);
+        let n = fb.arg(0);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |_, _| {});
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::new(&f);
+
+        let header = f.block_by_name("i.header").unwrap();
+        let body = f.block_by_name("i.body").unwrap();
+        let exit = f.block_by_name("i.exit").unwrap();
+
+        assert_eq!(cfg.successors(f.entry()), &[header]);
+        assert_eq!(cfg.successors(header), &[body, exit]);
+        assert_eq!(cfg.successors(body), &[header]);
+        assert_eq!(cfg.predecessors(header), &[f.entry(), body]);
+        assert_eq!(cfg.reverse_postorder().first(), Some(&f.entry()));
+        assert_eq!(cfg.reverse_postorder().len(), 4);
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let mut fb = FunctionBuilder::new("f", &[]);
+        let dead = fb.add_block("dead");
+        fb.ret();
+        fb.position_at(dead);
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.is_reachable(f.entry()));
+        assert!(!cfg.is_reachable(dead));
+    }
+}

@@ -1,0 +1,164 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+use crate::analysis::Cfg;
+use crate::function::{BlockId, Function};
+
+/// Immediate-dominator information for the reachable blocks of a function.
+///
+/// ```
+/// use salam_ir::{FunctionBuilder, Type, analysis::{Cfg, DomTree}};
+/// let mut fb = FunctionBuilder::new("f", &[("n", Type::I64)]);
+/// let n = fb.arg(0);
+/// let zero = fb.i64c(0);
+/// fb.counted_loop("i", zero, n, |_, _| {});
+/// fb.ret();
+/// let f = fb.finish();
+/// let cfg = Cfg::new(&f);
+/// let dom = DomTree::new(&f, &cfg);
+/// let header = f.block_by_name("i.header").unwrap();
+/// assert!(dom.dominates(f.entry(), header));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` for each block; entry's idom is itself; unreachable blocks
+    /// have `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes dominators for `f` using its `cfg`.
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.num_blocks();
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let entry = f.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_index[a.index()] > rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while rpo_index[b.index()] > rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.predecessors(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom, entry }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry block and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = match self.idom[cur.index()] {
+                Some(d) => d,
+                None => return false,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::IntPredicate;
+
+    #[test]
+    fn diamond_dominators() {
+        // entry -> (then|else) -> join
+        let mut fb = FunctionBuilder::new("f", &[("x", Type::I32)]);
+        let then_b = fb.add_block("then");
+        let else_b = fb.add_block("else");
+        let join = fb.add_block("join");
+        let x = fb.arg(0);
+        let zero = fb.i32c(0);
+        let c = fb.icmp(IntPredicate::Slt, x, zero, "c");
+        fb.cond_br(c, then_b, else_b);
+        fb.position_at(then_b);
+        fb.br(join);
+        fb.position_at(else_b);
+        fb.br(join);
+        fb.position_at(join);
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+
+        assert_eq!(dom.idom(then_b), Some(f.entry()));
+        assert_eq!(dom.idom(else_b), Some(f.entry()));
+        assert_eq!(dom.idom(join), Some(f.entry()));
+        assert!(dom.dominates(f.entry(), join));
+        assert!(!dom.dominates(then_b, join));
+        assert!(dom.dominates(join, join));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut fb = FunctionBuilder::new("f", &[("n", Type::I64)]);
+        let n = fb.arg(0);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |_, _| {});
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let header = f.block_by_name("i.header").unwrap();
+        let body = f.block_by_name("i.body").unwrap();
+        let exit = f.block_by_name("i.exit").unwrap();
+        assert!(dom.dominates(header, body));
+        assert!(dom.dominates(header, exit));
+        assert!(!dom.dominates(body, exit));
+        assert_eq!(dom.idom(f.entry()), None);
+    }
+}

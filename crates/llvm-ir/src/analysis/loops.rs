@@ -1,0 +1,146 @@
+//! Natural-loop detection from back edges.
+
+use std::collections::HashSet;
+
+use crate::analysis::{Cfg, DomTree};
+use crate::function::{BlockId, Function};
+
+/// A natural loop: a back edge `latch -> header` where the header dominates
+/// the latch, plus the set of blocks in the loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// The latch (source of the back edge).
+    pub latch: BlockId,
+    /// All blocks in the loop, including header and latch.
+    pub blocks: HashSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+
+    /// Whether this is an innermost-style single-block-body loop
+    /// (header + one body/latch block).
+    pub fn is_simple(&self) -> bool {
+        self.blocks.len() <= 2
+    }
+}
+
+/// Finds all natural loops in `f`, sorted by header id for determinism.
+///
+/// ```
+/// use salam_ir::{FunctionBuilder, Type};
+/// use salam_ir::analysis::{Cfg, DomTree, find_natural_loops};
+/// let mut fb = FunctionBuilder::new("f", &[("n", Type::I64)]);
+/// let n = fb.arg(0);
+/// let zero = fb.i64c(0);
+/// fb.counted_loop("i", zero, n, |_, _| {});
+/// fb.ret();
+/// let f = fb.finish();
+/// let cfg = Cfg::new(&f);
+/// let dom = DomTree::new(&f, &cfg);
+/// let loops = find_natural_loops(&f, &cfg, &dom);
+/// assert_eq!(loops.len(), 1);
+/// ```
+pub fn find_natural_loops(f: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<NaturalLoop> {
+    let mut loops = Vec::new();
+    for (bid, _) in f.blocks() {
+        if !cfg.is_reachable(bid) {
+            continue;
+        }
+        for &succ in cfg.successors(bid) {
+            if dom.dominates(succ, bid) {
+                // Back edge bid -> succ; collect the loop body by walking
+                // predecessors from the latch until the header.
+                let header = succ;
+                let latch = bid;
+                let mut blocks: HashSet<BlockId> = [header, latch].into_iter().collect();
+                let mut stack = vec![latch];
+                while let Some(b) = stack.pop() {
+                    if b == header {
+                        continue;
+                    }
+                    for &p in cfg.predecessors(b) {
+                        if blocks.insert(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+                loops.push(NaturalLoop { header, latch, blocks });
+            }
+        }
+    }
+    loops.sort_by_key(|l| (l.header, l.latch));
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+
+    fn analyse(f: &Function) -> Vec<NaturalLoop> {
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        find_natural_loops(f, &cfg, &dom)
+    }
+
+    #[test]
+    fn single_loop_found() {
+        let mut fb = FunctionBuilder::new("f", &[("n", Type::I64)]);
+        let n = fb.arg(0);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |_, _| {});
+        fb.ret();
+        let f = fb.finish();
+        let loops = analyse(&f);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, f.block_by_name("i.header").unwrap());
+        assert_eq!(l.latch, f.block_by_name("i.body").unwrap());
+        assert!(l.is_simple());
+        assert!(l.contains(l.header));
+        assert!(!l.contains(f.entry()));
+    }
+
+    #[test]
+    fn nested_loops_found() {
+        let mut fb = FunctionBuilder::new("f", &[]);
+        let zero = fb.i64c(0);
+        let four = fb.i64c(4);
+        fb.counted_loop("i", zero, four, |fb, _| {
+            let zero = fb.i64c(0);
+            let four = fb.i64c(4);
+            fb.counted_loop("j", zero, four, |_, _| {});
+        });
+        fb.ret();
+        let f = fb.finish();
+        let loops = analyse(&f);
+        assert_eq!(loops.len(), 2);
+        let outer = loops
+            .iter()
+            .find(|l| l.header == f.block_by_name("i.header").unwrap())
+            .unwrap();
+        let inner = loops
+            .iter()
+            .find(|l| l.header == f.block_by_name("j.header").unwrap())
+            .unwrap();
+        // The inner loop's blocks are all contained in the outer loop.
+        assert!(inner.blocks.iter().all(|b| outer.contains(*b)));
+        assert!(!inner.is_simple() || inner.blocks.len() == 2);
+        assert!(outer.blocks.len() > inner.blocks.len());
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let mut fb = FunctionBuilder::new("f", &[]);
+        fb.ret();
+        let f = fb.finish();
+        assert!(analyse(&f).is_empty());
+    }
+}

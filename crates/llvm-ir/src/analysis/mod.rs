@@ -1,0 +1,9 @@
+//! Static analyses over IR functions: CFG, dominators, natural loops.
+
+mod cfg;
+mod dom;
+mod loops;
+
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use loops::{find_natural_loops, NaturalLoop};

@@ -1,0 +1,576 @@
+//! Ergonomic construction of IR functions.
+
+use crate::function::{BlockId, Function, InstId, Param};
+use crate::inst::{FloatPredicate, Inst, IntPredicate, Opcode};
+use crate::types::Type;
+use crate::value::{Constant, ValueId};
+
+/// Builds a [`Function`] instruction by instruction.
+///
+/// This is the programmatic stand-in for compiling C through clang: the
+/// `machsuite` crate uses it to emit each benchmark kernel, including
+/// unrolled variants.
+///
+/// See the [crate-level example](crate) for a complete function.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with named, typed parameters, positioned at `entry`.
+    pub fn new(name: &str, params: &[(&str, Type)]) -> Self {
+        let params = params
+            .iter()
+            .map(|(n, t)| Param { name: (*n).to_string(), ty: t.clone() })
+            .collect();
+        let func = Function::new(name, params);
+        let current = func.entry();
+        FunctionBuilder { func, current }
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        self.func.entry()
+    }
+
+    /// The block instructions are currently appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Creates a new empty block (does not move the insertion point).
+    pub fn add_block(&mut self, name: &str) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Moves the insertion point to `block`.
+    pub fn position_at(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// The value of the `i`-th parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn arg(&self, i: usize) -> ValueId {
+        self.func.arg_value(i)
+    }
+
+    /// Read access to the function being built.
+    pub fn function(&self) -> &Function {
+        &self.func
+    }
+
+    /// Finishes and returns the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    // ----- constants -------------------------------------------------------
+
+    /// An integer constant of the given type.
+    pub fn iconst(&mut self, ty: Type, v: i64) -> ValueId {
+        assert!(ty.is_int(), "iconst requires an integer type");
+        self.func.const_value(Constant::Int { ty, value: v })
+    }
+
+    /// An `i32` constant.
+    pub fn i32c(&mut self, v: i32) -> ValueId {
+        self.func.const_value(Constant::i32(v))
+    }
+
+    /// An `i64` constant.
+    pub fn i64c(&mut self, v: i64) -> ValueId {
+        self.func.const_value(Constant::i64(v))
+    }
+
+    /// A `float` constant.
+    pub fn f32c(&mut self, v: f32) -> ValueId {
+        self.func.const_value(Constant::f32(v))
+    }
+
+    /// A `double` constant.
+    pub fn f64c(&mut self, v: f64) -> ValueId {
+        self.func.const_value(Constant::f64(v))
+    }
+
+    /// An `i1` constant.
+    pub fn boolc(&mut self, v: bool) -> ValueId {
+        self.func.const_value(Constant::bool(v))
+    }
+
+    // ----- core emission ---------------------------------------------------
+
+    fn emit(&mut self, op: Opcode, ty: Type, operands: Vec<ValueId>, name: &str) -> ValueId {
+        let (_, v) = self.func.add_inst(
+            self.current,
+            Inst { op, ty, operands, block_refs: vec![], name: name.to_string() },
+        );
+        v.expect("emit used for value-producing instruction")
+    }
+
+    fn emit_void(&mut self, op: Opcode, operands: Vec<ValueId>, block_refs: Vec<BlockId>) -> InstId {
+        let (id, _) = self.func.add_inst(
+            self.current,
+            Inst { op, ty: Type::Void, operands, block_refs, name: String::new() },
+        );
+        id
+    }
+
+    fn binary(&mut self, op: Opcode, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        let ty = self.func.value_type(a);
+        self.emit(op, ty, vec![a, b], name)
+    }
+
+    // ----- integer arithmetic ----------------------------------------------
+
+    /// Integer add.
+    pub fn add(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::Add, a, b, name)
+    }
+
+    /// Integer subtract.
+    pub fn sub(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::Sub, a, b, name)
+    }
+
+    /// Integer multiply.
+    pub fn mul(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::Mul, a, b, name)
+    }
+
+    /// Signed divide.
+    pub fn sdiv(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::SDiv, a, b, name)
+    }
+
+    /// Unsigned divide.
+    pub fn udiv(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::UDiv, a, b, name)
+    }
+
+    /// Signed remainder.
+    pub fn srem(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::SRem, a, b, name)
+    }
+
+    /// Unsigned remainder.
+    pub fn urem(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::URem, a, b, name)
+    }
+
+    /// Shift left.
+    pub fn shl(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::Shl, a, b, name)
+    }
+
+    /// Logical shift right.
+    pub fn lshr(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::LShr, a, b, name)
+    }
+
+    /// Arithmetic shift right.
+    pub fn ashr(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::AShr, a, b, name)
+    }
+
+    /// Bitwise and.
+    pub fn and(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::And, a, b, name)
+    }
+
+    /// Bitwise or.
+    pub fn or(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::Or, a, b, name)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::Xor, a, b, name)
+    }
+
+    // ----- floating-point arithmetic ----------------------------------------
+
+    /// Floating add.
+    pub fn fadd(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::FAdd, a, b, name)
+    }
+
+    /// Floating subtract.
+    pub fn fsub(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::FSub, a, b, name)
+    }
+
+    /// Floating multiply.
+    pub fn fmul(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::FMul, a, b, name)
+    }
+
+    /// Floating divide.
+    pub fn fdiv(&mut self, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.binary(Opcode::FDiv, a, b, name)
+    }
+
+    /// Floating negate.
+    pub fn fneg(&mut self, a: ValueId, name: &str) -> ValueId {
+        let ty = self.func.value_type(a);
+        self.emit(Opcode::FNeg, ty, vec![a], name)
+    }
+
+    // ----- comparisons ------------------------------------------------------
+
+    /// Integer compare, yielding `i1`.
+    pub fn icmp(&mut self, pred: IntPredicate, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.emit(Opcode::ICmp(pred), Type::I1, vec![a, b], name)
+    }
+
+    /// Floating compare, yielding `i1`.
+    pub fn fcmp(&mut self, pred: FloatPredicate, a: ValueId, b: ValueId, name: &str) -> ValueId {
+        self.emit(Opcode::FCmp(pred), Type::I1, vec![a, b], name)
+    }
+
+    // ----- memory ------------------------------------------------------------
+
+    /// Loads a scalar of type `ty` from `ptr`.
+    pub fn load(&mut self, ty: Type, ptr: ValueId, name: &str) -> ValueId {
+        self.emit(Opcode::Load, ty, vec![ptr], name)
+    }
+
+    /// Stores `value` to `ptr`.
+    pub fn store(&mut self, value: ValueId, ptr: ValueId) {
+        self.emit_void(Opcode::Store, vec![value, ptr], vec![]);
+    }
+
+    /// `getelementptr elem, ptr, indices...` — pointer arithmetic.
+    pub fn gep(&mut self, elem: Type, ptr: ValueId, indices: &[ValueId], name: &str) -> ValueId {
+        let mut ops = vec![ptr];
+        ops.extend_from_slice(indices);
+        self.emit(Opcode::Gep { elem }, Type::Ptr, ops, name)
+    }
+
+    /// Shorthand for `gep` with a single index over a scalar element type.
+    pub fn gep1(&mut self, elem: Type, ptr: ValueId, index: ValueId, name: &str) -> ValueId {
+        self.gep(elem, ptr, &[index], name)
+    }
+
+    // ----- casts --------------------------------------------------------------
+
+    fn cast(&mut self, op: Opcode, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.emit(op, to, vec![v], name)
+    }
+
+    /// Truncate integer to `to`.
+    pub fn trunc(&mut self, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.cast(Opcode::Trunc, v, to, name)
+    }
+
+    /// Zero-extend integer to `to`.
+    pub fn zext(&mut self, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.cast(Opcode::ZExt, v, to, name)
+    }
+
+    /// Sign-extend integer to `to`.
+    pub fn sext(&mut self, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.cast(Opcode::SExt, v, to, name)
+    }
+
+    /// Floating truncate (`double` → `float`).
+    pub fn fptrunc(&mut self, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.cast(Opcode::FPTrunc, v, to, name)
+    }
+
+    /// Floating extend (`float` → `double`).
+    pub fn fpext(&mut self, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.cast(Opcode::FPExt, v, to, name)
+    }
+
+    /// Float to signed integer.
+    pub fn fptosi(&mut self, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.cast(Opcode::FPToSI, v, to, name)
+    }
+
+    /// Float to unsigned integer.
+    pub fn fptoui(&mut self, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.cast(Opcode::FPToUI, v, to, name)
+    }
+
+    /// Signed integer to float.
+    pub fn sitofp(&mut self, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.cast(Opcode::SIToFP, v, to, name)
+    }
+
+    /// Unsigned integer to float.
+    pub fn uitofp(&mut self, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.cast(Opcode::UIToFP, v, to, name)
+    }
+
+    /// Bit reinterpretation between same-width types.
+    pub fn bitcast(&mut self, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.cast(Opcode::BitCast, v, to, name)
+    }
+
+    /// Pointer to integer.
+    pub fn ptrtoint(&mut self, v: ValueId, to: Type, name: &str) -> ValueId {
+        self.cast(Opcode::PtrToInt, v, to, name)
+    }
+
+    /// Integer to pointer.
+    pub fn inttoptr(&mut self, v: ValueId, name: &str) -> ValueId {
+        self.cast(Opcode::IntToPtr, v, Type::Ptr, name)
+    }
+
+    // ----- phi / select ---------------------------------------------------------
+
+    /// Creates a `phi` of type `ty` with no incoming edges yet.
+    ///
+    /// Use [`FunctionBuilder::add_incoming`] to attach `(block, value)` pairs,
+    /// then the returned [`ValueId`] as the phi's value.
+    pub fn phi(&mut self, ty: Type, name: &str) -> (InstId, ValueId) {
+        let (id, v) = self.func.add_inst(
+            self.current,
+            Inst { op: Opcode::Phi, ty, operands: vec![], block_refs: vec![], name: name.to_string() },
+        );
+        (id, v.expect("phi produces a value"))
+    }
+
+    /// Attaches an incoming `(value, from_block)` edge to a phi.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is not a `phi` instruction.
+    pub fn add_incoming(&mut self, phi: InstId, value: ValueId, from: BlockId) {
+        let inst = self.func.inst_mut(phi);
+        assert_eq!(inst.op, Opcode::Phi, "add_incoming on non-phi");
+        inst.operands.push(value);
+        inst.block_refs.push(from);
+    }
+
+    /// `select i1 %cond, %then, %else`.
+    pub fn select(&mut self, cond: ValueId, then_v: ValueId, else_v: ValueId, name: &str) -> ValueId {
+        let ty = self.func.value_type(then_v);
+        self.emit(Opcode::Select, ty, vec![cond, then_v, else_v], name)
+    }
+
+    // ----- terminators -------------------------------------------------------------
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.emit_void(Opcode::Br, vec![], vec![target]);
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: ValueId, then_b: BlockId, else_b: BlockId) {
+        self.emit_void(Opcode::CondBr, vec![cond], vec![then_b, else_b]);
+    }
+
+    /// `ret void`.
+    pub fn ret(&mut self) {
+        self.emit_void(Opcode::Ret, vec![], vec![]);
+    }
+
+    /// `ret <value>`.
+    pub fn ret_value(&mut self, v: ValueId) {
+        self.emit_void(Opcode::Ret, vec![v], vec![]);
+    }
+
+    // ----- structured helpers ---------------------------------------------------------
+
+    /// Emits a canonical counted loop `for (iv = start; iv < end; iv += 1)`.
+    ///
+    /// `start` and `end` must be `i64` values. `body` is invoked positioned
+    /// inside the loop body with the induction variable; it may create nested
+    /// loops, but must leave the builder positioned in a block that falls
+    /// through to the loop latch. On return the builder is positioned in the
+    /// exit block.
+    pub fn counted_loop(
+        &mut self,
+        name: &str,
+        start: ValueId,
+        end: ValueId,
+        body: impl FnOnce(&mut Self, ValueId),
+    ) {
+        let header = self.add_block(&format!("{name}.header"));
+        let body_b = self.add_block(&format!("{name}.body"));
+        let exit = self.add_block(&format!("{name}.exit"));
+        let preheader = self.current_block();
+        self.br(header);
+
+        self.position_at(header);
+        let (phi_id, iv) = self.phi(Type::I64, &format!("{name}.iv"));
+        self.add_incoming(phi_id, start, preheader);
+        let cond = self.icmp(IntPredicate::Slt, iv, end, &format!("{name}.cond"));
+        self.cond_br(cond, body_b, exit);
+
+        self.position_at(body_b);
+        body(self, iv);
+        let latch = self.current_block();
+        let one = self.i64c(1);
+        let next = self.add(iv, one, &format!("{name}.iv.next"));
+        self.br(header);
+        self.add_incoming(phi_id, next, latch);
+
+        self.position_at(exit);
+    }
+
+    /// Emits a counted loop carrying extra loop accumulators.
+    ///
+    /// `accs` supplies `(type, initial value)` pairs; `body` receives the
+    /// induction variable and current accumulator values and must return the
+    /// updated accumulator values (same order). Returns the final
+    /// accumulator values, usable in the exit block. The step is `step`
+    /// (use 1 for the common case).
+    pub fn counted_loop_accs(
+        &mut self,
+        name: &str,
+        start: ValueId,
+        end: ValueId,
+        step: i64,
+        accs: &[(Type, ValueId)],
+        body: impl FnOnce(&mut Self, ValueId, &[ValueId]) -> Vec<ValueId>,
+    ) -> Vec<ValueId> {
+        let header = self.add_block(&format!("{name}.header"));
+        let body_b = self.add_block(&format!("{name}.body"));
+        let exit = self.add_block(&format!("{name}.exit"));
+        let preheader = self.current_block();
+        self.br(header);
+
+        self.position_at(header);
+        let (iv_phi, iv) = self.phi(Type::I64, &format!("{name}.iv"));
+        self.add_incoming(iv_phi, start, preheader);
+        let mut acc_phis = Vec::with_capacity(accs.len());
+        let mut acc_vals = Vec::with_capacity(accs.len());
+        for (k, (ty, init)) in accs.iter().enumerate() {
+            let (p, v) = self.phi(ty.clone(), &format!("{name}.acc{k}"));
+            self.add_incoming(p, *init, preheader);
+            acc_phis.push(p);
+            acc_vals.push(v);
+        }
+        let cond = self.icmp(IntPredicate::Slt, iv, end, &format!("{name}.cond"));
+        self.cond_br(cond, body_b, exit);
+
+        self.position_at(body_b);
+        let updated = body(self, iv, &acc_vals);
+        assert_eq!(updated.len(), accs.len(), "body must update every accumulator");
+        let latch = self.current_block();
+        let step_v = self.i64c(step);
+        let next = self.add(iv, step_v, &format!("{name}.iv.next"));
+        self.br(header);
+        self.add_incoming(iv_phi, next, latch);
+        for (p, u) in acc_phis.iter().zip(&updated) {
+            self.add_incoming(*p, *u, latch);
+        }
+
+        self.position_at(exit);
+        acc_vals
+    }
+
+    /// Like [`FunctionBuilder::counted_loop`] with a custom step.
+    pub fn counted_loop_step(
+        &mut self,
+        name: &str,
+        start: ValueId,
+        end: ValueId,
+        step: i64,
+        body: impl FnOnce(&mut Self, ValueId),
+    ) {
+        let header = self.add_block(&format!("{name}.header"));
+        let body_b = self.add_block(&format!("{name}.body"));
+        let exit = self.add_block(&format!("{name}.exit"));
+        let preheader = self.current_block();
+        self.br(header);
+
+        self.position_at(header);
+        let (phi_id, iv) = self.phi(Type::I64, &format!("{name}.iv"));
+        self.add_incoming(phi_id, start, preheader);
+        let cond = self.icmp(IntPredicate::Slt, iv, end, &format!("{name}.cond"));
+        self.cond_br(cond, body_b, exit);
+
+        self.position_at(body_b);
+        body(self, iv);
+        let latch = self.current_block();
+        let step_v = self.i64c(step);
+        let next = self.add(iv, step_v, &format!("{name}.iv.next"));
+        self.br(header);
+        self.add_incoming(phi_id, next, latch);
+
+        self.position_at(exit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn simple_loop_verifies() {
+        let mut fb = FunctionBuilder::new("sum", &[("a", Type::Ptr), ("n", Type::I64)]);
+        let a = fb.arg(0);
+        let n = fb.arg(1);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |fb, iv| {
+            let p = fb.gep1(Type::I32, a, iv, "p");
+            let x = fb.load(Type::I32, p, "x");
+            let one = fb.i32c(1);
+            let y = fb.add(x, one, "y");
+            fb.store(y, p);
+        });
+        fb.ret();
+        let f = fb.finish();
+        verify_function(&f).unwrap();
+        assert_eq!(f.num_blocks(), 4); // entry, header, body, exit
+    }
+
+    #[test]
+    fn nested_loops_verify() {
+        let mut fb = FunctionBuilder::new("nest", &[("a", Type::Ptr)]);
+        let a = fb.arg(0);
+        let zero = fb.i64c(0);
+        let four = fb.i64c(4);
+        fb.counted_loop("i", zero, four, |fb, i| {
+            let zero = fb.i64c(0);
+            let four = fb.i64c(4);
+            fb.counted_loop("j", zero, four, |fb, j| {
+                let idx4 = fb.i64c(4);
+                let row = fb.mul(i, idx4, "row");
+                let idx = fb.add(row, j, "idx");
+                let p = fb.gep1(Type::F32, a, idx, "p");
+                let x = fb.load(Type::F32, p, "x");
+                let two = fb.f32c(2.0);
+                let y = fb.fmul(x, two, "y");
+                fb.store(y, p);
+            });
+        });
+        fb.ret();
+        let f = fb.finish();
+        verify_function(&f).unwrap();
+        assert_eq!(f.num_blocks(), 7);
+    }
+
+    #[test]
+    fn select_and_cmp_types() {
+        let mut fb = FunctionBuilder::new("sel", &[("x", Type::I32)]);
+        let x = fb.arg(0);
+        let ten = fb.i32c(10);
+        let c = fb.icmp(IntPredicate::Slt, x, ten, "c");
+        let s = fb.select(c, x, ten, "s");
+        fb.ret_value(s);
+        let f = fb.finish();
+        assert_eq!(f.value_type(c), Type::I1);
+        assert_eq!(f.value_type(s), Type::I32);
+    }
+
+    #[test]
+    fn step_loop_structure() {
+        let mut fb = FunctionBuilder::new("strided", &[("n", Type::I64)]);
+        let n = fb.arg(0);
+        let zero = fb.i64c(0);
+        fb.counted_loop_step("i", zero, n, 2, |_, _| {});
+        fb.ret();
+        let f = fb.finish();
+        verify_function(&f).unwrap();
+    }
+}

@@ -1,0 +1,388 @@
+//! Functions, blocks and the module container.
+
+use crate::inst::Inst;
+use crate::types::Type;
+use crate::value::{Constant, ValueId, ValueKind};
+
+/// Identifies a basic block within one [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `BlockId` from a raw index (for external data structures that
+    /// mirror a function's arenas).
+    pub fn from_raw(raw: u32) -> Self {
+        BlockId(raw)
+    }
+}
+
+/// Identifies an instruction within one [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub(crate) u32);
+
+impl InstId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `InstId` from a raw index (for external data structures
+    /// that mirror a function's arenas).
+    pub fn from_raw(raw: u32) -> Self {
+        InstId(raw)
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (without the `%` sigil).
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A basic block: a label plus an ordered list of instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Label (without the `%` sigil).
+    pub name: String,
+    /// Instructions in program order; the last one is the terminator.
+    pub insts: Vec<InstId>,
+}
+
+/// A single SSA function.
+///
+/// Instructions, blocks and values live in arenas owned by the function and
+/// are addressed by [`InstId`], [`BlockId`] and [`ValueId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (without the `@` sigil).
+    pub name: String,
+    /// Parameters, in order.
+    pub params: Vec<Param>,
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) insts: Vec<Inst>,
+    pub(crate) values: Vec<ValueKind>,
+    pub(crate) inst_result: Vec<Option<ValueId>>,
+    pub(crate) arg_values: Vec<ValueId>,
+}
+
+impl Function {
+    /// Creates a function with the given name and parameters and an empty
+    /// `entry` block.
+    pub fn new(name: &str, params: Vec<Param>) -> Self {
+        let mut f = Function {
+            name: name.to_string(),
+            params,
+            blocks: Vec::new(),
+            insts: Vec::new(),
+            values: Vec::new(),
+            inst_result: Vec::new(),
+            arg_values: Vec::new(),
+        };
+        for i in 0..f.params.len() {
+            let v = ValueId(f.values.len() as u32);
+            f.values.push(ValueKind::Arg(i as u32));
+            f.arg_values.push(v);
+        }
+        f.add_block("entry");
+        f
+    }
+
+    /// Adds a new empty block and returns its id.
+    pub fn add_block(&mut self, name: &str) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { name: name.to_string(), insts: Vec::new() });
+        id
+    }
+
+    /// Appends `inst` to `block`, returning its id and result value (if any).
+    pub fn add_inst(&mut self, block: BlockId, inst: Inst) -> (InstId, Option<ValueId>) {
+        let id = InstId(self.insts.len() as u32);
+        let result = if inst.has_result() {
+            let v = ValueId(self.values.len() as u32);
+            self.values.push(ValueKind::Inst(id));
+            Some(v)
+        } else {
+            None
+        };
+        self.insts.push(inst);
+        self.inst_result.push(result);
+        self.blocks[block.index()].insts.push(id);
+        (id, result)
+    }
+
+    /// Interns a constant as a value.
+    pub fn const_value(&mut self, c: Constant) -> ValueId {
+        // Linear-scan dedup keeps value ids compact; constants per function
+        // number in the tens, so this is not a hot path.
+        for (i, v) in self.values.iter().enumerate() {
+            if let ValueKind::Const(existing) = v {
+                if existing == &c {
+                    return ValueId(i as u32);
+                }
+            }
+        }
+        let v = ValueId(self.values.len() as u32);
+        self.values.push(ValueKind::Const(c));
+        v
+    }
+
+    /// The value for the `i`-th argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn arg_value(&self, i: usize) -> ValueId {
+        self.arg_values[i]
+    }
+
+    /// What `v` refers to.
+    pub fn value_kind(&self, v: ValueId) -> &ValueKind {
+        &self.values[v.index()]
+    }
+
+    /// The type of `v`.
+    pub fn value_type(&self, v: ValueId) -> Type {
+        match self.value_kind(v) {
+            ValueKind::Arg(i) => self.params[*i as usize].ty.clone(),
+            ValueKind::Inst(id) => self.inst(*id).ty.clone(),
+            ValueKind::Const(c) => c.ty(),
+        }
+    }
+
+    /// The instruction behind `id`.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable access to the instruction behind `id`.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    /// The result value of `id`, if it produces one.
+    pub fn inst_result(&self, id: InstId) -> Option<ValueId> {
+        self.inst_result[id.index()]
+    }
+
+    /// The block behind `id`.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// All block ids in creation order (entry first).
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// All blocks with their ids.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> + '_ {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of instructions (including dead ones not reachable from any
+    /// block after pass transformations).
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The terminator of `block`, if the block is non-empty and terminated.
+    pub fn terminator(&self, block: BlockId) -> Option<InstId> {
+        let last = *self.block(block).insts.last()?;
+        self.inst(last).op.is_terminator().then_some(last)
+    }
+
+    /// Successor blocks of `block` in terminator order.
+    pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
+        match self.terminator(block) {
+            Some(t) => self.inst(t).block_refs.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Looks up a block by name.
+    pub fn block_by_name(&self, name: &str) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.name == name)
+            .map(|i| BlockId(i as u32))
+    }
+
+    /// Removes the instructions in `dead` from all blocks.
+    ///
+    /// The arena entries remain (ids stay stable); only block membership is
+    /// dropped, which removes them from execution and printing.
+    pub fn remove_insts(&mut self, dead: &std::collections::HashSet<InstId>) {
+        for b in &mut self.blocks {
+            b.insts.retain(|i| !dead.contains(i));
+        }
+    }
+
+    /// Rewrites every operand use of `from` to `to`.
+    pub fn replace_all_uses(&mut self, from: ValueId, to: ValueId) {
+        for inst in &mut self.insts {
+            for op in &mut inst.operands {
+                if *op == from {
+                    *op = to;
+                }
+            }
+        }
+    }
+
+    /// Counts live instructions by opcode mnemonic, a cheap structural
+    /// fingerprint used in tests and reports.
+    pub fn opcode_histogram(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut h = std::collections::BTreeMap::new();
+        for b in &self.blocks {
+            for &i in &b.insts {
+                *h.entry(self.inst(i).op.mnemonic()).or_insert(0) += 1;
+            }
+        }
+        h
+    }
+
+    /// Total live instruction count across all blocks.
+    pub fn live_inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// A set of functions, mirroring an LLVM module.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Module name (informational).
+    pub name: String,
+    functions: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: &str) -> Self {
+        Module { name: name.to_string(), functions: Vec::new() }
+    }
+
+    /// Adds a function.
+    pub fn add_function(&mut self, f: Function) {
+        self.functions.push(f);
+    }
+
+    /// All functions in insertion order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Mutable access to all functions.
+    pub fn functions_mut(&mut self) -> &mut [Function] {
+        &mut self.functions
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode;
+    use crate::value::Constant;
+
+    fn void_ret() -> Inst {
+        Inst { op: Opcode::Ret, ty: Type::Void, operands: vec![], block_refs: vec![], name: String::new() }
+    }
+
+    #[test]
+    fn new_function_has_entry() {
+        let f = Function::new("f", vec![]);
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.block(f.entry()).name, "entry");
+    }
+
+    #[test]
+    fn args_get_values() {
+        let f = Function::new(
+            "f",
+            vec![
+                Param { name: "a".into(), ty: Type::Ptr },
+                Param { name: "n".into(), ty: Type::I32 },
+            ],
+        );
+        assert_eq!(f.value_type(f.arg_value(0)), Type::Ptr);
+        assert_eq!(f.value_type(f.arg_value(1)), Type::I32);
+    }
+
+    #[test]
+    fn constants_dedup() {
+        let mut f = Function::new("f", vec![]);
+        let a = f.const_value(Constant::i32(3));
+        let b = f.const_value(Constant::i32(3));
+        let c = f.const_value(Constant::i32(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn terminator_and_successors() {
+        let mut f = Function::new("f", vec![]);
+        let next = f.add_block("next");
+        let entry = f.entry();
+        f.add_inst(
+            entry,
+            Inst {
+                op: Opcode::Br,
+                ty: Type::Void,
+                operands: vec![],
+                block_refs: vec![next],
+                name: String::new(),
+            },
+        );
+        f.add_inst(next, void_ret());
+        assert_eq!(f.successors(entry), vec![next]);
+        assert!(f.successors(next).is_empty());
+        assert!(f.terminator(entry).is_some());
+    }
+
+    #[test]
+    fn remove_insts_drops_membership() {
+        let mut f = Function::new("f", vec![]);
+        let entry = f.entry();
+        let c = f.const_value(Constant::i32(1));
+        let (add_id, _) = f.add_inst(
+            entry,
+            Inst { op: Opcode::Add, ty: Type::I32, operands: vec![c, c], block_refs: vec![], name: "x".into() },
+        );
+        f.add_inst(entry, void_ret());
+        assert_eq!(f.live_inst_count(), 2);
+        let dead: std::collections::HashSet<_> = [add_id].into_iter().collect();
+        f.remove_insts(&dead);
+        assert_eq!(f.live_inst_count(), 1);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new("m");
+        m.add_function(Function::new("a", vec![]));
+        m.add_function(Function::new("b", vec![]));
+        assert!(m.function("a").is_some());
+        assert!(m.function("missing").is_none());
+        assert_eq!(m.functions().len(), 2);
+    }
+}

@@ -1,0 +1,354 @@
+//! Instructions and opcodes.
+
+use crate::function::BlockId;
+use crate::types::Type;
+use crate::value::ValueId;
+
+/// Integer comparison predicates (a subset of LLVM's `icmp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntPredicate {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned greater than.
+    Ugt,
+    /// Unsigned greater or equal.
+    Uge,
+    /// Unsigned less than.
+    Ult,
+    /// Unsigned less or equal.
+    Ule,
+    /// Signed greater than.
+    Sgt,
+    /// Signed greater or equal.
+    Sge,
+    /// Signed less than.
+    Slt,
+    /// Signed less or equal.
+    Sle,
+}
+
+impl IntPredicate {
+    /// The LLVM keyword for this predicate.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            IntPredicate::Eq => "eq",
+            IntPredicate::Ne => "ne",
+            IntPredicate::Ugt => "ugt",
+            IntPredicate::Uge => "uge",
+            IntPredicate::Ult => "ult",
+            IntPredicate::Ule => "ule",
+            IntPredicate::Sgt => "sgt",
+            IntPredicate::Sge => "sge",
+            IntPredicate::Slt => "slt",
+            IntPredicate::Sle => "sle",
+        }
+    }
+
+    /// Parses an LLVM predicate keyword.
+    pub fn from_keyword(s: &str) -> Option<Self> {
+        Some(match s {
+            "eq" => IntPredicate::Eq,
+            "ne" => IntPredicate::Ne,
+            "ugt" => IntPredicate::Ugt,
+            "uge" => IntPredicate::Uge,
+            "ult" => IntPredicate::Ult,
+            "ule" => IntPredicate::Ule,
+            "sgt" => IntPredicate::Sgt,
+            "sge" => IntPredicate::Sge,
+            "slt" => IntPredicate::Slt,
+            "sle" => IntPredicate::Sle,
+            _ => return None,
+        })
+    }
+}
+
+/// Floating-point comparison predicates (ordered subset plus `une`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatPredicate {
+    /// Ordered equal.
+    Oeq,
+    /// Ordered not-equal.
+    One,
+    /// Ordered greater than.
+    Ogt,
+    /// Ordered greater or equal.
+    Oge,
+    /// Ordered less than.
+    Olt,
+    /// Ordered less or equal.
+    Ole,
+    /// Unordered or not-equal.
+    Une,
+}
+
+impl FloatPredicate {
+    /// The LLVM keyword for this predicate.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            FloatPredicate::Oeq => "oeq",
+            FloatPredicate::One => "one",
+            FloatPredicate::Ogt => "ogt",
+            FloatPredicate::Oge => "oge",
+            FloatPredicate::Olt => "olt",
+            FloatPredicate::Ole => "ole",
+            FloatPredicate::Une => "une",
+        }
+    }
+
+    /// Parses an LLVM predicate keyword.
+    pub fn from_keyword(s: &str) -> Option<Self> {
+        Some(match s {
+            "oeq" => FloatPredicate::Oeq,
+            "one" => FloatPredicate::One,
+            "ogt" => FloatPredicate::Ogt,
+            "oge" => FloatPredicate::Oge,
+            "olt" => FloatPredicate::Olt,
+            "ole" => FloatPredicate::Ole,
+            "une" => FloatPredicate::Une,
+            _ => return None,
+        })
+    }
+}
+
+/// Instruction opcodes.
+///
+/// Block targets of `phi`/`br`/`condbr` live in [`Inst::block_refs`], not in
+/// the opcode, so opcodes stay `Copy`-friendly apart from the GEP element
+/// type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Opcode {
+    // Integer arithmetic.
+    /// Wrapping integer add.
+    Add,
+    /// Wrapping integer subtract.
+    Sub,
+    /// Wrapping integer multiply.
+    Mul,
+    /// Unsigned division.
+    UDiv,
+    /// Signed division.
+    SDiv,
+    /// Unsigned remainder.
+    URem,
+    /// Signed remainder.
+    SRem,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    // Floating point arithmetic.
+    /// Floating add.
+    FAdd,
+    /// Floating subtract.
+    FSub,
+    /// Floating multiply.
+    FMul,
+    /// Floating divide.
+    FDiv,
+    /// Floating negate (unary).
+    FNeg,
+    // Comparisons.
+    /// Integer compare.
+    ICmp(IntPredicate),
+    /// Floating compare.
+    FCmp(FloatPredicate),
+    // Memory.
+    /// Load a scalar from the pointer operand.
+    Load,
+    /// Store operand 0 to pointer operand 1.
+    Store,
+    /// Pointer arithmetic over `elem`: `ptr + idx0*sizeof(elem) (+ nested)`.
+    Gep {
+        /// The element type the indices step over.
+        elem: Type,
+    },
+    // Casts.
+    /// Truncate integer.
+    Trunc,
+    /// Zero-extend integer.
+    ZExt,
+    /// Sign-extend integer.
+    SExt,
+    /// Float to smaller float.
+    FPTrunc,
+    /// Float to larger float.
+    FPExt,
+    /// Float to signed int.
+    FPToSI,
+    /// Float to unsigned int.
+    FPToUI,
+    /// Signed int to float.
+    SIToFP,
+    /// Unsigned int to float.
+    UIToFP,
+    /// Reinterpret bits (same width).
+    BitCast,
+    /// Pointer to integer.
+    PtrToInt,
+    /// Integer to pointer.
+    IntToPtr,
+    // Other.
+    /// SSA phi; operands pair with [`Inst::block_refs`].
+    Phi,
+    /// `select i1 %c, %t, %f`.
+    Select,
+    // Terminators.
+    /// Unconditional branch to `block_refs[0]`.
+    Br,
+    /// Conditional branch: true to `block_refs[0]`, false to `block_refs[1]`.
+    CondBr,
+    /// Return (optional value operand).
+    Ret,
+}
+
+impl Opcode {
+    /// Whether this opcode ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Opcode::Br | Opcode::CondBr | Opcode::Ret)
+    }
+
+    /// Whether this opcode touches memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// Whether this is a floating-point compute opcode.
+    pub fn is_float_arith(&self) -> bool {
+        matches!(
+            self,
+            Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv | Opcode::FNeg | Opcode::FCmp(_)
+        )
+    }
+
+    /// The LLVM mnemonic (without predicates or types).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::UDiv => "udiv",
+            Opcode::SDiv => "sdiv",
+            Opcode::URem => "urem",
+            Opcode::SRem => "srem",
+            Opcode::Shl => "shl",
+            Opcode::LShr => "lshr",
+            Opcode::AShr => "ashr",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::FAdd => "fadd",
+            Opcode::FSub => "fsub",
+            Opcode::FMul => "fmul",
+            Opcode::FDiv => "fdiv",
+            Opcode::FNeg => "fneg",
+            Opcode::ICmp(_) => "icmp",
+            Opcode::FCmp(_) => "fcmp",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::Gep { .. } => "getelementptr",
+            Opcode::Trunc => "trunc",
+            Opcode::ZExt => "zext",
+            Opcode::SExt => "sext",
+            Opcode::FPTrunc => "fptrunc",
+            Opcode::FPExt => "fpext",
+            Opcode::FPToSI => "fptosi",
+            Opcode::FPToUI => "fptoui",
+            Opcode::SIToFP => "sitofp",
+            Opcode::UIToFP => "uitofp",
+            Opcode::BitCast => "bitcast",
+            Opcode::PtrToInt => "ptrtoint",
+            Opcode::IntToPtr => "inttoptr",
+            Opcode::Phi => "phi",
+            Opcode::Select => "select",
+            Opcode::Br => "br",
+            Opcode::CondBr => "br",
+            Opcode::Ret => "ret",
+        }
+    }
+}
+
+/// One instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// The operation.
+    pub op: Opcode,
+    /// Result type ([`Type::Void`] for `store`/`br`/`ret void`).
+    pub ty: Type,
+    /// SSA operands.
+    pub operands: Vec<ValueId>,
+    /// Referenced blocks: phi incoming blocks (aligned with `operands`) or
+    /// branch targets.
+    pub block_refs: Vec<BlockId>,
+    /// Result name hint for printing (empty for unnamed).
+    pub name: String,
+}
+
+impl Inst {
+    /// Whether this instruction produces an SSA value.
+    pub fn has_result(&self) -> bool {
+        self.ty != Type::Void
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_keyword_roundtrip() {
+        for p in [
+            IntPredicate::Eq,
+            IntPredicate::Ne,
+            IntPredicate::Ugt,
+            IntPredicate::Uge,
+            IntPredicate::Ult,
+            IntPredicate::Ule,
+            IntPredicate::Sgt,
+            IntPredicate::Sge,
+            IntPredicate::Slt,
+            IntPredicate::Sle,
+        ] {
+            assert_eq!(IntPredicate::from_keyword(p.keyword()), Some(p));
+        }
+        for p in [
+            FloatPredicate::Oeq,
+            FloatPredicate::One,
+            FloatPredicate::Ogt,
+            FloatPredicate::Oge,
+            FloatPredicate::Olt,
+            FloatPredicate::Ole,
+            FloatPredicate::Une,
+        ] {
+            assert_eq!(FloatPredicate::from_keyword(p.keyword()), Some(p));
+        }
+        assert_eq!(IntPredicate::from_keyword("bogus"), None);
+        assert_eq!(FloatPredicate::from_keyword("bogus"), None);
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Opcode::Br.is_terminator());
+        assert!(Opcode::CondBr.is_terminator());
+        assert!(Opcode::Ret.is_terminator());
+        assert!(!Opcode::Add.is_terminator());
+    }
+
+    #[test]
+    fn memory_and_float_classification() {
+        assert!(Opcode::Load.is_memory());
+        assert!(Opcode::Store.is_memory());
+        assert!(!Opcode::Gep { elem: Type::I32 }.is_memory());
+        assert!(Opcode::FMul.is_float_arith());
+        assert!(!Opcode::Mul.is_float_arith());
+    }
+}

@@ -1,0 +1,742 @@
+//! A reference interpreter for IR functions.
+//!
+//! The interpreter serves three roles in the reproduction:
+//!
+//! 1. **Golden functional results** — MachSuite kernels are checked against
+//!    plain-Rust implementations.
+//! 2. **Trace generation** — the Aladdin baseline observes every executed
+//!    instruction through [`Observer`] to build its dynamic trace.
+//! 3. **Profiling** — the HLS reference model observes block entries to
+//!    obtain basic-block trip counts.
+
+use std::collections::HashMap;
+
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::{FloatPredicate, IntPredicate, Opcode};
+use crate::types::Type;
+use crate::value::{Constant, ValueId, ValueKind};
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtVal {
+    /// Integer (sign-extended to 64 bits; the static type carries the width).
+    I(i64),
+    /// Floating point (f32 results are rounded before storing).
+    F(f64),
+    /// Pointer (byte address).
+    P(u64),
+}
+
+impl RtVal {
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an integer.
+    pub fn as_i(&self) -> i64 {
+        match self {
+            RtVal::I(v) => *v,
+            other => panic!("expected integer, got {other:?}"),
+        }
+    }
+
+    /// The float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a float.
+    pub fn as_f(&self) -> f64 {
+        match self {
+            RtVal::F(v) => *v,
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    /// The pointer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a pointer.
+    pub fn as_p(&self) -> u64 {
+        match self {
+            RtVal::P(v) => *v,
+            other => panic!("expected pointer, got {other:?}"),
+        }
+    }
+}
+
+/// Byte-addressable memory used by the interpreter.
+pub trait Memory {
+    /// Reads `buf.len()` bytes starting at `addr`.
+    fn read(&mut self, addr: u64, buf: &mut [u8]);
+    /// Writes `data` starting at `addr`.
+    fn write(&mut self, addr: u64, data: &[u8]);
+
+    /// Reads a scalar of type `ty` at `addr`.
+    fn read_scalar(&mut self, ty: &Type, addr: u64) -> RtVal {
+        let mut buf = [0u8; 8];
+        let n = ty.size_bytes() as usize;
+        self.read(addr, &mut buf[..n]);
+        let raw = u64::from_le_bytes(buf);
+        match ty {
+            Type::F32 => RtVal::F(f32::from_bits(raw as u32) as f64),
+            Type::F64 => RtVal::F(f64::from_bits(raw)),
+            Type::Ptr => RtVal::P(raw),
+            t if t.is_int() => RtVal::I(sign_extend(raw, t.bits())),
+            other => panic!("cannot load {other}"),
+        }
+    }
+
+    /// Writes scalar `v` of type `ty` at `addr`.
+    fn write_scalar(&mut self, ty: &Type, addr: u64, v: RtVal) {
+        let n = ty.size_bytes() as usize;
+        let raw: u64 = match (ty, v) {
+            (Type::F32, RtVal::F(f)) => (f as f32).to_bits() as u64,
+            (Type::F64, RtVal::F(f)) => f.to_bits(),
+            (Type::Ptr, RtVal::P(p)) => p,
+            (t, RtVal::I(i)) if t.is_int() => i as u64,
+            (t, v) => panic!("cannot store {v:?} as {t}"),
+        };
+        self.write(addr, &raw.to_le_bytes()[..n]);
+    }
+}
+
+/// Sign-extends the low `bits` of `raw` into an `i64`.
+pub fn sign_extend(raw: u64, bits: u32) -> i64 {
+    if bits >= 64 {
+        raw as i64
+    } else {
+        let shift = 64 - bits;
+        ((raw << shift) as i64) >> shift
+    }
+}
+
+/// A sparse, page-based memory, usable across the whole 64-bit space.
+#[derive(Debug, Default, Clone)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE]>>,
+}
+
+const PAGE: usize = 4096;
+
+impl SparseMemory {
+    /// Creates an empty memory; all bytes read as zero.
+    pub fn new() -> Self {
+        SparseMemory::default()
+    }
+
+    fn page(&mut self, addr: u64) -> &mut [u8; PAGE] {
+        self.pages.entry(addr / PAGE as u64).or_insert_with(|| Box::new([0; PAGE]))
+    }
+
+    /// Copies a `u8` slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        self.write(addr, data);
+    }
+
+    /// Convenience: writes a slice of `f32` values at `addr`.
+    pub fn write_f32_slice(&mut self, addr: u64, data: &[f32]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write(addr + (i * 4) as u64, &v.to_le_bytes());
+        }
+    }
+
+    /// Convenience: writes a slice of `f64` values at `addr`.
+    pub fn write_f64_slice(&mut self, addr: u64, data: &[f64]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write(addr + (i * 8) as u64, &v.to_le_bytes());
+        }
+    }
+
+    /// Convenience: writes a slice of `i32` values at `addr`.
+    pub fn write_i32_slice(&mut self, addr: u64, data: &[i32]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write(addr + (i * 4) as u64, &v.to_le_bytes());
+        }
+    }
+
+    /// Convenience: writes a slice of `i64` values at `addr`.
+    pub fn write_i64_slice(&mut self, addr: u64, data: &[i64]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write(addr + (i * 8) as u64, &v.to_le_bytes());
+        }
+    }
+
+    /// Convenience: reads `n` `f32` values at `addr`.
+    pub fn read_f32_slice(&mut self, addr: u64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let mut b = [0u8; 4];
+                self.read(addr + (i * 4) as u64, &mut b);
+                f32::from_le_bytes(b)
+            })
+            .collect()
+    }
+
+    /// Convenience: reads `n` `f64` values at `addr`.
+    pub fn read_f64_slice(&mut self, addr: u64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let mut b = [0u8; 8];
+                self.read(addr + (i * 8) as u64, &mut b);
+                f64::from_le_bytes(b)
+            })
+            .collect()
+    }
+
+    /// Convenience: reads `n` `i32` values at `addr`.
+    pub fn read_i32_slice(&mut self, addr: u64, n: usize) -> Vec<i32> {
+        (0..n)
+            .map(|i| {
+                let mut b = [0u8; 4];
+                self.read(addr + (i * 4) as u64, &mut b);
+                i32::from_le_bytes(b)
+            })
+            .collect()
+    }
+
+    /// Convenience: reads `n` `i64` values at `addr`.
+    pub fn read_i64_slice(&mut self, addr: u64, n: usize) -> Vec<i64> {
+        (0..n)
+            .map(|i| {
+                let mut b = [0u8; 8];
+                self.read(addr + (i * 8) as u64, &mut b);
+                i64::from_le_bytes(b)
+            })
+            .collect()
+    }
+}
+
+impl Memory for SparseMemory {
+    fn read(&mut self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let a = addr + i as u64;
+            let page = self.page(a);
+            *b = page[(a % PAGE as u64) as usize];
+        }
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) {
+        for (i, &d) in data.iter().enumerate() {
+            let a = addr + i as u64;
+            let page = self.page(a);
+            page[(a % PAGE as u64) as usize] = d;
+        }
+    }
+}
+
+/// Observes interpreter execution (tracing, profiling).
+pub trait Observer {
+    /// Called when control enters a block.
+    fn on_block_enter(&mut self, _f: &Function, _b: BlockId) {}
+    /// Called after each executed instruction; `mem_addr` is set for
+    /// loads/stores.
+    fn on_inst(&mut self, _f: &Function, _id: InstId, _result: Option<&RtVal>, _mem_addr: Option<u64>) {}
+}
+
+/// An observer that does nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Counts executed instructions and per-block entries.
+#[derive(Debug, Default, Clone)]
+pub struct ProfileObserver {
+    /// Dynamic instruction count.
+    pub insts: u64,
+    /// Entry count per block id index.
+    pub block_entries: HashMap<BlockId, u64>,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+}
+
+impl Observer for ProfileObserver {
+    fn on_block_enter(&mut self, _f: &Function, b: BlockId) {
+        *self.block_entries.entry(b).or_insert(0) += 1;
+    }
+    fn on_inst(&mut self, f: &Function, id: InstId, _result: Option<&RtVal>, _mem_addr: Option<u64>) {
+        self.insts += 1;
+        match f.inst(id).op {
+            Opcode::Load => self.loads += 1,
+            Opcode::Store => self.stores += 1,
+            _ => {}
+        }
+    }
+}
+
+/// An interpreter failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    /// Description of the fault.
+    pub message: String,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interpreter error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Executes `f` with `args` against `mem`, reporting events to `obs`.
+///
+/// Returns the value passed to `ret`, if any.
+///
+/// # Errors
+///
+/// Fails on argument-count mismatch, division by zero, use of `undef`, or
+/// exceeding `max_steps` dynamic instructions.
+pub fn run_function(
+    f: &Function,
+    args: &[RtVal],
+    mem: &mut dyn Memory,
+    obs: &mut dyn Observer,
+    max_steps: u64,
+) -> Result<Option<RtVal>, InterpError> {
+    if args.len() != f.params.len() {
+        return Err(InterpError {
+            message: format!("expected {} arguments, got {}", f.params.len(), args.len()),
+        });
+    }
+    let mut values: Vec<Option<RtVal>> = vec![None; f.values.len()];
+    for (i, a) in args.iter().enumerate() {
+        values[f.arg_value(i).index()] = Some(*a);
+    }
+
+    let get = |values: &[Option<RtVal>], f: &Function, v: ValueId| -> Result<RtVal, InterpError> {
+        match f.value_kind(v) {
+            ValueKind::Const(c) => const_val(c),
+            _ => values[v.index()].ok_or_else(|| InterpError {
+                message: "read of unset SSA value".to_string(),
+            }),
+        }
+    };
+
+    let mut steps: u64 = 0;
+    let mut block = f.entry();
+    let mut prev_block: Option<BlockId> = None;
+    obs.on_block_enter(f, block);
+    loop {
+        // Evaluate phis of the block simultaneously.
+        let insts = &f.block(block).insts;
+        let mut phi_updates: Vec<(ValueId, RtVal, InstId)> = Vec::new();
+        for &iid in insts {
+            let inst = f.inst(iid);
+            if inst.op != Opcode::Phi {
+                break;
+            }
+            let pred = prev_block.ok_or_else(|| InterpError {
+                message: "phi executed with no predecessor".to_string(),
+            })?;
+            let k = inst
+                .block_refs
+                .iter()
+                .position(|&b| b == pred)
+                .ok_or_else(|| InterpError { message: "phi missing incoming edge".to_string() })?;
+            let v = get(&values, f, inst.operands[k])?;
+            phi_updates.push((f.inst_result(iid).expect("phi has result"), v, iid));
+        }
+        for (vid, v, iid) in phi_updates {
+            values[vid.index()] = Some(v);
+            obs.on_inst(f, iid, Some(&v), None);
+            steps += 1;
+        }
+
+        let mut next_block: Option<BlockId> = None;
+        for &iid in insts {
+            let inst = f.inst(iid);
+            if inst.op == Opcode::Phi {
+                continue;
+            }
+            steps += 1;
+            if steps > max_steps {
+                return Err(InterpError { message: format!("exceeded {max_steps} steps") });
+            }
+            let ops = &inst.operands;
+            match &inst.op {
+                Opcode::Br => {
+                    next_block = Some(inst.block_refs[0]);
+                    obs.on_inst(f, iid, None, None);
+                    break;
+                }
+                Opcode::CondBr => {
+                    let c = get(&values, f, ops[0])?.as_i();
+                    next_block = Some(if c != 0 { inst.block_refs[0] } else { inst.block_refs[1] });
+                    obs.on_inst(f, iid, None, None);
+                    break;
+                }
+                Opcode::Ret => {
+                    let rv = match ops.first() {
+                        Some(&v) => Some(get(&values, f, v)?),
+                        None => None,
+                    };
+                    obs.on_inst(f, iid, rv.as_ref(), None);
+                    return Ok(rv);
+                }
+                Opcode::Store => {
+                    let v = get(&values, f, ops[0])?;
+                    let p = get(&values, f, ops[1])?.as_p();
+                    let ty = f.value_type(ops[0]);
+                    mem.write_scalar(&ty, p, v);
+                    obs.on_inst(f, iid, None, Some(p));
+                }
+                Opcode::Load => {
+                    let p = get(&values, f, ops[0])?.as_p();
+                    let v = mem.read_scalar(&inst.ty, p);
+                    values[f.inst_result(iid).unwrap().index()] = Some(v);
+                    obs.on_inst(f, iid, Some(&v), Some(p));
+                }
+                op => {
+                    let v = eval_pure(f, op, &inst.ty, ops, |v| get(&values, f, v))?;
+                    values[f.inst_result(iid).unwrap().index()] = Some(v);
+                    obs.on_inst(f, iid, Some(&v), None);
+                }
+            }
+        }
+        match next_block {
+            Some(nb) => {
+                prev_block = Some(block);
+                block = nb;
+                obs.on_block_enter(f, block);
+            }
+            None => {
+                return Err(InterpError { message: "block fell through without terminator".into() })
+            }
+        }
+    }
+}
+
+fn const_val(c: &Constant) -> Result<RtVal, InterpError> {
+    match c {
+        Constant::Int { value, .. } => Ok(RtVal::I(*value)),
+        Constant::Float { ty, value } => Ok(RtVal::F(if *ty == Type::F32 {
+            *value as f32 as f64
+        } else {
+            *value
+        })),
+        Constant::NullPtr => Ok(RtVal::P(0)),
+        Constant::Undef(_) => Err(InterpError { message: "use of undef".to_string() }),
+    }
+}
+
+/// Evaluates a side-effect-free opcode. Shared with the runtime engine and
+/// the Aladdin baseline, so all three execution models agree on semantics.
+pub fn eval_pure(
+    f: &Function,
+    op: &Opcode,
+    result_ty: &Type,
+    ops: &[ValueId],
+    mut get: impl FnMut(ValueId) -> Result<RtVal, InterpError>,
+) -> Result<RtVal, InterpError> {
+    let wrap_int = |v: i64, ty: &Type| RtVal::I(sign_extend(v as u64, ty.bits()));
+    let round_f = |v: f64, ty: &Type| RtVal::F(if *ty == Type::F32 { v as f32 as f64 } else { v });
+    Ok(match op {
+        Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::UDiv | Opcode::SDiv
+        | Opcode::URem | Opcode::SRem | Opcode::Shl | Opcode::LShr | Opcode::AShr
+        | Opcode::And | Opcode::Or | Opcode::Xor => {
+            let ty = f.value_type(ops[0]);
+            let bits = ty.bits();
+            let a = get(ops[0])?.as_i();
+            let b = get(ops[1])?.as_i();
+            let ua = (a as u64) & mask(bits);
+            let ub = (b as u64) & mask(bits);
+            let div_check = |v: i64| -> Result<i64, InterpError> {
+                if v == 0 {
+                    Err(InterpError { message: "division by zero".to_string() })
+                } else {
+                    Ok(v)
+                }
+            };
+            let r: i64 = match op {
+                Opcode::Add => a.wrapping_add(b),
+                Opcode::Sub => a.wrapping_sub(b),
+                Opcode::Mul => a.wrapping_mul(b),
+                Opcode::SDiv => a.wrapping_div(div_check(b)?),
+                Opcode::SRem => a.wrapping_rem(div_check(b)?),
+                Opcode::UDiv => {
+                    div_check(ub as i64)?;
+                    (ua / ub) as i64
+                }
+                Opcode::URem => {
+                    div_check(ub as i64)?;
+                    (ua % ub) as i64
+                }
+                Opcode::Shl => ((ua << (ub % bits as u64)) & mask(bits)) as i64,
+                Opcode::LShr => (ua >> (ub % bits as u64)) as i64,
+                Opcode::AShr => a >> (ub % bits as u64),
+                Opcode::And => a & b,
+                Opcode::Or => a | b,
+                Opcode::Xor => a ^ b,
+                _ => unreachable!(),
+            };
+            wrap_int(r, &ty)
+        }
+        Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
+            let ty = f.value_type(ops[0]);
+            let a = get(ops[0])?.as_f();
+            let b = get(ops[1])?.as_f();
+            let r = match op {
+                Opcode::FAdd => a + b,
+                Opcode::FSub => a - b,
+                Opcode::FMul => a * b,
+                Opcode::FDiv => a / b,
+                _ => unreachable!(),
+            };
+            round_f(r, &ty)
+        }
+        Opcode::FNeg => round_f(-get(ops[0])?.as_f(), &f.value_type(ops[0])),
+        Opcode::ICmp(p) => {
+            let ty = f.value_type(ops[0]);
+            let (a, b) = if ty.is_ptr() {
+                (get(ops[0])?.as_p() as i64, get(ops[1])?.as_p() as i64)
+            } else {
+                (get(ops[0])?.as_i(), get(ops[1])?.as_i())
+            };
+            let bits = if ty.is_ptr() { 64 } else { ty.bits() };
+            let (ua, ub) = ((a as u64) & mask(bits), (b as u64) & mask(bits));
+            let r = match p {
+                IntPredicate::Eq => a == b,
+                IntPredicate::Ne => a != b,
+                IntPredicate::Sgt => a > b,
+                IntPredicate::Sge => a >= b,
+                IntPredicate::Slt => a < b,
+                IntPredicate::Sle => a <= b,
+                IntPredicate::Ugt => ua > ub,
+                IntPredicate::Uge => ua >= ub,
+                IntPredicate::Ult => ua < ub,
+                IntPredicate::Ule => ua <= ub,
+            };
+            RtVal::I(r as i64)
+        }
+        Opcode::FCmp(p) => {
+            let a = get(ops[0])?.as_f();
+            let b = get(ops[1])?.as_f();
+            let r = match p {
+                FloatPredicate::Oeq => a == b,
+                FloatPredicate::One => a != b && !a.is_nan() && !b.is_nan(),
+                FloatPredicate::Ogt => a > b,
+                FloatPredicate::Oge => a >= b,
+                FloatPredicate::Olt => a < b,
+                FloatPredicate::Ole => a <= b,
+                FloatPredicate::Une => a != b,
+            };
+            RtVal::I(r as i64)
+        }
+        Opcode::Gep { elem } => {
+            let base = get(ops[0])?.as_p();
+            let mut addr = base;
+            let mut cur: Type = elem.clone();
+            for (k, &idx) in ops[1..].iter().enumerate() {
+                let i = get(idx)?.as_i();
+                if k == 0 {
+                    addr = addr.wrapping_add((i as i128 * cur.size_bytes() as i128) as u64);
+                } else {
+                    let Type::Array { elem, .. } = cur else {
+                        return Err(InterpError { message: "gep index into non-array".into() });
+                    };
+                    cur = *elem;
+                    addr = addr.wrapping_add((i as i128 * cur.size_bytes() as i128) as u64);
+                }
+            }
+            RtVal::P(addr)
+        }
+        Opcode::Trunc => wrap_int(get(ops[0])?.as_i(), result_ty),
+        Opcode::ZExt => {
+            let from_bits = f.value_type(ops[0]).bits();
+            RtVal::I(((get(ops[0])?.as_i() as u64) & mask(from_bits)) as i64)
+        }
+        Opcode::SExt => RtVal::I(get(ops[0])?.as_i()),
+        Opcode::FPTrunc | Opcode::FPExt => round_f(get(ops[0])?.as_f(), result_ty),
+        Opcode::FPToSI | Opcode::FPToUI => wrap_int(get(ops[0])?.as_f() as i64, result_ty),
+        Opcode::SIToFP => round_f(get(ops[0])?.as_i() as f64, result_ty),
+        Opcode::UIToFP => {
+            let from_bits = f.value_type(ops[0]).bits();
+            round_f(((get(ops[0])?.as_i() as u64) & mask(from_bits)) as f64, result_ty)
+        }
+        Opcode::BitCast => {
+            let v = get(ops[0])?;
+            let from_ty = f.value_type(ops[0]);
+            match (from_ty.is_float(), result_ty.is_float()) {
+                (true, false) => {
+                    let raw = if from_ty == Type::F32 {
+                        (v.as_f() as f32).to_bits() as u64
+                    } else {
+                        v.as_f().to_bits()
+                    };
+                    wrap_int(raw as i64, result_ty)
+                }
+                (false, true) => {
+                    let raw = (v.as_i() as u64) & mask(f.value_type(ops[0]).bits());
+                    if *result_ty == Type::F32 {
+                        RtVal::F(f32::from_bits(raw as u32) as f64)
+                    } else {
+                        RtVal::F(f64::from_bits(raw))
+                    }
+                }
+                _ => v,
+            }
+        }
+        Opcode::PtrToInt => wrap_int(get(ops[0])?.as_p() as i64, result_ty),
+        Opcode::IntToPtr => RtVal::P(get(ops[0])?.as_i() as u64),
+        Opcode::Select => {
+            if get(ops[0])?.as_i() != 0 {
+                get(ops[1])?
+            } else {
+                get(ops[2])?
+            }
+        }
+        other => {
+            return Err(InterpError { message: format!("eval_pure on {:?}", other) });
+        }
+    })
+}
+
+fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::IntPredicate;
+
+    #[test]
+    fn sparse_memory_roundtrip() {
+        let mut m = SparseMemory::new();
+        m.write_f32_slice(0x1000, &[1.0, 2.5, -3.0]);
+        assert_eq!(m.read_f32_slice(0x1000, 3), vec![1.0, 2.5, -3.0]);
+        m.write_i64_slice(0xFFF, &[-7]); // straddles a page boundary
+        assert_eq!(m.read_i64_slice(0xFFF, 1), vec![-7]);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0xFF, 8), -1);
+        assert_eq!(sign_extend(0x7F, 8), 127);
+        assert_eq!(sign_extend(0xFFFF_FFFF, 32), -1);
+        assert_eq!(sign_extend(5, 64), 5);
+    }
+
+    #[test]
+    fn runs_vector_add() {
+        let mut fb = FunctionBuilder::new(
+            "vadd",
+            &[("a", Type::Ptr), ("b", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)],
+        );
+        let (a, b, c, n) = (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3));
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |fb, iv| {
+            let pa = fb.gep1(Type::F32, a, iv, "pa");
+            let pb = fb.gep1(Type::F32, b, iv, "pb");
+            let pc = fb.gep1(Type::F32, c, iv, "pc");
+            let x = fb.load(Type::F32, pa, "x");
+            let y = fb.load(Type::F32, pb, "y");
+            let s = fb.fadd(x, y, "s");
+            fb.store(s, pc);
+        });
+        fb.ret();
+        let f = fb.finish();
+
+        let mut mem = SparseMemory::new();
+        mem.write_f32_slice(0x100, &[1.0, 2.0, 3.0, 4.0]);
+        mem.write_f32_slice(0x200, &[10.0, 20.0, 30.0, 40.0]);
+        let mut obs = ProfileObserver::default();
+        run_function(
+            &f,
+            &[RtVal::P(0x100), RtVal::P(0x200), RtVal::P(0x300), RtVal::I(4)],
+            &mut mem,
+            &mut obs,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(mem.read_f32_slice(0x300, 4), vec![11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(obs.loads, 8);
+        assert_eq!(obs.stores, 4);
+        let body = f.block_by_name("i.body").unwrap();
+        assert_eq!(obs.block_entries[&body], 4);
+    }
+
+    #[test]
+    fn returns_value() {
+        let mut fb = FunctionBuilder::new("max", &[("a", Type::I32), ("b", Type::I32)]);
+        let (a, b) = (fb.arg(0), fb.arg(1));
+        let c = fb.icmp(IntPredicate::Sgt, a, b, "c");
+        let m = fb.select(c, a, b, "m");
+        fb.ret_value(m);
+        let f = fb.finish();
+        let mut mem = SparseMemory::new();
+        let r = run_function(&f, &[RtVal::I(3), RtVal::I(9)], &mut mem, &mut NullObserver, 100)
+            .unwrap();
+        assert_eq!(r, Some(RtVal::I(9)));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let mut fb = FunctionBuilder::new("div", &[("a", Type::I32), ("b", Type::I32)]);
+        let (a, b) = (fb.arg(0), fb.arg(1));
+        let d = fb.sdiv(a, b, "d");
+        fb.ret_value(d);
+        let f = fb.finish();
+        let mut mem = SparseMemory::new();
+        let err =
+            run_function(&f, &[RtVal::I(1), RtVal::I(0)], &mut mem, &mut NullObserver, 100)
+                .unwrap_err();
+        assert!(err.message.contains("division by zero"));
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut fb = FunctionBuilder::new("spin", &[]);
+        let loop_b = fb.add_block("loop");
+        fb.br(loop_b);
+        fb.position_at(loop_b);
+        fb.br(loop_b);
+        let f = fb.finish();
+        let mut mem = SparseMemory::new();
+        let err = run_function(&f, &[], &mut mem, &mut NullObserver, 50).unwrap_err();
+        assert!(err.message.contains("exceeded"));
+    }
+
+    #[test]
+    fn nested_gep_indexes_2d() {
+        // double m[3][4]; return m[1][2]  => offset (1*4+2)*8 = 48
+        let mut fb = FunctionBuilder::new("at", &[("m", Type::Ptr)]);
+        let m = fb.arg(0);
+        let zero = fb.i64c(0);
+        let one = fb.i64c(1);
+        let two = fb.i64c(2);
+        let row_ty = Type::array(Type::F64, 4);
+        let mat_ty = Type::array(row_ty, 3);
+        let p = fb.gep(mat_ty, m, &[zero, one, two], "p");
+        let v = fb.load(Type::F64, p, "v");
+        fb.ret_value(v);
+        let f = fb.finish();
+        let mut mem = SparseMemory::new();
+        let vals: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        mem.write_f64_slice(0, &vals);
+        let r = run_function(&f, &[RtVal::P(0)], &mut mem, &mut NullObserver, 100).unwrap();
+        assert_eq!(r, Some(RtVal::F(6.0)));
+    }
+
+    #[test]
+    fn integer_wrapping_at_width() {
+        let mut fb = FunctionBuilder::new("wrap", &[("a", Type::I8)]);
+        let a = fb.arg(0);
+        let one = fb.iconst(Type::I8, 1);
+        let s = fb.add(a, one, "s");
+        fb.ret_value(s);
+        let f = fb.finish();
+        let mut mem = SparseMemory::new();
+        let r = run_function(&f, &[RtVal::I(127)], &mut mem, &mut NullObserver, 100).unwrap();
+        assert_eq!(r, Some(RtVal::I(-128)));
+    }
+}

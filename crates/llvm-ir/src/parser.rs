@@ -1,0 +1,749 @@
+//! A parser for a textual `.ll`-style subset, inverse of the printer.
+
+use std::collections::HashMap;
+
+use crate::function::{BlockId, Function, Module, Param};
+use crate::inst::{FloatPredicate, Inst, IntPredicate, Opcode};
+use crate::types::Type;
+use crate::value::{Constant, ValueId};
+
+/// An error produced by [`parse_module`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the error.
+    pub line: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a module from LLVM-like textual IR.
+///
+/// Supports the instruction subset printed by this crate: integer/float
+/// binary ops, comparisons, casts, `load`/`store`/`getelementptr`,
+/// `phi`/`select`, `br`/`ret`. Comments start with `;`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number on malformed input, unknown
+/// instructions, or references to undefined values/blocks.
+///
+/// ```
+/// let m = salam_ir::parse_module(r#"
+/// define i32 @addone(i32 %x) {
+/// entry:
+///   %y = add i32 %x, 1
+///   ret i32 %y
+/// }
+/// "#).unwrap();
+/// assert_eq!(m.functions().len(), 1);
+/// ```
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    Parser::new(text).module()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    LocalRef(String),  // %name
+    GlobalRef(String), // @name
+    Num(String),
+    Punct(char),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && (self.src[self.pos] as char).is_whitespace() {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b';' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident_tail(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            if c.is_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn next(&mut self) -> Option<(Tok, usize)> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return None;
+        }
+        let line = self.line;
+        let c = self.src[self.pos] as char;
+        let tok = match c {
+            '%' => {
+                self.pos += 1;
+                Tok::LocalRef(self.ident_tail())
+            }
+            '@' => {
+                self.pos += 1;
+                Tok::GlobalRef(self.ident_tail())
+            }
+            '(' | ')' | '{' | '}' | '[' | ']' | ',' | '=' | ':' => {
+                self.pos += 1;
+                Tok::Punct(c)
+            }
+            '-' | '0'..='9' => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.pos < self.src.len() {
+                    let d = self.src[self.pos] as char;
+                    let exponent_sign = (d == '+' || d == '-')
+                        && matches!(self.src[self.pos - 1], b'e' | b'E');
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || exponent_sign {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Num(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+            }
+            _ if c.is_alphabetic() || c == '_' => Tok::Ident(self.ident_tail()),
+            other => {
+                self.pos += 1;
+                Tok::Punct(other)
+            }
+        };
+        Some((tok, line))
+    }
+}
+
+/// An operand reference before resolution.
+#[derive(Debug, Clone)]
+enum Ref {
+    Name(String),
+    Const(Constant),
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    idx: usize,
+}
+
+impl Parser {
+    fn new(text: &str) -> Self {
+        let mut lex = Lexer::new(text);
+        let mut toks = Vec::new();
+        while let Some(t) = lex.next() {
+            toks.push(t);
+        }
+        Parser { toks, idx: 0 }
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.idx.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), message: msg.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => self.err(format!("expected '{c}', found {other:?}")),
+        }
+    }
+
+    fn expect_ident(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => self.err(format!("expected '{kw}', found {other:?}")),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        let mut m = Module::new("parsed");
+        while self.peek().is_some() {
+            self.expect_ident("define")?;
+            m.add_function(self.function()?);
+        }
+        Ok(m)
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => match s.as_str() {
+                "void" => Ok(Type::Void),
+                "i1" => Ok(Type::I1),
+                "i8" => Ok(Type::I8),
+                "i16" => Ok(Type::I16),
+                "i32" => Ok(Type::I32),
+                "i64" => Ok(Type::I64),
+                "float" => Ok(Type::F32),
+                "double" => Ok(Type::F64),
+                "ptr" => Ok(Type::Ptr),
+                other => self.err(format!("unknown type '{other}'")),
+            },
+            Some(Tok::Punct('[')) => {
+                let len = match self.next() {
+                    Some(Tok::Num(n)) => n
+                        .parse::<u64>()
+                        .map_err(|_| ParseError { line: self.line(), message: "bad array length".into() })?,
+                    other => return self.err(format!("expected array length, found {other:?}")),
+                };
+                self.expect_ident("x")?;
+                let elem = self.ty()?;
+                self.expect_punct(']')?;
+                Ok(Type::array(elem, len))
+            }
+            other => self.err(format!("expected type, found {other:?}")),
+        }
+    }
+
+    fn operand(&mut self, ty: &Type) -> Result<Ref, ParseError> {
+        match self.next() {
+            Some(Tok::LocalRef(name)) => Ok(Ref::Name(name)),
+            Some(Tok::Num(n)) => {
+                if ty.is_float() {
+                    let v: f64 = n
+                        .parse()
+                        .map_err(|_| ParseError { line: self.line(), message: format!("bad float '{n}'") })?;
+                    Ok(Ref::Const(Constant::Float { ty: ty.clone(), value: v }))
+                } else if ty.is_int() {
+                    let v: i64 = n
+                        .parse()
+                        .map_err(|_| ParseError { line: self.line(), message: format!("bad int '{n}'") })?;
+                    Ok(Ref::Const(Constant::Int { ty: ty.clone(), value: v }))
+                } else {
+                    self.err(format!("numeric literal for non-scalar type {ty}"))
+                }
+            }
+            Some(Tok::Ident(s)) if s == "null" => Ok(Ref::Const(Constant::NullPtr)),
+            Some(Tok::Ident(s)) if s == "undef" => Ok(Ref::Const(Constant::Undef(ty.clone()))),
+            Some(Tok::Ident(s)) if s == "true" => Ok(Ref::Const(Constant::bool(true))),
+            Some(Tok::Ident(s)) if s == "false" => Ok(Ref::Const(Constant::bool(false))),
+            other => self.err(format!("expected operand, found {other:?}")),
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let _ret_ty = self.ty()?;
+        let name = match self.next() {
+            Some(Tok::GlobalRef(n)) => n,
+            other => return self.err(format!("expected @name, found {other:?}")),
+        };
+        self.expect_punct('(')?;
+        let mut params = Vec::new();
+        if !self.eat_punct(')') {
+            loop {
+                let ty = self.ty()?;
+                let pname = match self.next() {
+                    Some(Tok::LocalRef(n)) => n,
+                    other => return self.err(format!("expected %param, found {other:?}")),
+                };
+                params.push(Param { name: pname, ty });
+                if self.eat_punct(')') {
+                    break;
+                }
+                self.expect_punct(',')?;
+            }
+        }
+        self.expect_punct('{')?;
+
+        // Collect raw block bodies first so labels and values can be forward
+        // referenced.
+        struct RawInst {
+            result: Option<String>,
+            op: Opcode,
+            ty: Type,
+            operands: Vec<(Type, Ref)>,
+            blocks: Vec<String>,
+            line: usize,
+        }
+        let mut raw_blocks: Vec<(String, Vec<RawInst>)> = Vec::new();
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            // Block label.
+            let label = match self.next() {
+                Some(Tok::Ident(l)) => l,
+                other => return self.err(format!("expected block label, found {other:?}")),
+            };
+            self.expect_punct(':')?;
+            let mut insts = Vec::new();
+            loop {
+                match self.peek() {
+                    Some(Tok::Punct('}')) => break,
+                    Some(Tok::Ident(_)) => {
+                        // Either a new block label (ident ':') or an unnamed
+                        // instruction (store/br/ret).
+                        if matches!(self.toks.get(self.idx + 1).map(|(t, _)| t), Some(Tok::Punct(':'))) {
+                            break;
+                        }
+                        let line = self.line();
+                        let (op, ty, operands, blocks) = self.inst_body()?;
+                        insts.push(RawInst { result: None, op, ty, operands, blocks, line });
+                    }
+                    Some(Tok::LocalRef(_)) => {
+                        let result = match self.next() {
+                            Some(Tok::LocalRef(n)) => n,
+                            _ => unreachable!(),
+                        };
+                        self.expect_punct('=')?;
+                        let line = self.line();
+                        let (op, ty, operands, blocks) = self.inst_body()?;
+                        insts.push(RawInst { result: Some(result), op, ty, operands, blocks, line });
+                    }
+                    other => return self.err(format!("expected instruction, found {other:?}")),
+                }
+            }
+            raw_blocks.push((label, insts));
+        }
+
+        if raw_blocks.is_empty() {
+            return self.err("function has no blocks");
+        }
+
+        // Materialize the function: blocks first, then instructions with
+        // patched forward references.
+        let mut func = Function::new(&name, params);
+        let mut block_ids: HashMap<String, BlockId> = HashMap::new();
+        for (i, (label, _)) in raw_blocks.iter().enumerate() {
+            let id = if i == 0 {
+                // Reuse the implicit entry block but take the parsed name.
+                let e = func.entry();
+                func.blocks[e.index()].name = label.clone();
+                e
+            } else {
+                func.add_block(label)
+            };
+            if block_ids.insert(label.clone(), id).is_some() {
+                return self.err(format!("duplicate block label '{label}'"));
+            }
+        }
+
+        let mut value_by_name: HashMap<String, ValueId> = HashMap::new();
+        for (i, p) in func.params.iter().enumerate() {
+            value_by_name.insert(p.name.clone(), func.arg_values[i]);
+        }
+        let mut patches: Vec<(crate::function::InstId, usize, String, usize)> = Vec::new();
+
+        for (label, insts) in &raw_blocks {
+            let bid = block_ids[label];
+            for ri in insts {
+                let mut ops = Vec::with_capacity(ri.operands.len());
+                let mut pending: Vec<(usize, String)> = Vec::new();
+                for (k, (oty, r)) in ri.operands.iter().enumerate() {
+                    match r {
+                        Ref::Const(c) => ops.push(func.const_value(c.clone())),
+                        Ref::Name(n) => match value_by_name.get(n) {
+                            Some(&v) => ops.push(v),
+                            None => {
+                                // Placeholder, patched once the def is seen.
+                                ops.push(func.const_value(Constant::Undef(oty.clone())));
+                                pending.push((k, n.clone()));
+                            }
+                        },
+                    }
+                }
+                let mut brefs = Vec::with_capacity(ri.blocks.len());
+                for bname in &ri.blocks {
+                    match block_ids.get(bname) {
+                        Some(&b) => brefs.push(b),
+                        None => {
+                            return Err(ParseError {
+                                line: ri.line,
+                                message: format!("unknown block '%{bname}'"),
+                            })
+                        }
+                    }
+                }
+                let (iid, result) = func.add_inst(
+                    bid,
+                    Inst {
+                        op: ri.op.clone(),
+                        ty: ri.ty.clone(),
+                        operands: ops,
+                        block_refs: brefs,
+                        name: ri.result.clone().unwrap_or_default(),
+                    },
+                );
+                for (k, n) in pending {
+                    patches.push((iid, k, n, ri.line));
+                }
+                if let (Some(rname), Some(v)) = (&ri.result, result) {
+                    if value_by_name.insert(rname.clone(), v).is_some() {
+                        return Err(ParseError {
+                            line: ri.line,
+                            message: format!("redefinition of %{rname}"),
+                        });
+                    }
+                }
+            }
+        }
+
+        for (iid, k, name, line) in patches {
+            match value_by_name.get(&name) {
+                Some(&v) => func.inst_mut(iid).operands[k] = v,
+                None => {
+                    return Err(ParseError { line, message: format!("undefined value %{name}") })
+                }
+            }
+        }
+        Ok(func)
+    }
+
+    /// Parses an instruction body after any `%res =` prefix.
+    #[allow(clippy::type_complexity)]
+    fn inst_body(&mut self) -> Result<(Opcode, Type, Vec<(Type, Ref)>, Vec<String>), ParseError> {
+        let mnemonic = match self.next() {
+            Some(Tok::Ident(m)) => m,
+            other => return self.err(format!("expected mnemonic, found {other:?}")),
+        };
+        let binop = |m: &str| -> Option<Opcode> {
+            Some(match m {
+                "add" => Opcode::Add,
+                "sub" => Opcode::Sub,
+                "mul" => Opcode::Mul,
+                "udiv" => Opcode::UDiv,
+                "sdiv" => Opcode::SDiv,
+                "urem" => Opcode::URem,
+                "srem" => Opcode::SRem,
+                "shl" => Opcode::Shl,
+                "lshr" => Opcode::LShr,
+                "ashr" => Opcode::AShr,
+                "and" => Opcode::And,
+                "or" => Opcode::Or,
+                "xor" => Opcode::Xor,
+                "fadd" => Opcode::FAdd,
+                "fsub" => Opcode::FSub,
+                "fmul" => Opcode::FMul,
+                "fdiv" => Opcode::FDiv,
+                _ => return None,
+            })
+        };
+        let castop = |m: &str| -> Option<Opcode> {
+            Some(match m {
+                "trunc" => Opcode::Trunc,
+                "zext" => Opcode::ZExt,
+                "sext" => Opcode::SExt,
+                "fptrunc" => Opcode::FPTrunc,
+                "fpext" => Opcode::FPExt,
+                "fptosi" => Opcode::FPToSI,
+                "fptoui" => Opcode::FPToUI,
+                "sitofp" => Opcode::SIToFP,
+                "uitofp" => Opcode::UIToFP,
+                "bitcast" => Opcode::BitCast,
+                "ptrtoint" => Opcode::PtrToInt,
+                "inttoptr" => Opcode::IntToPtr,
+                _ => return None,
+            })
+        };
+
+        if let Some(op) = binop(&mnemonic) {
+            let ty = self.ty()?;
+            let a = self.operand(&ty)?;
+            self.expect_punct(',')?;
+            let b = self.operand(&ty)?;
+            return Ok((op, ty.clone(), vec![(ty.clone(), a), (ty, b)], vec![]));
+        }
+        if let Some(op) = castop(&mnemonic) {
+            let from_ty = self.ty()?;
+            let v = self.operand(&from_ty)?;
+            self.expect_ident("to")?;
+            let to_ty = self.ty()?;
+            return Ok((op, to_ty, vec![(from_ty, v)], vec![]));
+        }
+        match mnemonic.as_str() {
+            "fneg" => {
+                let ty = self.ty()?;
+                let v = self.operand(&ty)?;
+                Ok((Opcode::FNeg, ty.clone(), vec![(ty, v)], vec![]))
+            }
+            "icmp" | "fcmp" => {
+                let pred = match self.next() {
+                    Some(Tok::Ident(p)) => p,
+                    other => return self.err(format!("expected predicate, found {other:?}")),
+                };
+                let ty = self.ty()?;
+                let a = self.operand(&ty)?;
+                self.expect_punct(',')?;
+                let b = self.operand(&ty)?;
+                let op = if mnemonic == "icmp" {
+                    Opcode::ICmp(
+                        IntPredicate::from_keyword(&pred)
+                            .ok_or_else(|| ParseError { line: self.line(), message: format!("bad icmp predicate '{pred}'") })?,
+                    )
+                } else {
+                    Opcode::FCmp(
+                        FloatPredicate::from_keyword(&pred)
+                            .ok_or_else(|| ParseError { line: self.line(), message: format!("bad fcmp predicate '{pred}'") })?,
+                    )
+                };
+                Ok((op, Type::I1, vec![(ty.clone(), a), (ty, b)], vec![]))
+            }
+            "load" => {
+                let ty = self.ty()?;
+                self.expect_punct(',')?;
+                self.expect_ident("ptr")?;
+                let p = self.operand(&Type::Ptr)?;
+                Ok((Opcode::Load, ty, vec![(Type::Ptr, p)], vec![]))
+            }
+            "store" => {
+                let ty = self.ty()?;
+                let v = self.operand(&ty)?;
+                self.expect_punct(',')?;
+                self.expect_ident("ptr")?;
+                let p = self.operand(&Type::Ptr)?;
+                Ok((Opcode::Store, Type::Void, vec![(ty, v), (Type::Ptr, p)], vec![]))
+            }
+            "getelementptr" => {
+                let elem = self.ty()?;
+                self.expect_punct(',')?;
+                self.expect_ident("ptr")?;
+                let p = self.operand(&Type::Ptr)?;
+                let mut operands = vec![(Type::Ptr, p)];
+                while self.eat_punct(',') {
+                    let ity = self.ty()?;
+                    let idx = self.operand(&ity)?;
+                    operands.push((ity, idx));
+                }
+                Ok((Opcode::Gep { elem }, Type::Ptr, operands, vec![]))
+            }
+            "phi" => {
+                let ty = self.ty()?;
+                let mut operands = Vec::new();
+                let mut blocks = Vec::new();
+                loop {
+                    self.expect_punct('[')?;
+                    let v = self.operand(&ty)?;
+                    self.expect_punct(',')?;
+                    let b = match self.next() {
+                        Some(Tok::LocalRef(b)) => b,
+                        other => return self.err(format!("expected %block, found {other:?}")),
+                    };
+                    self.expect_punct(']')?;
+                    operands.push((ty.clone(), v));
+                    blocks.push(b);
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+                Ok((Opcode::Phi, ty, operands, blocks))
+            }
+            "select" => {
+                let cty = self.ty()?;
+                let c = self.operand(&cty)?;
+                self.expect_punct(',')?;
+                let ty = self.ty()?;
+                let t = self.operand(&ty)?;
+                self.expect_punct(',')?;
+                let ty2 = self.ty()?;
+                let e = self.operand(&ty2)?;
+                Ok((Opcode::Select, ty.clone(), vec![(cty, c), (ty, t), (ty2, e)], vec![]))
+            }
+            "br" => {
+                if self.peek() == Some(&Tok::Ident("label".into())) {
+                    self.expect_ident("label")?;
+                    let b = match self.next() {
+                        Some(Tok::LocalRef(b)) => b,
+                        other => return self.err(format!("expected %block, found {other:?}")),
+                    };
+                    Ok((Opcode::Br, Type::Void, vec![], vec![b]))
+                } else {
+                    let cty = self.ty()?;
+                    let c = self.operand(&cty)?;
+                    self.expect_punct(',')?;
+                    self.expect_ident("label")?;
+                    let t = match self.next() {
+                        Some(Tok::LocalRef(b)) => b,
+                        other => return self.err(format!("expected %block, found {other:?}")),
+                    };
+                    self.expect_punct(',')?;
+                    self.expect_ident("label")?;
+                    let f = match self.next() {
+                        Some(Tok::LocalRef(b)) => b,
+                        other => return self.err(format!("expected %block, found {other:?}")),
+                    };
+                    Ok((Opcode::CondBr, Type::Void, vec![(cty, c)], vec![t, f]))
+                }
+            }
+            "ret" => {
+                let ty = self.ty()?;
+                if ty == Type::Void {
+                    Ok((Opcode::Ret, Type::Void, vec![], vec![]))
+                } else {
+                    let v = self.operand(&ty)?;
+                    Ok((Opcode::Ret, Type::Void, vec![(ty, v)], vec![]))
+                }
+            }
+            other => self.err(format!("unknown instruction '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn parses_minimal_function() {
+        let m = parse_module(
+            "define void @f(ptr %a) {\nentry:\n  %x = load i32, ptr %a\n  store i32 %x, ptr %a\n  ret void\n}\n",
+        )
+        .unwrap();
+        let f = m.function("f").unwrap();
+        assert_eq!(f.live_inst_count(), 3);
+        verify_function(f).unwrap();
+    }
+
+    #[test]
+    fn forward_phi_reference_resolves() {
+        let src = r#"
+define void @loop(i64 %n) {
+entry:
+  br label %head
+head:
+  %iv = phi i64 [ 0, %entry ], [ %next, %head.body ]
+  %c = icmp slt i64 %iv, %n
+  br i1 %c, label %head.body, label %done
+head.body:
+  %next = add i64 %iv, 1
+  br label %head
+done:
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("loop").unwrap();
+        verify_function(f).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_builder_output() {
+        let mut fb = FunctionBuilder::new("k", &[("a", Type::Ptr), ("n", Type::I64)]);
+        let a = fb.arg(0);
+        let n = fb.arg(1);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |fb, iv| {
+            let p = fb.gep1(Type::F64, a, iv, "p");
+            let x = fb.load(Type::F64, p, "x");
+            let y = fb.fmul(x, x, "y");
+            fb.store(y, p);
+        });
+        fb.ret();
+        let mut m = Module::new("m");
+        m.add_function(fb.finish());
+        let text = m.to_string();
+        let reparsed = parse_module(&text).unwrap();
+        assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let m = parse_module(
+            "; a module\ndefine void @f() {\nentry: ; block\n  ret void\n}\n",
+        )
+        .unwrap();
+        assert_eq!(m.functions().len(), 1);
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let err = parse_module("define void @f() {\nentry:\n  %x = bogus i32 %y\n}\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_value_rejected() {
+        let err = parse_module(
+            "define void @f() {\nentry:\n  %x = add i32 %nope, 1\n  ret void\n}\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("undefined value"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = parse_module(
+            "define void @f() {\nentry:\n  br label %entry2\nentry2:\n  ret void\nentry2:\n  ret void\n}\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn parses_gep_casts_select() {
+        let src = r#"
+define double @g(ptr %a, i32 %i) {
+entry:
+  %ie = sext i32 %i to i64
+  %p = getelementptr [4 x double], ptr %a, i64 0, i64 %ie
+  %x = load double, ptr %p
+  %c = fcmp ogt double %x, 0.0
+  %y = select i1 %c, double %x, double 0.0
+  ret double %y
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("g").unwrap();
+        verify_function(f).unwrap();
+        assert_eq!(f.opcode_histogram()["getelementptr"], 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Constant folding and constant-branch folding.
+
+use crate::function::Function;
+use crate::inst::Opcode;
+use crate::interp::{eval_pure, RtVal};
+use crate::types::Type;
+use crate::value::{Constant, ValueId, ValueKind};
+
+/// Folds instructions whose operands are all constants, and rewrites
+/// conditional branches on constant conditions into unconditional branches
+/// (fixing up phis in the dropped successor).
+///
+/// Returns the number of instructions folded or branches simplified.
+pub fn fold_constants(f: &mut Function) -> usize {
+    let mut changed = 0;
+    // Instruction-level folding.
+    let inst_ids: Vec<_> = f
+        .blocks()
+        .flat_map(|(_, b)| b.insts.clone())
+        .collect();
+    for iid in inst_ids {
+        let inst = f.inst(iid).clone();
+        let foldable = matches!(
+            inst.op,
+            Opcode::Add
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::UDiv
+                | Opcode::SDiv
+                | Opcode::URem
+                | Opcode::SRem
+                | Opcode::Shl
+                | Opcode::LShr
+                | Opcode::AShr
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::FAdd
+                | Opcode::FSub
+                | Opcode::FMul
+                | Opcode::FDiv
+                | Opcode::FNeg
+                | Opcode::ICmp(_)
+                | Opcode::FCmp(_)
+                | Opcode::Trunc
+                | Opcode::ZExt
+                | Opcode::SExt
+                | Opcode::FPTrunc
+                | Opcode::FPExt
+                | Opcode::FPToSI
+                | Opcode::FPToUI
+                | Opcode::SIToFP
+                | Opcode::UIToFP
+                | Opcode::Select
+        );
+        if !foldable {
+            continue;
+        }
+        let all_const = inst
+            .operands
+            .iter()
+            .all(|&v| matches!(f.value_kind(v), ValueKind::Const(Constant::Int { .. } | Constant::Float { .. } | Constant::NullPtr)));
+        if !all_const || inst.operands.is_empty() {
+            continue;
+        }
+        let get = |v: ValueId| -> Result<RtVal, crate::interp::InterpError> {
+            match f.value_kind(v) {
+                ValueKind::Const(Constant::Int { value, .. }) => Ok(RtVal::I(*value)),
+                ValueKind::Const(Constant::Float { ty, value }) => Ok(RtVal::F(if *ty == Type::F32 {
+                    *value as f32 as f64
+                } else {
+                    *value
+                })),
+                ValueKind::Const(Constant::NullPtr) => Ok(RtVal::P(0)),
+                _ => Err(crate::interp::InterpError { message: "non-const".into() }),
+            }
+        };
+        let Ok(result) = eval_pure(f, &inst.op, &inst.ty, &inst.operands, get) else {
+            continue; // e.g. division by zero: leave for runtime
+        };
+        let Some(old) = f.inst_result(iid) else { continue };
+        let c = match (result, &inst.ty) {
+            (RtVal::I(v), ty) if ty.is_int() => Constant::Int { ty: ty.clone(), value: v },
+            (RtVal::F(v), ty) if ty.is_float() => Constant::Float { ty: ty.clone(), value: v },
+            (RtVal::P(p), Type::Ptr) => {
+                if p == 0 {
+                    Constant::NullPtr
+                } else {
+                    continue;
+                }
+            }
+            _ => continue,
+        };
+        let new = f.const_value(c);
+        f.replace_all_uses(old, new);
+        changed += 1;
+    }
+
+    // Branch folding: condbr on a constant becomes br.
+    for bid in f.block_ids().collect::<Vec<_>>() {
+        let Some(term) = f.terminator(bid) else { continue };
+        let inst = f.inst(term).clone();
+        if inst.op != Opcode::CondBr {
+            continue;
+        }
+        let ValueKind::Const(Constant::Int { value, .. }) = f.value_kind(inst.operands[0]) else {
+            continue;
+        };
+        let taken = if *value != 0 { inst.block_refs[0] } else { inst.block_refs[1] };
+        let dropped = if *value != 0 { inst.block_refs[1] } else { inst.block_refs[0] };
+        {
+            let t = f.inst_mut(term);
+            t.op = Opcode::Br;
+            t.operands.clear();
+            t.block_refs = vec![taken];
+        }
+        if dropped != taken {
+            remove_phi_incoming(f, dropped, bid);
+        }
+        changed += 1;
+    }
+    changed
+}
+
+/// Drops the incoming edge from `pred` in all phis of `block`.
+pub(crate) fn remove_phi_incoming(f: &mut Function, block: crate::function::BlockId, pred: crate::function::BlockId) {
+    let insts = f.block(block).insts.clone();
+    for iid in insts {
+        let inst = f.inst_mut(iid);
+        if inst.op != Opcode::Phi {
+            break;
+        }
+        while let Some(k) = inst.block_refs.iter().position(|&b| b == pred) {
+            inst.block_refs.remove(k);
+            inst.operands.remove(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::verify_function;
+    use crate::IntPredicate;
+
+    #[test]
+    fn folds_arithmetic_chain() {
+        let mut fb = FunctionBuilder::new("f", &[("p", Type::Ptr)]);
+        let p = fb.arg(0);
+        let two = fb.i32c(2);
+        let three = fb.i32c(3);
+        let six = fb.mul(two, three, "six");
+        let one = fb.i32c(1);
+        let seven = fb.add(six, one, "seven");
+        fb.store(seven, p);
+        fb.ret();
+        let mut f = fb.finish();
+        let n = fold_constants(&mut f);
+        assert_eq!(n, 2);
+        // The store's operand is now the constant 7.
+        let store = f
+            .blocks()
+            .flat_map(|(_, b)| b.insts.clone())
+            .find(|&i| f.inst(i).op == Opcode::Store)
+            .unwrap();
+        let v = f.inst(store).operands[0];
+        assert_eq!(
+            f.value_kind(v),
+            &ValueKind::Const(Constant::i32(7))
+        );
+    }
+
+    #[test]
+    fn folds_float_compare_and_select() {
+        let mut fb = FunctionBuilder::new("f", &[("p", Type::Ptr)]);
+        let p = fb.arg(0);
+        let a = fb.f64c(2.0);
+        let b = fb.f64c(3.0);
+        let c = fb.fcmp(crate::FloatPredicate::Olt, a, b, "c");
+        let s = fb.select(c, a, b, "s");
+        fb.store(s, p);
+        fb.ret();
+        let mut f = fb.finish();
+        assert!(fold_constants(&mut f) >= 2);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn folds_constant_branch_and_updates_phi() {
+        let mut fb = FunctionBuilder::new("f", &[("p", Type::Ptr)]);
+        let then_b = fb.add_block("then");
+        let else_b = fb.add_block("else");
+        let join = fb.add_block("join");
+        let t = fb.boolc(true);
+        fb.cond_br(t, then_b, else_b);
+        fb.position_at(then_b);
+        let one = fb.i32c(1);
+        fb.br(join);
+        fb.position_at(else_b);
+        let two = fb.i32c(2);
+        fb.br(join);
+        fb.position_at(join);
+        let (phi, pv) = fb.phi(Type::I32, "v");
+        fb.add_incoming(phi, one, then_b);
+        fb.add_incoming(phi, two, else_b);
+        let p = fb.arg(0);
+        fb.store(pv, p);
+        fb.ret();
+        let mut f = fb.finish();
+        let n = fold_constants(&mut f);
+        assert!(n >= 1, "branch should fold");
+        verify_function(&f).unwrap();
+        // The dead arm's phi edge disappears once DCE sweeps the block.
+        crate::passes::eliminate_dead_code(&mut f);
+        let phi_inst = f.inst(phi);
+        assert_eq!(phi_inst.block_refs.len(), 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn leaves_division_by_zero_alone() {
+        let mut fb = FunctionBuilder::new("f", &[]);
+        let a = fb.i32c(1);
+        let z = fb.i32c(0);
+        let d = fb.sdiv(a, z, "d");
+        fb.ret_value(d);
+        let mut f = fb.finish();
+        assert_eq!(fold_constants(&mut f), 0);
+    }
+
+    #[test]
+    fn folds_icmp_on_constants() {
+        let mut fb = FunctionBuilder::new("f", &[]);
+        let a = fb.i64c(5);
+        let b = fb.i64c(9);
+        let c = fb.icmp(IntPredicate::Slt, a, b, "c");
+        fb.ret_value(c);
+        let mut f = fb.finish();
+        assert_eq!(fold_constants(&mut f), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Dead-code elimination and unreachable-block sweeping.
+
+use std::collections::HashSet;
+
+use crate::analysis::Cfg;
+use crate::function::{Function, InstId};
+use crate::inst::Opcode;
+use crate::value::ValueKind;
+
+/// Removes instructions whose results are unused and that have no side
+/// effects, and empties unreachable blocks (dropping their phi edges).
+///
+/// Returns the number of instructions removed.
+pub fn eliminate_dead_code(f: &mut Function) -> usize {
+    let cfg = Cfg::new(f);
+
+    // Sweep unreachable blocks first so their uses don't keep values alive.
+    let mut removed = 0;
+    let unreachable: Vec<_> = f
+        .block_ids()
+        .filter(|&b| !cfg.is_reachable(b))
+        .collect();
+    let mut dead: HashSet<InstId> = HashSet::new();
+    for &b in &unreachable {
+        for &i in &f.block(b).insts {
+            dead.insert(i);
+        }
+    }
+    // Phi edges from unreachable predecessors must be dropped.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if unreachable.contains(&b) {
+            continue;
+        }
+        for &p in unreachable.iter() {
+            super::constfold::remove_phi_incoming(f, b, p);
+        }
+    }
+    removed += dead.len();
+    f.remove_insts(&dead);
+
+    // Liveness: roots are side-effecting / control instructions.
+    let mut live: HashSet<InstId> = HashSet::new();
+    let mut work: Vec<InstId> = Vec::new();
+    for (_, b) in f.blocks() {
+        for &i in &b.insts {
+            let inst = f.inst(i);
+            if matches!(inst.op, Opcode::Store | Opcode::Br | Opcode::CondBr | Opcode::Ret) {
+                live.insert(i);
+                work.push(i);
+            }
+        }
+    }
+    while let Some(i) = work.pop() {
+        let operands = f.inst(i).operands.clone();
+        for v in operands {
+            if let ValueKind::Inst(def) = f.value_kind(v) {
+                if live.insert(*def) {
+                    work.push(*def);
+                }
+            }
+        }
+    }
+    let mut dead: HashSet<InstId> = HashSet::new();
+    for (_, b) in f.blocks() {
+        for &i in &b.insts {
+            if !live.contains(&i) {
+                dead.insert(i);
+            }
+        }
+    }
+    removed += dead.len();
+    f.remove_insts(&dead);
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::passes::fold_constants;
+    use crate::types::Type;
+    use crate::verify_function;
+
+    #[test]
+    fn removes_unused_arithmetic() {
+        let mut fb = FunctionBuilder::new("f", &[("x", Type::I32)]);
+        let x = fb.arg(0);
+        let _unused = fb.add(x, x, "unused");
+        fb.ret();
+        let mut f = fb.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 1);
+        assert_eq!(f.live_inst_count(), 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn keeps_stores_and_their_inputs() {
+        let mut fb = FunctionBuilder::new("f", &[("p", Type::Ptr), ("x", Type::I32)]);
+        let p = fb.arg(0);
+        let x = fb.arg(1);
+        let y = fb.add(x, x, "y");
+        fb.store(y, p);
+        fb.ret();
+        let mut f = fb.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+        assert_eq!(f.live_inst_count(), 3);
+    }
+
+    #[test]
+    fn removes_unused_load() {
+        let mut fb = FunctionBuilder::new("f", &[("p", Type::Ptr)]);
+        let p = fb.arg(0);
+        let _x = fb.load(Type::I32, p, "x");
+        fb.ret();
+        let mut f = fb.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 1);
+    }
+
+    #[test]
+    fn sweeps_dead_branch_arm() {
+        // if (true) v = 1 else v = 2; store v  — after constfold + dce the
+        // else arm is gone entirely.
+        let mut fb = FunctionBuilder::new("f", &[("p", Type::Ptr)]);
+        let then_b = fb.add_block("then");
+        let else_b = fb.add_block("else");
+        let join = fb.add_block("join");
+        let t = fb.boolc(true);
+        fb.cond_br(t, then_b, else_b);
+        fb.position_at(then_b);
+        let one = fb.i32c(1);
+        fb.br(join);
+        fb.position_at(else_b);
+        let two = fb.i32c(2);
+        fb.br(join);
+        fb.position_at(join);
+        let (phi, pv) = fb.phi(Type::I32, "v");
+        fb.add_incoming(phi, one, then_b);
+        fb.add_incoming(phi, two, else_b);
+        let p = fb.arg(0);
+        fb.store(pv, p);
+        fb.ret();
+        let mut f = fb.finish();
+        fold_constants(&mut f);
+        let removed = eliminate_dead_code(&mut f);
+        assert!(removed >= 1);
+        verify_function(&f).unwrap();
+        let else_id = f.block_by_name("else").unwrap();
+        assert!(f.block(else_id).insts.is_empty());
+    }
+
+    #[test]
+    fn chain_of_dead_values_removed_transitively() {
+        let mut fb = FunctionBuilder::new("f", &[("x", Type::I64)]);
+        let x = fb.arg(0);
+        let a = fb.add(x, x, "a");
+        let b = fb.mul(a, x, "b");
+        let _c = fb.sub(b, a, "c");
+        fb.ret();
+        let mut f = fb.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 3);
+    }
+}

@@ -1,0 +1,63 @@
+//! IR transformation passes, standing in for the clang `-O` pipeline.
+//!
+//! The paper relies on clang pragmas (loop unrolling, vectorization) to shape
+//! the datapath that gem5-SALAM elaborates; here the same knobs are exposed
+//! as explicit passes:
+//!
+//! * [`fold_constants`] — constant folding plus branch folding.
+//! * [`eliminate_dead_code`] — use-driven dead-code elimination, including
+//!   unreachable-block sweeping.
+//! * [`unroll_loops`] — full unrolling of simple constant-trip-count loops.
+//! * [`run_default_pipeline`] — fold + DCE to fixpoint.
+
+mod constfold;
+mod dce;
+mod unroll;
+
+pub use constfold::fold_constants;
+pub use dce::eliminate_dead_code;
+pub use unroll::{unroll_loops, unroll_loops_by, UnrollReport};
+
+use crate::function::Function;
+
+/// Runs constant folding and DCE to a fixpoint (bounded at 10 rounds).
+///
+/// Returns the number of rounds that made progress.
+pub fn run_default_pipeline(f: &mut Function) -> usize {
+    let mut rounds = 0;
+    for _ in 0..10 {
+        let folded = fold_constants(f);
+        let removed = eliminate_dead_code(f);
+        if folded == 0 && removed == 0 {
+            break;
+        }
+        rounds += 1;
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::verify_function;
+
+    #[test]
+    fn pipeline_reaches_fixpoint() {
+        let mut fb = FunctionBuilder::new("f", &[("p", Type::Ptr)]);
+        let p = fb.arg(0);
+        let a = fb.i32c(2);
+        let b = fb.i32c(3);
+        let s = fb.mul(a, b, "s"); // folds to 6
+        let t = fb.add(s, s, "t"); // folds to 12
+        fb.store(t, p);
+        fb.ret();
+        let mut f = fb.finish();
+        let rounds = run_default_pipeline(&mut f);
+        assert!(rounds >= 1);
+        verify_function(&f).unwrap();
+        // Only the store and ret remain.
+        assert_eq!(f.live_inst_count(), 2);
+    }
+}

@@ -1,0 +1,791 @@
+//! Full unrolling of simple counted loops.
+//!
+//! This pass stands in for `#pragma unroll` + clang's unroller: it fully
+//! unrolls loops of the canonical shape emitted by
+//! [`crate::FunctionBuilder::counted_loop`] — a header containing phis and
+//! the exit test, and a single body/latch block — when the trip count is a
+//! compile-time constant no greater than the requested bound.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::analysis::{find_natural_loops, Cfg, DomTree};
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::{Inst, IntPredicate, Opcode};
+use crate::value::{Constant, ValueId, ValueKind};
+
+/// Summary of what [`unroll_loops`] / [`unroll_loops_by`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnrollReport {
+    /// Number of loops transformed.
+    pub unrolled: usize,
+    /// Total body copies emitted.
+    pub iterations_emitted: u64,
+    /// Loop headers already visited (avoids retrying rejected loops).
+    touched: Vec<BlockId>,
+}
+
+/// Fully unrolls simple constant-trip-count loops with at most `max_trip`
+/// iterations. Innermost loops unroll first; re-running the pass after DCE
+/// can expose enclosing loops.
+///
+/// Returns what was unrolled.
+pub fn unroll_loops(f: &mut Function, max_trip: u64) -> UnrollReport {
+    let mut report = UnrollReport::default();
+    // Unroll one loop at a time; analyses are recomputed after each change.
+    loop {
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let loops = find_natural_loops(f, &cfg, &dom);
+        let mut did = false;
+        for l in &loops {
+            if l.blocks.len() != 2 || l.header == l.latch {
+                continue;
+            }
+            if let Some(iters) = try_unroll(f, &cfg, l.header, l.latch, max_trip) {
+                report.unrolled += 1;
+                report.iterations_emitted += iters;
+                did = true;
+                break;
+            }
+        }
+        if !did {
+            return report;
+        }
+    }
+}
+
+fn const_int(f: &Function, v: ValueId) -> Option<i64> {
+    match f.value_kind(v) {
+        ValueKind::Const(Constant::Int { value, .. }) => Some(*value),
+        _ => None,
+    }
+}
+
+fn try_unroll(
+    f: &mut Function,
+    cfg: &Cfg,
+    header: BlockId,
+    latch: BlockId,
+    max_trip: u64,
+) -> Option<u64> {
+    // Exactly two predecessors: a unique preheader plus the latch.
+    let preds = cfg.predecessors(header);
+    if preds.len() != 2 {
+        return None;
+    }
+    let preheader = *preds.iter().find(|&&p| p != latch)?;
+    if preheader == latch || cfg.successors(preheader) != [header] {
+        return None;
+    }
+
+    // Header layout: phis*, pure insts*, condbr(cond, latch, exit) — in
+    // either target order.
+    let header_insts = f.block(header).insts.clone();
+    let term = *header_insts.last()?;
+    let term_inst = f.inst(term).clone();
+    if term_inst.op != Opcode::CondBr {
+        return None;
+    }
+    let (t0, t1) = (term_inst.block_refs[0], term_inst.block_refs[1]);
+    let (body_is_true, exit) = if t0 == latch {
+        (true, t1)
+    } else if t1 == latch {
+        (false, t0)
+    } else {
+        return None;
+    };
+    if exit == header || exit == latch {
+        return None;
+    }
+
+    let mut phis: Vec<InstId> = Vec::new();
+    let mut header_body: Vec<InstId> = Vec::new();
+    for &i in &header_insts[..header_insts.len() - 1] {
+        let inst = f.inst(i);
+        match inst.op {
+            Opcode::Phi => {
+                if !header_body.is_empty() {
+                    return None;
+                }
+                phis.push(i);
+            }
+            Opcode::Load | Opcode::Store => return None, // keep memory in the body
+            _ => header_body.push(i),
+        }
+    }
+
+    // Latch: any instructions then `br header`.
+    let latch_insts = f.block(latch).insts.clone();
+    let latch_term = *latch_insts.last()?;
+    if f.inst(latch_term).op != Opcode::Br {
+        return None;
+    }
+    let latch_body: Vec<InstId> = latch_insts[..latch_insts.len() - 1].to_vec();
+
+    // Initial and latch-incoming values per phi.
+    let mut init: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut next_of: HashMap<ValueId, ValueId> = HashMap::new();
+    for &p in &phis {
+        let inst = f.inst(p);
+        let res = f.inst_result(p)?;
+        let mut from_pre = None;
+        let mut from_latch = None;
+        for (k, &b) in inst.block_refs.iter().enumerate() {
+            if b == preheader {
+                from_pre = Some(inst.operands[k]);
+            } else if b == latch {
+                from_latch = Some(inst.operands[k]);
+            } else {
+                return None;
+            }
+        }
+        init.insert(res, from_pre?);
+        next_of.insert(res, from_latch?);
+    }
+
+    // Find the induction variable: a phi with constant init whose latch
+    // value is `add phi, cstep`, and whose header test compares the phi to a
+    // constant.
+    let cond = term_inst.operands[0];
+    let ValueKind::Inst(cond_inst_id) = *f.value_kind(cond) else { return None };
+    let cond_inst = f.inst(cond_inst_id).clone();
+    let Opcode::ICmp(pred) = cond_inst.op else { return None };
+    // Identify which side is the IV phi.
+    let (iv, bound, flipped) = {
+        let a = cond_inst.operands[0];
+        let b = cond_inst.operands[1];
+        if init.contains_key(&a) && const_int(f, b).is_some() {
+            (a, const_int(f, b)?, false)
+        } else if init.contains_key(&b) && const_int(f, a).is_some() {
+            (b, const_int(f, a)?, true)
+        } else {
+            return None;
+        }
+    };
+    let start = const_int(f, *init.get(&iv)?)?;
+    let next = *next_of.get(&iv)?;
+    let ValueKind::Inst(next_id) = *f.value_kind(next) else { return None };
+    let next_inst = f.inst(next_id).clone();
+    if next_inst.op != Opcode::Add {
+        return None;
+    }
+    let step = if next_inst.operands[0] == iv {
+        const_int(f, next_inst.operands[1])?
+    } else if next_inst.operands[1] == iv {
+        const_int(f, next_inst.operands[0])?
+    } else {
+        return None;
+    };
+    if step == 0 {
+        return None;
+    }
+
+    // Simulate to get the trip count.
+    let holds = |v: i64| -> bool {
+        let (a, b) = if flipped { (bound, v) } else { (v, bound) };
+        let took = match pred {
+            IntPredicate::Eq => a == b,
+            IntPredicate::Ne => a != b,
+            IntPredicate::Slt => a < b,
+            IntPredicate::Sle => a <= b,
+            IntPredicate::Sgt => a > b,
+            IntPredicate::Sge => a >= b,
+            IntPredicate::Ult => (a as u64) < (b as u64),
+            IntPredicate::Ule => (a as u64) <= (b as u64),
+            IntPredicate::Ugt => (a as u64) > (b as u64),
+            IntPredicate::Uge => (a as u64) >= (b as u64),
+        };
+        if body_is_true {
+            took
+        } else {
+            !took
+        }
+    };
+    let mut v = start;
+    let mut trip: u64 = 0;
+    while holds(v) {
+        trip += 1;
+        if trip > max_trip {
+            return None;
+        }
+        v = v.wrapping_add(step);
+    }
+
+    // ---- commit: emit `trip` copies of header-body + latch-body into the
+    // preheader, then branch to the exit. -----------------------------------
+
+    // Drop the preheader's `br header`.
+    let pre_term = f.terminator(preheader).expect("preheader has terminator");
+    let dead: HashSet<InstId> = [pre_term].into_iter().collect();
+    f.remove_insts(&dead);
+
+    let iv_ty = f.value_type(iv);
+    let mut carried: HashMap<ValueId, ValueId> = init.clone();
+    let resolve = |map: &HashMap<ValueId, ValueId>, v: ValueId| *map.get(&v).unwrap_or(&v);
+
+    let clone_into = |f: &mut Function,
+                          ids: &[InstId],
+                          map: &mut HashMap<ValueId, ValueId>| {
+        for &i in ids {
+            let inst = f.inst(i).clone();
+            let operands = inst.operands.iter().map(|&o| resolve(map, o)).collect();
+            let (nid, res) = f.add_inst(
+                preheader,
+                Inst {
+                    op: inst.op,
+                    ty: inst.ty,
+                    operands,
+                    block_refs: Vec::new(),
+                    name: inst.name,
+                },
+            );
+            let _ = nid;
+            if let (Some(old), Some(new)) = (f.inst_result(i), res) {
+                map.insert(old, new);
+            }
+        }
+    };
+
+    let mut iter_v = start;
+    for _ in 0..trip {
+        let mut map = carried.clone();
+        // The IV is a known constant this iteration; pin it so clones of the
+        // compare and of address arithmetic fold later.
+        let c = f.const_value(Constant::Int { ty: iv_ty.clone(), value: iter_v });
+        map.insert(iv, c);
+        clone_into(f, &header_body, &mut map);
+        clone_into(f, &latch_body, &mut map);
+        let mut new_carried = HashMap::new();
+        for (&phi, &nxt) in &next_of {
+            new_carried.insert(phi, resolve(&map, nxt));
+        }
+        carried = new_carried;
+        iter_v = iter_v.wrapping_add(step);
+    }
+
+    // Final header evaluation (values the exit block may use).
+    let mut final_map = carried.clone();
+    let c = f.const_value(Constant::Int { ty: iv_ty, value: iter_v });
+    final_map.insert(iv, c);
+    clone_into(f, &header_body, &mut final_map);
+
+    // Redirect out-of-loop uses of loop-defined values.
+    let loop_insts: HashSet<InstId> = header_insts.iter().chain(&latch_insts).copied().collect();
+    for &phi in init.keys() {
+        f.replace_all_uses(phi, resolve(&final_map, phi));
+    }
+    for &i in header_body.iter() {
+        if let Some(old) = f.inst_result(i) {
+            let new = resolve(&final_map, old);
+            if new != old {
+                replace_uses_outside(f, old, new, &loop_insts);
+            }
+        }
+    }
+    for &i in latch_body.iter() {
+        if let Some(old) = f.inst_result(i) {
+            let new = resolve(&carried, old);
+            if new != old {
+                replace_uses_outside(f, old, new, &loop_insts);
+            }
+        }
+    }
+
+    // Terminate the (extended) preheader with a jump to the exit.
+    f.add_inst(
+        preheader,
+        Inst { op: Opcode::Br, ty: crate::Type::Void, operands: vec![], block_refs: vec![exit], name: String::new() },
+    );
+
+    // Remove the loop blocks' instructions; blocks become unreachable husks.
+    let dead: HashSet<InstId> = loop_insts;
+    f.remove_insts(&dead);
+
+    // Phis in the exit block now receive control from the preheader.
+    let exit_insts = f.block(exit).insts.clone();
+    for i in exit_insts {
+        let inst = f.inst_mut(i);
+        if inst.op != Opcode::Phi {
+            break;
+        }
+        for b in &mut inst.block_refs {
+            if *b == header {
+                *b = preheader;
+            }
+        }
+    }
+
+    Some(trip)
+}
+
+/// Rewrites uses of `from` to `to`, skipping the given instruction set.
+fn replace_uses_outside(f: &mut Function, from: ValueId, to: ValueId, skip: &HashSet<InstId>) {
+    let all: Vec<InstId> = f
+        .blocks()
+        .flat_map(|(_, b)| b.insts.clone())
+        .filter(|i| !skip.contains(i))
+        .collect();
+    for i in all {
+        for op in &mut f.inst_mut(i).operands {
+            if *op == from {
+                *op = to;
+            }
+        }
+    }
+}
+
+/// Partially unrolls simple constant-trip-count loops by `factor` (the
+/// `#pragma unroll N` knob): the loop structure is kept, its body is
+/// replicated `factor` times with the induction variable offset per copy,
+/// and the step is scaled. Loops whose trip count is not a positive multiple
+/// of `factor` are left untouched.
+///
+/// Returns what was unrolled (`iterations_emitted` counts body copies added
+/// per transformed loop, i.e. `factor` each).
+pub fn unroll_loops_by(f: &mut Function, factor: u64, max_trip: u64) -> UnrollReport {
+    let mut report = UnrollReport::default();
+    if factor < 2 {
+        return report;
+    }
+    loop {
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let loops = find_natural_loops(f, &cfg, &dom);
+        let mut did = false;
+        for l in &loops {
+            if l.blocks.len() != 2 || l.header == l.latch {
+                continue;
+            }
+            if report.touched.contains(&l.header) {
+                continue;
+            }
+            if try_partial_unroll(f, &cfg, l.header, l.latch, factor, max_trip).is_some() {
+                report.unrolled += 1;
+                report.iterations_emitted += factor;
+                report.touched.push(l.header);
+                did = true;
+                break;
+            } else {
+                report.touched.push(l.header);
+            }
+        }
+        if !did {
+            return report;
+        }
+    }
+}
+
+fn try_partial_unroll(
+    f: &mut Function,
+    cfg: &Cfg,
+    header: BlockId,
+    latch: BlockId,
+    factor: u64,
+    max_trip: u64,
+) -> Option<()> {
+    // Same canonical shape as full unrolling.
+    let preds = cfg.predecessors(header);
+    if preds.len() != 2 {
+        return None;
+    }
+    let preheader = *preds.iter().find(|&&p| p != latch)?;
+    if preheader == latch || cfg.successors(preheader) != [header] {
+        return None;
+    }
+    let header_insts = f.block(header).insts.clone();
+    let term = *header_insts.last()?;
+    let term_inst = f.inst(term).clone();
+    if term_inst.op != Opcode::CondBr {
+        return None;
+    }
+    let (t0, t1) = (term_inst.block_refs[0], term_inst.block_refs[1]);
+    let body_is_true = if t0 == latch {
+        true
+    } else if t1 == latch {
+        false
+    } else {
+        return None;
+    };
+
+    let mut phis: Vec<InstId> = Vec::new();
+    for &i in &header_insts[..header_insts.len() - 1] {
+        let inst = f.inst(i);
+        match inst.op {
+            Opcode::Phi => phis.push(i),
+            Opcode::Load | Opcode::Store => return None,
+            _ => {}
+        }
+    }
+
+    let latch_insts = f.block(latch).insts.clone();
+    let latch_term = *latch_insts.last()?;
+    if f.inst(latch_term).op != Opcode::Br {
+        return None;
+    }
+
+    // Per-phi init / latch-incoming values.
+    let mut init: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut next_of: HashMap<ValueId, ValueId> = HashMap::new();
+    for &p in &phis {
+        let inst = f.inst(p);
+        let res = f.inst_result(p)?;
+        let (mut from_pre, mut from_latch) = (None, None);
+        for (k, &b) in inst.block_refs.iter().enumerate() {
+            if b == preheader {
+                from_pre = Some(inst.operands[k]);
+            } else if b == latch {
+                from_latch = Some(inst.operands[k]);
+            } else {
+                return None;
+            }
+        }
+        init.insert(res, from_pre?);
+        next_of.insert(res, from_latch?);
+    }
+
+    // Induction variable and trip count.
+    let cond = term_inst.operands[0];
+    let ValueKind::Inst(cond_inst_id) = *f.value_kind(cond) else { return None };
+    let cond_inst = f.inst(cond_inst_id).clone();
+    let Opcode::ICmp(pred) = cond_inst.op else { return None };
+    let (iv, bound, flipped) = {
+        let a = cond_inst.operands[0];
+        let b = cond_inst.operands[1];
+        if init.contains_key(&a) && const_int(f, b).is_some() {
+            (a, const_int(f, b)?, false)
+        } else if init.contains_key(&b) && const_int(f, a).is_some() {
+            (b, const_int(f, a)?, true)
+        } else {
+            return None;
+        }
+    };
+    let start = const_int(f, *init.get(&iv)?)?;
+    let next = *next_of.get(&iv)?;
+    let ValueKind::Inst(next_id) = *f.value_kind(next) else { return None };
+    let next_inst = f.inst(next_id).clone();
+    if next_inst.op != Opcode::Add {
+        return None;
+    }
+    let step = if next_inst.operands[0] == iv {
+        const_int(f, next_inst.operands[1])?
+    } else if next_inst.operands[1] == iv {
+        const_int(f, next_inst.operands[0])?
+    } else {
+        return None;
+    };
+    if step == 0 {
+        return None;
+    }
+    let holds = |v: i64| -> bool {
+        let (a, b) = if flipped { (bound, v) } else { (v, bound) };
+        let took = match pred {
+            IntPredicate::Eq => a == b,
+            IntPredicate::Ne => a != b,
+            IntPredicate::Slt => a < b,
+            IntPredicate::Sle => a <= b,
+            IntPredicate::Sgt => a > b,
+            IntPredicate::Sge => a >= b,
+            IntPredicate::Ult => (a as u64) < (b as u64),
+            IntPredicate::Ule => (a as u64) <= (b as u64),
+            IntPredicate::Ugt => (a as u64) > (b as u64),
+            IntPredicate::Uge => (a as u64) >= (b as u64),
+        };
+        if body_is_true {
+            took
+        } else {
+            !took
+        }
+    };
+    let mut v = start;
+    let mut trip: u64 = 0;
+    while holds(v) {
+        trip += 1;
+        if trip > max_trip {
+            return None;
+        }
+        v = v.wrapping_add(step);
+    }
+    if trip == 0 || !trip.is_multiple_of(factor) || trip == factor {
+        return None; // not divisible (or a full unroll would be better)
+    }
+    // The scaled loop must execute exactly trip/factor iterations.
+    let scaled_step = step.checked_mul(factor as i64)?;
+    let mut v2 = start;
+    let mut trip2: u64 = 0;
+    while holds(v2) {
+        trip2 += 1;
+        if trip2 > max_trip {
+            return None;
+        }
+        v2 = v2.wrapping_add(scaled_step);
+    }
+    if trip2 * factor != trip {
+        return None;
+    }
+
+    // ---- commit -----------------------------------------------------------
+    let iv_ty = f.value_type(iv);
+    let body: Vec<InstId> = latch_insts[..latch_insts.len() - 1]
+        .iter()
+        .copied()
+        .filter(|&i| i != next_id)
+        .collect();
+
+    // Strip the old body from the latch (arena entries stay).
+    let dead: HashSet<InstId> = latch_insts.iter().copied().collect();
+    f.remove_insts(&dead);
+
+    let resolve = |map: &HashMap<ValueId, ValueId>, v: ValueId| *map.get(&v).unwrap_or(&v);
+    let mut carried: HashMap<ValueId, ValueId> =
+        phis.iter().filter_map(|&p| f.inst_result(p)).map(|r| (r, r)).collect();
+
+    for k in 0..factor {
+        let mut map = carried.clone();
+        // iv for this copy: iv + k*step.
+        let ivk = if k == 0 {
+            iv
+        } else {
+            let off = f.const_value(Constant::Int { ty: iv_ty.clone(), value: step * k as i64 });
+            let (_, val) = f.add_inst(
+                latch,
+                Inst {
+                    op: Opcode::Add,
+                    ty: iv_ty.clone(),
+                    operands: vec![iv, off],
+                    block_refs: vec![],
+                    name: format!("iv.u{k}"),
+                },
+            );
+            val.expect("add has result")
+        };
+        map.insert(iv, ivk);
+        for &i in &body {
+            let inst = f.inst(i).clone();
+            let operands = inst.operands.iter().map(|&o| resolve(&map, o)).collect();
+            let (_, res) = f.add_inst(
+                latch,
+                Inst {
+                    op: inst.op,
+                    ty: inst.ty,
+                    operands,
+                    block_refs: Vec::new(),
+                    name: inst.name,
+                },
+            );
+            if let (Some(old), Some(new)) = (f.inst_result(i), res) {
+                map.insert(old, new);
+            }
+        }
+        let mut new_carried = HashMap::new();
+        for (&phi, &nxt) in &next_of {
+            if phi == iv {
+                continue;
+            }
+            new_carried.insert(phi, resolve(&map, nxt));
+        }
+        new_carried.insert(iv, iv);
+        carried = new_carried;
+    }
+
+    // New induction update and terminator.
+    let stepc = f.const_value(Constant::Int { ty: iv_ty, value: scaled_step });
+    let (_, new_next) = f.add_inst(
+        latch,
+        Inst {
+            op: Opcode::Add,
+            ty: f.value_type(iv),
+            operands: vec![iv, stepc],
+            block_refs: vec![],
+            name: "iv.next".to_string(),
+        },
+    );
+    let new_next = new_next.expect("add has result");
+    f.add_inst(
+        latch,
+        Inst {
+            op: Opcode::Br,
+            ty: crate::Type::Void,
+            operands: vec![],
+            block_refs: vec![header],
+            name: String::new(),
+        },
+    );
+
+    // Rewire the phis' latch-incoming operands.
+    for &p in &phis {
+        let res = f.inst_result(p).expect("phi result");
+        let new_in = if res == iv { new_next } else { resolve(&carried, res) };
+        let inst = f.inst_mut(p);
+        for (k, &b) in inst.block_refs.clone().iter().enumerate() {
+            if b == latch {
+                inst.operands[k] = new_in;
+            }
+        }
+    }
+    Some(())
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::interp::{run_function, NullObserver, RtVal, SparseMemory};
+    use crate::passes::{eliminate_dead_code, fold_constants, run_default_pipeline};
+    use crate::types::Type;
+    use crate::verify_function;
+
+    /// Builds `for i in 0..n { a[i] = a[i] * 2 }` with a constant bound.
+    fn scaled_kernel(n: i64) -> Function {
+        let mut fb = FunctionBuilder::new("scale", &[("a", Type::Ptr)]);
+        let a = fb.arg(0);
+        let zero = fb.i64c(0);
+        let bound = fb.i64c(n);
+        fb.counted_loop("i", zero, bound, |fb, iv| {
+            let p = fb.gep1(Type::I64, a, iv, "p");
+            let x = fb.load(Type::I64, p, "x");
+            let two = fb.i64c(2);
+            let y = fb.mul(x, two, "y");
+            fb.store(y, p);
+        });
+        fb.ret();
+        fb.finish()
+    }
+
+    #[test]
+    fn unrolls_constant_loop() {
+        let mut f = scaled_kernel(4);
+        let report = unroll_loops(&mut f, 64);
+        assert_eq!(report.unrolled, 1);
+        assert_eq!(report.iterations_emitted, 4);
+        run_default_pipeline(&mut f);
+        verify_function(&f).unwrap();
+        // 4 iterations x (gep, load, mul, store) + ret; geps may fold away.
+        let hist = f.opcode_histogram();
+        assert_eq!(hist["load"], 4);
+        assert_eq!(hist["store"], 4);
+        assert!(!hist.contains_key("phi"));
+    }
+
+    #[test]
+    fn unrolled_loop_computes_same_result() {
+        let f = scaled_kernel(8);
+        let mut g = f.clone();
+        unroll_loops(&mut g, 64);
+        run_default_pipeline(&mut g);
+        verify_function(&g).unwrap();
+
+        let data: Vec<i64> = (1..=8).collect();
+        let mut m1 = SparseMemory::new();
+        m1.write_i64_slice(0x1000, &data);
+        run_function(&f, &[RtVal::P(0x1000)], &mut m1, &mut NullObserver, 10_000).unwrap();
+        let mut m2 = SparseMemory::new();
+        m2.write_i64_slice(0x1000, &data);
+        run_function(&g, &[RtVal::P(0x1000)], &mut m2, &mut NullObserver, 10_000).unwrap();
+        assert_eq!(m1.read_i64_slice(0x1000, 8), m2.read_i64_slice(0x1000, 8));
+        let _ = f;
+    }
+
+    #[test]
+    fn accumulator_phi_is_carried() {
+        // sum = 0; for i in 0..5 { sum += i }; store sum
+        let mut fb = FunctionBuilder::new("acc", &[("out", Type::Ptr)]);
+        let out = fb.arg(0);
+        let header = fb.add_block("header");
+        let body = fb.add_block("body");
+        let exit = fb.add_block("exit");
+        let zero = fb.i64c(0);
+        let five = fb.i64c(5);
+        let entry = fb.entry();
+        fb.br(header);
+        fb.position_at(header);
+        let (iv_phi, iv) = fb.phi(Type::I64, "iv");
+        let (sum_phi, sum) = fb.phi(Type::I64, "sum");
+        fb.add_incoming(iv_phi, zero, entry);
+        fb.add_incoming(sum_phi, zero, entry);
+        let c = fb.icmp(IntPredicate::Slt, iv, five, "c");
+        fb.cond_br(c, body, exit);
+        fb.position_at(body);
+        let sum2 = fb.add(sum, iv, "sum2");
+        let one = fb.i64c(1);
+        let iv2 = fb.add(iv, one, "iv2");
+        fb.br(header);
+        fb.add_incoming(iv_phi, iv2, body);
+        fb.add_incoming(sum_phi, sum2, body);
+        fb.position_at(exit);
+        fb.store(sum, out);
+        fb.ret();
+        let mut f = fb.finish();
+        verify_function(&f).unwrap();
+
+        let report = unroll_loops(&mut f, 16);
+        assert_eq!(report.unrolled, 1);
+        run_default_pipeline(&mut f);
+        verify_function(&f).unwrap();
+
+        let mut mem = SparseMemory::new();
+        run_function(&f, &[RtVal::P(0x100)], &mut mem, &mut NullObserver, 1_000).unwrap();
+        assert_eq!(mem.read_i64_slice(0x100, 1), vec![10]); // 0+1+2+3+4
+    }
+
+    #[test]
+    fn refuses_runtime_bound() {
+        let mut fb = FunctionBuilder::new("dyn", &[("a", Type::Ptr), ("n", Type::I64)]);
+        let a = fb.arg(0);
+        let n = fb.arg(1);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |fb, iv| {
+            let p = fb.gep1(Type::I64, a, iv, "p");
+            fb.store(iv, p);
+        });
+        fb.ret();
+        let mut f = fb.finish();
+        let report = unroll_loops(&mut f, 64);
+        assert_eq!(report.unrolled, 0);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn refuses_trip_over_budget() {
+        let mut f = scaled_kernel(100);
+        let report = unroll_loops(&mut f, 10);
+        assert_eq!(report.unrolled, 0);
+    }
+
+    #[test]
+    fn unrolls_inner_loop_of_nest() {
+        // for i in 0..n (runtime): for j in 0..4 (const): a[i*4+j] += 1
+        let mut fb = FunctionBuilder::new("nest", &[("a", Type::Ptr), ("n", Type::I64)]);
+        let a = fb.arg(0);
+        let n = fb.arg(1);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |fb, i| {
+            let zero = fb.i64c(0);
+            let four = fb.i64c(4);
+            fb.counted_loop("j", zero, four, |fb, j| {
+                let fourc = fb.i64c(4);
+                let row = fb.mul(i, fourc, "row");
+                let idx = fb.add(row, j, "idx");
+                let p = fb.gep1(Type::I64, a, idx, "p");
+                let x = fb.load(Type::I64, p, "x");
+                let one = fb.i64c(1);
+                let y = fb.add(x, one, "y");
+                fb.store(y, p);
+            });
+        });
+        fb.ret();
+        let mut f = fb.finish();
+        let report = unroll_loops(&mut f, 16);
+        assert_eq!(report.unrolled, 1); // only the inner loop
+        fold_constants(&mut f);
+        eliminate_dead_code(&mut f);
+        verify_function(&f).unwrap();
+
+        // Check functional equivalence on a small input.
+        let mut mem = SparseMemory::new();
+        mem.write_i64_slice(0x0, &[0; 8]);
+        run_function(&f, &[RtVal::P(0), RtVal::I(2)], &mut mem, &mut NullObserver, 100_000)
+            .unwrap();
+        assert_eq!(mem.read_i64_slice(0, 8), vec![1; 8]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Textual printing of IR in an LLVM-`.ll`-like syntax.
+//!
+//! Printing is stable: `parse(print(m))` prints back to the same text, which
+//! round-trip tests rely on.
+
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+
+use crate::function::{BlockId, Function, Module};
+use crate::inst::{Inst, Opcode};
+use crate::types::Type;
+use crate::value::{ValueId, ValueKind};
+
+/// Assigns a unique printed name to every value-producing instruction and
+/// block.
+pub(crate) struct Namer {
+    value_names: HashMap<ValueId, String>,
+    block_names: Vec<String>,
+}
+
+impl Namer {
+    pub(crate) fn new(f: &Function) -> Self {
+        let mut used: HashMap<String, u32> = HashMap::new();
+        let mut value_names = HashMap::new();
+        for p in &f.params {
+            used.insert(p.name.clone(), 1);
+        }
+        let fresh = |base: &str, used: &mut HashMap<String, u32>| -> String {
+            let base = if base.is_empty() { "t".to_string() } else { base.to_string() };
+            let n = used.entry(base.clone()).or_insert(0);
+            let name = if *n == 0 { base.clone() } else { format!("{base}.{n}") };
+            *n += 1;
+            // Guard against an explicit name that equals a generated one.
+            if used.contains_key(&name) && name != base {
+                let k = used.entry(name.clone()).or_insert(0);
+                *k += 1;
+            }
+            name
+        };
+        for (_, b) in f.blocks() {
+            for &i in &b.insts {
+                if let Some(v) = f.inst_result(i) {
+                    let name = fresh(&f.inst(i).name, &mut used);
+                    value_names.insert(v, name);
+                }
+            }
+        }
+        let mut block_used: HashMap<String, u32> = HashMap::new();
+        let block_names = f
+            .blocks()
+            .map(|(_, b)| {
+                let n = block_used.entry(b.name.clone()).or_insert(0);
+                let name = if *n == 0 { b.name.clone() } else { format!("{}.{n}", b.name) };
+                *n += 1;
+                name
+            })
+            .collect();
+        Namer { value_names, block_names }
+    }
+
+    pub(crate) fn value(&self, f: &Function, v: ValueId) -> String {
+        match f.value_kind(v) {
+            ValueKind::Arg(i) => format!("%{}", f.params[*i as usize].name),
+            ValueKind::Inst(_) => format!("%{}", self.value_names[&v]),
+            ValueKind::Const(c) => c.to_string(),
+        }
+    }
+
+    pub(crate) fn block(&self, b: BlockId) -> String {
+        format!("%{}", self.block_names[b.index()])
+    }
+
+    pub(crate) fn block_label(&self, b: BlockId) -> &str {
+        &self.block_names[b.index()]
+    }
+}
+
+fn typed(f: &Function, namer: &Namer, v: ValueId) -> String {
+    format!("{} {}", f.value_type(v), namer.value(f, v))
+}
+
+fn write_inst(out: &mut String, f: &Function, namer: &Namer, inst: &Inst, result: Option<ValueId>) -> fmt::Result {
+    write!(out, "  ")?;
+    if let Some(r) = result {
+        write!(out, "{} = ", namer.value(f, r))?;
+    }
+    let ops = &inst.operands;
+    match &inst.op {
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::UDiv
+        | Opcode::SDiv
+        | Opcode::URem
+        | Opcode::SRem
+        | Opcode::Shl
+        | Opcode::LShr
+        | Opcode::AShr
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::FAdd
+        | Opcode::FSub
+        | Opcode::FMul
+        | Opcode::FDiv => {
+            write!(
+                out,
+                "{} {} {}, {}",
+                inst.op.mnemonic(),
+                inst.ty,
+                namer.value(f, ops[0]),
+                namer.value(f, ops[1])
+            )?;
+        }
+        Opcode::FNeg => {
+            write!(out, "fneg {} {}", inst.ty, namer.value(f, ops[0]))?;
+        }
+        Opcode::ICmp(p) => {
+            write!(
+                out,
+                "icmp {} {} {}, {}",
+                p.keyword(),
+                f.value_type(ops[0]),
+                namer.value(f, ops[0]),
+                namer.value(f, ops[1])
+            )?;
+        }
+        Opcode::FCmp(p) => {
+            write!(
+                out,
+                "fcmp {} {} {}, {}",
+                p.keyword(),
+                f.value_type(ops[0]),
+                namer.value(f, ops[0]),
+                namer.value(f, ops[1])
+            )?;
+        }
+        Opcode::Load => {
+            write!(out, "load {}, ptr {}", inst.ty, namer.value(f, ops[0]))?;
+        }
+        Opcode::Store => {
+            write!(out, "store {}, ptr {}", typed(f, namer, ops[0]), namer.value(f, ops[1]))?;
+        }
+        Opcode::Gep { elem } => {
+            write!(out, "getelementptr {elem}, ptr {}", namer.value(f, ops[0]))?;
+            for idx in &ops[1..] {
+                write!(out, ", {}", typed(f, namer, *idx))?;
+            }
+        }
+        Opcode::Trunc
+        | Opcode::ZExt
+        | Opcode::SExt
+        | Opcode::FPTrunc
+        | Opcode::FPExt
+        | Opcode::FPToSI
+        | Opcode::FPToUI
+        | Opcode::SIToFP
+        | Opcode::UIToFP
+        | Opcode::BitCast
+        | Opcode::PtrToInt
+        | Opcode::IntToPtr => {
+            write!(out, "{} {} to {}", inst.op.mnemonic(), typed(f, namer, ops[0]), inst.ty)?;
+        }
+        Opcode::Phi => {
+            write!(out, "phi {} ", inst.ty)?;
+            for (i, (v, b)) in ops.iter().zip(&inst.block_refs).enumerate() {
+                if i > 0 {
+                    write!(out, ", ")?;
+                }
+                write!(out, "[ {}, {} ]", namer.value(f, *v), namer.block(*b))?;
+            }
+        }
+        Opcode::Select => {
+            write!(
+                out,
+                "select {}, {}, {}",
+                typed(f, namer, ops[0]),
+                typed(f, namer, ops[1]),
+                typed(f, namer, ops[2])
+            )?;
+        }
+        Opcode::Br => {
+            write!(out, "br label {}", namer.block(inst.block_refs[0]))?;
+        }
+        Opcode::CondBr => {
+            write!(
+                out,
+                "br {}, label {}, label {}",
+                typed(f, namer, ops[0]),
+                namer.block(inst.block_refs[0]),
+                namer.block(inst.block_refs[1])
+            )?;
+        }
+        Opcode::Ret => {
+            if ops.is_empty() {
+                write!(out, "ret void")?;
+            } else {
+                write!(out, "ret {}", typed(f, namer, ops[0]))?;
+            }
+        }
+    }
+    writeln!(out)
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let namer = Namer::new(self);
+        let ret_ty = self
+            .blocks()
+            .find_map(|(_, b)| {
+                b.insts.iter().find_map(|&i| {
+                    let inst = self.inst(i);
+                    (inst.op == Opcode::Ret).then(|| {
+                        inst.operands
+                            .first()
+                            .map(|&v| self.value_type(v))
+                            .unwrap_or(Type::Void)
+                    })
+                })
+            })
+            .unwrap_or(Type::Void);
+        let params: Vec<String> =
+            self.params.iter().map(|p| format!("{} %{}", p.ty, p.name)).collect();
+        writeln!(fm, "define {ret_ty} @{}({}) {{", self.name, params.join(", "))?;
+        let mut body = String::new();
+        for (bid, b) in self.blocks() {
+            writeln!(body, "{}:", namer.block_label(bid)).map_err(|_| fmt::Error)?;
+            for &i in &b.insts {
+                write_inst(&mut body, self, &namer, self.inst(i), self.inst_result(i))
+                    .map_err(|_| fmt::Error)?;
+            }
+        }
+        write!(fm, "{body}")?;
+        writeln!(fm, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, f) in self.functions().iter().enumerate() {
+            if i > 0 {
+                writeln!(fm)?;
+            }
+            write!(fm, "{f}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::IntPredicate;
+
+    #[test]
+    fn prints_straightline() {
+        let mut fb = FunctionBuilder::new("f", &[("a", Type::Ptr)]);
+        let a = fb.arg(0);
+        let x = fb.load(Type::I32, a, "x");
+        let one = fb.i32c(1);
+        let y = fb.add(x, one, "y");
+        fb.store(y, a);
+        fb.ret();
+        let text = fb.finish().to_string();
+        assert!(text.contains("define void @f(ptr %a) {"), "{text}");
+        assert!(text.contains("%x = load i32, ptr %a"), "{text}");
+        assert!(text.contains("%y = add i32 %x, 1"), "{text}");
+        assert!(text.contains("store i32 %y, ptr %a"), "{text}");
+        assert!(text.contains("ret void"), "{text}");
+    }
+
+    #[test]
+    fn prints_loop_with_phi() {
+        let mut fb = FunctionBuilder::new("loop", &[("n", Type::I64)]);
+        let n = fb.arg(0);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |_, _| {});
+        fb.ret();
+        let text = fb.finish().to_string();
+        assert!(text.contains("%i.iv = phi i64 [ 0, %entry ], [ %i.iv.next, %i.body ]"), "{text}");
+        assert!(text.contains("br i1 %i.cond, label %i.body, label %i.exit"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_names_are_disambiguated() {
+        let mut fb = FunctionBuilder::new("dup", &[("x", Type::I32)]);
+        let x = fb.arg(0);
+        let a = fb.add(x, x, "v");
+        let b = fb.add(a, x, "v");
+        let c = fb.icmp(IntPredicate::Eq, a, b, "v");
+        let _ = c;
+        fb.ret();
+        let text = fb.finish().to_string();
+        assert!(text.contains("%v = "), "{text}");
+        assert!(text.contains("%v.1 = "), "{text}");
+        assert!(text.contains("%v.2 = "), "{text}");
+    }
+
+    #[test]
+    fn ret_value_sets_signature() {
+        let mut fb = FunctionBuilder::new("id", &[("x", Type::I64)]);
+        let x = fb.arg(0);
+        fb.ret_value(x);
+        let text = fb.finish().to_string();
+        assert!(text.starts_with("define i64 @id(i64 %x) {"), "{text}");
+        assert!(text.contains("ret i64 %x"), "{text}");
+    }
+}

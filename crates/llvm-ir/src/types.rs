@@ -1,0 +1,163 @@
+//! First-class IR types.
+
+/// An IR value type.
+///
+/// Pointers are opaque (as in modern LLVM); `getelementptr` carries the
+/// element type it indexes over. Arrays appear only as GEP element types and
+/// memory layouts, never as SSA value types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// No value (function return / `store` result).
+    Void,
+    /// 1-bit integer (booleans, comparison results).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 double precision.
+    F64,
+    /// An opaque pointer.
+    Ptr,
+    /// A fixed-length array, used as a GEP element type.
+    Array {
+        /// Element type.
+        elem: Box<Type>,
+        /// Number of elements.
+        len: u64,
+    },
+}
+
+impl Type {
+    /// Convenience constructor for an array type.
+    pub fn array(elem: Type, len: u64) -> Type {
+        Type::Array { elem: Box::new(elem), len }
+    }
+
+    /// Size of a value of this type in bytes (pointers are 8 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Type::Void`].
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Type::Void => panic!("void has no size"),
+            Type::I1 | Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 | Type::F32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+            Type::Array { elem, len } => elem.size_bytes() * len,
+        }
+    }
+
+    /// Width in bits for scalar types (pointers count as 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Type::Void`] and [`Type::Array`].
+    pub fn bits(&self) -> u32 {
+        match self {
+            Type::I1 => 1,
+            Type::Array { .. } => panic!("array has no scalar width"),
+            other => (other.size_bytes() * 8) as u32,
+        }
+    }
+
+    /// Whether this is an integer type (including `i1`).
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// Whether this is a pointer.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr)
+    }
+
+    /// Integer type with the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not one of 1, 8, 16, 32, 64.
+    pub fn int(bits: u32) -> Type {
+        match bits {
+            1 => Type::I1,
+            8 => Type::I8,
+            16 => Type::I16,
+            32 => Type::I32,
+            64 => Type::I64,
+            other => panic!("unsupported integer width {other}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::I1 => write!(f, "i1"),
+            Type::I8 => write!(f, "i8"),
+            Type::I16 => write!(f, "i16"),
+            Type::I32 => write!(f, "i32"),
+            Type::I64 => write!(f, "i64"),
+            Type::F32 => write!(f, "float"),
+            Type::F64 => write!(f, "double"),
+            Type::Ptr => write!(f, "ptr"),
+            Type::Array { elem, len } => write!(f, "[{len} x {elem}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::I1.size_bytes(), 1);
+        assert_eq!(Type::I32.size_bytes(), 4);
+        assert_eq!(Type::F64.size_bytes(), 8);
+        assert_eq!(Type::Ptr.size_bytes(), 8);
+        assert_eq!(Type::array(Type::I32, 10).size_bytes(), 40);
+        assert_eq!(Type::array(Type::array(Type::F32, 4), 3).size_bytes(), 48);
+    }
+
+    #[test]
+    fn bits() {
+        assert_eq!(Type::I1.bits(), 1);
+        assert_eq!(Type::I8.bits(), 8);
+        assert_eq!(Type::F32.bits(), 32);
+        assert_eq!(Type::Ptr.bits(), 64);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Type::I1.is_int());
+        assert!(!Type::F32.is_int());
+        assert!(Type::F64.is_float());
+        assert!(Type::Ptr.is_ptr());
+    }
+
+    #[test]
+    fn display_llvm_syntax() {
+        assert_eq!(Type::F32.to_string(), "float");
+        assert_eq!(Type::array(Type::I8, 16).to_string(), "[16 x i8]");
+    }
+
+    #[test]
+    fn int_constructor_roundtrip() {
+        for b in [1u32, 8, 16, 32, 64] {
+            assert_eq!(Type::int(b).bits(), b);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! SSA values: arguments, instruction results and constants.
+
+use crate::types::Type;
+
+/// Identifies an SSA value within one [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub(crate) u32);
+
+impl ValueId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a [`ValueId`] refers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueKind {
+    /// The `n`-th function argument.
+    Arg(u32),
+    /// The result of an instruction.
+    Inst(crate::function::InstId),
+    /// An immediate constant.
+    Const(Constant),
+}
+
+/// An immediate constant.
+///
+/// Integers are stored as sign-agnostic bit patterns in an `i64`; the type
+/// defines the width. Floats are stored as `f64` and rounded through `f32`
+/// when the type is [`Type::F32`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constant {
+    /// An integer of the given type (bit pattern in the low `ty.bits()` bits).
+    Int {
+        /// Integer type (`i1`..`i64`).
+        ty: Type,
+        /// Value bits, sign-extended to 64.
+        value: i64,
+    },
+    /// A floating-point value of the given type.
+    Float {
+        /// `float` or `double`.
+        ty: Type,
+        /// Value, exact for `double`, rounded on use for `float`.
+        value: f64,
+    },
+    /// The null pointer.
+    NullPtr,
+    /// An undefined value of the given type.
+    Undef(Type),
+}
+
+impl Constant {
+    /// A boolean (`i1`) constant.
+    pub fn bool(v: bool) -> Constant {
+        Constant::Int { ty: Type::I1, value: v as i64 }
+    }
+
+    /// An `i32` constant.
+    pub fn i32(v: i32) -> Constant {
+        Constant::Int { ty: Type::I32, value: v as i64 }
+    }
+
+    /// An `i64` constant.
+    pub fn i64(v: i64) -> Constant {
+        Constant::Int { ty: Type::I64, value: v }
+    }
+
+    /// A `float` constant.
+    pub fn f32(v: f32) -> Constant {
+        Constant::Float { ty: Type::F32, value: v as f64 }
+    }
+
+    /// A `double` constant.
+    pub fn f64(v: f64) -> Constant {
+        Constant::Float { ty: Type::F64, value: v }
+    }
+
+    /// The type of this constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            Constant::Int { ty, .. } | Constant::Float { ty, .. } => ty.clone(),
+            Constant::NullPtr => Type::Ptr,
+            Constant::Undef(ty) => ty.clone(),
+        }
+    }
+
+    /// The integer payload if this is an integer constant.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Constant::Int { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The float payload if this is a floating-point constant.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Constant::Float { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Constant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Constant::Int { value, .. } => write!(f, "{value}"),
+            Constant::Float { value, .. } => {
+                if value.fract() == 0.0 && value.abs() < 1e15 {
+                    write!(f, "{value:.1}")
+                } else {
+                    write!(f, "{value:e}")
+                }
+            }
+            Constant::NullPtr => write!(f, "null"),
+            Constant::Undef(_) => write!(f, "undef"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_carry_types() {
+        assert_eq!(Constant::bool(true).ty(), Type::I1);
+        assert_eq!(Constant::i32(-5).ty(), Type::I32);
+        assert_eq!(Constant::f32(1.5).ty(), Type::F32);
+        assert_eq!(Constant::NullPtr.ty(), Type::Ptr);
+    }
+
+    #[test]
+    fn payload_accessors() {
+        assert_eq!(Constant::i64(7).as_int(), Some(7));
+        assert_eq!(Constant::i64(7).as_float(), None);
+        assert_eq!(Constant::f64(2.5).as_float(), Some(2.5));
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(Constant::i32(42).to_string(), "42");
+        assert_eq!(Constant::f64(3.0).to_string(), "3.0");
+        assert_eq!(Constant::NullPtr.to_string(), "null");
+    }
+}

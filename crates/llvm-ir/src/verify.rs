@@ -1,0 +1,444 @@
+//! IR well-formedness checks: structure, types, and SSA dominance.
+
+use std::collections::HashMap;
+
+use crate::analysis::{Cfg, DomTree};
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::Opcode;
+use crate::types::Type;
+use crate::value::{ValueId, ValueKind};
+
+/// An error found by [`verify_function`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function in which the error was found.
+    pub function: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verification of @{} failed: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks a function for structural, type, and SSA violations.
+///
+/// Checks performed:
+/// * every reachable block ends with exactly one terminator,
+/// * operand counts and types match each opcode,
+/// * `phi` nodes have one incoming edge per CFG predecessor,
+/// * the entry block has no phis,
+/// * every use is dominated by its definition.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    let fail = |msg: String| Err(VerifyError { function: f.name.clone(), message: msg });
+
+    let cfg = Cfg::new(f);
+    let dom = DomTree::new(f, &cfg);
+
+    // Structure: reachable blocks non-empty; terminator last and only last.
+    // Unreachable blocks may be left empty by passes and are ignored.
+    for (bid, b) in f.blocks() {
+        if !cfg.is_reachable(bid) {
+            continue;
+        }
+        if b.insts.is_empty() {
+            return fail(format!("block %{} is empty", b.name));
+        }
+        for (i, &inst_id) in b.insts.iter().enumerate() {
+            let is_last = i + 1 == b.insts.len();
+            let inst = f.inst(inst_id);
+            if inst.op.is_terminator() != is_last {
+                return fail(format!(
+                    "block %{}: terminator placement violated at instruction {i}",
+                    b.name
+                ));
+            }
+            if inst.op == Opcode::Phi && i > 0 {
+                let prev = f.inst(b.insts[i - 1]);
+                if prev.op != Opcode::Phi {
+                    return fail(format!("block %{}: phi not at block head", b.name));
+                }
+            }
+        }
+        let _ = bid;
+    }
+
+    // Entry must have no phis (it has no predecessors).
+    let entry = f.entry();
+    for &i in &f.block(entry).insts {
+        if f.inst(i).op == Opcode::Phi {
+            return fail("entry block contains a phi".to_string());
+        }
+    }
+
+    // Map: defining block + index of every instruction value.
+    let mut def_site: HashMap<ValueId, (BlockId, usize)> = HashMap::new();
+    for (bid, b) in f.blocks() {
+        for (i, &inst_id) in b.insts.iter().enumerate() {
+            if let Some(v) = f.inst_result(inst_id) {
+                def_site.insert(v, (bid, i));
+            }
+        }
+    }
+
+    for (bid, b) in f.blocks() {
+        if !cfg.is_reachable(bid) {
+            continue;
+        }
+        for (pos, &inst_id) in b.insts.iter().enumerate() {
+            check_inst(f, inst_id, &cfg, bid)?;
+            let inst = f.inst(inst_id);
+            // Dominance of operands.
+            for (k, &op) in inst.operands.iter().enumerate() {
+                let ValueKind::Inst(_) = f.value_kind(op) else { continue };
+                let Some(&(def_block, def_pos)) = def_site.get(&op) else {
+                    return fail(format!(
+                        "use of value without live definition in %{}",
+                        b.name
+                    ));
+                };
+                if inst.op == Opcode::Phi {
+                    // Phi use must be dominated at the end of the incoming
+                    // block.
+                    let incoming = inst.block_refs[k];
+                    if !dom.dominates(def_block, incoming) {
+                        return fail(format!(
+                            "phi in %{} uses value not dominating incoming block",
+                            b.name
+                        ));
+                    }
+                } else if def_block == bid {
+                    if def_pos >= pos {
+                        return fail(format!(
+                            "use before def within block %{}",
+                            b.name
+                        ));
+                    }
+                } else if !dom.dominates(def_block, bid) {
+                    return fail(format!(
+                        "use in %{} not dominated by definition",
+                        b.name
+                    ));
+                }
+            }
+            // Phi arity vs predecessors.
+            if inst.op == Opcode::Phi {
+                let mut preds: Vec<BlockId> = cfg.predecessors(bid).to_vec();
+                preds.sort();
+                preds.dedup();
+                let mut incoming: Vec<BlockId> = inst.block_refs.clone();
+                incoming.sort();
+                incoming.dedup();
+                if preds != incoming {
+                    return fail(format!(
+                        "phi in %{} incoming blocks do not match predecessors",
+                        b.name
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_inst(f: &Function, inst_id: InstId, _cfg: &Cfg, bid: BlockId) -> Result<(), VerifyError> {
+    let inst = f.inst(inst_id);
+    let bname = &f.block(bid).name;
+    let fail = |msg: String| {
+        Err(VerifyError { function: f.name.clone(), message: format!("in %{bname}: {msg}") })
+    };
+    let ops = &inst.operands;
+    let opty = |i: usize| f.value_type(ops[i]);
+    let want = |n: usize| -> Result<(), VerifyError> {
+        if ops.len() != n {
+            Err(VerifyError {
+                function: f.name.clone(),
+                message: format!(
+                    "in %{bname}: {} expects {n} operands, has {}",
+                    inst.op.mnemonic(),
+                    ops.len()
+                ),
+            })
+        } else {
+            Ok(())
+        }
+    };
+
+    match &inst.op {
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::UDiv
+        | Opcode::SDiv
+        | Opcode::URem
+        | Opcode::SRem
+        | Opcode::Shl
+        | Opcode::LShr
+        | Opcode::AShr
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor => {
+            want(2)?;
+            if !opty(0).is_int() || opty(0) != opty(1) || inst.ty != opty(0) {
+                return fail(format!("integer binary op type mismatch ({})", inst.op.mnemonic()));
+            }
+        }
+        Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
+            want(2)?;
+            if !opty(0).is_float() || opty(0) != opty(1) || inst.ty != opty(0) {
+                return fail(format!("float binary op type mismatch ({})", inst.op.mnemonic()));
+            }
+        }
+        Opcode::FNeg => {
+            want(1)?;
+            if !opty(0).is_float() || inst.ty != opty(0) {
+                return fail("fneg type mismatch".to_string());
+            }
+        }
+        Opcode::ICmp(_) => {
+            want(2)?;
+            let t = opty(0);
+            if !(t.is_int() || t.is_ptr()) || t != opty(1) || inst.ty != Type::I1 {
+                return fail("icmp type mismatch".to_string());
+            }
+        }
+        Opcode::FCmp(_) => {
+            want(2)?;
+            if !opty(0).is_float() || opty(0) != opty(1) || inst.ty != Type::I1 {
+                return fail("fcmp type mismatch".to_string());
+            }
+        }
+        Opcode::Load => {
+            want(1)?;
+            if !opty(0).is_ptr() {
+                return fail("load from non-pointer".to_string());
+            }
+            if inst.ty == Type::Void {
+                return fail("load of void".to_string());
+            }
+        }
+        Opcode::Store => {
+            want(2)?;
+            if !opty(1).is_ptr() {
+                return fail("store to non-pointer".to_string());
+            }
+        }
+        Opcode::Gep { .. } => {
+            if ops.is_empty() {
+                return fail("gep needs a pointer operand".to_string());
+            }
+            if !opty(0).is_ptr() || inst.ty != Type::Ptr {
+                return fail("gep pointer type mismatch".to_string());
+            }
+            for i in 1..ops.len() {
+                if !opty(i).is_int() {
+                    return fail("gep index not an integer".to_string());
+                }
+            }
+        }
+        Opcode::Trunc | Opcode::ZExt | Opcode::SExt => {
+            want(1)?;
+            if !opty(0).is_int() || !inst.ty.is_int() {
+                return fail("integer cast on non-integer".to_string());
+            }
+            let (from, to) = (opty(0).bits(), inst.ty.bits());
+            let ok = match inst.op {
+                Opcode::Trunc => to < from,
+                _ => to > from,
+            };
+            if !ok {
+                return fail(format!("bad cast width {from} -> {to}"));
+            }
+        }
+        Opcode::FPTrunc | Opcode::FPExt => {
+            want(1)?;
+            if !opty(0).is_float() || !inst.ty.is_float() {
+                return fail("float cast on non-float".to_string());
+            }
+        }
+        Opcode::FPToSI | Opcode::FPToUI => {
+            want(1)?;
+            if !opty(0).is_float() || !inst.ty.is_int() {
+                return fail("fp-to-int cast type mismatch".to_string());
+            }
+        }
+        Opcode::SIToFP | Opcode::UIToFP => {
+            want(1)?;
+            if !opty(0).is_int() || !inst.ty.is_float() {
+                return fail("int-to-fp cast type mismatch".to_string());
+            }
+        }
+        Opcode::BitCast => {
+            want(1)?;
+            if opty(0).size_bytes() != inst.ty.size_bytes() {
+                return fail("bitcast width mismatch".to_string());
+            }
+        }
+        Opcode::PtrToInt => {
+            want(1)?;
+            if !opty(0).is_ptr() || !inst.ty.is_int() {
+                return fail("ptrtoint type mismatch".to_string());
+            }
+        }
+        Opcode::IntToPtr => {
+            want(1)?;
+            if !opty(0).is_int() || !inst.ty.is_ptr() {
+                return fail("inttoptr type mismatch".to_string());
+            }
+        }
+        Opcode::Phi => {
+            if ops.len() != inst.block_refs.len() || ops.is_empty() {
+                return fail("phi operand/block arity mismatch".to_string());
+            }
+            for &v in ops {
+                if f.value_type(v) != inst.ty {
+                    return fail("phi incoming type mismatch".to_string());
+                }
+            }
+        }
+        Opcode::Select => {
+            want(3)?;
+            if opty(0) != Type::I1 || opty(1) != opty(2) || inst.ty != opty(1) {
+                return fail("select type mismatch".to_string());
+            }
+        }
+        Opcode::Br => {
+            if inst.block_refs.len() != 1 || !ops.is_empty() {
+                return fail("br arity mismatch".to_string());
+            }
+        }
+        Opcode::CondBr => {
+            want(1)?;
+            if inst.block_refs.len() != 2 || opty(0) != Type::I1 {
+                return fail("condbr arity/type mismatch".to_string());
+            }
+        }
+        Opcode::Ret => {
+            if ops.len() > 1 {
+                return fail("ret with multiple values".to_string());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Inst;
+    use crate::value::Constant;
+
+    #[test]
+    fn accepts_wellformed_loop() {
+        let mut fb = FunctionBuilder::new("ok", &[("a", Type::Ptr), ("n", Type::I64)]);
+        let a = fb.arg(0);
+        let n = fb.arg(1);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |fb, iv| {
+            let p = fb.gep1(Type::I64, a, iv, "p");
+            fb.store(iv, p);
+        });
+        fb.ret();
+        assert!(verify_function(&fb.finish()).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut f = Function::new("bad", vec![]);
+        let entry = f.entry();
+        let c = f.const_value(Constant::i32(1));
+        f.add_inst(
+            entry,
+            Inst { op: Opcode::Add, ty: Type::I32, operands: vec![c, c], block_refs: vec![], name: "x".into() },
+        );
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("terminator"), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut f = Function::new("bad", vec![]);
+        let entry = f.entry();
+        let ci = f.const_value(Constant::i32(1));
+        let cf = f.const_value(Constant::f32(1.0));
+        f.add_inst(
+            entry,
+            Inst { op: Opcode::Add, ty: Type::I32, operands: vec![ci, cf], block_refs: vec![], name: "x".into() },
+        );
+        f.add_inst(
+            entry,
+            Inst { op: Opcode::Ret, ty: Type::Void, operands: vec![], block_refs: vec![], name: String::new() },
+        );
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("type mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut fb = FunctionBuilder::new("bad", &[("x", Type::I32)]);
+        let x = fb.arg(0);
+        // Build a legitimate function first, then scramble the block order.
+        let a = fb.add(x, x, "a");
+        let b = fb.add(a, x, "b");
+        let _ = b;
+        fb.ret();
+        let mut f = fb.finish();
+        // Swap the two adds so `b` uses `a` before its definition.
+        let entry = f.entry();
+        f.blocks[entry.index()].insts.swap(0, 1);
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("use before def"), "{err}");
+    }
+
+    #[test]
+    fn rejects_phi_in_entry() {
+        let mut f = Function::new("bad", vec![]);
+        let entry = f.entry();
+        let c = f.const_value(Constant::i32(0));
+        f.add_inst(
+            entry,
+            Inst { op: Opcode::Phi, ty: Type::I32, operands: vec![c], block_refs: vec![entry], name: "p".into() },
+        );
+        f.add_inst(
+            entry,
+            Inst { op: Opcode::Ret, ty: Type::Void, operands: vec![], block_refs: vec![], name: String::new() },
+        );
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("entry block contains a phi"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_cast_width() {
+        let mut fb = FunctionBuilder::new("bad", &[("x", Type::I32)]);
+        let x = fb.arg(0);
+        let t = fb.trunc(x, Type::I64, "t"); // trunc to a *wider* type
+        let _ = t;
+        fb.ret();
+        let err = verify_function(&fb.finish()).unwrap_err();
+        assert!(err.message.contains("bad cast width"), "{err}");
+    }
+
+    #[test]
+    fn rejects_phi_pred_mismatch() {
+        let mut fb = FunctionBuilder::new("bad", &[("n", Type::I64)]);
+        let next = fb.add_block("next");
+        fb.br(next);
+        fb.position_at(next);
+        let (phi, _) = fb.phi(Type::I64, "p");
+        let n = fb.arg(0);
+        // Claim the incoming edge is from `next` itself, which is not a pred.
+        fb.add_incoming(phi, n, next);
+        fb.ret();
+        let err = verify_function(&fb.finish()).unwrap_err();
+        assert!(err.message.contains("do not match predecessors"), "{err}");
+    }
+}

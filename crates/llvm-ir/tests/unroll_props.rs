@@ -1,0 +1,157 @@
+//! Property tests: loop unrolling plus the default pipeline preserve the
+//! semantics of randomly generated counted loops.
+
+use proptest::prelude::*;
+
+use salam_ir::interp::{run_function, NullObserver, RtVal, SparseMemory};
+use salam_ir::passes::{run_default_pipeline, unroll_loops, unroll_loops_by};
+use salam_ir::{Function, FunctionBuilder, Type};
+
+/// Body operations applied per iteration to `a[i]` and an accumulator.
+#[derive(Debug, Clone, Copy)]
+enum BodyOp {
+    AddElem,
+    MulByConst(i8),
+    XorElem,
+    SubIv,
+}
+
+fn body_strategy() -> impl Strategy<Value = BodyOp> {
+    prop_oneof![
+        Just(BodyOp::AddElem),
+        any::<i8>().prop_map(BodyOp::MulByConst),
+        Just(BodyOp::XorElem),
+        Just(BodyOp::SubIv),
+    ]
+}
+
+/// Builds: `acc = init; for i in 0..trip { x = a[i]; acc = f(acc, x, i);
+/// a[i] = acc } ; out[0] = acc`.
+fn build_loop_kernel(trip: i64, init: i64, body: &[BodyOp]) -> Function {
+    let mut fb = FunctionBuilder::new("k", &[("a", Type::Ptr), ("out", Type::Ptr)]);
+    let a = fb.arg(0);
+    let out = fb.arg(1);
+    let zero = fb.i64c(0);
+    let tripv = fb.i64c(trip);
+    let initv = fb.i64c(init);
+    let finals = fb.counted_loop_accs(
+        "i",
+        zero,
+        tripv,
+        1,
+        &[(Type::I64, initv)],
+        |fb, iv, accs| {
+            let p = fb.gep1(Type::I64, a, iv, "p");
+            let x = fb.load(Type::I64, p, "x");
+            let mut acc = accs[0];
+            for op in body {
+                acc = match *op {
+                    BodyOp::AddElem => fb.add(acc, x, "t"),
+                    BodyOp::MulByConst(c) => {
+                        let cv = fb.i64c(c as i64);
+                        fb.mul(acc, cv, "t")
+                    }
+                    BodyOp::XorElem => fb.xor(acc, x, "t"),
+                    BodyOp::SubIv => fb.sub(acc, iv, "t"),
+                };
+            }
+            fb.store(acc, p);
+            vec![acc]
+        },
+    );
+    fb.store(finals[0], out);
+    fb.ret();
+    fb.finish()
+}
+
+fn outputs(f: &Function, data: &[i64]) -> (Vec<i64>, Vec<i64>) {
+    let mut mem = SparseMemory::new();
+    mem.write_i64_slice(0x1000, data);
+    run_function(f, &[RtVal::P(0x1000), RtVal::P(0x4000)], &mut mem, &mut NullObserver, 5_000_000)
+        .expect("run");
+    (mem.read_i64_slice(0x1000, data.len()), mem.read_i64_slice(0x4000, 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full unrolling of a constant-trip loop is semantics-preserving.
+    #[test]
+    fn unroll_preserves_semantics(
+        trip in 1i64..24,
+        init in -100i64..100,
+        body in prop::collection::vec(body_strategy(), 1..6),
+        data in prop::collection::vec(-1000i64..1000, 24..32),
+    ) {
+        let f = build_loop_kernel(trip, init, &body);
+        salam_ir::verify_function(&f).unwrap();
+        let (want_mem, want_acc) = outputs(&f, &data);
+
+        let mut g = f.clone();
+        let report = unroll_loops(&mut g, 64);
+        prop_assert_eq!(report.unrolled, 1, "constant-trip loop must unroll");
+        prop_assert_eq!(report.iterations_emitted, trip as u64);
+        run_default_pipeline(&mut g);
+        salam_ir::verify_function(&g).unwrap();
+
+        let (got_mem, got_acc) = outputs(&g, &data);
+        prop_assert_eq!(got_mem, want_mem);
+        prop_assert_eq!(got_acc, want_acc);
+    }
+
+    /// Partial unrolling by a divisor of the trip count preserves semantics
+    /// and keeps exactly one loop.
+    #[test]
+    fn partial_unroll_preserves_semantics(
+        groups in 2i64..6,
+        factor in prop::sample::select(vec![2u64, 3, 4]),
+        init in -50i64..50,
+        body in prop::collection::vec(body_strategy(), 1..5),
+        data in prop::collection::vec(-1000i64..1000, 24..32),
+    ) {
+        let trip = groups * factor as i64;
+        let f = build_loop_kernel(trip, init, &body);
+        let (want_mem, want_acc) = outputs(&f, &data);
+
+        let mut g = f.clone();
+        let report = unroll_loops_by(&mut g, factor, 256);
+        prop_assert_eq!(report.unrolled, 1, "divisible loop must partially unroll");
+        salam_ir::verify_function(&g).unwrap();
+
+        // The loop survives, with `factor` copies of the load.
+        let hist = g.opcode_histogram();
+        prop_assert_eq!(hist["load"] as u64, factor);
+        prop_assert!(hist.contains_key("phi"));
+
+        let (got_mem, got_acc) = outputs(&g, &data);
+        prop_assert_eq!(got_mem, want_mem);
+        prop_assert_eq!(got_acc, want_acc);
+    }
+
+    /// Non-divisible trip counts are left alone.
+    #[test]
+    fn partial_unroll_refuses_non_divisible(
+        body in prop::collection::vec(body_strategy(), 1..4),
+    ) {
+        let mut f = build_loop_kernel(7, 0, &body);
+        let report = unroll_loops_by(&mut f, 3, 256);
+        prop_assert_eq!(report.unrolled, 0);
+        salam_ir::verify_function(&f).unwrap();
+    }
+
+    /// After a full unroll + cleanup, no loops remain.
+    #[test]
+    fn unrolled_function_is_loop_free(
+        trip in 1i64..16,
+        body in prop::collection::vec(body_strategy(), 1..4),
+    ) {
+        let mut f = build_loop_kernel(trip, 0, &body);
+        unroll_loops(&mut f, 64);
+        run_default_pipeline(&mut f);
+        let cfg = salam_ir::analysis::Cfg::new(&f);
+        let dom = salam_ir::analysis::DomTree::new(&f, &cfg);
+        let loops = salam_ir::analysis::find_natural_loops(&f, &cfg, &dom);
+        prop_assert!(loops.is_empty(), "found {} residual loops", loops.len());
+        prop_assert!(!f.opcode_histogram().contains_key("phi"));
+    }
+}

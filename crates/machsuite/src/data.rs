@@ -1,0 +1,112 @@
+//! Deterministic input generation and byte-marshalling helpers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG so every build of a benchmark sees identical inputs.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Uniform `f64` values in `[lo, hi)`.
+pub fn f64_vec(rng: &mut SmallRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Uniform `f32` values in `[lo, hi)`.
+pub fn f32_vec(rng: &mut SmallRng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Uniform `i32` values in `[lo, hi)`.
+pub fn i32_vec(rng: &mut SmallRng, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Marshals `f64` values to little-endian bytes.
+pub fn f64_bytes(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Marshals `f32` values to little-endian bytes.
+pub fn f32_bytes(v: &[f32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Marshals `i32` values to little-endian bytes.
+pub fn i32_bytes(v: &[i32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Marshals `i64` values to little-endian bytes.
+pub fn i64_bytes(v: &[i64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Compares two `f64` slices within a relative tolerance, reporting the first
+/// offending index.
+pub fn check_f64_close(name: &str, got: &[f64], want: &[f64], rel: f64) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("{name}: length {} != {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let scale = w.abs().max(1.0);
+        if (g - w).abs() > rel * scale {
+            return Err(format!("{name}[{i}]: got {g}, want {w}"));
+        }
+    }
+    Ok(())
+}
+
+/// Compares two `f32` slices within a relative tolerance.
+pub fn check_f32_close(name: &str, got: &[f32], want: &[f32], rel: f32) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("{name}: length {} != {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let scale = w.abs().max(1.0);
+        if (g - w).abs() > rel * scale {
+            return Err(format!("{name}[{i}]: got {g}, want {w}"));
+        }
+    }
+    Ok(())
+}
+
+/// Exact `i32` slice comparison.
+pub fn check_i32_eq(name: &str, got: &[i32], want: &[i32]) -> Result<(), String> {
+    if got != want {
+        let i = got.iter().zip(want).position(|(g, w)| g != w).unwrap_or(0);
+        return Err(format!("{name}[{i}]: got {:?}, want {:?}", got.get(i), want.get(i)));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = f64_vec(&mut rng(7), 16, 0.0, 1.0);
+        let b = f64_vec(&mut rng(7), 16, 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let v = vec![1.5f64, -2.25, 0.0];
+        let bytes = f64_bytes(&v);
+        let back: Vec<f64> = bytes
+            .chunks(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn close_check_catches_mismatch() {
+        assert!(check_f64_close("x", &[1.0], &[1.0 + 1e-12], 1e-9).is_ok());
+        assert!(check_f64_close("x", &[1.0], &[2.0], 1e-9).is_err());
+        assert!(check_f64_close("x", &[1.0, 2.0], &[1.0], 1e-9).is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! SpMV (CRS): sparse matrix-vector multiply on compact row storage.
+//!
+//! The paper's showcase for data-dependent execution (Table I): with
+//! `guarded_shift` enabled, the kernel contains a bit-shift that only
+//! executes when a matrix value falls inside a trigger range. gem5-SALAM's
+//! static datapath always contains the shifter; a trace-based simulator only
+//! discovers it when the input data happens to exercise it.
+
+use salam_ir::interp::{RtVal, SparseMemory};
+use salam_ir::{FunctionBuilder, FloatPredicate, Type};
+
+use crate::data;
+use crate::BuiltKernel;
+
+/// Matrix shape and the Table I trigger knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Number of matrix rows.
+    pub rows: usize,
+    /// Nonzeros per row.
+    pub nnz_per_row: usize,
+    /// Include the guarded shift path in the kernel.
+    pub guarded_shift: bool,
+    /// Whether the generated dataset contains values inside the trigger
+    /// range `(0.45, 0.55)`.
+    pub dataset_triggers_shift: bool,
+    /// RNG seed (varies the dataset).
+    pub seed: u64,
+}
+
+impl Default for Params {
+    /// 32 rows × 8 nonzeros, guarded shift present but untriggered.
+    fn default() -> Self {
+        Params {
+            rows: 32,
+            nnz_per_row: 8,
+            guarded_shift: true,
+            dataset_triggers_shift: false,
+            seed: 0x59_4D56,
+        }
+    }
+}
+
+/// Trigger range for the guarded shift.
+pub const TRIGGER_LO: f64 = 0.45;
+/// Upper bound of the trigger range.
+pub const TRIGGER_HI: f64 = 0.55;
+
+/// Memory layout `(vals, cols, rowstr, vec, out, flags)`.
+pub fn layout(rows: usize, nnz: usize) -> (u64, u64, u64, u64, u64, u64) {
+    let base = 0x2000_0000u64;
+    let vals = base;
+    let cols = vals + (rows * nnz * 8) as u64;
+    let rowstr = cols + (rows * nnz * 8) as u64;
+    let vecb = rowstr + ((rows + 1) * 8) as u64;
+    let out = vecb + (rows * 8) as u64;
+    let flags = out + (rows * 8) as u64;
+    (vals, cols, rowstr, vecb, out, flags)
+}
+
+/// CRS inputs.
+#[derive(Debug, Clone)]
+pub struct CrsData {
+    /// Nonzero values.
+    pub vals: Vec<f64>,
+    /// Column index per nonzero.
+    pub cols: Vec<i64>,
+    /// Row start offsets (len `rows + 1`).
+    pub rowstr: Vec<i64>,
+    /// Dense input vector.
+    pub vec: Vec<f64>,
+}
+
+/// Generates a CRS matrix; values trigger the shift range iff requested.
+pub fn gen_data(p: &Params) -> CrsData {
+    let mut rng = data::rng(p.seed);
+    let n = p.rows * p.nnz_per_row;
+    let mut vals = Vec::with_capacity(n);
+    for i in 0..n {
+        // Draw outside the trigger band, then optionally plant band values.
+        let mut v: f64 = loop {
+            let cand = data::f64_vec(&mut rng, 1, 0.0, 1.0)[0];
+            if !(TRIGGER_LO..=TRIGGER_HI).contains(&cand) {
+                break cand;
+            }
+        };
+        if p.dataset_triggers_shift && i % 5 == 0 {
+            v = 0.5; // squarely inside the trigger band
+        }
+        vals.push(v);
+    }
+    let cols: Vec<i64> = (0..n)
+        .map(|_| data::i32_vec(&mut rng, 1, 0, p.rows as i32)[0] as i64)
+        .collect();
+    let rowstr: Vec<i64> = (0..=p.rows).map(|r| (r * p.nnz_per_row) as i64).collect();
+    let vec = data::f64_vec(&mut rng, p.rows, -1.0, 1.0);
+    CrsData { vals, cols, rowstr, vec }
+}
+
+/// Golden model: `out[r] = Σ vals[j] * vec[cols[j]]`, plus the shift flag
+/// word per row when the guarded path is present.
+pub fn golden(d: &CrsData, rows: usize, guarded: bool) -> (Vec<f64>, Vec<i64>) {
+    let mut out = vec![0.0; rows];
+    let mut flags = vec![0i64; rows];
+    for r in 0..rows {
+        let (s, e) = (d.rowstr[r] as usize, d.rowstr[r + 1] as usize);
+        let mut sum = 0.0;
+        let mut flag: i64 = 0;
+        for j in s..e {
+            let v = d.vals[j];
+            sum += v * d.vec[d.cols[j] as usize];
+            if guarded && v > TRIGGER_LO && v < TRIGGER_HI {
+                flag = (flag + 1) << 1;
+            }
+        }
+        out[r] = sum;
+        flags[r] = flag;
+    }
+    (out, flags)
+}
+
+/// Builds the SpMV kernel instance.
+pub fn build(p: &Params) -> BuiltKernel {
+    let rows = p.rows;
+    let (vals_b, cols_b, rowstr_b, vec_b, out_b, flags_b) = layout(rows, p.nnz_per_row);
+
+    let mut fb = FunctionBuilder::new(
+        "spmv_crs",
+        &[
+            ("vals", Type::Ptr),
+            ("cols", Type::Ptr),
+            ("rowstr", Type::Ptr),
+            ("vec", Type::Ptr),
+            ("out", Type::Ptr),
+            ("flags", Type::Ptr),
+        ],
+    );
+    let (vals, cols, rowstr, vecp, out, flags) =
+        (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3), fb.arg(4), fb.arg(5));
+    let zero = fb.i64c(0);
+    let nrows = fb.i64c(rows as i64);
+    let guarded = p.guarded_shift;
+    fb.counted_loop("r", zero, nrows, move |fb, r| {
+        let ps = fb.gep1(Type::I64, rowstr, r, "ps");
+        let start = fb.load(Type::I64, ps, "start");
+        let one = fb.i64c(1);
+        let r1 = fb.add(r, one, "r1");
+        let pe = fb.gep1(Type::I64, rowstr, r1, "pe");
+        let end = fb.load(Type::I64, pe, "end");
+        let fzero = fb.f64c(0.0);
+        let izero = fb.i64c(0);
+        let finals = fb.counted_loop_accs(
+            "j",
+            start,
+            end,
+            1,
+            &[(Type::F64, fzero), (Type::I64, izero)],
+            |fb, j, accs| {
+                let pv = fb.gep1(Type::F64, vals, j, "pv");
+                let v = fb.load(Type::F64, pv, "v");
+                let pc = fb.gep1(Type::I64, cols, j, "pc");
+                let col = fb.load(Type::I64, pc, "col");
+                let px = fb.gep1(Type::F64, vecp, col, "px");
+                let x = fb.load(Type::F64, px, "x");
+                let prod = fb.fmul(v, x, "prod");
+                let sum = fb.fadd(accs[0], prod, "sum");
+                let flag = if guarded {
+                    // Data-dependent path: only values in the trigger band
+                    // exercise the shifter.
+                    let lo = fb.f64c(TRIGGER_LO);
+                    let hi = fb.f64c(TRIGGER_HI);
+                    let cgt = fb.fcmp(FloatPredicate::Ogt, v, lo, "cgt");
+                    let clt = fb.fcmp(FloatPredicate::Olt, v, hi, "clt");
+                    let both = fb.and(cgt, clt, "both");
+                    let shift_b = fb.add_block("shift");
+                    let skip_b = fb.add_block("skip");
+                    let cur = fb.current_block();
+                    fb.cond_br(both, shift_b, skip_b);
+                    fb.position_at(shift_b);
+                    let one = fb.i64c(1);
+                    let incd = fb.add(accs[1], one, "incd");
+                    let shifted = fb.shl(incd, one, "shifted");
+                    fb.br(skip_b);
+                    fb.position_at(skip_b);
+                    let (phi, merged) = fb.phi(Type::I64, "flag");
+                    fb.add_incoming(phi, accs[1], cur);
+                    fb.add_incoming(phi, shifted, shift_b);
+                    merged
+                } else {
+                    accs[1]
+                };
+                vec![sum, flag]
+            },
+        );
+        let po = fb.gep1(Type::F64, out, r, "po");
+        fb.store(finals[0], po);
+        let pf = fb.gep1(Type::I64, flags, r, "pf");
+        fb.store(finals[1], pf);
+    });
+    fb.ret();
+    let func = fb.finish();
+
+    let d = gen_data(p);
+    let (want_out, want_flags) = golden(&d, rows, guarded);
+    let init = vec![
+        (vals_b, data::f64_bytes(&d.vals)),
+        (cols_b, data::i64_bytes(&d.cols)),
+        (rowstr_b, data::i64_bytes(&d.rowstr)),
+        (vec_b, data::f64_bytes(&d.vec)),
+    ];
+
+    BuiltKernel::new(
+        "spmv-crs",
+        func,
+        vec![
+            RtVal::P(vals_b),
+            RtVal::P(cols_b),
+            RtVal::P(rowstr_b),
+            RtVal::P(vec_b),
+            RtVal::P(out_b),
+            RtVal::P(flags_b),
+        ],
+        init,
+        Box::new(move |mem: &mut SparseMemory| {
+            let got = mem.read_f64_slice(out_b, rows);
+            data::check_f64_close("out", &got, &want_out, 1e-9)?;
+            let got_flags = mem.read_i64_slice(flags_b, rows);
+            if got_flags != want_flags {
+                return Err("flags mismatch".to_string());
+            }
+            Ok(())
+        }),
+    )
+    .with_footprint(vals_b, flags_b + (rows * 8) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salam_ir::interp::{run_function, NullObserver, ProfileObserver};
+
+    fn run_kernel(p: &Params) -> (BuiltKernel, SparseMemory) {
+        let k = build(p);
+        salam_ir::verify_function(&k.func).unwrap();
+        let mut mem = SparseMemory::new();
+        k.load_into(&mut mem);
+        run_function(&k.func, &k.args, &mut mem, &mut NullObserver, 100_000_000).unwrap();
+        k.check(&mut mem).unwrap();
+        (k, mem)
+    }
+
+    #[test]
+    fn untriggered_dataset_matches_golden() {
+        run_kernel(&Params::default());
+    }
+
+    #[test]
+    fn triggered_dataset_matches_golden() {
+        run_kernel(&Params { dataset_triggers_shift: true, ..Params::default() });
+    }
+
+    #[test]
+    fn static_datapath_contains_shifter_regardless_of_data() {
+        // The Table I property: the shifter is in the *code*, so SALAM's
+        // static CDFG has it whether or not the dataset triggers it.
+        let k = build(&Params::default());
+        assert!(k.func.opcode_histogram().contains_key("shl"));
+        let k2 = build(&Params { guarded_shift: false, ..Params::default() });
+        assert!(!k2.func.opcode_histogram().contains_key("shl"));
+    }
+
+    #[test]
+    fn dynamic_shift_count_depends_on_data() {
+        // Count executed shifts: zero for the quiet dataset, nonzero when
+        // the dataset plants values in the trigger band.
+        let count_shifts = |trigger: bool| {
+            let k = build(&Params { dataset_triggers_shift: trigger, ..Params::default() });
+            let mut mem = SparseMemory::new();
+            k.load_into(&mut mem);
+            let mut obs = ProfileObserver::default();
+            run_function(&k.func, &k.args, &mut mem, &mut obs, 100_000_000).unwrap();
+            let shift_block = k.func.block_by_name("shift").unwrap();
+            obs.block_entries.get(&shift_block).copied().unwrap_or(0)
+        };
+        assert_eq!(count_shifts(false), 0);
+        assert!(count_shifts(true) > 0);
+    }
+}

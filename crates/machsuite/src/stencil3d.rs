@@ -1,0 +1,178 @@
+//! Stencil3D: 7-point stencil over a 3-D integer grid.
+
+use salam_ir::interp::{RtVal, SparseMemory};
+use salam_ir::{FunctionBuilder, Type};
+
+use crate::data;
+use crate::BuiltKernel;
+
+/// Grid shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Height (z planes).
+    pub height: usize,
+    /// Rows per plane.
+    pub rows: usize,
+    /// Columns per row.
+    pub cols: usize,
+}
+
+impl Default for Params {
+    /// An 8×8×8 volume.
+    fn default() -> Self {
+        Params { height: 8, rows: 8, cols: 8 }
+    }
+}
+
+/// Stencil coefficients (MachSuite's C0/C1).
+pub const C0: i32 = 2;
+/// Neighbor coefficient.
+pub const C1: i32 = 1;
+
+/// Memory layout `(input, output)`.
+pub fn layout(p: &Params) -> (u64, u64) {
+    let base = 0x3800_0000u64;
+    let n = (p.height * p.rows * p.cols * 4) as u64;
+    (base, base + n)
+}
+
+/// Golden model: boundary copied, interior 7-point.
+pub fn golden(input: &[i32], p: &Params) -> Vec<i32> {
+    let (h, r, c) = (p.height, p.rows, p.cols);
+    let at = |i: usize, j: usize, k: usize| input[(i * r + j) * c + k];
+    let mut out = input.to_vec();
+    for i in 1..h - 1 {
+        for j in 1..r - 1 {
+            for k in 1..c - 1 {
+                let sum0 = at(i, j, k);
+                let sum1 = at(i + 1, j, k)
+                    + at(i - 1, j, k)
+                    + at(i, j + 1, k)
+                    + at(i, j - 1, k)
+                    + at(i, j, k + 1)
+                    + at(i, j, k - 1);
+                out[(i * r + j) * c + k] = C0.wrapping_mul(sum0).wrapping_add(C1.wrapping_mul(sum1));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the Stencil3D kernel instance.
+pub fn build(p: &Params) -> BuiltKernel {
+    let (h, r, c) = (p.height, p.rows, p.cols);
+    let (in_b, out_b) = layout(p);
+
+    let mut fb = FunctionBuilder::new(
+        "stencil3d",
+        &[("input", Type::Ptr), ("output", Type::Ptr)],
+    );
+    let (input, output) = (fb.arg(0), fb.arg(1));
+
+    // Boundary copy: out[idx] = in[idx] for the whole volume first (the
+    // interior loop then overwrites); simpler control than MachSuite's six
+    // boundary sweeps with identical memory behaviour per element.
+    let zero = fb.i64c(0);
+    let total = fb.i64c((h * r * c) as i64);
+    fb.counted_loop("copy", zero, total, |fb, idx| {
+        let pi = fb.gep1(Type::I32, input, idx, "pi");
+        let v = fb.load(Type::I32, pi, "v");
+        let po = fb.gep1(Type::I32, output, idx, "po");
+        fb.store(v, po);
+    });
+
+    let one = fb.i64c(1);
+    let hmax = fb.i64c((h - 1) as i64);
+    fb.counted_loop("i", one, hmax, |fb, i| {
+        let one = fb.i64c(1);
+        let rmax = fb.i64c((r - 1) as i64);
+        fb.counted_loop("j", one, rmax, |fb, j| {
+            let one = fb.i64c(1);
+            let cmax = fb.i64c((c - 1) as i64);
+            fb.counted_loop("k", one, cmax, |fb, k| {
+                let rv = fb.i64c(r as i64);
+                let cv = fb.i64c(c as i64);
+                let load_at = |fb: &mut FunctionBuilder, di: i64, dj: i64, dk: i64| {
+                    let div = fb.i64c(di);
+                    let ii = fb.add(i, div, "ii");
+                    let djv = fb.i64c(dj);
+                    let jj = fb.add(j, djv, "jj");
+                    let dkv = fb.i64c(dk);
+                    let kk = fb.add(k, dkv, "kk");
+                    let t0 = fb.mul(ii, rv, "t0");
+                    let t1 = fb.add(t0, jj, "t1");
+                    let t2 = fb.mul(t1, cv, "t2");
+                    let idx = fb.add(t2, kk, "idx");
+                    let ptr = fb.gep1(Type::I32, input, idx, "ptr");
+                    fb.load(Type::I32, ptr, "val")
+                };
+                let center = load_at(fb, 0, 0, 0);
+                let xp = load_at(fb, 1, 0, 0);
+                let xm = load_at(fb, -1, 0, 0);
+                let yp = load_at(fb, 0, 1, 0);
+                let ym = load_at(fb, 0, -1, 0);
+                let zp = load_at(fb, 0, 0, 1);
+                let zm = load_at(fb, 0, 0, -1);
+                let s1 = fb.add(xp, xm, "s1");
+                let s2 = fb.add(yp, ym, "s2");
+                let s3 = fb.add(zp, zm, "s3");
+                let s12 = fb.add(s1, s2, "s12");
+                let sum1 = fb.add(s12, s3, "sum1");
+                let c0 = fb.i32c(C0);
+                let c1 = fb.i32c(C1);
+                let t_center = fb.mul(c0, center, "t_center");
+                let t_nb = fb.mul(c1, sum1, "t_nb");
+                let val = fb.add(t_center, t_nb, "val");
+                let t0 = fb.mul(i, rv, "o0");
+                let t1 = fb.add(t0, j, "o1");
+                let t2 = fb.mul(t1, cv, "o2");
+                let oidx = fb.add(t2, k, "oidx");
+                let po = fb.gep1(Type::I32, output, oidx, "po");
+                fb.store(val, po);
+            });
+        });
+    });
+    fb.ret();
+    let func = fb.finish();
+
+    let mut rng = data::rng(0x57E3);
+    let iv = data::i32_vec(&mut rng, h * r * c, -100, 100);
+    let want = golden(&iv, p);
+
+    BuiltKernel::new(
+        "stencil3d",
+        func,
+        vec![RtVal::P(in_b), RtVal::P(out_b)],
+        vec![(in_b, data::i32_bytes(&iv))],
+        Box::new(move |mem: &mut SparseMemory| {
+            let got = mem.read_i32_slice(out_b, h * r * c);
+            data::check_i32_eq("out", &got, &want)
+        }),
+    )
+    .with_footprint(in_b, out_b + (h * r * c * 4) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salam_ir::interp::{run_function, NullObserver};
+
+    #[test]
+    fn matches_golden() {
+        let p = Params { height: 4, rows: 5, cols: 6 };
+        let k = build(&p);
+        salam_ir::verify_function(&k.func).unwrap();
+        let mut mem = SparseMemory::new();
+        k.load_into(&mut mem);
+        run_function(&k.func, &k.args, &mut mem, &mut NullObserver, 50_000_000).unwrap();
+        k.check(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn integer_datapath() {
+        let k = build(&Params::default());
+        let h = k.func.opcode_histogram();
+        assert!(!h.contains_key("fmul"), "stencil3d is integer-only");
+        assert!(h["mul"] >= 2);
+    }
+}

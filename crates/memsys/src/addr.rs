@@ -1,0 +1,79 @@
+//! Address-range routing.
+
+use sim_core::CompId;
+
+/// Maps address ranges to serving components, as a gem5 address map does for
+/// crossbar routing.
+#[derive(Debug, Clone, Default)]
+pub struct AddrMap {
+    ranges: Vec<(u64, u64, CompId)>, // [start, end)
+}
+
+impl AddrMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        AddrMap::default()
+    }
+
+    /// Adds the range `[start, end)` served by `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range or overlap with an existing range.
+    pub fn add(&mut self, start: u64, end: u64, dst: CompId) {
+        assert!(start < end, "empty address range");
+        for &(s, e, _) in &self.ranges {
+            assert!(end <= s || start >= e, "address ranges overlap: [{start:#x},{end:#x}) vs [{s:#x},{e:#x})");
+        }
+        self.ranges.push((start, end, dst));
+    }
+
+    /// The component serving `addr`, if any.
+    pub fn route(&self, addr: u64) -> Option<CompId> {
+        self.ranges
+            .iter()
+            .find(|&&(s, e, _)| addr >= s && addr < e)
+            .map(|&(_, _, d)| d)
+    }
+
+    /// Whether `[addr, addr+size)` fits entirely in one range.
+    pub fn contains_span(&self, addr: u64, size: u32) -> bool {
+        self.ranges
+            .iter()
+            .any(|&(s, e, _)| addr >= s && addr + size as u64 <= e)
+    }
+
+    /// All registered ranges.
+    pub fn ranges(&self) -> &[(u64, u64, CompId)] {
+        &self.ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_range() {
+        let a = CompId::from_raw(1);
+        let b = CompId::from_raw(2);
+        let mut m = AddrMap::new();
+        m.add(0x0, 0x100, a);
+        m.add(0x100, 0x200, b);
+        assert_eq!(m.route(0x0), Some(a));
+        assert_eq!(m.route(0xFF), Some(a));
+        assert_eq!(m.route(0x100), Some(b));
+        assert_eq!(m.route(0x200), None);
+        assert!(m.contains_span(0xF0, 16));
+        assert!(!m.contains_span(0xF8, 16), "span crosses a range boundary");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlap_rejected() {
+        let a = CompId::from_raw(1);
+        let mut m = AddrMap::new();
+        m.add(0x0, 0x100, a);
+        m.add(0x80, 0x180, a);
+    }
+}

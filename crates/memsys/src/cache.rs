@@ -1,0 +1,384 @@
+//! Set-associative write-back cache.
+
+use std::collections::{HashMap, VecDeque};
+
+use sim_core::{ClockDomain, CompId, Component, Ctx};
+
+use crate::msg::{MemMsg, MemOp, MemReq, MemResp};
+
+/// Configuration for a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Hit latency in cycles.
+    pub hit_latency_cycles: u64,
+    /// Outstanding-miss registers.
+    pub mshrs: u32,
+    /// Cache clock.
+    pub clock: ClockDomain,
+}
+
+impl Default for CacheConfig {
+    /// 4 kB, 4-way, 64 B lines, 2-cycle hits, 8 MSHRs at 1 GHz.
+    fn default() -> Self {
+        CacheConfig {
+            size_bytes: 4096,
+            assoc: 4,
+            line_bytes: 64,
+            hit_latency_cycles: 2,
+            mshrs: 8,
+            clock: ClockDomain::default(),
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Sets capacity (bytes), keeping other parameters.
+    pub fn with_size(mut self, bytes: u64) -> Self {
+        self.size_bytes = bytes;
+        self
+    }
+
+    /// Sets line size in bytes.
+    pub fn with_line(mut self, bytes: u32) -> Self {
+        self.line_bytes = bytes;
+        self
+    }
+
+    fn num_sets(&self) -> u64 {
+        (self.size_bytes / (self.assoc as u64 * self.line_bytes as u64)).max(1)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64, // full line address
+    dirty: bool,
+    lru: u64,
+    data: Vec<u8>,
+}
+
+/// A blocking-on-conflict, write-back, write-allocate cache with MSHRs.
+///
+/// Used as the accelerator-side private L1 and the cluster/system LLC in the
+/// paper's cache-based memory hierarchies (Table II sweeps its capacity).
+#[derive(Debug)]
+pub struct Cache {
+    name: String,
+    cfg: CacheConfig,
+    next: CompId,
+    sets: Vec<Vec<Option<Line>>>,
+    lru_clock: u64,
+    // line addr -> requests waiting on the fill
+    mshr: HashMap<u64, Vec<MemReq>>,
+    // our fill-request id -> line addr
+    fills: HashMap<u64, u64>,
+    // ids of write-backs whose acks we swallow
+    writebacks: HashMap<u64, ()>,
+    overflow: VecDeque<MemReq>,
+    next_id: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    wb_count: u64,
+}
+
+impl Cache {
+    /// Creates a cache in front of `next` (the component misses go to).
+    pub fn new(name: &str, cfg: CacheConfig, next: CompId) -> Self {
+        let sets = (0..cfg.num_sets())
+            .map(|_| vec![None; cfg.assoc as usize])
+            .collect();
+        Cache {
+            name: name.to_string(),
+            cfg,
+            next,
+            sets,
+            lru_clock: 0,
+            mshr: HashMap::new(),
+            fills: HashMap::new(),
+            writebacks: HashMap::new(),
+            overflow: VecDeque::new(),
+            next_id: 1,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            wb_count: 0,
+        }
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_bytes as u64 * self.cfg.line_bytes as u64
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        ((line_addr / self.cfg.line_bytes as u64) % self.cfg.num_sets()) as usize
+    }
+
+    fn lookup(&mut self, line_addr: u64) -> Option<&mut Line> {
+        let set = self.set_index(line_addr);
+        self.lru_clock += 1;
+        let lru = self.lru_clock;
+        let line = self.sets[set]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.tag == line_addr)?;
+        line.lru = lru;
+        Some(line)
+    }
+
+    fn serve_from_line(line: &mut Line, req: &MemReq, line_bytes: u32) -> MemResp {
+        let off = (req.addr - line.tag) as usize;
+        assert!(
+            off + req.size as usize <= line_bytes as usize,
+            "access at {:#x}+{} crosses a {}-byte cache line (scalar accesses must not straddle lines)",
+            req.addr,
+            req.size,
+            line_bytes
+        );
+        match req.op {
+            MemOp::Read => MemResp {
+                id: req.id,
+                addr: req.addr,
+                op: MemOp::Read,
+                data: Some(line.data[off..off + req.size as usize].to_vec()),
+            },
+            MemOp::Write => {
+                if let Some(d) = &req.data {
+                    line.data[off..off + d.len()].copy_from_slice(d);
+                }
+                line.dirty = true;
+                MemResp { id: req.id, addr: req.addr, op: MemOp::Write, data: None }
+            }
+        }
+    }
+
+    fn access(&mut self, req: MemReq, ctx: &mut Ctx<'_, MemMsg>) {
+        let la = self.line_addr(req.addr);
+        let hit_delay = self.cfg.clock.cycles(self.cfg.hit_latency_cycles);
+        let line_bytes = self.cfg.line_bytes;
+        if self.lookup(la).is_some() {
+            self.hits += 1;
+            let line = self.lookup(la).expect("hit line present");
+            let resp = Self::serve_from_line(line, &req, line_bytes);
+            ctx.send(req.reply_to, hit_delay, MemMsg::Resp(resp));
+            return;
+        }
+        self.misses += 1;
+        if let Some(waiters) = self.mshr.get_mut(&la) {
+            waiters.push(req);
+            return;
+        }
+        if self.mshr.len() >= self.cfg.mshrs as usize {
+            self.overflow.push_back(req);
+            return;
+        }
+        self.mshr.insert(la, vec![req]);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.fills.insert(id, la);
+        let fill = MemReq::read(id, la, self.cfg.line_bytes, ctx.self_id());
+        ctx.send(self.next, hit_delay, MemMsg::Req(fill));
+    }
+
+    fn install(&mut self, la: u64, data: Vec<u8>, ctx: &mut Ctx<'_, MemMsg>) {
+        let set = self.set_index(la);
+        // Pick an invalid way or evict LRU.
+        let ways = &mut self.sets[set];
+        let victim = match ways.iter().position(|w| w.is_none()) {
+            Some(i) => i,
+            None => {
+                let (i, _) = ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.as_ref().map(|l| l.lru).unwrap_or(0))
+                    .expect("nonzero associativity");
+                i
+            }
+        };
+        if let Some(old) = ways[victim].take() {
+            self.evictions += 1;
+            if old.dirty {
+                self.wb_count += 1;
+                let id = self.next_id;
+                self.next_id += 1;
+                self.writebacks.insert(id, ());
+                let wb = MemReq::write(id, old.tag, old.data, ctx.self_id());
+                ctx.send(self.next, 0, MemMsg::Req(wb));
+            }
+        }
+        self.lru_clock += 1;
+        self.sets[set][victim] =
+            Some(Line { tag: la, dirty: false, lru: self.lru_clock, data });
+
+        // Serve everything waiting on this line.
+        let waiters = self.mshr.remove(&la).unwrap_or_default();
+        let hit_delay = self.cfg.clock.cycles(self.cfg.hit_latency_cycles);
+        let line_bytes = self.cfg.line_bytes;
+        for req in waiters {
+            let line = self
+                .lookup(la)
+                .expect("line just installed");
+            let resp = Self::serve_from_line(line, &req, line_bytes);
+            ctx.send(req.reply_to, hit_delay, MemMsg::Resp(resp));
+        }
+        // Retry overflowed misses now that an MSHR freed up.
+        while self.mshr.len() < self.cfg.mshrs as usize {
+            let Some(req) = self.overflow.pop_front() else { break };
+            self.access(req, ctx);
+        }
+    }
+}
+
+impl Component<MemMsg> for Cache {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, msg: MemMsg, ctx: &mut Ctx<'_, MemMsg>) {
+        match msg {
+            MemMsg::Req(req) => self.access(req, ctx),
+            MemMsg::Resp(resp) => {
+                if self.writebacks.remove(&resp.id).is_some() {
+                    return;
+                }
+                let Some(la) = self.fills.remove(&resp.id) else {
+                    panic!("{}: unexpected response id {}", self.name, resp.id);
+                };
+                let data = resp.data.expect("line fill carries data");
+                self.install(la, data, ctx);
+            }
+            other => debug_assert!(false, "{}: unexpected message {other:?}", self.name),
+        }
+    }
+
+    fn stats(&self) -> Vec<(String, f64)> {
+        vec![
+            ("hits".into(), self.hits as f64),
+            ("misses".into(), self.misses as f64),
+            ("evictions".into(), self.evictions as f64),
+            ("writebacks".into(), self.wb_count as f64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::{Dram, DramConfig};
+    use crate::test_util::Collector;
+    use sim_core::Simulation;
+
+    fn system(cfg: CacheConfig) -> (Simulation<MemMsg>, CompId, CompId, CompId) {
+        let mut sim: Simulation<MemMsg> = Simulation::new();
+        let dram = sim.add_component(Dram::new("dram", DramConfig::default(), 0, 1 << 20));
+        let cache = sim.add_component(Cache::new("l1", cfg, dram));
+        let col = sim.add_component(Collector::new());
+        (sim, dram, cache, col)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (mut sim, dram, cache, col) = system(CacheConfig::default());
+        sim.component_as_mut::<Dram>(dram).unwrap().poke(0x100, &[42, 43, 44, 45]);
+        sim.post(cache, 0, MemMsg::Req(MemReq::read(1, 0x100, 4, col)));
+        sim.post(cache, 100_000, MemMsg::Req(MemReq::read(2, 0x100, 4, col)));
+        sim.run();
+        let c = sim.component_as::<Collector>(col).unwrap();
+        assert_eq!(c.resps[0].data.as_deref(), Some(&[42u8, 43, 44, 45][..]));
+        assert_eq!(c.resps[1].data.as_deref(), Some(&[42u8, 43, 44, 45][..]));
+        let miss_t = c.resp_ticks[0];
+        let hit_t = c.resp_ticks[1] - 100_000;
+        assert!(hit_t < miss_t, "hit {hit_t} must be faster than miss {miss_t}");
+        assert_eq!(hit_t, 2_000);
+        let l1 = sim.component_as::<Cache>(cache).unwrap();
+        assert_eq!((l1.hits(), l1.misses()), (1, 1));
+    }
+
+    #[test]
+    fn write_back_on_eviction() {
+        // Direct-mapped 2-line cache: two conflicting dirty writes force a
+        // write-back that lands in DRAM.
+        let cfg = CacheConfig {
+            size_bytes: 128,
+            assoc: 1,
+            line_bytes: 64,
+            ..CacheConfig::default()
+        };
+        let (mut sim, dram, cache, col) = system(cfg);
+        sim.post(cache, 0, MemMsg::Req(MemReq::write(1, 0x000, vec![0xAA; 4], col)));
+        // Same set (stride = line * num_sets = 128).
+        sim.post(cache, 200_000, MemMsg::Req(MemReq::write(2, 0x080, vec![0xBB; 4], col)));
+        sim.post(cache, 400_000, MemMsg::Req(MemReq::read(3, 0x100, 4, col))); // evicts 0x000? no: set 0 again at 0x100
+        sim.run();
+        let d = sim.component_as::<Dram>(dram).unwrap();
+        assert_eq!(d.peek(0x000, 4), &[0xAA, 0xAA, 0xAA, 0xAA]);
+        let l1 = sim.component_as::<Cache>(cache).unwrap();
+        assert!(l1.wb_count >= 1);
+    }
+
+    #[test]
+    fn coalesces_misses_to_same_line() {
+        let (mut sim, _dram, cache, col) = system(CacheConfig::default());
+        for i in 0..8 {
+            sim.post(cache, 0, MemMsg::Req(MemReq::read(i, 0x200 + i * 4, 4, col)));
+        }
+        sim.run();
+        let c = sim.component_as::<Collector>(col).unwrap();
+        assert_eq!(c.resps.len(), 8);
+        let l1 = sim.component_as::<Cache>(cache).unwrap();
+        // All 8 fall in one 64B line: 1 fill from memory.
+        assert_eq!(l1.misses(), 8);
+        let stats = l1.stats();
+        let _ = stats;
+    }
+
+    #[test]
+    fn mshr_overflow_retries() {
+        let cfg = CacheConfig { mshrs: 1, ..CacheConfig::default() };
+        let (mut sim, _dram, cache, col) = system(cfg);
+        // Two misses to different lines with only one MSHR.
+        sim.post(cache, 0, MemMsg::Req(MemReq::read(1, 0x000, 4, col)));
+        sim.post(cache, 0, MemMsg::Req(MemReq::read(2, 0x400, 4, col)));
+        sim.run();
+        let c = sim.component_as::<Collector>(col).unwrap();
+        assert_eq!(c.resps.len(), 2);
+    }
+
+    #[test]
+    fn larger_cache_hits_more() {
+        // Stream over 8 kB twice: a 16 kB cache keeps everything, a 512 B
+        // cache thrashes — the Table II mechanism.
+        let run = |size: u64| {
+            let cfg = CacheConfig::default().with_size(size);
+            let (mut sim, _dram, cache, col) = system(cfg);
+            let mut t = 0;
+            for pass in 0..2 {
+                for i in 0..128u64 {
+                    let id = pass * 1000 + i;
+                    sim.post(cache, t, MemMsg::Req(MemReq::read(id, i * 64, 4, col)));
+                    t += 100_000;
+                }
+            }
+            sim.run();
+            let l1 = sim.component_as::<Cache>(cache).unwrap();
+            l1.hits()
+        };
+        assert!(run(16 * 1024) > run(512));
+    }
+}

@@ -1,0 +1,433 @@
+//! Block and stream DMA engines.
+
+use std::collections::{HashMap, VecDeque};
+
+use sim_core::{ClockDomain, CompId, Component, Ctx};
+
+use crate::msg::{MemMsg, MemReq};
+
+/// A DMA command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmaCmd {
+    /// Caller-chosen id echoed in [`MemMsg::DmaDone`].
+    pub id: u64,
+    /// Source base address (memory side).
+    pub src: u64,
+    /// Destination base address (memory side; ignored by stream readers).
+    pub dst: u64,
+    /// Transfer length in bytes.
+    pub len: u64,
+    /// Component notified on completion.
+    pub notify: CompId,
+    /// Optional interrupt line raised at `notify` on completion.
+    pub irq_line: Option<u32>,
+}
+
+impl DmaCmd {
+    /// A plain memory-to-memory command.
+    pub fn new(id: u64, src: u64, dst: u64, len: u64, notify: CompId) -> Self {
+        DmaCmd { id, src, dst, len, notify, irq_line: None }
+    }
+
+    /// Adds a completion interrupt on `line`.
+    pub fn with_irq(mut self, line: u32) -> Self {
+        self.irq_line = Some(line);
+        self
+    }
+}
+
+#[derive(Debug)]
+struct ActiveXfer {
+    cmd: DmaCmd,
+    read_cursor: u64,
+    written: u64,
+    inflight: u32,
+}
+
+/// A block DMA: memory-to-memory bursts through one memory port.
+///
+/// The "burst width" knob corresponds to the cluster-DMA burst tuning the
+/// paper uses to match the FPGA data mover in its system validation
+/// (Table III).
+#[derive(Debug)]
+pub struct BlockDma {
+    name: String,
+    port: CompId,
+    burst_bytes: u32,
+    max_inflight: u32,
+    clock: ClockDomain,
+    queue: VecDeque<DmaCmd>,
+    active: Option<ActiveXfer>,
+    reads: HashMap<u64, u64>, // req id -> src offset
+    writes: HashMap<u64, u64>, // req id -> bytes
+    next_id: u64,
+    bytes_moved: u64,
+    xfers: u64,
+}
+
+impl BlockDma {
+    /// Creates a DMA pushing requests into `port` (usually a crossbar).
+    pub fn new(name: &str, port: CompId, burst_bytes: u32, max_inflight: u32) -> Self {
+        BlockDma {
+            name: name.to_string(),
+            port,
+            burst_bytes: burst_bytes.max(1),
+            max_inflight: max_inflight.max(1),
+            clock: ClockDomain::default(),
+            queue: VecDeque::new(),
+            active: None,
+            reads: HashMap::new(),
+            writes: HashMap::new(),
+            next_id: 1,
+            bytes_moved: 0,
+            xfers: 0,
+        }
+    }
+
+    /// Total bytes copied.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_, MemMsg>) {
+        if self.active.is_none() {
+            let Some(cmd) = self.queue.pop_front() else { return };
+            if cmd.len == 0 {
+                finish(&cmd, ctx);
+                self.xfers += 1;
+                return self.pump(ctx);
+            }
+            self.active = Some(ActiveXfer { cmd, read_cursor: 0, written: 0, inflight: 0 });
+        }
+        let me = ctx.self_id();
+        let Some(a) = self.active.as_mut() else { return };
+        while a.inflight < self.max_inflight && a.read_cursor < a.cmd.len {
+            let remaining = a.cmd.len - a.read_cursor;
+            let size = remaining.min(self.burst_bytes as u64) as u32;
+            let id = self.next_id;
+            self.next_id += 1;
+            self.reads.insert(id, a.read_cursor);
+            a.inflight += 1;
+            let req = MemReq::read(id, a.cmd.src + a.read_cursor, size, me);
+            a.read_cursor += size as u64;
+            ctx.send(self.port, self.clock.cycles(1), MemMsg::Req(req));
+        }
+    }
+}
+
+fn finish(cmd: &DmaCmd, ctx: &mut Ctx<'_, MemMsg>) {
+    ctx.send(cmd.notify, 0, MemMsg::DmaDone { id: cmd.id });
+    if let Some(line) = cmd.irq_line {
+        ctx.send(cmd.notify, 0, MemMsg::Irq { line, raised: true });
+    }
+}
+
+impl Component<MemMsg> for BlockDma {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, msg: MemMsg, ctx: &mut Ctx<'_, MemMsg>) {
+        match msg {
+            MemMsg::DmaStart(cmd) => {
+                self.queue.push_back(cmd);
+                self.pump(ctx);
+            }
+            MemMsg::Resp(resp) => {
+                let me = ctx.self_id();
+                if let Some(off) = self.reads.remove(&resp.id) {
+                    let a = self.active.as_mut().expect("read resp without transfer");
+                    let data = resp.data.expect("dma read returns data");
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.writes.insert(id, data.len() as u64);
+                    let req = MemReq::write(id, a.cmd.dst + off, data, me);
+                    ctx.send(self.port, self.clock.cycles(1), MemMsg::Req(req));
+                } else if let Some(n) = self.writes.remove(&resp.id) {
+                    let a = self.active.as_mut().expect("write resp without transfer");
+                    a.written += n;
+                    a.inflight -= 1;
+                    self.bytes_moved += n;
+                    if a.written >= a.cmd.len {
+                        let cmd = self.active.take().expect("active transfer").cmd;
+                        self.xfers += 1;
+                        finish(&cmd, ctx);
+                    }
+                    self.pump(ctx);
+                } else {
+                    panic!("{}: unexpected response id {}", self.name, resp.id);
+                }
+            }
+            other => debug_assert!(false, "{}: unexpected message {other:?}", self.name),
+        }
+    }
+
+    fn stats(&self) -> Vec<(String, f64)> {
+        vec![
+            ("bytes_moved".into(), self.bytes_moved as f64),
+            ("transfers".into(), self.xfers as f64),
+        ]
+    }
+}
+
+/// Configuration for a [`StreamDma`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamDmaConfig {
+    /// Memory port (crossbar or memory).
+    pub port: CompId,
+    /// Beat size in bytes.
+    pub beat_bytes: u32,
+    /// For readers: the stream buffer to push into, plus its capacity as the
+    /// initial credit grant.
+    pub stream_target: Option<CompId>,
+    /// Initial credits (reader mode); usually the target FIFO's capacity.
+    pub initial_credits: u32,
+}
+
+#[derive(Debug)]
+enum StreamState {
+    Idle,
+    Reading { cmd: DmaCmd, cursor: u64, pushed: u64, pending: VecDeque<Vec<u8>> },
+    Writing { cmd: DmaCmd, received: u64, written: u64, saw_last: bool },
+}
+
+/// A stream DMA: bridges memory and AXI-Stream-like beats.
+///
+/// * **Reader mode** (with a `stream_target`): a [`MemMsg::DmaStart`] makes it
+///   read `len` bytes from `src` and push them as beats, respecting credits.
+/// * **Writer mode**: a [`MemMsg::DmaStart`] arms it to receive pushed beats
+///   and write them to `dst` sequentially, completing after `len` bytes or a
+///   `last` beat.
+#[derive(Debug)]
+pub struct StreamDma {
+    name: String,
+    cfg: StreamDmaConfig,
+    credits: u32,
+    state: StreamState,
+    reads: HashMap<u64, ()>,
+    writes: HashMap<u64, u64>,
+    next_id: u64,
+    beats: u64,
+}
+
+impl StreamDma {
+    /// Creates a stream DMA.
+    pub fn new(name: &str, cfg: StreamDmaConfig) -> Self {
+        StreamDma {
+            name: name.to_string(),
+            credits: cfg.initial_credits,
+            cfg,
+            state: StreamState::Idle,
+            reads: HashMap::new(),
+            writes: HashMap::new(),
+            next_id: 1,
+            beats: 0,
+        }
+    }
+
+    /// Beats moved so far.
+    pub fn beats(&self) -> u64 {
+        self.beats
+    }
+
+    fn pump_reader(&mut self, ctx: &mut Ctx<'_, MemMsg>) {
+        let me = ctx.self_id();
+        let target = match self.cfg.stream_target {
+            Some(t) => t,
+            None => return,
+        };
+        let StreamState::Reading { cmd, cursor, pushed, pending } = &mut self.state else {
+            return;
+        };
+        // Push buffered beats while credits allow.
+        while self.credits > 0 && !pending.is_empty() {
+            let data = pending.pop_front().expect("nonempty");
+            self.credits -= 1;
+            *pushed += data.len() as u64;
+            self.beats += 1;
+            let last = *pushed >= cmd.len;
+            ctx.send(target, 0, MemMsg::StreamPush { data, last });
+            if last {
+                let cmd = cmd.clone();
+                self.state = StreamState::Idle;
+                finish(&cmd, ctx);
+                return;
+            }
+        }
+        // Keep a small window of memory reads in flight.
+        while self.reads.len() < 4 && *cursor < cmd.len {
+            let size = (cmd.len - *cursor).min(self.cfg.beat_bytes as u64) as u32;
+            let id = self.next_id;
+            self.next_id += 1;
+            self.reads.insert(id, ());
+            let req = MemReq::read(id, cmd.src + *cursor, size, me);
+            *cursor += size as u64;
+            ctx.send(self.cfg.port, 0, MemMsg::Req(req));
+        }
+    }
+}
+
+impl Component<MemMsg> for StreamDma {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, msg: MemMsg, ctx: &mut Ctx<'_, MemMsg>) {
+        match msg {
+            MemMsg::DmaStart(cmd) => {
+                if self.cfg.stream_target.is_some() {
+                    self.state = StreamState::Reading {
+                        cmd,
+                        cursor: 0,
+                        pushed: 0,
+                        pending: VecDeque::new(),
+                    };
+                    self.pump_reader(ctx);
+                } else {
+                    self.state =
+                        StreamState::Writing { cmd, received: 0, written: 0, saw_last: false };
+                }
+            }
+            MemMsg::StreamCredit { n } => {
+                self.credits += n;
+                self.pump_reader(ctx);
+            }
+            MemMsg::Resp(resp) => {
+                if self.reads.remove(&resp.id).is_some() {
+                    let data = resp.data.expect("stream read returns data");
+                    if let StreamState::Reading { pending, .. } = &mut self.state {
+                        pending.push_back(data);
+                    }
+                    self.pump_reader(ctx);
+                } else if let Some(n) = self.writes.remove(&resp.id) {
+                    if let StreamState::Writing { cmd, written, received, saw_last } =
+                        &mut self.state
+                    {
+                        *written += n;
+                        let done = *written >= cmd.len || (*saw_last && written == received);
+                        if done {
+                            let cmd = cmd.clone();
+                            self.state = StreamState::Idle;
+                            finish(&cmd, ctx);
+                        }
+                    }
+                } else {
+                    panic!("{}: unexpected response id {}", self.name, resp.id);
+                }
+            }
+            MemMsg::StreamPush { data, last } => {
+                let me = ctx.self_id();
+                let producer = ctx.sender();
+                let StreamState::Writing { cmd, received, saw_last, .. } = &mut self.state
+                else {
+                    panic!("{}: stream beat while not armed for writing", self.name);
+                };
+                let id = self.next_id;
+                self.next_id += 1;
+                self.writes.insert(id, data.len() as u64);
+                let req = MemReq::write(id, cmd.dst + *received, data, me);
+                *received += req.size as u64;
+                *saw_last |= last;
+                self.beats += 1;
+                ctx.send(self.cfg.port, 0, MemMsg::Req(req));
+                // Immediately re-credit the producer: memory is our sink.
+                ctx.send(producer, 0, MemMsg::StreamCredit { n: 1 });
+            }
+            other => debug_assert!(false, "{}: unexpected message {other:?}", self.name),
+        }
+    }
+
+    fn stats(&self) -> Vec<(String, f64)> {
+        vec![("beats".into(), self.beats as f64)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrMap;
+    use crate::dram::{Dram, DramConfig};
+    use crate::spm::{Scratchpad, ScratchpadConfig};
+    use crate::test_util::Collector;
+    use crate::xbar::Xbar;
+    use sim_core::Simulation;
+
+    /// DRAM + SPM behind a crossbar, with a block DMA.
+    fn dma_system(burst: u32) -> (Simulation<MemMsg>, CompId, CompId, CompId, CompId) {
+        let mut sim: Simulation<MemMsg> = Simulation::new();
+        let dram = sim.add_component(Dram::new("dram", DramConfig::default(), 0x8000_0000, 1 << 16));
+        let spm = sim.add_component(Scratchpad::new(
+            "spm",
+            ScratchpadConfig::default().with_ports(4, 4),
+            0x1000_0000,
+            1 << 16,
+        ));
+        let mut map = AddrMap::new();
+        map.add(0x1000_0000, 0x1001_0000, spm);
+        map.add(0x8000_0000, 0x8001_0000, dram);
+        let xbar = sim.add_component(Xbar::new("xbar", map, 1, 8));
+        let dma = sim.add_component(BlockDma::new("dma", xbar, burst, 4));
+        (sim, dram, spm, xbar, dma)
+    }
+
+    #[test]
+    fn copies_dram_to_spm() {
+        let (mut sim, dram, spm, _xbar, dma) = dma_system(64);
+        let data: Vec<u8> = (0..=255).collect();
+        sim.component_as_mut::<Dram>(dram).unwrap().poke(0x8000_0000, &data);
+        let col = sim.add_component(Collector::new());
+        sim.post(
+            dma,
+            0,
+            MemMsg::DmaStart(DmaCmd::new(9, 0x8000_0000, 0x1000_0000, 256, col).with_irq(0)),
+        );
+        sim.run();
+        let c = sim.component_as::<Collector>(col).unwrap();
+        assert_eq!(c.dma_dones, vec![(9, c.dma_dones[0].1)]);
+        assert_eq!(c.irqs.len(), 1);
+        let s = sim.component_as::<Scratchpad>(spm).unwrap();
+        assert_eq!(s.peek(0x1000_0000, 256), &data[..]);
+        let d = sim.component_as::<BlockDma>(dma).unwrap();
+        assert_eq!(d.bytes_moved(), 256);
+    }
+
+    #[test]
+    fn wider_bursts_finish_sooner() {
+        let run = |burst: u32| {
+            let (mut sim, dram, _spm, _xbar, dma) = dma_system(burst);
+            sim.component_as_mut::<Dram>(dram).unwrap().poke(0x8000_0000, &[7; 4096]);
+            let col = sim.add_component(Collector::new());
+            sim.post(dma, 0, MemMsg::DmaStart(DmaCmd::new(1, 0x8000_0000, 0x1000_0000, 4096, col)));
+            sim.run();
+            sim.component_as::<Collector>(col).unwrap().dma_dones[0].1
+        };
+        assert!(run(256) < run(16), "large bursts amortize row activations");
+    }
+
+    #[test]
+    fn zero_length_completes_immediately() {
+        let (mut sim, _dram, _spm, _xbar, dma) = dma_system(64);
+        let col = sim.add_component(Collector::new());
+        sim.post(dma, 0, MemMsg::DmaStart(DmaCmd::new(3, 0x8000_0000, 0x1000_0000, 0, col)));
+        sim.run();
+        assert_eq!(sim.component_as::<Collector>(col).unwrap().dma_dones.len(), 1);
+    }
+
+    #[test]
+    fn queued_commands_run_in_order() {
+        let (mut sim, dram, spm, _xbar, dma) = dma_system(64);
+        sim.component_as_mut::<Dram>(dram).unwrap().poke(0x8000_0000, &[1; 64]);
+        sim.component_as_mut::<Dram>(dram).unwrap().poke(0x8000_0040, &[2; 64]);
+        let col = sim.add_component(Collector::new());
+        sim.post(dma, 0, MemMsg::DmaStart(DmaCmd::new(1, 0x8000_0000, 0x1000_0000, 64, col)));
+        sim.post(dma, 0, MemMsg::DmaStart(DmaCmd::new(2, 0x8000_0040, 0x1000_0040, 64, col)));
+        sim.run();
+        let c = sim.component_as::<Collector>(col).unwrap();
+        assert_eq!(c.dma_dones.len(), 2);
+        assert_eq!(c.dma_dones[0].0, 1);
+        assert_eq!(c.dma_dones[1].0, 2);
+        let s = sim.component_as::<Scratchpad>(spm).unwrap();
+        assert_eq!(s.peek(0x1000_0000, 1)[0], 1);
+        assert_eq!(s.peek(0x1000_0040, 1)[0], 2);
+    }
+}

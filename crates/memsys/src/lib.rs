@@ -1,0 +1,61 @@
+//! # memsys
+//!
+//! A packet-based memory system built on the [`sim_core`] kernel, standing in
+//! for the gem5 memory infrastructure that gem5-SALAM plugs into:
+//!
+//! * [`Scratchpad`] — multi-ported SRAM with configurable latency, port
+//!   counts and bank partitioning; the accelerator-private and cluster-shared
+//!   SPMs of the paper.
+//! * [`Cache`] — set-associative write-back cache with MSHRs, usable as
+//!   private L1 or shared LLC.
+//! * [`Dram`] — banked main memory with row-buffer timing and a shared data
+//!   bus.
+//! * [`Xbar`] — address-routed crossbar with configurable width and per-hop
+//!   latency (the local/global crossbars of the accelerator cluster).
+//! * [`BlockDma`] / [`StreamDma`] — the two DMA flavours gem5-SALAM offers.
+//! * [`StreamBuffer`] — AXI-Stream-like FIFO with two-way backpressure,
+//!   enabling direct accelerator-to-accelerator pipelines.
+//! * [`MmrBlock`] — memory-mapped registers with doorbell notification, the
+//!   control interface between host and accelerators.
+//!
+//! All components exchange [`MemMsg`] messages; an address map ([`AddrMap`])
+//! routes requests. Every component is a [`sim_core::Component`], so full
+//! systems are compositions inside one [`sim_core::Simulation`].
+//!
+//! # Example: write/read roundtrip through a crossbar into a scratchpad
+//!
+//! ```
+//! use memsys::{AddrMap, MemMsg, Scratchpad, ScratchpadConfig, Xbar, test_util::Requester};
+//! use sim_core::Simulation;
+//!
+//! let mut sim: Simulation<MemMsg> = Simulation::new();
+//! let spm = sim.add_component(Scratchpad::new("spm", ScratchpadConfig::default(), 0x0, 0x1000));
+//! let mut map = AddrMap::new();
+//! map.add(0x0, 0x1000, spm);
+//! let xbar = sim.add_component(Xbar::new("xbar", map, 1, 8));
+//! let req = sim.add_component(Requester::new(xbar));
+//! sim.post(req, 0, MemMsg::Start);
+//! sim.run();
+//! assert_eq!(sim.component_as::<Requester>(req).unwrap().ok, Some(true));
+//! ```
+
+mod addr;
+mod cache;
+mod dma;
+mod dram;
+mod mmr;
+mod msg;
+mod spm;
+mod stream;
+pub mod test_util;
+mod xbar;
+
+pub use addr::AddrMap;
+pub use cache::{Cache, CacheConfig};
+pub use dma::{BlockDma, DmaCmd, StreamDma, StreamDmaConfig};
+pub use dram::{Dram, DramConfig};
+pub use mmr::MmrBlock;
+pub use msg::{MemMsg, MemOp, MemReq, MemResp};
+pub use spm::{Scratchpad, ScratchpadConfig};
+pub use stream::{StreamBuffer, StreamBufferConfig};
+pub use xbar::Xbar;

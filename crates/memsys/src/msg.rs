@@ -1,0 +1,125 @@
+//! The message vocabulary exchanged by memory-system components.
+
+use sim_core::CompId;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// A read of `size` bytes.
+    Read,
+    /// A write of `size` bytes carrying data.
+    Write,
+}
+
+/// A memory request packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemReq {
+    /// Requester-chosen id, echoed in the response.
+    pub id: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u32,
+    /// Read or write.
+    pub op: MemOp,
+    /// Payload for writes.
+    pub data: Option<Vec<u8>>,
+    /// Component to receive the [`MemResp`].
+    pub reply_to: CompId,
+}
+
+impl MemReq {
+    /// A read request.
+    pub fn read(id: u64, addr: u64, size: u32, reply_to: CompId) -> Self {
+        MemReq { id, addr, size, op: MemOp::Read, data: None, reply_to }
+    }
+
+    /// A write request.
+    pub fn write(id: u64, addr: u64, data: Vec<u8>, reply_to: CompId) -> Self {
+        let size = data.len() as u32;
+        MemReq { id, addr, size, op: MemOp::Write, data: Some(data), reply_to }
+    }
+}
+
+/// A memory response packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemResp {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Echo of the request address.
+    pub addr: u64,
+    /// Echo of the operation.
+    pub op: MemOp,
+    /// Data for reads.
+    pub data: Option<Vec<u8>>,
+}
+
+/// All messages understood by memory-system components.
+///
+/// The `Start`, `Doorbell` and `Custom` variants exist for components built
+/// on top of this crate (hosts, communications interfaces, experiment
+/// drivers) so one message type can serve a whole system simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemMsg {
+    /// A request packet.
+    Req(MemReq),
+    /// A response packet.
+    Resp(MemResp),
+    /// Self-scheduled clock tick for pipelined components.
+    Tick,
+    /// Kick a DMA engine.
+    DmaStart(crate::dma::DmaCmd),
+    /// DMA completion notification (`id` echoes [`crate::dma::DmaCmd::id`]).
+    DmaDone {
+        /// Echo of the command id.
+        id: u64,
+    },
+    /// Stream payload push (producer → buffer, buffer → consumer).
+    StreamPush {
+        /// Payload bytes.
+        data: Vec<u8>,
+        /// Marks the final beat of a stream.
+        last: bool,
+    },
+    /// Stream credit return (buffer → producer), granting `n` more beats.
+    StreamCredit {
+        /// Number of beats granted.
+        n: u32,
+    },
+    /// Interrupt line level change.
+    Irq {
+        /// Which line.
+        line: u32,
+        /// Asserted or deasserted.
+        raised: bool,
+    },
+    /// Generic start/kick for drivers and experiment harnesses.
+    Start,
+    /// Doorbell from an [`crate::MmrBlock`]: a watched register was written.
+    Doorbell {
+        /// Offset of the register that was written.
+        offset: u64,
+        /// The value written.
+        value: u64,
+    },
+    /// Escape hatch for crates layering protocols on this message type.
+    Custom(u64, u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let to = CompId::from_raw(3);
+        let r = MemReq::read(7, 0x100, 8, to);
+        assert_eq!(r.op, MemOp::Read);
+        assert_eq!(r.size, 8);
+        assert!(r.data.is_none());
+        let w = MemReq::write(8, 0x200, vec![1, 2, 3, 4], to);
+        assert_eq!(w.op, MemOp::Write);
+        assert_eq!(w.size, 4);
+        assert_eq!(w.data.as_deref(), Some(&[1u8, 2, 3, 4][..]));
+    }
+}

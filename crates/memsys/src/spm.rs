@@ -1,0 +1,330 @@
+//! Multi-ported scratchpad memory.
+
+use std::collections::VecDeque;
+
+use sim_core::{ClockDomain, Component, Ctx, Frequency};
+
+use crate::msg::{MemMsg, MemOp, MemReq, MemResp};
+
+/// Configuration for a [`Scratchpad`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScratchpadConfig {
+    /// Access latency in SPM-clock cycles.
+    pub latency_cycles: u64,
+    /// Reads serviced per cycle.
+    pub read_ports: u32,
+    /// Writes serviced per cycle.
+    pub write_ports: u32,
+    /// Cyclic banking factor; 0 disables bank-conflict modeling.
+    pub banks: u32,
+    /// Bank interleave granularity in bytes (word size).
+    pub bank_word: u32,
+    /// SPM clock.
+    pub clock: ClockDomain,
+}
+
+impl Default for ScratchpadConfig {
+    /// 1-cycle, dual-ported (1R + 1W), unbanked SPM at 1 GHz.
+    fn default() -> Self {
+        ScratchpadConfig {
+            latency_cycles: 1,
+            read_ports: 1,
+            write_ports: 1,
+            banks: 0,
+            bank_word: 4,
+            clock: ClockDomain::new(Frequency::ghz(1)),
+        }
+    }
+}
+
+impl ScratchpadConfig {
+    /// Sets both port counts.
+    pub fn with_ports(mut self, read: u32, write: u32) -> Self {
+        self.read_ports = read.max(1);
+        self.write_ports = write.max(1);
+        self
+    }
+}
+
+/// A scratchpad: private or shared accelerator SRAM.
+///
+/// Requests queue at the SPM and are serviced in order, up to
+/// `read_ports` reads and `write_ports` writes per cycle (with optional
+/// cyclic bank-conflict modeling). Responses return after the configured
+/// latency. These are exactly the knobs the paper sweeps in its GEMM
+/// design-space exploration (Figs. 13–15).
+#[derive(Debug)]
+pub struct Scratchpad {
+    name: String,
+    base: u64,
+    data: Vec<u8>,
+    cfg: ScratchpadConfig,
+    queue: VecDeque<MemReq>,
+    tick_pending: bool,
+    // stats
+    reads: u64,
+    writes: u64,
+    busy_cycles: u64,
+    conflict_stalls: u64,
+    max_queue: usize,
+}
+
+impl Scratchpad {
+    /// Creates a zero-initialized scratchpad covering `[base, base+size)`.
+    pub fn new(name: &str, cfg: ScratchpadConfig, base: u64, size: u64) -> Self {
+        Scratchpad {
+            name: name.to_string(),
+            base,
+            data: vec![0; size as usize],
+            cfg,
+            queue: VecDeque::new(),
+            tick_pending: false,
+            reads: 0,
+            writes: 0,
+            busy_cycles: 0,
+            conflict_stalls: 0,
+            max_queue: 0,
+        }
+    }
+
+    /// Base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Direct backdoor read (testing / checkpointing), bypassing timing.
+    pub fn peek(&self, addr: u64, len: usize) -> &[u8] {
+        let off = (addr - self.base) as usize;
+        &self.data[off..off + len]
+    }
+
+    /// Direct backdoor write, bypassing timing.
+    pub fn poke(&mut self, addr: u64, bytes: &[u8]) {
+        let off = (addr - self.base) as usize;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Total reads serviced.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes serviced.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    fn bank_of(&self, addr: u64) -> u64 {
+        (addr / self.cfg.bank_word as u64) % self.cfg.banks.max(1) as u64
+    }
+
+    fn schedule_tick(&mut self, ctx: &mut Ctx<'_, MemMsg>) {
+        if !self.tick_pending {
+            self.tick_pending = true;
+            let next = self.cfg.clock.next_edge_at_or_after(ctx.now() + 1);
+            ctx.wake(next - ctx.now(), MemMsg::Tick);
+        }
+    }
+
+    fn service(&mut self, req: MemReq, ctx: &mut Ctx<'_, MemMsg>) {
+        let off = (req.addr - self.base) as usize;
+        let resp = match req.op {
+            MemOp::Read => {
+                self.reads += 1;
+                let end = (off + req.size as usize).min(self.data.len());
+                MemResp {
+                    id: req.id,
+                    addr: req.addr,
+                    op: MemOp::Read,
+                    data: Some(self.data[off..end].to_vec()),
+                }
+            }
+            MemOp::Write => {
+                self.writes += 1;
+                if let Some(d) = &req.data {
+                    let end = (off + d.len()).min(self.data.len());
+                    self.data[off..end].copy_from_slice(&d[..end - off]);
+                }
+                MemResp { id: req.id, addr: req.addr, op: MemOp::Write, data: None }
+            }
+        };
+        let delay = self.cfg.clock.cycles(self.cfg.latency_cycles);
+        ctx.send(req.reply_to, delay, MemMsg::Resp(resp));
+    }
+}
+
+impl Component<MemMsg> for Scratchpad {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, msg: MemMsg, ctx: &mut Ctx<'_, MemMsg>) {
+        match msg {
+            MemMsg::Req(req) => {
+                assert!(
+                    req.addr >= self.base && req.addr + req.size as u64 <= self.base + self.size(),
+                    "{}: out-of-range access at {:#x}+{}",
+                    self.name,
+                    req.addr,
+                    req.size
+                );
+                self.queue.push_back(req);
+                self.max_queue = self.max_queue.max(self.queue.len());
+                self.schedule_tick(ctx);
+            }
+            MemMsg::Tick => {
+                self.tick_pending = false;
+                if self.queue.is_empty() {
+                    return;
+                }
+                self.busy_cycles += 1;
+                let mut reads_left = self.cfg.read_ports;
+                let mut writes_left = self.cfg.write_ports;
+                let mut banks_used: Vec<u64> = Vec::new();
+                let mut serviced: Vec<MemReq> = Vec::new();
+                let mut rest: VecDeque<MemReq> = VecDeque::new();
+                while let Some(req) = self.queue.pop_front() {
+                    let budget = match req.op {
+                        MemOp::Read => &mut reads_left,
+                        MemOp::Write => &mut writes_left,
+                    };
+                    let bank_ok = self.cfg.banks == 0 || {
+                        let b = self.bank_of(req.addr);
+                        if banks_used.contains(&b) {
+                            false
+                        } else {
+                            banks_used.push(b);
+                            true
+                        }
+                    };
+                    if *budget > 0 && bank_ok {
+                        *budget -= 1;
+                        serviced.push(req);
+                    } else {
+                        if !bank_ok {
+                            self.conflict_stalls += 1;
+                        }
+                        rest.push_back(req);
+                        // Keep order for everything behind the blocked one.
+                        while let Some(r) = self.queue.pop_front() {
+                            rest.push_back(r);
+                        }
+                        break;
+                    }
+                }
+                self.queue = rest;
+                for req in serviced {
+                    self.service(req, ctx);
+                }
+                if !self.queue.is_empty() {
+                    self.schedule_tick(ctx);
+                }
+            }
+            other => {
+                debug_assert!(false, "{}: unexpected message {other:?}", self.name);
+            }
+        }
+    }
+
+    fn stats(&self) -> Vec<(String, f64)> {
+        vec![
+            ("reads".into(), self.reads as f64),
+            ("writes".into(), self.writes as f64),
+            ("busy_cycles".into(), self.busy_cycles as f64),
+            ("bank_conflict_stalls".into(), self.conflict_stalls as f64),
+            ("max_queue".into(), self.max_queue as f64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::Collector;
+    use sim_core::Simulation;
+
+    fn setup(cfg: ScratchpadConfig) -> (Simulation<MemMsg>, sim_core::CompId, sim_core::CompId) {
+        let mut sim: Simulation<MemMsg> = Simulation::new();
+        let spm = sim.add_component(Scratchpad::new("spm", cfg, 0x1000, 0x1000));
+        let col = sim.add_component(Collector::new());
+        (sim, spm, col)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (mut sim, spm, col) = setup(ScratchpadConfig::default());
+        sim.post(spm, 0, MemMsg::Req(MemReq::write(1, 0x1010, vec![9, 8, 7, 6], col)));
+        sim.post(spm, 2_000, MemMsg::Req(MemReq::read(2, 0x1010, 4, col)));
+        sim.run();
+        let c = collector(&sim, col);
+        assert_eq!(c.resps.len(), 2);
+        assert_eq!(c.resps[1].data.as_deref(), Some(&[9u8, 8, 7, 6][..]));
+    }
+
+    fn collector(sim: &Simulation<MemMsg>, id: sim_core::CompId) -> &Collector {
+        sim.component_as::<Collector>(id).unwrap()
+    }
+
+    #[test]
+    fn read_port_limit_serializes() {
+        // 1 read port: 4 simultaneous reads take 4 cycles to issue.
+        let (mut sim, spm, col) = setup(ScratchpadConfig::default());
+        for i in 0..4 {
+            sim.post(spm, 0, MemMsg::Req(MemReq::read(i, 0x1000 + i * 4, 4, col)));
+        }
+        sim.run();
+        let c = collector(&sim, col);
+        assert_eq!(c.resps.len(), 4);
+        // Last response: issued at cycle 4 (tick at 4000ps... issue cycles 1..4),
+        // + 1 cycle latency.
+        assert_eq!(sim.now(), 5_000);
+    }
+
+    #[test]
+    fn wide_ports_parallelize() {
+        let cfg = ScratchpadConfig::default().with_ports(4, 1);
+        let (mut sim, spm, col) = setup(cfg);
+        for i in 0..4 {
+            sim.post(spm, 0, MemMsg::Req(MemReq::read(i, 0x1000 + i * 4, 4, col)));
+        }
+        sim.run();
+        assert_eq!(collector(&sim, col).resps.len(), 4);
+        assert_eq!(sim.now(), 2_000, "all four issue in the first cycle");
+    }
+
+    #[test]
+    fn bank_conflicts_stall() {
+        let mut cfg = ScratchpadConfig::default().with_ports(4, 4);
+        cfg.banks = 2;
+        cfg.bank_word = 4;
+        let (mut sim, spm, col) = setup(cfg);
+        // Addresses 0x1000 and 0x1008 hit the same bank (stride 8, 2 banks).
+        sim.post(spm, 0, MemMsg::Req(MemReq::read(0, 0x1000, 4, col)));
+        sim.post(spm, 0, MemMsg::Req(MemReq::read(1, 0x1008, 4, col)));
+        sim.run();
+        let c = collector(&sim, col);
+        assert_eq!(c.resps.len(), 2);
+        assert_eq!(sim.now(), 3_000, "second read waits a cycle on the bank");
+    }
+
+    #[test]
+    fn reads_and_writes_share_cycle() {
+        let (mut sim, spm, col) = setup(ScratchpadConfig::default());
+        sim.post(spm, 0, MemMsg::Req(MemReq::read(0, 0x1000, 4, col)));
+        sim.post(spm, 0, MemMsg::Req(MemReq::write(1, 0x1100, vec![1], col)));
+        sim.run();
+        assert_eq!(sim.now(), 2_000, "1R+1W issue together");
+    }
+
+    #[test]
+    fn peek_poke_backdoor() {
+        let mut spm = Scratchpad::new("s", ScratchpadConfig::default(), 0, 64);
+        spm.poke(8, &[1, 2, 3]);
+        assert_eq!(spm.peek(8, 3), &[1, 2, 3]);
+    }
+}

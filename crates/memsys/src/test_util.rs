@@ -1,0 +1,84 @@
+//! Small components used by tests, doctests and experiment harnesses.
+
+use sim_core::{CompId, Component, Ctx};
+
+use crate::msg::{MemMsg, MemReq, MemResp};
+
+/// Records every response and interrupt it receives.
+#[derive(Debug, Default)]
+pub struct Collector {
+    /// Responses in arrival order.
+    pub resps: Vec<MemResp>,
+    /// Arrival ticks aligned with `resps`.
+    pub resp_ticks: Vec<sim_core::Tick>,
+    /// Interrupt events `(line, raised, tick)`.
+    pub irqs: Vec<(u32, bool, sim_core::Tick)>,
+    /// DMA completions `(id, tick)`.
+    pub dma_dones: Vec<(u64, sim_core::Tick)>,
+    /// Stream beats received.
+    pub stream_beats: Vec<Vec<u8>>,
+}
+
+impl Collector {
+    /// A fresh collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+}
+
+impl Component<MemMsg> for Collector {
+    fn name(&self) -> &str {
+        "collector"
+    }
+
+    fn handle(&mut self, msg: MemMsg, ctx: &mut Ctx<'_, MemMsg>) {
+        match msg {
+            MemMsg::Resp(r) => {
+                self.resps.push(r);
+                self.resp_ticks.push(ctx.now());
+            }
+            MemMsg::Irq { line, raised } => self.irqs.push((line, raised, ctx.now())),
+            MemMsg::DmaDone { id } => self.dma_dones.push((id, ctx.now())),
+            MemMsg::StreamPush { data, .. } => self.stream_beats.push(data),
+            _ => {}
+        }
+    }
+}
+
+/// On [`MemMsg::Start`], writes 4 bytes then reads them back through a
+/// target, recording whether the data matched.
+#[derive(Debug)]
+pub struct Requester {
+    target: CompId,
+    /// Set once the read-back completes with matching data.
+    pub ok: Option<bool>,
+}
+
+impl Requester {
+    /// A requester that talks to `target`.
+    pub fn new(target: CompId) -> Self {
+        Requester { target, ok: None }
+    }
+}
+
+impl Component<MemMsg> for Requester {
+    fn name(&self) -> &str {
+        "requester"
+    }
+
+    fn handle(&mut self, msg: MemMsg, ctx: &mut Ctx<'_, MemMsg>) {
+        let me = ctx.self_id();
+        match msg {
+            MemMsg::Start => {
+                ctx.send(self.target, 0, MemMsg::Req(MemReq::write(1, 0x40, vec![0xAB, 0xCD, 0xEF, 0x01], me)));
+            }
+            MemMsg::Resp(r) if r.id == 1 => {
+                ctx.send(self.target, 0, MemMsg::Req(MemReq::read(2, 0x40, 4, me)));
+            }
+            MemMsg::Resp(r) if r.id == 2 => {
+                self.ok = Some(r.data.as_deref() == Some(&[0xAB, 0xCD, 0xEF, 0x01][..]));
+            }
+            _ => {}
+        }
+    }
+}

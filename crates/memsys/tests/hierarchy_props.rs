@@ -1,0 +1,138 @@
+//! Property tests: the timed memory hierarchy is functionally equivalent to
+//! a flat memory under arbitrary request interleavings.
+
+use proptest::prelude::*;
+
+use memsys::{Cache, CacheConfig, Dram, DramConfig, MemMsg, MemOp, MemReq};
+use sim_core::Simulation;
+
+#[derive(Debug, Clone)]
+enum Access {
+    Read { addr: u64 },
+    Write { addr: u64, byte: u8 },
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    prop_oneof![
+        (0u64..2048).prop_map(|a| Access::Read { addr: a * 4 }),
+        (0u64..2048, any::<u8>()).prop_map(|(a, byte)| Access::Write { addr: a * 4, byte }),
+    ]
+}
+
+fn run_hierarchy(cfg: CacheConfig, accesses: &[Access]) -> (Vec<(u64, u8)>, Vec<u8>) {
+    let mut sim: Simulation<MemMsg> = Simulation::new();
+    let dram = sim.add_component(Dram::new("d", DramConfig::default(), 0, 1 << 20));
+    let cache = sim.add_component(Cache::new("l1", cfg, dram));
+    let col = sim.add_component(memsys::test_util::Collector::new());
+    // Issue strictly in order with enough spacing that program order is
+    // preserved at the cache (the flat model is sequential).
+    for (i, a) in accesses.iter().enumerate() {
+        let t = i as u64 * 200_000;
+        match a {
+            Access::Read { addr } => {
+                sim.post(cache, t, MemMsg::Req(MemReq::read(i as u64, *addr, 4, col)));
+            }
+            Access::Write { addr, byte } => {
+                sim.post(cache, t, MemMsg::Req(MemReq::write(i as u64, *addr, vec![*byte; 4], col)));
+            }
+        }
+    }
+    sim.run();
+    // Drain everything back through the cache to observe dirty lines.
+    let read_back_at = sim.now() + 1;
+    let col2 = sim.add_component(memsys::test_util::Collector::new());
+    for i in 0..2048u64 {
+        sim.post(
+            cache,
+            read_back_at + i * 50_000,
+            MemMsg::Req(MemReq::read(1 << 32 | i, i * 4, 4, col2)),
+        );
+    }
+    sim.run();
+    let c = sim.component_as::<memsys::test_util::Collector>(col).unwrap();
+    let read_results: Vec<(u64, u8)> = c
+        .resps
+        .iter()
+        .filter(|r| r.op == MemOp::Read)
+        .map(|r| (r.id, r.data.as_ref().unwrap()[0]))
+        .collect();
+    let c2 = sim.component_as::<memsys::test_util::Collector>(col2).unwrap();
+    let mut final_mem = vec![0u8; 2048];
+    for r in &c2.resps {
+        final_mem[(r.addr / 4) as usize] = r.data.as_ref().unwrap()[0];
+    }
+    (read_results, final_mem)
+}
+
+fn run_flat(accesses: &[Access]) -> (Vec<(u64, u8)>, Vec<u8>) {
+    let mut mem = vec![0u8; 2048];
+    let mut reads = Vec::new();
+    for (i, a) in accesses.iter().enumerate() {
+        match a {
+            Access::Read { addr } => reads.push((i as u64, mem[(addr / 4) as usize])),
+            Access::Write { addr, byte } => mem[(addr / 4) as usize] = *byte,
+        }
+    }
+    (reads, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A tiny thrashing cache still returns exactly the flat-memory values.
+    #[test]
+    fn tiny_cache_is_functionally_transparent(
+        accesses in prop::collection::vec(access_strategy(), 1..80),
+    ) {
+        let cfg = CacheConfig { size_bytes: 256, assoc: 1, ..CacheConfig::default() };
+        let (got_reads, got_mem) = run_hierarchy(cfg, &accesses);
+        let (want_reads, want_mem) = run_flat(&accesses);
+        prop_assert_eq!(got_reads, want_reads);
+        prop_assert_eq!(got_mem, want_mem);
+    }
+
+    /// A large associative cache is equally transparent.
+    #[test]
+    fn large_cache_is_functionally_transparent(
+        accesses in prop::collection::vec(access_strategy(), 1..80),
+    ) {
+        let cfg = CacheConfig::default().with_size(64 * 1024);
+        let (got_reads, got_mem) = run_hierarchy(cfg, &accesses);
+        let (want_reads, want_mem) = run_flat(&accesses);
+        prop_assert_eq!(got_reads, want_reads);
+        prop_assert_eq!(got_mem, want_mem);
+    }
+}
+
+#[test]
+fn two_level_hierarchy_composes() {
+    // L1 -> L2 -> DRAM: caches compose without any special casing, and the
+    // L2 absorbs L1 misses (strictly fewer DRAM reads than L1 misses).
+    let mut sim: Simulation<MemMsg> = Simulation::new();
+    let dram = sim.add_component(Dram::new("dram", DramConfig::default(), 0, 1 << 20));
+    let l2 = sim.add_component(Cache::new(
+        "l2",
+        CacheConfig::default().with_size(32 * 1024),
+        dram,
+    ));
+    let l1 = sim.add_component(Cache::new("l1", CacheConfig::default().with_size(1024), l2));
+    let col = sim.add_component(memsys::test_util::Collector::new());
+    // Two passes over 4 kB: the second pass misses L1 (1 kB) but hits L2.
+    let mut t = 0u64;
+    let mut id = 0u64;
+    for _pass in 0..2 {
+        for i in 0..64u64 {
+            sim.post(l1, t, MemMsg::Req(MemReq::read(id, i * 64, 4, col)));
+            id += 1;
+            t += 100_000;
+        }
+    }
+    sim.run();
+    let c = sim.component_as::<memsys::test_util::Collector>(col).unwrap();
+    assert_eq!(c.resps.len(), 128);
+    let l1c = sim.component_as::<Cache>(l1).unwrap();
+    let l2c = sim.component_as::<Cache>(l2).unwrap();
+    assert!(l1c.misses() > 64, "1 kB L1 thrashes across 4 kB");
+    assert_eq!(l2c.misses(), 64, "L2 misses only on the first pass");
+    assert!(l2c.hits() > 0, "second-pass L1 misses hit in L2");
+}

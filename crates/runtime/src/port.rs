@@ -1,0 +1,206 @@
+//! The memory-port abstraction between the runtime engine and the memory
+//! system, plus a self-contained scratchpad-like model for standalone runs.
+
+use std::collections::VecDeque;
+
+use salam_ir::interp::SparseMemory;
+
+/// One memory operation leaving the engine's read/write queues.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemAccess {
+    /// Engine-chosen token, echoed in the completion.
+    pub token: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u32,
+    /// Whether this is a store.
+    pub is_write: bool,
+    /// Store payload.
+    pub data: Option<Vec<u8>>,
+}
+
+/// A finished memory operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemCompletion {
+    /// Echo of [`MemAccess::token`].
+    pub token: u64,
+    /// Loaded bytes for reads.
+    pub data: Option<Vec<u8>>,
+}
+
+/// What the engine plugs its memory queues into.
+///
+/// Implementations range from the bundled [`SimpleMem`] (a private
+/// fixed-latency scratchpad) to the full `salam` communications interface
+/// that forwards into the `memsys` crate. Interchangeability of this
+/// interface is the paper's "decoupling of datapath and memory" claim made
+/// concrete.
+pub trait MemPort {
+    /// Called once at the start of every engine cycle; refreshes per-cycle
+    /// port budgets and advances internal time.
+    fn begin_cycle(&mut self);
+
+    /// Tries to accept one access this cycle. Returns the access back if the
+    /// port is out of bandwidth or buffering.
+    ///
+    /// # Errors
+    ///
+    /// The rejected access is returned unchanged so the caller can retry it
+    /// next cycle.
+    fn try_issue(&mut self, access: MemAccess) -> Result<(), MemAccess>;
+
+    /// Drains completions that have arrived since the last poll.
+    fn poll(&mut self) -> Vec<MemCompletion>;
+}
+
+/// A private scratchpad model with per-cycle read/write port budgets and a
+/// fixed latency — enough to run an accelerator standalone (datapath + SPM),
+/// the configuration the paper validates against HLS in Fig. 10.
+#[derive(Debug)]
+pub struct SimpleMem {
+    mem: SparseMemory,
+    latency_cycles: u64,
+    read_ports: u32,
+    write_ports: u32,
+    reads_left: u32,
+    writes_left: u32,
+    cycle: u64,
+    pending: VecDeque<(u64, MemCompletion)>, // (ready_cycle, completion)
+    reads: u64,
+    writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl SimpleMem {
+    /// Creates a model with the given latency and port counts.
+    pub fn new(latency_cycles: u64, read_ports: u32, write_ports: u32) -> Self {
+        SimpleMem {
+            mem: SparseMemory::new(),
+            latency_cycles: latency_cycles.max(1),
+            read_ports: read_ports.max(1),
+            write_ports: write_ports.max(1),
+            reads_left: read_ports.max(1),
+            writes_left: write_ports.max(1),
+            cycle: 0,
+            pending: VecDeque::new(),
+            reads: 0,
+            writes: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// The backing functional memory (for pre-loading inputs and reading
+    /// results).
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    /// Reads serviced.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes serviced.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Bytes read and written.
+    pub fn bytes(&self) -> (u64, u64) {
+        (self.bytes_read, self.bytes_written)
+    }
+}
+
+impl MemPort for SimpleMem {
+    fn begin_cycle(&mut self) {
+        self.cycle += 1;
+        self.reads_left = self.read_ports;
+        self.writes_left = self.write_ports;
+    }
+
+    fn try_issue(&mut self, access: MemAccess) -> Result<(), MemAccess> {
+        use salam_ir::interp::Memory as _;
+        let budget = if access.is_write { &mut self.writes_left } else { &mut self.reads_left };
+        if *budget == 0 {
+            return Err(access);
+        }
+        *budget -= 1;
+        let ready = self.cycle + self.latency_cycles;
+        let completion = if access.is_write {
+            self.writes += 1;
+            self.bytes_written += access.size as u64;
+            let data = access.data.as_deref().unwrap_or(&[]);
+            self.mem.write(access.addr, data);
+            MemCompletion { token: access.token, data: None }
+        } else {
+            self.reads += 1;
+            self.bytes_read += access.size as u64;
+            let mut buf = vec![0u8; access.size as usize];
+            self.mem.read(access.addr, &mut buf);
+            MemCompletion { token: access.token, data: Some(buf) }
+        };
+        self.pending.push_back((ready, completion));
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Vec<MemCompletion> {
+        let mut out = Vec::new();
+        while let Some((ready, _)) = self.pending.front() {
+            if *ready <= self.cycle {
+                out.push(self.pending.pop_front().expect("nonempty").1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_port_budgets() {
+        let mut m = SimpleMem::new(1, 2, 1);
+        m.begin_cycle();
+        assert!(m.try_issue(MemAccess { token: 1, addr: 0, size: 4, is_write: false, data: None }).is_ok());
+        assert!(m.try_issue(MemAccess { token: 2, addr: 4, size: 4, is_write: false, data: None }).is_ok());
+        assert!(m.try_issue(MemAccess { token: 3, addr: 8, size: 4, is_write: false, data: None }).is_err());
+        // Write budget is independent.
+        assert!(m
+            .try_issue(MemAccess { token: 4, addr: 12, size: 4, is_write: true, data: Some(vec![0; 4]) })
+            .is_ok());
+        m.begin_cycle();
+        assert!(m.try_issue(MemAccess { token: 5, addr: 8, size: 4, is_write: false, data: None }).is_ok());
+    }
+
+    #[test]
+    fn completions_arrive_after_latency() {
+        let mut m = SimpleMem::new(3, 1, 1);
+        m.begin_cycle(); // cycle 1
+        m.try_issue(MemAccess { token: 9, addr: 0, size: 4, is_write: false, data: None }).unwrap();
+        assert!(m.poll().is_empty());
+        m.begin_cycle(); // 2
+        m.begin_cycle(); // 3
+        assert!(m.poll().is_empty());
+        m.begin_cycle(); // 4 = 1 + 3
+        let done = m.poll();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].token, 9);
+    }
+
+    #[test]
+    fn data_flows_through() {
+        let mut m = SimpleMem::new(1, 1, 1);
+        m.memory_mut().write_i32_slice(0x10, &[1234]);
+        m.begin_cycle();
+        m.try_issue(MemAccess { token: 1, addr: 0x10, size: 4, is_write: false, data: None }).unwrap();
+        m.begin_cycle();
+        let c = m.poll();
+        assert_eq!(c[0].data.as_deref(), Some(&1234i32.to_le_bytes()[..]));
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-cycle statistics collected by the runtime engine.
+//!
+//! These counters feed the paper's profiling figures directly: stall/new-
+//! execution splits (Fig. 14a), stall-source breakdowns (Fig. 14b),
+//! scheduling mixes and FU occupancy (Fig. 15), and the dynamic-energy terms
+//! of the power model (Fig. 4, Fig. 11).
+
+use std::collections::BTreeMap;
+
+use hw_profile::FuKind;
+
+/// Classification of issued operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IssueClass {
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Floating-point compute.
+    Float,
+    /// Integer / address compute.
+    Int,
+    /// Control, phi, casts and other wiring.
+    Other,
+}
+
+impl IssueClass {
+    /// Short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IssueClass::Load => "load",
+            IssueClass::Store => "store",
+            IssueClass::Float => "float",
+            IssueClass::Int => "int",
+            IssueClass::Other => "other",
+        }
+    }
+}
+
+/// Which kinds of unfinished work were pending during a stalled cycle —
+/// the paper breaks GEMM stalls down exactly this way (Fig. 14b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct StallMix {
+    /// An outstanding load was pending.
+    pub load: bool,
+    /// An outstanding store was pending.
+    pub store: bool,
+    /// An outstanding (or blocked) compute op was pending.
+    pub compute: bool,
+}
+
+impl StallMix {
+    /// Canonical label like `"load+compute"`.
+    pub fn label(self) -> String {
+        let mut parts = Vec::new();
+        if self.load {
+            parts.push("load");
+        }
+        if self.store {
+            parts.push("store");
+        }
+        if self.compute {
+            parts.push("compute");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// One cycle's activity snapshot (recorded when
+/// [`crate::EngineConfig::record_timeline`] is set) — the paper's per-cycle
+/// scheduling log that drives fine-grained occupancy exploration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleRecord {
+    /// Operations issued this cycle, per class label.
+    pub issued: BTreeMap<&'static str, u32>,
+    /// Busy functional units, per kind.
+    pub fu_busy: BTreeMap<FuKind, u32>,
+    /// Outstanding memory operations at cycle end.
+    pub mem_outstanding: u32,
+    /// Whether a ready operation was blocked this cycle (a stall).
+    pub stalled: bool,
+}
+
+/// Aggregate statistics for one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Total engine cycles.
+    pub cycles: u64,
+    /// Cycles in which at least one new operation issued.
+    pub new_exec_cycles: u64,
+    /// Cycles with pending work but no issue.
+    pub stall_cycles: u64,
+    /// Stalled cycles keyed by the pending-work mix label.
+    pub stall_breakdown: BTreeMap<String, u64>,
+    /// Issued operations per class.
+    pub issued: BTreeMap<&'static str, u64>,
+    /// Cycles in which each class issued at least once.
+    pub class_active_cycles: BTreeMap<&'static str, u64>,
+    /// Memory scheduling mix: cycles in which only loads issued (`"load"`),
+    /// only stores (`"store"`), or both (`"load+store"`) — Fig. 15b's
+    /// memory-parallelism view.
+    pub mem_mix_cycles: BTreeMap<&'static str, u64>,
+    /// Sum over cycles of busy units, per FU kind (occupancy numerator).
+    pub fu_busy_cycle_sum: BTreeMap<FuKind, u64>,
+    /// Allocated pool size per FU kind (occupancy denominator).
+    pub fu_pool: BTreeMap<FuKind, u32>,
+    /// Dynamic functional-unit energy in picojoules.
+    pub fu_dynamic_pj: f64,
+    /// Dynamic internal-register read energy in picojoules.
+    pub reg_read_pj: f64,
+    /// Dynamic internal-register write energy in picojoules.
+    pub reg_write_pj: f64,
+    /// Loads issued to the memory port.
+    pub loads: u64,
+    /// Stores issued to the memory port.
+    pub stores: u64,
+    /// Bytes loaded.
+    pub load_bytes: u64,
+    /// Bytes stored.
+    pub store_bytes: u64,
+    /// Cycles in which a ready memory op was refused by the port
+    /// (bandwidth saturation).
+    pub port_reject_cycles: u64,
+    /// Per-cycle activity log (only populated when
+    /// [`crate::EngineConfig::record_timeline`] is enabled).
+    pub timeline: Vec<CycleRecord>,
+}
+
+impl EngineStats {
+    /// Average occupancy (0..1) of the pool for `kind` over the whole run.
+    pub fn fu_occupancy(&self, kind: FuKind) -> f64 {
+        let busy = self.fu_busy_cycle_sum.get(&kind).copied().unwrap_or(0) as f64;
+        let pool = self.fu_pool.get(&kind).copied().unwrap_or(0) as f64;
+        if pool == 0.0 || self.cycles == 0 {
+            0.0
+        } else {
+            busy / (pool * self.cycles as f64)
+        }
+    }
+
+    /// Fraction of cycles that stalled.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total issued operations across classes.
+    pub fn total_issued(&self) -> u64 {
+        self.issued.values().sum()
+    }
+
+    /// Issued count for one class.
+    pub fn issued_class(&self, class: IssueClass) -> u64 {
+        self.issued.get(class.label()).copied().unwrap_or(0)
+    }
+
+    /// Total dynamic datapath energy (FUs + registers) in picojoules.
+    pub fn dynamic_datapath_pj(&self) -> f64 {
+        self.fu_dynamic_pj + self.reg_read_pj + self.reg_write_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_mix_labels() {
+        assert_eq!(StallMix::default().label(), "none");
+        assert_eq!(StallMix { load: true, store: false, compute: true }.label(), "load+compute");
+        assert_eq!(
+            StallMix { load: true, store: true, compute: true }.label(),
+            "load+store+compute"
+        );
+    }
+
+    #[test]
+    fn occupancy_math() {
+        let mut s = EngineStats { cycles: 10, ..Default::default() };
+        s.fu_pool.insert(FuKind::FpAddF64, 4);
+        s.fu_busy_cycle_sum.insert(FuKind::FpAddF64, 20);
+        assert!((s.fu_occupancy(FuKind::FpAddF64) - 0.5).abs() < 1e-12);
+        assert_eq!(s.fu_occupancy(FuKind::Mux), 0.0);
+    }
+
+    #[test]
+    fn fractions_guard_zero() {
+        let s = EngineStats::default();
+        assert_eq!(s.stall_fraction(), 0.0);
+        assert_eq!(s.total_issued(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Clock domains and frequency arithmetic.
+
+use crate::{Cycle, Tick};
+
+/// A clock frequency, stored exactly as a period in picoseconds.
+///
+/// gem5-SALAM lets the communications interface and compute unit run on
+/// independent clocks; `Frequency` is the user-facing knob for that.
+///
+/// ```
+/// use sim_core::Frequency;
+/// let f = Frequency::mhz(100);
+/// assert_eq!(f.period_ps(), 10_000);
+/// assert_eq!(Frequency::ghz(1).period_ps(), 1_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Frequency {
+    period_ps: Tick,
+}
+
+impl Frequency {
+    /// Creates a frequency from a clock period in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ps` is zero.
+    pub fn from_period_ps(period_ps: Tick) -> Self {
+        assert!(period_ps > 0, "clock period must be nonzero");
+        Frequency { period_ps }
+    }
+
+    /// A frequency of `n` megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or does not divide 1 THz evenly.
+    pub fn mhz(n: u64) -> Self {
+        assert!(n > 0 && 1_000_000 % n == 0, "MHz value must divide 1e6");
+        Frequency::from_period_ps(1_000_000 / n)
+    }
+
+    /// A frequency of `n` gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or does not divide 1000 evenly.
+    pub fn ghz(n: u64) -> Self {
+        assert!(n > 0 && 1_000 % n == 0, "GHz value must divide 1000");
+        Frequency::from_period_ps(1_000 / n)
+    }
+
+    /// The clock period in picoseconds.
+    pub fn period_ps(self) -> Tick {
+        self.period_ps
+    }
+
+    /// The frequency in megahertz (rounded down).
+    pub fn as_mhz(self) -> u64 {
+        1_000_000 / self.period_ps
+    }
+}
+
+impl Default for Frequency {
+    /// 1 GHz, the default accelerator clock used throughout the paper's
+    /// experiments.
+    fn default() -> Self {
+        Frequency::ghz(1)
+    }
+}
+
+impl std::fmt::Display for Frequency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} MHz", self.as_mhz())
+    }
+}
+
+/// A clock domain: converts between domain cycles and global ticks.
+///
+/// ```
+/// use sim_core::{ClockDomain, Frequency};
+/// let clk = ClockDomain::new(Frequency::ghz(1));
+/// assert_eq!(clk.cycle_to_tick(3), 3_000);
+/// assert_eq!(clk.tick_to_cycle(3_500), 3);
+/// assert_eq!(clk.next_edge_at_or_after(2_500), 3_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockDomain {
+    freq: Frequency,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain with the given frequency.
+    pub fn new(freq: Frequency) -> Self {
+        ClockDomain { freq }
+    }
+
+    /// The frequency of this domain.
+    pub fn frequency(&self) -> Frequency {
+        self.freq
+    }
+
+    /// The period of one cycle in ticks.
+    pub fn period(&self) -> Tick {
+        self.freq.period_ps()
+    }
+
+    /// The tick of the rising edge that begins `cycle`.
+    pub fn cycle_to_tick(&self, cycle: Cycle) -> Tick {
+        cycle * self.period()
+    }
+
+    /// The cycle containing `tick` (edges belong to the cycle they begin).
+    pub fn tick_to_cycle(&self, tick: Tick) -> Cycle {
+        tick / self.period()
+    }
+
+    /// The first clock edge at or after `tick`.
+    pub fn next_edge_at_or_after(&self, tick: Tick) -> Tick {
+        let p = self.period();
+        tick.div_ceil(p) * p
+    }
+
+    /// Ticks elapsed by `n` cycles of this clock.
+    pub fn cycles(&self, n: u64) -> Tick {
+        n * self.period()
+    }
+}
+
+impl Default for ClockDomain {
+    fn default() -> Self {
+        ClockDomain::new(Frequency::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mhz_and_ghz_periods() {
+        assert_eq!(Frequency::mhz(500).period_ps(), 2_000);
+        assert_eq!(Frequency::mhz(250).period_ps(), 4_000);
+        assert_eq!(Frequency::ghz(2).period_ps(), 500);
+    }
+
+    #[test]
+    fn as_mhz_roundtrip() {
+        for m in [1, 10, 100, 200, 500, 1000] {
+            assert_eq!(Frequency::mhz(m).as_mhz(), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_period_panics() {
+        let _ = Frequency::from_period_ps(0);
+    }
+
+    #[test]
+    fn edge_alignment() {
+        let clk = ClockDomain::new(Frequency::mhz(100)); // 10_000 ps
+        assert_eq!(clk.next_edge_at_or_after(0), 0);
+        assert_eq!(clk.next_edge_at_or_after(1), 10_000);
+        assert_eq!(clk.next_edge_at_or_after(10_000), 10_000);
+        assert_eq!(clk.next_edge_at_or_after(10_001), 20_000);
+    }
+
+    #[test]
+    fn cycle_tick_inverse() {
+        let clk = ClockDomain::new(Frequency::ghz(1));
+        for c in 0..100 {
+            assert_eq!(clk.tick_to_cycle(clk.cycle_to_tick(c)), c);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Frequency::ghz(1).to_string(), "1000 MHz");
+    }
+}

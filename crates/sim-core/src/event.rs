@@ -1,0 +1,170 @@
+//! The event queue: a deterministic priority queue of scheduled messages.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Tick;
+
+/// Identifies a component registered with a [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompId(pub(crate) u32);
+
+impl CompId {
+    /// The raw index of this component in its simulation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CompId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "comp#{}", self.0)
+    }
+}
+
+/// A message scheduled for delivery at a particular tick.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<M> {
+    /// Delivery time.
+    pub tick: Tick,
+    /// Receiving component.
+    pub dst: CompId,
+    /// Component that scheduled the event (the receiver itself for wakeups).
+    pub src: CompId,
+    /// The message payload.
+    pub msg: M,
+    seq: u64,
+}
+
+struct HeapEntry<M>(ScheduledEvent<M>);
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.tick == other.0.tick && self.0.seq == other.0.seq
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (tick, seq) pops
+        // first. seq breaks ties FIFO for determinism.
+        (other.0.tick, other.0.seq).cmp(&(self.0.tick, self.0.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events at equal ticks are delivered in scheduling order, making whole-
+/// simulation behaviour a pure function of the scheduled inputs.
+///
+/// ```
+/// use sim_core::{EventQueue, CompId};
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// let a = CompId::from_raw(0);
+/// q.push(5, a, a, "later");
+/// q.push(5, a, a, "later2");
+/// q.push(1, a, a, "first");
+/// assert_eq!(q.pop().unwrap().msg, "first");
+/// assert_eq!(q.pop().unwrap().msg, "later");
+/// assert_eq!(q.pop().unwrap().msg, "later2");
+/// ```
+#[derive(Default)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<HeapEntry<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `msg` for `dst` at absolute time `tick`.
+    pub fn push(&mut self, tick: Tick, dst: CompId, src: CompId, msg: M) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(ScheduledEvent { tick, dst, src, msg, seq }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<M>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// The tick of the earliest pending event.
+    pub fn next_tick(&self) -> Option<Tick> {
+        self.heap.peek().map(|e| e.0.tick)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<M> std::fmt::Debug for EventQueue<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_tick", &self.next_tick())
+            .finish()
+    }
+}
+
+impl CompId {
+    /// Builds a `CompId` from a raw index. Intended for tests and tools that
+    /// construct queues outside a [`crate::Simulation`].
+    pub fn from_raw(raw: u32) -> Self {
+        CompId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> CompId {
+        CompId::from_raw(n)
+    }
+
+    #[test]
+    fn orders_by_tick() {
+        let mut q = EventQueue::new();
+        q.push(30, id(0), id(0), 'c');
+        q.push(10, id(0), id(0), 'a');
+        q.push(20, id(0), id(0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.msg)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_within_tick() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(7, id(i % 3), id(0), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.msg)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_tick_peeks() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_tick(), None);
+        q.push(42, id(0), id(0), ());
+        assert_eq!(q.next_tick(), Some(42));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

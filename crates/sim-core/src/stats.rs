@@ -1,0 +1,244 @@
+//! Lightweight statistics primitives shared by all simulation models.
+//!
+//! gem5 exposes a rich stats framework; the models in this reproduction need
+//! counters, running averages, and small histograms, all exported as flat
+//! `(name, value)` pairs through [`crate::Component::stats`].
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use sim_core::stats::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Current count as `f64` for stats export.
+    pub fn as_f64(&self) -> f64 {
+        self.0 as f64
+    }
+}
+
+/// A running mean with sample count.
+///
+/// ```
+/// use sim_core::stats::Average;
+/// let mut a = Average::new();
+/// a.sample(2.0);
+/// a.sample(4.0);
+/// assert_eq!(a.mean(), 3.0);
+/// assert_eq!(a.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Average {
+    sum: f64,
+    n: u64,
+}
+
+impl Average {
+    /// Creates an empty average.
+    pub fn new() -> Self {
+        Average::default()
+    }
+
+    /// Records one sample.
+    pub fn sample(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+    }
+
+    /// Mean of all samples, or 0.0 if none were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Total of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// ```
+/// use sim_core::stats::Histogram;
+/// let mut h = Histogram::with_buckets(&[10, 100]);
+/// h.sample(5);
+/// h.sample(50);
+/// h.sample(500);
+/// assert_eq!(h.bucket_counts(), &[1, 1, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Upper bounds (inclusive) of each bucket except the last overflow one.
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds, plus an
+    /// implicit overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not strictly increasing.
+    pub fn with_buckets(bounds: &[u64]) -> Self {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn sample(&mut self, v: u64) {
+        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Maximum sample seen (0 if none).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+}
+
+/// Accumulates named stats for export.
+///
+/// ```
+/// use sim_core::stats::StatSet;
+/// let mut s = StatSet::new();
+/// s.set("cycles", 100.0);
+/// s.set("stalls", 40.0);
+/// assert_eq!(s.get("stalls"), Some(40.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatSet {
+    entries: Vec<(String, f64)>,
+}
+
+impl StatSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        StatSet::default()
+    }
+
+    /// Sets (or overwrites) a named value.
+    pub fn set(&mut self, name: &str, value: f64) {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == name) {
+            e.1 = value;
+        } else {
+            self.entries.push((name.to_string(), value));
+        }
+    }
+
+    /// Reads a named value.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// All entries in insertion order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// Consumes the set, yielding its entries.
+    pub fn into_entries(self) -> Vec<(String, f64)> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        for _ in 0..10 {
+            c.inc();
+        }
+        c.add(5);
+        assert_eq!(c.value(), 15);
+        assert_eq!(c.as_f64(), 15.0);
+    }
+
+    #[test]
+    fn average_empty_is_zero() {
+        assert_eq!(Average::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::with_buckets(&[1, 2, 4]);
+        for v in [0, 1, 2, 3, 4, 5, 100] {
+            h.sample(v);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 1, 2, 2]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "increase")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::with_buckets(&[5, 5]);
+    }
+
+    #[test]
+    fn statset_overwrites() {
+        let mut s = StatSet::new();
+        s.set("x", 1.0);
+        s.set("x", 2.0);
+        assert_eq!(s.get("x"), Some(2.0));
+        assert_eq!(s.entries().len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Design-space exploration of a GEMM accelerator: sweep unrolling,
+//! functional-unit budgets and scratchpad bandwidth, and print the
+//! time/power/area trade-off for each point — the paper's §IV-D workflow.
+//!
+//! Run with: `cargo run --release --example gemm_dse`
+
+use hw_profile::FuKind;
+use salam::standalone::{run_kernel, StandaloneConfig};
+use salam_cdfg::FuConstraints;
+
+fn main() {
+    println!(
+        "{:>7} {:>5} {:>6} {:>10} {:>10} {:>12} {:>8}",
+        "unroll", "fmul", "ports", "cycles", "time(us)", "power(mW)", "area(mm2)"
+    );
+    let mut best: Option<(f64, String)> = None;
+    for unroll in [1usize, 4, 8, 16] {
+        let kernel = machsuite::gemm::build(&machsuite::gemm::Params { n: 16, unroll });
+        for fmul in [2u32, 8, 16] {
+            for ports in [2u32, 8, 32] {
+                let mut cfg = StandaloneConfig::default()
+                    .with_ports(ports)
+                    .with_constraints(
+                        FuConstraints::unconstrained()
+                            .with_limit(FuKind::FpMulF64, fmul)
+                            .with_limit(FuKind::FpAddF64, fmul),
+                    );
+                cfg.engine.reservation_entries = 512;
+                let r = run_kernel(&kernel, &cfg);
+                assert!(r.verified, "DSE point produced wrong results");
+                let time_us = r.runtime_ns / 1000.0;
+                let power = r.power.total_mw();
+                let area_mm2 = r.total_area_um2() / 1e6;
+                println!(
+                    "{unroll:>7} {fmul:>5} {ports:>6} {:>10} {time_us:>10.2} {power:>12.2} {area_mm2:>8.3}",
+                    r.cycles
+                );
+                // Energy-delay product as a simple co-design objective.
+                let edp = time_us * time_us * power;
+                let label =
+                    format!("unroll={unroll} fmul={fmul} ports={ports} ({time_us:.1} us, {power:.1} mW)");
+                if best.as_ref().map(|(b, _)| edp < *b).unwrap_or(true) {
+                    best = Some((edp, label));
+                }
+            }
+        }
+    }
+    let (edp, label) = best.expect("swept at least one point");
+    println!("\nbest energy-delay-squared point: {label} (ED^2P {edp:.1})");
+}

@@ -1,0 +1,62 @@
+//! Data-dependent execution: why execute-in-execute simulation matters.
+//!
+//! Runs SpMV-CRS (with its guarded bit-shift) under both execution models —
+//! the SALAM runtime engine and the Aladdin-style trace flow — on two
+//! datasets that differ only in whether they trigger the guard, reproducing
+//! the paper's Table I argument interactively.
+//!
+//! Run with: `cargo run --release --example spmv_irregular`
+
+use hw_profile::{FuKind, HardwareProfile};
+use salam::standalone::{run_kernel, StandaloneConfig};
+use salam_aladdin::{derive_datapath, generate_trace, AladdinMemModel};
+use salam_cdfg::{FuConstraints, StaticCdfg};
+use salam_ir::interp::SparseMemory;
+
+fn main() {
+    let profile = HardwareProfile::default_40nm();
+    println!("SpMV-CRS with a guarded shift: same source, two datasets\n");
+
+    for (label, trigger) in [("quiet dataset", false), ("triggering dataset", true)] {
+        let kernel = machsuite::spmv::build(&machsuite::spmv::Params {
+            dataset_triggers_shift: trigger,
+            ..machsuite::spmv::Params::default()
+        });
+
+        // Trace-based flow: datapath reverse-engineered from this run.
+        let mut mem = SparseMemory::new();
+        kernel.load_into(&mut mem);
+        let trace = generate_trace(&kernel.func, &kernel.args, &mut mem);
+        let aladdin = derive_datapath(&kernel.func, &trace, &profile, &AladdinMemModel::default_spm());
+
+        // Execute-in-execute flow: datapath fixed by static elaboration.
+        let salam =
+            StaticCdfg::elaborate(&kernel.func, &profile, &FuConstraints::unconstrained());
+        let run = run_kernel(&kernel, &StandaloneConfig::default());
+        assert!(run.verified);
+
+        println!("{label}:");
+        println!(
+            "  Aladdin datapath:    {} FMUL, {} FADD, {} shifters  <- depends on the data",
+            aladdin.fu_count(FuKind::FpMulF64),
+            aladdin.fu_count(FuKind::FpAddF64),
+            aladdin.fu_count(FuKind::Shifter),
+        );
+        println!(
+            "  gem5-SALAM datapath: {} FMUL, {} FADD, {} shifters  <- fixed by the source",
+            salam.fu_count(FuKind::FpMulF64),
+            salam.fu_count(FuKind::FpAddF64),
+            salam.fu_count(FuKind::Shifter),
+        );
+        println!(
+            "  gem5-SALAM timing:   {} cycles (shift path {}taken at runtime)\n",
+            run.cycles,
+            if trigger { "" } else { "never " }
+        );
+    }
+    println!(
+        "The shifter exists in the kernel whether or not any input exercises\n\
+         it; only the execute-in-execute model keeps the datapath stable while\n\
+         still charging the dynamic cost only when the path actually runs."
+    );
+}

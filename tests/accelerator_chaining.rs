@@ -1,0 +1,136 @@
+//! Accelerator-to-accelerator control: one accelerator programs and starts
+//! a peer through the peer's memory-mapped registers, with no host
+//! involvement between stages — the paper's "accelerators can communicate
+//! directly with each other and self-synchronize" claim (§III-D2/D3).
+
+use memsys::{MemMsg, MemReq, Scratchpad};
+use salam::{AcceleratorConfig, ClusterBuilder, ClusterConfig, ComputeUnit, MemoryStyle};
+use salam_ir::{Function, FunctionBuilder, Type};
+use sim_core::Simulation;
+
+const SHARED: u64 = 0x2000_0000;
+const B_MMR: u64 = 0x4000_1000;
+
+/// Stage A: doubles 8 values in the shared SPM, flushes (re-loads what it
+/// wrote, so the kick is data-dependent on every store having committed),
+/// then *starts accelerator B* by storing 1 to B's control register —
+/// chaining through the fabric with a software fence, exactly as a
+/// bare-metal producer would.
+fn stage_a() -> Function {
+    let mut fb = FunctionBuilder::new("stage_a", &[("data", Type::Ptr), ("peer_ctrl", Type::Ptr)]);
+    let data = fb.arg(0);
+    let peer = fb.arg(1);
+    let zero = fb.i64c(0);
+    let n = fb.i64c(8);
+    fb.counted_loop("i", zero, n, |fb, i| {
+        let p = fb.gep1(Type::I64, data, i, "p");
+        let x = fb.load(Type::I64, p, "x");
+        let two = fb.i64c(2);
+        let y = fb.mul(x, two, "y");
+        fb.store(y, p);
+    });
+    // Flush barrier: read back everything written; these loads cannot issue
+    // until the overlapping stores commit, and the kick value depends on
+    // them, so the doorbell orders after the data.
+    let fence = fb.counted_loop_accs("flush", zero, n, 1, &[(Type::I64, zero)], |fb, i, accs| {
+        let p = fb.gep1(Type::I64, data, i, "p");
+        let x = fb.load(Type::I64, p, "x");
+        let acc = fb.or(accs[0], x, "acc");
+        vec![acc]
+    });
+    // kick = 1 | (fence & 0): value 1, dependent on the flush.
+    let zero64 = fb.i64c(0);
+    let masked = fb.and(fence[0], zero64, "masked");
+    let one = fb.i64c(1);
+    let kick = fb.or(masked, one, "kick");
+    fb.store(kick, peer);
+    fb.ret();
+    fb.finish()
+}
+
+/// Stage B: adds 100 to each value (runs only after A starts it).
+fn stage_b() -> Function {
+    let mut fb = FunctionBuilder::new("stage_b", &[("data", Type::Ptr)]);
+    let data = fb.arg(0);
+    let zero = fb.i64c(0);
+    let n = fb.i64c(8);
+    fb.counted_loop("i", zero, n, |fb, i| {
+        let p = fb.gep1(Type::I64, data, i, "p");
+        let x = fb.load(Type::I64, p, "x");
+        let hundred = fb.i64c(100);
+        let y = fb.add(x, hundred, "y");
+        fb.store(y, p);
+    });
+    fb.ret();
+    fb.finish()
+}
+
+#[test]
+fn accelerator_starts_its_peer_through_mmrs() {
+    let mut sim: Simulation<MemMsg> = Simulation::new();
+    let mut b = ClusterBuilder::new(ClusterConfig::default(), hw_profile::HardwareProfile::default_40nm());
+    b.add_accelerator(
+        AcceleratorConfig::new("stage_a"),
+        stage_a(),
+        MemoryStyle::GlobalOnly,
+        0x4000_0000,
+        None,
+    );
+    b.add_accelerator(
+        AcceleratorConfig::new("stage_b"),
+        stage_b(),
+        MemoryStyle::GlobalOnly,
+        B_MMR,
+        None,
+    );
+    let (cluster, _dram, _gx) = salam::build_system(&mut sim, b, 0x8000_0000, 1 << 20);
+    let a = cluster.accels[0];
+    let bh = cluster.accels[1];
+    let shared = cluster.shared_spm.unwrap();
+    sim.component_as_mut::<Scratchpad>(shared)
+        .unwrap()
+        .poke(SHARED, &(1..=8i64).flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>());
+
+    // Program both argument sets up front, then start only A. B must be
+    // started by A itself.
+    let col = sim.add_component(memsys::test_util::Collector::new());
+    let writes = [
+        (a.mmr_base + 16, SHARED),        // A.arg0 = data
+        (a.mmr_base + 24, B_MMR),         // A.arg1 = peer control register
+        (bh.mmr_base + 16, SHARED),       // B.arg0 = data
+    ];
+    for (i, (addr, v)) in writes.iter().enumerate() {
+        sim.post(
+            cluster.local_xbar,
+            i as u64,
+            MemMsg::Req(MemReq::write(i as u64, *addr, v.to_le_bytes().to_vec(), col)),
+        );
+    }
+    sim.post(
+        cluster.local_xbar,
+        50_000,
+        MemMsg::Req(MemReq::write(99, a.mmr_base, 1u64.to_le_bytes().to_vec(), col)),
+    );
+    sim.run();
+
+    // Both stages ran, in order, and B's effect landed after A's.
+    let cu_a = sim.component_as::<ComputeUnit>(a.unit).unwrap();
+    let cu_b = sim.component_as::<ComputeUnit>(bh.unit).unwrap();
+    assert_eq!(cu_a.invocations(), 1, "A must run");
+    assert_eq!(cu_b.invocations(), 1, "B must be started by A, not the host");
+    let (_, a_end) = cu_a.span();
+    let (b_start, _) = cu_b.span();
+    assert!(
+        b_start.unwrap() >= a_end.unwrap_or(0).saturating_sub(100_000),
+        "B starts at A's tail, not before"
+    );
+
+    let s = sim.component_as::<Scratchpad>(shared).unwrap();
+    let got: Vec<i64> = s
+        .peek(SHARED, 64)
+        .chunks(8)
+        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let want: Vec<i64> = (1..=8).map(|v| v * 2 + 100).collect();
+    assert_eq!(got, want, "pipeline result: (x*2)+100");
+}

@@ -1,0 +1,218 @@
+//! Property-based cross-model tests: the reference interpreter, the
+//! optimization passes, the textual round-trip, and the cycle-accurate
+//! runtime engine must all agree on randomly generated kernels.
+
+use proptest::prelude::*;
+
+use hw_profile::HardwareProfile;
+use salam_cdfg::{FuConstraints, StaticCdfg};
+use salam_ir::interp::{run_function, NullObserver, RtVal, SparseMemory};
+use salam_ir::{parse_module, FloatPredicate, Function, FunctionBuilder, IntPredicate, Module, Type};
+use salam_runtime::{Engine, EngineConfig, SimpleMem};
+
+/// One step of a random straight-line computation over two value pools.
+#[derive(Debug, Clone)]
+enum Op {
+    IAdd(usize, usize),
+    ISub(usize, usize),
+    IMul(usize, usize),
+    IMin(usize, usize),
+    Shl(usize, u8),
+    FAdd(usize, usize),
+    FSub(usize, usize),
+    FMul(usize, usize),
+    FMax(usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::IAdd(a, b)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::ISub(a, b)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::IMul(a, b)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::IMin(a, b)),
+        (0..64usize, 0..6u8).prop_map(|(a, s)| Op::Shl(a, s)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::FAdd(a, b)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::FSub(a, b)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::FMul(a, b)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::FMax(a, b)),
+    ]
+}
+
+/// Builds a kernel that loads 4 ints and 4 floats, applies `ops`, and
+/// stores the final pools back.
+fn build_kernel(ops: &[Op]) -> Function {
+    let mut fb = FunctionBuilder::new("rand_kernel", &[("iv", Type::Ptr), ("fv", Type::Ptr)]);
+    let ivp = fb.arg(0);
+    let fvp = fb.arg(1);
+    let mut ints = Vec::new();
+    let mut floats = Vec::new();
+    for i in 0..4i64 {
+        let idx = fb.i64c(i);
+        let p = fb.gep1(Type::I64, ivp, idx, "pi");
+        ints.push(fb.load(Type::I64, p, "iv"));
+        let pf = fb.gep1(Type::F64, fvp, idx, "pf");
+        floats.push(fb.load(Type::F64, pf, "fvv"));
+    }
+    for op in ops {
+        match *op {
+            Op::IAdd(a, b) => {
+                let (x, y) = (ints[a % ints.len()], ints[b % ints.len()]);
+                let v = fb.add(x, y, "v");
+                ints.push(v);
+            }
+            Op::ISub(a, b) => {
+                let (x, y) = (ints[a % ints.len()], ints[b % ints.len()]);
+                let v = fb.sub(x, y, "v");
+                ints.push(v);
+            }
+            Op::IMul(a, b) => {
+                let (x, y) = (ints[a % ints.len()], ints[b % ints.len()]);
+                let v = fb.mul(x, y, "v");
+                ints.push(v);
+            }
+            Op::IMin(a, b) => {
+                let (x, y) = (ints[a % ints.len()], ints[b % ints.len()]);
+                let c = fb.icmp(IntPredicate::Slt, x, y, "c");
+                let v = fb.select(c, x, y, "v");
+                ints.push(v);
+            }
+            Op::Shl(a, s) => {
+                let x = ints[a % ints.len()];
+                let sh = fb.i64c(s as i64);
+                let v = fb.shl(x, sh, "v");
+                ints.push(v);
+            }
+            Op::FAdd(a, b) => {
+                let (x, y) = (floats[a % floats.len()], floats[b % floats.len()]);
+                let v = fb.fadd(x, y, "v");
+                floats.push(v);
+            }
+            Op::FSub(a, b) => {
+                let (x, y) = (floats[a % floats.len()], floats[b % floats.len()]);
+                let v = fb.fsub(x, y, "v");
+                floats.push(v);
+            }
+            Op::FMul(a, b) => {
+                let (x, y) = (floats[a % floats.len()], floats[b % floats.len()]);
+                let v = fb.fmul(x, y, "v");
+                floats.push(v);
+            }
+            Op::FMax(a, b) => {
+                let (x, y) = (floats[a % floats.len()], floats[b % floats.len()]);
+                let c = fb.fcmp(FloatPredicate::Ogt, x, y, "c");
+                let v = fb.select(c, x, y, "v");
+                floats.push(v);
+            }
+        }
+    }
+    // Store the last 4 of each pool.
+    for i in 0..4usize {
+        let idx = fb.i64c((4 + i) as i64);
+        let p = fb.gep1(Type::I64, ivp, idx, "po");
+        let v = ints[ints.len() - 1 - i];
+        fb.store(v, p);
+        let pf = fb.gep1(Type::F64, fvp, idx, "pfo");
+        let fvv = floats[floats.len() - 1 - i];
+        fb.store(fvv, pf);
+    }
+    fb.ret();
+    fb.finish()
+}
+
+fn interp_outputs(f: &Function, ints: &[i64; 4], floats: &[f64; 4]) -> (Vec<i64>, Vec<f64>) {
+    let mut mem = SparseMemory::new();
+    mem.write_i64_slice(0x1000, ints);
+    mem.write_f64_slice(0x2000, floats);
+    run_function(f, &[RtVal::P(0x1000), RtVal::P(0x2000)], &mut mem, &mut NullObserver, 1_000_000)
+        .expect("interpreter run");
+    (mem.read_i64_slice(0x1020, 4), mem.read_f64_slice(0x2020, 4))
+}
+
+fn engine_outputs(f: &Function, ints: &[i64; 4], floats: &[f64; 4]) -> (Vec<i64>, Vec<f64>, u64) {
+    let profile = HardwareProfile::default_40nm();
+    let cdfg = StaticCdfg::elaborate(f, &profile, &FuConstraints::unconstrained());
+    let mut mem = SimpleMem::new(1, 2, 2);
+    mem.memory_mut().write_i64_slice(0x1000, ints);
+    mem.memory_mut().write_f64_slice(0x2000, floats);
+    let mut e = Engine::new(
+        f.clone(),
+        cdfg,
+        profile,
+        EngineConfig::default(),
+        vec![RtVal::P(0x1000), RtVal::P(0x2000)],
+    );
+    let cycles = e.run_to_completion(&mut mem);
+    (
+        mem.memory_mut().read_i64_slice(0x1020, 4),
+        mem.memory_mut().read_f64_slice(0x2020, 4),
+        cycles,
+    )
+}
+
+fn floats_eq(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| (x == y) || (x.is_nan() && y.is_nan()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cycle-accurate engine computes exactly what the interpreter does.
+    #[test]
+    fn engine_matches_interpreter(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        ints in prop::array::uniform4(-1000i64..1000),
+        floats in prop::array::uniform4(-100.0f64..100.0),
+    ) {
+        let f = build_kernel(&ops);
+        salam_ir::verify_function(&f).unwrap();
+        let (wi, wf) = interp_outputs(&f, &ints, &floats);
+        let (gi, gf, cycles) = engine_outputs(&f, &ints, &floats);
+        prop_assert_eq!(wi, gi);
+        prop_assert!(floats_eq(&wf, &gf));
+        prop_assert!(cycles > 0);
+    }
+
+    /// Constant folding + DCE never change observable behaviour.
+    #[test]
+    fn passes_preserve_semantics(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        ints in prop::array::uniform4(-1000i64..1000),
+        floats in prop::array::uniform4(-100.0f64..100.0),
+    ) {
+        let f = build_kernel(&ops);
+        let (wi, wf) = interp_outputs(&f, &ints, &floats);
+        let mut g = f.clone();
+        salam_ir::passes::run_default_pipeline(&mut g);
+        salam_ir::verify_function(&g).unwrap();
+        let (oi, of) = interp_outputs(&g, &ints, &floats);
+        prop_assert_eq!(wi, oi);
+        prop_assert!(floats_eq(&wf, &of));
+    }
+
+    /// Textual printing and parsing round-trip to a fixed point.
+    #[test]
+    fn print_parse_roundtrip(ops in prop::collection::vec(op_strategy(), 1..30)) {
+        let f = build_kernel(&ops);
+        let mut m = Module::new("m");
+        m.add_function(f);
+        let text = m.to_string();
+        let parsed = parse_module(&text).unwrap();
+        prop_assert_eq!(parsed.to_string(), text);
+    }
+
+    /// The engine is deterministic: identical inputs give identical cycle
+    /// counts and results.
+    #[test]
+    fn engine_is_deterministic(
+        ops in prop::collection::vec(op_strategy(), 1..25),
+        ints in prop::array::uniform4(-1000i64..1000),
+        floats in prop::array::uniform4(-100.0f64..100.0),
+    ) {
+        let f = build_kernel(&ops);
+        let a = engine_outputs(&f, &ints, &floats);
+        let b = engine_outputs(&f, &ints, &floats);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert!(floats_eq(&a.1, &b.1));
+        prop_assert_eq!(a.2, b.2);
+    }
+}

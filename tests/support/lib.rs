@@ -1,0 +1,18 @@
+//! Shared helpers for the workspace-level integration tests and examples.
+//!
+//! The substantial public API lives in the member crates; this root crate
+//! exists so the top-level `tests/` and `examples/` directories can span
+//! all of them, and re-exports the pieces those targets use most.
+
+pub use hw_profile::{FuKind, HardwareProfile};
+pub use machsuite::{Bench, BuiltKernel};
+pub use salam::standalone::{run_kernel, StandaloneConfig};
+pub use salam_cdfg::{FuConstraints, StaticCdfg};
+
+/// Runs a benchmark at its standard size and asserts bit-correct output.
+pub fn run_verified(bench: Bench) -> salam::RunReport {
+    let kernel = bench.build_standard();
+    let report = run_kernel(&kernel, &StandaloneConfig::default());
+    assert!(report.verified, "{} failed verification", kernel.name);
+    report
+}

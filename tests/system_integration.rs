@@ -1,0 +1,157 @@
+//! Full-system integration: clusters, hosts, DMAs and multi-accelerator
+//! pipelines working together.
+
+use machsuite::Bench;
+use salam_bench::fig16::{run_scenario, Scenario};
+use salam_bench::table3::simulate_system;
+
+#[test]
+fn end_to_end_system_runs_verify_in_dram() {
+    // Host DMAs data in, programs the accelerator over MMRs, waits for the
+    // done notification, DMAs results back — and DRAM holds correct output.
+    for bench in [Bench::GemmNcubed, Bench::Stencil2d, Bench::Nw] {
+        let k = bench.build_standard();
+        let (e2e, verified) = simulate_system(&k);
+        assert!(verified, "{bench:?}: wrong results in DRAM");
+        assert!(e2e.compute_us > 0.0 && e2e.xfer_us > 0.0);
+        assert!(e2e.total_us >= e2e.compute_us + e2e.xfer_us * 0.5);
+    }
+}
+
+#[test]
+fn cnn_scenarios_are_correct_and_ordered() {
+    let a = run_scenario(Scenario::PrivateSpm);
+    let b = run_scenario(Scenario::SharedSpm);
+    let c = run_scenario(Scenario::Stream);
+    assert!(a.verified && b.verified && c.verified);
+    // The paper's Fig. 16 ordering: baseline slowest, streams fastest.
+    assert!(b.total_ns < a.total_ns, "shared SPM should beat private+DMA");
+    assert!(c.total_ns < b.total_ns, "streams should beat shared SPM");
+}
+
+#[test]
+fn stream_pipeline_overlaps_stages() {
+    let a = run_scenario(Scenario::PrivateSpm);
+    let c = run_scenario(Scenario::Stream);
+    // In the host-sequenced baseline the busy spans are disjoint, so their
+    // sum is less than the total; in the stream pipeline the consumers run
+    // for (almost) the whole producer span — their spans overlap.
+    let sum_a: f64 = a.accel_spans_ns.iter().map(|(_, s)| s).sum();
+    let sum_c: f64 = c.accel_spans_ns.iter().map(|(_, s)| s).sum();
+    assert!(sum_a < a.total_ns, "baseline stages are serialized");
+    assert!(
+        sum_c > c.total_ns,
+        "stream stages must overlap: spans {sum_c:.0} ns vs total {:.0} ns",
+        c.total_ns
+    );
+}
+
+#[test]
+fn system_timing_is_deterministic() {
+    let a = run_scenario(Scenario::Stream);
+    let b = run_scenario(Scenario::Stream);
+    assert_eq!(a.total_ns.to_bits(), b.total_ns.to_bits());
+}
+
+#[test]
+fn stream_dma_feeds_an_accelerator_directly() {
+    // The paper's stream-input interface: a stream DMA pulls data from DRAM
+    // and pushes beats into a FIFO that the accelerator consumes with plain
+    // loads — no scratchpad staging for the input at all.
+    use memsys::{
+        DmaCmd, MemMsg, MemReq, ScratchpadConfig, StreamBuffer, StreamBufferConfig, StreamDma,
+        StreamDmaConfig,
+    };
+    use salam_bench::cnn;
+    use sim_core::Simulation;
+
+    let n = cnn::CONV_DIM * cnn::CONV_DIM;
+    let mut rng = machsuite::data::rng(77);
+    let input = machsuite::data::f32_vec(&mut rng, n, -2.0, 2.0);
+
+    let mut sim: Simulation<MemMsg> = Simulation::new();
+    let dram = sim.add_component(memsys::Dram::new(
+        "dram",
+        memsys::DramConfig::default(),
+        0x8000_0000,
+        1 << 20,
+    ));
+    sim.component_as_mut::<memsys::Dram>(dram)
+        .unwrap()
+        .poke(0x8000_0000, &machsuite::data::f32_bytes(&input));
+
+    let fifo_cfg = StreamBufferConfig { capacity_beats: 16, beat_bytes: 4, ..Default::default() };
+    let fifo = sim.add_component(StreamBuffer::new("in_stream", fifo_cfg));
+    let sdma = sim.add_component(StreamDma::new(
+        "sdma",
+        StreamDmaConfig {
+            port: dram,
+            beat_bytes: 4,
+            stream_target: Some(fifo),
+            initial_credits: fifo_cfg.capacity_beats,
+        },
+    ));
+
+    // ReLU accelerator: stream in (loads from the FIFO address), indexed
+    // writes to a private SPM.
+    let spm = sim.add_component(memsys::Scratchpad::new(
+        "out_spm",
+        ScratchpadConfig::default().with_ports(2, 2),
+        0x1000_0000,
+        0x4000,
+    ));
+    let func = cnn::relu_kernel(true, false);
+    let cu = salam::ComputeUnit::new(
+        salam::AcceleratorConfig::new("relu"),
+        salam::CommConfig {
+            local_range: (0x1000_0000, 0x1000_4000),
+            local_target: Some(spm),
+            global_target: Some(fifo),
+            ..Default::default()
+        },
+        func,
+        hw_profile::HardwareProfile::default_40nm(),
+    );
+    let stream_addr = 0x3000_0000u64;
+    let out_addr = 0x1000_0000u64;
+    let cu_id = sim.add_component(cu);
+    let mmr = sim.add_component(memsys::MmrBlock::new("mmr", 0x7000_0000, 8, Some(cu_id)));
+    sim.component_as_mut::<salam::ComputeUnit>(cu_id)
+        .unwrap()
+        .set_mmr(mmr, 0x7000_0000);
+
+    let col = sim.add_component(memsys::test_util::Collector::new());
+    for (reg, v) in [(2u64, stream_addr), (3, out_addr)] {
+        sim.post(
+            mmr,
+            0,
+            MemMsg::Req(MemReq::write(reg, 0x7000_0000 + reg * 8, v.to_le_bytes().to_vec(), col)),
+        );
+    }
+    // Kick the stream DMA and the accelerator concurrently: backpressure
+    // synchronizes them.
+    sim.post(
+        sdma,
+        10_000,
+        MemMsg::DmaStart(DmaCmd::new(1, 0x8000_0000, 0, (n * 4) as u64, col)),
+    );
+    sim.post(
+        mmr,
+        20_000,
+        MemMsg::Req(MemReq::write(9, 0x7000_0000, 1u64.to_le_bytes().to_vec(), col)),
+    );
+    sim.run();
+
+    let s = sim.component_as::<memsys::Scratchpad>(spm).unwrap();
+    let got: Vec<f32> = s
+        .peek(out_addr, n * 4)
+        .chunks(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    for (i, &v) in got.iter().enumerate() {
+        assert_eq!(v, input[i].max(0.0), "element {i}");
+    }
+    let f = sim.component_as::<StreamBuffer>(fifo).unwrap();
+    assert_eq!(f.beats_in() as usize, n);
+    assert_eq!(f.beats_out() as usize, n);
+}
