@@ -34,7 +34,10 @@ pub enum AladdinMemModel {
 impl AladdinMemModel {
     /// The paper's default SPM assumption.
     pub fn default_spm() -> Self {
-        AladdinMemModel::Spm { latency: 2, ports: 4 }
+        AladdinMemModel::Spm {
+            latency: 2,
+            ports: 4,
+        }
     }
 }
 
@@ -48,7 +51,10 @@ struct CacheState {
 impl CacheState {
     fn new(size: u64, line: u32) -> Self {
         let lines = (size / line as u64).max(1) as usize;
-        CacheState { line_bytes: line as u64, tags: vec![None; lines] }
+        CacheState {
+            line_bytes: line as u64,
+            tags: vec![None; lines],
+        }
     }
 
     fn access(&mut self, addr: u64) -> bool {
@@ -90,7 +96,11 @@ pub(crate) fn op_latency(
     match i.op {
         Opcode::Load | Opcode::Store => match mem {
             AladdinMemModel::Spm { latency, .. } => *latency as u64,
-            AladdinMemModel::Cache { hit_latency, miss_latency, .. } => {
+            AladdinMemModel::Cache {
+                hit_latency,
+                miss_latency,
+                ..
+            } => {
                 let state = cache.as_mut().expect("cache state for cache model");
                 let hit = addr.map(|a| state.0.access(a)).unwrap_or(true);
                 if hit {
@@ -111,9 +121,11 @@ pub(crate) struct CacheStateBox(CacheState);
 
 pub(crate) fn make_cache(mem: &AladdinMemModel) -> Option<CacheStateBox> {
     match mem {
-        AladdinMemModel::Cache { size_bytes, line_bytes, .. } => {
-            Some(CacheStateBox(CacheState::new(*size_bytes, *line_bytes)))
-        }
+        AladdinMemModel::Cache {
+            size_bytes,
+            line_bytes,
+            ..
+        } => Some(CacheStateBox(CacheState::new(*size_bytes, *line_bytes))),
         AladdinMemModel::Spm { .. } => None,
     }
 }
@@ -170,7 +182,10 @@ pub fn derive_datapath(
             }
         }
     }
-    DatapathReport { fu_counts: peak, asap_cycles: makespan }
+    DatapathReport {
+        fu_counts: peak,
+        asap_cycles: makespan,
+    }
 }
 
 #[cfg(test)]
@@ -198,8 +213,15 @@ mod tests {
         };
         let quiet = derive_for(false);
         let loud = derive_for(true);
-        assert_eq!(quiet.fu_count(FuKind::Shifter), 0, "quiet data hides the shifter");
-        assert!(loud.fu_count(FuKind::Shifter) >= 1, "triggered data exposes it");
+        assert_eq!(
+            quiet.fu_count(FuKind::Shifter),
+            0,
+            "quiet data hides the shifter"
+        );
+        assert!(
+            loud.fu_count(FuKind::Shifter) >= 1,
+            "triggered data exposes it"
+        );
     }
 
     #[test]

@@ -102,13 +102,19 @@ mod tests {
 
     #[test]
     fn slower_memory_means_more_cycles() {
-        let (fast, _) = run_gemm(&AladdinMemModel::Spm { latency: 1, ports: 8 });
+        let (fast, _) = run_gemm(&AladdinMemModel::Spm {
+            latency: 1,
+            ports: 8,
+        });
         let (slow, _) = run_gemm(&AladdinMemModel::Cache {
             size_bytes: 256,
             line_bytes: 64,
             hit_latency: 2,
             miss_latency: 60,
         });
-        assert!(slow > fast, "thrashing cache ({slow}) must be slower than fast SPM ({fast})");
+        assert!(
+            slow > fast,
+            "thrashing cache ({slow}) must be slower than fast SPM ({fast})"
+        );
     }
 }

@@ -72,7 +72,10 @@ impl Trace {
     pub fn parse(text: &str) -> Trace {
         let mut lines = text.lines();
         let header = lines.next().expect("trace header");
-        let func_name = header.strip_prefix("trace ").expect("trace header").to_string();
+        let func_name = header
+            .strip_prefix("trace ")
+            .expect("trace header")
+            .to_string();
         let mut entries = Vec::new();
         for line in lines {
             if line.is_empty() {
@@ -88,7 +91,11 @@ impl Trace {
             };
             let inst = InstId::from_raw(idx_s.parse().expect("inst index"));
             let deps = deps_s
-                .map(|d| d.split(',').map(|x| x.parse().expect("dep index")).collect())
+                .map(|d| {
+                    d.split(',')
+                        .map(|x| x.parse().expect("dep index"))
+                        .collect()
+                })
                 .unwrap_or_default();
             entries.push(TraceEntry { inst, addr, deps });
         }
@@ -129,8 +136,16 @@ impl Observer for TraceObserver<'_> {
         if let Some(res) = f.inst_result(id) {
             self.producer.insert(res, idx);
         }
-        let addr = if matches!(inst.op, Opcode::Load | Opcode::Store) { mem_addr } else { None };
-        self.entries.push(TraceEntry { inst: id, addr, deps });
+        let addr = if matches!(inst.op, Opcode::Load | Opcode::Store) {
+            mem_addr
+        } else {
+            None
+        };
+        self.entries.push(TraceEntry {
+            inst: id,
+            addr,
+            deps,
+        });
         let _ = &self.f;
     }
 }
@@ -141,10 +156,17 @@ impl Observer for TraceObserver<'_> {
 ///
 /// Panics if the reference execution faults.
 pub fn generate_trace(f: &Function, args: &[RtVal], mem: &mut SparseMemory) -> Trace {
-    let mut obs = TraceObserver { f, entries: Vec::new(), producer: HashMap::new() };
+    let mut obs = TraceObserver {
+        f,
+        entries: Vec::new(),
+        producer: HashMap::new(),
+    };
     run_function(f, args, mem, &mut obs, 500_000_000).expect("trace generation run");
     let _ = mem as &mut dyn Memory;
-    Trace { func_name: f.name.clone(), entries: obs.entries }
+    Trace {
+        func_name: f.name.clone(),
+        entries: obs.entries,
+    }
 }
 
 #[cfg(test)]

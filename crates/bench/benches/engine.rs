@@ -1,18 +1,26 @@
-//! Microbenchmarks of the dynamic runtime engine itself.
+//! Microbenchmarks of the dynamic runtime engine itself, including the
+//! guard that a disabled trace sink adds no measurable cost to the hot
+//! loop.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use hw_profile::HardwareProfile;
+use salam_bench::microbench;
 use salam_cdfg::{FuConstraints, StaticCdfg};
 use salam_ir::interp::RtVal;
 use salam_ir::{FunctionBuilder, Type};
+use salam_obs::SharedTrace;
 use salam_runtime::{Engine, EngineConfig, SimpleMem};
 
 fn vadd_kernel() -> salam_ir::Function {
     let mut fb = FunctionBuilder::new(
         "vadd",
-        &[("a", Type::Ptr), ("b", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)],
+        &[
+            ("a", Type::Ptr),
+            ("b", Type::Ptr),
+            ("c", Type::Ptr),
+            ("n", Type::I64),
+        ],
     );
     let (a, b, c, n) = (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3));
     let zero = fb.i64c(0);
@@ -29,66 +37,124 @@ fn vadd_kernel() -> salam_ir::Function {
     fb.finish()
 }
 
+struct VaddRig {
+    f: salam_ir::Function,
+    cdfg: StaticCdfg,
+    profile: HardwareProfile,
+    n: u64,
+}
+
+impl VaddRig {
+    fn new(n: u64) -> Self {
+        let f = vadd_kernel();
+        let profile = HardwareProfile::default_40nm();
+        let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+        VaddRig {
+            f,
+            cdfg,
+            profile,
+            n,
+        }
+    }
+
+    fn run_once(&self, trace: Option<&SharedTrace>) -> u64 {
+        let mut mem = SimpleMem::new(1, 4, 4);
+        mem.memory_mut()
+            .write_f64_slice(0x1000, &vec![1.0; self.n as usize]);
+        mem.memory_mut()
+            .write_f64_slice(0x9000, &vec![2.0; self.n as usize]);
+        let mut e = Engine::new(
+            self.f.clone(),
+            self.cdfg.clone(),
+            self.profile.clone(),
+            EngineConfig::default(),
+            vec![
+                RtVal::P(0x1000),
+                RtVal::P(0x9000),
+                RtVal::P(0x11000),
+                RtVal::I(self.n as i64),
+            ],
+        );
+        if let Some(t) = trace {
+            e.set_trace(t.clone());
+        }
+        e.run_to_completion(&mut mem)
+    }
+}
+
 /// Dynamic-instruction throughput of the engine on a streaming kernel.
-fn bench_engine_throughput(c: &mut Criterion) {
-    let f = vadd_kernel();
-    let profile = HardwareProfile::default_40nm();
-    let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
-    let n = 256u64;
-    let dyn_insts = n * 10; // ~10 dynamic ops per iteration
-    let mut group = c.benchmark_group("engine");
-    group.throughput(Throughput::Elements(dyn_insts));
-    group.bench_function("vadd_256_elements", |b| {
-        b.iter(|| {
-            let mut mem = SimpleMem::new(1, 4, 4);
-            mem.memory_mut().write_f64_slice(0x1000, &vec![1.0; n as usize]);
-            mem.memory_mut().write_f64_slice(0x9000, &vec![2.0; n as usize]);
-            let mut e = Engine::new(
-                f.clone(),
-                cdfg.clone(),
-                profile.clone(),
-                EngineConfig::default(),
-                vec![RtVal::P(0x1000), RtVal::P(0x9000), RtVal::P(0x11000), RtVal::I(n as i64)],
-            );
-            black_box(e.run_to_completion(&mut mem))
-        })
+fn bench_engine_throughput(rig: &VaddRig) {
+    let m = microbench::run("engine/vadd_256_elements", || black_box(rig.run_once(None)));
+    let dyn_insts = rig.n as f64 * 10.0; // ~10 dynamic ops per iteration
+    println!(
+        "{:<44} {:>12.0} dyn-inst/s",
+        "engine/vadd_256_elements (throughput)",
+        m.per_sec() * dyn_insts
+    );
+}
+
+/// The acceptance guard for the observability subsystem: an engine holding
+/// the default (disabled) trace handle must run as fast as one with the
+/// handle explicitly attached — the disabled path is a single branch.
+fn bench_tracing_overhead(rig: &VaddRig) {
+    let baseline = microbench::run("engine/vadd_trace_off_baseline", || {
+        black_box(rig.run_once(None))
     });
-    group.finish();
+    let disabled = SharedTrace::disabled();
+    let with_noop = microbench::run("engine/vadd_trace_noop_sink", || {
+        black_box(rig.run_once(Some(&disabled)))
+    });
+    let enabled = SharedTrace::enabled();
+    let with_recording = microbench::run("engine/vadd_trace_recording", || {
+        black_box(rig.run_once(Some(&enabled)))
+    });
+    let ratio = with_noop.ns_per_iter() / baseline.ns_per_iter();
+    println!(
+        "{:<44} {ratio:>11.3}x (recording: {:.3}x)",
+        "engine/noop_sink_overhead_ratio",
+        with_recording.ns_per_iter() / baseline.ns_per_iter()
+    );
+    // Guard, not a hard assert: timing noise on shared machines is real,
+    // but anything past 10% means the disabled path grew a real cost.
+    if ratio > 1.10 {
+        eprintln!("WARNING: no-op trace sink shows {ratio:.3}x overhead (expected ~1.0x)");
+    }
 }
 
 /// Static-elaboration (compile) latency — the preprocessing step of Table IV.
-fn bench_elaboration(c: &mut Criterion) {
+fn bench_elaboration() {
     let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 16, unroll: 16 });
     let profile = HardwareProfile::default_40nm();
-    c.bench_function("static_elaboration_gemm_unroll16", |b| {
-        b.iter(|| {
-            black_box(StaticCdfg::elaborate(
-                &k.func,
-                &profile,
-                &FuConstraints::unconstrained(),
-            ))
-        })
+    microbench::run("static_elaboration_gemm_unroll16", || {
+        black_box(StaticCdfg::elaborate(
+            &k.func,
+            &profile,
+            &FuConstraints::unconstrained(),
+        ))
     });
 }
 
 /// Reference-interpreter throughput (trace-generation cost driver).
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 1 });
-    c.bench_function("interpreter_gemm8", |b| {
-        b.iter(|| {
-            let mut mem = salam_ir::interp::SparseMemory::new();
-            k.load_into(&mut mem);
-            salam_ir::interp::run_function(
-                &k.func,
-                &k.args,
-                &mut mem,
-                &mut salam_ir::interp::NullObserver,
-                100_000_000,
-            )
-            .unwrap();
-        })
+    microbench::run("interpreter_gemm8", || {
+        let mut mem = salam_ir::interp::SparseMemory::new();
+        k.load_into(&mut mem);
+        salam_ir::interp::run_function(
+            &k.func,
+            &k.args,
+            &mut mem,
+            &mut salam_ir::interp::NullObserver,
+            100_000_000,
+        )
+        .unwrap();
     });
 }
 
-criterion_group!(engine, bench_engine_throughput, bench_elaboration, bench_interpreter);
-criterion_main!(engine);
+fn main() {
+    let rig = VaddRig::new(256);
+    bench_engine_throughput(&rig);
+    bench_tracing_overhead(&rig);
+    bench_elaboration();
+    bench_interpreter();
+}

@@ -1,13 +1,13 @@
-//! One Criterion bench per paper table/figure, at reduced scale, so
+//! One timed case per paper table/figure, at reduced scale, so
 //! `cargo bench` regenerates a timed proxy of the whole evaluation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use hw_profile::{FuKind, HardwareProfile};
 use salam::standalone::{run_kernel, StandaloneConfig};
 use salam_aladdin::{derive_datapath, generate_trace, simulate_trace, AladdinMemModel};
 use salam_bench::fig16::{run_scenario, Scenario};
+use salam_bench::microbench;
 use salam_bench::runners::{hls_cycles, profile_kernel};
 use salam_bench::table3::simulate_system;
 use salam_cdfg::{FuConstraints, StaticCdfg};
@@ -28,189 +28,162 @@ fn small_gemm() -> machsuite::BuiltKernel {
 }
 
 /// Table I: trace → datapath derivation on both SpMV datasets.
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1() {
     let profile = HardwareProfile::default_40nm();
-    c.bench_function("table1_spmv_datapath_derivation", |b| {
-        b.iter(|| {
-            for trigger in [false, true] {
-                let k = small_spmv(trigger);
-                let mut mem = SparseMemory::new();
-                k.load_into(&mut mem);
-                let t = generate_trace(&k.func, &k.args, &mut mem);
-                let dp =
-                    derive_datapath(&k.func, &t, &profile, &AladdinMemModel::default_spm());
-                black_box(dp.fu_count(FuKind::Shifter));
-            }
-        })
+    microbench::run("table1_spmv_datapath_derivation", || {
+        for trigger in [false, true] {
+            let k = small_spmv(trigger);
+            let mut mem = SparseMemory::new();
+            k.load_into(&mut mem);
+            let t = generate_trace(&k.func, &k.args, &mut mem);
+            let dp = derive_datapath(&k.func, &t, &profile, &AladdinMemModel::default_spm());
+            black_box(dp.fu_count(FuKind::Shifter));
+        }
     });
 }
 
 /// Table II: datapath derivation across a cache-size sweep.
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2() {
     let profile = HardwareProfile::default_40nm();
     let k = small_gemm();
     let mut mem = SparseMemory::new();
     k.load_into(&mut mem);
     let trace = generate_trace(&k.func, &k.args, &mut mem);
-    c.bench_function("table2_gemm_cache_sweep", |b| {
-        b.iter(|| {
-            for size in [256u64, 1024, 4096] {
-                let mm = AladdinMemModel::Cache {
-                    size_bytes: size,
-                    line_bytes: 64,
-                    hit_latency: 2,
-                    miss_latency: 40,
-                };
-                black_box(derive_datapath(&k.func, &trace, &profile, &mm));
-            }
-        })
+    microbench::run("table2_gemm_cache_sweep", || {
+        for size in [256u64, 1024, 4096] {
+            let mm = AladdinMemModel::Cache {
+                size_bytes: size,
+                line_bytes: 64,
+                hit_latency: 2,
+                miss_latency: 40,
+            };
+            black_box(derive_datapath(&k.func, &trace, &profile, &mm));
+        }
     });
 }
 
 /// Fig 4: full power-breakdown run.
-fn bench_fig4(c: &mut Criterion) {
+fn bench_fig4() {
     let k = small_gemm();
-    c.bench_function("fig4_power_breakdown_run", |b| {
-        b.iter(|| black_box(run_kernel(&k, &StandaloneConfig::default())))
+    microbench::run("fig4_power_breakdown_run", || {
+        black_box(run_kernel(&k, &StandaloneConfig::default()))
     });
 }
 
 /// Fig 10: SALAM engine + HLS reference on one kernel.
-fn bench_fig10(c: &mut Criterion) {
+fn bench_fig10() {
     let k = small_gemm();
-    c.bench_function("fig10_salam_vs_hls", |b| {
-        b.iter(|| {
-            let s = run_kernel(&k, &StandaloneConfig::default());
-            let h = hls_cycles(&k, &FuConstraints::unconstrained(), &HlsConfig::default());
-            black_box((s.cycles, h.cycles))
-        })
+    microbench::run("fig10_salam_vs_hls", || {
+        let s = run_kernel(&k, &StandaloneConfig::default());
+        let h = hls_cycles(&k, &FuConstraints::unconstrained(), &HlsConfig::default());
+        black_box((s.cycles, h.cycles))
     });
 }
 
 /// Figs 11+12: profile-model and netlist-model power/area.
-fn bench_fig11_fig12(c: &mut Criterion) {
+fn bench_fig11_fig12() {
     let k = small_gemm();
     let profile = HardwareProfile::default_40nm();
-    c.bench_function("fig11_fig12_power_area_validation", |b| {
-        b.iter(|| {
-            let (cdfg, obs) = profile_kernel(&k);
-            let net = estimate_netlist(&k.func, &cdfg, &obs, 1000.0);
-            let area = cdfg.area_report(&profile);
-            black_box((net.total_mw, area.total_um2))
-        })
+    microbench::run("fig11_fig12_power_area_validation", || {
+        let (cdfg, obs) = profile_kernel(&k);
+        let net = estimate_netlist(&k.func, &cdfg, &obs, 1000.0);
+        let area = cdfg.area_report(&profile);
+        black_box((net.total_mw, area.total_um2))
     });
 }
 
 /// Table III: one full-system end-to-end run.
-fn bench_table3(c: &mut Criterion) {
+fn bench_table3() {
     let k = small_gemm();
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
-    group.bench_function("table3_full_system_run", |b| {
-        b.iter(|| black_box(simulate_system(&k)))
-    });
-    group.finish();
+    microbench::run("table3_full_system_run", || black_box(simulate_system(&k)));
 }
 
 /// Table IV: the two simulator flows head to head.
-fn bench_table4(c: &mut Criterion) {
+fn bench_table4() {
     let k = small_spmv(false);
     let profile = HardwareProfile::default_40nm();
-    c.bench_function("table4_aladdin_flow", |b| {
-        b.iter(|| {
-            let mut mem = SparseMemory::new();
-            k.load_into(&mut mem);
-            let t = generate_trace(&k.func, &k.args, &mut mem);
-            let text = t.to_text();
-            let loaded = salam_aladdin::Trace::parse(&text);
-            let dp = derive_datapath(&k.func, &loaded, &profile, &AladdinMemModel::default_spm());
-            black_box(simulate_trace(
-                &k.func,
-                &loaded,
-                &dp,
-                &profile,
-                &AladdinMemModel::default_spm(),
-            ))
-        })
+    microbench::run("table4_aladdin_flow", || {
+        let mut mem = SparseMemory::new();
+        k.load_into(&mut mem);
+        let t = generate_trace(&k.func, &k.args, &mut mem);
+        let text = t.to_text();
+        let loaded = salam_aladdin::Trace::parse(&text);
+        let dp = derive_datapath(&k.func, &loaded, &profile, &AladdinMemModel::default_spm());
+        black_box(simulate_trace(
+            &k.func,
+            &loaded,
+            &dp,
+            &profile,
+            &AladdinMemModel::default_spm(),
+        ))
     });
-    c.bench_function("table4_salam_flow", |b| {
-        b.iter(|| black_box(run_kernel(&k, &StandaloneConfig::default()).cycles))
+    microbench::run("table4_salam_flow", || {
+        black_box(run_kernel(&k, &StandaloneConfig::default()).cycles)
     });
 }
 
 /// Fig 13: one DSE sweep point per series.
-fn bench_fig13(c: &mut Criterion) {
+fn bench_fig13() {
     let k = small_gemm();
-    c.bench_function("fig13_dse_point", |b| {
-        b.iter(|| {
-            let cfg = StandaloneConfig::default().with_ports(8).with_constraints(
-                FuConstraints::unconstrained().with_limit(FuKind::FpMulF64, 4),
-            );
-            black_box(run_kernel(&k, &cfg).cycles)
-        })
+    microbench::run("fig13_dse_point", || {
+        let cfg = StandaloneConfig::default()
+            .with_ports(8)
+            .with_constraints(FuConstraints::unconstrained().with_limit(FuKind::FpMulF64, 4));
+        black_box(run_kernel(&k, &cfg).cycles)
     });
 }
 
 /// Figs 14+15: the stall/occupancy profiling run.
-fn bench_fig14_fig15(c: &mut Criterion) {
+fn bench_fig14_fig15() {
     let k = small_gemm();
-    c.bench_function("fig14_fig15_stall_profile", |b| {
-        b.iter(|| {
-            let r = run_kernel(&k, &StandaloneConfig::default().with_ports(4));
-            black_box((r.stats.stall_cycles, r.stats.fu_occupancy(FuKind::FpMulF64)))
-        })
+    microbench::run("fig14_fig15_stall_profile", || {
+        let r = run_kernel(&k, &StandaloneConfig::default().with_ports(4));
+        black_box((r.stats.stall_cycles, r.stats.fu_occupancy(FuKind::FpMulF64)))
     });
 }
 
 /// Fig 16: the streaming multi-accelerator scenario.
-fn bench_fig16(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig16");
-    group.sample_size(10);
-    group.bench_function("fig16_stream_scenario", |b| {
-        b.iter(|| black_box(run_scenario(Scenario::Stream).total_ns))
+fn bench_fig16() {
+    microbench::run("fig16_stream_scenario", || {
+        black_box(run_scenario(Scenario::Stream).total_ns)
     });
-    group.finish();
 }
 
 /// Ablation: strict register hazards vs the default renamed-context model.
-fn bench_ablation_hazards(c: &mut Criterion) {
+fn bench_ablation_hazards() {
     let k = machsuite::md_knn::build(&machsuite::md_knn::Params { n_atoms: 8, k: 4 });
     let profile = HardwareProfile::default_40nm();
     let cdfg = StaticCdfg::elaborate(&k.func, &profile, &FuConstraints::unconstrained());
     for (name, strict) in [("renamed", false), ("strict_hazards", true)] {
-        c.bench_function(&format!("ablation_register_hazards_{name}"), |b| {
-            b.iter(|| {
-                let cfg = salam_runtime::EngineConfig {
-                    strict_register_hazards: strict,
-                    ..Default::default()
-                };
-                let mut mem = salam_runtime::SimpleMem::new(1, 2, 2);
-                k.load_into(mem.memory_mut());
-                let mut e = salam_runtime::Engine::new(
-                    k.func.clone(),
-                    cdfg.clone(),
-                    profile.clone(),
-                    cfg,
-                    k.args.clone(),
-                );
-                black_box(e.run_to_completion(&mut mem))
-            })
+        microbench::run(&format!("ablation_register_hazards_{name}"), || {
+            let cfg = salam_runtime::EngineConfig {
+                strict_register_hazards: strict,
+                ..Default::default()
+            };
+            let mut mem = salam_runtime::SimpleMem::new(1, 2, 2);
+            k.load_into(mem.memory_mut());
+            let mut e = salam_runtime::Engine::new(
+                k.func.clone(),
+                cdfg.clone(),
+                profile.clone(),
+                cfg,
+                k.args.clone(),
+            );
+            black_box(e.run_to_completion(&mut mem))
         });
     }
 }
 
-criterion_group!(
-    experiments,
-    bench_table1,
-    bench_table2,
-    bench_fig4,
-    bench_fig10,
-    bench_fig11_fig12,
-    bench_table3,
-    bench_table4,
-    bench_fig13,
-    bench_fig14_fig15,
-    bench_fig16,
-    bench_ablation_hazards,
-);
-criterion_main!(experiments);
+fn main() {
+    bench_table1();
+    bench_table2();
+    bench_fig4();
+    bench_fig10();
+    bench_fig11_fig12();
+    bench_table3();
+    bench_table4();
+    bench_fig13();
+    bench_fig14_fig15();
+    bench_fig16();
+    bench_ablation_hazards();
+}

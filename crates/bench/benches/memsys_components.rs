@@ -1,85 +1,91 @@
 //! Microbenchmarks of the memory-system components.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use memsys::{
     AddrMap, BlockDma, Cache, CacheConfig, DmaCmd, Dram, DramConfig, MemMsg, MemReq, Scratchpad,
     ScratchpadConfig, Xbar,
 };
+use salam_bench::microbench;
 use sim_core::Simulation;
 
 /// Raw scratchpad request throughput through the event kernel.
-fn bench_spm(c: &mut Criterion) {
+fn bench_spm() {
     let n = 4096u64;
-    let mut group = c.benchmark_group("memsys");
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("scratchpad_4k_reads", |b| {
-        b.iter(|| {
-            let mut sim: Simulation<MemMsg> = Simulation::new();
-            let spm = sim.add_component(Scratchpad::new(
-                "spm",
-                ScratchpadConfig::default().with_ports(4, 4),
+    let m = microbench::run("memsys/scratchpad_4k_reads", || {
+        let mut sim: Simulation<MemMsg> = Simulation::new();
+        let spm = sim.add_component(Scratchpad::new(
+            "spm",
+            ScratchpadConfig::default().with_ports(4, 4),
+            0,
+            1 << 16,
+        ));
+        let col = sim.add_component(memsys::test_util::Collector::new());
+        for i in 0..n {
+            sim.post(
+                spm,
                 0,
-                1 << 16,
-            ));
-            let col = sim.add_component(memsys::test_util::Collector::new());
-            for i in 0..n {
-                sim.post(spm, 0, MemMsg::Req(MemReq::read(i, (i * 4) % (1 << 16), 4, col)));
-            }
-            black_box(sim.run())
-        })
+                MemMsg::Req(MemReq::read(i, (i * 4) % (1 << 16), 4, col)),
+            );
+        }
+        black_box(sim.run())
     });
-    group.finish();
+    println!(
+        "{:<44} {:>12.0} req/s",
+        "memsys/scratchpad_4k_reads (throughput)",
+        m.per_sec() * n as f64
+    );
 }
 
 /// Cache hit/miss handling with a DRAM backing store.
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let n = 2048u64;
-    let mut group = c.benchmark_group("memsys");
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("cache_streaming_reads", |b| {
-        b.iter(|| {
-            let mut sim: Simulation<MemMsg> = Simulation::new();
-            let dram = sim.add_component(Dram::new("d", DramConfig::default(), 0, 1 << 20));
-            let cache = sim.add_component(Cache::new("l1", CacheConfig::default(), dram));
-            let col = sim.add_component(memsys::test_util::Collector::new());
-            for i in 0..n {
-                sim.post(cache, i * 1000, MemMsg::Req(MemReq::read(i, i * 8, 8, col)));
-            }
-            black_box(sim.run())
-        })
+    microbench::run("memsys/cache_streaming_reads", || {
+        let mut sim: Simulation<MemMsg> = Simulation::new();
+        let dram = sim.add_component(Dram::new("d", DramConfig::default(), 0, 1 << 20));
+        let cache = sim.add_component(Cache::new("l1", CacheConfig::default(), dram));
+        let col = sim.add_component(memsys::test_util::Collector::new());
+        for i in 0..n {
+            sim.post(cache, i * 1000, MemMsg::Req(MemReq::read(i, i * 8, 8, col)));
+        }
+        black_box(sim.run())
     });
-    group.finish();
 }
 
 /// DMA block transfer through a crossbar into DRAM.
-fn bench_dma(c: &mut Criterion) {
+fn bench_dma() {
     let bytes = 64 * 1024u64;
-    let mut group = c.benchmark_group("memsys");
-    group.throughput(Throughput::Bytes(bytes));
-    group.bench_function("dma_64k_copy", |b| {
-        b.iter(|| {
-            let mut sim: Simulation<MemMsg> = Simulation::new();
-            let dram = sim.add_component(Dram::new("d", DramConfig::default(), 0, 1 << 20));
-            let spm = sim.add_component(Scratchpad::new(
-                "s",
-                ScratchpadConfig::default().with_ports(8, 8),
-                0x4000_0000,
-                bytes,
-            ));
-            let mut map = AddrMap::new();
-            map.add(0, 1 << 20, dram);
-            map.add(0x4000_0000, 0x4000_0000 + bytes, spm);
-            let xbar = sim.add_component(Xbar::new("x", map, 1, 8));
-            let dma = sim.add_component(BlockDma::new("dma", xbar, 64, 4));
-            let col = sim.add_component(memsys::test_util::Collector::new());
-            sim.post(dma, 0, MemMsg::DmaStart(DmaCmd::new(1, 0, 0x4000_0000, bytes, col)));
-            black_box(sim.run())
-        })
+    let m = microbench::run("memsys/dma_64k_copy", || {
+        let mut sim: Simulation<MemMsg> = Simulation::new();
+        let dram = sim.add_component(Dram::new("d", DramConfig::default(), 0, 1 << 20));
+        let spm = sim.add_component(Scratchpad::new(
+            "s",
+            ScratchpadConfig::default().with_ports(8, 8),
+            0x4000_0000,
+            bytes,
+        ));
+        let mut map = AddrMap::new();
+        map.add(0, 1 << 20, dram);
+        map.add(0x4000_0000, 0x4000_0000 + bytes, spm);
+        let xbar = sim.add_component(Xbar::new("x", map, 1, 8));
+        let dma = sim.add_component(BlockDma::new("dma", xbar, 64, 4));
+        let col = sim.add_component(memsys::test_util::Collector::new());
+        sim.post(
+            dma,
+            0,
+            MemMsg::DmaStart(DmaCmd::new(1, 0, 0x4000_0000, bytes, col)),
+        );
+        black_box(sim.run())
     });
-    group.finish();
+    println!(
+        "{:<44} {:>12.1} MB/s simulated-throughput",
+        "memsys/dma_64k_copy (throughput)",
+        m.per_sec() * bytes as f64 / 1e6
+    );
 }
 
-criterion_group!(memsys_components, bench_spm, bench_cache, bench_dma);
-criterion_main!(memsys_components);
+fn main() {
+    bench_spm();
+    bench_cache();
+    bench_dma();
+}

@@ -25,8 +25,20 @@ fn main() {
     let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
     let mut mem = SimpleMem::new(2, 2, 2);
     mem.memory_mut().write_i64_slice(0x100, &[7]);
-    let mut e = Engine::new(f, cdfg, profile, EngineConfig::default(), vec![RtVal::P(0x100), RtVal::I(64)]);
+    let mut e = Engine::new(
+        f,
+        cdfg,
+        profile,
+        EngineConfig::default(),
+        vec![RtVal::P(0x100), RtVal::I(64)],
+    );
     let cycles = e.run_to_completion(&mut mem);
     let vals = mem.memory_mut().read_i64_slice(0x100, 64);
-    println!("cycles={} per-iter={:.2} first={:?} last={:?}", cycles, cycles as f64 / 63.0, &vals[..3], &vals[61..]);
+    println!(
+        "cycles={} per-iter={:.2} first={:?} last={:?}",
+        cycles,
+        cycles as f64 / 63.0,
+        &vals[..3],
+        &vals[61..]
+    );
 }

@@ -6,10 +6,16 @@ fn main() {
         ("mdknn", machsuite::Bench::MdKnn.build_standard()),
         ("stencil2d", machsuite::Bench::Stencil2d.build_standard()),
     ] {
-        let cfg = StandaloneConfig { spm_latency: 2, ..StandaloneConfig::default() };
+        let cfg = StandaloneConfig {
+            spm_latency: 2,
+            ..StandaloneConfig::default()
+        };
         let r = run_kernel(&k, &cfg);
         let st = &r.stats;
-        println!("== {name}: cycles={} exec={} stall={} port_reject={}", st.cycles, st.new_exec_cycles, st.stall_cycles, st.port_reject_cycles);
+        println!(
+            "== {name}: cycles={} exec={} stall={} port_reject={}",
+            st.cycles, st.new_exec_cycles, st.stall_cycles, st.port_reject_cycles
+        );
         println!("   issued: {:?}", st.issued);
         println!("   stall breakdown: {:?}", st.stall_breakdown);
     }

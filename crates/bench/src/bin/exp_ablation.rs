@@ -23,7 +23,12 @@ fn main() {
         "Ablation 1: register-hazard model (cycles)",
         &["bench", "renamed (default)", "strict WAR/WAW", "slowdown"],
     );
-    for bench in [Bench::MdKnn, Bench::GemmNcubed, Bench::FftStrided, Bench::Stencil2d] {
+    for bench in [
+        Bench::MdKnn,
+        Bench::GemmNcubed,
+        Bench::FftStrided,
+        Bench::Stencil2d,
+    ] {
         let renamed = run_with(bench, |_| {});
         let strict = run_with(bench, |c| c.engine.strict_register_hazards = true);
         t.row(vec![
@@ -39,7 +44,12 @@ fn main() {
     //    SALAM's model) vs initiation-interval-1 pipelines.
     let mut t = Table::new(
         "Ablation 2: functional-unit pipelining (cycles)",
-        &["bench", "unpipelined (default)", "pipelined II=1", "speedup"],
+        &[
+            "bench",
+            "unpipelined (default)",
+            "pipelined II=1",
+            "speedup",
+        ],
     );
     for bench in [Bench::MdKnn, Bench::MdGrid, Bench::GemmNcubed] {
         let unpiped = run_with(bench, |_| {});
@@ -80,11 +90,13 @@ fn main() {
     for fu in [1u32, 4, 16] {
         let mut row = vec![fu.to_string()];
         for ports in [2u32, 8, 32] {
-            let mut cfg = StandaloneConfig::default().with_ports(ports).with_constraints(
-                FuConstraints::unconstrained()
-                    .with_limit(FuKind::FpMulF64, fu)
-                    .with_limit(FuKind::FpAddF64, fu),
-            );
+            let mut cfg = StandaloneConfig::default()
+                .with_ports(ports)
+                .with_constraints(
+                    FuConstraints::unconstrained()
+                        .with_limit(FuKind::FpMulF64, fu)
+                        .with_limit(FuKind::FpAddF64, fu),
+                );
             cfg.engine.reservation_entries = 512;
             let r = run_kernel(&k, &cfg);
             assert!(r.verified);

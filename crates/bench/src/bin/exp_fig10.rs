@@ -8,7 +8,6 @@ use salam_cdfg::FuConstraints;
 use salam_hls::HlsConfig;
 
 fn main() {
-
     let mut t = Table::new(
         "Fig 10: performance validation (cycles)",
         &["bench", "gem5-SALAM", "HLS", "error%"],
@@ -38,5 +37,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render_auto());
-    println!("average |error|: {:.2}%  (paper: ~1%)", mean_abs_pct(&errors));
+    println!(
+        "average |error|: {:.2}%  (paper: ~1%)",
+        mean_abs_pct(&errors)
+    );
 }

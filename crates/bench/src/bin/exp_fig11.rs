@@ -14,7 +14,10 @@ fn main() {
     let mut errors = Vec::new();
     // Stencil3D is excluded, as in the paper (where Design Compiler ran out
     // of memory during elaboration).
-    for bench in Bench::ALL.into_iter().filter(|b| !matches!(b, Bench::Stencil3d | Bench::Bfs)) {
+    for bench in Bench::ALL
+        .into_iter()
+        .filter(|b| !matches!(b, Bench::Stencil3d | Bench::Bfs))
+    {
         let k = bench.build_standard();
         let r = run_kernel(&k, &StandaloneConfig::default());
         assert!(r.verified, "{} failed verification", k.name);
@@ -35,5 +38,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render_auto());
-    println!("average |error|: {:.2}%  (paper: ~3.25%)", mean_abs_pct(&errors));
+    println!(
+        "average |error|: {:.2}%  (paper: ~3.25%)",
+        mean_abs_pct(&errors)
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
     let mut errors = Vec::new();
     // MD-Grid is excluded, as in the paper (custom IPs blocked Design
     // Compiler's area estimation).
-    for bench in Bench::ALL.into_iter().filter(|b| !matches!(b, Bench::MdGrid | Bench::Bfs)) {
+    for bench in Bench::ALL
+        .into_iter()
+        .filter(|b| !matches!(b, Bench::MdGrid | Bench::Bfs))
+    {
         let k = bench.build_standard();
         let (cdfg, obs) = profile_kernel(&k);
         let salam = cdfg.area_report(&profile).total_um2;
@@ -30,5 +33,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render_auto());
-    println!("average |error|: {:.2}%  (paper: ~2.24%)", mean_abs_pct(&errors));
+    println!(
+        "average |error|: {:.2}%  (paper: ~2.24%)",
+        mean_abs_pct(&errors)
+    );
 }

@@ -22,7 +22,13 @@ fn main() {
 
     let mut t = Table::new(
         "Fig 13: GEMM Pareto sweep (execution time vs power)",
-        &["series", "fmul/fadd limit", "ports", "time(us)", "power(mW)"],
+        &[
+            "series",
+            "fmul/fadd limit",
+            "ports",
+            "time(us)",
+            "power(mW)",
+        ],
     );
     for &fu in &fu_limits {
         for &p in &ports {
@@ -30,9 +36,11 @@ fn main() {
                 .with_limit(FuKind::FpMulF64, fu)
                 .with_limit(FuKind::FpAddF64, fu);
             // Datapath + SPM.
-            let cfg = wide_window(StandaloneConfig::default()
-                .with_ports(p)
-                .with_constraints(constraints.clone()));
+            let cfg = wide_window(
+                StandaloneConfig::default()
+                    .with_ports(p)
+                    .with_constraints(constraints.clone()),
+            );
             let r = run_kernel(&kernel, &cfg);
             assert!(r.verified);
             let time_us = r.runtime_ns / 1000.0;

@@ -3,8 +3,13 @@
 //! (a) stalled vs. new-execution cycle shares as read/write ports sweep
 //!     64 → 4; (b) the stalled cycles broken down by which unfinished
 //!     operation types were pending.
+//!
+//! Set `SALAM_TRACE=/path/to/trace.json` to also record the 4-port run
+//! (the most stall-heavy point) as a Chrome trace_event file — open it in
+//! Perfetto to see each op's issue→retire span and the stall instants.
 
 use salam::standalone::{run_kernel, StandaloneConfig};
+use salam_bench::runners::run_kernel_observed;
 
 fn wide_window(mut cfg: StandaloneConfig) -> StandaloneConfig {
     cfg.engine.reservation_entries = 512;
@@ -24,7 +29,10 @@ fn main() {
         &["ports", "load+compute%", "load+store+compute%", "other%"],
     );
     for ports in [64u32, 32, 16, 8, 4] {
-        let r = run_kernel(&kernel, &wide_window(StandaloneConfig::default().with_ports(ports)));
+        let r = run_kernel(
+            &kernel,
+            &wide_window(StandaloneConfig::default().with_ports(ports)),
+        );
         assert!(r.verified);
         let st = &r.stats;
         let total = st.cycles as f64;
@@ -48,4 +56,16 @@ fn main() {
     }
     println!("{}", a.render_auto());
     println!("{}", b.render_auto());
+
+    if let Ok(path) = std::env::var("SALAM_TRACE") {
+        let path = std::path::PathBuf::from(path);
+        let cfg = wide_window(StandaloneConfig::default().with_ports(4));
+        let (r, reg) = run_kernel_observed(&kernel, &cfg, Some(&path));
+        assert!(r.verified);
+        println!(
+            "\nwrote Chrome trace for the 4-port run to {}",
+            path.display()
+        );
+        println!("{}", reg.to_table());
+    }
 }

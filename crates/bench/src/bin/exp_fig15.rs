@@ -21,8 +21,18 @@ fn main() {
     let mut t = Table::new(
         "Fig 15: co-design sweep (FADD pool fixed at 64)",
         &[
-            "fmul", "ports", "stall%", "exec%", "ld-only%", "st-only%", "ld+st%", "fmul-occ%",
-            "float-sched%", "mem-sched%", "cycles", "power(mW)",
+            "fmul",
+            "ports",
+            "stall%",
+            "exec%",
+            "ld-only%",
+            "st-only%",
+            "ld+st%",
+            "fmul-occ%",
+            "float-sched%",
+            "mem-sched%",
+            "cycles",
+            "power(mW)",
         ],
     );
     for fmul in [2u32, 4, 8, 16] {
@@ -42,9 +52,8 @@ fn main() {
             let execp = st.new_exec_cycles as f64 / total * 100.0;
             // Percentages are over all cycles, like the paper's per-cycle
             // scheduling-activity plots.
-            let mix = |k: &str| {
-                st.mem_mix_cycles.get(k).copied().unwrap_or(0) as f64 / total * 100.0
-            };
+            let mix =
+                |k: &str| st.mem_mix_cycles.get(k).copied().unwrap_or(0) as f64 / total * 100.0;
             let sched = |k: &str| {
                 st.class_active_cycles.get(k).copied().unwrap_or(0) as f64 / total * 100.0
             };

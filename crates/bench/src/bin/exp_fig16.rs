@@ -8,7 +8,15 @@ use salam_bench::table::Table;
 fn main() {
     let mut t = Table::new(
         "Fig 16: producer-consumer accelerator scenarios",
-        &["scenario", "total(us)", "conv(us)", "relu(us)", "pool(us)", "speedup", "ok"],
+        &[
+            "scenario",
+            "total(us)",
+            "conv(us)",
+            "relu(us)",
+            "pool(us)",
+            "speedup",
+            "ok",
+        ],
     );
     let mut baseline = None;
     for s in Scenario::ALL {

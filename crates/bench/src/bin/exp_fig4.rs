@@ -12,7 +12,14 @@ fn main() {
     let mut t = Table::new(
         "Fig 4: total power contribution (%) per benchmark, private SPM",
         &[
-            "bench", "dynFU", "dynReg", "dynSPM-R", "dynSPM-W", "statFU", "statReg", "statSPM",
+            "bench",
+            "dynFU",
+            "dynReg",
+            "dynSPM-R",
+            "dynSPM-W",
+            "statFU",
+            "statReg",
+            "statSPM",
             "total(mW)",
         ],
     );

@@ -43,7 +43,10 @@ fn main() {
         &k.func,
         &trace,
         &profile,
-        &AladdinMemModel::Spm { latency: 1, ports: 8 },
+        &AladdinMemModel::Spm {
+            latency: 1,
+            ports: 8,
+        },
     );
     t.row(vec![
         "SPM".into(),

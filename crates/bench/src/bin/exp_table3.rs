@@ -9,12 +9,26 @@ fn main() {
     let mut t = Table::new(
         "Table III: system validation (us)",
         &[
-            "bench", "ref comp", "ref xfer", "ref total", "sim comp", "sim xfer", "sim total",
-            "e_comp%", "e_xfer%", "e_tot%",
+            "bench",
+            "ref comp",
+            "ref xfer",
+            "ref total",
+            "sim comp",
+            "sim xfer",
+            "sim total",
+            "e_comp%",
+            "e_xfer%",
+            "e_tot%",
         ],
     );
     let (mut ec, mut ex, mut et) = (Vec::new(), Vec::new(), Vec::new());
-    for bench in [Bench::FftStrided, Bench::GemmNcubed, Bench::Stencil2d, Bench::Stencil3d, Bench::MdKnn] {
+    for bench in [
+        Bench::FftStrided,
+        Bench::GemmNcubed,
+        Bench::Stencil2d,
+        Bench::Stencil3d,
+        Bench::MdKnn,
+    ] {
         let k = bench.build_standard();
         let reference = reference_model(&k);
         let (sim, verified) = simulate_system(&k);

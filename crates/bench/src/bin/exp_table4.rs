@@ -12,8 +12,14 @@ fn main() {
     let mut t = Table::new(
         "Table IV: setup + simulation wall-clock",
         &[
-            "bench", "ala trace-gen", "ala sim", "ala trace KB", "salam compile", "salam sim",
-            "prep speedup", "sim speedup",
+            "bench",
+            "ala trace-gen",
+            "ala sim",
+            "ala trace KB",
+            "salam compile",
+            "salam sim",
+            "prep speedup",
+            "sim speedup",
         ],
     );
     let mut prep_speedups = Vec::new();

@@ -5,7 +5,7 @@
 //! a 3×3 kernel (valid padding → 22×22), ReLU, then 2×2/stride-2 pooling
 //! (→ 11×11).
 
-use salam_ir::{FloatPredicate, FunctionBuilder, Function, IntPredicate, Type};
+use salam_ir::{FloatPredicate, Function, FunctionBuilder, IntPredicate, Type};
 
 /// Input width/height.
 pub const IN_DIM: usize = 24;
@@ -51,7 +51,11 @@ pub fn golden(input: &[f32], weights: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) 
 pub fn conv_kernel(stream_out: bool) -> Function {
     let mut fb = FunctionBuilder::new(
         "cnn_conv",
-        &[("input", Type::Ptr), ("weights", Type::Ptr), ("out", Type::Ptr)],
+        &[
+            ("input", Type::Ptr),
+            ("weights", Type::Ptr),
+            ("out", Type::Ptr),
+        ],
     );
     let (input, weights, out) = (fb.arg(0), fb.arg(1), fb.arg(2));
     let zero = fb.i64c(0);
@@ -131,7 +135,11 @@ pub fn relu_kernel(stream_in: bool, stream_out: bool) -> Function {
 pub fn pool_kernel(stream_in: bool) -> Function {
     let mut fb = FunctionBuilder::new(
         "cnn_pool",
-        &[("input", Type::Ptr), ("linebuf", Type::Ptr), ("out", Type::Ptr)],
+        &[
+            ("input", Type::Ptr),
+            ("linebuf", Type::Ptr),
+            ("out", Type::Ptr),
+        ],
     );
     let (input, linebuf, out) = (fb.arg(0), fb.arg(1), fb.arg(2));
     let fmax = |fb: &mut FunctionBuilder, a, b| {
@@ -310,7 +318,11 @@ mod tests {
 
     #[test]
     fn stream_variants_verify() {
-        for f in [conv_kernel(true), relu_kernel(true, true), pool_kernel(true)] {
+        for f in [
+            conv_kernel(true),
+            relu_kernel(true, true),
+            pool_kernel(true),
+        ] {
             salam_ir::verify_function(&f).unwrap();
         }
     }

@@ -66,7 +66,11 @@ fn spm_cfg() -> ScratchpadConfig {
 fn mmr_args(via: CompId, mmr_base: u64, args: &[u64]) -> Vec<HostOp> {
     let mut ops = Vec::new();
     for (i, &v) in args.iter().enumerate() {
-        ops.push(HostOp::WriteMmr { via, addr: mmr_base + ((2 + i) as u64) * 8, value: v });
+        ops.push(HostOp::WriteMmr {
+            via,
+            addr: mmr_base + ((2 + i) as u64) * 8,
+            value: v,
+        });
     }
     ops
 }
@@ -83,7 +87,10 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
 
     let cluster_cfg = match scenario {
         Scenario::SharedSpm => ClusterConfig::default(),
-        _ => ClusterConfig { shared_spm_bytes: 0, ..ClusterConfig::default() },
+        _ => ClusterConfig {
+            shared_spm_bytes: 0,
+            ..ClusterConfig::default()
+        },
     };
     let mut builder = ClusterBuilder::new(cluster_cfg, profile.clone());
 
@@ -94,7 +101,11 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
             cnn::relu_kernel(true, true),
             cnn::pool_kernel(true),
         ),
-        _ => (cnn::conv_kernel(false), cnn::relu_kernel(false, false), cnn::pool_kernel(false)),
+        _ => (
+            cnn::conv_kernel(false),
+            cnn::relu_kernel(false, false),
+            cnn::pool_kernel(false),
+        ),
     };
 
     // Stream buffers (scenario C) are created up front so their ranges can
@@ -102,7 +113,11 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
     let stream_a_base = 0x3000_0000u64;
     let stream_b_base = 0x3000_1000u64;
     let (stream_a, stream_b) = if scenario == Scenario::Stream {
-        let cfg = StreamBufferConfig { capacity_beats: 16, beat_bytes: 4, ..Default::default() };
+        let cfg = StreamBufferConfig {
+            capacity_beats: 16,
+            beat_bytes: 4,
+            ..Default::default()
+        };
         let a = sim.add_component(StreamBuffer::new("stream_a", cfg));
         let b = sim.add_component(StreamBuffer::new("stream_b", cfg));
         builder.add_local_range(stream_a_base, stream_a_base + 0x100, a);
@@ -116,7 +131,11 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
     let conv_spm = 0x1000_0000u64;
     let relu_spm = 0x1100_0000u64;
     let pool_spm = 0x1200_0000u64;
-    let style = |base| MemoryStyle::PrivateSpm { base, size: 0x4000, spm: spm_cfg() };
+    let style = |base| MemoryStyle::PrivateSpm {
+        base,
+        size: 0x4000,
+        spm: spm_cfg(),
+    };
     let conv_style = match scenario {
         Scenario::SharedSpm => MemoryStyle::GlobalOnly,
         _ => style(conv_spm),
@@ -176,24 +195,48 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
             let (r_in, r_out) = (relu_spm, relu_spm + 0x1000);
             let (p_in, p_lb, p_out) = (pool_spm, pool_spm + 0x1000, pool_spm + 0x1800);
             pool_out_addr = p_out;
-            ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(1, DRAM_IN, c_in, IN_BYTES, host_id_placeholder) });
+            ops.push(HostOp::StartDma {
+                dma: cluster.dma,
+                cmd: DmaCmd::new(1, DRAM_IN, c_in, IN_BYTES, host_id_placeholder),
+            });
             ops.push(HostOp::WaitDmaDone { id: 1 });
-            ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(2, DRAM_W, c_w, W_BYTES, host_id_placeholder) });
+            ops.push(HostOp::StartDma {
+                dma: cluster.dma,
+                cmd: DmaCmd::new(2, DRAM_W, c_w, W_BYTES, host_id_placeholder),
+            });
             ops.push(HostOp::WaitDmaDone { id: 2 });
             ops.extend(mmr_args(via, conv_mmr, &[c_in, c_w, c_out]));
-            ops.push(HostOp::StartAccelerator { via, mmr_base: conv_mmr });
+            ops.push(HostOp::StartAccelerator {
+                via,
+                mmr_base: conv_mmr,
+            });
             ops.push(HostOp::WaitAccDone { unit: conv.unit });
-            ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(3, c_out, r_in, CONV_BYTES, host_id_placeholder) });
+            ops.push(HostOp::StartDma {
+                dma: cluster.dma,
+                cmd: DmaCmd::new(3, c_out, r_in, CONV_BYTES, host_id_placeholder),
+            });
             ops.push(HostOp::WaitDmaDone { id: 3 });
             ops.extend(mmr_args(via, relu_mmr, &[r_in, r_out]));
-            ops.push(HostOp::StartAccelerator { via, mmr_base: relu_mmr });
+            ops.push(HostOp::StartAccelerator {
+                via,
+                mmr_base: relu_mmr,
+            });
             ops.push(HostOp::WaitAccDone { unit: relu.unit });
-            ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(4, r_out, p_in, CONV_BYTES, host_id_placeholder) });
+            ops.push(HostOp::StartDma {
+                dma: cluster.dma,
+                cmd: DmaCmd::new(4, r_out, p_in, CONV_BYTES, host_id_placeholder),
+            });
             ops.push(HostOp::WaitDmaDone { id: 4 });
             ops.extend(mmr_args(via, pool_mmr, &[p_in, p_lb, p_out]));
-            ops.push(HostOp::StartAccelerator { via, mmr_base: pool_mmr });
+            ops.push(HostOp::StartAccelerator {
+                via,
+                mmr_base: pool_mmr,
+            });
             ops.push(HostOp::WaitAccDone { unit: pool.unit });
-            ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(5, p_out, DRAM_OUT, POOL_BYTES, host_id_placeholder) });
+            ops.push(HostOp::StartDma {
+                dma: cluster.dma,
+                cmd: DmaCmd::new(5, p_out, DRAM_OUT, POOL_BYTES, host_id_placeholder),
+            });
             ops.push(HostOp::WaitDmaDone { id: 5 });
         }
         Scenario::SharedSpm => {
@@ -201,30 +244,54 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
             let r_out = shared + 0x2000;
             let (p_lb, p_out) = (shared + 0x3000, shared + 0x3800);
             pool_out_addr = p_out;
-            ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(1, DRAM_IN, c_in, IN_BYTES, host_id_placeholder) });
+            ops.push(HostOp::StartDma {
+                dma: cluster.dma,
+                cmd: DmaCmd::new(1, DRAM_IN, c_in, IN_BYTES, host_id_placeholder),
+            });
             ops.push(HostOp::WaitDmaDone { id: 1 });
-            ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(2, DRAM_W, c_w, W_BYTES, host_id_placeholder) });
+            ops.push(HostOp::StartDma {
+                dma: cluster.dma,
+                cmd: DmaCmd::new(2, DRAM_W, c_w, W_BYTES, host_id_placeholder),
+            });
             ops.push(HostOp::WaitDmaDone { id: 2 });
             ops.extend(mmr_args(via, conv_mmr, &[c_in, c_w, c_out]));
-            ops.push(HostOp::StartAccelerator { via, mmr_base: conv_mmr });
+            ops.push(HostOp::StartAccelerator {
+                via,
+                mmr_base: conv_mmr,
+            });
             ops.push(HostOp::WaitAccDone { unit: conv.unit });
             // No data movement: relu reads conv's output in place.
             ops.extend(mmr_args(via, relu_mmr, &[c_out, r_out]));
-            ops.push(HostOp::StartAccelerator { via, mmr_base: relu_mmr });
+            ops.push(HostOp::StartAccelerator {
+                via,
+                mmr_base: relu_mmr,
+            });
             ops.push(HostOp::WaitAccDone { unit: relu.unit });
             ops.extend(mmr_args(via, pool_mmr, &[r_out, p_lb, p_out]));
-            ops.push(HostOp::StartAccelerator { via, mmr_base: pool_mmr });
+            ops.push(HostOp::StartAccelerator {
+                via,
+                mmr_base: pool_mmr,
+            });
             ops.push(HostOp::WaitAccDone { unit: pool.unit });
-            ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(5, p_out, DRAM_OUT, POOL_BYTES, host_id_placeholder) });
+            ops.push(HostOp::StartDma {
+                dma: cluster.dma,
+                cmd: DmaCmd::new(5, p_out, DRAM_OUT, POOL_BYTES, host_id_placeholder),
+            });
             ops.push(HostOp::WaitDmaDone { id: 5 });
         }
         Scenario::Stream => {
             let (c_in, c_w) = (conv_spm, conv_spm + 0xA00);
             let (p_lb, p_out) = (pool_spm + 0x1000, pool_spm + 0x1800);
             pool_out_addr = p_out;
-            ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(1, DRAM_IN, c_in, IN_BYTES, host_id_placeholder) });
+            ops.push(HostOp::StartDma {
+                dma: cluster.dma,
+                cmd: DmaCmd::new(1, DRAM_IN, c_in, IN_BYTES, host_id_placeholder),
+            });
             ops.push(HostOp::WaitDmaDone { id: 1 });
-            ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(2, DRAM_W, c_w, W_BYTES, host_id_placeholder) });
+            ops.push(HostOp::StartDma {
+                dma: cluster.dma,
+                cmd: DmaCmd::new(2, DRAM_W, c_w, W_BYTES, host_id_placeholder),
+            });
             ops.push(HostOp::WaitDmaDone { id: 2 });
             // Program everything, then start consumers before producers so
             // the pipeline self-synchronizes through the stream handshakes —
@@ -232,11 +299,23 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
             ops.extend(mmr_args(via, pool_mmr, &[stream_b_base, p_lb, p_out]));
             ops.extend(mmr_args(via, relu_mmr, &[stream_a_base, stream_b_base]));
             ops.extend(mmr_args(via, conv_mmr, &[c_in, c_w, stream_a_base]));
-            ops.push(HostOp::StartAccelerator { via, mmr_base: pool_mmr });
-            ops.push(HostOp::StartAccelerator { via, mmr_base: relu_mmr });
-            ops.push(HostOp::StartAccelerator { via, mmr_base: conv_mmr });
+            ops.push(HostOp::StartAccelerator {
+                via,
+                mmr_base: pool_mmr,
+            });
+            ops.push(HostOp::StartAccelerator {
+                via,
+                mmr_base: relu_mmr,
+            });
+            ops.push(HostOp::StartAccelerator {
+                via,
+                mmr_base: conv_mmr,
+            });
             ops.push(HostOp::WaitAccDone { unit: pool.unit });
-            ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(5, p_out, DRAM_OUT, POOL_BYTES, host_id_placeholder) });
+            ops.push(HostOp::StartDma {
+                dma: cluster.dma,
+                cmd: DmaCmd::new(5, p_out, DRAM_OUT, POOL_BYTES, host_id_placeholder),
+            });
             ops.push(HostOp::WaitDmaDone { id: 5 });
         }
     }
@@ -273,11 +352,15 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
         .chunks(4)
         .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
         .collect();
-    let verified =
-        machsuite::data::check_f32_close("pool_out", &got, &want_pool, 1e-4).is_ok();
+    let verified = machsuite::data::check_f32_close("pool_out", &got, &want_pool, 1e-4).is_ok();
     let _ = pool_out_addr;
 
-    ScenarioResult { scenario, total_ns, accel_spans_ns, verified }
+    ScenarioResult {
+        scenario,
+        total_ns,
+        accel_spans_ns,
+        verified,
+    }
 }
 
 #[cfg(test)]

@@ -13,12 +13,13 @@
 //! * [`table3`] — the end-to-end system-validation flow of Table III
 //!   (DMA in → accelerate → DMA out) with its analytical reference model.
 //!
-//! One binary per table/figure lives in `src/bin/exp_*.rs`; Criterion
-//! benches covering the same experiments at reduced scale live in
-//! `benches/`.
+//! One binary per table/figure lives in `src/bin/exp_*.rs`; plain-timing
+//! benches ([`microbench`]) covering the same experiments at reduced scale
+//! live in `benches/`.
 
 pub mod cnn;
 pub mod fig16;
+pub mod microbench;
 pub mod runners;
 pub mod table;
 pub mod table3;

@@ -1,0 +1,101 @@
+//! A plain `std::time::Instant` micro-benchmark harness.
+//!
+//! The workspace builds with zero crates.io dependencies, so the Criterion
+//! benches were rewritten on this ~60-line loop: warm up, calibrate an
+//! iteration count to a target wall time, report mean ns/iter. The
+//! `benches/*.rs` targets are `harness = false` binaries that call
+//! [`run`] per case and print one line each — good enough to rank hot-path
+//! changes and to guard the no-op-tracing overhead bound.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    pub iters: u64,
+    pub total: Duration,
+}
+
+impl Measurement {
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+
+    /// Iterations (or elements, when scaled by the caller) per second.
+    pub fn per_sec(&self) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            self.iters as f64 / self.total.as_secs_f64()
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times `f`, printing one `name  <time>/iter  (<iters> iters)` line.
+///
+/// Warm-up runs are discarded, then the iteration count is scaled so the
+/// measured region lasts at least `TARGET`.
+pub fn run<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    const TARGET: Duration = Duration::from_millis(300);
+    const MAX_ITERS: u64 = 1 << 20;
+
+    // Warm-up + initial estimate.
+    let start = Instant::now();
+    black_box(f());
+    let mut per_iter = start.elapsed().max(Duration::from_nanos(1));
+    for _ in 0..2 {
+        let s = Instant::now();
+        black_box(f());
+        per_iter = per_iter.min(s.elapsed().max(Duration::from_nanos(1)));
+    }
+
+    let iters = (TARGET.as_nanos() / per_iter.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let total = start.elapsed();
+    let m = Measurement {
+        name: name.to_string(),
+        iters,
+        total,
+    };
+    println!(
+        "{:<44} {:>12}/iter   ({} iters)",
+        m.name,
+        fmt_ns(m.ns_per_iter()),
+        m.iters
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut x = 0u64;
+        let m = run("noop_loop", || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(m.iters >= 1);
+        assert!(m.ns_per_iter() >= 0.0);
+        assert!(m.per_sec() > 0.0);
+    }
+}

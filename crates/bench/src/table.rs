@@ -38,10 +38,16 @@ impl Table {
     /// `SALAM_CSV=1`), aligned plain text otherwise.
     pub fn render_auto(&self) -> String {
         let csv = std::env::args().any(|a| a == "--csv")
-            || std::env::var("SALAM_CSV").map(|v| v == "1").unwrap_or(false);
+            || std::env::var("SALAM_CSV")
+                .map(|v| v == "1")
+                .unwrap_or(false);
         if csv {
-            format!("# {}
-{}", self.title, self.to_csv())
+            format!(
+                "# {}
+{}",
+                self.title,
+                self.to_csv()
+            )
         } else {
             self.render()
         }

@@ -3,7 +3,10 @@
 
 use machsuite::BuiltKernel;
 use memsys::{DmaCmd, MemMsg, ScratchpadConfig};
-use salam::{AcceleratorConfig, ClusterBuilder, ClusterConfig, ComputeUnit, Host, HostConfig, HostOp, MemoryStyle};
+use salam::{
+    AcceleratorConfig, ClusterBuilder, ClusterConfig, ComputeUnit, Host, HostConfig, HostOp,
+    MemoryStyle,
+};
 use salam_cdfg::FuConstraints;
 use salam_hls::HlsConfig;
 use sim_core::Simulation;
@@ -34,7 +37,10 @@ pub fn simulate_system(kernel: &BuiltKernel) -> (EndToEnd, bool) {
 
     let mut sim: Simulation<MemMsg> = Simulation::new();
     let mut builder = ClusterBuilder::new(
-        ClusterConfig { shared_spm_bytes: 0, ..ClusterConfig::default() },
+        ClusterConfig {
+            shared_spm_bytes: 0,
+            ..ClusterConfig::default()
+        },
         hw_profile::HardwareProfile::default_40nm(),
     );
     let mmr_base = 0x7F00_0000u64; // clear of every kernel footprint
@@ -51,8 +57,7 @@ pub fn simulate_system(kernel: &BuiltKernel) -> (EndToEnd, bool) {
         mmr_base,
         None,
     );
-    let (cluster, dram, gxbar) =
-        salam::build_system(&mut sim, builder, DRAM_BASE, 4 << 20);
+    let (cluster, dram, gxbar) = salam::build_system(&mut sim, builder, DRAM_BASE, 4 << 20);
     let acc = cluster.accels[0];
 
     // Stage the initial image in DRAM at `dram_stage + (addr - lo)`.
@@ -65,9 +70,14 @@ pub fn simulate_system(kernel: &BuiltKernel) -> (EndToEnd, bool) {
 
     // Host program: bulk in, program + run, bulk out.
     let host = sim.add_component(Host::new(HostConfig::default(), vec![]));
-    sim.component_as_mut::<ComputeUnit>(acc.unit).unwrap().subscribe_done(host);
+    sim.component_as_mut::<ComputeUnit>(acc.unit)
+        .unwrap()
+        .subscribe_done(host);
     let mut ops = vec![
-        HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(1, dram_stage, lo, len, host) },
+        HostOp::StartDma {
+            dma: cluster.dma,
+            cmd: DmaCmd::new(1, dram_stage, lo, len, host),
+        },
         HostOp::WaitDmaDone { id: 1 },
     ];
     for (i, arg) in kernel.args.iter().enumerate() {
@@ -76,11 +86,21 @@ pub fn simulate_system(kernel: &BuiltKernel) -> (EndToEnd, bool) {
             salam_ir::interp::RtVal::I(v) => *v as u64,
             salam_ir::interp::RtVal::F(_) => panic!("float args not supported over MMRs"),
         };
-        ops.push(HostOp::WriteMmr { via: gxbar, addr: mmr_base + ((2 + i) as u64) * 8, value: raw });
+        ops.push(HostOp::WriteMmr {
+            via: gxbar,
+            addr: mmr_base + ((2 + i) as u64) * 8,
+            value: raw,
+        });
     }
-    ops.push(HostOp::StartAccelerator { via: gxbar, mmr_base });
+    ops.push(HostOp::StartAccelerator {
+        via: gxbar,
+        mmr_base,
+    });
     ops.push(HostOp::WaitAccDone { unit: acc.unit });
-    ops.push(HostOp::StartDma { dma: cluster.dma, cmd: DmaCmd::new(2, lo, dram_stage, len, host) });
+    ops.push(HostOp::StartDma {
+        dma: cluster.dma,
+        cmd: DmaCmd::new(2, lo, dram_stage, len, host),
+    });
     ops.push(HostOp::WaitDmaDone { id: 2 });
     let dma_in_wait = 1usize;
     let acc_wait = ops.len() - 3;
@@ -146,7 +166,11 @@ pub fn reference_model(kernel: &BuiltKernel) -> EndToEnd {
     let one_way_ns = bursts * per_burst_ns + 655.0;
     let xfer_us = 2.0 * one_way_ns / 1e3;
 
-    EndToEnd { compute_us, xfer_us, total_us: compute_us + xfer_us }
+    EndToEnd {
+        compute_us,
+        xfer_us,
+        total_us: compute_us + xfer_us,
+    }
 }
 
 #[cfg(test)]

@@ -105,13 +105,15 @@ impl StaticCdfg {
     /// Every live instruction is assigned a latency, a width, and (for
     /// compute ops) a functional-unit kind. The datapath allocation is
     /// `min(instruction count, constraint)` per kind.
-    pub fn elaborate(
-        f: &Function,
-        profile: &HardwareProfile,
-        constraints: &FuConstraints,
-    ) -> Self {
+    pub fn elaborate(f: &Function, profile: &HardwareProfile, constraints: &FuConstraints) -> Self {
         let mut ops = vec![
-            StaticOp { inst: InstId::from_raw(0), block: f.entry(), fu: None, latency: 1, bits: 0 };
+            StaticOp {
+                inst: InstId::from_raw(0),
+                block: f.entry(),
+                fu: None,
+                latency: 1,
+                bits: 0
+            };
             f.num_insts()
         ];
         let mut inst_counts: BTreeMap<FuKind, u32> = BTreeMap::new();
@@ -182,7 +184,11 @@ impl StaticCdfg {
             .map(|(&k, &n)| profile.spec(k).area_um2 * n as f64)
             .sum();
         let reg_area = profile.register.area_um2_per_bit * self.register_bits as f64;
-        AreaReport { fu_um2: fu_area, register_um2: reg_area, total_um2: fu_area + reg_area }
+        AreaReport {
+            fu_um2: fu_area,
+            register_um2: reg_area,
+            total_um2: fu_area + reg_area,
+        }
     }
 
     /// Static (leakage) power estimate from the static datapath.
@@ -193,7 +199,11 @@ impl StaticCdfg {
             .map(|(&k, &n)| profile.spec(k).leakage_mw * n as f64)
             .sum();
         let reg_leak = profile.register.leakage_mw_per_bit * self.register_bits as f64;
-        StaticPowerReport { fu_mw: fu_leak, register_mw: reg_leak, total_mw: fu_leak + reg_leak }
+        StaticPowerReport {
+            fu_mw: fu_leak,
+            register_mw: reg_leak,
+            total_mw: fu_leak + reg_leak,
+        }
     }
 }
 
@@ -211,7 +221,10 @@ fn op_bits(f: &Function, iid: InstId) -> u32 {
             if inst.has_result() {
                 scalar_bits_ty(&inst.ty)
             } else {
-                inst.operands.first().map(|&v| scalar_bits(f, v)).unwrap_or(32)
+                inst.operands
+                    .first()
+                    .map(|&v| scalar_bits(f, v))
+                    .unwrap_or(32)
             }
         }
     }

@@ -5,6 +5,7 @@ use memsys::{MemMsg, MemReq};
 use salam_cdfg::{FuConstraints, StaticCdfg};
 use salam_ir::interp::RtVal;
 use salam_ir::{Function, Type};
+use salam_obs::SharedTrace;
 use salam_runtime::{Engine, EngineConfig, EngineStats, MemAccess, MemCompletion, MemPort};
 use sim_core::{ClockDomain, CompId, Component, Ctx, Tick};
 
@@ -102,7 +103,11 @@ impl MemPort for BufferPort {
         } else {
             &mut self.global_left
         };
-        let budget = if access.is_write { &mut side.1 } else { &mut side.0 };
+        let budget = if access.is_write {
+            &mut side.1
+        } else {
+            &mut side.0
+        };
         if *budget == 0 {
             return Err(access);
         }
@@ -146,6 +151,7 @@ pub struct ComputeUnit {
     final_stats: Option<EngineStats>,
     invocations: u64,
     ticking: bool,
+    trace: SharedTrace,
 }
 
 impl std::fmt::Debug for ComputeUnit {
@@ -188,7 +194,14 @@ impl ComputeUnit {
             final_stats: None,
             invocations: 0,
             ticking: false,
+            trace: SharedTrace::disabled(),
         }
+    }
+
+    /// Attaches a trace sink: every invocation's engine records op spans and
+    /// scheduler events, timestamped in simulation ticks.
+    pub fn set_trace(&mut self, trace: SharedTrace) {
+        self.trace = trace;
     }
 
     /// Binds the paired MMR block and its base address (for status
@@ -249,24 +262,31 @@ impl ComputeUnit {
             .zip(&self.arg_regs)
             .map(|(p, &raw)| match p.ty {
                 Type::Ptr => RtVal::P(raw),
-                ref t if t.is_int() => {
-                    RtVal::I(salam_ir::interp::sign_extend(raw, t.bits()))
-                }
+                ref t if t.is_int() => RtVal::I(salam_ir::interp::sign_extend(raw, t.bits())),
                 ref t => panic!("unsupported MMR argument type {t}"),
             })
             .collect()
     }
 
     fn start(&mut self, ctx: &mut Ctx<'_, MemMsg>) {
-        assert!(self.engine.is_none(), "{}: started while running", self.cfg.name);
+        assert!(
+            self.engine.is_none(),
+            "{}: started while running",
+            self.cfg.name
+        );
         let args = self.args_from_regs();
-        self.engine = Some(Engine::new(
+        let mut engine = Engine::new(
             self.func.clone(),
             self.cdfg.clone(),
             self.profile.clone(),
             self.cfg.engine,
             args,
-        ));
+        );
+        if self.trace.is_enabled() {
+            engine.set_trace(self.trace.clone());
+            engine.set_trace_offset_ps(ctx.now());
+        }
+        self.engine = Some(engine);
         self.started_at = Some(ctx.now());
         self.schedule_tick(ctx);
     }
@@ -289,7 +309,12 @@ impl ComputeUnit {
             ctx.send(
                 mmr,
                 0,
-                MemMsg::Req(MemReq::write(u64::MAX, base, 2u64.to_le_bytes().to_vec(), me)),
+                MemMsg::Req(MemReq::write(
+                    u64::MAX,
+                    base,
+                    2u64.to_le_bytes().to_vec(),
+                    me,
+                )),
             );
         }
         if let Some((target, line)) = self.comm.irq {
@@ -322,7 +347,9 @@ impl Component<MemMsg> for ComputeUnit {
             }
             MemMsg::Tick => {
                 self.ticking = false;
-                let Some(engine) = self.engine.as_mut() else { return };
+                let Some(engine) = self.engine.as_mut() else {
+                    return;
+                };
                 let done = engine.step(&mut self.port);
                 // Flush memory accesses generated this cycle to the fabric.
                 let me = ctx.self_id();
@@ -336,7 +363,12 @@ impl Component<MemMsg> for ComputeUnit {
                         }
                     };
                     let req = if access.is_write {
-                        MemReq::write(access.token, access.addr, access.data.unwrap_or_default(), me)
+                        MemReq::write(
+                            access.token,
+                            access.addr,
+                            access.data.unwrap_or_default(),
+                            me,
+                        )
                     } else {
                         MemReq::read(access.token, access.addr, access.size, me)
                     };
@@ -352,7 +384,10 @@ impl Component<MemMsg> for ComputeUnit {
                 if resp.id == u64::MAX {
                     return; // ack of our own status write
                 }
-                self.port.completions.push(MemCompletion { token: resp.id, data: resp.data });
+                self.port.completions.push(MemCompletion {
+                    token: resp.id,
+                    data: resp.data,
+                });
                 // The engine keeps ticking while running, so the completion
                 // is observed on the next edge.
             }
@@ -421,7 +456,9 @@ mod tests {
         );
         let cu_id = sim.add_component(cu);
         let mmr = sim.add_component(MmrBlock::new("mmr", 0x0, 8, Some(cu_id)));
-        sim.component_as_mut::<ComputeUnit>(cu_id).unwrap().set_mmr(mmr, 0x0);
+        sim.component_as_mut::<ComputeUnit>(cu_id)
+            .unwrap()
+            .set_mmr(mmr, 0x0);
         (sim, cu_id, mmr, spm)
     }
 
@@ -437,9 +474,22 @@ mod tests {
         // Program args: a=0x1000, b=0x1100, n=2; then start.
         let col = sim.add_component(memsys::test_util::Collector::new());
         for (i, v) in [(2usize, 0x1000u64), (3, 0x1100), (4, 2)] {
-            sim.post(mmr, 0, MemMsg::Req(MemReq::write(i as u64, (i * 8) as u64, v.to_le_bytes().to_vec(), col)));
+            sim.post(
+                mmr,
+                0,
+                MemMsg::Req(MemReq::write(
+                    i as u64,
+                    (i * 8) as u64,
+                    v.to_le_bytes().to_vec(),
+                    col,
+                )),
+            );
         }
-        sim.post(mmr, 10_000, MemMsg::Req(MemReq::write(99, 0, 1u64.to_le_bytes().to_vec(), col)));
+        sim.post(
+            mmr,
+            10_000,
+            MemMsg::Req(MemReq::write(99, 0, 1u64.to_le_bytes().to_vec(), col)),
+        );
         sim.run();
         let s = sim.component_as::<Scratchpad>(spm).unwrap();
         let out0 = i64::from_le_bytes(s.peek(0x1100, 8).try_into().unwrap());
@@ -456,15 +506,36 @@ mod tests {
     #[test]
     fn second_invocation_supported() {
         let (mut sim, cu, mmr, spm) = vadd_system();
-        sim.component_as_mut::<Scratchpad>(spm).unwrap().poke(0x1000, &1i64.to_le_bytes());
-        sim.component_as_mut::<Scratchpad>(spm).unwrap().poke(0x1100, &5i64.to_le_bytes());
+        sim.component_as_mut::<Scratchpad>(spm)
+            .unwrap()
+            .poke(0x1000, &1i64.to_le_bytes());
+        sim.component_as_mut::<Scratchpad>(spm)
+            .unwrap()
+            .poke(0x1100, &5i64.to_le_bytes());
         let col = sim.add_component(memsys::test_util::Collector::new());
         for (i, v) in [(2usize, 0x1000u64), (3, 0x1100), (4, 1)] {
-            sim.post(mmr, 0, MemMsg::Req(MemReq::write(i as u64, (i * 8) as u64, v.to_le_bytes().to_vec(), col)));
+            sim.post(
+                mmr,
+                0,
+                MemMsg::Req(MemReq::write(
+                    i as u64,
+                    (i * 8) as u64,
+                    v.to_le_bytes().to_vec(),
+                    col,
+                )),
+            );
         }
-        sim.post(mmr, 10_000, MemMsg::Req(MemReq::write(99, 0, 1u64.to_le_bytes().to_vec(), col)));
+        sim.post(
+            mmr,
+            10_000,
+            MemMsg::Req(MemReq::write(99, 0, 1u64.to_le_bytes().to_vec(), col)),
+        );
         // Re-start long after the first run finishes.
-        sim.post(mmr, 10_000_000, MemMsg::Req(MemReq::write(100, 0, 1u64.to_le_bytes().to_vec(), col)));
+        sim.post(
+            mmr,
+            10_000_000,
+            MemMsg::Req(MemReq::write(100, 0, 1u64.to_le_bytes().to_vec(), col)),
+        );
         sim.run();
         let unit = sim.component_as::<ComputeUnit>(cu).unwrap();
         assert_eq!(unit.invocations(), 2);

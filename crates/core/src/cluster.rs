@@ -94,7 +94,12 @@ pub struct ClusterBuilder {
 impl ClusterBuilder {
     /// Starts a cluster with the given configuration and hardware profile.
     pub fn new(cfg: ClusterConfig, profile: HardwareProfile) -> Self {
-        ClusterBuilder { cfg, profile, accels: Vec::new(), extra_ranges: Vec::new() }
+        ClusterBuilder {
+            cfg,
+            profile,
+            accels: Vec::new(),
+            extra_ranges: Vec::new(),
+        }
     }
 
     /// Adds an accelerator; returns its index.
@@ -106,7 +111,13 @@ impl ClusterBuilder {
         mmr_base: u64,
         irq_line: Option<u32>,
     ) -> usize {
-        self.accels.push(AccelDesc { cfg, func, mem, mmr_base, irq_line });
+        self.accels.push(AccelDesc {
+            cfg,
+            func,
+            mem,
+            mmr_base,
+            irq_line,
+        });
         self.accels.len() - 1
     }
 
@@ -136,7 +147,11 @@ impl ClusterBuilder {
                 cfg.shared_spm_base,
                 cfg.shared_spm_bytes,
             ));
-            map.add(cfg.shared_spm_base, cfg.shared_spm_base + cfg.shared_spm_bytes, id);
+            map.add(
+                cfg.shared_spm_base,
+                cfg.shared_spm_base + cfg.shared_spm_bytes,
+                id,
+            );
             Some(id)
         } else {
             None
@@ -169,12 +184,8 @@ impl ClusterBuilder {
                 global_ports: (4, 4),
                 irq: None,
             };
-            let unit = sim.add_component(ComputeUnit::new(
-                d.cfg,
-                comm,
-                d.func,
-                self.profile.clone(),
-            ));
+            let unit =
+                sim.add_component(ComputeUnit::new(d.cfg, comm, d.func, self.profile.clone()));
             let mmr = sim.add_component(MmrBlock::new(
                 &format!("acc{i}.mmr"),
                 d.mmr_base,
@@ -186,7 +197,12 @@ impl ClusterBuilder {
                 .set_mmr(mmr, d.mmr_base);
             map.add(d.mmr_base, d.mmr_base + 16 * 8, mmr);
             let _ = d.irq_line;
-            handles.push(AccelHandle { unit, mmr, mmr_base: d.mmr_base, private_spm });
+            handles.push(AccelHandle {
+                unit,
+                mmr,
+                mmr_base: d.mmr_base,
+                private_spm,
+            });
         }
 
         for (lo, hi, dst) in self.extra_ranges {
@@ -218,7 +234,12 @@ impl ClusterBuilder {
             cfg.dma_inflight,
         ));
 
-        AcceleratorCluster { local_xbar, shared_spm, dma, accels: handles }
+        AcceleratorCluster {
+            local_xbar,
+            shared_spm,
+            dma,
+            accels: handles,
+        }
     }
 }
 
@@ -234,6 +255,47 @@ pub struct AcceleratorCluster {
     pub dma: CompId,
     /// Accelerators in insertion order.
     pub accels: Vec<AccelHandle>,
+}
+
+impl AcceleratorCluster {
+    /// Attaches one trace sink to every traceable component of the cluster:
+    /// compute units (op spans), the DMA (transfer spans), the shared SPM
+    /// and the local crossbar (counters and contention instants).
+    pub fn set_trace(&self, sim: &mut Simulation<MemMsg>, trace: &salam_obs::SharedTrace) {
+        for h in &self.accels {
+            if let Some(cu) = sim.component_as_mut::<ComputeUnit>(h.unit) {
+                cu.set_trace(trace.clone());
+            }
+            if let Some(id) = h.private_spm {
+                if let Some(spm) = sim.component_as_mut::<Scratchpad>(id) {
+                    spm.set_trace(trace.clone());
+                }
+            }
+        }
+        if let Some(id) = self.shared_spm {
+            if let Some(spm) = sim.component_as_mut::<Scratchpad>(id) {
+                spm.set_trace(trace.clone());
+            }
+        }
+        if let Some(dma) = sim.component_as_mut::<BlockDma>(self.dma) {
+            dma.set_trace(trace.clone());
+        }
+        if let Some(x) = sim.component_as_mut::<Xbar>(self.local_xbar) {
+            x.set_trace(trace.clone());
+        }
+    }
+
+    /// Merges every component's [`sim_core::Component::stats`] into `reg`
+    /// under `prefix` — one dotted path per counter, e.g.
+    /// `system.cluster.dma.bytes_moved`.
+    pub fn export_metrics(
+        &self,
+        sim: &Simulation<MemMsg>,
+        reg: &mut salam_obs::MetricsRegistry,
+        prefix: &str,
+    ) {
+        reg.merge_prefixed(prefix, sim.all_stats());
+    }
 }
 
 /// A ready-made single-cluster system: DRAM behind a global crossbar plus
@@ -258,7 +320,12 @@ pub fn build_system_with_llc(
     dram_bytes: u64,
     llc: Option<memsys::CacheConfig>,
 ) -> (AcceleratorCluster, CompId, CompId) {
-    let dram = sim.add_component(Dram::new("dram", DramConfig::default(), dram_base, dram_bytes));
+    let dram = sim.add_component(Dram::new(
+        "dram",
+        DramConfig::default(),
+        dram_base,
+        dram_bytes,
+    ));
     // The cluster's path to system memory goes through the LLC when enabled.
     let mem_side = match llc {
         Some(cfg) => sim.add_component(memsys::Cache::new("llc", cfg, dram)),
@@ -319,23 +386,38 @@ mod tests {
         let h = cluster.accels[0];
         sim.component_as_mut::<Scratchpad>(h.private_spm.unwrap())
             .unwrap()
-            .poke(0x1000_0000, &[5i64.to_le_bytes(), 6i64.to_le_bytes()].concat());
+            .poke(
+                0x1000_0000,
+                &[5i64.to_le_bytes(), 6i64.to_le_bytes()].concat(),
+            );
         let col = sim.add_component(memsys::test_util::Collector::new());
         // Program args through the *local crossbar*, as a peer would.
         for (reg, v) in [(2u64, 0x1000_0000u64), (3, 2)] {
             sim.post(
                 cluster.local_xbar,
                 0,
-                MemMsg::Req(MemReq::write(reg, h.mmr_base + reg * 8, v.to_le_bytes().to_vec(), col)),
+                MemMsg::Req(MemReq::write(
+                    reg,
+                    h.mmr_base + reg * 8,
+                    v.to_le_bytes().to_vec(),
+                    col,
+                )),
             );
         }
         sim.post(
             cluster.local_xbar,
             50_000,
-            MemMsg::Req(MemReq::write(9, h.mmr_base, 1u64.to_le_bytes().to_vec(), col)),
+            MemMsg::Req(MemReq::write(
+                9,
+                h.mmr_base,
+                1u64.to_le_bytes().to_vec(),
+                col,
+            )),
         );
         sim.run();
-        let s = sim.component_as::<Scratchpad>(h.private_spm.unwrap()).unwrap();
+        let s = sim
+            .component_as::<Scratchpad>(h.private_spm.unwrap())
+            .unwrap();
         let v0 = i64::from_le_bytes(s.peek(0x1000_0000, 8).try_into().unwrap());
         let v1 = i64::from_le_bytes(s.peek(0x1000_0008, 8).try_into().unwrap());
         assert_eq!((v0, v1), (6, 7));
@@ -348,7 +430,10 @@ mod tests {
         let run = |llc: Option<memsys::CacheConfig>| {
             let mut sim: Simulation<MemMsg> = Simulation::new();
             let mut b = ClusterBuilder::new(
-                ClusterConfig { shared_spm_bytes: 0, ..ClusterConfig::default() },
+                ClusterConfig {
+                    shared_spm_bytes: 0,
+                    ..ClusterConfig::default()
+                },
                 HardwareProfile::default_40nm(),
             );
             b.add_accelerator(
@@ -369,13 +454,23 @@ mod tests {
                 sim.post(
                     cluster.local_xbar,
                     0,
-                    MemMsg::Req(MemReq::write(reg, h.mmr_base + reg * 8, v.to_le_bytes().to_vec(), col)),
+                    MemMsg::Req(MemReq::write(
+                        reg,
+                        h.mmr_base + reg * 8,
+                        v.to_le_bytes().to_vec(),
+                        col,
+                    )),
                 );
             }
             sim.post(
                 cluster.local_xbar,
                 50_000,
-                MemMsg::Req(MemReq::write(9, h.mmr_base, 1u64.to_le_bytes().to_vec(), col)),
+                MemMsg::Req(MemReq::write(
+                    9,
+                    h.mmr_base,
+                    1u64.to_le_bytes().to_vec(),
+                    col,
+                )),
             );
             sim.run();
             let cu = sim.component_as::<ComputeUnit>(h.unit).unwrap();
@@ -396,7 +491,9 @@ mod tests {
         let mut sim: Simulation<MemMsg> = Simulation::new();
         let b = ClusterBuilder::new(ClusterConfig::default(), HardwareProfile::default_40nm());
         let (cluster, dram, _gx) = build_system(&mut sim, b, 0x8000_0000, 1 << 20);
-        sim.component_as_mut::<Dram>(dram).unwrap().poke(0x8000_0000, &[42u8; 128]);
+        sim.component_as_mut::<Dram>(dram)
+            .unwrap()
+            .poke(0x8000_0000, &[42u8; 128]);
         let col = sim.add_component(memsys::test_util::Collector::new());
         sim.post(
             cluster.dma,
@@ -404,9 +501,13 @@ mod tests {
             MemMsg::DmaStart(memsys::DmaCmd::new(1, 0x8000_0000, 0x2000_0000, 128, col)),
         );
         sim.run();
-        let c = sim.component_as::<memsys::test_util::Collector>(col).unwrap();
+        let c = sim
+            .component_as::<memsys::test_util::Collector>(col)
+            .unwrap();
         assert_eq!(c.dma_dones.len(), 1);
-        let spm = sim.component_as::<Scratchpad>(cluster.shared_spm.unwrap()).unwrap();
+        let spm = sim
+            .component_as::<Scratchpad>(cluster.shared_spm.unwrap())
+            .unwrap();
         assert_eq!(spm.peek(0x2000_0000, 128), &[42u8; 128][..]);
     }
 
@@ -424,19 +525,31 @@ mod tests {
         let (cluster, _dram, _gx) = build_system(&mut sim, b, 0x8000_0000, 1 << 20);
         let h = cluster.accels[0];
         let spm_id = cluster.shared_spm.unwrap();
-        sim.component_as_mut::<Scratchpad>(spm_id).unwrap().poke(0x2000_0000, &7i64.to_le_bytes());
+        sim.component_as_mut::<Scratchpad>(spm_id)
+            .unwrap()
+            .poke(0x2000_0000, &7i64.to_le_bytes());
         let col = sim.add_component(memsys::test_util::Collector::new());
         for (reg, v) in [(2u64, 0x2000_0000u64), (3, 1)] {
             sim.post(
                 cluster.local_xbar,
                 0,
-                MemMsg::Req(MemReq::write(reg, h.mmr_base + reg * 8, v.to_le_bytes().to_vec(), col)),
+                MemMsg::Req(MemReq::write(
+                    reg,
+                    h.mmr_base + reg * 8,
+                    v.to_le_bytes().to_vec(),
+                    col,
+                )),
             );
         }
         sim.post(
             cluster.local_xbar,
             50_000,
-            MemMsg::Req(MemReq::write(9, h.mmr_base, 1u64.to_le_bytes().to_vec(), col)),
+            MemMsg::Req(MemReq::write(
+                9,
+                h.mmr_base,
+                1u64.to_le_bytes().to_vec(),
+                col,
+            )),
         );
         sim.run();
         let spm = sim.component_as::<Scratchpad>(spm_id).unwrap();
@@ -457,7 +570,10 @@ mod irq_tests {
         // completion and the host blocks on the line instead of polling.
         let mut sim: Simulation<MemMsg> = Simulation::new();
         let mut b = ClusterBuilder::new(
-            ClusterConfig { shared_spm_bytes: 0, ..ClusterConfig::default() },
+            ClusterConfig {
+                shared_spm_bytes: 0,
+                ..ClusterConfig::default()
+            },
             HardwareProfile::default_40nm(),
         );
         let mut fb = salam_ir::FunctionBuilder::new("noop", &[("p", salam_ir::Type::Ptr)]);
@@ -481,18 +597,36 @@ mod irq_tests {
         let host = sim.add_component(Host::new(
             HostConfig::default(),
             vec![
-                HostOp::WriteMmr { via: gxbar, addr: 0x4000_0000 + 16, value: 0x1000_0000 },
-                HostOp::StartAccelerator { via: gxbar, mmr_base: 0x4000_0000 },
+                HostOp::WriteMmr {
+                    via: gxbar,
+                    addr: 0x4000_0000 + 16,
+                    value: 0x1000_0000,
+                },
+                HostOp::StartAccelerator {
+                    via: gxbar,
+                    mmr_base: 0x4000_0000,
+                },
                 HostOp::WaitIrq { line: 3 },
-                HostOp::PollMmr { via: gxbar, addr: 0x4000_0000, expect: 2 },
+                HostOp::PollMmr {
+                    via: gxbar,
+                    addr: 0x4000_0000,
+                    expect: 2,
+                },
             ],
         ));
-        sim.component_as_mut::<ComputeUnit>(h.unit).unwrap().set_irq(host, 3);
+        sim.component_as_mut::<ComputeUnit>(h.unit)
+            .unwrap()
+            .set_irq(host, 3);
         sim.post(host, 0, MemMsg::Start);
         sim.run();
         let hc = sim.component_as::<Host>(host).unwrap();
-        assert!(hc.finished_at().is_some(), "IRQ + status poll must complete the program");
-        let spm = sim.component_as::<Scratchpad>(h.private_spm.unwrap()).unwrap();
+        assert!(
+            hc.finished_at().is_some(),
+            "IRQ + status poll must complete the program"
+        );
+        let spm = sim
+            .component_as::<Scratchpad>(h.private_spm.unwrap())
+            .unwrap();
         assert_eq!(spm.peek(0x1000_0000, 8), 1i64.to_le_bytes());
         let _ = MemReq::read(0, 0, 4, host); // keep the import used
     }

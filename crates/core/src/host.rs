@@ -91,7 +91,11 @@ impl Default for HostConfig {
     /// ~50 ns MMIO accesses and ~20 ns of driver overhead per op — typical
     /// of an ARM host driving uncached device registers.
     fn default() -> Self {
-        HostConfig { mmio_latency_ps: 50_000, op_overhead_ps: 20_000, dma_setup_ps: 600_000 }
+        HostConfig {
+            mmio_latency_ps: 50_000,
+            op_overhead_ps: 20_000,
+            dma_setup_ps: 600_000,
+        }
     }
 }
 
@@ -137,7 +141,10 @@ impl Host {
 
     /// Completion tick of program step `index`.
     pub fn op_finished_at(&self, index: usize) -> Option<Tick> {
-        self.timeline.iter().find(|(i, _)| *i == index).map(|(_, t)| *t)
+        self.timeline
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|(_, t)| *t)
     }
 
     fn advance(&mut self, ctx: &mut Ctx<'_, MemMsg>) {
@@ -179,7 +186,11 @@ impl Host {
                     return;
                 }
                 HostOp::StartDma { dma, cmd } => {
-                    ctx.send(dma, self.cfg.op_overhead_ps + self.cfg.dma_setup_ps, MemMsg::DmaStart(cmd));
+                    ctx.send(
+                        dma,
+                        self.cfg.op_overhead_ps + self.cfg.dma_setup_ps,
+                        MemMsg::DmaStart(cmd),
+                    );
                     self.timeline.push((self.pc, ctx.now()));
                     self.pc += 1;
                 }
@@ -290,14 +301,14 @@ impl Component<MemMsg> for Host {
             (Some(HostOp::WaitDmaDone { id }), MemMsg::DmaDone { id: got }) if got == *id => {
                 self.complete_current(ctx)
             }
-            (Some(HostOp::WaitIrq { line }), MemMsg::Irq { line: got, raised: true })
-                if got == *line =>
-            {
-                self.complete_current(ctx)
-            }
-            (Some(HostOp::Delay { .. }), MemMsg::Custom(u64::MAX, _)) => {
-                self.complete_current(ctx)
-            }
+            (
+                Some(HostOp::WaitIrq { line }),
+                MemMsg::Irq {
+                    line: got,
+                    raised: true,
+                },
+            ) if got == *line => self.complete_current(ctx),
+            (Some(HostOp::Delay { .. }), MemMsg::Custom(u64::MAX, _)) => self.complete_current(ctx),
             // Completion events arriving before their wait op becomes
             // current are latched, never dropped.
             (_, MemMsg::DmaDone { id }) => self.pending_dma_dones.push(id),
@@ -328,8 +339,15 @@ mod tests {
         let host = sim.add_component(Host::new(
             HostConfig::default(),
             vec![
-                HostOp::WriteMmr { via: mmr, addr: 0x8, value: 7 },
-                HostOp::ReadMmr { via: mmr, addr: 0x8 },
+                HostOp::WriteMmr {
+                    via: mmr,
+                    addr: 0x8,
+                    value: 7,
+                },
+                HostOp::ReadMmr {
+                    via: mmr,
+                    addr: 0x8,
+                },
                 HostOp::Delay { ticks: 100_000 },
             ],
         ));
@@ -348,7 +366,11 @@ mod tests {
         let mmr = sim.add_component(MmrBlock::new("mmr", 0x0, 4, None));
         let host = sim.add_component(Host::new(
             HostConfig::default(),
-            vec![HostOp::PollMmr { via: mmr, addr: 0x0, expect: 2 }],
+            vec![HostOp::PollMmr {
+                via: mmr,
+                addr: 0x0,
+                expect: 2,
+            }],
         ));
         sim.post(host, 0, MemMsg::Start);
         // Something else sets the status register much later.
@@ -360,7 +382,10 @@ mod tests {
         );
         sim.run();
         let h = sim.component_as::<Host>(host).unwrap();
-        assert!(h.finished_at().unwrap() >= 2_000_000, "poll must spin until the write");
+        assert!(
+            h.finished_at().unwrap() >= 2_000_000,
+            "poll must spin until the write"
+        );
     }
 
     fn sink() -> memsys::test_util::Collector {
@@ -383,7 +408,10 @@ mod tests {
         // The host id is needed inside the command, so build it in two steps.
         let host = sim.add_component(Host::new(HostConfig::default(), vec![]));
         let program = vec![
-            HostOp::StartDma { dma, cmd: DmaCmd::new(5, 0x0, 0x800, 256, host) },
+            HostOp::StartDma {
+                dma,
+                cmd: DmaCmd::new(5, 0x0, 0x800, 256, host),
+            },
             HostOp::WaitDmaDone { id: 5 },
         ];
         *sim.component_as_mut::<Host>(host).unwrap() = Host::new(HostConfig::default(), program);
@@ -422,9 +450,16 @@ mod latch_tests {
         let host = sim.add_component(Host::new(HostConfig::default(), vec![]));
         let program = vec![
             // Tiny DMA finishes in ~1 us; the delay op holds the host for 5 us.
-            HostOp::StartDma { dma, cmd: DmaCmd::new(9, 0x0, 0x800, 64, host) },
+            HostOp::StartDma {
+                dma,
+                cmd: DmaCmd::new(9, 0x0, 0x800, 64, host),
+            },
             HostOp::Delay { ticks: 5_000_000 },
-            HostOp::WriteMmr { via: mmr, addr: 0x7000_0000, value: 1 },
+            HostOp::WriteMmr {
+                via: mmr,
+                addr: 0x7000_0000,
+                value: 1,
+            },
             HostOp::WaitDmaDone { id: 9 },
         ];
         *sim.component_as_mut::<Host>(host).unwrap() = Host::new(HostConfig::default(), program);

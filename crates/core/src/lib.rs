@@ -45,7 +45,12 @@ mod report;
 pub mod standalone;
 
 pub use accel::{AcceleratorConfig, CommConfig, ComputeUnit, ACC_DONE};
-pub use cluster::{build_system, build_system_with_llc, AccelHandle, AcceleratorCluster, ClusterBuilder, ClusterConfig, MemoryStyle};
+pub use cluster::{
+    build_system, build_system_with_llc, AccelHandle, AcceleratorCluster, ClusterBuilder,
+    ClusterConfig, MemoryStyle,
+};
 pub use host::{Host, HostConfig, HostOp};
 pub use report::{PowerBreakdown, RunReport};
-pub use standalone::{run_kernel, run_kernel_cached, HierarchyPort, StandaloneConfig};
+pub use standalone::{
+    run_kernel, run_kernel_cached, run_kernel_traced, HierarchyPort, StandaloneConfig,
+};

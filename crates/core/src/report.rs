@@ -120,6 +120,27 @@ impl RunReport {
     pub fn total_area_um2(&self) -> f64 {
         self.datapath_area_um2 + self.spm_area_um2
     }
+
+    /// Publishes the whole report — rollup, power breakdown, and every
+    /// engine counter — into `reg` under `prefix` (e.g. `accel.gemm`).
+    pub fn export_metrics(&self, reg: &mut salam_obs::MetricsRegistry, prefix: &str) {
+        reg.set(&format!("{prefix}.cycles"), self.cycles as f64);
+        reg.set(&format!("{prefix}.runtime_ns"), self.runtime_ns);
+        reg.set(
+            &format!("{prefix}.verified"),
+            if self.verified { 1.0 } else { 0.0 },
+        );
+        reg.set(
+            &format!("{prefix}.area.datapath_um2"),
+            self.datapath_area_um2,
+        );
+        reg.set(&format!("{prefix}.area.spm_um2"), self.spm_area_um2);
+        reg.set(&format!("{prefix}.power.total_mw"), self.power.total_mw());
+        for (label, mw) in self.power.components() {
+            reg.set(&format!("{prefix}.power.{label}_mw"), mw);
+        }
+        self.stats.export_metrics(reg, &format!("{prefix}.engine"));
+    }
 }
 
 #[cfg(test)]

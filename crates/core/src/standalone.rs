@@ -63,6 +63,17 @@ impl StandaloneConfig {
 /// Runs `kernel` on the runtime engine with a private SPM and returns the
 /// full report (cycles, power breakdown, area, verification).
 pub fn run_kernel(kernel: &BuiltKernel, cfg: &StandaloneConfig) -> RunReport {
+    run_kernel_traced(kernel, cfg, &salam_obs::SharedTrace::disabled())
+}
+
+/// [`run_kernel`] with a trace sink attached to the engine: op spans and
+/// scheduler events land on `engine.{kernel}` tracks, ready for
+/// [`salam_obs::write_chrome_trace`].
+pub fn run_kernel_traced(
+    kernel: &BuiltKernel,
+    cfg: &StandaloneConfig,
+    trace: &salam_obs::SharedTrace,
+) -> RunReport {
     let cdfg = StaticCdfg::elaborate(&kernel.func, &cfg.profile, &cfg.constraints);
     let mut mem = SimpleMem::new(cfg.spm_latency, cfg.spm_read_ports, cfg.spm_write_ports);
     kernel.load_into(mem.memory_mut());
@@ -73,6 +84,9 @@ pub fn run_kernel(kernel: &BuiltKernel, cfg: &StandaloneConfig) -> RunReport {
         cfg.engine,
         kernel.args.clone(),
     );
+    if trace.is_enabled() {
+        engine.set_trace(trace.clone());
+    }
     engine.run_to_completion(&mut mem);
     let verified = kernel.check(mem.memory_mut()).is_ok();
 
@@ -110,7 +124,9 @@ pub struct HierarchyPort {
 
 impl std::fmt::Debug for HierarchyPort {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HierarchyPort").field("cycle", &self.cycle).finish()
+        f.debug_struct("HierarchyPort")
+            .field("cycle", &self.cycle)
+            .finish()
     }
 }
 
@@ -158,7 +174,9 @@ impl HierarchyPort {
             size,
         ));
         kernel.load_with(|addr, bytes| {
-            sim.component_as_mut::<memsys::Dram>(dram).unwrap().poke(addr, bytes);
+            sim.component_as_mut::<memsys::Dram>(dram)
+                .unwrap()
+                .poke(addr, bytes);
         });
         let l1 = sim.add_component(memsys::Cache::new("l1", cache, dram));
         let sink = sim.add_component(memsys::test_util::Collector::new());
@@ -191,18 +209,30 @@ impl salam_runtime::MemPort for HierarchyPort {
         &mut self,
         access: salam_runtime::MemAccess,
     ) -> Result<(), salam_runtime::MemAccess> {
-        let budget = if access.is_write { &mut self.writes_left } else { &mut self.reads_left };
+        let budget = if access.is_write {
+            &mut self.writes_left
+        } else {
+            &mut self.reads_left
+        };
         if *budget == 0 {
             return Err(access);
         }
         *budget -= 1;
         let req = if access.is_write {
-            memsys::MemReq::write(access.token, access.addr, access.data.unwrap_or_default(), self.sink)
+            memsys::MemReq::write(
+                access.token,
+                access.addr,
+                access.data.unwrap_or_default(),
+                self.sink,
+            )
         } else {
             memsys::MemReq::read(access.token, access.addr, access.size, self.sink)
         };
-        self.sim
-            .post(self.target, self.cycle * self.clock_period_ps, memsys::MemMsg::Req(req));
+        self.sim.post(
+            self.target,
+            self.cycle * self.clock_period_ps,
+            memsys::MemMsg::Req(req),
+        );
         Ok(())
     }
 
@@ -214,7 +244,10 @@ impl salam_runtime::MemPort for HierarchyPort {
             .expect("sink is a collector");
         col.resps
             .drain(..)
-            .map(|r| salam_runtime::MemCompletion { token: r.id, data: r.data })
+            .map(|r| salam_runtime::MemCompletion {
+                token: r.id,
+                data: r.data,
+            })
             .collect()
     }
 }
@@ -256,7 +289,11 @@ pub fn run_kernel_cached(
     let mut addr = lo;
     while addr < hi {
         let chunk = 64.min(hi - addr) as u32;
-        sim.post(l1, now + 1, memsys::MemMsg::Req(memsys::MemReq::read(id, addr, chunk, sink)));
+        sim.post(
+            l1,
+            now + 1,
+            memsys::MemMsg::Req(memsys::MemReq::read(id, addr, chunk, sink)),
+        );
         id += 1;
         addr += chunk as u64;
     }
@@ -264,7 +301,9 @@ pub fn run_kernel_cached(
     let mut mem = salam_ir::interp::SparseMemory::new();
     {
         use salam_ir::interp::Memory as _;
-        let col = sim.component_as::<memsys::test_util::Collector>(sink).unwrap();
+        let col = sim
+            .component_as::<memsys::test_util::Collector>(sink)
+            .unwrap();
         for r in &col.resps {
             if let Some(d) = &r.data {
                 mem.write(r.addr, d);

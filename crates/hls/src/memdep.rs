@@ -24,7 +24,10 @@ pub struct MemDeps {
 impl MemDeps {
     /// Dependences recorded for the loop headed at `header`.
     pub fn for_header(&self, header: BlockId) -> &[(InstId, InstId, u64)] {
-        self.by_header.get(&header).map(Vec::as_slice).unwrap_or(&[])
+        self.by_header
+            .get(&header)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Total recorded dependences.
@@ -39,7 +42,11 @@ impl MemDeps {
 
     /// All recorded distances (diagnostics).
     pub fn by_header_distances(&self) -> Vec<u64> {
-        self.by_header.values().flatten().map(|&(_, _, d)| d).collect()
+        self.by_header
+            .values()
+            .flatten()
+            .map(|&(_, _, d)| d)
+            .collect()
     }
 }
 
@@ -77,17 +84,16 @@ impl Observer for DepObserver {
                 let Some(&(store, s_header, s_clock)) = self.last_store.get(&addr) else {
                     return;
                 };
-                let Some(&l_header) = self.inst_loop.get(&id) else { return };
+                let Some(&l_header) = self.inst_loop.get(&id) else {
+                    return;
+                };
                 if l_header != s_header {
                     return;
                 }
                 let now = self.header_clock.get(&l_header).copied().unwrap_or(0);
                 let distance = now.saturating_sub(s_clock);
                 if distance >= 1 {
-                    let e = self
-                        .found
-                        .entry((l_header, id, store))
-                        .or_insert(distance);
+                    let e = self.found.entry((l_header, id, store)).or_insert(distance);
                     *e = (*e).min(distance);
                 }
             }
@@ -141,7 +147,10 @@ pub fn profile_memdeps(
 
     let mut deps = MemDeps::default();
     for ((header, load, store), distance) in obs.found {
-        deps.by_header.entry(header).or_default().push((load, store, distance));
+        deps.by_header
+            .entry(header)
+            .or_default()
+            .push((load, store, distance));
     }
     (obs.profile, deps)
 }

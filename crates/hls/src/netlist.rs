@@ -129,7 +129,11 @@ pub fn estimate_netlist(
         // average operand-read fanout per operation.
         dynamic_pj += sop.bits as f64 * FF_GATES_PER_BIT * GATE_SWITCH_PJ * REG_ACTIVITY * n as f64;
     }
-    let dynamic_mw = if runtime_ns > 0.0 { dynamic_pj / runtime_ns } else { 0.0 };
+    let dynamic_mw = if runtime_ns > 0.0 {
+        dynamic_pj / runtime_ns
+    } else {
+        0.0
+    };
     NetlistReport {
         area_um2,
         leakage_mw,
@@ -194,7 +198,11 @@ mod tests {
         let dc = estimate_netlist(&k.func, &cdfg, &obs, 10_000.0);
         let salam = cdfg.area_report(&profile);
         let err = (dc.area_um2 - salam.total_um2).abs() / dc.area_um2;
-        assert!(err < 0.20, "area methodologies diverged by {:.1}%", err * 100.0);
+        assert!(
+            err < 0.20,
+            "area methodologies diverged by {:.1}%",
+            err * 100.0
+        );
     }
 
     #[test]

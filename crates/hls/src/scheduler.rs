@@ -16,7 +16,9 @@ pub struct BlockTrips {
 impl BlockTrips {
     /// Builds from an interpreter profile.
     pub fn from_profile(p: &salam_ir::interp::ProfileObserver) -> Self {
-        BlockTrips { counts: p.block_entries.clone() }
+        BlockTrips {
+            counts: p.block_entries.clone(),
+        }
     }
 
     /// Builds from raw counts.
@@ -154,14 +156,25 @@ pub fn estimate_cycles(
     // the inner pipeline in the dataflow engine; they only consume the
     // memory bandwidth they actually use. Blocks outside all loops run at
     // their full schedule length.
-    let in_some_loop: Vec<BlockId> = loops.iter().flat_map(|l| l.blocks.iter().copied()).collect();
+    let in_some_loop: Vec<BlockId> = loops
+        .iter()
+        .flat_map(|l| l.blocks.iter().copied())
+        .collect();
     for (bid, b) in f.blocks() {
         if covered.contains(&bid) || trips.trips(bid) == 0 {
             continue;
         }
         let cost = if cfg_hls.pipeline_inner_loops && in_some_loop.contains(&bid) {
-            let loads = b.insts.iter().filter(|&&i| f.inst(i).op == Opcode::Load).count() as u64;
-            let stores = b.insts.iter().filter(|&&i| f.inst(i).op == Opcode::Store).count() as u64;
+            let loads = b
+                .insts
+                .iter()
+                .filter(|&&i| f.inst(i).op == Opcode::Load)
+                .count() as u64;
+            let stores = b
+                .insts
+                .iter()
+                .filter(|&&i| f.inst(i).op == Opcode::Store)
+                .count() as u64;
             loads
                 .div_ceil(cfg_hls.mem_read_ports as u64)
                 .max(stores.div_ceil(cfg_hls.mem_write_ports as u64))
@@ -176,12 +189,7 @@ pub fn estimate_cycles(
 
 /// Resource-constrained list-schedule length of an op sequence, honoring
 /// intra-sequence SSA dependencies; operands defined outside are ready at 0.
-fn schedule_length(
-    f: &Function,
-    cdfg: &StaticCdfg,
-    cfg: &HlsConfig,
-    ops: &[InstId],
-) -> u64 {
+fn schedule_length(f: &Function, cdfg: &StaticCdfg, cfg: &HlsConfig, ops: &[InstId]) -> u64 {
     let mut finish: HashMap<InstId, u64> = HashMap::new();
     // resource usage per cycle: (fu kind counts, mem ports)
     let mut fu_used: HashMap<(u64, hw_profile::FuKind), u32> = HashMap::new();
@@ -452,7 +460,13 @@ mod tests {
         let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
         let mut trips = HashMap::new();
         trips.insert(f.entry(), 1);
-        let rep = estimate_cycles(&f, &cdfg, &HlsConfig::default(), &BlockTrips::from_counts(trips), None);
+        let rep = estimate_cycles(
+            &f,
+            &cdfg,
+            &HlsConfig::default(),
+            &BlockTrips::from_counts(trips),
+            None,
+        );
         assert_eq!(rep.cycles, 7);
     }
 
@@ -486,7 +500,13 @@ mod tests {
         counts.insert(header, 11);
         counts.insert(body, 10);
         counts.insert(f.block_by_name("i.exit").unwrap(), 1);
-        let rep = estimate_cycles(&f, &cdfg, &HlsConfig::default(), &BlockTrips::from_counts(counts), None);
+        let rep = estimate_cycles(
+            &f,
+            &cdfg,
+            &HlsConfig::default(),
+            &BlockTrips::from_counts(counts),
+            None,
+        );
         let (_, ii, depth) = rep.loops[0];
         assert!(ii >= 2, "4 loads / 2 ports needs II>=2, got {ii}");
         assert!(depth > ii);
@@ -502,7 +522,10 @@ mod tests {
         let serial = estimate_cycles(
             &k.func,
             &cdfg,
-            &HlsConfig { pipeline_inner_loops: false, ..HlsConfig::default() },
+            &HlsConfig {
+                pipeline_inner_loops: false,
+                ..HlsConfig::default()
+            },
             &trips,
             None,
         );

@@ -30,8 +30,17 @@ impl SramSpec {
     ///
     /// Panics if `capacity_bytes` or `word_bytes` is zero.
     pub fn new(capacity_bytes: u64, word_bytes: u32) -> Self {
-        assert!(capacity_bytes > 0 && word_bytes > 0, "SRAM dimensions must be nonzero");
-        SramSpec { capacity_bytes, word_bytes, read_ports: 1, write_ports: 1, banks: 1 }
+        assert!(
+            capacity_bytes > 0 && word_bytes > 0,
+            "SRAM dimensions must be nonzero"
+        );
+        SramSpec {
+            capacity_bytes,
+            word_bytes,
+            read_ports: 1,
+            write_ports: 1,
+            banks: 1,
+        }
     }
 
     /// Sets the port counts.
@@ -65,7 +74,8 @@ impl SramSpec {
     pub fn area_um2(&self) -> f64 {
         // 0.45 um^2/bit cell + per-bank periphery.
         let cell = 0.45 * self.bits();
-        let periphery = 900.0 * self.banks as f64 + 6.0 * (self.bank_bits()).sqrt() * self.banks as f64;
+        let periphery =
+            900.0 * self.banks as f64 + 6.0 * (self.bank_bits()).sqrt() * self.banks as f64;
         (cell + periphery) * self.port_factor()
     }
 
@@ -109,7 +119,10 @@ mod tests {
     fn area_scales_with_capacity() {
         let a = SramSpec::new(1024, 4).area_um2();
         let b = SramSpec::new(16 * 1024, 4).area_um2();
-        assert!(b > 8.0 * a, "16x capacity should be ~16x cell area ({a} vs {b})");
+        assert!(
+            b > 8.0 * a,
+            "16x capacity should be ~16x cell area ({a} vs {b})"
+        );
     }
 
     #[test]
@@ -133,7 +146,10 @@ mod tests {
         let flat = SramSpec::new(64 * 1024, 8);
         let banked = flat.with_banks(8);
         assert!(banked.read_energy_pj() < flat.read_energy_pj());
-        assert!(banked.area_um2() > flat.area_um2(), "banking costs periphery area");
+        assert!(
+            banked.area_um2() > flat.area_um2(),
+            "banking costs periphery area"
+        );
     }
 
     #[test]

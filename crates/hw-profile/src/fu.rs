@@ -148,7 +148,11 @@ pub fn fu_for_opcode(op: &Opcode, bits: u32) -> Option<FuKind> {
             }
         }
         Opcode::FCmp(_) => FuKind::FpComparator,
-        Opcode::FPToSI | Opcode::FPToUI | Opcode::SIToFP | Opcode::UIToFP | Opcode::FPTrunc
+        Opcode::FPToSI
+        | Opcode::FPToUI
+        | Opcode::SIToFP
+        | Opcode::UIToFP
+        | Opcode::FPTrunc
         | Opcode::FPExt => FuKind::Converter,
         Opcode::Phi | Opcode::Select => FuKind::Mux,
         // Width changes, pointer casts, control flow and memory operations
@@ -190,7 +194,16 @@ mod tests {
 
     #[test]
     fn wiring_ops_have_no_fu() {
-        for op in [Opcode::ZExt, Opcode::SExt, Opcode::Trunc, Opcode::BitCast, Opcode::Load, Opcode::Store, Opcode::Br, Opcode::Ret] {
+        for op in [
+            Opcode::ZExt,
+            Opcode::SExt,
+            Opcode::Trunc,
+            Opcode::BitCast,
+            Opcode::Load,
+            Opcode::Store,
+            Opcode::Br,
+            Opcode::Ret,
+        ] {
             assert_eq!(fu_for_opcode(&op, 32), None, "{op:?}");
         }
     }
@@ -203,8 +216,14 @@ mod tests {
 
     #[test]
     fn comparators_and_shifters() {
-        assert_eq!(fu_for_opcode(&Opcode::ICmp(IntPredicate::Slt), 32), Some(FuKind::IntComparator));
-        assert_eq!(fu_for_opcode(&Opcode::FCmp(FloatPredicate::Ogt), 64), Some(FuKind::FpComparator));
+        assert_eq!(
+            fu_for_opcode(&Opcode::ICmp(IntPredicate::Slt), 32),
+            Some(FuKind::IntComparator)
+        );
+        assert_eq!(
+            fu_for_opcode(&Opcode::FCmp(FloatPredicate::Ogt), 64),
+            Some(FuKind::FpComparator)
+        );
         assert_eq!(fu_for_opcode(&Opcode::Shl, 32), Some(FuKind::Shifter));
     }
 

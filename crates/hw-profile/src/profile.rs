@@ -76,21 +76,21 @@ impl HardwareProfile {
             );
         };
         //            kind           lat   area(um2) leak(mW)  sw(pJ)  int(mW)
-        put(IntAdder,       1,   280.0, 0.0030, 0.10, 0.012);
-        put(IntMultiplier,  3,  1650.0, 0.0180, 0.95, 0.085);
-        put(IntDivider,    16,  2100.0, 0.0230, 1.30, 0.110);
-        put(Shifter,        1,   310.0, 0.0034, 0.11, 0.013);
-        put(Bitwise,        1,   140.0, 0.0015, 0.05, 0.006);
-        put(IntComparator,  0,   180.0, 0.0019, 0.06, 0.008);
-        put(FpAddF32,       3,  3450.0, 0.0380, 1.80, 0.160);
-        put(FpAddF64,       3,  6900.0, 0.0760, 3.60, 0.320);
-        put(FpMulF32,       3,  4750.0, 0.0520, 2.60, 0.230);
-        put(FpMulF64,       3,  9500.0, 0.1040, 5.20, 0.460);
-        put(FpDivF32,      16, 10200.0, 0.1120, 7.80, 0.500);
-        put(FpDivF64,      16, 20400.0, 0.2240, 15.6, 1.000);
-        put(FpComparator,   1,   520.0, 0.0057, 0.21, 0.024);
-        put(Converter,      2,  1900.0, 0.0210, 0.90, 0.090);
-        put(Mux,            0,    95.0, 0.0010, 0.03, 0.004);
+        put(IntAdder, 1, 280.0, 0.0030, 0.10, 0.012);
+        put(IntMultiplier, 3, 1650.0, 0.0180, 0.95, 0.085);
+        put(IntDivider, 16, 2100.0, 0.0230, 1.30, 0.110);
+        put(Shifter, 1, 310.0, 0.0034, 0.11, 0.013);
+        put(Bitwise, 1, 140.0, 0.0015, 0.05, 0.006);
+        put(IntComparator, 0, 180.0, 0.0019, 0.06, 0.008);
+        put(FpAddF32, 3, 3450.0, 0.0380, 1.80, 0.160);
+        put(FpAddF64, 3, 6900.0, 0.0760, 3.60, 0.320);
+        put(FpMulF32, 3, 4750.0, 0.0520, 2.60, 0.230);
+        put(FpMulF64, 3, 9500.0, 0.1040, 5.20, 0.460);
+        put(FpDivF32, 16, 10200.0, 0.1120, 7.80, 0.500);
+        put(FpDivF64, 16, 20400.0, 0.2240, 15.6, 1.000);
+        put(FpComparator, 1, 520.0, 0.0057, 0.21, 0.024);
+        put(Converter, 2, 1900.0, 0.0210, 0.90, 0.090);
+        put(Mux, 0, 95.0, 0.0010, 0.03, 0.004);
         HardwareProfile {
             specs,
             register: RegisterSpec {
@@ -163,7 +163,10 @@ impl HardwareProfile {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let err = |msg: String| ProfileParseError { line: ln + 1, message: msg };
+            let err = |msg: String| ProfileParseError {
+                line: ln + 1,
+                message: msg,
+            };
             let (key, value) = line
                 .split_once('=')
                 .ok_or_else(|| err("expected 'key = value'".to_string()))?;
@@ -172,8 +175,9 @@ impl HardwareProfile {
             let (unit, field) = key
                 .split_once('.')
                 .ok_or_else(|| err(format!("expected 'unit.field', got '{key}'")))?;
-            let num: f64 =
-                value.parse().map_err(|_| err(format!("bad number '{value}'")))?;
+            let num: f64 = value
+                .parse()
+                .map_err(|_| err(format!("bad number '{value}'")))?;
             if unit == "register" {
                 match field {
                     "area_um2_per_bit" => p.register.area_um2_per_bit = num,
@@ -217,7 +221,11 @@ pub struct ProfileParseError {
 
 impl std::fmt::Display for ProfileParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "profile parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "profile parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -252,7 +260,9 @@ mod tests {
     fn double_precision_costs_more() {
         let p = HardwareProfile::default_40nm();
         assert!(p.spec(FuKind::FpAddF64).area_um2 > p.spec(FuKind::FpAddF32).area_um2);
-        assert!(p.spec(FuKind::FpMulF64).switch_energy_pj > p.spec(FuKind::FpMulF32).switch_energy_pj);
+        assert!(
+            p.spec(FuKind::FpMulF64).switch_energy_pj > p.spec(FuKind::FpMulF32).switch_energy_pj
+        );
     }
 
     #[test]

@@ -1,45 +1,50 @@
-//! Property tests of the analytical SRAM model's shape guarantees.
+//! Property tests of the analytical SRAM model's shape guarantees, driven
+//! by the in-tree seeded-case harness.
 
-use proptest::prelude::*;
+use salam_obs::det::check_cases;
 
 use hw_profile::SramSpec;
 
-proptest! {
-    /// More capacity never shrinks area, leakage or access energy.
-    #[test]
-    fn sram_monotone_in_capacity(
-        kb_small in 1u64..64,
-        extra_kb in 1u64..64,
-        word in prop::sample::select(vec![4u32, 8, 16]),
-    ) {
+/// More capacity never shrinks area, leakage or access energy.
+#[test]
+fn sram_monotone_in_capacity() {
+    check_cases("sram_monotone_in_capacity", 256, 0x71, |g| {
+        let kb_small = g.range_u64(1, 64);
+        let extra_kb = g.range_u64(1, 64);
+        let word = *g.choose(&[4u32, 8, 16]);
         let small = SramSpec::new(kb_small * 1024, word);
         let big = SramSpec::new((kb_small + extra_kb) * 1024, word);
-        prop_assert!(big.area_um2() > small.area_um2());
-        prop_assert!(big.leakage_mw() > small.leakage_mw());
-        prop_assert!(big.read_energy_pj() >= small.read_energy_pj());
-        prop_assert!(big.write_energy_pj() >= small.write_energy_pj());
-    }
+        assert!(big.area_um2() > small.area_um2());
+        assert!(big.leakage_mw() > small.leakage_mw());
+        assert!(big.read_energy_pj() >= small.read_energy_pj());
+        assert!(big.write_energy_pj() >= small.write_energy_pj());
+    });
+}
 
-    /// Ports multiply area/leakage but never change access energy.
-    #[test]
-    fn ports_cost_area_not_energy(
-        kb in 1u64..128,
-        r in 1u32..8,
-        w in 1u32..8,
-    ) {
+/// Ports multiply area/leakage but never change access energy.
+#[test]
+fn ports_cost_area_not_energy() {
+    check_cases("ports_cost_area_not_energy", 256, 0x72, |g| {
+        let kb = g.range_u64(1, 128);
+        let r = g.range_u64(1, 8) as u32;
+        let w = g.range_u64(1, 8) as u32;
         let base = SramSpec::new(kb * 1024, 8);
         let multi = base.with_ports(r + 1, w + 1);
-        prop_assert!(multi.area_um2() >= base.area_um2());
-        prop_assert!(multi.leakage_mw() >= base.leakage_mw());
-        prop_assert_eq!(multi.read_energy_pj(), base.read_energy_pj());
-    }
+        assert!(multi.area_um2() >= base.area_um2());
+        assert!(multi.leakage_mw() >= base.leakage_mw());
+        assert_eq!(multi.read_energy_pj(), base.read_energy_pj());
+    });
+}
 
-    /// Writes always cost at least as much as reads.
-    #[test]
-    fn writes_cost_at_least_reads(kb in 1u64..256, banks in 1u32..8) {
+/// Writes always cost at least as much as reads.
+#[test]
+fn writes_cost_at_least_reads() {
+    check_cases("writes_cost_at_least_reads", 256, 0x73, |g| {
+        let kb = g.range_u64(1, 256);
+        let banks = g.range_u64(1, 8) as u32;
         let s = SramSpec::new(kb * 1024, 8).with_banks(banks);
-        prop_assert!(s.write_energy_pj() >= s.read_energy_pj());
-    }
+        assert!(s.write_energy_pj() >= s.read_energy_pj());
+    });
 }
 
 #[test]
@@ -47,7 +52,8 @@ fn shipped_profile_file_parses_to_the_default() {
     // The repository ships the validated default profile as a text file
     // users can copy and edit (the paper's "hardware profile" input).
     let text = std::fs::read_to_string(
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../profiles/default_40nm.profile"),
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../profiles/default_40nm.profile"),
     )
     .expect("profiles/default_40nm.profile present");
     let parsed = hw_profile::HardwareProfile::from_text(&text).unwrap();

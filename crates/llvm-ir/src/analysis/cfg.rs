@@ -53,7 +53,11 @@ impl Cfg {
             }
         }
         postorder.reverse();
-        Cfg { succs, preds, rpo: postorder }
+        Cfg {
+            succs,
+            preds,
+            rpo: postorder,
+        }
     }
 
     /// Successor blocks of `b`.

@@ -39,17 +39,18 @@ impl DomTree {
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         idom[entry.index()] = Some(entry);
 
-        let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId| {
-            while a != b {
-                while rpo_index[a.index()] > rpo_index[b.index()] {
-                    a = idom[a.index()].expect("processed block has idom");
+        let intersect =
+            |idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId| {
+                while a != b {
+                    while rpo_index[a.index()] > rpo_index[b.index()] {
+                        a = idom[a.index()].expect("processed block has idom");
+                    }
+                    while rpo_index[b.index()] > rpo_index[a.index()] {
+                        b = idom[b.index()].expect("processed block has idom");
+                    }
                 }
-                while rpo_index[b.index()] > rpo_index[a.index()] {
-                    b = idom[b.index()].expect("processed block has idom");
-                }
-            }
-            a
-        };
+                a
+            };
 
         let mut changed = true;
         while changed {

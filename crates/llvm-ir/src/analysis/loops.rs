@@ -70,7 +70,11 @@ pub fn find_natural_loops(f: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<Natural
                         }
                     }
                 }
-                loops.push(NaturalLoop { header, latch, blocks });
+                loops.push(NaturalLoop {
+                    header,
+                    latch,
+                    blocks,
+                });
             }
         }
     }

@@ -23,7 +23,10 @@ impl FunctionBuilder {
     pub fn new(name: &str, params: &[(&str, Type)]) -> Self {
         let params = params
             .iter()
-            .map(|(n, t)| Param { name: (*n).to_string(), ty: t.clone() })
+            .map(|(n, t)| Param {
+                name: (*n).to_string(),
+                ty: t.clone(),
+            })
             .collect();
         let func = Function::new(name, params);
         let current = func.entry();
@@ -107,15 +110,32 @@ impl FunctionBuilder {
     fn emit(&mut self, op: Opcode, ty: Type, operands: Vec<ValueId>, name: &str) -> ValueId {
         let (_, v) = self.func.add_inst(
             self.current,
-            Inst { op, ty, operands, block_refs: vec![], name: name.to_string() },
+            Inst {
+                op,
+                ty,
+                operands,
+                block_refs: vec![],
+                name: name.to_string(),
+            },
         );
         v.expect("emit used for value-producing instruction")
     }
 
-    fn emit_void(&mut self, op: Opcode, operands: Vec<ValueId>, block_refs: Vec<BlockId>) -> InstId {
+    fn emit_void(
+        &mut self,
+        op: Opcode,
+        operands: Vec<ValueId>,
+        block_refs: Vec<BlockId>,
+    ) -> InstId {
         let (id, _) = self.func.add_inst(
             self.current,
-            Inst { op, ty: Type::Void, operands, block_refs, name: String::new() },
+            Inst {
+                op,
+                ty: Type::Void,
+                operands,
+                block_refs,
+                name: String::new(),
+            },
         );
         id
     }
@@ -331,7 +351,13 @@ impl FunctionBuilder {
     pub fn phi(&mut self, ty: Type, name: &str) -> (InstId, ValueId) {
         let (id, v) = self.func.add_inst(
             self.current,
-            Inst { op: Opcode::Phi, ty, operands: vec![], block_refs: vec![], name: name.to_string() },
+            Inst {
+                op: Opcode::Phi,
+                ty,
+                operands: vec![],
+                block_refs: vec![],
+                name: name.to_string(),
+            },
         );
         (id, v.expect("phi produces a value"))
     }
@@ -349,7 +375,13 @@ impl FunctionBuilder {
     }
 
     /// `select i1 %cond, %then, %else`.
-    pub fn select(&mut self, cond: ValueId, then_v: ValueId, else_v: ValueId, name: &str) -> ValueId {
+    pub fn select(
+        &mut self,
+        cond: ValueId,
+        then_v: ValueId,
+        else_v: ValueId,
+        name: &str,
+    ) -> ValueId {
         let ty = self.func.value_type(then_v);
         self.emit(Opcode::Select, ty, vec![cond, then_v, else_v], name)
     }
@@ -453,7 +485,11 @@ impl FunctionBuilder {
 
         self.position_at(body_b);
         let updated = body(self, iv, &acc_vals);
-        assert_eq!(updated.len(), accs.len(), "body must update every accumulator");
+        assert_eq!(
+            updated.len(),
+            accs.len(),
+            "body must update every accumulator"
+        );
         let latch = self.current_block();
         let step_v = self.i64c(step);
         let next = self.add(iv, step_v, &format!("{name}.iv.next"));

@@ -98,7 +98,10 @@ impl Function {
     /// Adds a new empty block and returns its id.
     pub fn add_block(&mut self, name: &str) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { name: name.to_string(), insts: Vec::new() });
+        self.blocks.push(Block {
+            name: name.to_string(),
+            insts: Vec::new(),
+        });
         id
     }
 
@@ -184,7 +187,10 @@ impl Function {
 
     /// All blocks with their ids.
     pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> + '_ {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// Number of blocks.
@@ -275,7 +281,10 @@ pub struct Module {
 impl Module {
     /// Creates an empty module.
     pub fn new(name: &str) -> Self {
-        Module { name: name.to_string(), functions: Vec::new() }
+        Module {
+            name: name.to_string(),
+            functions: Vec::new(),
+        }
     }
 
     /// Adds a function.
@@ -306,7 +315,13 @@ mod tests {
     use crate::value::Constant;
 
     fn void_ret() -> Inst {
-        Inst { op: Opcode::Ret, ty: Type::Void, operands: vec![], block_refs: vec![], name: String::new() }
+        Inst {
+            op: Opcode::Ret,
+            ty: Type::Void,
+            operands: vec![],
+            block_refs: vec![],
+            name: String::new(),
+        }
     }
 
     #[test]
@@ -321,8 +336,14 @@ mod tests {
         let f = Function::new(
             "f",
             vec![
-                Param { name: "a".into(), ty: Type::Ptr },
-                Param { name: "n".into(), ty: Type::I32 },
+                Param {
+                    name: "a".into(),
+                    ty: Type::Ptr,
+                },
+                Param {
+                    name: "n".into(),
+                    ty: Type::I32,
+                },
             ],
         );
         assert_eq!(f.value_type(f.arg_value(0)), Type::Ptr);
@@ -367,7 +388,13 @@ mod tests {
         let c = f.const_value(Constant::i32(1));
         let (add_id, _) = f.add_inst(
             entry,
-            Inst { op: Opcode::Add, ty: Type::I32, operands: vec![c, c], block_refs: vec![], name: "x".into() },
+            Inst {
+                op: Opcode::Add,
+                ty: Type::I32,
+                operands: vec![c, c],
+                block_refs: vec![],
+                name: "x".into(),
+            },
         );
         f.add_inst(entry, void_ret());
         assert_eq!(f.live_inst_count(), 2);

@@ -226,7 +226,12 @@ impl Opcode {
     pub fn is_float_arith(&self) -> bool {
         matches!(
             self,
-            Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv | Opcode::FNeg | Opcode::FCmp(_)
+            Opcode::FAdd
+                | Opcode::FSub
+                | Opcode::FMul
+                | Opcode::FDiv
+                | Opcode::FNeg
+                | Opcode::FCmp(_)
         )
     }
 

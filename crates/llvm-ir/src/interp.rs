@@ -126,7 +126,9 @@ impl SparseMemory {
     }
 
     fn page(&mut self, addr: u64) -> &mut [u8; PAGE] {
-        self.pages.entry(addr / PAGE as u64).or_insert_with(|| Box::new([0; PAGE]))
+        self.pages
+            .entry(addr / PAGE as u64)
+            .or_insert_with(|| Box::new([0; PAGE]))
     }
 
     /// Copies a `u8` slice into memory at `addr`.
@@ -231,7 +233,14 @@ pub trait Observer {
     fn on_block_enter(&mut self, _f: &Function, _b: BlockId) {}
     /// Called after each executed instruction; `mem_addr` is set for
     /// loads/stores.
-    fn on_inst(&mut self, _f: &Function, _id: InstId, _result: Option<&RtVal>, _mem_addr: Option<u64>) {}
+    fn on_inst(
+        &mut self,
+        _f: &Function,
+        _id: InstId,
+        _result: Option<&RtVal>,
+        _mem_addr: Option<u64>,
+    ) {
+    }
 }
 
 /// An observer that does nothing.
@@ -257,7 +266,13 @@ impl Observer for ProfileObserver {
     fn on_block_enter(&mut self, _f: &Function, b: BlockId) {
         *self.block_entries.entry(b).or_insert(0) += 1;
     }
-    fn on_inst(&mut self, f: &Function, id: InstId, _result: Option<&RtVal>, _mem_addr: Option<u64>) {
+    fn on_inst(
+        &mut self,
+        f: &Function,
+        id: InstId,
+        _result: Option<&RtVal>,
+        _mem_addr: Option<u64>,
+    ) {
         self.insts += 1;
         match f.inst(id).op {
             Opcode::Load => self.loads += 1,
@@ -336,7 +351,9 @@ pub fn run_function(
                 .block_refs
                 .iter()
                 .position(|&b| b == pred)
-                .ok_or_else(|| InterpError { message: "phi missing incoming edge".to_string() })?;
+                .ok_or_else(|| InterpError {
+                    message: "phi missing incoming edge".to_string(),
+                })?;
             let v = get(&values, f, inst.operands[k])?;
             phi_updates.push((f.inst_result(iid).expect("phi has result"), v, iid));
         }
@@ -354,7 +371,9 @@ pub fn run_function(
             }
             steps += 1;
             if steps > max_steps {
-                return Err(InterpError { message: format!("exceeded {max_steps} steps") });
+                return Err(InterpError {
+                    message: format!("exceeded {max_steps} steps"),
+                });
             }
             let ops = &inst.operands;
             match &inst.op {
@@ -365,7 +384,11 @@ pub fn run_function(
                 }
                 Opcode::CondBr => {
                     let c = get(&values, f, ops[0])?.as_i();
-                    next_block = Some(if c != 0 { inst.block_refs[0] } else { inst.block_refs[1] });
+                    next_block = Some(if c != 0 {
+                        inst.block_refs[0]
+                    } else {
+                        inst.block_refs[1]
+                    });
                     obs.on_inst(f, iid, None, None);
                     break;
                 }
@@ -404,7 +427,9 @@ pub fn run_function(
                 obs.on_block_enter(f, block);
             }
             None => {
-                return Err(InterpError { message: "block fell through without terminator".into() })
+                return Err(InterpError {
+                    message: "block fell through without terminator".into(),
+                })
             }
         }
     }
@@ -419,7 +444,9 @@ fn const_val(c: &Constant) -> Result<RtVal, InterpError> {
             *value
         })),
         Constant::NullPtr => Ok(RtVal::P(0)),
-        Constant::Undef(_) => Err(InterpError { message: "use of undef".to_string() }),
+        Constant::Undef(_) => Err(InterpError {
+            message: "use of undef".to_string(),
+        }),
     }
 }
 
@@ -435,9 +462,19 @@ pub fn eval_pure(
     let wrap_int = |v: i64, ty: &Type| RtVal::I(sign_extend(v as u64, ty.bits()));
     let round_f = |v: f64, ty: &Type| RtVal::F(if *ty == Type::F32 { v as f32 as f64 } else { v });
     Ok(match op {
-        Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::UDiv | Opcode::SDiv
-        | Opcode::URem | Opcode::SRem | Opcode::Shl | Opcode::LShr | Opcode::AShr
-        | Opcode::And | Opcode::Or | Opcode::Xor => {
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::UDiv
+        | Opcode::SDiv
+        | Opcode::URem
+        | Opcode::SRem
+        | Opcode::Shl
+        | Opcode::LShr
+        | Opcode::AShr
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor => {
             let ty = f.value_type(ops[0]);
             let bits = ty.bits();
             let a = get(ops[0])?.as_i();
@@ -446,7 +483,9 @@ pub fn eval_pure(
             let ub = (b as u64) & mask(bits);
             let div_check = |v: i64| -> Result<i64, InterpError> {
                 if v == 0 {
-                    Err(InterpError { message: "division by zero".to_string() })
+                    Err(InterpError {
+                        message: "division by zero".to_string(),
+                    })
                 } else {
                     Ok(v)
                 }
@@ -536,7 +575,9 @@ pub fn eval_pure(
                     addr = addr.wrapping_add((i as i128 * cur.size_bytes() as i128) as u64);
                 } else {
                     let Type::Array { elem, .. } = cur else {
-                        return Err(InterpError { message: "gep index into non-array".into() });
+                        return Err(InterpError {
+                            message: "gep index into non-array".into(),
+                        });
                     };
                     cur = *elem;
                     addr = addr.wrapping_add((i as i128 * cur.size_bytes() as i128) as u64);
@@ -555,7 +596,10 @@ pub fn eval_pure(
         Opcode::SIToFP => round_f(get(ops[0])?.as_i() as f64, result_ty),
         Opcode::UIToFP => {
             let from_bits = f.value_type(ops[0]).bits();
-            round_f(((get(ops[0])?.as_i() as u64) & mask(from_bits)) as f64, result_ty)
+            round_f(
+                ((get(ops[0])?.as_i() as u64) & mask(from_bits)) as f64,
+                result_ty,
+            )
         }
         Opcode::BitCast => {
             let v = get(ops[0])?;
@@ -590,7 +634,9 @@ pub fn eval_pure(
             }
         }
         other => {
-            return Err(InterpError { message: format!("eval_pure on {:?}", other) });
+            return Err(InterpError {
+                message: format!("eval_pure on {:?}", other),
+            });
         }
     })
 }
@@ -630,7 +676,12 @@ mod tests {
     fn runs_vector_add() {
         let mut fb = FunctionBuilder::new(
             "vadd",
-            &[("a", Type::Ptr), ("b", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)],
+            &[
+                ("a", Type::Ptr),
+                ("b", Type::Ptr),
+                ("c", Type::Ptr),
+                ("n", Type::I64),
+            ],
         );
         let (a, b, c, n) = (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3));
         let zero = fb.i64c(0);
@@ -652,7 +703,12 @@ mod tests {
         let mut obs = ProfileObserver::default();
         run_function(
             &f,
-            &[RtVal::P(0x100), RtVal::P(0x200), RtVal::P(0x300), RtVal::I(4)],
+            &[
+                RtVal::P(0x100),
+                RtVal::P(0x200),
+                RtVal::P(0x300),
+                RtVal::I(4),
+            ],
             &mut mem,
             &mut obs,
             1_000_000,
@@ -674,8 +730,14 @@ mod tests {
         fb.ret_value(m);
         let f = fb.finish();
         let mut mem = SparseMemory::new();
-        let r = run_function(&f, &[RtVal::I(3), RtVal::I(9)], &mut mem, &mut NullObserver, 100)
-            .unwrap();
+        let r = run_function(
+            &f,
+            &[RtVal::I(3), RtVal::I(9)],
+            &mut mem,
+            &mut NullObserver,
+            100,
+        )
+        .unwrap();
         assert_eq!(r, Some(RtVal::I(9)));
     }
 
@@ -687,9 +749,14 @@ mod tests {
         fb.ret_value(d);
         let f = fb.finish();
         let mut mem = SparseMemory::new();
-        let err =
-            run_function(&f, &[RtVal::I(1), RtVal::I(0)], &mut mem, &mut NullObserver, 100)
-                .unwrap_err();
+        let err = run_function(
+            &f,
+            &[RtVal::I(1), RtVal::I(0)],
+            &mut mem,
+            &mut NullObserver,
+            100,
+        )
+        .unwrap_err();
         assert!(err.message.contains("division by zero"));
     }
 

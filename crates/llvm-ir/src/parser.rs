@@ -66,7 +66,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -125,8 +129,8 @@ impl<'a> Lexer<'a> {
                 self.pos += 1;
                 while self.pos < self.src.len() {
                     let d = self.src[self.pos] as char;
-                    let exponent_sign = (d == '+' || d == '-')
-                        && matches!(self.src[self.pos - 1], b'e' | b'E');
+                    let exponent_sign =
+                        (d == '+' || d == '-') && matches!(self.src[self.pos - 1], b'e' | b'E');
                     if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || exponent_sign {
                         self.pos += 1;
                     } else {
@@ -175,7 +179,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.line(), message: msg.into() })
+        Err(ParseError {
+            line: self.line(),
+            message: msg.into(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -238,9 +245,10 @@ impl Parser {
             },
             Some(Tok::Punct('[')) => {
                 let len = match self.next() {
-                    Some(Tok::Num(n)) => n
-                        .parse::<u64>()
-                        .map_err(|_| ParseError { line: self.line(), message: "bad array length".into() })?,
+                    Some(Tok::Num(n)) => n.parse::<u64>().map_err(|_| ParseError {
+                        line: self.line(),
+                        message: "bad array length".into(),
+                    })?,
                     other => return self.err(format!("expected array length, found {other:?}")),
                 };
                 self.expect_ident("x")?;
@@ -257,15 +265,23 @@ impl Parser {
             Some(Tok::LocalRef(name)) => Ok(Ref::Name(name)),
             Some(Tok::Num(n)) => {
                 if ty.is_float() {
-                    let v: f64 = n
-                        .parse()
-                        .map_err(|_| ParseError { line: self.line(), message: format!("bad float '{n}'") })?;
-                    Ok(Ref::Const(Constant::Float { ty: ty.clone(), value: v }))
+                    let v: f64 = n.parse().map_err(|_| ParseError {
+                        line: self.line(),
+                        message: format!("bad float '{n}'"),
+                    })?;
+                    Ok(Ref::Const(Constant::Float {
+                        ty: ty.clone(),
+                        value: v,
+                    }))
                 } else if ty.is_int() {
-                    let v: i64 = n
-                        .parse()
-                        .map_err(|_| ParseError { line: self.line(), message: format!("bad int '{n}'") })?;
-                    Ok(Ref::Const(Constant::Int { ty: ty.clone(), value: v }))
+                    let v: i64 = n.parse().map_err(|_| ParseError {
+                        line: self.line(),
+                        message: format!("bad int '{n}'"),
+                    })?;
+                    Ok(Ref::Const(Constant::Int {
+                        ty: ty.clone(),
+                        value: v,
+                    }))
                 } else {
                     self.err(format!("numeric literal for non-scalar type {ty}"))
                 }
@@ -330,12 +346,22 @@ impl Parser {
                     Some(Tok::Ident(_)) => {
                         // Either a new block label (ident ':') or an unnamed
                         // instruction (store/br/ret).
-                        if matches!(self.toks.get(self.idx + 1).map(|(t, _)| t), Some(Tok::Punct(':'))) {
+                        if matches!(
+                            self.toks.get(self.idx + 1).map(|(t, _)| t),
+                            Some(Tok::Punct(':'))
+                        ) {
                             break;
                         }
                         let line = self.line();
                         let (op, ty, operands, blocks) = self.inst_body()?;
-                        insts.push(RawInst { result: None, op, ty, operands, blocks, line });
+                        insts.push(RawInst {
+                            result: None,
+                            op,
+                            ty,
+                            operands,
+                            blocks,
+                            line,
+                        });
                     }
                     Some(Tok::LocalRef(_)) => {
                         let result = match self.next() {
@@ -345,7 +371,14 @@ impl Parser {
                         self.expect_punct('=')?;
                         let line = self.line();
                         let (op, ty, operands, blocks) = self.inst_body()?;
-                        insts.push(RawInst { result: Some(result), op, ty, operands, blocks, line });
+                        insts.push(RawInst {
+                            result: Some(result),
+                            op,
+                            ty,
+                            operands,
+                            blocks,
+                            line,
+                        });
                     }
                     other => return self.err(format!("expected instruction, found {other:?}")),
                 }
@@ -439,7 +472,10 @@ impl Parser {
             match value_by_name.get(&name) {
                 Some(&v) => func.inst_mut(iid).operands[k] = v,
                 None => {
-                    return Err(ParseError { line, message: format!("undefined value %{name}") })
+                    return Err(ParseError {
+                        line,
+                        message: format!("undefined value %{name}"),
+                    })
                 }
             }
         }
@@ -523,14 +559,16 @@ impl Parser {
                 self.expect_punct(',')?;
                 let b = self.operand(&ty)?;
                 let op = if mnemonic == "icmp" {
-                    Opcode::ICmp(
-                        IntPredicate::from_keyword(&pred)
-                            .ok_or_else(|| ParseError { line: self.line(), message: format!("bad icmp predicate '{pred}'") })?,
-                    )
+                    Opcode::ICmp(IntPredicate::from_keyword(&pred).ok_or_else(|| ParseError {
+                        line: self.line(),
+                        message: format!("bad icmp predicate '{pred}'"),
+                    })?)
                 } else {
                     Opcode::FCmp(
-                        FloatPredicate::from_keyword(&pred)
-                            .ok_or_else(|| ParseError { line: self.line(), message: format!("bad fcmp predicate '{pred}'") })?,
+                        FloatPredicate::from_keyword(&pred).ok_or_else(|| ParseError {
+                            line: self.line(),
+                            message: format!("bad fcmp predicate '{pred}'"),
+                        })?,
                     )
                 };
                 Ok((op, Type::I1, vec![(ty.clone(), a), (ty, b)], vec![]))
@@ -548,7 +586,12 @@ impl Parser {
                 self.expect_punct(',')?;
                 self.expect_ident("ptr")?;
                 let p = self.operand(&Type::Ptr)?;
-                Ok((Opcode::Store, Type::Void, vec![(ty, v), (Type::Ptr, p)], vec![]))
+                Ok((
+                    Opcode::Store,
+                    Type::Void,
+                    vec![(ty, v), (Type::Ptr, p)],
+                    vec![],
+                ))
             }
             "getelementptr" => {
                 let elem = self.ty()?;
@@ -593,7 +636,12 @@ impl Parser {
                 self.expect_punct(',')?;
                 let ty2 = self.ty()?;
                 let e = self.operand(&ty2)?;
-                Ok((Opcode::Select, ty.clone(), vec![(cty, c), (ty, t), (ty2, e)], vec![]))
+                Ok((
+                    Opcode::Select,
+                    ty.clone(),
+                    vec![(cty, c), (ty, t), (ty2, e)],
+                    vec![],
+                ))
             }
             "br" => {
                 if self.peek() == Some(&Tok::Ident("label".into())) {
@@ -696,10 +744,8 @@ done:
 
     #[test]
     fn comments_are_skipped() {
-        let m = parse_module(
-            "; a module\ndefine void @f() {\nentry: ; block\n  ret void\n}\n",
-        )
-        .unwrap();
+        let m = parse_module("; a module\ndefine void @f() {\nentry: ; block\n  ret void\n}\n")
+            .unwrap();
         assert_eq!(m.functions().len(), 1);
     }
 
@@ -712,10 +758,9 @@ done:
 
     #[test]
     fn undefined_value_rejected() {
-        let err = parse_module(
-            "define void @f() {\nentry:\n  %x = add i32 %nope, 1\n  ret void\n}\n",
-        )
-        .unwrap_err();
+        let err =
+            parse_module("define void @f() {\nentry:\n  %x = add i32 %nope, 1\n  ret void\n}\n")
+                .unwrap_err();
         assert!(err.message.contains("undefined value"), "{err}");
     }
 

@@ -14,10 +14,7 @@ use crate::value::{Constant, ValueId, ValueKind};
 pub fn fold_constants(f: &mut Function) -> usize {
     let mut changed = 0;
     // Instruction-level folding.
-    let inst_ids: Vec<_> = f
-        .blocks()
-        .flat_map(|(_, b)| b.insts.clone())
-        .collect();
+    let inst_ids: Vec<_> = f.blocks().flat_map(|(_, b)| b.insts.clone()).collect();
     for iid in inst_ids {
         let inst = f.inst(iid).clone();
         let foldable = matches!(
@@ -56,32 +53,46 @@ pub fn fold_constants(f: &mut Function) -> usize {
         if !foldable {
             continue;
         }
-        let all_const = inst
-            .operands
-            .iter()
-            .all(|&v| matches!(f.value_kind(v), ValueKind::Const(Constant::Int { .. } | Constant::Float { .. } | Constant::NullPtr)));
+        let all_const = inst.operands.iter().all(|&v| {
+            matches!(
+                f.value_kind(v),
+                ValueKind::Const(Constant::Int { .. } | Constant::Float { .. } | Constant::NullPtr)
+            )
+        });
         if !all_const || inst.operands.is_empty() {
             continue;
         }
         let get = |v: ValueId| -> Result<RtVal, crate::interp::InterpError> {
             match f.value_kind(v) {
                 ValueKind::Const(Constant::Int { value, .. }) => Ok(RtVal::I(*value)),
-                ValueKind::Const(Constant::Float { ty, value }) => Ok(RtVal::F(if *ty == Type::F32 {
-                    *value as f32 as f64
-                } else {
-                    *value
-                })),
+                ValueKind::Const(Constant::Float { ty, value }) => {
+                    Ok(RtVal::F(if *ty == Type::F32 {
+                        *value as f32 as f64
+                    } else {
+                        *value
+                    }))
+                }
                 ValueKind::Const(Constant::NullPtr) => Ok(RtVal::P(0)),
-                _ => Err(crate::interp::InterpError { message: "non-const".into() }),
+                _ => Err(crate::interp::InterpError {
+                    message: "non-const".into(),
+                }),
             }
         };
         let Ok(result) = eval_pure(f, &inst.op, &inst.ty, &inst.operands, get) else {
             continue; // e.g. division by zero: leave for runtime
         };
-        let Some(old) = f.inst_result(iid) else { continue };
+        let Some(old) = f.inst_result(iid) else {
+            continue;
+        };
         let c = match (result, &inst.ty) {
-            (RtVal::I(v), ty) if ty.is_int() => Constant::Int { ty: ty.clone(), value: v },
-            (RtVal::F(v), ty) if ty.is_float() => Constant::Float { ty: ty.clone(), value: v },
+            (RtVal::I(v), ty) if ty.is_int() => Constant::Int {
+                ty: ty.clone(),
+                value: v,
+            },
+            (RtVal::F(v), ty) if ty.is_float() => Constant::Float {
+                ty: ty.clone(),
+                value: v,
+            },
             (RtVal::P(p), Type::Ptr) => {
                 if p == 0 {
                     Constant::NullPtr
@@ -98,7 +109,9 @@ pub fn fold_constants(f: &mut Function) -> usize {
 
     // Branch folding: condbr on a constant becomes br.
     for bid in f.block_ids().collect::<Vec<_>>() {
-        let Some(term) = f.terminator(bid) else { continue };
+        let Some(term) = f.terminator(bid) else {
+            continue;
+        };
         let inst = f.inst(term).clone();
         if inst.op != Opcode::CondBr {
             continue;
@@ -106,8 +119,16 @@ pub fn fold_constants(f: &mut Function) -> usize {
         let ValueKind::Const(Constant::Int { value, .. }) = f.value_kind(inst.operands[0]) else {
             continue;
         };
-        let taken = if *value != 0 { inst.block_refs[0] } else { inst.block_refs[1] };
-        let dropped = if *value != 0 { inst.block_refs[1] } else { inst.block_refs[0] };
+        let taken = if *value != 0 {
+            inst.block_refs[0]
+        } else {
+            inst.block_refs[1]
+        };
+        let dropped = if *value != 0 {
+            inst.block_refs[1]
+        } else {
+            inst.block_refs[0]
+        };
         {
             let t = f.inst_mut(term);
             t.op = Opcode::Br;
@@ -123,7 +144,11 @@ pub fn fold_constants(f: &mut Function) -> usize {
 }
 
 /// Drops the incoming edge from `pred` in all phis of `block`.
-pub(crate) fn remove_phi_incoming(f: &mut Function, block: crate::function::BlockId, pred: crate::function::BlockId) {
+pub(crate) fn remove_phi_incoming(
+    f: &mut Function,
+    block: crate::function::BlockId,
+    pred: crate::function::BlockId,
+) {
     let insts = f.block(block).insts.clone();
     for iid in insts {
         let inst = f.inst_mut(iid);
@@ -165,10 +190,7 @@ mod tests {
             .find(|&i| f.inst(i).op == Opcode::Store)
             .unwrap();
         let v = f.inst(store).operands[0];
-        assert_eq!(
-            f.value_kind(v),
-            &ValueKind::Const(Constant::i32(7))
-        );
+        assert_eq!(f.value_kind(v), &ValueKind::Const(Constant::i32(7)));
     }
 
     #[test]

@@ -16,10 +16,7 @@ pub fn eliminate_dead_code(f: &mut Function) -> usize {
 
     // Sweep unreachable blocks first so their uses don't keep values alive.
     let mut removed = 0;
-    let unreachable: Vec<_> = f
-        .block_ids()
-        .filter(|&b| !cfg.is_reachable(b))
-        .collect();
+    let unreachable: Vec<_> = f.block_ids().filter(|&b| !cfg.is_reachable(b)).collect();
     let mut dead: HashSet<InstId> = HashSet::new();
     for &b in &unreachable {
         for &i in &f.block(b).insts {
@@ -44,7 +41,10 @@ pub fn eliminate_dead_code(f: &mut Function) -> usize {
     for (_, b) in f.blocks() {
         for &i in &b.insts {
             let inst = f.inst(i);
-            if matches!(inst.op, Opcode::Store | Opcode::Br | Opcode::CondBr | Opcode::Ret) {
+            if matches!(
+                inst.op,
+                Opcode::Store | Opcode::Br | Opcode::CondBr | Opcode::Ret
+            ) {
                 live.insert(i);
                 work.push(i);
             }

@@ -147,9 +147,13 @@ fn try_unroll(
     // value is `add phi, cstep`, and whose header test compares the phi to a
     // constant.
     let cond = term_inst.operands[0];
-    let ValueKind::Inst(cond_inst_id) = *f.value_kind(cond) else { return None };
+    let ValueKind::Inst(cond_inst_id) = *f.value_kind(cond) else {
+        return None;
+    };
     let cond_inst = f.inst(cond_inst_id).clone();
-    let Opcode::ICmp(pred) = cond_inst.op else { return None };
+    let Opcode::ICmp(pred) = cond_inst.op else {
+        return None;
+    };
     // Identify which side is the IV phi.
     let (iv, bound, flipped) = {
         let a = cond_inst.operands[0];
@@ -164,7 +168,9 @@ fn try_unroll(
     };
     let start = const_int(f, *init.get(&iv)?)?;
     let next = *next_of.get(&iv)?;
-    let ValueKind::Inst(next_id) = *f.value_kind(next) else { return None };
+    let ValueKind::Inst(next_id) = *f.value_kind(next) else {
+        return None;
+    };
     let next_inst = f.inst(next_id).clone();
     if next_inst.op != Opcode::Add {
         return None;
@@ -223,9 +229,7 @@ fn try_unroll(
     let mut carried: HashMap<ValueId, ValueId> = init.clone();
     let resolve = |map: &HashMap<ValueId, ValueId>, v: ValueId| *map.get(&v).unwrap_or(&v);
 
-    let clone_into = |f: &mut Function,
-                          ids: &[InstId],
-                          map: &mut HashMap<ValueId, ValueId>| {
+    let clone_into = |f: &mut Function, ids: &[InstId], map: &mut HashMap<ValueId, ValueId>| {
         for &i in ids {
             let inst = f.inst(i).clone();
             let operands = inst.operands.iter().map(|&o| resolve(map, o)).collect();
@@ -251,7 +255,10 @@ fn try_unroll(
         let mut map = carried.clone();
         // The IV is a known constant this iteration; pin it so clones of the
         // compare and of address arithmetic fold later.
-        let c = f.const_value(Constant::Int { ty: iv_ty.clone(), value: iter_v });
+        let c = f.const_value(Constant::Int {
+            ty: iv_ty.clone(),
+            value: iter_v,
+        });
         map.insert(iv, c);
         clone_into(f, &header_body, &mut map);
         clone_into(f, &latch_body, &mut map);
@@ -265,7 +272,10 @@ fn try_unroll(
 
     // Final header evaluation (values the exit block may use).
     let mut final_map = carried.clone();
-    let c = f.const_value(Constant::Int { ty: iv_ty, value: iter_v });
+    let c = f.const_value(Constant::Int {
+        ty: iv_ty,
+        value: iter_v,
+    });
     final_map.insert(iv, c);
     clone_into(f, &header_body, &mut final_map);
 
@@ -294,7 +304,13 @@ fn try_unroll(
     // Terminate the (extended) preheader with a jump to the exit.
     f.add_inst(
         preheader,
-        Inst { op: Opcode::Br, ty: crate::Type::Void, operands: vec![], block_refs: vec![exit], name: String::new() },
+        Inst {
+            op: Opcode::Br,
+            ty: crate::Type::Void,
+            operands: vec![],
+            block_refs: vec![exit],
+            name: String::new(),
+        },
     );
 
     // Remove the loop blocks' instructions; blocks become unreachable husks.
@@ -445,9 +461,13 @@ fn try_partial_unroll(
 
     // Induction variable and trip count.
     let cond = term_inst.operands[0];
-    let ValueKind::Inst(cond_inst_id) = *f.value_kind(cond) else { return None };
+    let ValueKind::Inst(cond_inst_id) = *f.value_kind(cond) else {
+        return None;
+    };
     let cond_inst = f.inst(cond_inst_id).clone();
-    let Opcode::ICmp(pred) = cond_inst.op else { return None };
+    let Opcode::ICmp(pred) = cond_inst.op else {
+        return None;
+    };
     let (iv, bound, flipped) = {
         let a = cond_inst.operands[0];
         let b = cond_inst.operands[1];
@@ -461,7 +481,9 @@ fn try_partial_unroll(
     };
     let start = const_int(f, *init.get(&iv)?)?;
     let next = *next_of.get(&iv)?;
-    let ValueKind::Inst(next_id) = *f.value_kind(next) else { return None };
+    let ValueKind::Inst(next_id) = *f.value_kind(next) else {
+        return None;
+    };
     let next_inst = f.inst(next_id).clone();
     if next_inst.op != Opcode::Add {
         return None;
@@ -536,8 +558,11 @@ fn try_partial_unroll(
     f.remove_insts(&dead);
 
     let resolve = |map: &HashMap<ValueId, ValueId>, v: ValueId| *map.get(&v).unwrap_or(&v);
-    let mut carried: HashMap<ValueId, ValueId> =
-        phis.iter().filter_map(|&p| f.inst_result(p)).map(|r| (r, r)).collect();
+    let mut carried: HashMap<ValueId, ValueId> = phis
+        .iter()
+        .filter_map(|&p| f.inst_result(p))
+        .map(|r| (r, r))
+        .collect();
 
     for k in 0..factor {
         let mut map = carried.clone();
@@ -545,7 +570,10 @@ fn try_partial_unroll(
         let ivk = if k == 0 {
             iv
         } else {
-            let off = f.const_value(Constant::Int { ty: iv_ty.clone(), value: step * k as i64 });
+            let off = f.const_value(Constant::Int {
+                ty: iv_ty.clone(),
+                value: step * k as i64,
+            });
             let (_, val) = f.add_inst(
                 latch,
                 Inst {
@@ -588,7 +616,10 @@ fn try_partial_unroll(
     }
 
     // New induction update and terminator.
-    let stepc = f.const_value(Constant::Int { ty: iv_ty, value: scaled_step });
+    let stepc = f.const_value(Constant::Int {
+        ty: iv_ty,
+        value: scaled_step,
+    });
     let (_, new_next) = f.add_inst(
         latch,
         Inst {
@@ -614,7 +645,11 @@ fn try_partial_unroll(
     // Rewire the phis' latch-incoming operands.
     for &p in &phis {
         let res = f.inst_result(p).expect("phi result");
-        let new_in = if res == iv { new_next } else { resolve(&carried, res) };
+        let new_in = if res == iv {
+            new_next
+        } else {
+            resolve(&carried, res)
+        };
         let inst = f.inst_mut(p);
         for (k, &b) in inst.block_refs.clone().iter().enumerate() {
             if b == latch {
@@ -624,7 +659,6 @@ fn try_partial_unroll(
     }
     Some(())
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -784,8 +818,14 @@ mod tests {
         // Check functional equivalence on a small input.
         let mut mem = SparseMemory::new();
         mem.write_i64_slice(0x0, &[0; 8]);
-        run_function(&f, &[RtVal::P(0), RtVal::I(2)], &mut mem, &mut NullObserver, 100_000)
-            .unwrap();
+        run_function(
+            &f,
+            &[RtVal::P(0), RtVal::I(2)],
+            &mut mem,
+            &mut NullObserver,
+            100_000,
+        )
+        .unwrap();
         assert_eq!(mem.read_i64_slice(0, 8), vec![1; 8]);
     }
 }

@@ -26,9 +26,17 @@ impl Namer {
             used.insert(p.name.clone(), 1);
         }
         let fresh = |base: &str, used: &mut HashMap<String, u32>| -> String {
-            let base = if base.is_empty() { "t".to_string() } else { base.to_string() };
+            let base = if base.is_empty() {
+                "t".to_string()
+            } else {
+                base.to_string()
+            };
             let n = used.entry(base.clone()).or_insert(0);
-            let name = if *n == 0 { base.clone() } else { format!("{base}.{n}") };
+            let name = if *n == 0 {
+                base.clone()
+            } else {
+                format!("{base}.{n}")
+            };
             *n += 1;
             // Guard against an explicit name that equals a generated one.
             if used.contains_key(&name) && name != base {
@@ -50,12 +58,19 @@ impl Namer {
             .blocks()
             .map(|(_, b)| {
                 let n = block_used.entry(b.name.clone()).or_insert(0);
-                let name = if *n == 0 { b.name.clone() } else { format!("{}.{n}", b.name) };
+                let name = if *n == 0 {
+                    b.name.clone()
+                } else {
+                    format!("{}.{n}", b.name)
+                };
                 *n += 1;
                 name
             })
             .collect();
-        Namer { value_names, block_names }
+        Namer {
+            value_names,
+            block_names,
+        }
     }
 
     pub(crate) fn value(&self, f: &Function, v: ValueId) -> String {
@@ -79,7 +94,13 @@ fn typed(f: &Function, namer: &Namer, v: ValueId) -> String {
     format!("{} {}", f.value_type(v), namer.value(f, v))
 }
 
-fn write_inst(out: &mut String, f: &Function, namer: &Namer, inst: &Inst, result: Option<ValueId>) -> fmt::Result {
+fn write_inst(
+    out: &mut String,
+    f: &Function,
+    namer: &Namer,
+    inst: &Inst,
+    result: Option<ValueId>,
+) -> fmt::Result {
     write!(out, "  ")?;
     if let Some(r) = result {
         write!(out, "{} = ", namer.value(f, r))?;
@@ -139,7 +160,12 @@ fn write_inst(out: &mut String, f: &Function, namer: &Namer, inst: &Inst, result
             write!(out, "load {}, ptr {}", inst.ty, namer.value(f, ops[0]))?;
         }
         Opcode::Store => {
-            write!(out, "store {}, ptr {}", typed(f, namer, ops[0]), namer.value(f, ops[1]))?;
+            write!(
+                out,
+                "store {}, ptr {}",
+                typed(f, namer, ops[0]),
+                namer.value(f, ops[1])
+            )?;
         }
         Opcode::Gep { elem } => {
             write!(out, "getelementptr {elem}, ptr {}", namer.value(f, ops[0]))?;
@@ -159,7 +185,13 @@ fn write_inst(out: &mut String, f: &Function, namer: &Namer, inst: &Inst, result
         | Opcode::BitCast
         | Opcode::PtrToInt
         | Opcode::IntToPtr => {
-            write!(out, "{} {} to {}", inst.op.mnemonic(), typed(f, namer, ops[0]), inst.ty)?;
+            write!(
+                out,
+                "{} {} to {}",
+                inst.op.mnemonic(),
+                typed(f, namer, ops[0]),
+                inst.ty
+            )?;
         }
         Opcode::Phi => {
             write!(out, "phi {} ", inst.ty)?;
@@ -219,9 +251,17 @@ impl fmt::Display for Function {
                 })
             })
             .unwrap_or(Type::Void);
-        let params: Vec<String> =
-            self.params.iter().map(|p| format!("{} %{}", p.ty, p.name)).collect();
-        writeln!(fm, "define {ret_ty} @{}({}) {{", self.name, params.join(", "))?;
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| format!("{} %{}", p.ty, p.name))
+            .collect();
+        writeln!(
+            fm,
+            "define {ret_ty} @{}({}) {{",
+            self.name,
+            params.join(", ")
+        )?;
         let mut body = String::new();
         for (bid, b) in self.blocks() {
             writeln!(body, "{}:", namer.block_label(bid)).map_err(|_| fmt::Error)?;
@@ -278,8 +318,14 @@ mod tests {
         fb.counted_loop("i", zero, n, |_, _| {});
         fb.ret();
         let text = fb.finish().to_string();
-        assert!(text.contains("%i.iv = phi i64 [ 0, %entry ], [ %i.iv.next, %i.body ]"), "{text}");
-        assert!(text.contains("br i1 %i.cond, label %i.body, label %i.exit"), "{text}");
+        assert!(
+            text.contains("%i.iv = phi i64 [ 0, %entry ], [ %i.iv.next, %i.body ]"),
+            "{text}"
+        );
+        assert!(
+            text.contains("br i1 %i.cond, label %i.body, label %i.exit"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub enum Type {
 impl Type {
     /// Convenience constructor for an array type.
     pub fn array(elem: Type, len: u64) -> Type {
-        Type::Array { elem: Box::new(elem), len }
+        Type::Array {
+            elem: Box::new(elem),
+            len,
+        }
     }
 
     /// Size of a value of this type in bytes (pointers are 8 bytes).
@@ -71,7 +74,10 @@ impl Type {
 
     /// Whether this is an integer type (including `i1`).
     pub fn is_int(&self) -> bool {
-        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64
+        )
     }
 
     /// Whether this is a floating-point type.

@@ -54,27 +54,42 @@ pub enum Constant {
 impl Constant {
     /// A boolean (`i1`) constant.
     pub fn bool(v: bool) -> Constant {
-        Constant::Int { ty: Type::I1, value: v as i64 }
+        Constant::Int {
+            ty: Type::I1,
+            value: v as i64,
+        }
     }
 
     /// An `i32` constant.
     pub fn i32(v: i32) -> Constant {
-        Constant::Int { ty: Type::I32, value: v as i64 }
+        Constant::Int {
+            ty: Type::I32,
+            value: v as i64,
+        }
     }
 
     /// An `i64` constant.
     pub fn i64(v: i64) -> Constant {
-        Constant::Int { ty: Type::I64, value: v }
+        Constant::Int {
+            ty: Type::I64,
+            value: v,
+        }
     }
 
     /// A `float` constant.
     pub fn f32(v: f32) -> Constant {
-        Constant::Float { ty: Type::F32, value: v as f64 }
+        Constant::Float {
+            ty: Type::F32,
+            value: v as f64,
+        }
     }
 
     /// A `double` constant.
     pub fn f64(v: f64) -> Constant {
-        Constant::Float { ty: Type::F64, value: v }
+        Constant::Float {
+            ty: Type::F64,
+            value: v,
+        }
     }
 
     /// The type of this constant.

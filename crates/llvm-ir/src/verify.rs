@@ -19,7 +19,11 @@ pub struct VerifyError {
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "verification of @{} failed: {}", self.function, self.message)
+        write!(
+            f,
+            "verification of @{} failed: {}",
+            self.function, self.message
+        )
     }
 }
 
@@ -38,7 +42,12 @@ impl std::error::Error for VerifyError {}
 ///
 /// Returns the first violation found.
 pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
-    let fail = |msg: String| Err(VerifyError { function: f.name.clone(), message: msg });
+    let fail = |msg: String| {
+        Err(VerifyError {
+            function: f.name.clone(),
+            message: msg,
+        })
+    };
 
     let cfg = Cfg::new(f);
     let dom = DomTree::new(f, &cfg);
@@ -98,7 +107,9 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
             let inst = f.inst(inst_id);
             // Dominance of operands.
             for (k, &op) in inst.operands.iter().enumerate() {
-                let ValueKind::Inst(_) = f.value_kind(op) else { continue };
+                let ValueKind::Inst(_) = f.value_kind(op) else {
+                    continue;
+                };
                 let Some(&(def_block, def_pos)) = def_site.get(&op) else {
                     return fail(format!(
                         "use of value without live definition in %{}",
@@ -117,16 +128,10 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                     }
                 } else if def_block == bid {
                     if def_pos >= pos {
-                        return fail(format!(
-                            "use before def within block %{}",
-                            b.name
-                        ));
+                        return fail(format!("use before def within block %{}", b.name));
                     }
                 } else if !dom.dominates(def_block, bid) {
-                    return fail(format!(
-                        "use in %{} not dominated by definition",
-                        b.name
-                    ));
+                    return fail(format!("use in %{} not dominated by definition", b.name));
                 }
             }
             // Phi arity vs predecessors.
@@ -153,7 +158,10 @@ fn check_inst(f: &Function, inst_id: InstId, _cfg: &Cfg, bid: BlockId) -> Result
     let inst = f.inst(inst_id);
     let bname = &f.block(bid).name;
     let fail = |msg: String| {
-        Err(VerifyError { function: f.name.clone(), message: format!("in %{bname}: {msg}") })
+        Err(VerifyError {
+            function: f.name.clone(),
+            message: format!("in %{bname}: {msg}"),
+        })
     };
     let ops = &inst.operands;
     let opty = |i: usize| f.value_type(ops[i]);
@@ -188,13 +196,19 @@ fn check_inst(f: &Function, inst_id: InstId, _cfg: &Cfg, bid: BlockId) -> Result
         | Opcode::Xor => {
             want(2)?;
             if !opty(0).is_int() || opty(0) != opty(1) || inst.ty != opty(0) {
-                return fail(format!("integer binary op type mismatch ({})", inst.op.mnemonic()));
+                return fail(format!(
+                    "integer binary op type mismatch ({})",
+                    inst.op.mnemonic()
+                ));
             }
         }
         Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
             want(2)?;
             if !opty(0).is_float() || opty(0) != opty(1) || inst.ty != opty(0) {
-                return fail(format!("float binary op type mismatch ({})", inst.op.mnemonic()));
+                return fail(format!(
+                    "float binary op type mismatch ({})",
+                    inst.op.mnemonic()
+                ));
             }
         }
         Opcode::FNeg => {
@@ -358,7 +372,13 @@ mod tests {
         let c = f.const_value(Constant::i32(1));
         f.add_inst(
             entry,
-            Inst { op: Opcode::Add, ty: Type::I32, operands: vec![c, c], block_refs: vec![], name: "x".into() },
+            Inst {
+                op: Opcode::Add,
+                ty: Type::I32,
+                operands: vec![c, c],
+                block_refs: vec![],
+                name: "x".into(),
+            },
         );
         let err = verify_function(&f).unwrap_err();
         assert!(err.message.contains("terminator"), "{err}");
@@ -372,11 +392,23 @@ mod tests {
         let cf = f.const_value(Constant::f32(1.0));
         f.add_inst(
             entry,
-            Inst { op: Opcode::Add, ty: Type::I32, operands: vec![ci, cf], block_refs: vec![], name: "x".into() },
+            Inst {
+                op: Opcode::Add,
+                ty: Type::I32,
+                operands: vec![ci, cf],
+                block_refs: vec![],
+                name: "x".into(),
+            },
         );
         f.add_inst(
             entry,
-            Inst { op: Opcode::Ret, ty: Type::Void, operands: vec![], block_refs: vec![], name: String::new() },
+            Inst {
+                op: Opcode::Ret,
+                ty: Type::Void,
+                operands: vec![],
+                block_refs: vec![],
+                name: String::new(),
+            },
         );
         let err = verify_function(&f).unwrap_err();
         assert!(err.message.contains("type mismatch"), "{err}");
@@ -406,11 +438,23 @@ mod tests {
         let c = f.const_value(Constant::i32(0));
         f.add_inst(
             entry,
-            Inst { op: Opcode::Phi, ty: Type::I32, operands: vec![c], block_refs: vec![entry], name: "p".into() },
+            Inst {
+                op: Opcode::Phi,
+                ty: Type::I32,
+                operands: vec![c],
+                block_refs: vec![entry],
+                name: "p".into(),
+            },
         );
         f.add_inst(
             entry,
-            Inst { op: Opcode::Ret, ty: Type::Void, operands: vec![], block_refs: vec![], name: String::new() },
+            Inst {
+                op: Opcode::Ret,
+                ty: Type::Void,
+                operands: vec![],
+                block_refs: vec![],
+                name: String::new(),
+            },
         );
         let err = verify_function(&f).unwrap_err();
         assert!(err.message.contains("entry block contains a phi"), "{err}");

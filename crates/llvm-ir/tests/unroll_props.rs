@@ -1,7 +1,8 @@
 //! Property tests: loop unrolling plus the default pipeline preserve the
-//! semantics of randomly generated counted loops.
+//! semantics of randomly generated counted loops. Cases come from the
+//! in-tree seeded harness (`salam_obs::det`).
 
-use proptest::prelude::*;
+use salam_obs::det::{check_cases, SplitMix64};
 
 use salam_ir::interp::{run_function, NullObserver, RtVal, SparseMemory};
 use salam_ir::passes::{run_default_pipeline, unroll_loops, unroll_loops_by};
@@ -16,13 +17,23 @@ enum BodyOp {
     SubIv,
 }
 
-fn body_strategy() -> impl Strategy<Value = BodyOp> {
-    prop_oneof![
-        Just(BodyOp::AddElem),
-        any::<i8>().prop_map(BodyOp::MulByConst),
-        Just(BodyOp::XorElem),
-        Just(BodyOp::SubIv),
-    ]
+fn gen_body_op(g: &mut SplitMix64) -> BodyOp {
+    match g.range_usize(0, 4) {
+        0 => BodyOp::AddElem,
+        1 => BodyOp::MulByConst(g.range_i64(i8::MIN as i64, i8::MAX as i64 + 1) as i8),
+        2 => BodyOp::XorElem,
+        _ => BodyOp::SubIv,
+    }
+}
+
+fn gen_body(g: &mut SplitMix64, lo: usize, hi: usize) -> Vec<BodyOp> {
+    let n = g.range_usize(lo, hi);
+    (0..n).map(|_| gen_body_op(g)).collect()
+}
+
+fn gen_data(g: &mut SplitMix64) -> Vec<i64> {
+    let n = g.range_usize(24, 32);
+    (0..n).map(|_| g.range_i64(-1000, 1000)).collect()
 }
 
 /// Builds: `acc = init; for i in 0..trip { x = a[i]; acc = f(acc, x, i);
@@ -67,91 +78,100 @@ fn build_loop_kernel(trip: i64, init: i64, body: &[BodyOp]) -> Function {
 fn outputs(f: &Function, data: &[i64]) -> (Vec<i64>, Vec<i64>) {
     let mut mem = SparseMemory::new();
     mem.write_i64_slice(0x1000, data);
-    run_function(f, &[RtVal::P(0x1000), RtVal::P(0x4000)], &mut mem, &mut NullObserver, 5_000_000)
-        .expect("run");
-    (mem.read_i64_slice(0x1000, data.len()), mem.read_i64_slice(0x4000, 1))
+    run_function(
+        f,
+        &[RtVal::P(0x1000), RtVal::P(0x4000)],
+        &mut mem,
+        &mut NullObserver,
+        5_000_000,
+    )
+    .expect("run");
+    (
+        mem.read_i64_slice(0x1000, data.len()),
+        mem.read_i64_slice(0x4000, 1),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Full unrolling of a constant-trip loop is semantics-preserving.
-    #[test]
-    fn unroll_preserves_semantics(
-        trip in 1i64..24,
-        init in -100i64..100,
-        body in prop::collection::vec(body_strategy(), 1..6),
-        data in prop::collection::vec(-1000i64..1000, 24..32),
-    ) {
+/// Full unrolling of a constant-trip loop is semantics-preserving.
+#[test]
+fn unroll_preserves_semantics() {
+    check_cases("unroll_preserves_semantics", 48, 0xA1, |g| {
+        let trip = g.range_i64(1, 24);
+        let init = g.range_i64(-100, 100);
+        let body = gen_body(g, 1, 6);
+        let data = gen_data(g);
         let f = build_loop_kernel(trip, init, &body);
         salam_ir::verify_function(&f).unwrap();
         let (want_mem, want_acc) = outputs(&f, &data);
 
-        let mut g = f.clone();
-        let report = unroll_loops(&mut g, 64);
-        prop_assert_eq!(report.unrolled, 1, "constant-trip loop must unroll");
-        prop_assert_eq!(report.iterations_emitted, trip as u64);
-        run_default_pipeline(&mut g);
-        salam_ir::verify_function(&g).unwrap();
+        let mut unrolled = f.clone();
+        let report = unroll_loops(&mut unrolled, 64);
+        assert_eq!(report.unrolled, 1, "constant-trip loop must unroll");
+        assert_eq!(report.iterations_emitted, trip as u64);
+        run_default_pipeline(&mut unrolled);
+        salam_ir::verify_function(&unrolled).unwrap();
 
-        let (got_mem, got_acc) = outputs(&g, &data);
-        prop_assert_eq!(got_mem, want_mem);
-        prop_assert_eq!(got_acc, want_acc);
-    }
+        let (got_mem, got_acc) = outputs(&unrolled, &data);
+        assert_eq!(got_mem, want_mem);
+        assert_eq!(got_acc, want_acc);
+    });
+}
 
-    /// Partial unrolling by a divisor of the trip count preserves semantics
-    /// and keeps exactly one loop.
-    #[test]
-    fn partial_unroll_preserves_semantics(
-        groups in 2i64..6,
-        factor in prop::sample::select(vec![2u64, 3, 4]),
-        init in -50i64..50,
-        body in prop::collection::vec(body_strategy(), 1..5),
-        data in prop::collection::vec(-1000i64..1000, 24..32),
-    ) {
+/// Partial unrolling by a divisor of the trip count preserves semantics
+/// and keeps exactly one loop.
+#[test]
+fn partial_unroll_preserves_semantics() {
+    check_cases("partial_unroll_preserves_semantics", 48, 0xA2, |g| {
+        let groups = g.range_i64(2, 6);
+        let factor = *g.choose(&[2u64, 3, 4]);
+        let init = g.range_i64(-50, 50);
+        let body = gen_body(g, 1, 5);
+        let data = gen_data(g);
         let trip = groups * factor as i64;
         let f = build_loop_kernel(trip, init, &body);
         let (want_mem, want_acc) = outputs(&f, &data);
 
-        let mut g = f.clone();
-        let report = unroll_loops_by(&mut g, factor, 256);
-        prop_assert_eq!(report.unrolled, 1, "divisible loop must partially unroll");
-        salam_ir::verify_function(&g).unwrap();
+        let mut part = f.clone();
+        let report = unroll_loops_by(&mut part, factor, 256);
+        assert_eq!(report.unrolled, 1, "divisible loop must partially unroll");
+        salam_ir::verify_function(&part).unwrap();
 
         // The loop survives, with `factor` copies of the load.
-        let hist = g.opcode_histogram();
-        prop_assert_eq!(hist["load"] as u64, factor);
-        prop_assert!(hist.contains_key("phi"));
+        let hist = part.opcode_histogram();
+        assert_eq!(hist["load"] as u64, factor);
+        assert!(hist.contains_key("phi"));
 
-        let (got_mem, got_acc) = outputs(&g, &data);
-        prop_assert_eq!(got_mem, want_mem);
-        prop_assert_eq!(got_acc, want_acc);
-    }
+        let (got_mem, got_acc) = outputs(&part, &data);
+        assert_eq!(got_mem, want_mem);
+        assert_eq!(got_acc, want_acc);
+    });
+}
 
-    /// Non-divisible trip counts are left alone.
-    #[test]
-    fn partial_unroll_refuses_non_divisible(
-        body in prop::collection::vec(body_strategy(), 1..4),
-    ) {
+/// Non-divisible trip counts are left alone.
+#[test]
+fn partial_unroll_refuses_non_divisible() {
+    check_cases("partial_unroll_refuses_non_divisible", 48, 0xA3, |g| {
+        let body = gen_body(g, 1, 4);
         let mut f = build_loop_kernel(7, 0, &body);
         let report = unroll_loops_by(&mut f, 3, 256);
-        prop_assert_eq!(report.unrolled, 0);
+        assert_eq!(report.unrolled, 0);
         salam_ir::verify_function(&f).unwrap();
-    }
+    });
+}
 
-    /// After a full unroll + cleanup, no loops remain.
-    #[test]
-    fn unrolled_function_is_loop_free(
-        trip in 1i64..16,
-        body in prop::collection::vec(body_strategy(), 1..4),
-    ) {
+/// After a full unroll + cleanup, no loops remain.
+#[test]
+fn unrolled_function_is_loop_free() {
+    check_cases("unrolled_function_is_loop_free", 48, 0xA4, |g| {
+        let trip = g.range_i64(1, 16);
+        let body = gen_body(g, 1, 4);
         let mut f = build_loop_kernel(trip, 0, &body);
         unroll_loops(&mut f, 64);
         run_default_pipeline(&mut f);
         let cfg = salam_ir::analysis::Cfg::new(&f);
         let dom = salam_ir::analysis::DomTree::new(&f, &cfg);
         let loops = salam_ir::analysis::find_natural_loops(&f, &cfg, &dom);
-        prop_assert!(loops.is_empty(), "found {} residual loops", loops.len());
-        prop_assert!(!f.opcode_histogram().contains_key("phi"));
-    }
+        assert!(loops.is_empty(), "found {} residual loops", loops.len());
+        assert!(!f.opcode_histogram().contains_key("phi"));
+    });
 }

@@ -26,7 +26,12 @@ pub struct Params {
 impl Default for Params {
     /// 32 nodes of degree 4, rooted at node 0.
     fn default() -> Self {
-        Params { nodes: 32, degree: 4, start: 0, seed: 0xBF5 }
+        Params {
+            nodes: 32,
+            degree: 4,
+            start: 0,
+            seed: 0xBF5,
+        }
     }
 }
 
@@ -94,7 +99,12 @@ pub fn build(p: &Params) -> BuiltKernel {
 
     let mut fb = FunctionBuilder::new(
         "bfs_queue",
-        &[("edge_begin", Type::Ptr), ("edges", Type::Ptr), ("level", Type::Ptr), ("queue", Type::Ptr)],
+        &[
+            ("edge_begin", Type::Ptr),
+            ("edges", Type::Ptr),
+            ("level", Type::Ptr),
+            ("queue", Type::Ptr),
+        ],
     );
     let (ebeg, edges, level, queue) = (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3));
 
@@ -126,38 +136,31 @@ pub fn build(p: &Params) -> BuiltKernel {
     let pe1 = fb.gep1(Type::I64, ebeg, n1, "pe1");
     let eend = fb.load(Type::I64, pe1, "eend");
 
-    let finals = fb.counted_loop_accs(
-        "e",
-        estart,
-        eend,
-        1,
-        &[(Type::I64, qt)],
-        |fb, e, accs| {
-            let pd = fb.gep1(Type::I64, edges, e, "pd");
-            let dst = fb.load(Type::I64, pd, "dst");
-            let pld = fb.gep1(Type::I64, level, dst, "pld");
-            let ld = fb.load(Type::I64, pld, "ld");
-            let negone = fb.i64c(-1);
-            let unseen = fb.icmp(IntPredicate::Eq, ld, negone, "unseen");
-            let visit_b = fb.add_block("visit");
-            let next_b = fb.add_block("next");
-            let cur = fb.current_block();
-            fb.cond_br(unseen, visit_b, next_b);
-            fb.position_at(visit_b);
-            let one = fb.i64c(1);
-            let lv = fb.add(ln, one, "lv");
-            fb.store(lv, pld);
-            let pq2 = fb.gep1(Type::I64, queue, accs[0], "pq2");
-            fb.store(dst, pq2);
-            let qt1 = fb.add(accs[0], one, "qt1");
-            fb.br(next_b);
-            fb.position_at(next_b);
-            let (phi, merged) = fb.phi(Type::I64, "qtm");
-            fb.add_incoming(phi, accs[0], cur);
-            fb.add_incoming(phi, qt1, visit_b);
-            vec![merged]
-        },
-    );
+    let finals = fb.counted_loop_accs("e", estart, eend, 1, &[(Type::I64, qt)], |fb, e, accs| {
+        let pd = fb.gep1(Type::I64, edges, e, "pd");
+        let dst = fb.load(Type::I64, pd, "dst");
+        let pld = fb.gep1(Type::I64, level, dst, "pld");
+        let ld = fb.load(Type::I64, pld, "ld");
+        let negone = fb.i64c(-1);
+        let unseen = fb.icmp(IntPredicate::Eq, ld, negone, "unseen");
+        let visit_b = fb.add_block("visit");
+        let next_b = fb.add_block("next");
+        let cur = fb.current_block();
+        fb.cond_br(unseen, visit_b, next_b);
+        fb.position_at(visit_b);
+        let one = fb.i64c(1);
+        let lv = fb.add(ln, one, "lv");
+        fb.store(lv, pld);
+        let pq2 = fb.gep1(Type::I64, queue, accs[0], "pq2");
+        fb.store(dst, pq2);
+        let qt1 = fb.add(accs[0], one, "qt1");
+        fb.br(next_b);
+        fb.position_at(next_b);
+        let (phi, merged) = fb.phi(Type::I64, "qtm");
+        fb.add_incoming(phi, accs[0], cur);
+        fb.add_incoming(phi, qt1, visit_b);
+        vec![merged]
+    });
     let latch = fb.current_block();
     let qf1 = fb.add(qf, one, "qf1");
     fb.br(header);
@@ -178,7 +181,12 @@ pub fn build(p: &Params) -> BuiltKernel {
     BuiltKernel::new(
         "bfs-queue",
         func,
-        vec![RtVal::P(eb_b), RtVal::P(edges_b), RtVal::P(level_b), RtVal::P(queue_b)],
+        vec![
+            RtVal::P(eb_b),
+            RtVal::P(edges_b),
+            RtVal::P(level_b),
+            RtVal::P(queue_b),
+        ],
         vec![
             (eb_b, data::i64_bytes(&g.edge_begin)),
             (edges_b, data::i64_bytes(&g.edges)),
@@ -214,7 +222,10 @@ mod tests {
     #[test]
     fn different_seeds_give_different_traversals() {
         let a = golden(&gen_graph(&Params::default()), &Params::default());
-        let p2 = Params { seed: 99, ..Params::default() };
+        let p2 = Params {
+            seed: 99,
+            ..Params::default()
+        };
         let b = golden(&gen_graph(&p2), &p2);
         assert_ne!(a, b, "seeded graphs should differ");
     }
@@ -222,7 +233,11 @@ mod tests {
     #[test]
     fn disconnected_nodes_stay_unvisited() {
         // With degree 1 on a larger graph some nodes are usually unreachable.
-        let p = Params { nodes: 64, degree: 1, ..Params::default() };
+        let p = Params {
+            nodes: 64,
+            degree: 1,
+            ..Params::default()
+        };
         let lv = golden(&gen_graph(&p), &p);
         assert!(lv.contains(&-1));
     }

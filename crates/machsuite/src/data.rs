@@ -1,26 +1,28 @@
 //! Deterministic input generation and byte-marshalling helpers.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use salam_obs::SplitMix64;
 
 /// A seeded RNG so every build of a benchmark sees identical inputs.
-pub fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+/// SplitMix64 keeps the stream platform- and dependency-independent.
+pub fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::new(seed)
 }
 
 /// Uniform `f64` values in `[lo, hi)`.
-pub fn f64_vec(rng: &mut SmallRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+pub fn f64_vec(rng: &mut SplitMix64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.range_f64(lo, hi)).collect()
 }
 
 /// Uniform `f32` values in `[lo, hi)`.
-pub fn f32_vec(rng: &mut SmallRng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+pub fn f32_vec(rng: &mut SplitMix64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.range_f32(lo, hi)).collect()
 }
 
 /// Uniform `i32` values in `[lo, hi)`.
-pub fn i32_vec(rng: &mut SmallRng, n: usize, lo: i32, hi: i32) -> Vec<i32> {
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+pub fn i32_vec(rng: &mut SplitMix64, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+    (0..n)
+        .map(|_| rng.range_i64(lo as i64, hi as i64) as i32)
+        .collect()
 }
 
 /// Marshals `f64` values to little-endian bytes.
@@ -76,7 +78,11 @@ pub fn check_f32_close(name: &str, got: &[f32], want: &[f32], rel: f32) -> Resul
 pub fn check_i32_eq(name: &str, got: &[i32], want: &[i32]) -> Result<(), String> {
     if got != want {
         let i = got.iter().zip(want).position(|(g, w)| g != w).unwrap_or(0);
-        return Err(format!("{name}[{i}]: got {:?}, want {:?}", got.get(i), want.get(i)));
+        return Err(format!(
+            "{name}[{i}]: got {:?}, want {:?}",
+            got.get(i),
+            want.get(i)
+        ));
     }
     Ok(())
 }

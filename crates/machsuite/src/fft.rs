@@ -82,7 +82,10 @@ pub fn golden(real: &mut [f64], imag: &mut [f64], rt: &[f64], it: &[f64]) {
 /// Panics if `n` is not a power of two of at least 4.
 pub fn build(p: &Params) -> BuiltKernel {
     let n = p.n;
-    assert!(n >= 4 && n.is_power_of_two(), "FFT size must be a power of two");
+    assert!(
+        n >= 4 && n.is_power_of_two(),
+        "FFT size must be a power of two"
+    );
     let logn = n.trailing_zeros() as i64;
     let (real_b, imag_b, rt_b, it_b) = layout(n);
 
@@ -181,7 +184,12 @@ pub fn build(p: &Params) -> BuiltKernel {
     BuiltKernel::new(
         "fft-strided",
         func,
-        vec![RtVal::P(real_b), RtVal::P(imag_b), RtVal::P(rt_b), RtVal::P(it_b)],
+        vec![
+            RtVal::P(real_b),
+            RtVal::P(imag_b),
+            RtVal::P(rt_b),
+            RtVal::P(it_b),
+        ],
         vec![
             (real_b, data::f64_bytes(&rv)),
             (imag_b, data::f64_bytes(&iv)),

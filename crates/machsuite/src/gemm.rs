@@ -58,7 +58,10 @@ pub fn golden(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
 ///
 /// Panics if `unroll` does not divide `n`.
 pub fn build(p: &Params) -> BuiltKernel {
-    assert!(p.unroll >= 1 && p.n.is_multiple_of(p.unroll), "unroll must divide n");
+    assert!(
+        p.unroll >= 1 && p.n.is_multiple_of(p.unroll),
+        "unroll must divide n"
+    );
     let n = p.n;
     let (a_base, b_base, c_base) = layout(n);
 
@@ -135,7 +138,10 @@ pub fn build(p: &Params) -> BuiltKernel {
         "gemm-ncubed",
         func,
         vec![RtVal::P(a_base), RtVal::P(b_base), RtVal::P(c_base)],
-        vec![(a_base, data::f64_bytes(&av)), (b_base, data::f64_bytes(&bv))],
+        vec![
+            (a_base, data::f64_bytes(&av)),
+            (b_base, data::f64_bytes(&bv)),
+        ],
         Box::new(move |mem: &mut SparseMemory| {
             let got = mem.read_f64_slice(c_base, n * n);
             data::check_f64_close("C", &got, &want, 1e-6)

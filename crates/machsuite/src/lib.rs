@@ -85,8 +85,19 @@ impl BuiltKernel {
         checker: Checker,
     ) -> Self {
         let lo = init.iter().map(|(a, _)| *a).min().unwrap_or(0);
-        let hi = init.iter().map(|(a, b)| a + b.len() as u64).max().unwrap_or(0);
-        BuiltKernel { name: name.to_string(), func, args, init, footprint: (lo, hi), checker }
+        let hi = init
+            .iter()
+            .map(|(a, b)| a + b.len() as u64)
+            .max()
+            .unwrap_or(0);
+        BuiltKernel {
+            name: name.to_string(),
+            func,
+            args,
+            init,
+            footprint: (lo, hi),
+            checker,
+        }
     }
 
     /// Overrides the data footprint (kernels whose outputs lie beyond the
@@ -221,13 +232,13 @@ mod tests {
     fn every_standard_benchmark_verifies_and_matches_golden() {
         for bench in Bench::ALL {
             let k = bench.build_standard();
-            salam_ir::verify_function(&k.func)
-                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            salam_ir::verify_function(&k.func).unwrap_or_else(|e| panic!("{}: {e}", k.name));
             let mut mem = SparseMemory::new();
             k.load_into(&mut mem);
             run_function(&k.func, &k.args, &mut mem, &mut NullObserver, 200_000_000)
                 .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-            k.check(&mut mem).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            k.check(&mut mem)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
         }
     }
 
@@ -258,20 +269,37 @@ mod size_tests {
         k.load_into(&mut mem);
         run_function(&k.func, &k.args, &mut mem, &mut NullObserver, 500_000_000)
             .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-        k.check(&mut mem).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        k.check(&mut mem)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
     }
 
     #[test]
     fn kernels_scale_beyond_standard_sizes() {
         run_check(&gemm::build(&gemm::Params { n: 24, unroll: 8 }));
-        run_check(&spmv::build(&spmv::Params { rows: 64, nnz_per_row: 12, ..Default::default() }));
+        run_check(&spmv::build(&spmv::Params {
+            rows: 64,
+            nnz_per_row: 12,
+            ..Default::default()
+        }));
         run_check(&stencil2d::build(&stencil2d::Params { rows: 24, cols: 32 }));
-        run_check(&stencil3d::build(&stencil3d::Params { height: 6, rows: 10, cols: 12 }));
+        run_check(&stencil3d::build(&stencil3d::Params {
+            height: 6,
+            rows: 10,
+            cols: 12,
+        }));
         run_check(&nw::build(&nw::Params { alen: 40, blen: 32 }));
         run_check(&fft::build(&fft::Params { n: 128 }));
-        run_check(&bfs::build(&bfs::Params { nodes: 96, degree: 3, start: 5, seed: 11 }));
+        run_check(&bfs::build(&bfs::Params {
+            nodes: 96,
+            degree: 3,
+            start: 5,
+            seed: 11,
+        }));
         run_check(&md_knn::build(&md_knn::Params { n_atoms: 48, k: 12 }));
-        run_check(&md_grid::build(&md_grid::Params { block_side: 3, density: 3 }));
+        run_check(&md_grid::build(&md_grid::Params {
+            block_side: 3,
+            density: 3,
+        }));
     }
 
     #[test]
@@ -284,8 +312,8 @@ mod size_tests {
             let mut m = salam_ir::Module::new("m");
             m.add_function(k.func.clone());
             let text = m.to_string();
-            let parsed = salam_ir::parse_module(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let parsed =
+                salam_ir::parse_module(&text).unwrap_or_else(|e| panic!("{}: {e}", k.name));
             assert_eq!(parsed.to_string(), text, "{} not a fixed point", k.name);
             salam_ir::verify_function(&parsed.functions()[0])
                 .unwrap_or_else(|e| panic!("{}: {e}", k.name));
@@ -309,7 +337,8 @@ mod size_tests {
                 500_000_000,
             )
             .unwrap();
-            k.check(&mut mem).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            k.check(&mut mem)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
         }
     }
 }

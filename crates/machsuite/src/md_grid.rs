@@ -22,7 +22,10 @@ pub struct Params {
 impl Default for Params {
     /// 2×2×2 cells of 4 atoms.
     fn default() -> Self {
-        Params { block_side: 2, density: 4 }
+        Params {
+            block_side: 2,
+            density: 4,
+        }
     }
 }
 
@@ -227,7 +230,10 @@ mod tests {
 
     #[test]
     fn matches_golden() {
-        let k = build(&Params { block_side: 2, density: 2 });
+        let k = build(&Params {
+            block_side: 2,
+            density: 2,
+        });
         salam_ir::verify_function(&k.func).unwrap();
         let mut mem = SparseMemory::new();
         k.load_into(&mut mem);

@@ -98,8 +98,15 @@ pub fn build(p: &Params) -> BuiltKernel {
             ("nl", Type::Ptr),
         ],
     );
-    let (x, y, z, fx, fy, fz, nl) =
-        (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3), fb.arg(4), fb.arg(5), fb.arg(6));
+    let (x, y, z, fx, fy, fz, nl) = (
+        fb.arg(0),
+        fb.arg(1),
+        fb.arg(2),
+        fb.arg(3),
+        fb.arg(4),
+        fb.arg(5),
+        fb.arg(6),
+    );
     let zero = fb.i64c(0);
     let nv = fb.i64c(n as i64);
     fb.counted_loop("i", zero, nv, |fb, i| {

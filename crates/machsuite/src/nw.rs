@@ -54,7 +54,11 @@ pub fn golden(a: &[i32], b: &[i32], p: &Params) -> Vec<i32> {
     }
     for i in 1..rows {
         for j in 1..cols {
-            let score = if a[j - 1] == b[i - 1] { MATCH } else { MISMATCH };
+            let score = if a[j - 1] == b[i - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let diag = m[(i - 1) * cols + (j - 1)] + score;
             let up = m[(i - 1) * cols + j] + GAP;
             let left = m[i * cols + (j - 1)] + GAP;

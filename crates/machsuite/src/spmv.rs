@@ -7,7 +7,7 @@
 //! discovers it when the input data happens to exercise it.
 
 use salam_ir::interp::{RtVal, SparseMemory};
-use salam_ir::{FunctionBuilder, FloatPredicate, Type};
+use salam_ir::{FloatPredicate, FunctionBuilder, Type};
 
 use crate::data;
 use crate::BuiltKernel;
@@ -94,7 +94,12 @@ pub fn gen_data(p: &Params) -> CrsData {
         .collect();
     let rowstr: Vec<i64> = (0..=p.rows).map(|r| (r * p.nnz_per_row) as i64).collect();
     let vec = data::f64_vec(&mut rng, p.rows, -1.0, 1.0);
-    CrsData { vals, cols, rowstr, vec }
+    CrsData {
+        vals,
+        cols,
+        rowstr,
+        vec,
+    }
 }
 
 /// Golden model: `out[r] = Σ vals[j] * vec[cols[j]]`, plus the shift flag
@@ -135,8 +140,14 @@ pub fn build(p: &Params) -> BuiltKernel {
             ("flags", Type::Ptr),
         ],
     );
-    let (vals, cols, rowstr, vecp, out, flags) =
-        (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3), fb.arg(4), fb.arg(5));
+    let (vals, cols, rowstr, vecp, out, flags) = (
+        fb.arg(0),
+        fb.arg(1),
+        fb.arg(2),
+        fb.arg(3),
+        fb.arg(4),
+        fb.arg(5),
+    );
     let zero = fb.i64c(0);
     let nrows = fb.i64c(rows as i64);
     let guarded = p.guarded_shift;
@@ -256,7 +267,10 @@ mod tests {
 
     #[test]
     fn triggered_dataset_matches_golden() {
-        run_kernel(&Params { dataset_triggers_shift: true, ..Params::default() });
+        run_kernel(&Params {
+            dataset_triggers_shift: true,
+            ..Params::default()
+        });
     }
 
     #[test]
@@ -265,7 +279,10 @@ mod tests {
         // static CDFG has it whether or not the dataset triggers it.
         let k = build(&Params::default());
         assert!(k.func.opcode_histogram().contains_key("shl"));
-        let k2 = build(&Params { guarded_shift: false, ..Params::default() });
+        let k2 = build(&Params {
+            guarded_shift: false,
+            ..Params::default()
+        });
         assert!(!k2.func.opcode_histogram().contains_key("shl"));
     }
 
@@ -274,7 +291,10 @@ mod tests {
         // Count executed shifts: zero for the quiet dataset, nonzero when
         // the dataset plants values in the trigger band.
         let count_shifts = |trigger: bool| {
-            let k = build(&Params { dataset_triggers_shift: trigger, ..Params::default() });
+            let k = build(&Params {
+                dataset_triggers_shift: trigger,
+                ..Params::default()
+            });
             let mut mem = SparseMemory::new();
             k.load_into(&mut mem);
             let mut obs = ProfileObserver::default();

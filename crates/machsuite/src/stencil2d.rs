@@ -55,7 +55,11 @@ pub fn build(p: &Params) -> BuiltKernel {
 
     let mut fb = FunctionBuilder::new(
         "stencil2d",
-        &[("input", Type::Ptr), ("filter", Type::Ptr), ("output", Type::Ptr)],
+        &[
+            ("input", Type::Ptr),
+            ("filter", Type::Ptr),
+            ("output", Type::Ptr),
+        ],
     );
     let (input, filter, output) = (fb.arg(0), fb.arg(1), fb.arg(2));
     let zero = fb.i64c(0);

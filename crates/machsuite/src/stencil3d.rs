@@ -20,7 +20,11 @@ pub struct Params {
 impl Default for Params {
     /// An 8×8×8 volume.
     fn default() -> Self {
-        Params { height: 8, rows: 8, cols: 8 }
+        Params {
+            height: 8,
+            rows: 8,
+            cols: 8,
+        }
     }
 }
 
@@ -51,7 +55,8 @@ pub fn golden(input: &[i32], p: &Params) -> Vec<i32> {
                     + at(i, j - 1, k)
                     + at(i, j, k + 1)
                     + at(i, j, k - 1);
-                out[(i * r + j) * c + k] = C0.wrapping_mul(sum0).wrapping_add(C1.wrapping_mul(sum1));
+                out[(i * r + j) * c + k] =
+                    C0.wrapping_mul(sum0).wrapping_add(C1.wrapping_mul(sum1));
             }
         }
     }
@@ -63,10 +68,7 @@ pub fn build(p: &Params) -> BuiltKernel {
     let (h, r, c) = (p.height, p.rows, p.cols);
     let (in_b, out_b) = layout(p);
 
-    let mut fb = FunctionBuilder::new(
-        "stencil3d",
-        &[("input", Type::Ptr), ("output", Type::Ptr)],
-    );
+    let mut fb = FunctionBuilder::new("stencil3d", &[("input", Type::Ptr), ("output", Type::Ptr)]);
     let (input, output) = (fb.arg(0), fb.arg(1));
 
     // Boundary copy: out[idx] = in[idx] for the whole volume first (the
@@ -159,7 +161,11 @@ mod tests {
 
     #[test]
     fn matches_golden() {
-        let p = Params { height: 4, rows: 5, cols: 6 };
+        let p = Params {
+            height: 4,
+            rows: 5,
+            cols: 6,
+        };
         let k = build(&p);
         salam_ir::verify_function(&k.func).unwrap();
         let mut mem = SparseMemory::new();

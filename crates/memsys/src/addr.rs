@@ -23,7 +23,10 @@ impl AddrMap {
     pub fn add(&mut self, start: u64, end: u64, dst: CompId) {
         assert!(start < end, "empty address range");
         for &(s, e, _) in &self.ranges {
-            assert!(end <= s || start >= e, "address ranges overlap: [{start:#x},{end:#x}) vs [{s:#x},{e:#x})");
+            assert!(
+                end <= s || start >= e,
+                "address ranges overlap: [{start:#x},{end:#x}) vs [{s:#x},{e:#x})"
+            );
         }
         self.ranges.push((start, end, dst));
     }

@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use salam_obs::{SharedTrace, SpanId, TrackId};
 use sim_core::{ClockDomain, CompId, Component, Ctx};
 
 use crate::msg::{MemMsg, MemOp, MemReq, MemResp};
@@ -86,6 +87,10 @@ pub struct Cache {
     misses: u64,
     evictions: u64,
     wb_count: u64,
+    trace: SharedTrace,
+    track: Option<TrackId>,
+    // line addr -> span open for the outstanding fill
+    fill_spans: HashMap<u64, SpanId>,
 }
 
 impl Cache {
@@ -109,7 +114,19 @@ impl Cache {
             misses: 0,
             evictions: 0,
             wb_count: 0,
+            trace: SharedTrace::disabled(),
+            track: None,
+            fill_spans: HashMap::new(),
         }
+    }
+
+    /// Attaches a trace sink; miss fills become spans on a `cache.{name}`
+    /// track, MSHR saturation shows up as instants.
+    pub fn set_trace(&mut self, trace: SharedTrace) {
+        self.track = trace
+            .is_enabled()
+            .then(|| trace.track(&format!("cache.{}", self.name)));
+        self.trace = trace;
     }
 
     /// Hit count so far.
@@ -163,7 +180,12 @@ impl Cache {
                     line.data[off..off + d.len()].copy_from_slice(d);
                 }
                 line.dirty = true;
-                MemResp { id: req.id, addr: req.addr, op: MemOp::Write, data: None }
+                MemResp {
+                    id: req.id,
+                    addr: req.addr,
+                    op: MemOp::Write,
+                    data: None,
+                }
             }
         }
     }
@@ -185,6 +207,9 @@ impl Cache {
             return;
         }
         if self.mshr.len() >= self.cfg.mshrs as usize {
+            if let Some(t) = self.track {
+                self.trace.instant(t, "mshr_full", ctx.now());
+            }
             self.overflow.push_back(req);
             return;
         }
@@ -192,11 +217,20 @@ impl Cache {
         let id = self.next_id;
         self.next_id += 1;
         self.fills.insert(id, la);
+        if let Some(t) = self.track {
+            let span = self
+                .trace
+                .begin_span(t, &format!("fill {la:#x}"), ctx.now());
+            self.fill_spans.insert(la, span);
+        }
         let fill = MemReq::read(id, la, self.cfg.line_bytes, ctx.self_id());
         ctx.send(self.next, hit_delay, MemMsg::Req(fill));
     }
 
     fn install(&mut self, la: u64, data: Vec<u8>, ctx: &mut Ctx<'_, MemMsg>) {
+        if let Some(span) = self.fill_spans.remove(&la) {
+            self.trace.end_span(span, ctx.now());
+        }
         let set = self.set_index(la);
         // Pick an invalid way or evict LRU.
         let ways = &mut self.sets[set];
@@ -223,23 +257,27 @@ impl Cache {
             }
         }
         self.lru_clock += 1;
-        self.sets[set][victim] =
-            Some(Line { tag: la, dirty: false, lru: self.lru_clock, data });
+        self.sets[set][victim] = Some(Line {
+            tag: la,
+            dirty: false,
+            lru: self.lru_clock,
+            data,
+        });
 
         // Serve everything waiting on this line.
         let waiters = self.mshr.remove(&la).unwrap_or_default();
         let hit_delay = self.cfg.clock.cycles(self.cfg.hit_latency_cycles);
         let line_bytes = self.cfg.line_bytes;
         for req in waiters {
-            let line = self
-                .lookup(la)
-                .expect("line just installed");
+            let line = self.lookup(la).expect("line just installed");
             let resp = Self::serve_from_line(line, &req, line_bytes);
             ctx.send(req.reply_to, hit_delay, MemMsg::Resp(resp));
         }
         // Retry overflowed misses now that an MSHR freed up.
         while self.mshr.len() < self.cfg.mshrs as usize {
-            let Some(req) = self.overflow.pop_front() else { break };
+            let Some(req) = self.overflow.pop_front() else {
+                break;
+            };
             self.access(req, ctx);
         }
     }
@@ -295,7 +333,9 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let (mut sim, dram, cache, col) = system(CacheConfig::default());
-        sim.component_as_mut::<Dram>(dram).unwrap().poke(0x100, &[42, 43, 44, 45]);
+        sim.component_as_mut::<Dram>(dram)
+            .unwrap()
+            .poke(0x100, &[42, 43, 44, 45]);
         sim.post(cache, 0, MemMsg::Req(MemReq::read(1, 0x100, 4, col)));
         sim.post(cache, 100_000, MemMsg::Req(MemReq::read(2, 0x100, 4, col)));
         sim.run();
@@ -304,7 +344,10 @@ mod tests {
         assert_eq!(c.resps[1].data.as_deref(), Some(&[42u8, 43, 44, 45][..]));
         let miss_t = c.resp_ticks[0];
         let hit_t = c.resp_ticks[1] - 100_000;
-        assert!(hit_t < miss_t, "hit {hit_t} must be faster than miss {miss_t}");
+        assert!(
+            hit_t < miss_t,
+            "hit {hit_t} must be faster than miss {miss_t}"
+        );
         assert_eq!(hit_t, 2_000);
         let l1 = sim.component_as::<Cache>(cache).unwrap();
         assert_eq!((l1.hits(), l1.misses()), (1, 1));
@@ -321,9 +364,17 @@ mod tests {
             ..CacheConfig::default()
         };
         let (mut sim, dram, cache, col) = system(cfg);
-        sim.post(cache, 0, MemMsg::Req(MemReq::write(1, 0x000, vec![0xAA; 4], col)));
+        sim.post(
+            cache,
+            0,
+            MemMsg::Req(MemReq::write(1, 0x000, vec![0xAA; 4], col)),
+        );
         // Same set (stride = line * num_sets = 128).
-        sim.post(cache, 200_000, MemMsg::Req(MemReq::write(2, 0x080, vec![0xBB; 4], col)));
+        sim.post(
+            cache,
+            200_000,
+            MemMsg::Req(MemReq::write(2, 0x080, vec![0xBB; 4], col)),
+        );
         sim.post(cache, 400_000, MemMsg::Req(MemReq::read(3, 0x100, 4, col))); // evicts 0x000? no: set 0 again at 0x100
         sim.run();
         let d = sim.component_as::<Dram>(dram).unwrap();
@@ -336,7 +387,11 @@ mod tests {
     fn coalesces_misses_to_same_line() {
         let (mut sim, _dram, cache, col) = system(CacheConfig::default());
         for i in 0..8 {
-            sim.post(cache, 0, MemMsg::Req(MemReq::read(i, 0x200 + i * 4, 4, col)));
+            sim.post(
+                cache,
+                0,
+                MemMsg::Req(MemReq::read(i, 0x200 + i * 4, 4, col)),
+            );
         }
         sim.run();
         let c = sim.component_as::<Collector>(col).unwrap();
@@ -350,7 +405,10 @@ mod tests {
 
     #[test]
     fn mshr_overflow_retries() {
-        let cfg = CacheConfig { mshrs: 1, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            mshrs: 1,
+            ..CacheConfig::default()
+        };
         let (mut sim, _dram, cache, col) = system(cfg);
         // Two misses to different lines with only one MSHR.
         sim.post(cache, 0, MemMsg::Req(MemReq::read(1, 0x000, 4, col)));

@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use salam_obs::{SharedTrace, SpanId, TrackId};
 use sim_core::{ClockDomain, CompId, Component, Ctx};
 
 use crate::msg::{MemMsg, MemReq};
@@ -26,7 +27,14 @@ pub struct DmaCmd {
 impl DmaCmd {
     /// A plain memory-to-memory command.
     pub fn new(id: u64, src: u64, dst: u64, len: u64, notify: CompId) -> Self {
-        DmaCmd { id, src, dst, len, notify, irq_line: None }
+        DmaCmd {
+            id,
+            src,
+            dst,
+            len,
+            notify,
+            irq_line: None,
+        }
     }
 
     /// Adds a completion interrupt on `line`.
@@ -42,6 +50,7 @@ struct ActiveXfer {
     read_cursor: u64,
     written: u64,
     inflight: u32,
+    span: SpanId,
 }
 
 /// A block DMA: memory-to-memory bursts through one memory port.
@@ -58,11 +67,13 @@ pub struct BlockDma {
     clock: ClockDomain,
     queue: VecDeque<DmaCmd>,
     active: Option<ActiveXfer>,
-    reads: HashMap<u64, u64>, // req id -> src offset
+    reads: HashMap<u64, u64>,  // req id -> src offset
     writes: HashMap<u64, u64>, // req id -> bytes
     next_id: u64,
     bytes_moved: u64,
     xfers: u64,
+    trace: SharedTrace,
+    track: Option<TrackId>,
 }
 
 impl BlockDma {
@@ -81,7 +92,18 @@ impl BlockDma {
             next_id: 1,
             bytes_moved: 0,
             xfers: 0,
+            trace: SharedTrace::disabled(),
+            track: None,
         }
+    }
+
+    /// Attaches a trace sink; each block transfer becomes one span on a
+    /// `dma.{name}` track.
+    pub fn set_trace(&mut self, trace: SharedTrace) {
+        self.track = trace
+            .is_enabled()
+            .then(|| trace.track(&format!("dma.{}", self.name)));
+        self.trace = trace;
     }
 
     /// Total bytes copied.
@@ -91,16 +113,34 @@ impl BlockDma {
 
     fn pump(&mut self, ctx: &mut Ctx<'_, MemMsg>) {
         if self.active.is_none() {
-            let Some(cmd) = self.queue.pop_front() else { return };
+            let Some(cmd) = self.queue.pop_front() else {
+                return;
+            };
             if cmd.len == 0 {
                 finish(&cmd, ctx);
                 self.xfers += 1;
                 return self.pump(ctx);
             }
-            self.active = Some(ActiveXfer { cmd, read_cursor: 0, written: 0, inflight: 0 });
+            let span = match self.track {
+                Some(t) => self.trace.begin_span(
+                    t,
+                    &format!("xfer {:#x} -> {:#x} ({} B)", cmd.src, cmd.dst, cmd.len),
+                    ctx.now(),
+                ),
+                None => SpanId::INVALID,
+            };
+            self.active = Some(ActiveXfer {
+                cmd,
+                read_cursor: 0,
+                written: 0,
+                inflight: 0,
+                span,
+            });
         }
         let me = ctx.self_id();
-        let Some(a) = self.active.as_mut() else { return };
+        let Some(a) = self.active.as_mut() else {
+            return;
+        };
         while a.inflight < self.max_inflight && a.read_cursor < a.cmd.len {
             let remaining = a.cmd.len - a.read_cursor;
             let size = remaining.min(self.burst_bytes as u64) as u32;
@@ -149,9 +189,10 @@ impl Component<MemMsg> for BlockDma {
                     a.inflight -= 1;
                     self.bytes_moved += n;
                     if a.written >= a.cmd.len {
-                        let cmd = self.active.take().expect("active transfer").cmd;
+                        let done = self.active.take().expect("active transfer");
+                        self.trace.end_span(done.span, ctx.now());
                         self.xfers += 1;
-                        finish(&cmd, ctx);
+                        finish(&done.cmd, ctx);
                     }
                     self.pump(ctx);
                 } else {
@@ -187,8 +228,18 @@ pub struct StreamDmaConfig {
 #[derive(Debug)]
 enum StreamState {
     Idle,
-    Reading { cmd: DmaCmd, cursor: u64, pushed: u64, pending: VecDeque<Vec<u8>> },
-    Writing { cmd: DmaCmd, received: u64, written: u64, saw_last: bool },
+    Reading {
+        cmd: DmaCmd,
+        cursor: u64,
+        pushed: u64,
+        pending: VecDeque<Vec<u8>>,
+    },
+    Writing {
+        cmd: DmaCmd,
+        received: u64,
+        written: u64,
+        saw_last: bool,
+    },
 }
 
 /// A stream DMA: bridges memory and AXI-Stream-like beats.
@@ -236,7 +287,13 @@ impl StreamDma {
             Some(t) => t,
             None => return,
         };
-        let StreamState::Reading { cmd, cursor, pushed, pending } = &mut self.state else {
+        let StreamState::Reading {
+            cmd,
+            cursor,
+            pushed,
+            pending,
+        } = &mut self.state
+        else {
             return;
         };
         // Push buffered beats while credits allow.
@@ -284,8 +341,12 @@ impl Component<MemMsg> for StreamDma {
                     };
                     self.pump_reader(ctx);
                 } else {
-                    self.state =
-                        StreamState::Writing { cmd, received: 0, written: 0, saw_last: false };
+                    self.state = StreamState::Writing {
+                        cmd,
+                        received: 0,
+                        written: 0,
+                        saw_last: false,
+                    };
                 }
             }
             MemMsg::StreamCredit { n } => {
@@ -300,8 +361,12 @@ impl Component<MemMsg> for StreamDma {
                     }
                     self.pump_reader(ctx);
                 } else if let Some(n) = self.writes.remove(&resp.id) {
-                    if let StreamState::Writing { cmd, written, received, saw_last } =
-                        &mut self.state
+                    if let StreamState::Writing {
+                        cmd,
+                        written,
+                        received,
+                        saw_last,
+                    } = &mut self.state
                     {
                         *written += n;
                         let done = *written >= cmd.len || (*saw_last && written == received);
@@ -318,7 +383,12 @@ impl Component<MemMsg> for StreamDma {
             MemMsg::StreamPush { data, last } => {
                 let me = ctx.self_id();
                 let producer = ctx.sender();
-                let StreamState::Writing { cmd, received, saw_last, .. } = &mut self.state
+                let StreamState::Writing {
+                    cmd,
+                    received,
+                    saw_last,
+                    ..
+                } = &mut self.state
                 else {
                     panic!("{}: stream beat while not armed for writing", self.name);
                 };
@@ -355,7 +425,12 @@ mod tests {
     /// DRAM + SPM behind a crossbar, with a block DMA.
     fn dma_system(burst: u32) -> (Simulation<MemMsg>, CompId, CompId, CompId, CompId) {
         let mut sim: Simulation<MemMsg> = Simulation::new();
-        let dram = sim.add_component(Dram::new("dram", DramConfig::default(), 0x8000_0000, 1 << 16));
+        let dram = sim.add_component(Dram::new(
+            "dram",
+            DramConfig::default(),
+            0x8000_0000,
+            1 << 16,
+        ));
         let spm = sim.add_component(Scratchpad::new(
             "spm",
             ScratchpadConfig::default().with_ports(4, 4),
@@ -374,7 +449,9 @@ mod tests {
     fn copies_dram_to_spm() {
         let (mut sim, dram, spm, _xbar, dma) = dma_system(64);
         let data: Vec<u8> = (0..=255).collect();
-        sim.component_as_mut::<Dram>(dram).unwrap().poke(0x8000_0000, &data);
+        sim.component_as_mut::<Dram>(dram)
+            .unwrap()
+            .poke(0x8000_0000, &data);
         let col = sim.add_component(Collector::new());
         sim.post(
             dma,
@@ -395,9 +472,15 @@ mod tests {
     fn wider_bursts_finish_sooner() {
         let run = |burst: u32| {
             let (mut sim, dram, _spm, _xbar, dma) = dma_system(burst);
-            sim.component_as_mut::<Dram>(dram).unwrap().poke(0x8000_0000, &[7; 4096]);
+            sim.component_as_mut::<Dram>(dram)
+                .unwrap()
+                .poke(0x8000_0000, &[7; 4096]);
             let col = sim.add_component(Collector::new());
-            sim.post(dma, 0, MemMsg::DmaStart(DmaCmd::new(1, 0x8000_0000, 0x1000_0000, 4096, col)));
+            sim.post(
+                dma,
+                0,
+                MemMsg::DmaStart(DmaCmd::new(1, 0x8000_0000, 0x1000_0000, 4096, col)),
+            );
             sim.run();
             sim.component_as::<Collector>(col).unwrap().dma_dones[0].1
         };
@@ -408,19 +491,38 @@ mod tests {
     fn zero_length_completes_immediately() {
         let (mut sim, _dram, _spm, _xbar, dma) = dma_system(64);
         let col = sim.add_component(Collector::new());
-        sim.post(dma, 0, MemMsg::DmaStart(DmaCmd::new(3, 0x8000_0000, 0x1000_0000, 0, col)));
+        sim.post(
+            dma,
+            0,
+            MemMsg::DmaStart(DmaCmd::new(3, 0x8000_0000, 0x1000_0000, 0, col)),
+        );
         sim.run();
-        assert_eq!(sim.component_as::<Collector>(col).unwrap().dma_dones.len(), 1);
+        assert_eq!(
+            sim.component_as::<Collector>(col).unwrap().dma_dones.len(),
+            1
+        );
     }
 
     #[test]
     fn queued_commands_run_in_order() {
         let (mut sim, dram, spm, _xbar, dma) = dma_system(64);
-        sim.component_as_mut::<Dram>(dram).unwrap().poke(0x8000_0000, &[1; 64]);
-        sim.component_as_mut::<Dram>(dram).unwrap().poke(0x8000_0040, &[2; 64]);
+        sim.component_as_mut::<Dram>(dram)
+            .unwrap()
+            .poke(0x8000_0000, &[1; 64]);
+        sim.component_as_mut::<Dram>(dram)
+            .unwrap()
+            .poke(0x8000_0040, &[2; 64]);
         let col = sim.add_component(Collector::new());
-        sim.post(dma, 0, MemMsg::DmaStart(DmaCmd::new(1, 0x8000_0000, 0x1000_0000, 64, col)));
-        sim.post(dma, 0, MemMsg::DmaStart(DmaCmd::new(2, 0x8000_0040, 0x1000_0040, 64, col)));
+        sim.post(
+            dma,
+            0,
+            MemMsg::DmaStart(DmaCmd::new(1, 0x8000_0000, 0x1000_0000, 64, col)),
+        );
+        sim.post(
+            dma,
+            0,
+            MemMsg::DmaStart(DmaCmd::new(2, 0x8000_0040, 0x1000_0040, 64, col)),
+        );
         sim.run();
         let c = sim.component_as::<Collector>(col).unwrap();
         assert_eq!(c.dma_dones.len(), 2);

@@ -134,8 +134,9 @@ impl Dram {
                 self.cfg.row_miss_cycles
             };
             self.open_row[bank] = Some(row);
-            let burst_cycles =
-                (req.size as u64).div_ceil(self.cfg.bus_bytes_per_cycle as u64).max(1);
+            let burst_cycles = (req.size as u64)
+                .div_ceil(self.cfg.bus_bytes_per_cycle as u64)
+                .max(1);
             let total = self.cfg.clock.cycles(access_cycles + burst_cycles);
             self.bank_free_at[bank] = now + total;
             self.bus_free_at = now + self.cfg.clock.cycles(burst_cycles);
@@ -146,7 +147,12 @@ impl Dram {
                 MemOp::Read => {
                     self.reads += 1;
                     let end = (off + req.size as usize).min(self.data.len());
-                    MemResp { id: req.id, addr: req.addr, op: MemOp::Read, data: Some(self.data[off..end].to_vec()) }
+                    MemResp {
+                        id: req.id,
+                        addr: req.addr,
+                        op: MemOp::Read,
+                        data: Some(self.data[off..end].to_vec()),
+                    }
                 }
                 MemOp::Write => {
                     self.writes += 1;
@@ -154,7 +160,12 @@ impl Dram {
                         let end = (off + d.len()).min(self.data.len());
                         self.data[off..end].copy_from_slice(&d[..end - off]);
                     }
-                    MemResp { id: req.id, addr: req.addr, op: MemOp::Write, data: None }
+                    MemResp {
+                        id: req.id,
+                        addr: req.addr,
+                        op: MemOp::Write,
+                        data: None,
+                    }
                 }
             };
             ctx.send(req.reply_to, total, MemMsg::Resp(resp));
@@ -215,7 +226,11 @@ mod tests {
         let mut sim: Simulation<MemMsg> = Simulation::new();
         let dram = sim.add_component(Dram::new("d", DramConfig::default(), 0, 1 << 16));
         let col = sim.add_component(Collector::new());
-        sim.post(dram, 0, MemMsg::Req(MemReq::write(1, 0x100, vec![5; 8], col)));
+        sim.post(
+            dram,
+            0,
+            MemMsg::Req(MemReq::write(1, 0x100, vec![5; 8], col)),
+        );
         sim.run();
         let c = sim.component_as::<Collector>(col).unwrap();
         // First access is a row miss: 38 + 1 burst cycle = 39 cycles.
@@ -258,8 +273,16 @@ mod tests {
         let mut sim: Simulation<MemMsg> = Simulation::new();
         let dram = sim.add_component(Dram::new("d", DramConfig::default(), 0x8000_0000, 4096));
         let col = sim.add_component(Collector::new());
-        sim.post(dram, 0, MemMsg::Req(MemReq::write(1, 0x8000_0010, vec![1, 2, 3, 4], col)));
-        sim.post(dram, 200_000, MemMsg::Req(MemReq::read(2, 0x8000_0010, 4, col)));
+        sim.post(
+            dram,
+            0,
+            MemMsg::Req(MemReq::write(1, 0x8000_0010, vec![1, 2, 3, 4], col)),
+        );
+        sim.post(
+            dram,
+            200_000,
+            MemMsg::Req(MemReq::read(2, 0x8000_0010, 4, col)),
+        );
         sim.run();
         let c = sim.component_as::<Collector>(col).unwrap();
         assert_eq!(c.resps[1].data.as_deref(), Some(&[1u8, 2, 3, 4][..]));

@@ -71,7 +71,11 @@ impl Component<MemMsg> for MmrBlock {
         };
         let offset = req.addr - self.base;
         let index = (offset / 8) as usize;
-        assert!(index < self.regs.len(), "{}: MMR index {index} out of range", self.name);
+        assert!(
+            index < self.regs.len(),
+            "{}: MMR index {index} out of range",
+            self.name
+        );
         let lat = self.clock.cycles(1);
         match req.op {
             MemOp::Read => {
@@ -95,7 +99,12 @@ impl Component<MemMsg> for MmrBlock {
                 }
                 self.regs[index] = u64::from_le_bytes(bytes);
                 let value = self.regs[index];
-                let resp = MemResp { id: req.id, addr: req.addr, op: MemOp::Write, data: None };
+                let resp = MemResp {
+                    id: req.id,
+                    addr: req.addr,
+                    op: MemOp::Write,
+                    data: None,
+                };
                 ctx.send(req.reply_to, lat, MemMsg::Resp(resp));
                 if let Some(owner) = self.owner {
                     ctx.send(owner, lat, MemMsg::Doorbell { offset, value });
@@ -105,7 +114,10 @@ impl Component<MemMsg> for MmrBlock {
     }
 
     fn stats(&self) -> Vec<(String, f64)> {
-        vec![("reads".into(), self.reads as f64), ("writes".into(), self.writes as f64)]
+        vec![
+            ("reads".into(), self.reads as f64),
+            ("writes".into(), self.writes as f64),
+        ]
     }
 }
 
@@ -142,7 +154,12 @@ mod tests {
         sim.post(
             mmr,
             0,
-            MemMsg::Req(MemReq::write(1, 0x4010, 0xDEAD_BEEFu64.to_le_bytes().to_vec(), col)),
+            MemMsg::Req(MemReq::write(
+                1,
+                0x4010,
+                0xDEAD_BEEFu64.to_le_bytes().to_vec(),
+                col,
+            )),
         );
         sim.post(mmr, 10_000, MemMsg::Req(MemReq::read(2, 0x4010, 8, col)));
         sim.run();
@@ -158,8 +175,16 @@ mod tests {
         let mut sim: Simulation<MemMsg> = Simulation::new();
         let mmr = sim.add_component(MmrBlock::new("mmr", 0x0, 2, None));
         let col = sim.add_component(Collector::new());
-        sim.post(mmr, 0, MemMsg::Req(MemReq::write(1, 0x0, vec![0xFF; 8], col)));
-        sim.post(mmr, 10_000, MemMsg::Req(MemReq::write(2, 0x0, vec![0x00, 0x00, 0x00, 0x00], col)));
+        sim.post(
+            mmr,
+            0,
+            MemMsg::Req(MemReq::write(1, 0x0, vec![0xFF; 8], col)),
+        );
+        sim.post(
+            mmr,
+            10_000,
+            MemMsg::Req(MemReq::write(2, 0x0, vec![0x00, 0x00, 0x00, 0x00], col)),
+        );
         sim.run();
         let m = sim.component_as::<MmrBlock>(mmr).unwrap();
         assert_eq!(m.reg(0), 0xFFFF_FFFF_0000_0000);

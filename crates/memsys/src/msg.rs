@@ -31,13 +31,27 @@ pub struct MemReq {
 impl MemReq {
     /// A read request.
     pub fn read(id: u64, addr: u64, size: u32, reply_to: CompId) -> Self {
-        MemReq { id, addr, size, op: MemOp::Read, data: None, reply_to }
+        MemReq {
+            id,
+            addr,
+            size,
+            op: MemOp::Read,
+            data: None,
+            reply_to,
+        }
     }
 
     /// A write request.
     pub fn write(id: u64, addr: u64, data: Vec<u8>, reply_to: CompId) -> Self {
         let size = data.len() as u32;
-        MemReq { id, addr, size, op: MemOp::Write, data: Some(data), reply_to }
+        MemReq {
+            id,
+            addr,
+            size,
+            op: MemOp::Write,
+            data: Some(data),
+            reply_to,
+        }
     }
 }
 

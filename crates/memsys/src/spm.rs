@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use salam_obs::{SharedTrace, TrackId};
 use sim_core::{ClockDomain, Component, Ctx, Frequency};
 
 use crate::msg::{MemMsg, MemOp, MemReq, MemResp};
@@ -67,6 +68,8 @@ pub struct Scratchpad {
     busy_cycles: u64,
     conflict_stalls: u64,
     max_queue: usize,
+    trace: SharedTrace,
+    track: Option<TrackId>,
 }
 
 impl Scratchpad {
@@ -84,7 +87,18 @@ impl Scratchpad {
             busy_cycles: 0,
             conflict_stalls: 0,
             max_queue: 0,
+            trace: SharedTrace::disabled(),
+            track: None,
         }
+    }
+
+    /// Attaches a trace sink; queue depth becomes a counter on an
+    /// `spm.{name}` track and bank conflicts show up as instants.
+    pub fn set_trace(&mut self, trace: SharedTrace) {
+        self.track = trace
+            .is_enabled()
+            .then(|| trace.track(&format!("spm.{}", self.name)));
+        self.trace = trace;
     }
 
     /// Base address.
@@ -150,7 +164,12 @@ impl Scratchpad {
                     let end = (off + d.len()).min(self.data.len());
                     self.data[off..end].copy_from_slice(&d[..end - off]);
                 }
-                MemResp { id: req.id, addr: req.addr, op: MemOp::Write, data: None }
+                MemResp {
+                    id: req.id,
+                    addr: req.addr,
+                    op: MemOp::Write,
+                    data: None,
+                }
             }
         };
         let delay = self.cfg.clock.cycles(self.cfg.latency_cycles);
@@ -208,6 +227,9 @@ impl Component<MemMsg> for Scratchpad {
                     } else {
                         if !bank_ok {
                             self.conflict_stalls += 1;
+                            if let Some(t) = self.track {
+                                self.trace.instant(t, "bank_conflict", ctx.now());
+                            }
                         }
                         rest.push_back(req);
                         // Keep order for everything behind the blocked one.
@@ -220,6 +242,10 @@ impl Component<MemMsg> for Scratchpad {
                 self.queue = rest;
                 for req in serviced {
                     self.service(req, ctx);
+                }
+                if let Some(t) = self.track {
+                    self.trace
+                        .counter(t, "queue_depth", ctx.now(), self.queue.len() as f64);
                 }
                 if !self.queue.is_empty() {
                     self.schedule_tick(ctx);
@@ -258,7 +284,11 @@ mod tests {
     #[test]
     fn write_then_read_roundtrip() {
         let (mut sim, spm, col) = setup(ScratchpadConfig::default());
-        sim.post(spm, 0, MemMsg::Req(MemReq::write(1, 0x1010, vec![9, 8, 7, 6], col)));
+        sim.post(
+            spm,
+            0,
+            MemMsg::Req(MemReq::write(1, 0x1010, vec![9, 8, 7, 6], col)),
+        );
         sim.post(spm, 2_000, MemMsg::Req(MemReq::read(2, 0x1010, 4, col)));
         sim.run();
         let c = collector(&sim, col);

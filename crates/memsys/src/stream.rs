@@ -96,7 +96,12 @@ impl StreamBuffer {
             let req = self.waiting_reads.pop_front().expect("nonempty");
             let (data, _last, producer) = self.fifo.pop_front().expect("nonempty");
             self.beats_out += 1;
-            let resp = MemResp { id: req.id, addr: req.addr, op: MemOp::Read, data: Some(data) };
+            let resp = MemResp {
+                id: req.id,
+                addr: req.addr,
+                op: MemOp::Read,
+                data: Some(data),
+            };
             let lat = self.latency();
             ctx.send(req.reply_to, lat, MemMsg::Resp(resp));
             // A slot freed: replenish the credit of the producer whose beat
@@ -116,7 +121,12 @@ impl StreamBuffer {
         self.fifo.push_back((data, false, None));
         self.beats_in += 1;
         self.max_depth = self.max_depth.max(self.fifo.len());
-        let resp = MemResp { id: req.id, addr: req.addr, op: MemOp::Write, data: None };
+        let resp = MemResp {
+            id: req.id,
+            addr: req.addr,
+            op: MemOp::Write,
+            data: None,
+        };
         let lat = self.latency();
         ctx.send(req.reply_to, lat, MemMsg::Resp(resp));
         self.pop_to_reader(ctx);
@@ -191,7 +201,14 @@ mod tests {
         let col = sim.add_component(Collector::new());
         // Read first, data pushed later.
         sim.post(buf, 0, MemMsg::Req(MemReq::read(1, 0x0, 8, col)));
-        sim.post(buf, 50_000, MemMsg::StreamPush { data: vec![1, 2, 3, 4, 5, 6, 7, 8], last: false });
+        sim.post(
+            buf,
+            50_000,
+            MemMsg::StreamPush {
+                data: vec![1, 2, 3, 4, 5, 6, 7, 8],
+                last: false,
+            },
+        );
         sim.run();
         let c = sim.component_as::<Collector>(col).unwrap();
         assert_eq!(c.resps.len(), 1);
@@ -201,20 +218,35 @@ mod tests {
 
     #[test]
     fn write_blocks_when_full() {
-        let cfg = StreamBufferConfig { capacity_beats: 2, ..Default::default() };
+        let cfg = StreamBufferConfig {
+            capacity_beats: 2,
+            ..Default::default()
+        };
         let mut sim: Simulation<MemMsg> = Simulation::new();
         let buf = sim.add_component(StreamBuffer::new("fifo", cfg));
         let col = sim.add_component(Collector::new());
         for i in 0..3 {
-            sim.post(buf, 0, MemMsg::Req(MemReq::write(i, 0x0, vec![i as u8; 8], col)));
+            sim.post(
+                buf,
+                0,
+                MemMsg::Req(MemReq::write(i, 0x0, vec![i as u8; 8], col)),
+            );
         }
         // Third write's ack only arrives after a pop frees a slot.
         sim.post(buf, 100_000, MemMsg::Req(MemReq::read(10, 0x0, 8, col)));
         sim.run();
         let c = sim.component_as::<Collector>(col).unwrap();
         assert_eq!(c.resps.len(), 4);
-        let third_ack = c.resps.iter().zip(&c.resp_ticks).find(|(r, _)| r.id == 2).unwrap();
-        assert!(*third_ack.1 >= 100_000, "blocked write acked only after pop");
+        let third_ack = c
+            .resps
+            .iter()
+            .zip(&c.resp_ticks)
+            .find(|(r, _)| r.id == 2)
+            .unwrap();
+        assert!(
+            *third_ack.1 >= 100_000,
+            "blocked write acked only after pop"
+        );
     }
 
     #[test]
@@ -223,14 +255,25 @@ mod tests {
         let buf = sim.add_component(StreamBuffer::new("fifo", StreamBufferConfig::default()));
         let col = sim.add_component(Collector::new());
         for i in 0..4u8 {
-            sim.post(buf, 0, MemMsg::StreamPush { data: vec![i; 8], last: i == 3 });
+            sim.post(
+                buf,
+                0,
+                MemMsg::StreamPush {
+                    data: vec![i; 8],
+                    last: i == 3,
+                },
+            );
         }
         for i in 0..4 {
             sim.post(buf, 10_000, MemMsg::Req(MemReq::read(i, 0x0, 8, col)));
         }
         sim.run();
         let c = sim.component_as::<Collector>(col).unwrap();
-        let seq: Vec<u8> = c.resps.iter().map(|r| r.data.as_ref().unwrap()[0]).collect();
+        let seq: Vec<u8> = c
+            .resps
+            .iter()
+            .map(|r| r.data.as_ref().unwrap()[0])
+            .collect();
         assert_eq!(seq, vec![0, 1, 2, 3]);
     }
 
@@ -241,7 +284,15 @@ mod tests {
         let producer = sim.add_component(Collector::new());
         let consumer = sim.add_component(Collector::new());
         // Producer pushes one beat (sender is recorded), consumer pops it.
-        sim.post_from(producer, buf, 0, MemMsg::StreamPush { data: vec![9; 8], last: false });
+        sim.post_from(
+            producer,
+            buf,
+            0,
+            MemMsg::StreamPush {
+                data: vec![9; 8],
+                last: false,
+            },
+        );
         sim.post(buf, 10_000, MemMsg::Req(MemReq::read(1, 0, 8, consumer)));
         sim.run();
         // Producer received one credit back. Credits arrive as StreamCredit,

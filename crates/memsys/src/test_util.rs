@@ -70,7 +70,11 @@ impl Component<MemMsg> for Requester {
         let me = ctx.self_id();
         match msg {
             MemMsg::Start => {
-                ctx.send(self.target, 0, MemMsg::Req(MemReq::write(1, 0x40, vec![0xAB, 0xCD, 0xEF, 0x01], me)));
+                ctx.send(
+                    self.target,
+                    0,
+                    MemMsg::Req(MemReq::write(1, 0x40, vec![0xAB, 0xCD, 0xEF, 0x01], me)),
+                );
             }
             MemMsg::Resp(r) if r.id == 1 => {
                 ctx.send(self.target, 0, MemMsg::Req(MemReq::read(2, 0x40, 4, me)));

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use salam_obs::{SharedTrace, TrackId};
 use sim_core::{ClockDomain, CompId, Component, Ctx};
 
 use crate::addr::AddrMap;
@@ -27,6 +28,8 @@ pub struct Xbar {
     forwarded: u64,
     bytes: u64,
     contended_cycles: u64,
+    trace: SharedTrace,
+    track: Option<TrackId>,
 }
 
 impl Xbar {
@@ -45,6 +48,8 @@ impl Xbar {
             forwarded: 0,
             bytes: 0,
             contended_cycles: 0,
+            trace: SharedTrace::disabled(),
+            track: None,
         }
     }
 
@@ -52,6 +57,15 @@ impl Xbar {
     pub fn with_clock(mut self, clock: ClockDomain) -> Self {
         self.clock = clock;
         self
+    }
+
+    /// Attaches a trace sink; in-flight depth becomes a counter on an
+    /// `xbar.{name}` track and fabric contention shows up as instants.
+    pub fn set_trace(&mut self, trace: SharedTrace) {
+        self.track = trace
+            .is_enabled()
+            .then(|| trace.track(&format!("xbar.{}", self.name)));
+        self.trace = trace;
     }
 
     /// Total requests forwarded.
@@ -75,10 +89,19 @@ impl Component<MemMsg> for Xbar {
                 // parallel; only transfers wider than the fabric (DMA
                 // bursts) serialize for their extra beats. Endpoint
                 // contention is modeled at the endpoints themselves.
-                let extra_beats = (req.size as u64).div_ceil(self.width_bytes as u64).saturating_sub(1);
-                let start = if extra_beats > 0 { self.busy_until.max(ctx.now()) } else { ctx.now() };
+                let extra_beats = (req.size as u64)
+                    .div_ceil(self.width_bytes as u64)
+                    .saturating_sub(1);
+                let start = if extra_beats > 0 {
+                    self.busy_until.max(ctx.now())
+                } else {
+                    ctx.now()
+                };
                 if start > ctx.now() {
                     self.contended_cycles += (start - ctx.now()) / self.clock.period();
+                    if let Some(t) = self.track {
+                        self.trace.instant(t, "contended", ctx.now());
+                    }
                 }
                 if extra_beats > 0 {
                     self.busy_until = start + self.clock.cycles(extra_beats);
@@ -90,15 +113,34 @@ impl Component<MemMsg> for Xbar {
                 self.inflight.insert(my_id, (req.id, req.reply_to));
                 self.forwarded += 1;
                 self.bytes += req.size as u64;
-                let fwd = MemReq { id: my_id, reply_to: ctx.self_id(), ..req };
+                if let Some(t) = self.track {
+                    self.trace
+                        .counter(t, "inflight", ctx.now(), self.inflight.len() as f64);
+                }
+                let fwd = MemReq {
+                    id: my_id,
+                    reply_to: ctx.self_id(),
+                    ..req
+                };
                 ctx.send(dst, delay, MemMsg::Req(fwd));
             }
             MemMsg::Resp(resp) => {
                 let Some((orig_id, orig_to)) = self.inflight.remove(&resp.id) else {
                     panic!("{}: response for unknown request {}", self.name, resp.id);
                 };
-                let back = MemResp { id: orig_id, ..resp };
-                ctx.send(orig_to, self.clock.cycles(self.latency_cycles), MemMsg::Resp(back));
+                if let Some(t) = self.track {
+                    self.trace
+                        .counter(t, "inflight", ctx.now(), self.inflight.len() as f64);
+                }
+                let back = MemResp {
+                    id: orig_id,
+                    ..resp
+                };
+                ctx.send(
+                    orig_to,
+                    self.clock.cycles(self.latency_cycles),
+                    MemMsg::Resp(back),
+                );
             }
             other => debug_assert!(false, "{}: unexpected message {other:?}", self.name),
         }
@@ -123,14 +165,28 @@ mod tests {
     #[test]
     fn routes_to_correct_target_and_back() {
         let mut sim: Simulation<MemMsg> = Simulation::new();
-        let spm_a = sim.add_component(Scratchpad::new("a", ScratchpadConfig::default(), 0x0, 0x100));
-        let spm_b = sim.add_component(Scratchpad::new("b", ScratchpadConfig::default(), 0x100, 0x100));
+        let spm_a = sim.add_component(Scratchpad::new(
+            "a",
+            ScratchpadConfig::default(),
+            0x0,
+            0x100,
+        ));
+        let spm_b = sim.add_component(Scratchpad::new(
+            "b",
+            ScratchpadConfig::default(),
+            0x100,
+            0x100,
+        ));
         let mut map = AddrMap::new();
         map.add(0x0, 0x100, spm_a);
         map.add(0x100, 0x200, spm_b);
         let xbar = sim.add_component(Xbar::new("x", map, 1, 8));
         let col = sim.add_component(Collector::new());
-        sim.post(xbar, 0, MemMsg::Req(MemReq::write(1, 0x110, vec![7, 7], col)));
+        sim.post(
+            xbar,
+            0,
+            MemMsg::Req(MemReq::write(1, 0x110, vec![7, 7], col)),
+        );
         sim.post(xbar, 10_000, MemMsg::Req(MemReq::read(2, 0x110, 2, col)));
         sim.run();
         let c = sim.component_as::<Collector>(col).unwrap();
@@ -146,7 +202,12 @@ mod tests {
     #[test]
     fn hop_latency_added_both_ways() {
         let mut sim: Simulation<MemMsg> = Simulation::new();
-        let spm = sim.add_component(Scratchpad::new("s", ScratchpadConfig::default(), 0x0, 0x100));
+        let spm = sim.add_component(Scratchpad::new(
+            "s",
+            ScratchpadConfig::default(),
+            0x0,
+            0x100,
+        ));
         let mut map = AddrMap::new();
         map.add(0x0, 0x100, spm);
         let xbar = sim.add_component(Xbar::new("x", map, 2, 8));

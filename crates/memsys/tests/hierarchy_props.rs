@@ -1,7 +1,8 @@
 //! Property tests: the timed memory hierarchy is functionally equivalent to
-//! a flat memory under arbitrary request interleavings.
+//! a flat memory under arbitrary request interleavings. Interleavings come
+//! from the in-tree seeded-case harness.
 
-use proptest::prelude::*;
+use salam_obs::det::{check_cases, SplitMix64};
 
 use memsys::{Cache, CacheConfig, Dram, DramConfig, MemMsg, MemOp, MemReq};
 use sim_core::Simulation;
@@ -12,11 +13,21 @@ enum Access {
     Write { addr: u64, byte: u8 },
 }
 
-fn access_strategy() -> impl Strategy<Value = Access> {
-    prop_oneof![
-        (0u64..2048).prop_map(|a| Access::Read { addr: a * 4 }),
-        (0u64..2048, any::<u8>()).prop_map(|(a, byte)| Access::Write { addr: a * 4, byte }),
-    ]
+fn gen_accesses(g: &mut SplitMix64) -> Vec<Access> {
+    let n = g.range_usize(1, 80);
+    (0..n)
+        .map(|_| {
+            let addr = g.range_u64(0, 2048) * 4;
+            if g.gen_bool(0.5) {
+                Access::Read { addr }
+            } else {
+                Access::Write {
+                    addr,
+                    byte: g.next_u32() as u8,
+                }
+            }
+        })
+        .collect()
 }
 
 fn run_hierarchy(cfg: CacheConfig, accesses: &[Access]) -> (Vec<(u64, u8)>, Vec<u8>) {
@@ -33,7 +44,11 @@ fn run_hierarchy(cfg: CacheConfig, accesses: &[Access]) -> (Vec<(u64, u8)>, Vec<
                 sim.post(cache, t, MemMsg::Req(MemReq::read(i as u64, *addr, 4, col)));
             }
             Access::Write { addr, byte } => {
-                sim.post(cache, t, MemMsg::Req(MemReq::write(i as u64, *addr, vec![*byte; 4], col)));
+                sim.post(
+                    cache,
+                    t,
+                    MemMsg::Req(MemReq::write(i as u64, *addr, vec![*byte; 4], col)),
+                );
             }
         }
     }
@@ -49,14 +64,18 @@ fn run_hierarchy(cfg: CacheConfig, accesses: &[Access]) -> (Vec<(u64, u8)>, Vec<
         );
     }
     sim.run();
-    let c = sim.component_as::<memsys::test_util::Collector>(col).unwrap();
+    let c = sim
+        .component_as::<memsys::test_util::Collector>(col)
+        .unwrap();
     let read_results: Vec<(u64, u8)> = c
         .resps
         .iter()
         .filter(|r| r.op == MemOp::Read)
         .map(|r| (r.id, r.data.as_ref().unwrap()[0]))
         .collect();
-    let c2 = sim.component_as::<memsys::test_util::Collector>(col2).unwrap();
+    let c2 = sim
+        .component_as::<memsys::test_util::Collector>(col2)
+        .unwrap();
     let mut final_mem = vec![0u8; 2048];
     for r in &c2.resps {
         final_mem[(r.addr / 4) as usize] = r.data.as_ref().unwrap()[0];
@@ -76,32 +95,34 @@ fn run_flat(accesses: &[Access]) -> (Vec<(u64, u8)>, Vec<u8>) {
     (reads, mem)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// A tiny thrashing cache still returns exactly the flat-memory values.
-    #[test]
-    fn tiny_cache_is_functionally_transparent(
-        accesses in prop::collection::vec(access_strategy(), 1..80),
-    ) {
-        let cfg = CacheConfig { size_bytes: 256, assoc: 1, ..CacheConfig::default() };
+/// A tiny thrashing cache still returns exactly the flat-memory values.
+#[test]
+fn tiny_cache_is_functionally_transparent() {
+    check_cases("tiny_cache_is_functionally_transparent", 32, 0x31, |g| {
+        let accesses = gen_accesses(g);
+        let cfg = CacheConfig {
+            size_bytes: 256,
+            assoc: 1,
+            ..CacheConfig::default()
+        };
         let (got_reads, got_mem) = run_hierarchy(cfg, &accesses);
         let (want_reads, want_mem) = run_flat(&accesses);
-        prop_assert_eq!(got_reads, want_reads);
-        prop_assert_eq!(got_mem, want_mem);
-    }
+        assert_eq!(got_reads, want_reads);
+        assert_eq!(got_mem, want_mem);
+    });
+}
 
-    /// A large associative cache is equally transparent.
-    #[test]
-    fn large_cache_is_functionally_transparent(
-        accesses in prop::collection::vec(access_strategy(), 1..80),
-    ) {
+/// A large associative cache is equally transparent.
+#[test]
+fn large_cache_is_functionally_transparent() {
+    check_cases("large_cache_is_functionally_transparent", 32, 0x32, |g| {
+        let accesses = gen_accesses(g);
         let cfg = CacheConfig::default().with_size(64 * 1024);
         let (got_reads, got_mem) = run_hierarchy(cfg, &accesses);
         let (want_reads, want_mem) = run_flat(&accesses);
-        prop_assert_eq!(got_reads, want_reads);
-        prop_assert_eq!(got_mem, want_mem);
-    }
+        assert_eq!(got_reads, want_reads);
+        assert_eq!(got_mem, want_mem);
+    });
 }
 
 #[test]
@@ -128,7 +149,9 @@ fn two_level_hierarchy_composes() {
         }
     }
     sim.run();
-    let c = sim.component_as::<memsys::test_util::Collector>(col).unwrap();
+    let c = sim
+        .component_as::<memsys::test_util::Collector>(col)
+        .unwrap();
     assert_eq!(c.resps.len(), 128);
     let l1c = sim.component_as::<Cache>(l1).unwrap();
     let l2c = sim.component_as::<Cache>(l2).unwrap();

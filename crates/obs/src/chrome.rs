@@ -1,0 +1,293 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! The output is the "JSON Object Format" understood by Perfetto and
+//! `chrome://tracing`: a `traceEvents` array of `B`/`E` duration events,
+//! `i` instants and `C` counters. Every recorder track becomes a named
+//! thread; overlapping spans on one track (a pipelined engine retires many
+//! ops in flight) are fanned out onto *lanes*, one thread per lane, so each
+//! emitted thread carries a properly nested, monotonic B/E stream.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+
+use crate::trace::{SpanId, TraceEvent, TraceRecorder, TrackId};
+
+struct Span {
+    track: TrackId,
+    name: String,
+    start_ps: u64,
+    end_ps: u64,
+    seq: u64,
+}
+
+/// Escapes a string for inclusion in a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Picoseconds → microseconds (the `ts` unit of the trace_event format).
+fn ts_us(ts_ps: u64) -> f64 {
+    ts_ps as f64 / 1e6
+}
+
+/// Serialises a recorder into a Chrome trace_event JSON string.
+///
+/// Open spans (begun but never ended — e.g. an op still in flight when the
+/// run stopped) are closed at the latest timestamp seen so the B/E stream
+/// stays balanced. End events whose begin fell out of the ring buffer are
+/// dropped.
+pub fn export_chrome_json(rec: &TraceRecorder) -> String {
+    // Pair begins with ends.
+    let mut open: HashMap<SpanId, Span> = HashMap::new();
+    let mut spans: Vec<Span> = Vec::new();
+    let mut instants: Vec<(TrackId, &str, u64)> = Vec::new();
+    let mut counters: Vec<(TrackId, &str, u64, f64)> = Vec::new();
+    let mut max_ts = 0u64;
+    let mut seq = 0u64;
+    for ev in rec.events() {
+        max_ts = max_ts.max(ev.ts_ps());
+        match ev {
+            TraceEvent::Begin {
+                track,
+                span,
+                name,
+                ts_ps,
+            } => {
+                seq += 1;
+                open.insert(
+                    *span,
+                    Span {
+                        track: *track,
+                        name: name.clone(),
+                        start_ps: *ts_ps,
+                        end_ps: *ts_ps,
+                        seq,
+                    },
+                );
+            }
+            TraceEvent::End { span, ts_ps } => {
+                if let Some(mut s) = open.remove(span) {
+                    s.end_ps = (*ts_ps).max(s.start_ps);
+                    spans.push(s);
+                }
+            }
+            TraceEvent::Instant { track, name, ts_ps } => instants.push((*track, name, *ts_ps)),
+            TraceEvent::Counter {
+                track,
+                name,
+                ts_ps,
+                value,
+            } => counters.push((*track, name, *ts_ps, *value)),
+        }
+    }
+    for (_, mut s) in open.drain() {
+        s.end_ps = max_ts.max(s.start_ps);
+        spans.push(s);
+    }
+
+    // Assign spans to lanes per track: sort by (start, record order), then
+    // greedy first-fit so spans on one lane never overlap.
+    spans.sort_by_key(|s| (s.track, s.start_ps, s.seq));
+    let n_tracks = rec.tracks().len().max(1);
+    let mut lane_of: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n_tracks]; // track -> [(span idx, lane)]
+    let mut lanes_per_track: Vec<u32> = vec![1; n_tracks];
+    {
+        let mut lane_ends: Vec<Vec<u64>> = vec![Vec::new(); n_tracks];
+        for (i, s) in spans.iter().enumerate() {
+            let t = s.track.0 as usize;
+            let ends = &mut lane_ends[t];
+            let lane = match ends.iter().position(|&e| e <= s.start_ps) {
+                Some(l) => l,
+                None => {
+                    ends.push(0);
+                    ends.len() - 1
+                }
+            };
+            ends[lane] = s.end_ps.max(s.start_ps + 1);
+            lane_of[t].push((i, lane as u32));
+            lanes_per_track[t] = lanes_per_track[t].max(lane as u32 + 1);
+        }
+    }
+
+    // Dense tid layout: track 0 lanes, then track 1 lanes, ...
+    let mut tid_base: Vec<u32> = Vec::with_capacity(n_tracks);
+    let mut next_tid = 0u32;
+    for lanes in &lanes_per_track {
+        tid_base.push(next_tid);
+        next_tid += lanes;
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut emit = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+
+    // Thread-name metadata, one per lane.
+    for (t, name) in rec.tracks().iter().enumerate() {
+        for lane in 0..lanes_per_track[t] {
+            let tid = tid_base[t] + lane;
+            let label = if lane == 0 {
+                escape(name)
+            } else {
+                format!("{} #{}", escape(name), lane)
+            };
+            emit(
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{label}\"}}}}"
+                ),
+                &mut out,
+            );
+            emit(
+                format!(
+                    "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                     \"args\":{{\"sort_index\":{tid}}}}}"
+                ),
+                &mut out,
+            );
+        }
+    }
+
+    // Spans: per lane, in start order, B immediately followed later by E —
+    // each tid's event stream is balanced and time-monotonic by construction.
+    for (t, assignments) in lane_of.iter().enumerate() {
+        let cat = escape(rec.track_name(TrackId(t as u32)));
+        for lane in 0..lanes_per_track[t] {
+            let tid = tid_base[t] + lane;
+            for &(i, l) in assignments {
+                if l != lane {
+                    continue;
+                }
+                let s = &spans[i];
+                let name = escape(&s.name);
+                emit(
+                    format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"B\",\
+                         \"ts\":{},\"pid\":0,\"tid\":{tid}}}",
+                        ts_us(s.start_ps)
+                    ),
+                    &mut out,
+                );
+                emit(
+                    format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"E\",\
+                         \"ts\":{},\"pid\":0,\"tid\":{tid}}}",
+                        ts_us(s.end_ps)
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    // Instants on the track's first lane.
+    for (track, name, ts) in instants {
+        let tid = tid_base[track.0 as usize];
+        let cat = escape(rec.track_name(track));
+        emit(
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":0,\"tid\":{tid}}}",
+                escape(name),
+                ts_us(ts)
+            ),
+            &mut out,
+        );
+    }
+
+    // Counters are namespaced by track so same-named counters don't merge.
+    for (track, name, ts, value) in counters {
+        let full = format!("{}/{}", rec.track_name(track), name);
+        emit(
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":0,\
+                 \"args\":{{\"value\":{value}}}}}",
+                escape(&full),
+                ts_us(ts)
+            ),
+            &mut out,
+        );
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Exports the recorder to `path` as Chrome trace_event JSON.
+pub fn write_chrome_trace(rec: &TraceRecorder, path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(export_chrome_json(rec).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSink;
+
+    #[test]
+    fn overlapping_spans_land_on_distinct_lanes() {
+        let mut r = TraceRecorder::default();
+        let t = r.track("engine");
+        let a = r.begin_span(t, "fmul", 0);
+        let b = r.begin_span(t, "fadd", 500);
+        r.end_span(a, 2000);
+        r.end_span(b, 3000);
+        let json = export_chrome_json(&r);
+        // Two lanes means two thread_name records for the track.
+        assert!(json.contains("\"engine\""));
+        assert!(json.contains("engine #1"));
+    }
+
+    #[test]
+    fn open_spans_are_closed_at_max_ts() {
+        let mut r = TraceRecorder::default();
+        let t = r.track("dma");
+        let _leak = r.begin_span(t, "xfer", 100);
+        r.instant(t, "irq", 9000);
+        let json = export_chrome_json(&r);
+        let begins = json.matches("\"ph\":\"B\"").count();
+        let ends = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, 1);
+        assert_eq!(ends, 1);
+        assert!(json.contains("\"ts\":0.009"), "closed at the irq timestamp");
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut r = TraceRecorder::default();
+        let t = r.track("a\"b");
+        r.instant(t, "x\\y", 0);
+        let json = export_chrome_json(&r);
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("x\\\\y"));
+    }
+
+    #[test]
+    fn counters_are_namespaced_by_track() {
+        let mut r = TraceRecorder::default();
+        let t = r.track("spm");
+        r.counter(t, "queue_depth", 1000, 3.0);
+        let json = export_chrome_json(&r);
+        assert!(json.contains("\"spm/queue_depth\""));
+        assert!(json.contains("\"value\":3"));
+    }
+}

@@ -1,0 +1,33 @@
+//! `salam-obs` — the observability spine of the simulator.
+//!
+//! Everything in this crate is dependency-free on purpose: the workspace
+//! builds offline, and the instrumentation layer must never be the reason a
+//! simulation behaves differently. Three pieces:
+//!
+//! * [`trace`] — a [`TraceSink`] trait plus a ring-buffer [`TraceRecorder`]
+//!   collecting sim-time-stamped spans (op issue→retire, DMA transfers,
+//!   cache miss fills), instants (stalls, port rejects, interrupts) and
+//!   counter samples. The [`SharedTrace`] handle is what components hold;
+//!   a disabled handle costs one branch per hook.
+//! * [`chrome`] — serialises a recorder into Chrome `trace_event` JSON so
+//!   any run opens in Perfetto or `chrome://tracing`, one track per
+//!   component, overlapping spans fanned out onto lanes.
+//! * [`registry`] — a [`MetricsRegistry`] of dotted-path metrics
+//!   (`cluster0.gemm.engine.stall_cycles`) unifying component stats,
+//!   engine stats and memsys counters behind one JSON/table dump.
+//!
+//! Two support modules ride along: [`det`] (a SplitMix64 PRNG and a tiny
+//! seeded-case property harness, replacing the `rand`/`proptest` crates.io
+//! dependencies) and [`json`] (a minimal JSON reader the golden tests use
+//! to validate exported traces).
+
+pub mod chrome;
+pub mod det;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use chrome::{export_chrome_json, write_chrome_trace};
+pub use det::SplitMix64;
+pub use registry::MetricsRegistry;
+pub use trace::{SharedTrace, SpanId, TraceEvent, TraceRecorder, TraceSink, TrackId};

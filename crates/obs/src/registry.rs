@@ -1,0 +1,178 @@
+//! A hierarchical metrics registry with dotted-path names.
+//!
+//! One flat map, dot-separated paths (`cluster0.gemm.engine.stall_cycles`),
+//! insertion order preserved so dumps read in the order components reported.
+//! Lookups and overwrites are O(1) via a side index — components export
+//! hundreds of stats per run and the registry is rebuilt per report.
+
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, f64)>,
+    index: HashMap<String, usize>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Sets `path` to `value`, overwriting in place (insertion order is
+    /// kept from the first set).
+    pub fn set(&mut self, path: &str, value: f64) {
+        match self.index.get(path) {
+            Some(&i) => self.entries[i].1 = value,
+            None => {
+                self.index.insert(path.to_string(), self.entries.len());
+                self.entries.push((path.to_string(), value));
+            }
+        }
+    }
+
+    /// Adds `value` to `path`, creating it at zero if absent.
+    pub fn add(&mut self, path: &str, value: f64) {
+        match self.index.get(path) {
+            Some(&i) => self.entries[i].1 += value,
+            None => self.set(path, value),
+        }
+    }
+
+    pub fn get(&self, path: &str) -> Option<f64> {
+        self.index.get(path).map(|&i| self.entries[i].1)
+    }
+
+    /// Merges `(name, value)` pairs under `prefix` (joined with a dot), the
+    /// bulk-import path used by component/engine stat exports.
+    pub fn merge_prefixed<I, S>(&mut self, prefix: &str, pairs: I)
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: AsRef<str>,
+    {
+        for (name, value) in pairs {
+            if prefix.is_empty() {
+                self.set(name.as_ref(), value);
+            } else {
+                self.set(&format!("{prefix}.{}", name.as_ref()), value);
+            }
+        }
+    }
+
+    /// All metrics in insertion order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Metrics under `prefix.` (or exactly `prefix`), insertion order.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, f64)> {
+        self.entries.iter().filter_map(move |(k, v)| {
+            let rest = k.strip_prefix(prefix)?;
+            if rest.is_empty() || rest.starts_with('.') {
+                Some((k.as_str(), *v))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// A flat JSON object, `{"path": value, ...}`, insertion order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n  \"{}\": {}", escape(k), fmt_value(*v)));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// A two-column, dot-aligned text table for terminal dumps.
+    pub fn to_table(&self) -> String {
+        let width = self.entries.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            out.push_str(&format!("{k:<width$}  {}\n", fmt_value(*v)));
+        }
+        out
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no NaN/Infinity; null is the conventional stand-in.
+        "null".to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_overwrites_in_place_preserving_order() {
+        let mut r = MetricsRegistry::new();
+        r.set("a.x", 1.0);
+        r.set("a.y", 2.0);
+        r.set("a.x", 3.0);
+        assert_eq!(r.get("a.x"), Some(3.0));
+        let keys: Vec<_> = r.entries().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["a.x", "a.y"]);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut r = MetricsRegistry::new();
+        r.add("hits", 2.0);
+        r.add("hits", 3.0);
+        assert_eq!(r.get("hits"), Some(5.0));
+    }
+
+    #[test]
+    fn merge_prefixed_joins_with_dots() {
+        let mut r = MetricsRegistry::new();
+        r.merge_prefixed(
+            "cluster0.gemm",
+            vec![("engine.stall_cycles".to_string(), 7.0)],
+        );
+        assert_eq!(r.get("cluster0.gemm.engine.stall_cycles"), Some(7.0));
+        r.merge_prefixed("", vec![("top".to_string(), 1.0)]);
+        assert_eq!(r.get("top"), Some(1.0));
+    }
+
+    #[test]
+    fn with_prefix_respects_path_boundaries() {
+        let mut r = MetricsRegistry::new();
+        r.set("eng.x", 1.0);
+        r.set("engine.y", 2.0);
+        let got: Vec<_> = r.with_prefix("eng").map(|(k, _)| k).collect();
+        assert_eq!(got, ["eng.x"]);
+    }
+
+    #[test]
+    fn json_dump_is_valid_and_ordered() {
+        let mut r = MetricsRegistry::new();
+        r.set("b", 2.0);
+        r.set("a", 1.5);
+        let j = r.to_json();
+        let parsed = crate::json::parse(&j).unwrap();
+        let obj = parsed.as_object().unwrap();
+        assert_eq!(obj[0].0, "b");
+        assert_eq!(obj[1].1.as_f64(), Some(1.5));
+    }
+}

@@ -1,0 +1,369 @@
+//! Trace collection: sinks, the ring-buffer recorder, and the shared handle.
+//!
+//! Timestamps are simulation **picoseconds** throughout (the sim-core tick
+//! unit); the Chrome exporter converts to microseconds on the way out.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A named event track, usually one per component ("engine.ops",
+/// "cache.l1", "dma0"). Obtained from [`TraceSink::track`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrackId(pub u32);
+
+/// Identifies an open span so the matching end event can be paired with its
+/// begin. `SpanId(0)` is the invalid/disabled sentinel and is ignored by
+/// [`TraceSink::end_span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    pub const INVALID: SpanId = SpanId(0);
+
+    pub fn is_valid(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// One recorded trace event. Kept deliberately flat so the ring buffer is a
+/// plain `VecDeque` with no per-event allocation beyond the name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A span opened on `track` at `ts_ps`.
+    Begin {
+        track: TrackId,
+        span: SpanId,
+        name: String,
+        ts_ps: u64,
+    },
+    /// The span identified by `span` closed at `ts_ps`.
+    End { span: SpanId, ts_ps: u64 },
+    /// A point-in-time marker (stall, port reject, interrupt).
+    Instant {
+        track: TrackId,
+        name: String,
+        ts_ps: u64,
+    },
+    /// A counter sample (queue depth, outstanding requests).
+    Counter {
+        track: TrackId,
+        name: String,
+        ts_ps: u64,
+        value: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The timestamp of the event, in picoseconds.
+    pub fn ts_ps(&self) -> u64 {
+        match self {
+            TraceEvent::Begin { ts_ps, .. }
+            | TraceEvent::End { ts_ps, .. }
+            | TraceEvent::Instant { ts_ps, .. }
+            | TraceEvent::Counter { ts_ps, .. } => *ts_ps,
+        }
+    }
+}
+
+/// Destination for trace events. The default methods are all no-ops, so a
+/// unit struct is a valid (and free) null sink.
+pub trait TraceSink {
+    /// Whether events will actually be kept. Hooks should early-out on
+    /// `false` before formatting names or computing timestamps.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Registers (or looks up) a named track.
+    fn track(&mut self, _name: &str) -> TrackId {
+        TrackId(0)
+    }
+
+    /// Opens a span; the returned id is passed to [`TraceSink::end_span`].
+    fn begin_span(&mut self, _track: TrackId, _name: &str, _ts_ps: u64) -> SpanId {
+        SpanId::INVALID
+    }
+
+    /// Closes a previously opened span. Invalid ids are ignored.
+    fn end_span(&mut self, _span: SpanId, _ts_ps: u64) {}
+
+    /// Records an instantaneous marker.
+    fn instant(&mut self, _track: TrackId, _name: &str, _ts_ps: u64) {}
+
+    /// Records a counter sample.
+    fn counter(&mut self, _track: TrackId, _name: &str, _ts_ps: u64, _value: f64) {}
+}
+
+/// The sink used when tracing is off: every hook is a no-op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// Ring-buffer recorder. Bounded: once `capacity` events are held, the
+/// oldest are dropped (and counted) so a long run cannot exhaust memory.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    tracks: Vec<String>,
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    next_span: u64,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceRecorder {
+    /// Default ring capacity: roomy enough for the bundled experiments while
+    /// staying well under a hundred MB of event storage.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    pub fn new(capacity: usize) -> Self {
+        TraceRecorder {
+            tracks: Vec::new(),
+            events: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            next_span: 1,
+        }
+    }
+
+    /// Track names, indexed by `TrackId`.
+    pub fn tracks(&self) -> &[String] {
+        &self.tracks
+    }
+
+    /// The name of one track.
+    pub fn track_name(&self, track: TrackId) -> &str {
+        self.tracks
+            .get(track.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted from the ring because the run outgrew `capacity`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn track(&mut self, name: &str) -> TrackId {
+        if let Some(i) = self.tracks.iter().position(|t| t == name) {
+            return TrackId(i as u32);
+        }
+        self.tracks.push(name.to_string());
+        TrackId((self.tracks.len() - 1) as u32)
+    }
+
+    fn begin_span(&mut self, track: TrackId, name: &str, ts_ps: u64) -> SpanId {
+        let span = SpanId(self.next_span);
+        self.next_span += 1;
+        self.push(TraceEvent::Begin {
+            track,
+            span,
+            name: name.to_string(),
+            ts_ps,
+        });
+        span
+    }
+
+    fn end_span(&mut self, span: SpanId, ts_ps: u64) {
+        if span.is_valid() {
+            self.push(TraceEvent::End { span, ts_ps });
+        }
+    }
+
+    fn instant(&mut self, track: TrackId, name: &str, ts_ps: u64) {
+        self.push(TraceEvent::Instant {
+            track,
+            name: name.to_string(),
+            ts_ps,
+        });
+    }
+
+    fn counter(&mut self, track: TrackId, name: &str, ts_ps: u64, value: f64) {
+        self.push(TraceEvent::Counter {
+            track,
+            name: name.to_string(),
+            ts_ps,
+            value,
+        });
+    }
+}
+
+/// The handle instrumented components hold. Cloning shares the underlying
+/// recorder (the simulator is single-threaded, so `Rc<RefCell<..>>` is the
+/// right tool). A disabled handle is `None` inside: every hook is one
+/// branch and no formatting or allocation happens.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTrace {
+    inner: Option<Rc<RefCell<TraceRecorder>>>,
+}
+
+impl SharedTrace {
+    /// A handle that records nothing. This is the default everywhere.
+    pub fn disabled() -> Self {
+        SharedTrace { inner: None }
+    }
+
+    /// A live handle backed by a fresh default-capacity recorder.
+    pub fn enabled() -> Self {
+        SharedTrace::from_recorder(TraceRecorder::default())
+    }
+
+    /// Wraps an existing recorder.
+    pub fn from_recorder(rec: TraceRecorder) -> Self {
+        SharedTrace {
+            inner: Some(Rc::new(RefCell::new(rec))),
+        }
+    }
+
+    /// `true` when events are actually collected. Hooks that need to format
+    /// names or compute timestamps should check this first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn track(&self, name: &str) -> TrackId {
+        match &self.inner {
+            Some(rc) => rc.borrow_mut().track(name),
+            None => TrackId(0),
+        }
+    }
+
+    #[inline]
+    pub fn begin_span(&self, track: TrackId, name: &str, ts_ps: u64) -> SpanId {
+        match &self.inner {
+            Some(rc) => rc.borrow_mut().begin_span(track, name, ts_ps),
+            None => SpanId::INVALID,
+        }
+    }
+
+    #[inline]
+    pub fn end_span(&self, span: SpanId, ts_ps: u64) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().end_span(span, ts_ps);
+        }
+    }
+
+    #[inline]
+    pub fn instant(&self, track: TrackId, name: &str, ts_ps: u64) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().instant(track, name, ts_ps);
+        }
+    }
+
+    #[inline]
+    pub fn counter(&self, track: TrackId, name: &str, ts_ps: u64, value: f64) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().counter(track, name, ts_ps, value);
+        }
+    }
+
+    /// Runs `f` against the recorder, if enabled. Used by exporters.
+    pub fn with_recorder<R>(&self, f: impl FnOnce(&TraceRecorder) -> R) -> Option<R> {
+        self.inner.as_ref().map(|rc| f(&rc.borrow()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_pairs_spans_and_assigns_unique_ids() {
+        let mut r = TraceRecorder::default();
+        let t = r.track("engine");
+        let a = r.begin_span(t, "load", 0);
+        let b = r.begin_span(t, "fmul", 1000);
+        assert_ne!(a, b);
+        r.end_span(b, 3000);
+        r.end_span(a, 5000);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.track_name(t), "engine");
+    }
+
+    #[test]
+    fn track_lookup_is_idempotent() {
+        let mut r = TraceRecorder::default();
+        let a = r.track("x");
+        let b = r.track("x");
+        let c = r.track("y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let mut r = TraceRecorder::new(4);
+        let t = r.track("t");
+        for i in 0..10u64 {
+            r.instant(t, "tick", i * 100);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.events().next().unwrap().ts_ps(), 600);
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = SharedTrace::disabled();
+        assert!(!h.is_enabled());
+        let t = h.track("engine");
+        let s = h.begin_span(t, "op", 0);
+        assert!(!s.is_valid());
+        h.end_span(s, 10);
+        h.instant(t, "stall", 20);
+        h.counter(t, "depth", 30, 1.0);
+        assert!(h.with_recorder(|r| r.len()).is_none());
+    }
+
+    #[test]
+    fn shared_handle_clones_share_the_recorder() {
+        let h = SharedTrace::enabled();
+        let h2 = h.clone();
+        let t = h.track("c");
+        h2.instant(t, "irq", 42);
+        assert_eq!(h.with_recorder(|r| r.len()), Some(1));
+    }
+
+    #[test]
+    fn null_sink_ignores_everything() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        let t = s.track("t");
+        let sp = s.begin_span(t, "x", 0);
+        assert_eq!(sp, SpanId::INVALID);
+    }
+}

@@ -6,6 +6,7 @@ use hw_profile::{FuKind, HardwareProfile};
 use salam_cdfg::StaticCdfg;
 use salam_ir::interp::{eval_pure, InterpError, RtVal};
 use salam_ir::{BlockId, Function, InstId, Opcode, Type, ValueKind};
+use salam_obs::{SharedTrace, SpanId, TrackId};
 
 use crate::port::{MemAccess, MemPort};
 use crate::stats::{EngineStats, IssueClass, StallMix};
@@ -103,6 +104,17 @@ struct DynInst {
     span_resolved: bool,
     /// Cached `(addr, size)` once resolved.
     span: Option<(u64, u32)>,
+    /// Open trace span (issue → retire), invalid when tracing is off.
+    tspan: SpanId,
+}
+
+/// Trace tracks the engine emits onto, registered once at `set_trace`.
+#[derive(Debug, Clone, Copy)]
+struct TraceTracks {
+    /// One span per dynamic op, issue → retire.
+    ops: TrackId,
+    /// Scheduler events: stall/port-reject instants, queue-depth counters.
+    sched: TrackId,
 }
 
 #[derive(Debug)]
@@ -125,7 +137,7 @@ pub struct Engine {
 
     reservation: VecDeque<DynInst>,
     compute_q: Vec<(DynInst, u64, u64)>, // (op, commit cycle, fu release cycle)
-    mem_wait: HashMap<u64, DynInst>, // token -> op
+    mem_wait: HashMap<u64, DynInst>,     // token -> op
     mem_window: Vec<MemRec>,
 
     // Value/state tables indexed by uid (uids are dense and monotonic).
@@ -149,6 +161,10 @@ pub struct Engine {
     last_progress: u64,
     stats: EngineStats,
     done: bool,
+
+    trace: SharedTrace,
+    trace_tracks: Option<TraceTracks>,
+    trace_offset_ps: u64,
 }
 
 impl Engine {
@@ -198,10 +214,36 @@ impl Engine {
             last_progress: 0,
             stats,
             done: false,
+            trace: SharedTrace::disabled(),
+            trace_tracks: None,
+            trace_offset_ps: 0,
         };
         e.last_instance = vec![None; e.func.num_insts()];
         e.pending_fetch.push_back((entry, None));
         e
+    }
+
+    /// Attaches a trace sink. Each dynamic op becomes a span (issue →
+    /// retire) on the `engine.<func>.ops` track; stalls, port rejects and
+    /// queue-depth samples go to `engine.<func>.sched`. A disabled handle
+    /// (the default) keeps every hook down to a single branch.
+    pub fn set_trace(&mut self, trace: SharedTrace) {
+        self.trace_tracks = trace.is_enabled().then(|| TraceTracks {
+            ops: trace.track(&format!("engine.{}.ops", self.func.name)),
+            sched: trace.track(&format!("engine.{}.sched", self.func.name)),
+        });
+        self.trace = trace;
+    }
+
+    /// Offsets trace timestamps by `offset` picoseconds, so an engine
+    /// embedded in a full-system simulation stamps absolute sim time.
+    pub fn set_trace_offset_ps(&mut self, offset: u64) {
+        self.trace_offset_ps = offset;
+    }
+
+    #[inline]
+    fn trace_ts(&self, cycle: u64) -> u64 {
+        self.trace_offset_ps + cycle * self.cfg.clock_period_ps
     }
 
     /// The engine's statistics so far (or final, once done).
@@ -256,8 +298,11 @@ impl Engine {
         let inst_ids = self.func.block(block).insts.clone();
         for iid in inst_ids {
             let inst = self.func.inst(iid);
-            let (inst_op_is_phi, inst_has_result, inst_is_term) =
-                (inst.op == Opcode::Phi, inst.has_result(), inst.op.is_terminator());
+            let (inst_op_is_phi, inst_has_result, inst_is_term) = (
+                inst.op == Opcode::Phi,
+                inst.has_result(),
+                inst.op.is_terminator(),
+            );
             let uid = self.uid_next;
             self.uid_next += 1;
             self.values.push(None);
@@ -283,7 +328,10 @@ impl Engine {
                 let op = self.operand_of(uid, v);
                 if let Operand::Inst(def_uid) = op {
                     if !self.committed[def_uid as usize] {
-                        deps.push(Dep { uid: def_uid, kind: DepKind::Commit });
+                        deps.push(Dep {
+                            uid: def_uid,
+                            kind: DepKind::Commit,
+                        });
                     }
                 }
                 operands.push(op);
@@ -296,12 +344,18 @@ impl Engine {
                 if self.cfg.strict_register_hazards {
                     if let Some(prev) = self.last_instance[iid.index()] {
                         if !self.committed[prev as usize] {
-                            deps.push(Dep { uid: prev, kind: DepKind::Commit });
+                            deps.push(Dep {
+                                uid: prev,
+                                kind: DepKind::Commit,
+                            });
                         }
                         if let Some(readers) = self.readers_of.get(&prev) {
                             for &r in readers {
                                 if r != uid && !self.issued[r as usize] {
-                                    deps.push(Dep { uid: r, kind: DepKind::Issue });
+                                    deps.push(Dep {
+                                        uid: r,
+                                        kind: DepKind::Issue,
+                                    });
                                 }
                             }
                         }
@@ -328,9 +382,14 @@ impl Engine {
                 is_term: inst_is_term,
                 span_resolved: false,
                 span: None,
+                tspan: SpanId::INVALID,
             };
             if is_load || is_store {
-                self.mem_window.push(MemRec { uid, is_store, span: None });
+                self.mem_window.push(MemRec {
+                    uid,
+                    is_store,
+                    span: None,
+                });
             }
             self.reservation.push_back(d);
         }
@@ -355,7 +414,10 @@ impl Engine {
     fn mem_span(&self, d: &DynInst) -> Option<(u64, u32)> {
         let inst = self.func.inst(d.inst);
         let (ptr_idx, size) = if d.is_store {
-            (1, self.func.value_type(inst.operands[0]).size_bytes() as u32)
+            (
+                1,
+                self.func.value_type(inst.operands[0]).size_bytes() as u32,
+            )
         } else {
             (0, inst.ty.size_bytes() as u32)
         };
@@ -366,7 +428,9 @@ impl Engine {
     /// Memory ordering: an op may issue only when every older conflicting
     /// (or unresolved) access in the window has committed.
     fn mem_order_ok(&self, d: &DynInst) -> bool {
-        let Some((addr, size)) = d.span.or_else(|| self.mem_span(d)) else { return false };
+        let Some((addr, size)) = d.span.or_else(|| self.mem_span(d)) else {
+            return false;
+        };
         for rec in &self.mem_window {
             if rec.uid >= d.uid {
                 break;
@@ -392,14 +456,18 @@ impl Engine {
     fn store_bytes(&self, d: &DynInst) -> Vec<u8> {
         let inst = self.func.inst(d.inst);
         let ty = self.func.value_type(inst.operands[0]);
-        let v = self.operand_value(&d.operands[0]).expect("store value ready");
+        let v = self
+            .operand_value(&d.operands[0])
+            .expect("store value ready");
         encode_scalar(&ty, v)
     }
 
     fn eval_compute(&self, d: &DynInst) -> Result<Option<RtVal>, InterpError> {
         let inst = self.func.inst(d.inst);
         match inst.op {
-            Opcode::Phi => Ok(Some(self.operand_value(&d.operands[0]).expect("phi value ready"))),
+            Opcode::Phi => Ok(Some(
+                self.operand_value(&d.operands[0]).expect("phi value ready"),
+            )),
             Opcode::Br | Opcode::CondBr => Ok(None),
             Opcode::Ret => Ok(inst
                 .operands
@@ -467,11 +535,13 @@ impl Engine {
             self.values[d.uid as usize] = value;
             self.committed[d.uid as usize] = true;
             self.mem_window.retain(|r| r.uid != d.uid);
+            self.trace.end_span(d.tspan, self.trace_ts(self.cycle));
             progressed = true;
         }
 
         // 2. Compute commits.
         let cycle = self.cycle;
+        let commit_ts = self.trace_ts(cycle);
         let mut still_busy = Vec::new();
         for (mut d, commit_at, fu_release_at) in self.compute_q.drain(..) {
             if fu_release_at <= cycle {
@@ -486,6 +556,7 @@ impl Engine {
                     self.stats.reg_write_pj +=
                         self.profile.register.write_energy_pj_per_bit * d.bits as f64;
                 }
+                self.trace.end_span(d.tspan, commit_ts);
                 progressed = true;
             } else {
                 still_busy.push((d, commit_at, fu_release_at));
@@ -543,9 +614,7 @@ impl Engine {
                 let d = &mut self.reservation[idx];
                 d.deps.retain(|dep| match dep.kind {
                     DepKind::Commit => !committed[dep.uid as usize],
-                    DepKind::Issue => {
-                        !(issued[dep.uid as usize] || committed[dep.uid as usize])
-                    }
+                    DepKind::Issue => !(issued[dep.uid as usize] || committed[dep.uid as usize]),
                 });
                 d.deps.is_empty()
             };
@@ -594,12 +663,18 @@ impl Engine {
                 let (addr, size) = d.span.or_else(|| self.mem_span(d)).expect("span resolved");
                 let token = self.token_next;
                 let data = d.is_store.then(|| self.store_bytes(d));
-                let access = MemAccess { token, addr, size, is_write: d.is_store, data };
+                let access = MemAccess {
+                    token,
+                    addr,
+                    size,
+                    is_write: d.is_store,
+                    data,
+                };
                 match port.try_issue(access) {
                     Ok(()) => {
                         self.token_next += 1;
-                        let d = self.reservation.remove(idx).expect("index valid");
-                        self.register_issue(&d, &mut classes_this_cycle);
+                        let mut d = self.reservation.remove(idx).expect("index valid");
+                        d.tspan = self.register_issue(&d, &mut classes_this_cycle);
                         if d.is_store {
                             self.outstanding_writes += 1;
                             self.stats.stores += 1;
@@ -627,12 +702,15 @@ impl Engine {
             }
 
             // Compute / control issue.
-            let d = self.reservation.remove(idx).expect("index valid");
+            let mut d = self.reservation.remove(idx).expect("index valid");
             let value = match self.eval_compute(&d) {
                 Ok(v) => v,
-                Err(e) => panic!("runtime fault in @{} at cycle {}: {e}", self.func.name, cycle),
+                Err(e) => panic!(
+                    "runtime fault in @{} at cycle {}: {e}",
+                    self.func.name, cycle
+                ),
             };
-            self.register_issue(&d, &mut classes_this_cycle);
+            d.tspan = self.register_issue(&d, &mut classes_this_cycle);
             issued_this_cycle += 1;
             if d.is_term {
                 self.handle_terminator(&d);
@@ -642,9 +720,7 @@ impl Engine {
                 while let Some(&(block, pred)) = self.pending_fetch.front() {
                     let used = self.reservation.len().min(self.cfg.reservation_entries);
                     let room = self.cfg.reservation_entries - used;
-                    if self.func.block(block).insts.len() > room
-                        && !self.reservation.is_empty()
-                    {
+                    if self.func.block(block).insts.len() > room && !self.reservation.is_empty() {
                         break;
                     }
                     self.pending_fetch.pop_front();
@@ -655,8 +731,10 @@ impl Engine {
                 if d.latency > 0 {
                     *self.fu_busy.entry(k).or_insert(0) += 1;
                 }
-                self.stats.fu_dynamic_pj +=
-                    self.profile.spec(k).dynamic_energy_pj(self.cfg.clock_period_ps);
+                self.stats.fu_dynamic_pj += self
+                    .profile
+                    .spec(k)
+                    .dynamic_energy_pj(self.cfg.clock_period_ps);
             }
             self.values[d.uid as usize] = value;
             if d.latency == 0 {
@@ -671,11 +749,17 @@ impl Engine {
                         self.profile.register.write_energy_pj_per_bit * d.bits as f64;
                 }
                 self.committed[d.uid as usize] = true;
+                // Chained op: a zero-duration span at the issue cycle.
+                self.trace.end_span(d.tspan, self.trace_ts(cycle));
             } else {
                 // The value becomes architecturally visible to dependents
                 // when the op commits after its FU latency.
                 let commit_at = cycle + d.latency as u64;
-                let fu_release_at = if self.cfg.pipelined_fus { cycle + 1 } else { commit_at };
+                let fu_release_at = if self.cfg.pipelined_fus {
+                    cycle + 1
+                } else {
+                    commit_at
+                };
                 self.compute_q.push((d, commit_at, fu_release_at));
             }
         }
@@ -733,12 +817,36 @@ impl Engine {
                     mix.load = true;
                 }
             }
-            *self.stats.stall_breakdown.entry(mix.label()).or_insert(0) += 1;
+            let label = mix.label();
+            if let Some(t) = &self.trace_tracks {
+                self.trace
+                    .instant(t.sched, &format!("stall:{label}"), self.trace_ts(cycle));
+            }
+            *self.stats.stall_breakdown.entry(label).or_insert(0) += 1;
         } else if issued_this_cycle > 0 {
             self.stats.new_exec_cycles += 1;
         }
         if port_rejected {
             self.stats.port_reject_cycles += 1;
+            if let Some(t) = &self.trace_tracks {
+                self.trace
+                    .instant(t.sched, "port_reject", self.trace_ts(cycle));
+            }
+        }
+        if let Some(t) = &self.trace_tracks {
+            let ts = self.trace_ts(cycle);
+            self.trace.counter(
+                t.sched,
+                "reservation_depth",
+                ts,
+                self.reservation.len() as f64,
+            );
+            self.trace.counter(
+                t.sched,
+                "mem_outstanding",
+                ts,
+                (self.outstanding_reads + self.outstanding_writes) as f64,
+            );
         }
 
         if progressed {
@@ -766,7 +874,7 @@ impl Engine {
         self.done
     }
 
-    fn register_issue(&mut self, d: &DynInst, classes: &mut HashSet<&'static str>) {
+    fn register_issue(&mut self, d: &DynInst, classes: &mut HashSet<&'static str>) -> SpanId {
         self.issued[d.uid as usize] = true;
         *self.stats.issued.entry(d.class.label()).or_insert(0) += 1;
         classes.insert(d.class.label());
@@ -777,6 +885,14 @@ impl Engine {
                     self.profile.register.read_energy_pj_per_bit * d.bits as f64;
             }
         }
+        match &self.trace_tracks {
+            Some(t) => self.trace.begin_span(
+                t.ops,
+                self.func.inst(d.inst).op.mnemonic(),
+                self.trace_ts(self.cycle),
+            ),
+            None => SpanId::INVALID,
+        }
     }
 
     fn handle_terminator(&mut self, d: &DynInst) {
@@ -784,12 +900,21 @@ impl Engine {
         match inst.op {
             Opcode::Br => {
                 let target = inst.block_refs[0];
-                self.pending_fetch.push_back((target, Some(self.cdfg.op(d.inst).block)));
+                self.pending_fetch
+                    .push_back((target, Some(self.cdfg.op(d.inst).block)));
             }
             Opcode::CondBr => {
-                let c = self.operand_value(&d.operands[0]).expect("cond ready").as_i();
-                let target = if c != 0 { inst.block_refs[0] } else { inst.block_refs[1] };
-                self.pending_fetch.push_back((target, Some(self.cdfg.op(d.inst).block)));
+                let c = self
+                    .operand_value(&d.operands[0])
+                    .expect("cond ready")
+                    .as_i();
+                let target = if c != 0 {
+                    inst.block_refs[0]
+                } else {
+                    inst.block_refs[1]
+                };
+                self.pending_fetch
+                    .push_back((target, Some(self.cdfg.op(d.inst).block)));
             }
             Opcode::Ret => {
                 self.fetch_stopped = true;
@@ -801,7 +926,6 @@ impl Engine {
             _ => unreachable!("not a terminator"),
         }
     }
-
 }
 
 fn classify(op: &Opcode) -> IssueClass {

@@ -123,7 +123,11 @@ impl MemPort for SimpleMem {
 
     fn try_issue(&mut self, access: MemAccess) -> Result<(), MemAccess> {
         use salam_ir::interp::Memory as _;
-        let budget = if access.is_write { &mut self.writes_left } else { &mut self.reads_left };
+        let budget = if access.is_write {
+            &mut self.writes_left
+        } else {
+            &mut self.reads_left
+        };
         if *budget == 0 {
             return Err(access);
         }
@@ -134,13 +138,19 @@ impl MemPort for SimpleMem {
             self.bytes_written += access.size as u64;
             let data = access.data.as_deref().unwrap_or(&[]);
             self.mem.write(access.addr, data);
-            MemCompletion { token: access.token, data: None }
+            MemCompletion {
+                token: access.token,
+                data: None,
+            }
         } else {
             self.reads += 1;
             self.bytes_read += access.size as u64;
             let mut buf = vec![0u8; access.size as usize];
             self.mem.read(access.addr, &mut buf);
-            MemCompletion { token: access.token, data: Some(buf) }
+            MemCompletion {
+                token: access.token,
+                data: Some(buf),
+            }
         };
         self.pending.push_back((ready, completion));
         Ok(())
@@ -167,22 +177,67 @@ mod tests {
     fn respects_port_budgets() {
         let mut m = SimpleMem::new(1, 2, 1);
         m.begin_cycle();
-        assert!(m.try_issue(MemAccess { token: 1, addr: 0, size: 4, is_write: false, data: None }).is_ok());
-        assert!(m.try_issue(MemAccess { token: 2, addr: 4, size: 4, is_write: false, data: None }).is_ok());
-        assert!(m.try_issue(MemAccess { token: 3, addr: 8, size: 4, is_write: false, data: None }).is_err());
+        assert!(m
+            .try_issue(MemAccess {
+                token: 1,
+                addr: 0,
+                size: 4,
+                is_write: false,
+                data: None
+            })
+            .is_ok());
+        assert!(m
+            .try_issue(MemAccess {
+                token: 2,
+                addr: 4,
+                size: 4,
+                is_write: false,
+                data: None
+            })
+            .is_ok());
+        assert!(m
+            .try_issue(MemAccess {
+                token: 3,
+                addr: 8,
+                size: 4,
+                is_write: false,
+                data: None
+            })
+            .is_err());
         // Write budget is independent.
         assert!(m
-            .try_issue(MemAccess { token: 4, addr: 12, size: 4, is_write: true, data: Some(vec![0; 4]) })
+            .try_issue(MemAccess {
+                token: 4,
+                addr: 12,
+                size: 4,
+                is_write: true,
+                data: Some(vec![0; 4])
+            })
             .is_ok());
         m.begin_cycle();
-        assert!(m.try_issue(MemAccess { token: 5, addr: 8, size: 4, is_write: false, data: None }).is_ok());
+        assert!(m
+            .try_issue(MemAccess {
+                token: 5,
+                addr: 8,
+                size: 4,
+                is_write: false,
+                data: None
+            })
+            .is_ok());
     }
 
     #[test]
     fn completions_arrive_after_latency() {
         let mut m = SimpleMem::new(3, 1, 1);
         m.begin_cycle(); // cycle 1
-        m.try_issue(MemAccess { token: 9, addr: 0, size: 4, is_write: false, data: None }).unwrap();
+        m.try_issue(MemAccess {
+            token: 9,
+            addr: 0,
+            size: 4,
+            is_write: false,
+            data: None,
+        })
+        .unwrap();
         assert!(m.poll().is_empty());
         m.begin_cycle(); // 2
         m.begin_cycle(); // 3
@@ -198,7 +253,14 @@ mod tests {
         let mut m = SimpleMem::new(1, 1, 1);
         m.memory_mut().write_i32_slice(0x10, &[1234]);
         m.begin_cycle();
-        m.try_issue(MemAccess { token: 1, addr: 0x10, size: 4, is_write: false, data: None }).unwrap();
+        m.try_issue(MemAccess {
+            token: 1,
+            addr: 0x10,
+            size: 4,
+            is_write: false,
+            data: None,
+        })
+        .unwrap();
         m.begin_cycle();
         let c = m.poll();
         assert_eq!(c[0].data.as_deref(), Some(&1234i32.to_le_bytes()[..]));

@@ -165,6 +165,43 @@ impl EngineStats {
     pub fn dynamic_datapath_pj(&self) -> f64 {
         self.fu_dynamic_pj + self.reg_read_pj + self.reg_write_pj
     }
+
+    /// Publish every counter into a [`salam_obs::MetricsRegistry`] under
+    /// `prefix` (dotted-path convention, e.g. `accel.gemm.engine`).
+    pub fn export_metrics(&self, reg: &mut salam_obs::MetricsRegistry, prefix: &str) {
+        let p = |s: &str| format!("{prefix}.{s}");
+        reg.set(&p("cycles"), self.cycles as f64);
+        reg.set(&p("new_exec_cycles"), self.new_exec_cycles as f64);
+        reg.set(&p("stall_cycles"), self.stall_cycles as f64);
+        reg.set(&p("stall_fraction"), self.stall_fraction());
+        for (label, n) in &self.stall_breakdown {
+            reg.set(&p(&format!("stall.{label}")), *n as f64);
+        }
+        for (label, n) in &self.issued {
+            reg.set(&p(&format!("issued.{label}")), *n as f64);
+        }
+        reg.set(&p("issued.total"), self.total_issued() as f64);
+        for (label, n) in &self.class_active_cycles {
+            reg.set(&p(&format!("active_cycles.{label}")), *n as f64);
+        }
+        for (label, n) in &self.mem_mix_cycles {
+            reg.set(&p(&format!("mem_mix.{label}")), *n as f64);
+        }
+        for kind in self.fu_pool.keys() {
+            reg.set(
+                &p(&format!("fu_occupancy.{kind:?}")),
+                self.fu_occupancy(*kind),
+            );
+        }
+        reg.set(&p("energy.fu_dynamic_pj"), self.fu_dynamic_pj);
+        reg.set(&p("energy.reg_read_pj"), self.reg_read_pj);
+        reg.set(&p("energy.reg_write_pj"), self.reg_write_pj);
+        reg.set(&p("mem.loads"), self.loads as f64);
+        reg.set(&p("mem.stores"), self.stores as f64);
+        reg.set(&p("mem.load_bytes"), self.load_bytes as f64);
+        reg.set(&p("mem.store_bytes"), self.store_bytes as f64);
+        reg.set(&p("mem.port_reject_cycles"), self.port_reject_cycles as f64);
+    }
 }
 
 #[cfg(test)]
@@ -174,16 +211,32 @@ mod tests {
     #[test]
     fn stall_mix_labels() {
         assert_eq!(StallMix::default().label(), "none");
-        assert_eq!(StallMix { load: true, store: false, compute: true }.label(), "load+compute");
         assert_eq!(
-            StallMix { load: true, store: true, compute: true }.label(),
+            StallMix {
+                load: true,
+                store: false,
+                compute: true
+            }
+            .label(),
+            "load+compute"
+        );
+        assert_eq!(
+            StallMix {
+                load: true,
+                store: true,
+                compute: true
+            }
+            .label(),
             "load+store+compute"
         );
     }
 
     #[test]
     fn occupancy_math() {
-        let mut s = EngineStats { cycles: 10, ..Default::default() };
+        let mut s = EngineStats {
+            cycles: 10,
+            ..Default::default()
+        };
         s.fu_pool.insert(FuKind::FpAddF64, 4);
         s.fu_busy_cycle_sum.insert(FuKind::FpAddF64, 20);
         assert!((s.fu_occupancy(FuKind::FpAddF64) - 0.5).abs() < 1e-12);

@@ -20,7 +20,12 @@ fn run(engine: &mut Engine, mem: &mut SimpleMem) -> u64 {
 fn fma_kernel() -> Function {
     let mut fb = FunctionBuilder::new(
         "fma",
-        &[("a", Type::Ptr), ("b", Type::Ptr), ("out", Type::Ptr), ("n", Type::I64)],
+        &[
+            ("a", Type::Ptr),
+            ("b", Type::Ptr),
+            ("out", Type::Ptr),
+            ("n", Type::I64),
+        ],
     );
     let (a, b, out, n) = (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3));
     let zero = fb.i64c(0);
@@ -43,12 +48,19 @@ fn fma_kernel() -> Function {
 fn computes_correct_results_through_memory() {
     let f = fma_kernel();
     let mut mem = SimpleMem::new(1, 2, 2);
-    mem.memory_mut().write_f64_slice(0x1000, &[1.0, 2.0, 3.0, 4.0]);
-    mem.memory_mut().write_f64_slice(0x2000, &[10.0, 20.0, 30.0, 40.0]);
+    mem.memory_mut()
+        .write_f64_slice(0x1000, &[1.0, 2.0, 3.0, 4.0]);
+    mem.memory_mut()
+        .write_f64_slice(0x2000, &[10.0, 20.0, 30.0, 40.0]);
     let mut e = engine_for(
         &f,
         FuConstraints::unconstrained(),
-        vec![RtVal::P(0x1000), RtVal::P(0x2000), RtVal::P(0x3000), RtVal::I(4)],
+        vec![
+            RtVal::P(0x1000),
+            RtVal::P(0x2000),
+            RtVal::P(0x3000),
+            RtVal::I(4),
+        ],
     );
     run(&mut e, &mut mem);
     assert_eq!(
@@ -136,7 +148,11 @@ fn data_dependent_branch_takes_data_path() {
         let f = build();
         let mut mem = SimpleMem::new(1, 2, 2);
         mem.memory_mut().write_f64_slice(0x10, &[input]);
-        let mut e = engine_for(&f, FuConstraints::unconstrained(), vec![RtVal::P(0x10), RtVal::P(0x20)]);
+        let mut e = engine_for(
+            &f,
+            FuConstraints::unconstrained(),
+            vec![RtVal::P(0x10), RtVal::P(0x20)],
+        );
         run(&mut e, &mut mem);
         assert_eq!(mem.memory_mut().read_f64_slice(0x20, 1), vec![expected]);
     }
@@ -174,7 +190,12 @@ fn fewer_memory_ports_cause_stalls() {
         let mut e = engine_for(
             &f,
             FuConstraints::unconstrained(),
-            vec![RtVal::P(0x1000), RtVal::P(0x2000), RtVal::P(0x3000), RtVal::I(64)],
+            vec![
+                RtVal::P(0x1000),
+                RtVal::P(0x2000),
+                RtVal::P(0x3000),
+                RtVal::I(64),
+            ],
         );
         let cycles = run(&mut e, &mut mem);
         (cycles, e.stats().clone())
@@ -182,7 +203,10 @@ fn fewer_memory_ports_cause_stalls() {
     let (fast_cycles, _) = run_ports(16);
     let (slow_cycles, slow_stats) = run_ports(1);
     assert!(slow_cycles > fast_cycles);
-    assert!(slow_stats.port_reject_cycles > 0, "narrow port must saturate");
+    assert!(
+        slow_stats.port_reject_cycles > 0,
+        "narrow port must saturate"
+    );
 }
 
 #[test]
@@ -197,7 +221,12 @@ fn loop_iterations_pipeline() {
     let mut e = engine_for(
         &f,
         FuConstraints::unconstrained(),
-        vec![RtVal::P(0x1000), RtVal::P(0x2000), RtVal::P(0x3000), RtVal::I(16)],
+        vec![
+            RtVal::P(0x1000),
+            RtVal::P(0x2000),
+            RtVal::P(0x3000),
+            RtVal::I(16),
+        ],
     );
     let cycles = run(&mut e, &mut mem);
     // Fully serial execution is ~12 cycles per iteration (phi, compare,
@@ -218,7 +247,12 @@ fn occupancy_and_issue_classes_tracked() {
     let mut e = engine_for(
         &f,
         FuConstraints::unconstrained().with_limit(FuKind::FpMulF64, 1),
-        vec![RtVal::P(0x1000), RtVal::P(0x2000), RtVal::P(0x3000), RtVal::I(8)],
+        vec![
+            RtVal::P(0x1000),
+            RtVal::P(0x2000),
+            RtVal::P(0x3000),
+            RtVal::I(8),
+        ],
     );
     run(&mut e, &mut mem);
     let st = e.stats();
@@ -249,7 +283,15 @@ fn returns_scalar_result() {
 fn engine_cycle_count_matches_interpreter_result() {
     // The engine and the reference interpreter must agree functionally on a
     // reduction with loop-carried dependences.
-    let mut fb = FunctionBuilder::new("dot", &[("a", Type::Ptr), ("b", Type::Ptr), ("out", Type::Ptr), ("n", Type::I64)]);
+    let mut fb = FunctionBuilder::new(
+        "dot",
+        &[
+            ("a", Type::Ptr),
+            ("b", Type::Ptr),
+            ("out", Type::Ptr),
+            ("n", Type::I64),
+        ],
+    );
     let (a, b, out, n) = (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3));
     let header = fb.add_block("header");
     let body = fb.add_block("body");
@@ -291,7 +333,12 @@ fn engine_cycle_count_matches_interpreter_result() {
     let mut e = engine_for(
         &f,
         FuConstraints::unconstrained(),
-        vec![RtVal::P(0x100), RtVal::P(0x200), RtVal::P(0x300), RtVal::I(4)],
+        vec![
+            RtVal::P(0x100),
+            RtVal::P(0x200),
+            RtVal::P(0x300),
+            RtVal::I(4),
+        ],
     );
     run(&mut e, &mut mem);
     let expected: f64 = av.iter().zip(&bv).map(|(x, y)| x * y).sum();

@@ -26,8 +26,15 @@ fn run_cycles(f: &Function, cfg: EngineConfig, n: i64) -> u64 {
     let profile = HardwareProfile::default_40nm();
     let cdfg = StaticCdfg::elaborate(f, &profile, &FuConstraints::unconstrained());
     let mut mem = SimpleMem::new(1, 4, 4);
-    mem.memory_mut().write_f64_slice(0x1000, &vec![1.5; n as usize]);
-    let mut e = Engine::new(f.clone(), cdfg, profile, cfg, vec![RtVal::P(0x1000), RtVal::I(n)]);
+    mem.memory_mut()
+        .write_f64_slice(0x1000, &vec![1.5; n as usize]);
+    let mut e = Engine::new(
+        f.clone(),
+        cdfg,
+        profile,
+        cfg,
+        vec![RtVal::P(0x1000), RtVal::I(n)],
+    );
     let cycles = e.run_to_completion(&mut mem);
     // Correctness regardless of the knob settings.
     let got = mem.memory_mut().read_f64_slice(0x1000, n as usize);
@@ -41,12 +48,18 @@ fn pipelined_fus_speed_up_fu_bound_loops() {
     let unpiped = run_cycles(&f, EngineConfig::default(), 32);
     let piped = run_cycles(
         &f,
-        EngineConfig { pipelined_fus: true, ..EngineConfig::default() },
+        EngineConfig {
+            pipelined_fus: true,
+            ..EngineConfig::default()
+        },
         32,
     );
     // One shared multiplier (1:1 static map → 1 unit) at 3 cycles: the
     // unpipelined engine serializes at ~3/iter; II=1 pipelining beats it.
-    assert!(piped < unpiped, "pipelined {piped} vs unpipelined {unpiped}");
+    assert!(
+        piped < unpiped,
+        "pipelined {piped} vs unpipelined {unpiped}"
+    );
 }
 
 #[test]
@@ -55,7 +68,10 @@ fn strict_hazards_never_faster_and_always_correct() {
     let relaxed = run_cycles(&f, EngineConfig::default(), 32);
     let strict = run_cycles(
         &f,
-        EngineConfig { strict_register_hazards: true, ..EngineConfig::default() },
+        EngineConfig {
+            strict_register_hazards: true,
+            ..EngineConfig::default()
+        },
         32,
     );
     assert!(strict >= relaxed);
@@ -68,7 +84,10 @@ fn window_size_monotonically_helps_until_saturation() {
     for window in [16usize, 64, 256] {
         let c = run_cycles(
             &f,
-            EngineConfig { reservation_entries: window, ..EngineConfig::default() },
+            EngineConfig {
+                reservation_entries: window,
+                ..EngineConfig::default()
+            },
             64,
         );
         assert!(c <= last, "window {window} regressed: {c} > {last}");
@@ -81,12 +100,18 @@ fn outstanding_memory_limits_throttle() {
     let f = serial_fmul_loop();
     let wide = run_cycles(
         &f,
-        EngineConfig { max_outstanding_reads: 64, ..EngineConfig::default() },
+        EngineConfig {
+            max_outstanding_reads: 64,
+            ..EngineConfig::default()
+        },
         64,
     );
     let narrow = run_cycles(
         &f,
-        EngineConfig { max_outstanding_reads: 1, ..EngineConfig::default() },
+        EngineConfig {
+            max_outstanding_reads: 1,
+            ..EngineConfig::default()
+        },
         64,
     );
     assert!(narrow >= wide);
@@ -126,7 +151,10 @@ fn timeline_records_every_cycle() {
         f,
         cdfg,
         profile,
-        EngineConfig { record_timeline: true, ..EngineConfig::default() },
+        EngineConfig {
+            record_timeline: true,
+            ..EngineConfig::default()
+        },
         vec![RtVal::P(0x1000), RtVal::I(16)],
     );
     let cycles = e.run_to_completion(&mut mem);
@@ -150,7 +178,13 @@ fn timeline_records_every_cycle() {
     let cdfg = StaticCdfg::elaborate(&f2, &profile, &FuConstraints::unconstrained());
     let mut mem2 = SimpleMem::new(1, 2, 2);
     mem2.memory_mut().write_f64_slice(0x1000, &[1.5; 16]);
-    let mut e2 = Engine::new(f2, cdfg, profile, EngineConfig::default(), vec![RtVal::P(0x1000), RtVal::I(16)]);
+    let mut e2 = Engine::new(
+        f2,
+        cdfg,
+        profile,
+        EngineConfig::default(),
+        vec![RtVal::P(0x1000), RtVal::I(16)],
+    );
     e2.run_to_completion(&mut mem2);
     assert!(e2.stats().timeline.is_empty());
 }
@@ -185,7 +219,10 @@ fn deadlock_detection_fires() {
     let f = serial_fmul_loop();
     let profile = HardwareProfile::default_40nm();
     let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
-    let cfg = EngineConfig { deadlock_cycles: 2_000, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        deadlock_cycles: 2_000,
+        ..EngineConfig::default()
+    };
     let mut e = Engine::new(f, cdfg, profile, cfg, vec![RtVal::P(0), RtVal::I(4)]);
     let mut hole = BlackHole;
     e.run_to_completion(&mut hole);

@@ -82,14 +82,23 @@ pub struct EventQueue<M> {
 impl<M> EventQueue<M> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `msg` for `dst` at absolute time `tick`.
     pub fn push(&mut self, tick: Tick, dst: CompId, src: CompId, msg: M) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry(ScheduledEvent { tick, dst, src, msg, seq }));
+        self.heap.push(HeapEntry(ScheduledEvent {
+            tick,
+            dst,
+            src,
+            msg,
+            seq,
+        }));
     }
 
     /// Removes and returns the earliest event.

@@ -275,7 +275,10 @@ mod tests {
     #[test]
     fn delivers_in_time_order() {
         let mut sim = Simulation::new();
-        let c = sim.add_component(Counter { total: 0, last_tick: 0 });
+        let c = sim.add_component(Counter {
+            total: 0,
+            last_tick: 0,
+        });
         sim.post(c, 20, Msg::Inc(2));
         sim.post(c, 10, Msg::Inc(1));
         assert_eq!(sim.run(), 20);
@@ -285,7 +288,10 @@ mod tests {
     #[test]
     fn stop_aborts_run() {
         let mut sim = Simulation::new();
-        let c = sim.add_component(Counter { total: 0, last_tick: 0 });
+        let c = sim.add_component(Counter {
+            total: 0,
+            last_tick: 0,
+        });
         sim.post(c, 5, Msg::Inc(1));
         sim.post(c, 6, Msg::Stop);
         sim.post(c, 7, Msg::Inc(100));
@@ -296,7 +302,10 @@ mod tests {
     #[test]
     fn limit_leaves_events_pending() {
         let mut sim = Simulation::new();
-        let c = sim.add_component(Counter { total: 0, last_tick: 0 });
+        let c = sim.add_component(Counter {
+            total: 0,
+            last_tick: 0,
+        });
         sim.post(c, 100, Msg::Inc(1));
         assert_eq!(sim.run_until(50), RunResult::LimitReached);
         assert_eq!(sim.run_until(200), RunResult::Idle);
@@ -324,7 +333,10 @@ mod tests {
     #[test]
     fn self_wake_chain_advances_time() {
         let mut sim = Simulation::new();
-        let r = sim.add_component(Relay { peer: None, hops_left: 4 });
+        let r = sim.add_component(Relay {
+            peer: None,
+            hops_left: 4,
+        });
         sim.post(r, 0, Msg::Inc(0));
         assert_eq!(sim.run(), 12);
         assert_eq!(sim.events_processed(), 5);

@@ -118,7 +118,10 @@ impl Histogram {
     ///
     /// Panics if `bounds` is not strictly increasing.
     pub fn with_buckets(bounds: &[u64]) -> Self {
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must increase"
+        );
         Histogram {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
@@ -129,7 +132,11 @@ impl Histogram {
 
     /// Records one sample.
     pub fn sample(&mut self, v: u64) {
-        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
         self.total += 1;
         self.max = self.max.max(v);
@@ -160,9 +167,12 @@ impl Histogram {
 /// s.set("stalls", 40.0);
 /// assert_eq!(s.get("stalls"), Some(40.0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct StatSet {
     entries: Vec<(String, f64)>,
+    // name -> position in `entries`, so `set`/`get` stay O(1) when
+    // components export hundreds of stats per report.
+    index: std::collections::HashMap<String, usize>,
 }
 
 impl StatSet {
@@ -173,16 +183,35 @@ impl StatSet {
 
     /// Sets (or overwrites) a named value.
     pub fn set(&mut self, name: &str, value: f64) {
-        if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == name) {
-            e.1 = value;
-        } else {
-            self.entries.push((name.to_string(), value));
+        match self.index.get(name) {
+            Some(&i) => self.entries[i].1 = value,
+            None => {
+                self.index.insert(name.to_string(), self.entries.len());
+                self.entries.push((name.to_string(), value));
+            }
         }
     }
 
     /// Reads a named value.
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+        self.index.get(name).map(|&i| self.entries[i].1)
+    }
+
+    /// Merges `(name, value)` pairs, each key prefixed with `prefix.`
+    /// (or unprefixed when `prefix` is empty). This is the bulk-import
+    /// path used when folding per-component stats into a parent set.
+    pub fn merge_prefixed<I, S>(&mut self, prefix: &str, pairs: I)
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: AsRef<str>,
+    {
+        for (name, value) in pairs {
+            if prefix.is_empty() {
+                self.set(name.as_ref(), value);
+            } else {
+                self.set(&format!("{prefix}.{}", name.as_ref()), value);
+            }
+        }
     }
 
     /// All entries in insertion order.
@@ -193,6 +222,13 @@ impl StatSet {
     /// Consumes the set, yielding its entries.
     pub fn into_entries(self) -> Vec<(String, f64)> {
         self.entries
+    }
+}
+
+// Equality is defined by content and order, not by index layout.
+impl PartialEq for StatSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
     }
 }
 
@@ -240,5 +276,37 @@ mod tests {
         s.set("x", 2.0);
         assert_eq!(s.get("x"), Some(2.0));
         assert_eq!(s.entries().len(), 1);
+    }
+
+    #[test]
+    fn statset_preserves_insertion_order() {
+        let mut s = StatSet::new();
+        for name in ["z", "m", "a"] {
+            s.set(name, 0.0);
+        }
+        s.set("m", 9.0);
+        let keys: Vec<_> = s.entries().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "m", "a"]);
+    }
+
+    #[test]
+    fn statset_merge_prefixed() {
+        let mut s = StatSet::new();
+        s.merge_prefixed("spm", vec![("reads".to_string(), 4.0)]);
+        s.merge_prefixed("", vec![("cycles".to_string(), 10.0)]);
+        assert_eq!(s.get("spm.reads"), Some(4.0));
+        assert_eq!(s.get("cycles"), Some(10.0));
+    }
+
+    #[test]
+    fn statset_eq_ignores_index_layout() {
+        let mut a = StatSet::new();
+        a.set("x", 1.0);
+        a.set("y", 2.0);
+        let mut b = StatSet::new();
+        b.set("x", 0.0);
+        b.set("y", 2.0);
+        b.set("x", 1.0);
+        assert_eq!(a, b);
     }
 }

@@ -1,14 +1,20 @@
-//! Property tests of the event kernel's ordering guarantees.
+//! Property tests of the event kernel's ordering guarantees, driven by the
+//! in-tree seeded-case harness.
 
-use proptest::prelude::*;
-
+use salam_obs::det::{check_cases, SplitMix64};
 use sim_core::{CompId, EventQueue};
 
-proptest! {
-    /// Events always pop sorted by tick, FIFO within a tick, and nothing is
-    /// lost or duplicated.
-    #[test]
-    fn queue_is_a_stable_time_sort(ticks in prop::collection::vec(0u64..64, 1..200)) {
+fn gen_ticks(g: &mut SplitMix64, max_tick: u64, lo: usize, hi: usize) -> Vec<u64> {
+    let n = g.range_usize(lo, hi);
+    (0..n).map(|_| g.range_u64(0, max_tick)).collect()
+}
+
+/// Events always pop sorted by tick, FIFO within a tick, and nothing is
+/// lost or duplicated.
+#[test]
+fn queue_is_a_stable_time_sort() {
+    check_cases("queue_is_a_stable_time_sort", 256, 0x51, |g| {
+        let ticks = gen_ticks(g, 64, 1, 200);
         let id = CompId::from_raw(0);
         let mut q: EventQueue<usize> = EventQueue::new();
         for (seq, &t) in ticks.iter().enumerate() {
@@ -18,24 +24,26 @@ proptest! {
         while let Some(ev) = q.pop() {
             popped.push((ev.tick, ev.msg));
         }
-        prop_assert_eq!(popped.len(), ticks.len());
+        assert_eq!(popped.len(), ticks.len());
         // Sorted by tick.
-        prop_assert!(popped.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(popped.windows(2).all(|w| w[0].0 <= w[1].0));
         // FIFO within equal ticks.
-        prop_assert!(popped
+        assert!(popped
             .windows(2)
             .all(|w| w[0].0 != w[1].0 || w[0].1 < w[1].1));
         // A permutation of the input.
         let mut seqs: Vec<usize> = popped.iter().map(|&(_, s)| s).collect();
         seqs.sort_unstable();
-        prop_assert_eq!(seqs, (0..ticks.len()).collect::<Vec<_>>());
-    }
+        assert_eq!(seqs, (0..ticks.len()).collect::<Vec<_>>());
+    });
+}
 
-    /// Interleaved push/pop never violates ordering for already-queued work.
-    #[test]
-    fn interleaved_pops_respect_order(
-        batches in prop::collection::vec(prop::collection::vec(0u64..32, 1..10), 1..10),
-    ) {
+/// Interleaved push/pop never violates ordering for already-queued work.
+#[test]
+fn interleaved_pops_respect_order() {
+    check_cases("interleaved_pops_respect_order", 256, 0x52, |g| {
+        let n_batches = g.range_usize(1, 10);
+        let batches: Vec<Vec<u64>> = (0..n_batches).map(|_| gen_ticks(g, 32, 1, 10)).collect();
         let id = CompId::from_raw(0);
         let mut q: EventQueue<u64> = EventQueue::new();
         let mut last_popped = 0u64;
@@ -49,11 +57,11 @@ proptest! {
             // Drain half of the queue.
             for _ in 0..(pending / 2) {
                 if let Some(ev) = q.pop() {
-                    prop_assert!(ev.tick >= last_popped);
+                    assert!(ev.tick >= last_popped);
                     last_popped = ev.tick;
                     pending -= 1;
                 }
             }
         }
-    }
+    });
 }

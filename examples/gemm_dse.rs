@@ -37,8 +37,9 @@ fn main() {
                 );
                 // Energy-delay product as a simple co-design objective.
                 let edp = time_us * time_us * power;
-                let label =
-                    format!("unroll={unroll} fmul={fmul} ports={ports} ({time_us:.1} us, {power:.1} mW)");
+                let label = format!(
+                    "unroll={unroll} fmul={fmul} ports={ports} ({time_us:.1} us, {power:.1} mW)"
+                );
                 if best.as_ref().map(|(b, _)| edp < *b).unwrap_or(true) {
                     best = Some((edp, label));
                 }

@@ -22,7 +22,11 @@ fn main() {
         kernel.func.clone(),
         cdfg,
         profile,
-        EngineConfig { record_timeline: true, reservation_entries: 512, ..EngineConfig::default() },
+        EngineConfig {
+            record_timeline: true,
+            reservation_entries: 512,
+            ..EngineConfig::default()
+        },
         kernel.args.clone(),
     );
     let cycles = engine.run_to_completion(&mut mem);
@@ -56,7 +60,11 @@ fn main() {
                 _ => ' ',
             });
         }
-        println!("{:>14} |{line}|  avg occupancy {:>5.1}%", kind.name(), st.fu_occupancy(kind) * 100.0);
+        println!(
+            "{:>14} |{line}|  avg occupancy {:>5.1}%",
+            kind.name(),
+            st.fu_occupancy(kind) * 100.0
+        );
     }
     let stall_strip: String = (0..buckets)
         .map(|b| {
@@ -73,7 +81,10 @@ fn main() {
             }
         })
         .collect();
-    println!("{:>14} |{stall_strip}|  ({} stalled cycles)", "stalls", st.stall_cycles);
+    println!(
+        "{:>14} |{stall_strip}|  ({} stalled cycles)",
+        "stalls", st.stall_cycles
+    );
     println!(
         "\nLegend: '#' >75% of the pool busy, '+' >50%, '-' >25%, '.' active.\n\
          An adder row much emptier than the multiplier row is the paper's cue\n\

@@ -15,7 +15,12 @@ fn main() {
     //    C function with clang): out[i] = a[i] * b[i] + bias.
     let mut fb = FunctionBuilder::new(
         "madd",
-        &[("a", Type::Ptr), ("b", Type::Ptr), ("out", Type::Ptr), ("n", Type::I64)],
+        &[
+            ("a", Type::Ptr),
+            ("b", Type::Ptr),
+            ("out", Type::Ptr),
+            ("n", Type::I64),
+        ],
     );
     let (a, b, out, n) = (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3));
     let zero = fb.i64c(0);
@@ -59,7 +64,12 @@ fn main() {
         cdfg,
         profile,
         EngineConfig::default(),
-        vec![RtVal::P(0x1000), RtVal::P(0x2000), RtVal::P(0x3000), RtVal::I(32)],
+        vec![
+            RtVal::P(0x1000),
+            RtVal::P(0x2000),
+            RtVal::P(0x3000),
+            RtVal::I(32),
+        ],
     );
     let cycles = engine.run_to_completion(&mut mem);
 
@@ -70,7 +80,10 @@ fn main() {
         .enumerate()
         .all(|(i, &v)| (v - (xs[i] * ys[i] + 0.5)).abs() < 1e-12));
     let st = engine.stats();
-    println!("simulated {cycles} cycles ({} issued ops)", st.total_issued());
+    println!(
+        "simulated {cycles} cycles ({} issued ops)",
+        st.total_issued()
+    );
     println!(
         "  loads {} / stores {} / stall cycles {}",
         st.loads, st.stores, st.stall_cycles
@@ -79,6 +92,9 @@ fn main() {
         "  FP multiplier occupancy: {:.0}%",
         st.fu_occupancy(FuKind::FpMulF64) * 100.0
     );
-    println!("  dynamic datapath energy: {:.1} pJ", st.dynamic_datapath_pj());
+    println!(
+        "  dynamic datapath energy: {:.1} pJ",
+        st.dynamic_datapath_pj()
+    );
     println!("\nresults verified: out[i] = a[i]*b[i] + 0.5 for all 32 elements");
 }

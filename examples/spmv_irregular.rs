@@ -27,11 +27,15 @@ fn main() {
         let mut mem = SparseMemory::new();
         kernel.load_into(&mut mem);
         let trace = generate_trace(&kernel.func, &kernel.args, &mut mem);
-        let aladdin = derive_datapath(&kernel.func, &trace, &profile, &AladdinMemModel::default_spm());
+        let aladdin = derive_datapath(
+            &kernel.func,
+            &trace,
+            &profile,
+            &AladdinMemModel::default_spm(),
+        );
 
         // Execute-in-execute flow: datapath fixed by static elaboration.
-        let salam =
-            StaticCdfg::elaborate(&kernel.func, &profile, &FuConstraints::unconstrained());
+        let salam = StaticCdfg::elaborate(&kernel.func, &profile, &FuConstraints::unconstrained());
         let run = run_kernel(&kernel, &StandaloneConfig::default());
         assert!(run.verified);
 

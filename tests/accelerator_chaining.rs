@@ -68,7 +68,10 @@ fn stage_b() -> Function {
 #[test]
 fn accelerator_starts_its_peer_through_mmrs() {
     let mut sim: Simulation<MemMsg> = Simulation::new();
-    let mut b = ClusterBuilder::new(ClusterConfig::default(), hw_profile::HardwareProfile::default_40nm());
+    let mut b = ClusterBuilder::new(
+        ClusterConfig::default(),
+        hw_profile::HardwareProfile::default_40nm(),
+    );
     b.add_accelerator(
         AcceleratorConfig::new("stage_a"),
         stage_a(),
@@ -87,29 +90,42 @@ fn accelerator_starts_its_peer_through_mmrs() {
     let a = cluster.accels[0];
     let bh = cluster.accels[1];
     let shared = cluster.shared_spm.unwrap();
-    sim.component_as_mut::<Scratchpad>(shared)
-        .unwrap()
-        .poke(SHARED, &(1..=8i64).flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>());
+    sim.component_as_mut::<Scratchpad>(shared).unwrap().poke(
+        SHARED,
+        &(1..=8i64)
+            .flat_map(|v| v.to_le_bytes())
+            .collect::<Vec<u8>>(),
+    );
 
     // Program both argument sets up front, then start only A. B must be
     // started by A itself.
     let col = sim.add_component(memsys::test_util::Collector::new());
     let writes = [
-        (a.mmr_base + 16, SHARED),        // A.arg0 = data
-        (a.mmr_base + 24, B_MMR),         // A.arg1 = peer control register
-        (bh.mmr_base + 16, SHARED),       // B.arg0 = data
+        (a.mmr_base + 16, SHARED),  // A.arg0 = data
+        (a.mmr_base + 24, B_MMR),   // A.arg1 = peer control register
+        (bh.mmr_base + 16, SHARED), // B.arg0 = data
     ];
     for (i, (addr, v)) in writes.iter().enumerate() {
         sim.post(
             cluster.local_xbar,
             i as u64,
-            MemMsg::Req(MemReq::write(i as u64, *addr, v.to_le_bytes().to_vec(), col)),
+            MemMsg::Req(MemReq::write(
+                i as u64,
+                *addr,
+                v.to_le_bytes().to_vec(),
+                col,
+            )),
         );
     }
     sim.post(
         cluster.local_xbar,
         50_000,
-        MemMsg::Req(MemReq::write(99, a.mmr_base, 1u64.to_le_bytes().to_vec(), col)),
+        MemMsg::Req(MemReq::write(
+            99,
+            a.mmr_base,
+            1u64.to_le_bytes().to_vec(),
+            col,
+        )),
     );
     sim.run();
 
@@ -117,7 +133,11 @@ fn accelerator_starts_its_peer_through_mmrs() {
     let cu_a = sim.component_as::<ComputeUnit>(a.unit).unwrap();
     let cu_b = sim.component_as::<ComputeUnit>(bh.unit).unwrap();
     assert_eq!(cu_a.invocations(), 1, "A must run");
-    assert_eq!(cu_b.invocations(), 1, "B must be started by A, not the host");
+    assert_eq!(
+        cu_b.invocations(),
+        1,
+        "B must be started by A, not the host"
+    );
     let (_, a_end) = cu_a.span();
     let (b_start, _) = cu_b.span();
     assert!(

@@ -41,8 +41,13 @@ fn all_three_models_run_every_benchmark() {
         k.load_into(&mut mem);
         let trace = generate_trace(&k.func, &k.args, &mut mem);
         let dp = derive_datapath(&k.func, &trace, &profile, &AladdinMemModel::default_spm());
-        let ala_cycles =
-            simulate_trace(&k.func, &trace, &dp, &profile, &AladdinMemModel::default_spm());
+        let ala_cycles = simulate_trace(
+            &k.func,
+            &trace,
+            &dp,
+            &profile,
+            &AladdinMemModel::default_spm(),
+        );
         assert!(ala_cycles > 0, "{bench:?} aladdin produced zero cycles");
         // HLS static schedule (BFS's data-dependent while-loop is excluded,
         // as in the paper's Fig. 10).
@@ -119,13 +124,10 @@ fn ir_level_unrolling_is_a_real_dse_knob() {
     salam_ir::verify_function(&unrolled_func).unwrap();
 
     let profile = HardwareProfile::default_40nm();
-    let narrow =
-        StaticCdfg::elaborate(&rolled.func, &profile, &FuConstraints::unconstrained());
-    let wide =
-        StaticCdfg::elaborate(&unrolled_func, &profile, &FuConstraints::unconstrained());
+    let narrow = StaticCdfg::elaborate(&rolled.func, &profile, &FuConstraints::unconstrained());
+    let wide = StaticCdfg::elaborate(&unrolled_func, &profile, &FuConstraints::unconstrained());
     assert!(
-        wide.fu_count(hw_profile::FuKind::FpMulF64)
-            > narrow.fu_count(hw_profile::FuKind::FpMulF64),
+        wide.fu_count(hw_profile::FuKind::FpMulF64) > narrow.fu_count(hw_profile::FuKind::FpMulF64),
         "unrolling must widen the datapath"
     );
 

@@ -1,13 +1,19 @@
 //! Property-based cross-model tests: the reference interpreter, the
 //! optimization passes, the textual round-trip, and the cycle-accurate
 //! runtime engine must all agree on randomly generated kernels.
+//!
+//! Randomness comes from the in-tree seeded-case harness
+//! (`salam_obs::det`), so the cases are identical on every platform and
+//! the suite needs no crates.io dependencies.
 
-use proptest::prelude::*;
+use salam_obs::det::{check_cases, SplitMix64};
 
 use hw_profile::HardwareProfile;
 use salam_cdfg::{FuConstraints, StaticCdfg};
 use salam_ir::interp::{run_function, NullObserver, RtVal, SparseMemory};
-use salam_ir::{parse_module, FloatPredicate, Function, FunctionBuilder, IntPredicate, Module, Type};
+use salam_ir::{
+    parse_module, FloatPredicate, Function, FunctionBuilder, IntPredicate, Module, Type,
+};
 use salam_runtime::{Engine, EngineConfig, SimpleMem};
 
 /// One step of a random straight-line computation over two value pools.
@@ -24,18 +30,33 @@ enum Op {
     FMax(usize, usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::IAdd(a, b)),
-        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::ISub(a, b)),
-        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::IMul(a, b)),
-        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::IMin(a, b)),
-        (0..64usize, 0..6u8).prop_map(|(a, s)| Op::Shl(a, s)),
-        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::FAdd(a, b)),
-        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::FSub(a, b)),
-        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::FMul(a, b)),
-        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::FMax(a, b)),
-    ]
+fn gen_op(g: &mut SplitMix64) -> Op {
+    let a = g.range_usize(0, 64);
+    let b = g.range_usize(0, 64);
+    match g.range_usize(0, 9) {
+        0 => Op::IAdd(a, b),
+        1 => Op::ISub(a, b),
+        2 => Op::IMul(a, b),
+        3 => Op::IMin(a, b),
+        4 => Op::Shl(a, g.range_u64(0, 6) as u8),
+        5 => Op::FAdd(a, b),
+        6 => Op::FSub(a, b),
+        7 => Op::FMul(a, b),
+        _ => Op::FMax(a, b),
+    }
+}
+
+fn gen_ops(g: &mut SplitMix64, lo: usize, hi: usize) -> Vec<Op> {
+    let n = g.range_usize(lo, hi);
+    (0..n).map(|_| gen_op(g)).collect()
+}
+
+fn gen_ints(g: &mut SplitMix64) -> [i64; 4] {
+    std::array::from_fn(|_| g.range_i64(-1000, 1000))
+}
+
+fn gen_floats(g: &mut SplitMix64) -> [f64; 4] {
+    std::array::from_fn(|_| g.range_f64(-100.0, 100.0))
 }
 
 /// Builds a kernel that loads 4 ints and 4 floats, applies `ops`, and
@@ -123,8 +144,14 @@ fn interp_outputs(f: &Function, ints: &[i64; 4], floats: &[f64; 4]) -> (Vec<i64>
     let mut mem = SparseMemory::new();
     mem.write_i64_slice(0x1000, ints);
     mem.write_f64_slice(0x2000, floats);
-    run_function(f, &[RtVal::P(0x1000), RtVal::P(0x2000)], &mut mem, &mut NullObserver, 1_000_000)
-        .expect("interpreter run");
+    run_function(
+        f,
+        &[RtVal::P(0x1000), RtVal::P(0x2000)],
+        &mut mem,
+        &mut NullObserver,
+        1_000_000,
+    )
+    .expect("interpreter run");
     (mem.read_i64_slice(0x1020, 4), mem.read_f64_slice(0x2020, 4))
 }
 
@@ -150,69 +177,73 @@ fn engine_outputs(f: &Function, ints: &[i64; 4], floats: &[f64; 4]) -> (Vec<i64>
 }
 
 fn floats_eq(a: &[f64], b: &[f64]) -> bool {
-    a.iter().zip(b).all(|(x, y)| (x == y) || (x.is_nan() && y.is_nan()))
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| (x == y) || (x.is_nan() && y.is_nan()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The cycle-accurate engine computes exactly what the interpreter does.
-    #[test]
-    fn engine_matches_interpreter(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        ints in prop::array::uniform4(-1000i64..1000),
-        floats in prop::array::uniform4(-100.0f64..100.0),
-    ) {
+/// The cycle-accurate engine computes exactly what the interpreter does.
+#[test]
+fn engine_matches_interpreter() {
+    check_cases("engine_matches_interpreter", 48, 0xE1, |g| {
+        let ops = gen_ops(g, 1, 40);
+        let ints = gen_ints(g);
+        let floats = gen_floats(g);
         let f = build_kernel(&ops);
         salam_ir::verify_function(&f).unwrap();
         let (wi, wf) = interp_outputs(&f, &ints, &floats);
         let (gi, gf, cycles) = engine_outputs(&f, &ints, &floats);
-        prop_assert_eq!(wi, gi);
-        prop_assert!(floats_eq(&wf, &gf));
-        prop_assert!(cycles > 0);
-    }
+        assert_eq!(wi, gi);
+        assert!(floats_eq(&wf, &gf));
+        assert!(cycles > 0);
+    });
+}
 
-    /// Constant folding + DCE never change observable behaviour.
-    #[test]
-    fn passes_preserve_semantics(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        ints in prop::array::uniform4(-1000i64..1000),
-        floats in prop::array::uniform4(-100.0f64..100.0),
-    ) {
+/// Constant folding + DCE never change observable behaviour.
+#[test]
+fn passes_preserve_semantics() {
+    check_cases("passes_preserve_semantics", 48, 0xE2, |g| {
+        let ops = gen_ops(g, 1, 40);
+        let ints = gen_ints(g);
+        let floats = gen_floats(g);
         let f = build_kernel(&ops);
         let (wi, wf) = interp_outputs(&f, &ints, &floats);
-        let mut g = f.clone();
-        salam_ir::passes::run_default_pipeline(&mut g);
-        salam_ir::verify_function(&g).unwrap();
-        let (oi, of) = interp_outputs(&g, &ints, &floats);
-        prop_assert_eq!(wi, oi);
-        prop_assert!(floats_eq(&wf, &of));
-    }
+        let mut opt = f.clone();
+        salam_ir::passes::run_default_pipeline(&mut opt);
+        salam_ir::verify_function(&opt).unwrap();
+        let (oi, of) = interp_outputs(&opt, &ints, &floats);
+        assert_eq!(wi, oi);
+        assert!(floats_eq(&wf, &of));
+    });
+}
 
-    /// Textual printing and parsing round-trip to a fixed point.
-    #[test]
-    fn print_parse_roundtrip(ops in prop::collection::vec(op_strategy(), 1..30)) {
+/// Textual printing and parsing round-trip to a fixed point.
+#[test]
+fn print_parse_roundtrip() {
+    check_cases("print_parse_roundtrip", 48, 0xE3, |g| {
+        let ops = gen_ops(g, 1, 30);
         let f = build_kernel(&ops);
         let mut m = Module::new("m");
         m.add_function(f);
         let text = m.to_string();
         let parsed = parse_module(&text).unwrap();
-        prop_assert_eq!(parsed.to_string(), text);
-    }
+        assert_eq!(parsed.to_string(), text);
+    });
+}
 
-    /// The engine is deterministic: identical inputs give identical cycle
-    /// counts and results.
-    #[test]
-    fn engine_is_deterministic(
-        ops in prop::collection::vec(op_strategy(), 1..25),
-        ints in prop::array::uniform4(-1000i64..1000),
-        floats in prop::array::uniform4(-100.0f64..100.0),
-    ) {
+/// The engine is deterministic: identical inputs give identical cycle
+/// counts and results.
+#[test]
+fn engine_is_deterministic() {
+    check_cases("engine_is_deterministic", 48, 0xE4, |g| {
+        let ops = gen_ops(g, 1, 25);
+        let ints = gen_ints(g);
+        let floats = gen_floats(g);
         let f = build_kernel(&ops);
         let a = engine_outputs(&f, &ints, &floats);
         let b = engine_outputs(&f, &ints, &floats);
-        prop_assert_eq!(a.0, b.0);
-        prop_assert!(floats_eq(&a.1, &b.1));
-        prop_assert_eq!(a.2, b.2);
-    }
+        assert_eq!(a.0, b.0);
+        assert!(floats_eq(&a.1, &b.1));
+        assert_eq!(a.2, b.2);
+    });
 }

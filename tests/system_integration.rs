@@ -25,7 +25,10 @@ fn cnn_scenarios_are_correct_and_ordered() {
     let c = run_scenario(Scenario::Stream);
     assert!(a.verified && b.verified && c.verified);
     // The paper's Fig. 16 ordering: baseline slowest, streams fastest.
-    assert!(b.total_ns < a.total_ns, "shared SPM should beat private+DMA");
+    assert!(
+        b.total_ns < a.total_ns,
+        "shared SPM should beat private+DMA"
+    );
     assert!(c.total_ns < b.total_ns, "streams should beat shared SPM");
 }
 
@@ -80,7 +83,11 @@ fn stream_dma_feeds_an_accelerator_directly() {
         .unwrap()
         .poke(0x8000_0000, &machsuite::data::f32_bytes(&input));
 
-    let fifo_cfg = StreamBufferConfig { capacity_beats: 16, beat_bytes: 4, ..Default::default() };
+    let fifo_cfg = StreamBufferConfig {
+        capacity_beats: 16,
+        beat_bytes: 4,
+        ..Default::default()
+    };
     let fifo = sim.add_component(StreamBuffer::new("in_stream", fifo_cfg));
     let sdma = sim.add_component(StreamDma::new(
         "sdma",
@@ -125,7 +132,12 @@ fn stream_dma_feeds_an_accelerator_directly() {
         sim.post(
             mmr,
             0,
-            MemMsg::Req(MemReq::write(reg, 0x7000_0000 + reg * 8, v.to_le_bytes().to_vec(), col)),
+            MemMsg::Req(MemReq::write(
+                reg,
+                0x7000_0000 + reg * 8,
+                v.to_le_bytes().to_vec(),
+                col,
+            )),
         );
     }
     // Kick the stream DMA and the accelerator concurrently: backpressure
@@ -138,7 +150,12 @@ fn stream_dma_feeds_an_accelerator_directly() {
     sim.post(
         mmr,
         20_000,
-        MemMsg::Req(MemReq::write(9, 0x7000_0000, 1u64.to_le_bytes().to_vec(), col)),
+        MemMsg::Req(MemReq::write(
+            9,
+            0x7000_0000,
+            1u64.to_le_bytes().to_vec(),
+            col,
+        )),
     );
     sim.run();
 

@@ -53,10 +53,18 @@ fn textual_kernel_runs_on_the_engine() {
         cdfg,
         profile,
         EngineConfig::default(),
-        vec![RtVal::P(0x1000), RtVal::P(0x2000), RtVal::F(0.0), RtVal::I(16)],
+        vec![
+            RtVal::P(0x1000),
+            RtVal::P(0x2000),
+            RtVal::F(0.0),
+            RtVal::I(16),
+        ],
     );
     let cycles = engine.run_to_completion(&mut mem);
-    assert!(cycles > 16, "a 16-element saxpy takes more than one cycle each");
+    assert!(
+        cycles > 16,
+        "a 16-element saxpy takes more than one cycle each"
+    );
 
     let got = mem.memory_mut().read_f64_slice(0x2000, 16);
     for (i, &v) in got.iter().enumerate() {
@@ -74,8 +82,8 @@ fn textual_kernel_roundtrips_through_the_printer() {
 
 #[test]
 fn parse_errors_are_actionable() {
-    let err = parse_module("define void @broken() {\nentry:\n  %x = frobnicate i32 1\n}\n")
-        .unwrap_err();
+    let err =
+        parse_module("define void @broken() {\nentry:\n  %x = frobnicate i32 1\n}\n").unwrap_err();
     assert_eq!(err.line, 3);
     assert!(err.to_string().contains("frobnicate"));
 }
