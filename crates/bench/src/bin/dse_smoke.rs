@@ -1,0 +1,37 @@
+//! A tiny DSE smoke sweep for CI: 2 kernels × 4 design points.
+//!
+//! Honors the engine's environment knobs (`SALAM_JOBS`, `SALAM_DSE_CACHE`,
+//! `SALAM_DSE_NO_CACHE`) and ends with the `dse: hits=… misses=…` summary
+//! line CI asserts on: the second invocation against the same cache
+//! directory must report `misses=0`.
+
+use salam::standalone::StandaloneConfig;
+use salam_dse::{run_sweep, Axis, DseOptions, KernelSpec, SweepSpec, SweepTable};
+
+fn main() {
+    let spec = SweepSpec::new("smoke", StandaloneConfig::default())
+        .kernel(KernelSpec::custom("gemm[n=8,u=2]", || {
+            machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 2 })
+        }))
+        .kernel(KernelSpec::bench(machsuite::Bench::SpmvCrs))
+        .axis(Axis::spm_ports(&[1, 2]))
+        .axis(Axis::reservation_entries(&[8, 64]));
+    let points = spec.points();
+    let run = run_sweep(&points, &DseOptions::default());
+
+    let mut t = SweepTable::new("DSE smoke sweep", &["point", "cycles", "cached"]);
+    for (point, outcome) in points.iter().zip(&run.outcomes) {
+        assert!(
+            outcome.payload.verified,
+            "{} failed verification",
+            point.label()
+        );
+        t.row(vec![
+            point.label(),
+            outcome.payload.cycles.to_string(),
+            if outcome.from_cache { "yes" } else { "no" }.into(),
+        ]);
+    }
+    println!("{}", t.render_auto());
+    println!("dse: {}", run.summary());
+}

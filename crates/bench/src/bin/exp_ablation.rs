@@ -1,36 +1,66 @@
 //! Ablations of the design decisions called out in DESIGN.md §5: what each
 //! modeling choice in the runtime engine costs or buys.
+//!
+//! Each ablation is a [`SweepSpec`] on the DSE engine — parallel across
+//! `SALAM_JOBS` workers, cached under `target/dse-cache/` — and the tables
+//! below are pivots of the sweep's outcomes.
 
 use hw_profile::FuKind;
 use machsuite::Bench;
-use salam::standalone::{run_kernel, StandaloneConfig};
-use salam_bench::table::Table;
-use salam_cdfg::FuConstraints;
+use salam::standalone::StandaloneConfig;
+use salam::RunReport;
+use salam_bench::runners::wide_window;
+use salam_dse::{run_sweep, Axis, DseOptions, KernelSpec, SweepRun, SweepSpec, SweepTable};
 
-fn run_with(bench: Bench, f: impl FnOnce(&mut StandaloneConfig)) -> u64 {
-    let k = bench.build_standard();
-    let mut cfg = StandaloneConfig::default();
-    f(&mut cfg);
-    let r = run_kernel(&k, &cfg);
-    assert!(r.verified, "{bench:?} ablation broke correctness");
-    r.cycles
+/// Runs a spec and returns its points with the verified outcomes.
+fn sweep(
+    spec: &SweepSpec,
+    opts: &DseOptions,
+    totals: &mut (usize, usize, usize),
+) -> SweepRun<RunReport> {
+    let run = run_sweep(&spec.points(), opts);
+    for (point, outcome) in spec.points().iter().zip(&run.outcomes) {
+        assert!(
+            outcome.payload.verified,
+            "{} ablation broke correctness",
+            point.label()
+        );
+    }
+    totals.0 += run.hits;
+    totals.1 += run.misses;
+    totals.2 += run.corrupt;
+    run
 }
 
 fn main() {
+    let opts = DseOptions::default();
+    let mut totals = (0usize, 0usize, 0usize);
+
     // 1. Register-hazard model: per-instance dynamic contexts (default,
     //    implicit renaming) vs strict WAR/WAW on architectural registers.
-    let mut t = Table::new(
-        "Ablation 1: register-hazard model (cycles)",
-        &["bench", "renamed (default)", "strict WAR/WAW", "slowdown"],
-    );
-    for bench in [
+    let benches1 = [
         Bench::MdKnn,
         Bench::GemmNcubed,
         Bench::FftStrided,
         Bench::Stencil2d,
-    ] {
-        let renamed = run_with(bench, |_| {});
-        let strict = run_with(bench, |c| c.engine.strict_register_hazards = true);
+    ];
+    let spec = benches1
+        .iter()
+        .fold(
+            SweepSpec::new("ablation-hazards", StandaloneConfig::default()),
+            |s, &b| s.kernel(KernelSpec::bench(b)),
+        )
+        .axis(Axis::toggle("strict", |c, on| {
+            c.engine.strict_register_hazards = on;
+        }));
+    let run = sweep(&spec, &opts, &mut totals);
+    let mut t = SweepTable::new(
+        "Ablation 1: register-hazard model (cycles)",
+        &["bench", "renamed (default)", "strict WAR/WAW", "slowdown"],
+    );
+    for (i, bench) in benches1.iter().enumerate() {
+        let renamed = run.outcomes[2 * i].payload.cycles;
+        let strict = run.outcomes[2 * i + 1].payload.cycles;
         t.row(vec![
             bench.label().into(),
             renamed.to_string(),
@@ -42,7 +72,18 @@ fn main() {
 
     // 2. Functional-unit pipelining: units busy until commit (default,
     //    SALAM's model) vs initiation-interval-1 pipelines.
-    let mut t = Table::new(
+    let benches2 = [Bench::MdKnn, Bench::MdGrid, Bench::GemmNcubed];
+    let spec = benches2
+        .iter()
+        .fold(
+            SweepSpec::new("ablation-pipelining", StandaloneConfig::default()),
+            |s, &b| s.kernel(KernelSpec::bench(b)),
+        )
+        .axis(Axis::toggle("pipelined", |c, on| {
+            c.engine.pipelined_fus = on
+        }));
+    let run = sweep(&spec, &opts, &mut totals);
+    let mut t = SweepTable::new(
         "Ablation 2: functional-unit pipelining (cycles)",
         &[
             "bench",
@@ -51,9 +92,9 @@ fn main() {
             "speedup",
         ],
     );
-    for bench in [Bench::MdKnn, Bench::MdGrid, Bench::GemmNcubed] {
-        let unpiped = run_with(bench, |_| {});
-        let piped = run_with(bench, |c| c.engine.pipelined_fus = true);
+    for (i, bench) in benches2.iter().enumerate() {
+        let unpiped = run.outcomes[2 * i].payload.cycles;
+        let piped = run.outcomes[2 * i + 1].payload.cycles;
         t.row(vec![
             bench.label().into(),
             unpiped.to_string(),
@@ -64,17 +105,28 @@ fn main() {
     println!("{}", t.render_auto());
 
     // 3. Reservation-window depth: the block-fetch lookahead knob.
-    let mut t = Table::new(
+    let benches3 = [Bench::Nw, Bench::MdGrid, Bench::GemmNcubed];
+    let windows = [32usize, 128, 512, 2048];
+    let spec = benches3
+        .iter()
+        .fold(
+            SweepSpec::new("ablation-window", StandaloneConfig::default()),
+            |s, &b| s.kernel(KernelSpec::bench(b)),
+        )
+        .axis(Axis::reservation_entries(&windows));
+    let run = sweep(&spec, &opts, &mut totals);
+    let mut t = SweepTable::new(
         "Ablation 3: reservation window (cycles)",
         &["bench", "w=32", "w=128", "w=512", "w=2048"],
     );
-    for bench in [Bench::Nw, Bench::MdGrid, Bench::GemmNcubed] {
-        let cells: Vec<String> = [32usize, 128, 512, 2048]
-            .iter()
-            .map(|&w| run_with(bench, |c| c.engine.reservation_entries = w).to_string())
-            .collect();
+    for (i, bench) in benches3.iter().enumerate() {
         let mut row = vec![bench.label().to_string()];
-        row.extend(cells);
+        row.extend((0..windows.len()).map(|j| {
+            run.outcomes[windows.len() * i + j]
+                .payload
+                .cycles
+                .to_string()
+        }));
         t.row(row);
     }
     println!("{}", t.render_auto());
@@ -82,29 +134,43 @@ fn main() {
     // 4. Datapath/memory decoupling: sweeping FU limits at fixed memory and
     //    memory ports at fixed FUs, independently — the knob separation
     //    gem5-Aladdin cannot offer (§II).
-    let mut t = Table::new(
+    let fu_limits = [1u32, 4, 16];
+    let ports = [2u32, 8, 32];
+    let fu_axis = fu_limits.iter().fold(Axis::new("fu"), |a, &fu| {
+        a.setting(fu.to_string(), move |c: &mut StandaloneConfig| {
+            c.constraints = c
+                .constraints
+                .clone()
+                .with_limit(FuKind::FpMulF64, fu)
+                .with_limit(FuKind::FpAddF64, fu);
+        })
+    });
+    let spec = SweepSpec::new(
+        "ablation-decoupling",
+        wide_window(StandaloneConfig::default()),
+    )
+    .kernel(KernelSpec::custom("gemm[n=16,u=8]", || {
+        machsuite::gemm::build(&machsuite::gemm::Params { n: 16, unroll: 8 })
+    }))
+    .axis(fu_axis)
+    .axis(Axis::spm_ports(&ports));
+    let run = sweep(&spec, &opts, &mut totals);
+    let mut t = SweepTable::new(
         "Ablation 4: independent datapath / memory sweeps on GEMM (cycles)",
         &["fmul limit", "ports=2", "ports=8", "ports=32"],
     );
-    let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 16, unroll: 8 });
-    for fu in [1u32, 4, 16] {
+    for (i, fu) in fu_limits.iter().enumerate() {
         let mut row = vec![fu.to_string()];
-        for ports in [2u32, 8, 32] {
-            let mut cfg = StandaloneConfig::default()
-                .with_ports(ports)
-                .with_constraints(
-                    FuConstraints::unconstrained()
-                        .with_limit(FuKind::FpMulF64, fu)
-                        .with_limit(FuKind::FpAddF64, fu),
-                );
-            cfg.engine.reservation_entries = 512;
-            let r = run_kernel(&k, &cfg);
-            assert!(r.verified);
-            row.push(r.cycles.to_string());
-        }
+        row.extend(
+            (0..ports.len()).map(|j| run.outcomes[ports.len() * i + j].payload.cycles.to_string()),
+        );
         t.row(row);
     }
     println!("{}", t.render_auto());
+    println!(
+        "dse: hits={} misses={} corrupt={}",
+        totals.0, totals.1, totals.2
+    );
     println!(
         "Ablation 1 shows why per-instance contexts matter: strict register\n\
          hazards serialize every value consumed late in an iteration. Ablation 3\n\

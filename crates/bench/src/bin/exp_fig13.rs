@@ -7,11 +7,7 @@
 
 use hw_profile::FuKind;
 use salam::standalone::{run_kernel, StandaloneConfig};
-
-fn wide_window(mut cfg: StandaloneConfig) -> StandaloneConfig {
-    cfg.engine.reservation_entries = 512;
-    cfg
-}
+use salam_bench::runners::wide_window;
 use salam_bench::table::Table;
 use salam_cdfg::FuConstraints;
 

@@ -9,12 +9,7 @@
 //! Perfetto to see each op's issue→retire span and the stall instants.
 
 use salam::standalone::{run_kernel, StandaloneConfig};
-use salam_bench::runners::run_kernel_observed;
-
-fn wide_window(mut cfg: StandaloneConfig) -> StandaloneConfig {
-    cfg.engine.reservation_entries = 512;
-    cfg
-}
+use salam_bench::runners::{run_kernel_observed, wide_window};
 use salam_bench::table::Table;
 
 fn main() {

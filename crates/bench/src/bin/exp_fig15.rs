@@ -4,21 +4,36 @@
 //! (a) stalls vs. new-execution per configuration; (b) memory-parallelism
 //! mix vs. FP-multiplier occupancy; (c) scheduling-mix vs. execution time;
 //! (d) scheduling-mix vs. power.
+//!
+//! Runs on the DSE engine: `SALAM_JOBS` sets the worker count, and results
+//! persist under `target/dse-cache/` (`SALAM_DSE_CACHE` overrides, and
+//! `SALAM_DSE_NO_CACHE=1` disables), so a re-run after the first is served
+//! entirely from the cache.
 
 use hw_profile::FuKind;
-use salam::standalone::{run_kernel, StandaloneConfig};
-
-fn wide_window(mut cfg: StandaloneConfig) -> StandaloneConfig {
-    cfg.engine.reservation_entries = 512;
-    cfg
-}
-use salam_bench::table::Table;
+use salam::standalone::StandaloneConfig;
+use salam_bench::runners::wide_window;
 use salam_cdfg::FuConstraints;
+use salam_dse::{
+    metrics_rollup, objectives, pareto_frontier, run_sweep, Axis, DseOptions, KernelSpec,
+    SweepSpec, SweepTable,
+};
 
 fn main() {
-    let kernel = machsuite::gemm::build(&machsuite::gemm::Params { n: 16, unroll: 16 });
+    let base = wide_window(
+        StandaloneConfig::default()
+            .with_constraints(FuConstraints::unconstrained().with_limit(FuKind::FpAddF64, 64)),
+    );
+    let spec = SweepSpec::new("fig15", base)
+        .kernel(KernelSpec::custom("gemm[n=16,u=16]", || {
+            machsuite::gemm::build(&machsuite::gemm::Params { n: 16, unroll: 16 })
+        }))
+        .axis(Axis::fu_limit(FuKind::FpMulF64, &[2, 4, 8, 16]).named("fmul"))
+        .axis(Axis::spm_ports(&[4, 8, 16, 32, 64]));
+    let points = spec.points();
+    let run = run_sweep(&points, &DseOptions::default());
 
-    let mut t = Table::new(
+    let mut t = SweepTable::new(
         "Fig 15: co-design sweep (FADD pool fixed at 64)",
         &[
             "fmul",
@@ -35,45 +50,53 @@ fn main() {
             "power(mW)",
         ],
     );
-    for fmul in [2u32, 4, 8, 16] {
-        for ports in [4u32, 8, 16, 32, 64] {
-            let constraints = FuConstraints::unconstrained()
-                .with_limit(FuKind::FpAddF64, 64)
-                .with_limit(FuKind::FpMulF64, fmul);
-            let cfg = wide_window(
-                StandaloneConfig::default()
-                    .with_ports(ports)
-                    .with_constraints(constraints),
-            );
-            let r = run_kernel(&kernel, &cfg);
-            assert!(r.verified);
-            let st = &r.stats;
-            let total = st.cycles as f64;
-            let execp = st.new_exec_cycles as f64 / total * 100.0;
-            // Percentages are over all cycles, like the paper's per-cycle
-            // scheduling-activity plots.
-            let mix =
-                |k: &str| st.mem_mix_cycles.get(k).copied().unwrap_or(0) as f64 / total * 100.0;
-            let sched = |k: &str| {
-                st.class_active_cycles.get(k).copied().unwrap_or(0) as f64 / total * 100.0
-            };
-            t.row(vec![
-                fmul.to_string(),
-                ports.to_string(),
-                format!("{:.1}", st.stall_cycles as f64 / total * 100.0),
-                format!("{execp:.1}"),
-                format!("{:.1}", mix("load")),
-                format!("{:.1}", mix("store")),
-                format!("{:.1}", mix("load+store")),
-                format!("{:.1}", st.fu_occupancy(FuKind::FpMulF64) * 100.0),
-                format!("{:.1}", sched("float")),
-                format!("{:.1}", sched("load") + sched("store")),
-                st.cycles.to_string(),
-                format!("{:.2}", r.power.total_mw()),
-            ]);
-        }
+    for (point, outcome) in points.iter().zip(&run.outcomes) {
+        let r = &outcome.payload;
+        assert!(r.verified);
+        let st = &r.stats;
+        let total = st.cycles as f64;
+        let execp = st.new_exec_cycles as f64 / total * 100.0;
+        // Percentages are over all cycles, like the paper's per-cycle
+        // scheduling-activity plots.
+        let mix = |k: &str| st.mem_mix_cycles.get(k).copied().unwrap_or(0) as f64 / total * 100.0;
+        let sched =
+            |k: &str| st.class_active_cycles.get(k).copied().unwrap_or(0) as f64 / total * 100.0;
+        let mut row: Vec<String> = point.coords.iter().map(|(_, v)| v.clone()).collect();
+        row.extend([
+            format!("{:.1}", st.stall_cycles as f64 / total * 100.0),
+            format!("{execp:.1}"),
+            format!("{:.1}", mix("load")),
+            format!("{:.1}", mix("store")),
+            format!("{:.1}", mix("load+store")),
+            format!("{:.1}", st.fu_occupancy(FuKind::FpMulF64) * 100.0),
+            format!("{:.1}", sched("float")),
+            format!("{:.1}", sched("load") + sched("store")),
+            st.cycles.to_string(),
+            format!("{:.2}", r.power.total_mw()),
+        ]);
+        t.row(row);
     }
     println!("{}", t.render_auto());
+
+    // The (cycles, area, power) Pareto frontier of the swept space.
+    let objs: Vec<[f64; 3]> = run
+        .outcomes
+        .iter()
+        .map(|o| objectives(&o.payload))
+        .collect();
+    let frontier = pareto_frontier(&objs);
+    let labels: Vec<String> = frontier.iter().map(|&i| points[i].label()).collect();
+    println!("pareto frontier (cycles/area/power): {}", labels.join(", "));
+
+    let reg = metrics_rollup(
+        &spec.name,
+        points
+            .iter()
+            .zip(&run.outcomes)
+            .map(|(p, o)| (p.label(), &o.payload)),
+    );
+    println!("metrics rollup: {} series exported", reg.len());
+    println!("dse: {}", run.summary());
     println!(
         "(a)=stall/exec columns, (b)=memory-mix vs fmul occupancy,\n\
          (c)=scheduling mix vs cycles, (d)=scheduling mix vs power"

@@ -1,12 +1,20 @@
 //! Fig. 16 — multi-accelerator integration scenarios for the CNN layer-1
 //! pipeline: private SPMs + DMA (baseline), shared SPM with central
 //! synchronization, and direct stream-buffer pipelining.
+//!
+//! Runs on the DSE engine: the three scenarios are one sweep, simulated
+//! across `SALAM_JOBS` workers and cached under `target/dse-cache/` so a
+//! re-run is instant. `--sweep` additionally explores DMA-burst × stream
+//! depth around each scenario.
 
-use salam_bench::fig16::{run_scenario, Scenario};
-use salam_bench::table::Table;
+use salam_bench::fig16::{Fig16Params, Fig16Point, Scenario};
+use salam_dse::{run_sweep, DseOptions, SweepTable};
 
-fn main() {
-    let mut t = Table::new(
+fn scenario_table(
+    points: &[Fig16Point],
+    run: &salam_dse::SweepRun<salam_bench::fig16::Fig16Record>,
+) {
+    let mut t = SweepTable::new(
         "Fig 16: producer-consumer accelerator scenarios",
         &[
             "scenario",
@@ -19,21 +27,76 @@ fn main() {
         ],
     );
     let mut baseline = None;
-    for s in Scenario::ALL {
-        let r = run_scenario(s);
-        assert!(r.verified, "{} produced wrong output", s.label());
+    for (point, outcome) in points.iter().zip(&run.outcomes) {
+        let r = &outcome.payload;
+        assert!(
+            r.verified,
+            "{} produced wrong output",
+            point.scenario.label()
+        );
         let base = *baseline.get_or_insert(r.total_ns);
-        let span = |i: usize| format!("{:.2}", r.accel_spans_ns[i].1 / 1000.0);
         t.row(vec![
-            s.label().into(),
+            point.scenario.label().into(),
             format!("{:.2}", r.total_ns / 1000.0),
-            span(0),
-            span(1),
-            span(2),
+            format!("{:.2}", r.spans_ns[0] / 1000.0),
+            format!("{:.2}", r.spans_ns[1] / 1000.0),
+            format!("{:.2}", r.spans_ns[2] / 1000.0),
             format!("{:.2}x", base / r.total_ns),
             "yes".into(),
         ]);
     }
     println!("{}", t.render_auto());
+}
+
+fn integration_sweep() {
+    let mut points = Vec::new();
+    for scenario in Scenario::ALL {
+        for dma_burst in [16u32, 64, 256] {
+            for stream_capacity in [4u32, 16, 64] {
+                points.push(Fig16Point {
+                    scenario,
+                    params: Fig16Params {
+                        dma_burst,
+                        stream_capacity,
+                        ..Fig16Params::default()
+                    },
+                });
+            }
+        }
+    }
+    let run = run_sweep(&points, &DseOptions::default());
+    let mut t = SweepTable::new(
+        "Fig 16 extended: integration-parameter sweep",
+        &["scenario", "dma-burst", "stream-depth", "total(us)", "ok"],
+    );
+    for (point, outcome) in points.iter().zip(&run.outcomes) {
+        let r = &outcome.payload;
+        t.row(vec![
+            point.scenario.label().into(),
+            point.params.dma_burst.to_string(),
+            point.params.stream_capacity.to_string(),
+            format!("{:.2}", r.total_ns / 1000.0),
+            if r.verified { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    println!("{}", t.render_auto());
+    println!("dse: {}", run.summary());
+}
+
+fn main() {
+    let points: Vec<Fig16Point> = Scenario::ALL
+        .into_iter()
+        .map(|scenario| Fig16Point {
+            scenario,
+            params: Fig16Params::default(),
+        })
+        .collect();
+    let run = run_sweep(&points, &DseOptions::default());
+    scenario_table(&points, &run);
+    println!("dse: {}", run.summary());
     println!("(paper: shared SPM ~1.25x, stream buffers ~2.08x over the baseline)");
+
+    if std::env::args().any(|a| a == "--sweep") {
+        integration_sweep();
+    }
 }

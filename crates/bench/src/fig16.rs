@@ -3,9 +3,10 @@
 
 use memsys::{DmaCmd, MemMsg, ScratchpadConfig, StreamBuffer, StreamBufferConfig};
 use salam::{
-    AcceleratorConfig, ClusterBuilder, ClusterConfig, ComputeUnit, Host, HostConfig, HostOp,
-    MemoryStyle,
+    scratchpad_canonical_repr, AcceleratorConfig, ClusterBuilder, ClusterConfig, ComputeUnit, Host,
+    HostConfig, HostOp, MemoryStyle,
 };
+use salam_dse::{CacheId, CachePayload, SweepJob};
 use salam_ir::Function;
 use sim_core::{CompId, Simulation, Tick};
 
@@ -36,6 +37,76 @@ impl Scenario {
     }
 }
 
+/// The cluster-integration knobs the Fig. 16 sweep explores. Everything
+/// else in the scenario (kernel shapes, address maps, host program) is
+/// fixed; these four are where the paper's integration trade-offs live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig16Params {
+    /// Cluster DMA burst size in bytes.
+    pub dma_burst: u32,
+    /// Local crossbar width in bytes per cycle.
+    pub xbar_width: u32,
+    /// Stream-buffer capacity in beats (scenario C only).
+    pub stream_capacity: u32,
+    /// Symmetric read/write ports on every SPM (private and shared).
+    pub spm_ports: u32,
+}
+
+impl Default for Fig16Params {
+    /// The values the paper's Fig. 16 runs used.
+    fn default() -> Self {
+        Fig16Params {
+            dma_burst: 64,
+            xbar_width: 8,
+            stream_capacity: 16,
+            spm_ports: 4,
+        }
+    }
+}
+
+impl Fig16Params {
+    fn spm_cfg(&self) -> ScratchpadConfig {
+        ScratchpadConfig::default().with_ports(self.spm_ports, self.spm_ports)
+    }
+
+    fn cluster_cfg(&self, scenario: Scenario) -> ClusterConfig {
+        let mut cfg = ClusterConfig {
+            dma_burst: self.dma_burst,
+            xbar_width: self.xbar_width,
+            shared_spm: self.spm_cfg(),
+            ..ClusterConfig::default()
+        };
+        if scenario != Scenario::SharedSpm {
+            cfg.shared_spm_bytes = 0;
+        }
+        cfg
+    }
+
+    fn stream_cfg(&self) -> StreamBufferConfig {
+        StreamBufferConfig {
+            capacity_beats: self.stream_capacity,
+            beat_bytes: 4,
+            ..Default::default()
+        }
+    }
+
+    /// Canonical knob text for the DSE cache: covers every parameter that
+    /// can change a scenario's result, including the derived cluster and
+    /// stream configurations.
+    pub fn canonical_repr(&self, scenario: Scenario) -> String {
+        let stream = self.stream_cfg();
+        format!(
+            "cluster: {}\nstream: capacity_beats={};beat_bytes={};latency={};period_ps={}\nprivate_spm: {}\nwindow=512",
+            self.cluster_cfg(scenario).canonical_repr(),
+            stream.capacity_beats,
+            stream.beat_bytes,
+            stream.latency_cycles,
+            stream.clock.period(),
+            scratchpad_canonical_repr(&self.spm_cfg()),
+        )
+    }
+}
+
 /// Outcome of one scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioResult {
@@ -59,10 +130,6 @@ const W_BYTES: u64 = (cnn::K * cnn::K * 4) as u64;
 const CONV_BYTES: u64 = (cnn::CONV_DIM * cnn::CONV_DIM * 4) as u64;
 const POOL_BYTES: u64 = (cnn::POOL_DIM * cnn::POOL_DIM * 4) as u64;
 
-fn spm_cfg() -> ScratchpadConfig {
-    ScratchpadConfig::default().with_ports(4, 4)
-}
-
 fn mmr_args(via: CompId, mmr_base: u64, args: &[u64]) -> Vec<HostOp> {
     let mut ops = Vec::new();
     for (i, &v) in args.iter().enumerate() {
@@ -75,8 +142,13 @@ fn mmr_args(via: CompId, mmr_base: u64, args: &[u64]) -> Vec<HostOp> {
     ops
 }
 
-/// Builds and runs one scenario, returning its timing result.
+/// Builds and runs one scenario with the paper's default parameters.
 pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
+    run_scenario_with(scenario, &Fig16Params::default())
+}
+
+/// Builds and runs one scenario under explicit integration parameters.
+pub fn run_scenario_with(scenario: Scenario, params: &Fig16Params) -> ScenarioResult {
     let mut rng = machsuite::data::rng(0xC44);
     let input = machsuite::data::f32_vec(&mut rng, cnn::IN_DIM * cnn::IN_DIM, -1.0, 1.0);
     let weights = machsuite::data::f32_vec(&mut rng, cnn::K * cnn::K, -1.0, 1.0);
@@ -85,14 +157,7 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
     let mut sim: Simulation<MemMsg> = Simulation::new();
     let profile = hw_profile::HardwareProfile::default_40nm();
 
-    let cluster_cfg = match scenario {
-        Scenario::SharedSpm => ClusterConfig::default(),
-        _ => ClusterConfig {
-            shared_spm_bytes: 0,
-            ..ClusterConfig::default()
-        },
-    };
-    let mut builder = ClusterBuilder::new(cluster_cfg, profile.clone());
+    let mut builder = ClusterBuilder::new(params.cluster_cfg(scenario), profile.clone());
 
     // Kernels per scenario.
     let (conv_f, relu_f, pool_f): (Function, Function, Function) = match scenario {
@@ -113,11 +178,7 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
     let stream_a_base = 0x3000_0000u64;
     let stream_b_base = 0x3000_1000u64;
     let (stream_a, stream_b) = if scenario == Scenario::Stream {
-        let cfg = StreamBufferConfig {
-            capacity_beats: 16,
-            beat_bytes: 4,
-            ..Default::default()
-        };
+        let cfg = params.stream_cfg();
         let a = sim.add_component(StreamBuffer::new("stream_a", cfg));
         let b = sim.add_component(StreamBuffer::new("stream_b", cfg));
         builder.add_local_range(stream_a_base, stream_a_base + 0x100, a);
@@ -134,7 +195,7 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
     let style = |base| MemoryStyle::PrivateSpm {
         base,
         size: 0x4000,
-        spm: spm_cfg(),
+        spm: params.spm_cfg(),
     };
     let conv_style = match scenario {
         Scenario::SharedSpm => MemoryStyle::GlobalOnly,
@@ -363,6 +424,101 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioResult {
     }
 }
 
+/// The distilled, cacheable result of one Fig. 16 design point — the
+/// fields the sweep report needs, decoupled from the full `Simulation`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig16Record {
+    /// Scenario label (see [`Scenario::label`]).
+    pub scenario: String,
+    /// End-to-end time in nanoseconds.
+    pub total_ns: f64,
+    /// Busy span of each stage in nanoseconds, `[conv, relu, pool]`.
+    pub spans_ns: [f64; 3],
+    /// Final output verified against the golden model.
+    pub verified: bool,
+}
+
+impl From<&ScenarioResult> for Fig16Record {
+    fn from(r: &ScenarioResult) -> Self {
+        Fig16Record {
+            scenario: r.scenario.label().to_string(),
+            total_ns: r.total_ns,
+            spans_ns: [
+                r.accel_spans_ns[0].1,
+                r.accel_spans_ns[1].1,
+                r.accel_spans_ns[2].1,
+            ],
+            verified: r.verified,
+        }
+    }
+}
+
+impl CachePayload for Fig16Record {
+    fn payload_to_json(&self) -> String {
+        format!(
+            "{{\"scenario\": \"{}\", \"total_ns\": {}, \"conv_ns\": {}, \"relu_ns\": {}, \"pool_ns\": {}, \"verified\": {}}}",
+            self.scenario,
+            self.total_ns,
+            self.spans_ns[0],
+            self.spans_ns[1],
+            self.spans_ns[2],
+            self.verified,
+        )
+    }
+
+    fn payload_from_json(v: &salam_obs::json::Value) -> Result<Self, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("missing number '{key}'"))
+        };
+        Ok(Fig16Record {
+            scenario: v
+                .get("scenario")
+                .and_then(|x| x.as_str())
+                .ok_or("missing 'scenario'")?
+                .to_string(),
+            total_ns: num("total_ns")?,
+            spans_ns: [num("conv_ns")?, num("relu_ns")?, num("pool_ns")?],
+            verified: v
+                .get("verified")
+                .and_then(salam_obs::json::Value::as_bool)
+                .ok_or("missing 'verified'")?,
+        })
+    }
+}
+
+/// One point of the Fig. 16 integration sweep: a scenario plus its
+/// parameters, runnable (and cacheable) by the DSE engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig16Point {
+    /// Which integration style.
+    pub scenario: Scenario,
+    /// The swept knobs.
+    pub params: Fig16Params,
+}
+
+impl SweepJob for Fig16Point {
+    type Output = Fig16Record;
+
+    fn cache_id(&self) -> CacheId {
+        CacheId::new(
+            format!("fig16/{}", self.scenario.label()),
+            self.params.canonical_repr(self.scenario),
+        )
+    }
+
+    fn run(&self) -> Fig16Record {
+        let result = run_scenario_with(self.scenario, &self.params);
+        assert!(
+            result.verified,
+            "{} produced wrong output",
+            self.scenario.label()
+        );
+        (&result).into()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +541,68 @@ mod tests {
             "shared SPM ({:.0} ns) should beat private+DMA ({:.0} ns)",
             b.total_ns,
             a.total_ns
+        );
+    }
+
+    #[test]
+    fn record_json_roundtrips_exactly() {
+        let rec = Fig16Record {
+            scenario: "stream-buffers".into(),
+            total_ns: 1234.5,
+            spans_ns: [100.25, 90.0, 80.125],
+            verified: true,
+        };
+        let text = rec.payload_to_json();
+        let v = salam_obs::json::parse(&text).unwrap();
+        let back = Fig16Record::payload_from_json(&v).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.payload_to_json(), text);
+    }
+
+    #[test]
+    fn params_change_the_cache_identity() {
+        let base = Fig16Point {
+            scenario: Scenario::PrivateSpm,
+            params: Fig16Params::default(),
+        };
+        let wide_dma = Fig16Point {
+            params: Fig16Params {
+                dma_burst: 256,
+                ..Fig16Params::default()
+            },
+            ..base
+        };
+        let other_scenario = Fig16Point {
+            scenario: Scenario::Stream,
+            ..base
+        };
+        assert_ne!(base.cache_id().key(), wide_dma.cache_id().key());
+        assert_ne!(base.cache_id().key(), other_scenario.cache_id().key());
+        assert_eq!(base.cache_id().key(), base.cache_id().key());
+    }
+
+    #[test]
+    fn wider_dma_bursts_do_not_slow_the_baseline() {
+        let slow = run_scenario_with(
+            Scenario::PrivateSpm,
+            &Fig16Params {
+                dma_burst: 16,
+                ..Fig16Params::default()
+            },
+        );
+        let fast = run_scenario_with(
+            Scenario::PrivateSpm,
+            &Fig16Params {
+                dma_burst: 256,
+                ..Fig16Params::default()
+            },
+        );
+        assert!(slow.verified && fast.verified);
+        assert!(
+            fast.total_ns <= slow.total_ns,
+            "256 B bursts ({:.0} ns) should not lose to 16 B ({:.0} ns)",
+            fast.total_ns,
+            slow.total_ns
         );
     }
 

@@ -71,6 +71,21 @@ impl FuConstraints {
     pub fn limit(&self, kind: FuKind) -> Option<u32> {
         self.limits.get(&kind).copied()
     }
+
+    /// A canonical single-line text form (`fpmul_f64=4,int_add=2` style,
+    /// `unconstrained` when empty). Equal constraints always produce equal
+    /// strings — the design-space-exploration cache keys on this.
+    pub fn canonical_repr(&self) -> String {
+        if self.limits.is_empty() {
+            return "unconstrained".to_string();
+        }
+        let parts: Vec<String> = self
+            .limits
+            .iter()
+            .map(|(k, v)| format!("{}={v}", k.name()))
+            .collect();
+        parts.join(",")
+    }
 }
 
 /// One statically elaborated operation.

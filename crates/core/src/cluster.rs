@@ -62,6 +62,38 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Canonical `key=value` text for a [`ScratchpadConfig`] (shared with the
+/// per-accelerator private-SPM style), for sweep cache keys.
+pub fn scratchpad_canonical_repr(spm: &ScratchpadConfig) -> String {
+    format!(
+        "latency={};read_ports={};write_ports={};banks={};bank_word={};period_ps={}",
+        spm.latency_cycles,
+        spm.read_ports,
+        spm.write_ports,
+        spm.banks,
+        spm.bank_word,
+        spm.clock.period(),
+    )
+}
+
+impl ClusterConfig {
+    /// A canonical single-line-per-knob text form. Equal configs always
+    /// produce equal strings — the design-space-exploration cache keys on
+    /// this when sweeping cluster integration scenarios.
+    pub fn canonical_repr(&self) -> String {
+        format!(
+            "shared_spm_base={:#x};shared_spm_bytes={};shared_spm:[{}];dma_burst={};dma_inflight={};xbar_latency={};xbar_width={}",
+            self.shared_spm_base,
+            self.shared_spm_bytes,
+            scratchpad_canonical_repr(&self.shared_spm),
+            self.dma_burst,
+            self.dma_inflight,
+            self.xbar_latency,
+            self.xbar_width,
+        )
+    }
+}
+
 struct AccelDesc {
     cfg: AcceleratorConfig,
     func: Function,

@@ -46,8 +46,8 @@ pub mod standalone;
 
 pub use accel::{AcceleratorConfig, CommConfig, ComputeUnit, ACC_DONE};
 pub use cluster::{
-    build_system, build_system_with_llc, AccelHandle, AcceleratorCluster, ClusterBuilder,
-    ClusterConfig, MemoryStyle,
+    build_system, build_system_with_llc, scratchpad_canonical_repr, AccelHandle,
+    AcceleratorCluster, ClusterBuilder, ClusterConfig, MemoryStyle,
 };
 pub use host::{Host, HostConfig, HostOp};
 pub use report::{PowerBreakdown, RunReport};

@@ -58,6 +58,24 @@ impl StandaloneConfig {
         self.constraints = constraints;
         self
     }
+
+    /// A canonical multi-line text form covering every knob that can change
+    /// a run's result: the datapath constraints, engine tunables, SPM
+    /// timing/ports, and the full hardware profile. Equal configs always
+    /// produce equal strings; the design-space-exploration cache hashes
+    /// this (together with the kernel identity) into its content address.
+    pub fn canonical_repr(&self) -> String {
+        format!(
+            "constraints: {}\nengine: {}\nspm: latency={};read_ports={};write_ports={};word_bytes={}\nprofile:\n{}",
+            self.constraints.canonical_repr(),
+            self.engine.canonical_repr(),
+            self.spm_latency,
+            self.spm_read_ports,
+            self.spm_write_ports,
+            self.spm_word_bytes,
+            self.profile.to_text(),
+        )
+    }
 }
 
 /// Runs `kernel` on the runtime engine with a private SPM and returns the

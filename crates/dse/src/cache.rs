@@ -1,0 +1,290 @@
+//! The persistent, content-addressed result cache.
+//!
+//! One design point = one JSON file under the cache directory, named by
+//! the FNV-1a hash of the point's identity (format version + domain +
+//! canonical config text). Every entry embeds enough redundancy — the
+//! expected key, the domain, the canonical text's length and an
+//! independent check hash — that a stale, truncated, hand-edited or
+//! hash-colliding file is detected on read and treated as a miss: the
+//! point is re-simulated and the entry rewritten. Writes go through a
+//! temp file + rename so a crashed run never leaves a half-written entry
+//! behind.
+
+use std::path::{Path, PathBuf};
+
+use crate::fnv::{fnv1a64, fnv1a64_from, hex64, splitmix_finalize};
+use salam::RunReport;
+use salam_obs::json::{self, Value};
+
+/// Bumped whenever the entry format or any payload serialization changes
+/// incompatibly; old entries then read as misses, never as wrong results.
+pub const CACHE_FORMAT_VERSION: u64 = 1;
+
+/// A value that can live in the cache: serializes to a JSON object and
+/// parses back from the entry's embedded payload value.
+pub trait CachePayload: Sized {
+    /// The payload as a standalone JSON object text.
+    fn payload_to_json(&self) -> String;
+
+    /// Parses the payload from the entry's already-parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Any message marks the entry corrupt (the point is re-simulated).
+    fn payload_from_json(v: &Value) -> Result<Self, String>;
+}
+
+impl CachePayload for RunReport {
+    fn payload_to_json(&self) -> String {
+        self.to_json()
+    }
+
+    fn payload_from_json(v: &Value) -> Result<Self, String> {
+        RunReport::from_json_value(v)
+    }
+}
+
+/// The identity of one design point: a `domain` namespace (e.g.
+/// `standalone/gemm-ncubed` or `fig16/stream-buffers`) plus the canonical
+/// text of every knob that can change the result. Equal identities — and
+/// only equal identities — map to the same cache entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheId {
+    /// Namespace: execution model + kernel/scenario identity.
+    pub domain: String,
+    /// Canonical configuration text (see `canonical_repr` on the config
+    /// types). Not hashed-only: its length and check hash are stored in
+    /// the entry so collisions are detected rather than served.
+    pub canon: String,
+}
+
+impl CacheId {
+    pub fn new(domain: impl Into<String>, canon: impl Into<String>) -> Self {
+        CacheId {
+            domain: domain.into(),
+            canon: canon.into(),
+        }
+    }
+
+    /// The primary content address (the cache file stem).
+    pub fn key(&self) -> u64 {
+        let mut h = fnv1a64(b"salam-dse");
+        h = fnv1a64_from(h, &CACHE_FORMAT_VERSION.to_le_bytes());
+        h = fnv1a64_from(h, &[0]);
+        h = fnv1a64_from(h, self.domain.as_bytes());
+        h = fnv1a64_from(h, &[0]);
+        fnv1a64_from(h, self.canon.as_bytes())
+    }
+
+    /// Hex form of [`CacheId::key`].
+    pub fn key_hex(&self) -> String {
+        hex64(self.key())
+    }
+
+    /// The independent secondary hash over the canonical text, stored in
+    /// the entry to catch primary-key collisions.
+    pub fn canon_check_hex(&self) -> String {
+        hex64(splitmix_finalize(fnv1a64(self.canon.as_bytes())))
+    }
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug)]
+pub enum Lookup<T> {
+    /// A valid entry was found.
+    Hit(T),
+    /// No entry exists for this key.
+    Miss,
+    /// An entry exists but failed validation; the caller should re-run
+    /// the point and overwrite it.
+    Corrupt,
+}
+
+/// A directory of result entries.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The default location: `$SALAM_DSE_CACHE` if set, else
+    /// `target/dse-cache` under the current directory.
+    pub fn default_dir() -> PathBuf {
+        match std::env::var_os("SALAM_DSE_CACHE") {
+            Some(d) if !d.is_empty() => PathBuf::from(d),
+            _ => PathBuf::from("target/dse-cache"),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file an identity maps to.
+    pub fn entry_path(&self, id: &CacheId) -> PathBuf {
+        self.dir.join(format!("{}.json", id.key_hex()))
+    }
+
+    /// Probes the cache for `id`, validating the entry end to end.
+    pub fn lookup<T: CachePayload>(&self, id: &CacheId) -> Lookup<T> {
+        let path = self.entry_path(id);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Lookup::Miss,
+            Err(_) => return Lookup::Corrupt,
+        };
+        match Self::validate(id, &text) {
+            Ok(payload) => Lookup::Hit(payload),
+            Err(_) => Lookup::Corrupt,
+        }
+    }
+
+    fn validate<T: CachePayload>(id: &CacheId, text: &str) -> Result<T, String> {
+        let v = json::parse(text)?;
+        let field = |key: &str| -> Result<&Value, String> {
+            v.get(key).ok_or_else(|| format!("missing '{key}'"))
+        };
+        if field("version")?.as_f64() != Some(CACHE_FORMAT_VERSION as f64) {
+            return Err("format version mismatch".into());
+        }
+        if field("key")?.as_str() != Some(id.key_hex().as_str()) {
+            return Err("key mismatch".into());
+        }
+        if field("domain")?.as_str() != Some(id.domain.as_str()) {
+            return Err("domain mismatch".into());
+        }
+        if field("canon_len")?.as_f64() != Some(id.canon.len() as f64) {
+            return Err("canonical-config length mismatch".into());
+        }
+        if field("canon_check")?.as_str() != Some(id.canon_check_hex().as_str()) {
+            return Err("canonical-config check-hash mismatch".into());
+        }
+        T::payload_from_json(field("payload")?)
+    }
+
+    /// Writes (or overwrites) the entry for `id` atomically.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only; callers may treat the cache as best-effort.
+    pub fn store<T: CachePayload>(&self, id: &CacheId, payload: &T) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.entry_path(id);
+        let payload_text = payload.payload_to_json();
+        let entry = format!(
+            "{{\n\"version\": {},\n\"key\": \"{}\",\n\"domain\": \"{}\",\n\"canon_len\": {},\n\"canon_check\": \"{}\",\n\"payload\": {}}}\n",
+            CACHE_FORMAT_VERSION,
+            id.key_hex(),
+            escape(&id.domain),
+            id.canon.len(),
+            id.canon_check_hex(),
+            payload_text.trim_end(),
+        );
+        let tmp = self
+            .dir
+            .join(format!(".{}.tmp.{}", id.key_hex(), std::process::id()));
+        std::fs::write(&tmp, entry)?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Number of entries currently on disk (diagnostics / tests).
+    pub fn entry_count(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("salam-dse-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_report() -> RunReport {
+        let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 4, unroll: 1 });
+        salam::standalone::run_kernel(&k, &salam::standalone::StandaloneConfig::default())
+    }
+
+    #[test]
+    fn ids_differ_by_domain_and_canon() {
+        let a = CacheId::new("standalone/gemm", "x=1");
+        let b = CacheId::new("standalone/gemm", "x=2");
+        let c = CacheId::new("standalone/bfs", "x=1");
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_eq!(a.key(), CacheId::new("standalone/gemm", "x=1").key());
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips() {
+        let cache = ResultCache::at(scratch_dir("roundtrip"));
+        let id = CacheId::new("standalone/gemm[n=4,u=1]", "cfg-canon-text");
+        let report = sample_report();
+        assert!(matches!(cache.lookup::<RunReport>(&id), Lookup::Miss));
+        cache.store(&id, &report).unwrap();
+        match cache.lookup::<RunReport>(&id) {
+            Lookup::Hit(back) => {
+                assert_eq!(back.cycles, report.cycles);
+                assert_eq!(back.to_json(), report.to_json());
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn truncated_entry_reads_as_corrupt() {
+        let cache = ResultCache::at(scratch_dir("truncated"));
+        let id = CacheId::new("standalone/x", "canon");
+        cache.store(&id, &sample_report()).unwrap();
+        let path = cache.entry_path(&id);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(matches!(cache.lookup::<RunReport>(&id), Lookup::Corrupt));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn entry_for_different_canon_is_not_served() {
+        // Simulate a primary-key collision: copy an entry onto the file
+        // name of a *different* identity. The canon check must reject it.
+        let cache = ResultCache::at(scratch_dir("collision"));
+        let a = CacheId::new("standalone/x", "canon-a");
+        let b = CacheId::new("standalone/x", "canon-b");
+        cache.store(&a, &sample_report()).unwrap();
+        std::fs::copy(cache.entry_path(&a), cache.entry_path(&b)).unwrap();
+        assert!(matches!(cache.lookup::<RunReport>(&b), Lookup::Corrupt));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let cache = ResultCache::at(scratch_dir("version"));
+        let id = CacheId::new("standalone/x", "canon");
+        cache.store(&id, &sample_report()).unwrap();
+        let path = cache.entry_path(&id);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\"version\": 1", "\"version\": 999")).unwrap();
+        assert!(matches!(cache.lookup::<RunReport>(&id), Lookup::Corrupt));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,72 @@
+//! FNV-1a 64-bit hashing for cache content addresses.
+//!
+//! FNV-1a is the right tool here: the inputs are canonical config texts
+//! (already collision-hardened by storing a secondary check hash and the
+//! input length in each cache entry), the hash must be stable across
+//! platforms and releases, and the implementation is four lines. A
+//! SplitMix64 finalizer decorrelates the secondary hash from the primary.
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes` from the standard offset basis.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_from(FNV_OFFSET, bytes)
+}
+
+/// FNV-1a continuing from an arbitrary state — chain calls to hash
+/// multi-part keys without concatenating.
+pub fn fnv1a64_from(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// The SplitMix64 finalizer: a full-avalanche bijection on `u64`. Applied
+/// to an FNV state it yields a second, independent 64-bit check value.
+pub fn splitmix_finalize(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Lower-case 16-digit hex of a hash value (cache file stems).
+pub fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn chaining_matches_concatenation() {
+        let whole = fnv1a64(b"hello world");
+        let chained = fnv1a64_from(fnv1a64(b"hello "), b"world");
+        assert_eq!(whole, chained);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex64(0), "0000000000000000");
+        assert_eq!(hex64(u64::MAX), "ffffffffffffffff");
+    }
+
+    #[test]
+    fn finalizer_changes_value() {
+        let h = fnv1a64(b"x");
+        assert_ne!(splitmix_finalize(h), h);
+    }
+}

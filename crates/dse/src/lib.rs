@@ -1,0 +1,222 @@
+//! `salam-dse` — the parallel design-space-exploration engine.
+//!
+//! The paper's headline results are parameter sweeps: FU constraints, SPM
+//! ports and latency, DMA burst, crossbar width. This crate turns those
+//! sweeps from serial, from-scratch loops into an engine that is
+//!
+//! * **parallel** — a `std::thread` worker pool ([`pool`]) fed by a
+//!   channel job queue; worker count from `SALAM_JOBS`, default the
+//!   machine's available parallelism;
+//! * **incremental** — a persistent, content-addressed result cache
+//!   ([`cache`]): FNV-1a over the kernel identity and the canonical
+//!   configuration text maps each design point to a JSON entry under
+//!   `target/dse-cache/`, so re-runs and resumed sweeps skip completed
+//!   points, and corrupted entries are detected and re-simulated;
+//! * **deterministic** — a [`SweepSpec`] enumerates its grid in a fixed
+//!   order and results are reassembled in that order, so the report is
+//!   byte-identical whether it ran on one worker or sixteen, from the
+//!   cache or from scratch;
+//! * **reportable** — [`report`] renders CSV/JSON/text tables, rolls every
+//!   point's metrics into one [`salam_obs::MetricsRegistry`], and extracts
+//!   the Pareto frontier over (cycles, area, power).
+//!
+//! Everything is std-only: the workspace stays offline-buildable.
+//!
+//! ```no_run
+//! use salam_dse::{run_sweep, Axis, DseOptions, KernelSpec, SweepSpec};
+//! use salam::standalone::StandaloneConfig;
+//!
+//! let spec = SweepSpec::new("ports", StandaloneConfig::default())
+//!     .kernel(KernelSpec::bench(machsuite::Bench::GemmNcubed))
+//!     .axis(Axis::spm_ports(&[1, 2, 4, 8]));
+//! let run = run_sweep(&spec.points(), &DseOptions::default());
+//! for (point, outcome) in spec.points().iter().zip(&run.outcomes) {
+//!     println!("{}: {} cycles", point.label(), outcome.payload.cycles);
+//! }
+//! ```
+
+pub mod cache;
+pub mod fnv;
+pub mod pool;
+pub mod report;
+pub mod spec;
+
+pub use cache::{CacheId, CachePayload, Lookup, ResultCache, CACHE_FORMAT_VERSION};
+pub use pool::{run_parallel, worker_count};
+pub use report::{metrics_rollup, objectives, pareto_frontier, SweepTable};
+pub use spec::{Axis, KernelSpec, StandalonePoint, SweepSpec};
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One unit of sweep work: an identity for the cache and a way to produce
+/// the result. Implemented by [`StandalonePoint`] for datapath+SPM runs;
+/// experiment crates implement it for their own scenario types (the Fig. 16
+/// cluster sweep does).
+pub trait SweepJob: Sync {
+    /// The cached result type.
+    type Output: CachePayload + Send;
+
+    /// The point's content identity. Equal ids ⇒ interchangeable results.
+    fn cache_id(&self) -> CacheId;
+
+    /// Simulates the point from scratch.
+    fn run(&self) -> Self::Output;
+}
+
+/// Engine options; the default reads everything from the environment.
+#[derive(Debug, Clone, Default)]
+pub struct DseOptions {
+    /// Worker threads; `None` uses [`worker_count`] (`SALAM_JOBS` / cores).
+    pub workers: Option<usize>,
+    /// Cache directory; `None` uses [`ResultCache::default_dir`]
+    /// (`SALAM_DSE_CACHE` / `target/dse-cache`).
+    pub cache_dir: Option<PathBuf>,
+    /// Disables the result cache entirely (every point simulates).
+    pub no_cache: bool,
+}
+
+impl DseOptions {
+    /// Explicit worker count.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Explicit cache directory.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Cache disabled.
+    pub fn without_cache(mut self) -> Self {
+        self.no_cache = true;
+        self
+    }
+
+    fn resolve_workers(&self) -> usize {
+        self.workers.unwrap_or_else(worker_count).max(1)
+    }
+
+    fn resolve_cache(&self) -> Option<ResultCache> {
+        if self.no_cache || std::env::var_os("SALAM_DSE_NO_CACHE").is_some_and(|v| v == "1") {
+            return None;
+        }
+        Some(ResultCache::at(
+            self.cache_dir
+                .clone()
+                .unwrap_or_else(ResultCache::default_dir),
+        ))
+    }
+}
+
+/// One point's result plus its provenance.
+#[derive(Debug, Clone)]
+pub struct PointOutcome<T> {
+    /// The simulation result (fresh or from the cache — byte-equivalent).
+    pub payload: T,
+    /// Served from the result cache without simulating.
+    pub from_cache: bool,
+}
+
+/// A completed sweep: outcomes in canonical point order plus cache and
+/// timing telemetry.
+#[derive(Debug)]
+pub struct SweepRun<T> {
+    /// One outcome per job, in submission order.
+    pub outcomes: Vec<PointOutcome<T>>,
+    /// Points served from the cache.
+    pub hits: usize,
+    /// Points simulated because no entry existed.
+    pub misses: usize,
+    /// Points re-simulated because their entry failed validation.
+    pub corrupt: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+}
+
+impl<T> SweepRun<T> {
+    /// `hits=h misses=m corrupt=c workers=w points=n wall=…` — one stable
+    /// line for logs and CI assertions.
+    pub fn summary(&self) -> String {
+        format!(
+            "hits={} misses={} corrupt={} workers={} points={} wall={:.3}s",
+            self.hits,
+            self.misses,
+            self.corrupt,
+            self.workers,
+            self.outcomes.len(),
+            self.wall.as_secs_f64()
+        )
+    }
+}
+
+/// Runs every job — cache probe, simulate on miss, store — across the
+/// worker pool and reassembles results in job order. Cache writes are
+/// best-effort: an I/O failure costs a warning and a future re-simulation,
+/// never the sweep.
+pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Output> {
+    let workers = opts.resolve_workers();
+    let cache = opts.resolve_cache();
+    let t0 = Instant::now();
+
+    enum Provenance {
+        Hit,
+        Miss,
+        Corrupt,
+    }
+
+    let results: Vec<(Provenance, J::Output)> = run_parallel(jobs.len(), workers, |i| {
+        let job = &jobs[i];
+        let Some(cache) = &cache else {
+            return (Provenance::Miss, job.run());
+        };
+        let id = job.cache_id();
+        let (provenance, payload) = match cache.lookup::<J::Output>(&id) {
+            Lookup::Hit(p) => return (Provenance::Hit, p),
+            Lookup::Miss => (Provenance::Miss, job.run()),
+            Lookup::Corrupt => (Provenance::Corrupt, job.run()),
+        };
+        if let Err(e) = cache.store(&id, &payload) {
+            eprintln!(
+                "salam-dse: warning: could not write cache entry {}: {e}",
+                cache.entry_path(&id).display()
+            );
+        }
+        (provenance, payload)
+    });
+
+    let wall = t0.elapsed();
+    let mut run = SweepRun {
+        outcomes: Vec::with_capacity(results.len()),
+        hits: 0,
+        misses: 0,
+        corrupt: 0,
+        workers,
+        wall,
+    };
+    for (provenance, payload) in results {
+        let from_cache = match provenance {
+            Provenance::Hit => {
+                run.hits += 1;
+                true
+            }
+            Provenance::Miss => {
+                run.misses += 1;
+                false
+            }
+            Provenance::Corrupt => {
+                run.corrupt += 1;
+                false
+            }
+        };
+        run.outcomes.push(PointOutcome {
+            payload,
+            from_cache,
+        });
+    }
+    run
+}

@@ -1,0 +1,123 @@
+//! The `std::thread` worker pool: a channel-fed job queue, results
+//! reassembled in submission order so every downstream consumer sees a
+//! deterministic sequence regardless of completion order or worker count.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// The worker count to use: `SALAM_JOBS` if set (values < 1 clamp to 1),
+/// otherwise the machine's available parallelism.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("SALAM_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0..n)` across `workers` threads and returns the results indexed
+/// by job, independent of scheduling. Jobs are fed through an
+/// `mpsc` channel that the workers drain behind a shared mutex, so a slow
+/// job never blocks the queue — idle workers keep pulling.
+///
+/// With `workers == 1` the jobs run inline on the calling thread (the
+/// serial baseline, with zero thread overhead); the result is identical
+/// either way.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after the scope joins.
+pub fn run_parallel<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let (job_tx, job_rx) = mpsc::channel::<usize>();
+    for i in 0..n {
+        job_tx.send(i).expect("queue open");
+    }
+    drop(job_tx);
+    let job_rx = Mutex::new(job_rx);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, T)>();
+
+    let nworkers = workers.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..nworkers {
+            let res_tx = res_tx.clone();
+            let job_rx = &job_rx;
+            let f = &f;
+            scope.spawn(move || loop {
+                let job = match job_rx.lock().unwrap().recv() {
+                    Ok(i) => i,
+                    Err(_) => break,
+                };
+                let out = f(job);
+                if res_tx.send((job, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+    });
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, out) in res_rx.iter() {
+        slots[i] = Some(out);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("job {i} produced no result")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for workers in [1, 2, 4] {
+            let out = run_parallel(17, workers, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_parallel(64, 4, |i| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = run_parallel(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_count_respects_env_override() {
+        // Runs in-process: avoid polluting other tests by restoring.
+        let prev = std::env::var("SALAM_JOBS").ok();
+        std::env::set_var("SALAM_JOBS", "3");
+        assert_eq!(worker_count(), 3);
+        std::env::set_var("SALAM_JOBS", "0");
+        assert_eq!(worker_count(), 1);
+        match prev {
+            Some(v) => std::env::set_var("SALAM_JOBS", v),
+            None => std::env::remove_var("SALAM_JOBS"),
+        }
+    }
+}

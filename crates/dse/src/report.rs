@@ -1,0 +1,251 @@
+//! Sweep report assembly: CSV/JSON tables, per-point metric rollups, and
+//! Pareto-frontier extraction over (cycles, area, power) — the paper's
+//! Fig. 15/16 trade-off views.
+
+use salam::RunReport;
+use salam_obs::MetricsRegistry;
+
+/// A rendered sweep table: coordinate columns plus metric columns, rows in
+/// canonical point order. All cells are pre-formatted strings so the same
+/// table serializes byte-identically regardless of how it was produced.
+#[derive(Debug, Clone)]
+pub struct SweepTable {
+    /// Table title.
+    pub title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl SweepTable {
+    /// A table with the given title and column names.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        SweepTable {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Raw rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// RFC-4180-ish CSV: header line, comma-separated, cells containing
+    /// commas/quotes/newlines quoted and doubled.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if c.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&c.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(c);
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.columns, &mut out);
+        for r in &self.rows {
+            line(r, &mut out);
+        }
+        out
+    }
+
+    /// A JSON array of row objects keyed by column name.
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = String::from("[");
+        for (ri, r) in self.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            for (ci, (k, v)) in self.columns.iter().zip(r).enumerate() {
+                if ci > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": \"{}\"", esc(k), esc(v)));
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Renders CSV when the process was invoked with `--csv` (or
+    /// `SALAM_CSV=1`), aligned plain text otherwise — the same contract as
+    /// the experiment binaries' native tables.
+    pub fn render_auto(&self) -> String {
+        let csv = std::env::args().any(|a| a == "--csv")
+            || std::env::var("SALAM_CSV")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        if csv {
+            self.to_csv()
+        } else {
+            self.render()
+        }
+    }
+
+    /// Aligned plain text with the title on top.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_line = |cells: &[String]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{c:<width$}", width = widths[i]));
+            }
+            s.trim_end().to_string()
+        };
+        let mut out = format!("== {} ==\n", self.title);
+        out.push_str(&fmt_line(&self.columns));
+        out.push('\n');
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_line(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Indices of the Pareto-optimal points when **minimizing** every
+/// objective, in input order. A point is dominated if some other point is
+/// no worse in all objectives and strictly better in at least one; ties on
+/// all objectives keep the earliest point only, so the frontier is stable
+/// under permutation of equals.
+pub fn pareto_frontier(points: &[[f64; 3]]) -> Vec<usize> {
+    let dominates = |a: &[f64; 3], b: &[f64; 3]| {
+        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+    };
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, p)| dominates(p, &points[i]) || (j < i && p == &points[i]))
+        })
+        .collect()
+}
+
+/// The (cycles, total area µm², total power mW) objective vector of a run
+/// — the trade-off space of the paper's co-design figures.
+pub fn objectives(report: &RunReport) -> [f64; 3] {
+    [
+        report.cycles as f64,
+        report.total_area_um2(),
+        report.power.total_mw(),
+    ]
+}
+
+/// Publishes every point's full report into one registry under
+/// `dse.<sweep>.<point label>` — the sweep-wide observability rollup.
+pub fn metrics_rollup<'a>(
+    sweep: &str,
+    points: impl IntoIterator<Item = (String, &'a RunReport)>,
+) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    for (label, report) in points {
+        report.export_metrics(&mut reg, &format!("dse.{sweep}.{label}"));
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = SweepTable::new("t", &["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        t.row(vec!["has \"q\"".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",plain\n\"has \"\"q\"\"\",2\n");
+    }
+
+    #[test]
+    fn json_rows_keyed_by_column() {
+        let mut t = SweepTable::new("t", &["k", "v"]);
+        t.row(vec!["gemm".into(), "12".into()]);
+        let v = salam_obs::json::parse(&t.to_json()).unwrap();
+        let rows = v.as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("k").unwrap().as_str(), Some("gemm"));
+        assert_eq!(rows[0].get("v").unwrap().as_str(), Some("12"));
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = SweepTable::new("sweep", &["name", "cycles"]);
+        t.row(vec!["a".into(), "100".into()]);
+        t.row(vec!["longer".into(), "9".into()]);
+        let text = t.render();
+        assert!(text.contains("== sweep =="));
+        // Title, header, rule, two rows.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // "name" padded to the widest cell ("longer", 6 chars) + 2 spaces.
+        assert!(lines[1].starts_with("name    cycles"));
+        assert!(lines[4].starts_with("longer  9"));
+    }
+
+    #[test]
+    fn pareto_keeps_only_non_dominated() {
+        let pts = [
+            [100.0, 10.0, 1.0], // frontier
+            [200.0, 10.0, 1.0], // dominated by 0
+            [50.0, 20.0, 2.0],  // frontier (fastest)
+            [50.0, 20.0, 2.0],  // duplicate of 2 → dropped
+            [40.0, 25.0, 0.5],  // frontier (lowest power)
+        ];
+        assert_eq!(pareto_frontier(&pts), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn pareto_of_empty_is_empty() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+}

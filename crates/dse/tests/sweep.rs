@@ -1,0 +1,245 @@
+//! End-to-end guarantees of the DSE engine: determinism across worker
+//! counts, full cache reuse on re-runs, corruption recovery, and the
+//! per-worker trace-recorder pattern enabled by the `Send` trace handle.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use machsuite::Bench;
+use salam::standalone::StandaloneConfig;
+use salam_dse::{
+    pareto_frontier, run_sweep, Axis, DseOptions, KernelSpec, SweepJob, SweepSpec, SweepTable,
+};
+
+/// A fresh scratch cache directory unique to this test.
+fn scratch_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("salam-dse-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small but non-trivial sweep: 2 kernels × (2 ports × 2 window) = 8 points.
+fn smoke_spec() -> SweepSpec {
+    SweepSpec::new("smoke", StandaloneConfig::default())
+        .kernel(KernelSpec::custom("gemm[n=8,u=2]", || {
+            machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 2 })
+        }))
+        .kernel(KernelSpec::bench(Bench::SpmvCrs))
+        .axis(Axis::spm_ports(&[1, 2]))
+        .axis(Axis::reservation_entries(&[8, 64]))
+}
+
+/// Renders the sweep's outcomes exactly the way the exp binaries do.
+fn table_csv(spec: &SweepSpec, run: &salam_dse::SweepRun<salam::RunReport>) -> String {
+    let points = spec.points();
+    let mut cols = vec!["kernel".to_string()];
+    cols.extend(spec.axis_names());
+    cols.extend(["cycles", "stall%", "power(mW)"].map(String::from));
+    let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut table = SweepTable::new(&spec.name, &cols);
+    for (point, outcome) in points.iter().zip(&run.outcomes) {
+        let r = &outcome.payload;
+        let mut row = vec![point.kernel.id.clone()];
+        row.extend(point.coords.iter().map(|(_, v)| v.clone()));
+        row.push(r.cycles.to_string());
+        row.push(format!("{:.2}", r.stats.stall_fraction() * 100.0));
+        row.push(format!("{:.3}", r.power.total_mw()));
+        table.row(row);
+    }
+    table.to_csv()
+}
+
+#[test]
+fn parallel_report_is_byte_identical_to_serial() {
+    let spec = smoke_spec();
+    let points = spec.points();
+
+    let serial_dir = scratch_cache("serial");
+    let serial = run_sweep(
+        &points,
+        &DseOptions::default()
+            .with_workers(1)
+            .with_cache_dir(&serial_dir),
+    );
+    let parallel_dir = scratch_cache("parallel");
+    let parallel = run_sweep(
+        &points,
+        &DseOptions::default()
+            .with_workers(4)
+            .with_cache_dir(&parallel_dir),
+    );
+
+    assert_eq!(serial.outcomes.len(), points.len());
+    assert_eq!(serial.misses, points.len());
+    assert_eq!(parallel.misses, points.len());
+    assert_eq!(
+        table_csv(&spec, &serial),
+        table_csv(&spec, &parallel),
+        "sweep report must not depend on worker count"
+    );
+    // The full reports — not just the table projection — must agree.
+    for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(s.payload.to_json(), p.payload.to_json());
+    }
+
+    let _ = std::fs::remove_dir_all(serial_dir);
+    let _ = std::fs::remove_dir_all(parallel_dir);
+}
+
+#[test]
+fn second_run_is_all_cache_hits_and_identical() {
+    let spec = smoke_spec();
+    let points = spec.points();
+    let dir = scratch_cache("rerun");
+
+    let opts = DseOptions::default().with_workers(2).with_cache_dir(&dir);
+    let first = run_sweep(&points, &opts);
+    assert_eq!(first.hits, 0);
+    assert_eq!(first.misses, points.len());
+
+    let second = run_sweep(&points, &opts);
+    assert_eq!(
+        second.hits,
+        points.len(),
+        "every point must be served from cache"
+    );
+    assert_eq!(second.misses, 0);
+    assert_eq!(second.corrupt, 0);
+    assert!(second.outcomes.iter().all(|o| o.from_cache));
+    assert_eq!(
+        table_csv(&spec, &first),
+        table_csv(&spec, &second),
+        "cached results must reproduce the fresh report byte-for-byte"
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn corrupted_entry_is_detected_and_resimulated() {
+    let spec = smoke_spec();
+    let points = spec.points();
+    let dir = scratch_cache("corrupt");
+
+    let opts = DseOptions::default().with_workers(1).with_cache_dir(&dir);
+    let first = run_sweep(&points, &opts);
+    assert_eq!(first.misses, points.len());
+
+    // Vandalize one entry: truncate it mid-payload.
+    let victim = salam_dse::ResultCache::at(&dir).entry_path(&points[3].cache_id());
+    let text = std::fs::read_to_string(&victim).unwrap();
+    std::fs::write(&victim, &text[..text.len() / 2]).unwrap();
+
+    let second = run_sweep(&points, &opts);
+    assert_eq!(second.corrupt, 1, "the truncated entry must be flagged");
+    assert_eq!(second.hits, points.len() - 1);
+    assert_eq!(second.misses, 0);
+    assert_eq!(
+        table_csv(&spec, &first),
+        table_csv(&spec, &second),
+        "re-simulation must restore the exact original result"
+    );
+
+    // The rewritten entry is healthy again.
+    let third = run_sweep(&points, &opts);
+    assert_eq!(third.hits, points.len());
+    assert_eq!(third.corrupt, 0);
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn no_cache_mode_always_simulates() {
+    let spec = SweepSpec::new("nocache", StandaloneConfig::default())
+        .kernel(KernelSpec::custom("gemm[n=4,u=1]", || {
+            machsuite::gemm::build(&machsuite::gemm::Params { n: 4, unroll: 1 })
+        }))
+        .axis(Axis::spm_latency(&[1, 2]));
+    let points = spec.points();
+    let opts = DseOptions::default().with_workers(1).without_cache();
+    let a = run_sweep(&points, &opts);
+    let b = run_sweep(&points, &opts);
+    assert_eq!(a.hits + b.hits, 0);
+    assert_eq!(a.misses + b.misses, 2 * points.len());
+}
+
+#[test]
+fn pareto_frontier_over_sweep_objectives() {
+    let spec = smoke_spec();
+    let points = spec.points();
+    let run = run_sweep(
+        &points,
+        &DseOptions::default().with_workers(2).without_cache(),
+    );
+    let objs: Vec<[f64; 3]> = run
+        .outcomes
+        .iter()
+        .map(|o| salam_dse::objectives(&o.payload))
+        .collect();
+    let frontier = pareto_frontier(&objs);
+    assert!(!frontier.is_empty());
+    // No frontier point may be dominated by any other point.
+    for &i in &frontier {
+        for (j, p) in objs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dominates = p.iter().zip(&objs[i]).all(|(a, b)| a <= b)
+                && p.iter().zip(&objs[i]).any(|(a, b)| a < b);
+            assert!(!dominates, "frontier point {i} dominated by {j}");
+        }
+    }
+}
+
+/// The satellite-1 pattern end-to-end: each worker thread records into its
+/// own `TraceRecorder` via a thread-local `SharedTrace` (now `Send + Sync`),
+/// and the per-worker traces merge into one coherent, time-sorted timeline.
+#[test]
+fn per_worker_traces_merge_into_one_timeline() {
+    use salam_obs::{SharedTrace, TraceRecorder};
+
+    let kernels: Vec<KernelSpec> = vec![
+        KernelSpec::custom("gemm[n=4,u=1]", || {
+            machsuite::gemm::build(&machsuite::gemm::Params { n: 4, unroll: 1 })
+        }),
+        KernelSpec::bench(Bench::SpmvCrs),
+    ];
+    let kernels = Arc::new(kernels);
+
+    let recorders: Vec<TraceRecorder> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..kernels.len())
+            .map(|i| {
+                let kernels = kernels.clone();
+                scope.spawn(move || {
+                    // One recorder per worker — no sharing, no contention.
+                    let mut trace = SharedTrace::enabled();
+                    let track = trace.track(&format!("worker{i}"));
+                    let span = trace.begin_span(track, &kernels[i].id, (i as u64 + 1) * 10);
+                    let report = salam::standalone::run_kernel(
+                        &kernels[i].build(),
+                        &StandaloneConfig::default(),
+                    );
+                    trace.counter(track, "cycles", (i as u64 + 1) * 100, report.cycles as f64);
+                    trace.end_span(span, (i as u64 + 1) * 1000);
+                    trace
+                        .take_recorder()
+                        .expect("enabled handle owns a recorder")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut merged = TraceRecorder::new(4096);
+    for rec in &recorders {
+        merged.merge_from(rec);
+    }
+    assert_eq!(merged.tracks().len(), 2);
+    // 2 workers × (begin + counter + end).
+    assert_eq!(merged.len(), 6);
+    let ts: Vec<u64> = merged.events().map(|e| e.ts_ps()).collect();
+    assert!(
+        ts.windows(2).all(|w| w[0] <= w[1]),
+        "merged timeline must be sorted"
+    );
+}

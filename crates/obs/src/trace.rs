@@ -3,8 +3,7 @@
 //! Timestamps are simulation **picoseconds** throughout (the sim-core tick
 //! unit); the Chrome exporter converts to microseconds on the way out.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A named event track, usually one per component ("engine.ops",
 /// "cache.l1", "dma0"). Obtained from [`TraceSink::track`].
@@ -170,6 +169,68 @@ impl TraceRecorder {
         }
         self.events.push_back(ev);
     }
+
+    /// Folds another recorder's events into this one, remapping track ids by
+    /// name and offsetting span ids so they stay unique; the merged stream
+    /// is re-sorted by timestamp (stable, so same-tick ordering is
+    /// preserved: self's events first, then `other`'s). This is the fan-in
+    /// half of the worker-pool pattern: give each worker its own recorder,
+    /// merge them post-run.
+    pub fn merge_from(&mut self, other: &TraceRecorder) {
+        let track_map: Vec<TrackId> = other.tracks.iter().map(|name| self.track(name)).collect();
+        let span_offset = self.next_span;
+        let remap_track = |t: TrackId| track_map.get(t.0 as usize).copied().unwrap_or(t);
+        let remap_span = |s: SpanId| {
+            if s.is_valid() {
+                SpanId(s.0 + span_offset)
+            } else {
+                s
+            }
+        };
+        for ev in &other.events {
+            let ev = match ev {
+                TraceEvent::Begin {
+                    track,
+                    span,
+                    name,
+                    ts_ps,
+                } => TraceEvent::Begin {
+                    track: remap_track(*track),
+                    span: remap_span(*span),
+                    name: name.clone(),
+                    ts_ps: *ts_ps,
+                },
+                TraceEvent::End { span, ts_ps } => TraceEvent::End {
+                    span: remap_span(*span),
+                    ts_ps: *ts_ps,
+                },
+                TraceEvent::Instant { track, name, ts_ps } => TraceEvent::Instant {
+                    track: remap_track(*track),
+                    name: name.clone(),
+                    ts_ps: *ts_ps,
+                },
+                TraceEvent::Counter {
+                    track,
+                    name,
+                    ts_ps,
+                    value,
+                } => TraceEvent::Counter {
+                    track: remap_track(*track),
+                    name: name.clone(),
+                    ts_ps: *ts_ps,
+                    value: *value,
+                },
+            };
+            self.events.push_back(ev);
+        }
+        self.events.make_contiguous().sort_by_key(TraceEvent::ts_ps);
+        self.next_span = span_offset + other.next_span;
+        self.dropped += other.dropped;
+        while self.events.len() > self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
 }
 
 impl TraceSink for TraceRecorder {
@@ -222,12 +283,15 @@ impl TraceSink for TraceRecorder {
 }
 
 /// The handle instrumented components hold. Cloning shares the underlying
-/// recorder (the simulator is single-threaded, so `Rc<RefCell<..>>` is the
-/// right tool). A disabled handle is `None` inside: every hook is one
-/// branch and no formatting or allocation happens.
+/// recorder. The handle is `Send + Sync` (`Arc<Mutex<..>>`) so simulations
+/// can run on worker-pool threads; each simulation still owns its private
+/// recorder, so the lock is never contended — the intended multi-threaded
+/// pattern is one recorder per worker, merged post-run with
+/// [`TraceRecorder::merge_from`]. A disabled handle is `None` inside: every
+/// hook is one branch and no formatting or allocation happens.
 #[derive(Debug, Clone, Default)]
 pub struct SharedTrace {
-    inner: Option<Rc<RefCell<TraceRecorder>>>,
+    inner: Option<Arc<Mutex<TraceRecorder>>>,
 }
 
 impl SharedTrace {
@@ -244,8 +308,17 @@ impl SharedTrace {
     /// Wraps an existing recorder.
     pub fn from_recorder(rec: TraceRecorder) -> Self {
         SharedTrace {
-            inner: Some(Rc::new(RefCell::new(rec))),
+            inner: Some(Arc::new(Mutex::new(rec))),
         }
+    }
+
+    /// Extracts the recorder, leaving a disabled handle behind. Other
+    /// clones of the same handle keep recording into an empty recorder.
+    /// This is how a worker hands its private trace back for merging.
+    pub fn take_recorder(&mut self) -> Option<TraceRecorder> {
+        let rc = self.inner.take()?;
+        let rec = std::mem::take(&mut *rc.lock().unwrap());
+        Some(rec)
     }
 
     /// `true` when events are actually collected. Hooks that need to format
@@ -257,7 +330,7 @@ impl SharedTrace {
 
     pub fn track(&self, name: &str) -> TrackId {
         match &self.inner {
-            Some(rc) => rc.borrow_mut().track(name),
+            Some(rc) => rc.lock().unwrap().track(name),
             None => TrackId(0),
         }
     }
@@ -265,7 +338,7 @@ impl SharedTrace {
     #[inline]
     pub fn begin_span(&self, track: TrackId, name: &str, ts_ps: u64) -> SpanId {
         match &self.inner {
-            Some(rc) => rc.borrow_mut().begin_span(track, name, ts_ps),
+            Some(rc) => rc.lock().unwrap().begin_span(track, name, ts_ps),
             None => SpanId::INVALID,
         }
     }
@@ -273,27 +346,27 @@ impl SharedTrace {
     #[inline]
     pub fn end_span(&self, span: SpanId, ts_ps: u64) {
         if let Some(rc) = &self.inner {
-            rc.borrow_mut().end_span(span, ts_ps);
+            rc.lock().unwrap().end_span(span, ts_ps);
         }
     }
 
     #[inline]
     pub fn instant(&self, track: TrackId, name: &str, ts_ps: u64) {
         if let Some(rc) = &self.inner {
-            rc.borrow_mut().instant(track, name, ts_ps);
+            rc.lock().unwrap().instant(track, name, ts_ps);
         }
     }
 
     #[inline]
     pub fn counter(&self, track: TrackId, name: &str, ts_ps: u64, value: f64) {
         if let Some(rc) = &self.inner {
-            rc.borrow_mut().counter(track, name, ts_ps, value);
+            rc.lock().unwrap().counter(track, name, ts_ps, value);
         }
     }
 
     /// Runs `f` against the recorder, if enabled. Used by exporters.
     pub fn with_recorder<R>(&self, f: impl FnOnce(&TraceRecorder) -> R) -> Option<R> {
-        self.inner.as_ref().map(|rc| f(&rc.borrow()))
+        self.inner.as_ref().map(|rc| f(&rc.lock().unwrap()))
     }
 }
 
@@ -356,6 +429,81 @@ mod tests {
         let t = h.track("c");
         h2.instant(t, "irq", 42);
         assert_eq!(h.with_recorder(|r| r.len()), Some(1));
+    }
+
+    #[test]
+    fn shared_handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedTrace>();
+        assert_send_sync::<TraceRecorder>();
+    }
+
+    #[test]
+    fn merge_remaps_tracks_and_spans_and_sorts_by_time() {
+        let mut a = TraceRecorder::default();
+        let ta = a.track("engine");
+        let s1 = a.begin_span(ta, "op0", 100);
+        a.end_span(s1, 400);
+
+        let mut b = TraceRecorder::default();
+        let tb_eng = b.track("engine");
+        let tb_dma = b.track("dma");
+        let s2 = b.begin_span(tb_eng, "op1", 200);
+        b.end_span(s2, 300);
+        b.instant(tb_dma, "burst", 250);
+
+        a.merge_from(&b);
+        assert_eq!(a.tracks(), &["engine".to_string(), "dma".to_string()]);
+        let ts: Vec<u64> = a.events().map(|e| e.ts_ps()).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted, "merged events must be time-ordered");
+        // Span ids from `b` were offset past `a`'s, and begin/end still pair.
+        let mut begins = Vec::new();
+        let mut ends = Vec::new();
+        for e in a.events() {
+            match e {
+                TraceEvent::Begin { span, track, .. } => begins.push((*span, *track)),
+                TraceEvent::End { span, .. } => ends.push(*span),
+                _ => {}
+            }
+        }
+        assert_eq!(begins.len(), 2);
+        assert_ne!(begins[0].0, begins[1].0, "span ids stay unique");
+        for (span, _) in &begins {
+            assert!(ends.contains(span), "every begin keeps its end");
+        }
+        // b's engine track landed on a's existing engine track.
+        assert!(begins.iter().all(|(_, t)| *t == TrackId(0)));
+    }
+
+    #[test]
+    fn merge_respects_capacity() {
+        let mut a = TraceRecorder::new(3);
+        let t = a.track("t");
+        for i in 0..3u64 {
+            a.instant(t, "x", i);
+        }
+        let mut b = TraceRecorder::new(3);
+        let tb = b.track("t");
+        for i in 10..13u64 {
+            b.instant(tb, "y", i);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.dropped(), 3);
+        assert_eq!(a.events().next().unwrap().ts_ps(), 10);
+    }
+
+    #[test]
+    fn take_recorder_disables_the_handle() {
+        let mut h = SharedTrace::enabled();
+        let t = h.track("c");
+        h.instant(t, "irq", 1);
+        let rec = h.take_recorder().expect("was enabled");
+        assert_eq!(rec.len(), 1);
+        assert!(!h.is_enabled());
+        assert!(h.take_recorder().is_none());
     }
 
     #[test]

@@ -66,6 +66,28 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// A canonical `key=value` line covering every knob that can change
+    /// simulated behaviour. Equal configs always produce equal strings —
+    /// the design-space-exploration cache keys on this. `record_timeline`
+    /// is deliberately excluded: it only adds logging, never changes the
+    /// schedule.
+    pub fn canonical_repr(&self) -> String {
+        format!(
+            "clock_period_ps={};reservation_entries={};max_outstanding_reads={};\
+             max_outstanding_writes={};deadlock_cycles={};pipelined_fus={};\
+             strict_register_hazards={}",
+            self.clock_period_ps,
+            self.reservation_entries,
+            self.max_outstanding_reads,
+            self.max_outstanding_writes,
+            self.deadlock_cycles,
+            self.pipelined_fus,
+            self.strict_register_hazards,
+        )
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DepKind {
     /// Producer must have committed (RAW, WAW).

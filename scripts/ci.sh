@@ -12,4 +12,23 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --workspace --release --offline
 run cargo test --workspace -q --offline
 
+# DSE smoke sweep: 2 kernels x 4 points on 2 workers, twice against a
+# scratch cache. The first run simulates everything; the second must be
+# served entirely from the cache.
+dse_cache="$(mktemp -d)"
+trap 'rm -rf "$dse_cache"' EXIT
+smoke() {
+  SALAM_JOBS=2 SALAM_DSE_CACHE="$dse_cache" \
+    cargo run --release -q --offline -p salam-bench --bin dse_smoke
+}
+echo "+ dse_smoke (cold cache)"
+smoke | tail -n 1
+echo "+ dse_smoke (warm cache)"
+warm="$(smoke | tail -n 1)"
+echo "$warm"
+case "$warm" in
+  *"hits=8 misses=0 corrupt=0"*) ;;
+  *) echo "ci: DSE cache re-run was not fully served from cache" >&2; exit 1 ;;
+esac
+
 echo "ci: all checks passed"
