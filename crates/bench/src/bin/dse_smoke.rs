@@ -19,7 +19,10 @@ fn main() {
     let points = spec.points();
     let run = run_sweep(&points, &DseOptions::default());
 
-    let mut t = SweepTable::new("DSE smoke sweep", &["point", "cycles", "cached"]);
+    let mut t = SweepTable::new(
+        "DSE smoke sweep",
+        &["point", "cycles", "dominant_bottleneck", "cached"],
+    );
     for (point, outcome) in points.iter().zip(&run.outcomes) {
         assert!(
             outcome.payload.verified,
@@ -29,6 +32,7 @@ fn main() {
         t.row(vec![
             point.label(),
             outcome.payload.cycles.to_string(),
+            outcome.payload.dominant_bottleneck().to_string(),
             if outcome.from_cache { "yes" } else { "no" }.into(),
         ]);
     }

@@ -48,6 +48,7 @@ fn main() {
             "mem-sched%",
             "cycles",
             "power(mW)",
+            "dominant_bottleneck",
         ],
     );
     for (point, outcome) in points.iter().zip(&run.outcomes) {
@@ -73,6 +74,7 @@ fn main() {
             format!("{:.1}", sched("load") + sched("store")),
             st.cycles.to_string(),
             format!("{:.2}", r.power.total_mw()),
+            r.dominant_bottleneck().to_string(),
         ]);
         t.row(row);
     }
@@ -85,7 +87,16 @@ fn main() {
         .map(|o| objectives(&o.payload))
         .collect();
     let frontier = pareto_frontier(&objs);
-    let labels: Vec<String> = frontier.iter().map(|&i| points[i].label()).collect();
+    let labels: Vec<String> = frontier
+        .iter()
+        .map(|&i| {
+            format!(
+                "{} [{}]",
+                points[i].label(),
+                run.outcomes[i].payload.dominant_bottleneck()
+            )
+        })
+        .collect();
     println!("pareto frontier (cycles/area/power): {}", labels.join(", "));
 
     let reg = metrics_rollup(

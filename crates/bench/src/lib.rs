@@ -4,6 +4,8 @@
 //! tables and figures.
 //!
 //! * [`table`] — plain-text/CSV table rendering and error metrics.
+//! * [`bottleneck`] — profiled runs (cycle attribution + dynamic critical
+//!   path) and the deterministic renderers behind `salam_report`.
 //! * [`runners`] — timed runs of the three execution models (SALAM engine,
 //!   HLS static schedule, Aladdin trace flow) on MachSuite kernels.
 //! * [`cnn`] — the CNN layer-1 kernels (conv/ReLU/pool) of §IV-E, including
@@ -17,6 +19,7 @@
 //! benches ([`microbench`]) covering the same experiments at reduced scale
 //! live in `benches/`.
 
+pub mod bottleneck;
 pub mod cnn;
 pub mod fig16;
 pub mod microbench;

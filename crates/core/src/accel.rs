@@ -97,19 +97,19 @@ impl MemPort for BufferPort {
         self.global_left = self.global_budget;
     }
 
-    fn try_issue(&mut self, access: MemAccess) -> Result<(), MemAccess> {
+    fn try_issue(&mut self, access: MemAccess) -> Result<(), salam_runtime::Rejection> {
         let side = if self.is_local(access.addr) {
             &mut self.local_left
         } else {
             &mut self.global_left
         };
-        let budget = if access.is_write {
-            &mut side.1
+        let (budget, cause) = if access.is_write {
+            (&mut side.1, salam_runtime::RejectCause::WritePorts)
         } else {
-            &mut side.0
+            (&mut side.0, salam_runtime::RejectCause::ReadPorts)
         };
         if *budget == 0 {
-            return Err(access);
+            return Err(salam_runtime::Rejection::new(access, cause));
         }
         *budget -= 1;
         self.outgoing.push(access);

@@ -52,5 +52,6 @@ pub use cluster::{
 pub use host::{Host, HostConfig, HostOp};
 pub use report::{PowerBreakdown, RunReport};
 pub use standalone::{
-    run_kernel, run_kernel_cached, run_kernel_traced, HierarchyPort, StandaloneConfig,
+    run_kernel, run_kernel_cached, run_kernel_profiled, run_kernel_traced, HierarchyPort,
+    StandaloneConfig,
 };

@@ -124,8 +124,9 @@ impl RunReport {
     /// Serializes the report to JSON, losslessly enough that
     /// [`RunReport::from_json`] reconstructs an equivalent report. Floats
     /// use Rust's shortest round-trip formatting; the per-cycle `timeline`
-    /// (a debugging aid that grows with runtime) is deliberately not
-    /// persisted. This is the payload format of the DSE result cache.
+    /// and the `depstream` (debugging aids that grow with runtime) are
+    /// deliberately not persisted. This is the payload format of the DSE
+    /// result cache.
     pub fn to_json(&self) -> String {
         let mut o = JsonWriter::new();
         o.str_field("name", &self.name);
@@ -166,8 +167,20 @@ impl RunReport {
             s.num_field("load_bytes", st.load_bytes as f64);
             s.num_field("store_bytes", st.store_bytes as f64);
             s.num_field("port_reject_cycles", st.port_reject_cycles as f64);
+            s.object_field("attribution", |m| {
+                for (class, n) in st.attribution.iter() {
+                    m.num_field(class.label(), n as f64);
+                }
+            });
+            s.map_field("reject_causes", st.reject_causes.iter());
         });
         o.finish()
+    }
+
+    /// The cycle-attribution class that dominated the run — the sweeps'
+    /// self-explaining `bottleneck` column.
+    pub fn dominant_bottleneck(&self) -> &'static str {
+        self.stats.attribution.dominant().label()
     }
 
     /// Parses a report serialized by [`RunReport::to_json`].
@@ -252,6 +265,18 @@ impl RunReport {
                 .collect()
         };
 
+        let attr_v = sv
+            .get("attribution")
+            .ok_or("missing stats field 'attribution'")?;
+        let mut attribution = salam_obs::Attribution::default();
+        for class in salam_obs::CycleClass::ALL {
+            let n = attr_v
+                .get(class.label())
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing attribution field '{}'", class.label()))?;
+            attribution.add(class, n as u64);
+        }
+
         let stats = EngineStats {
             cycles: sf("cycles")? as u64,
             new_exec_cycles: sf("new_exec_cycles")? as u64,
@@ -273,6 +298,9 @@ impl RunReport {
             load_bytes: sf("load_bytes")? as u64,
             store_bytes: sf("store_bytes")? as u64,
             port_reject_cycles: sf("port_reject_cycles")? as u64,
+            attribution,
+            reject_causes: u64_map("reject_causes")?.into_iter().collect(),
+            depstream: None,
             timeline: Vec::new(),
         };
 

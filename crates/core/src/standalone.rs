@@ -84,6 +84,26 @@ pub fn run_kernel(kernel: &BuiltKernel, cfg: &StandaloneConfig) -> RunReport {
     run_kernel_traced(kernel, cfg, &salam_obs::SharedTrace::disabled())
 }
 
+/// [`run_kernel`] with dependency-stream recording forced on.
+///
+/// Returns the report together with the captured [`salam_obs::DepStream`],
+/// ready for [`salam_obs::analyze`] (critical path, slack, headroom). The
+/// stream is moved out of the report so the report stays serialization-sized.
+pub fn run_kernel_profiled(
+    kernel: &BuiltKernel,
+    cfg: &StandaloneConfig,
+) -> (RunReport, salam_obs::DepStream) {
+    let mut cfg = cfg.clone();
+    cfg.engine.record_depstream = true;
+    let mut report = run_kernel(kernel, &cfg);
+    let depstream = report
+        .stats
+        .depstream
+        .take()
+        .expect("record_depstream was set");
+    (report, depstream)
+}
+
 /// [`run_kernel`] with a trace sink attached to the engine: op spans and
 /// scheduler events land on `engine.{kernel}` tracks, ready for
 /// [`salam_obs::write_chrome_trace`].
@@ -226,14 +246,17 @@ impl salam_runtime::MemPort for HierarchyPort {
     fn try_issue(
         &mut self,
         access: salam_runtime::MemAccess,
-    ) -> Result<(), salam_runtime::MemAccess> {
-        let budget = if access.is_write {
-            &mut self.writes_left
+    ) -> Result<(), salam_runtime::Rejection> {
+        let (budget, cause) = if access.is_write {
+            (
+                &mut self.writes_left,
+                salam_runtime::RejectCause::WritePorts,
+            )
         } else {
-            &mut self.reads_left
+            (&mut self.reads_left, salam_runtime::RejectCause::ReadPorts)
         };
         if *budget == 0 {
-            return Err(access);
+            return Err(salam_runtime::Rejection::new(access, cause));
         }
         *budget -= 1;
         let req = if access.is_write {

@@ -18,7 +18,7 @@ use salam_obs::json::{self, Value};
 
 /// Bumped whenever the entry format or any payload serialization changes
 /// incompatibly; old entries then read as misses, never as wrong results.
-pub const CACHE_FORMAT_VERSION: u64 = 1;
+pub const CACHE_FORMAT_VERSION: u64 = 2;
 
 /// A value that can live in the cache: serializes to a JSON object and
 /// parses back from the entry's embedded payload value.
@@ -225,6 +225,24 @@ mod tests {
     }
 
     #[test]
+    fn default_dir_respects_env_override() {
+        let _env = crate::test_env::lock();
+        let over = crate::test_env::EnvGuard::set("SALAM_DSE_CACHE", "/tmp/salam-cache-override");
+        assert_eq!(
+            ResultCache::default_dir(),
+            PathBuf::from("/tmp/salam-cache-override")
+        );
+        drop(over);
+        // Empty counts as unset; still under the lock so nobody else can
+        // have re-set the variable in between.
+        let _empty = crate::test_env::EnvGuard::set("SALAM_DSE_CACHE", "");
+        assert_eq!(
+            ResultCache::default_dir(),
+            PathBuf::from("target/dse-cache")
+        );
+    }
+
+    #[test]
     fn ids_differ_by_domain_and_canon() {
         let a = CacheId::new("standalone/gemm", "x=1");
         let b = CacheId::new("standalone/gemm", "x=2");
@@ -283,7 +301,9 @@ mod tests {
         cache.store(&id, &sample_report()).unwrap();
         let path = cache.entry_path(&id);
         let text = std::fs::read_to_string(&path).unwrap();
-        std::fs::write(&path, text.replace("\"version\": 1", "\"version\": 999")).unwrap();
+        let current = format!("\"version\": {CACHE_FORMAT_VERSION}");
+        assert!(text.contains(&current), "entry must embed the version");
+        std::fs::write(&path, text.replace(&current, "\"version\": 999")).unwrap();
         assert!(matches!(cache.lookup::<RunReport>(&id), Lookup::Corrupt));
         let _ = std::fs::remove_dir_all(cache.dir());
     }

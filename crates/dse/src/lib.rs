@@ -40,6 +40,8 @@ pub mod fnv;
 pub mod pool;
 pub mod report;
 pub mod spec;
+#[cfg(test)]
+pub(crate) mod test_env;
 
 pub use cache::{CacheId, CachePayload, Lookup, ResultCache, CACHE_FORMAT_VERSION};
 pub use pool::{run_parallel, worker_count};

@@ -109,15 +109,13 @@ mod tests {
 
     #[test]
     fn worker_count_respects_env_override() {
-        // Runs in-process: avoid polluting other tests by restoring.
-        let prev = std::env::var("SALAM_JOBS").ok();
-        std::env::set_var("SALAM_JOBS", "3");
+        // `set_var` mutates process-global state under a multi-threaded
+        // test harness: serialize with every other env-touching test and
+        // restore the prior value even on panic.
+        let _env = crate::test_env::lock();
+        let _jobs = crate::test_env::EnvGuard::set("SALAM_JOBS", "3");
         assert_eq!(worker_count(), 3);
-        std::env::set_var("SALAM_JOBS", "0");
+        let _clamped = crate::test_env::EnvGuard::set("SALAM_JOBS", "0");
         assert_eq!(worker_count(), 1);
-        match prev {
-            Some(v) => std::env::set_var("SALAM_JOBS", v),
-            None => std::env::remove_var("SALAM_JOBS"),
-        }
     }
 }

@@ -1,0 +1,44 @@
+//! Test-only serialization for process-global environment mutation.
+//!
+//! `std::env::set_var` mutates process-global state while the test harness
+//! runs `#[test]` functions on many threads: two tests touching the same
+//! variable — or one mutating it while another reads it through
+//! [`crate::worker_count`] / [`crate::ResultCache::default_dir`] — race.
+//! Every env-mutating test takes [`lock`] for its whole body and wraps the
+//! mutation in an [`EnvGuard`] so the previous state is restored even if
+//! the test panics.
+
+use std::sync::{Mutex, MutexGuard};
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes environment-mutating tests against each other. A poisoned
+/// lock is still a valid lock for this purpose (the panicking test's guard
+/// already restored the variable), so poisoning is ignored.
+pub(crate) fn lock() -> MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII: sets `var` to `value` on construction, restores the previous
+/// state — prior value or unset — on drop.
+pub(crate) struct EnvGuard {
+    var: &'static str,
+    prev: Option<std::ffi::OsString>,
+}
+
+impl EnvGuard {
+    pub(crate) fn set(var: &'static str, value: &str) -> Self {
+        let prev = std::env::var_os(var);
+        std::env::set_var(var, value);
+        EnvGuard { var, prev }
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        match &self.prev {
+            Some(v) => std::env::set_var(self.var, v),
+            None => std::env::remove_var(self.var),
+        }
+    }
+}

@@ -87,6 +87,7 @@ pub struct Cache {
     misses: u64,
     evictions: u64,
     wb_count: u64,
+    mshr_full_rejects: u64,
     trace: SharedTrace,
     track: Option<TrackId>,
     // line addr -> span open for the outstanding fill
@@ -114,6 +115,7 @@ impl Cache {
             misses: 0,
             evictions: 0,
             wb_count: 0,
+            mshr_full_rejects: 0,
             trace: SharedTrace::disabled(),
             track: None,
             fill_spans: HashMap::new(),
@@ -207,8 +209,9 @@ impl Cache {
             return;
         }
         if self.mshr.len() >= self.cfg.mshrs as usize {
+            self.mshr_full_rejects += 1;
             if let Some(t) = self.track {
-                self.trace.instant(t, "mshr_full", ctx.now());
+                self.trace.instant(t, "reject:mshr_full", ctx.now());
             }
             self.overflow.push_back(req);
             return;
@@ -311,6 +314,7 @@ impl Component<MemMsg> for Cache {
             ("misses".into(), self.misses as f64),
             ("evictions".into(), self.evictions as f64),
             ("writebacks".into(), self.wb_count as f64),
+            ("mshr_full_rejects".into(), self.mshr_full_rejects as f64),
         ]
     }
 }

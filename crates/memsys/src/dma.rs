@@ -72,6 +72,7 @@ pub struct BlockDma {
     next_id: u64,
     bytes_moved: u64,
     xfers: u64,
+    queued_while_busy: u64,
     trace: SharedTrace,
     track: Option<TrackId>,
 }
@@ -92,6 +93,7 @@ impl BlockDma {
             next_id: 1,
             bytes_moved: 0,
             xfers: 0,
+            queued_while_busy: 0,
             trace: SharedTrace::disabled(),
             track: None,
         }
@@ -170,6 +172,14 @@ impl Component<MemMsg> for BlockDma {
     fn handle(&mut self, msg: MemMsg, ctx: &mut Ctx<'_, MemMsg>) {
         match msg {
             MemMsg::DmaStart(cmd) => {
+                if self.active.is_some() {
+                    // The engine serializes transfers: attribute the wait to
+                    // the DMA itself, not the fabric behind it.
+                    self.queued_while_busy += 1;
+                    if let Some(t) = self.track {
+                        self.trace.instant(t, "reject:busy", ctx.now());
+                    }
+                }
                 self.queue.push_back(cmd);
                 self.pump(ctx);
             }
@@ -207,6 +217,7 @@ impl Component<MemMsg> for BlockDma {
         vec![
             ("bytes_moved".into(), self.bytes_moved as f64),
             ("transfers".into(), self.xfers as f64),
+            ("queued_while_busy".into(), self.queued_while_busy as f64),
         ]
     }
 }

@@ -67,6 +67,8 @@ pub struct Scratchpad {
     writes: u64,
     busy_cycles: u64,
     conflict_stalls: u64,
+    read_port_rejects: u64,
+    write_port_rejects: u64,
     max_queue: usize,
     trace: SharedTrace,
     track: Option<TrackId>,
@@ -86,6 +88,8 @@ impl Scratchpad {
             writes: 0,
             busy_cycles: 0,
             conflict_stalls: 0,
+            read_port_rejects: 0,
+            write_port_rejects: 0,
             max_queue: 0,
             trace: SharedTrace::disabled(),
             track: None,
@@ -225,10 +229,26 @@ impl Component<MemMsg> for Scratchpad {
                         *budget -= 1;
                         serviced.push(req);
                     } else {
+                        // Attribute the reject to its cause so profiling can
+                        // charge contention to the right component knob.
                         if !bank_ok {
                             self.conflict_stalls += 1;
                             if let Some(t) = self.track {
                                 self.trace.instant(t, "bank_conflict", ctx.now());
+                            }
+                        } else {
+                            let cause = match req.op {
+                                MemOp::Read => {
+                                    self.read_port_rejects += 1;
+                                    "reject:read_ports"
+                                }
+                                MemOp::Write => {
+                                    self.write_port_rejects += 1;
+                                    "reject:write_ports"
+                                }
+                            };
+                            if let Some(t) = self.track {
+                                self.trace.instant(t, cause, ctx.now());
                             }
                         }
                         rest.push_back(req);
@@ -263,6 +283,8 @@ impl Component<MemMsg> for Scratchpad {
             ("writes".into(), self.writes as f64),
             ("busy_cycles".into(), self.busy_cycles as f64),
             ("bank_conflict_stalls".into(), self.conflict_stalls as f64),
+            ("read_port_rejects".into(), self.read_port_rejects as f64),
+            ("write_port_rejects".into(), self.write_port_rejects as f64),
             ("max_queue".into(), self.max_queue as f64),
         ]
     }

@@ -28,6 +28,7 @@ pub struct Xbar {
     forwarded: u64,
     bytes: u64,
     contended_cycles: u64,
+    width_stalls: u64,
     trace: SharedTrace,
     track: Option<TrackId>,
 }
@@ -48,6 +49,7 @@ impl Xbar {
             forwarded: 0,
             bytes: 0,
             contended_cycles: 0,
+            width_stalls: 0,
             trace: SharedTrace::disabled(),
             track: None,
         }
@@ -99,8 +101,11 @@ impl Component<MemMsg> for Xbar {
                 };
                 if start > ctx.now() {
                     self.contended_cycles += (start - ctx.now()) / self.clock.period();
+                    self.width_stalls += 1;
                     if let Some(t) = self.track {
-                        self.trace.instant(t, "contended", ctx.now());
+                        // Cause-coded: the stall comes from fabric width
+                        // (multi-beat serialization), not endpoint ports.
+                        self.trace.instant(t, "contended:width", ctx.now());
                     }
                 }
                 if extra_beats > 0 {
@@ -151,6 +156,7 @@ impl Component<MemMsg> for Xbar {
             ("forwarded".into(), self.forwarded as f64),
             ("bytes".into(), self.bytes as f64),
             ("contended_cycles".into(), self.contended_cycles as f64),
+            ("width_stalls".into(), self.width_stalls as f64),
         ]
     }
 }

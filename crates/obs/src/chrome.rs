@@ -14,6 +14,7 @@ use std::path::Path;
 use crate::trace::{SpanId, TraceEvent, TraceRecorder, TrackId};
 
 struct Span {
+    id: SpanId,
     track: TrackId,
     name: String,
     start_ps: u64,
@@ -55,6 +56,7 @@ pub fn export_chrome_json(rec: &TraceRecorder) -> String {
     let mut spans: Vec<Span> = Vec::new();
     let mut instants: Vec<(TrackId, &str, u64)> = Vec::new();
     let mut counters: Vec<(TrackId, &str, u64, f64)> = Vec::new();
+    let mut edges: Vec<(SpanId, SpanId, &str)> = Vec::new();
     let mut max_ts = 0u64;
     let mut seq = 0u64;
     for ev in rec.events() {
@@ -70,6 +72,7 @@ pub fn export_chrome_json(rec: &TraceRecorder) -> String {
                 open.insert(
                     *span,
                     Span {
+                        id: *span,
                         track: *track,
                         name: name.clone(),
                         start_ps: *ts_ps,
@@ -91,6 +94,7 @@ pub fn export_chrome_json(rec: &TraceRecorder) -> String {
                 ts_ps,
                 value,
             } => counters.push((*track, name, *ts_ps, *value)),
+            TraceEvent::Edge { from, to, name, .. } => edges.push((*from, *to, name)),
         }
     }
     for (_, mut s) in open.drain() {
@@ -199,6 +203,41 @@ pub fn export_chrome_json(rec: &TraceRecorder) -> String {
         }
     }
 
+    // Dependency edges as flow events, span-end → span-start. Edges whose
+    // endpoints fell out of the ring (or never closed into `spans`) are
+    // dropped so every emitted `s`/`f` pair binds to real slices.
+    let mut span_at: HashMap<SpanId, (u32, u64, u64)> = HashMap::new();
+    for (t, assignments) in lane_of.iter().enumerate() {
+        for &(i, lane) in assignments {
+            let s = &spans[i];
+            span_at.insert(s.id, (tid_base[t] + lane, s.start_ps, s.end_ps));
+        }
+    }
+    for (k, (from, to, name)) in edges.into_iter().enumerate() {
+        let (Some(&(ftid, _, fend)), Some(&(ttid, tstart, _))) =
+            (span_at.get(&from), span_at.get(&to))
+        else {
+            continue;
+        };
+        let name = escape(name);
+        emit(
+            format!(
+                "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{k},\
+                 \"ts\":{},\"pid\":0,\"tid\":{ftid}}}",
+                ts_us(fend)
+            ),
+            &mut out,
+        );
+        emit(
+            format!(
+                "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{k},\
+                 \"ts\":{},\"pid\":0,\"tid\":{ttid}}}",
+                ts_us(tstart)
+            ),
+            &mut out,
+        );
+    }
+
     // Instants on the track's first lane.
     for (track, name, ts) in instants {
         let tid = tid_base[track.0 as usize];
@@ -269,6 +308,67 @@ mod tests {
         assert_eq!(begins, 1);
         assert_eq!(ends, 1);
         assert!(json.contains("\"ts\":0.009"), "closed at the irq timestamp");
+    }
+
+    #[test]
+    fn dropped_begin_never_yields_unbalanced_end() {
+        // Capacity 2: the Begin is evicted by the two instants, leaving a
+        // dangling End in the ring. The exporter must not emit a lone E.
+        let mut r = TraceRecorder::new(2);
+        let t = r.track("engine");
+        let s = r.begin_span(t, "op0", 0);
+        r.instant(t, "x", 10);
+        r.instant(t, "y", 20); // evicts the Begin
+        r.end_span(s, 100); // evicts instant "x"
+        assert_eq!(r.dropped(), 2);
+        let json = export_chrome_json(&r);
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count(),
+            "B/E stream must stay balanced after ring truncation"
+        );
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 0);
+        assert!(json.contains("\"y\""), "surviving instant still exported");
+        salam_test_json_parses(&json);
+    }
+
+    #[test]
+    fn edges_export_as_matched_flow_pairs() {
+        let mut r = TraceRecorder::default();
+        let t = r.track("prof");
+        let a = r.begin_span(t, "load", 0);
+        let b = r.begin_span(t, "fmul", 1000);
+        r.end_span(a, 500);
+        r.end_span(b, 2000);
+        r.edge(a, b, "critical", 500);
+        let json = export_chrome_json(&r);
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1);
+        assert!(json.contains("\"cat\":\"flow\""));
+        salam_test_json_parses(&json);
+    }
+
+    #[test]
+    fn edge_to_ring_dropped_span_is_omitted() {
+        let mut r = TraceRecorder::new(3);
+        let t = r.track("prof");
+        let a = r.begin_span(t, "gone", 0);
+        let b = r.begin_span(t, "kept", 10);
+        r.end_span(b, 20);
+        r.edge(a, b, "critical", 20); // evicts a's Begin → endpoint missing
+        let json = export_chrome_json(&r);
+        assert_eq!(
+            json.matches("\"ph\":\"s\"").count(),
+            0,
+            "dangling edge dropped"
+        );
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 0);
+        salam_test_json_parses(&json);
+    }
+
+    /// Every exporter test output must at least be valid JSON.
+    fn salam_test_json_parses(json: &str) {
+        crate::json::parse(json).expect("exporter must emit valid JSON");
     }
 
     #[test]

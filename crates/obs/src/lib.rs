@@ -16,18 +16,28 @@
 //!   (`cluster0.gemm.engine.stall_cycles`) unifying component stats,
 //!   engine stats and memsys counters behind one JSON/table dump.
 //!
+//! The profiling layer builds on the spine: [`profile`] defines the
+//! per-cycle attribution taxonomy ([`profile::Attribution`]) and the
+//! compact dependency stream the engine records ([`profile::DepStream`]),
+//! and [`critpath`] extracts the realized critical path, per-op slack and
+//! per-FU-class headroom from that stream.
+//!
 //! Two support modules ride along: [`det`] (a SplitMix64 PRNG and a tiny
 //! seeded-case property harness, replacing the `rand`/`proptest` crates.io
 //! dependencies) and [`json`] (a minimal JSON reader the golden tests use
 //! to validate exported traces).
 
 pub mod chrome;
+pub mod critpath;
 pub mod det;
 pub mod json;
+pub mod profile;
 pub mod registry;
 pub mod trace;
 
 pub use chrome::{export_chrome_json, write_chrome_trace};
+pub use critpath::{analyze, CritPath};
 pub use det::SplitMix64;
+pub use profile::{depstream_to_trace, Attribution, CycleClass, DepOp, DepStream};
 pub use registry::MetricsRegistry;
 pub use trace::{SharedTrace, SpanId, TraceEvent, TraceRecorder, TraceSink, TrackId};

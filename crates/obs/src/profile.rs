@@ -1,0 +1,330 @@
+//! Cycle accounting: the attribution taxonomy every engine cycle is charged
+//! against, and the compact dependency stream recorded for critical-path
+//! analysis (see [`crate::critpath`]).
+//!
+//! The taxonomy is mutually exclusive by construction: the engine classifies
+//! each cycle into exactly one [`CycleClass`], so an [`Attribution`]'s
+//! buckets always sum to the engine's total cycle count — the invariant the
+//! CI smoke asserts. The [`DepStream`] is the raw material of the analyzer:
+//! one record per committed dynamic op with interned name/class strings and
+//! producer uids, cheap enough to keep for whole MachSuite runs.
+
+use crate::trace::{TraceRecorder, TraceSink};
+
+/// Where a single engine cycle went. Exactly one class per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CycleClass {
+    /// At least one op issued this cycle — forward progress.
+    Compute,
+    /// Ready work exists but every candidate waits on a producer.
+    DepStall,
+    /// An op was ready to issue but its functional-unit pool was exhausted.
+    FuLimit,
+    /// A memory op was ready but the port rejected it (or the outstanding
+    /// limit was hit) — contention in the memory system.
+    MemPort,
+    /// Nothing issuable; the engine is waiting on in-flight memory or DMA.
+    DmaWait,
+    /// Fetch/drain overhead: no work resident in any queue.
+    Control,
+}
+
+impl CycleClass {
+    /// Every class, in report order. `dominant` breaks ties toward the
+    /// earlier entry, so the order is part of the deterministic contract.
+    pub const ALL: [CycleClass; 6] = [
+        CycleClass::Compute,
+        CycleClass::DepStall,
+        CycleClass::FuLimit,
+        CycleClass::MemPort,
+        CycleClass::DmaWait,
+        CycleClass::Control,
+    ];
+
+    /// Stable label used in JSON reports and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleClass::Compute => "compute",
+            CycleClass::DepStall => "dep_stall",
+            CycleClass::FuLimit => "fu_limit",
+            CycleClass::MemPort => "mem_port",
+            CycleClass::DmaWait => "dma_wait",
+            CycleClass::Control => "control",
+        }
+    }
+
+    /// Inverse of [`CycleClass::label`].
+    pub fn from_label(s: &str) -> Option<CycleClass> {
+        CycleClass::ALL.into_iter().find(|c| c.label() == s)
+    }
+
+    fn index(self) -> usize {
+        CycleClass::ALL.iter().position(|&c| c == self).unwrap()
+    }
+}
+
+/// Per-class cycle counters. `total()` equals the engine's cycle count
+/// because the engine charges exactly one class per cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Attribution {
+    counts: [u64; 6],
+}
+
+impl Attribution {
+    /// Charges one cycle to `class`.
+    pub fn charge(&mut self, class: CycleClass) {
+        self.counts[class.index()] += 1;
+    }
+
+    /// Charges `n` cycles to `class` (deserialization, aggregation).
+    pub fn add(&mut self, class: CycleClass, n: u64) {
+        self.counts[class.index()] += n;
+    }
+
+    /// Cycles charged to `class`.
+    pub fn get(&self, class: CycleClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Sum over all classes — must equal the engine's total cycles.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The class with the most cycles; ties break toward the earlier entry
+    /// of [`CycleClass::ALL`], keeping reports deterministic.
+    pub fn dominant(&self) -> CycleClass {
+        let mut best = CycleClass::ALL[0];
+        for &c in &CycleClass::ALL[1..] {
+            if self.get(c) > self.get(best) {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Fraction of total cycles charged to `class` (0.0 on empty runs).
+    pub fn fraction(&self, class: CycleClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(class) as f64 / total as f64
+        }
+    }
+
+    /// `(class, cycles)` pairs in [`CycleClass::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (CycleClass, u64)> + '_ {
+        CycleClass::ALL.into_iter().map(|c| (c, self.get(c)))
+    }
+}
+
+/// One committed dynamic op in the dependency stream. `name` and `class`
+/// index the stream's interned string tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepOp {
+    /// The engine's dynamic-instance uid (unique, monotonically assigned).
+    pub uid: u64,
+    /// Interned mnemonic ("fmul", "load", ...).
+    pub name: u32,
+    /// Interned resource class — the FU name for compute ops, the issue
+    /// class ("load"/"store") for memory ops.
+    pub class: u32,
+    /// Cycle the op issued.
+    pub issue: u64,
+    /// Cycle the op committed (result became visible to consumers).
+    pub commit: u64,
+    /// Uids of the producers this instance depended on.
+    pub deps: Vec<u64>,
+}
+
+/// The compact producer→consumer record of one run: interned string tables
+/// plus one [`DepOp`] per committed dynamic op, in commit order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepStream {
+    names: Vec<String>,
+    classes: Vec<String>,
+    ops: Vec<DepOp>,
+}
+
+impl DepStream {
+    pub fn new() -> Self {
+        DepStream::default()
+    }
+
+    /// Interns an op mnemonic, returning its table index.
+    pub fn intern_name(&mut self, s: &str) -> u32 {
+        intern(&mut self.names, s)
+    }
+
+    /// Interns a resource-class name, returning its table index.
+    pub fn intern_class(&mut self, s: &str) -> u32 {
+        intern(&mut self.classes, s)
+    }
+
+    /// Appends a committed op. Deps should reference earlier uids; unknown
+    /// uids (e.g. terminators that never issue) are tolerated by the
+    /// analyzer.
+    pub fn record(
+        &mut self,
+        uid: u64,
+        name: &str,
+        class: &str,
+        issue: u64,
+        commit: u64,
+        deps: Vec<u64>,
+    ) {
+        let name = self.intern_name(name);
+        let class = self.intern_class(class);
+        self.ops.push(DepOp {
+            uid,
+            name,
+            class,
+            issue,
+            commit,
+            deps,
+        });
+    }
+
+    /// Ops in commit order.
+    pub fn ops(&self) -> &[DepOp] {
+        &self.ops
+    }
+
+    /// Resolves an interned mnemonic.
+    pub fn name(&self, idx: u32) -> &str {
+        self.names
+            .get(idx as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Resolves an interned resource class.
+    pub fn class(&self, idx: u32) -> &str {
+        self.classes
+            .get(idx as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// All interned resource classes.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+fn intern(table: &mut Vec<String>, s: &str) -> u32 {
+    if let Some(i) = table.iter().position(|t| t == s) {
+        return i as u32;
+    }
+    table.push(s.to_string());
+    (table.len() - 1) as u32
+}
+
+/// Renders a dependency stream as a trace: one track per resource class,
+/// one span per op (issue→commit in simulated time), and the realized
+/// critical path drawn as flow [`crate::trace::TraceEvent::Edge`]s between
+/// consecutive path ops — the "explained timeline" view of a run.
+pub fn depstream_to_trace(
+    stream: &DepStream,
+    critical_path: &[u64],
+    clock_period_ps: u64,
+) -> TraceRecorder {
+    let period = clock_period_ps.max(1);
+    let mut rec = TraceRecorder::new(TraceRecorder::DEFAULT_CAPACITY.max(stream.len() * 2 + 16));
+    let mut span_of: std::collections::HashMap<u64, crate::trace::SpanId> =
+        std::collections::HashMap::new();
+    for op in stream.ops() {
+        let track = rec.track(&format!("class.{}", stream.class(op.class)));
+        let span = rec.begin_span(track, stream.name(op.name), op.issue * period);
+        rec.end_span(span, (op.commit + 1) * period);
+        span_of.insert(op.uid, span);
+    }
+    for pair in critical_path.windows(2) {
+        if let (Some(&from), Some(&to)) = (span_of.get(&pair[0]), span_of.get(&pair[1])) {
+            let ts = stream
+                .ops()
+                .iter()
+                .find(|o| o.uid == pair[0])
+                .map(|o| (o.commit + 1) * period)
+                .unwrap_or(0);
+            rec.edge(from, to, "critical", ts);
+        }
+    }
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_total_is_sum_of_charges() {
+        let mut a = Attribution::default();
+        a.charge(CycleClass::Compute);
+        a.charge(CycleClass::Compute);
+        a.charge(CycleClass::DmaWait);
+        a.add(CycleClass::Control, 3);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.get(CycleClass::Compute), 2);
+        assert_eq!(a.get(CycleClass::FuLimit), 0);
+    }
+
+    #[test]
+    fn dominant_breaks_ties_toward_report_order() {
+        let mut a = Attribution::default();
+        a.add(CycleClass::DepStall, 5);
+        a.add(CycleClass::DmaWait, 5);
+        assert_eq!(a.dominant(), CycleClass::DepStall);
+        a.add(CycleClass::DmaWait, 1);
+        assert_eq!(a.dominant(), CycleClass::DmaWait);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for c in CycleClass::ALL {
+            assert_eq!(CycleClass::from_label(c.label()), Some(c));
+        }
+        assert_eq!(CycleClass::from_label("nope"), None);
+    }
+
+    #[test]
+    fn depstream_interns_and_resolves() {
+        let mut s = DepStream::new();
+        s.record(1, "load", "load", 0, 2, vec![]);
+        s.record(2, "fmul", "fp_mul_f64", 3, 7, vec![1]);
+        s.record(3, "load", "load", 1, 3, vec![]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.ops()[0].name, s.ops()[2].name, "mnemonics interned once");
+        assert_eq!(s.name(s.ops()[1].name), "fmul");
+        assert_eq!(s.class(s.ops()[1].class), "fp_mul_f64");
+        assert_eq!(s.classes(), &["load".to_string(), "fp_mul_f64".to_string()]);
+    }
+
+    #[test]
+    fn depstream_to_trace_spans_every_op_and_draws_path_edges() {
+        let mut s = DepStream::new();
+        s.record(1, "load", "load", 0, 2, vec![]);
+        s.record(2, "fmul", "fp_mul_f64", 3, 7, vec![1]);
+        let rec = depstream_to_trace(&s, &[1, 2], 1000);
+        let begins = rec
+            .events()
+            .filter(|e| matches!(e, crate::trace::TraceEvent::Begin { .. }))
+            .count();
+        let edges = rec
+            .events()
+            .filter(|e| matches!(e, crate::trace::TraceEvent::Edge { .. }))
+            .count();
+        assert_eq!(begins, 2);
+        assert_eq!(edges, 1);
+        assert_eq!(rec.tracks().len(), 2);
+    }
+}

@@ -50,6 +50,14 @@ pub enum TraceEvent {
         ts_ps: u64,
         value: f64,
     },
+    /// A producer→consumer dependency arrow between two spans (exported as
+    /// a Chrome flow event). Used by the profiler to draw the critical path.
+    Edge {
+        from: SpanId,
+        to: SpanId,
+        name: String,
+        ts_ps: u64,
+    },
 }
 
 impl TraceEvent {
@@ -59,7 +67,8 @@ impl TraceEvent {
             TraceEvent::Begin { ts_ps, .. }
             | TraceEvent::End { ts_ps, .. }
             | TraceEvent::Instant { ts_ps, .. }
-            | TraceEvent::Counter { ts_ps, .. } => *ts_ps,
+            | TraceEvent::Counter { ts_ps, .. }
+            | TraceEvent::Edge { ts_ps, .. } => *ts_ps,
         }
     }
 }
@@ -91,6 +100,10 @@ pub trait TraceSink {
 
     /// Records a counter sample.
     fn counter(&mut self, _track: TrackId, _name: &str, _ts_ps: u64, _value: f64) {}
+
+    /// Records a dependency arrow between two spans. Invalid endpoints are
+    /// ignored.
+    fn edge(&mut self, _from: SpanId, _to: SpanId, _name: &str, _ts_ps: u64) {}
 }
 
 /// The sink used when tracing is off: every hook is a no-op.
@@ -220,6 +233,17 @@ impl TraceRecorder {
                     ts_ps: *ts_ps,
                     value: *value,
                 },
+                TraceEvent::Edge {
+                    from,
+                    to,
+                    name,
+                    ts_ps,
+                } => TraceEvent::Edge {
+                    from: remap_span(*from),
+                    to: remap_span(*to),
+                    name: name.clone(),
+                    ts_ps: *ts_ps,
+                },
             };
             self.events.push_back(ev);
         }
@@ -279,6 +303,17 @@ impl TraceSink for TraceRecorder {
             ts_ps,
             value,
         });
+    }
+
+    fn edge(&mut self, from: SpanId, to: SpanId, name: &str, ts_ps: u64) {
+        if from.is_valid() && to.is_valid() {
+            self.push(TraceEvent::Edge {
+                from,
+                to,
+                name: name.to_string(),
+                ts_ps,
+            });
+        }
     }
 }
 
@@ -361,6 +396,13 @@ impl SharedTrace {
     pub fn counter(&self, track: TrackId, name: &str, ts_ps: u64, value: f64) {
         if let Some(rc) = &self.inner {
             rc.lock().unwrap().counter(track, name, ts_ps, value);
+        }
+    }
+
+    #[inline]
+    pub fn edge(&self, from: SpanId, to: SpanId, name: &str, ts_ps: u64) {
+        if let Some(rc) = &self.inner {
+            rc.lock().unwrap().edge(from, to, name, ts_ps);
         }
     }
 
@@ -504,6 +546,129 @@ mod tests {
         assert_eq!(rec.len(), 1);
         assert!(!h.is_enabled());
         assert!(h.take_recorder().is_none());
+    }
+
+    #[test]
+    fn merge_from_empty_recorder_is_a_noop() {
+        let mut a = TraceRecorder::default();
+        let t = a.track("engine");
+        a.instant(t, "x", 100);
+        let before: Vec<TraceEvent> = a.events().cloned().collect();
+        let span_watermark = a.next_span;
+
+        a.merge_from(&TraceRecorder::default());
+        let after: Vec<TraceEvent> = a.events().cloned().collect();
+        assert_eq!(before, after, "merging an empty recorder changes nothing");
+        assert_eq!(a.tracks(), &["engine".to_string()]);
+        assert_eq!(a.dropped(), 0);
+        // Span-id allocation must still be collision-free afterwards.
+        let s = a.begin_span(t, "later", 200);
+        assert!(s.0 >= span_watermark);
+    }
+
+    #[test]
+    fn merge_collapses_same_named_tracks_across_recorders() {
+        // Both recorders define "engine" and "dma", in *opposite* order, so
+        // a naive id-preserving merge would cross-wire the tracks.
+        let mut a = TraceRecorder::default();
+        let a_eng = a.track("engine");
+        let a_dma = a.track("dma");
+        a.instant(a_eng, "a-eng", 10);
+        a.instant(a_dma, "a-dma", 20);
+
+        let mut b = TraceRecorder::default();
+        let b_dma = b.track("dma"); // TrackId(0) here, but "dma" by name
+        let b_eng = b.track("engine");
+        b.instant(b_dma, "b-dma", 30);
+        b.instant(b_eng, "b-eng", 40);
+
+        a.merge_from(&b);
+        assert_eq!(a.tracks(), &["engine".to_string(), "dma".to_string()]);
+        for ev in a.events() {
+            if let TraceEvent::Instant { track, name, .. } = ev {
+                let expect = if name.ends_with("eng") {
+                    "engine"
+                } else {
+                    "dma"
+                };
+                assert_eq!(
+                    a.track_name(*track),
+                    expect,
+                    "event {name} must land on its named track"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_worker_merge_preserves_global_time_order() {
+        // Three workers with deliberately interleaved timestamps.
+        let mut workers: Vec<TraceRecorder> = Vec::new();
+        for w in 0..3u64 {
+            let mut r = TraceRecorder::default();
+            let t = r.track(&format!("worker{w}"));
+            let s = r.begin_span(t, "job", w * 7 + 1);
+            r.instant(t, "mark", w * 13 + 50);
+            r.end_span(s, 1000 - w * 100);
+            workers.push(r);
+        }
+        let mut merged = TraceRecorder::default();
+        for w in &workers {
+            merged.merge_from(w);
+        }
+        assert_eq!(merged.len(), 9);
+        assert_eq!(merged.tracks().len(), 3);
+        let ts: Vec<u64> = merged.events().map(TraceEvent::ts_ps).collect();
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "merged stream must be globally time-sorted: {ts:?}"
+        );
+        // All nine span/instant events survive with unique span ids.
+        let mut span_ids: Vec<u64> = merged
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::Begin { span, .. } => Some(span.0),
+                _ => None,
+            })
+            .collect();
+        span_ids.sort_unstable();
+        span_ids.dedup();
+        assert_eq!(span_ids.len(), 3, "one unique span per worker");
+    }
+
+    #[test]
+    fn edges_record_and_merge_with_remapped_spans() {
+        let mut b = TraceRecorder::default();
+        let t = b.track("prof");
+        let s1 = b.begin_span(t, "load", 0);
+        let s2 = b.begin_span(t, "fmul", 100);
+        b.end_span(s1, 50);
+        b.end_span(s2, 200);
+        b.edge(s1, s2, "critical", 50);
+        b.edge(SpanId::INVALID, s2, "ignored", 60);
+        assert_eq!(b.len(), 5, "invalid edge endpoints are dropped");
+
+        let mut a = TraceRecorder::default();
+        let ta = a.track("prof");
+        let s0 = a.begin_span(ta, "warmup", 0);
+        a.end_span(s0, 10);
+        a.merge_from(&b);
+        let edge = a
+            .events()
+            .find_map(|e| match e {
+                TraceEvent::Edge { from, to, .. } => Some((*from, *to)),
+                _ => None,
+            })
+            .expect("edge survives merge");
+        let begins: Vec<SpanId> = a
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::Begin { span, .. } => Some(*span),
+                _ => None,
+            })
+            .collect();
+        assert!(begins.contains(&edge.0) && begins.contains(&edge.1));
+        assert_ne!(edge.0, s0, "merged edge endpoints were offset");
     }
 
     #[test]

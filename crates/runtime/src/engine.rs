@@ -40,6 +40,11 @@ pub struct EngineConfig {
     /// paper's cycle-granularity scheduling log. Off by default (it grows
     /// with runtime).
     pub record_timeline: bool,
+    /// Record the producer→consumer dependency stream in
+    /// [`EngineStats::depstream`] for critical-path analysis. Off by
+    /// default (one record per dynamic op); observability-only, never
+    /// changes the schedule.
+    pub record_depstream: bool,
     /// Enforce strict WAR/WAW register hazards between dynamic instances of
     /// the same instruction. The paper's reservation queue only requires
     /// previous instances and readers to be "in-flight or completed", and
@@ -61,6 +66,7 @@ impl Default for EngineConfig {
             deadlock_cycles: 1_000_000,
             pipelined_fus: false,
             record_timeline: false,
+            record_depstream: false,
             strict_register_hazards: false,
         }
     }
@@ -70,8 +76,8 @@ impl EngineConfig {
     /// A canonical `key=value` line covering every knob that can change
     /// simulated behaviour. Equal configs always produce equal strings —
     /// the design-space-exploration cache keys on this. `record_timeline`
-    /// is deliberately excluded: it only adds logging, never changes the
-    /// schedule.
+    /// and `record_depstream` are deliberately excluded: they only add
+    /// logging, never change the schedule.
     pub fn canonical_repr(&self) -> String {
         format!(
             "clock_period_ps={};reservation_entries={};max_outstanding_reads={};\
@@ -128,6 +134,14 @@ struct DynInst {
     span: Option<(u64, u32)>,
     /// Open trace span (issue → retire), invalid when tracing is off.
     tspan: SpanId,
+    /// Cycle this op issued (depstream timestamp; 0 until issue).
+    issue_cycle: u64,
+    /// Resource class for attribution: the FU name for compute ops, the
+    /// issue-class label for everything else.
+    res_class: &'static str,
+    /// Producer uids captured at import, *before* dependency pruning
+    /// (only filled when `record_depstream` is on).
+    all_deps: Vec<u64>,
 }
 
 /// Trace tracks the engine emits onto, registered once at `set_trace`.
@@ -208,6 +222,7 @@ impl Engine {
         for (k, n) in cdfg.fu_counts() {
             stats.fu_pool.insert(k, n);
         }
+        stats.depstream = cfg.record_depstream.then(salam_obs::DepStream::new);
         let entry = func.entry();
         let mut e = Engine {
             func,
@@ -386,10 +401,25 @@ impl Engine {
                 self.last_instance[iid.index()] = Some(uid);
             }
 
+            let mut all_deps: Vec<u64> = Vec::new();
+            if self.cfg.record_depstream {
+                for op in &operands {
+                    if let Operand::Inst(def_uid) = op {
+                        all_deps.push(*def_uid);
+                    }
+                }
+                for dep in &deps {
+                    all_deps.push(dep.uid);
+                }
+                all_deps.sort_unstable();
+                all_deps.dedup();
+            }
+
             let inst = self.func.inst(iid);
             let is_load = inst.op == Opcode::Load;
             let is_store = inst.op == Opcode::Store;
             let class = classify(&inst.op);
+            let res_class = sop.fu.map(FuKind::name).unwrap_or(class.label());
             let d = DynInst {
                 uid,
                 inst: iid,
@@ -405,6 +435,9 @@ impl Engine {
                 span_resolved: false,
                 span: None,
                 tspan: SpanId::INVALID,
+                issue_cycle: 0,
+                res_class,
+                all_deps,
             };
             if is_load || is_store {
                 self.mem_window.push(MemRec {
@@ -534,7 +567,7 @@ impl Engine {
         // 1. Memory completions commit first (the asynchronous memory
         //    queues of the paper).
         for completion in port.poll() {
-            let d = self
+            let mut d = self
                 .mem_wait
                 .remove(&completion.token)
                 .expect("completion for unknown token");
@@ -557,6 +590,16 @@ impl Engine {
             self.values[d.uid as usize] = value;
             self.committed[d.uid as usize] = true;
             self.mem_window.retain(|r| r.uid != d.uid);
+            if let Some(ds) = self.stats.depstream.as_mut() {
+                ds.record(
+                    d.uid,
+                    self.func.inst(d.inst).op.mnemonic(),
+                    d.res_class,
+                    d.issue_cycle,
+                    self.cycle,
+                    std::mem::take(&mut d.all_deps),
+                );
+            }
             self.trace.end_span(d.tspan, self.trace_ts(self.cycle));
             progressed = true;
         }
@@ -577,6 +620,16 @@ impl Engine {
                 if self.func.inst(d.inst).has_result() {
                     self.stats.reg_write_pj +=
                         self.profile.register.write_energy_pj_per_bit * d.bits as f64;
+                }
+                if let Some(ds) = self.stats.depstream.as_mut() {
+                    ds.record(
+                        d.uid,
+                        self.func.inst(d.inst).op.mnemonic(),
+                        d.res_class,
+                        d.issue_cycle,
+                        cycle,
+                        std::mem::take(&mut d.all_deps),
+                    );
                 }
                 self.trace.end_span(d.tspan, commit_ts);
                 progressed = true;
@@ -626,6 +679,10 @@ impl Engine {
         let mut blocked_mix = StallMix::default();
         let mut blocked_any = false;
         let mut port_rejected = false;
+        // Attribution causes: a ready op hit an FU pool limit / a memory
+        // limit (outstanding cap or port reject) this cycle.
+        let mut fu_blocked = false;
+        let mut mem_limit_blocked = false;
         let mut idx = 0;
         while idx < self.reservation.len() {
             let ready = {
@@ -652,6 +709,7 @@ impl Engine {
                 if busy >= pool {
                     blocked_any = true;
                     blocked_mix.compute = true;
+                    fu_blocked = true;
                     idx += 1;
                     continue;
                 }
@@ -674,6 +732,7 @@ impl Engine {
                 };
                 if !limit_ok {
                     blocked_any = true;
+                    mem_limit_blocked = true;
                     if d.is_store {
                         blocked_mix.store = true;
                     } else {
@@ -696,6 +755,7 @@ impl Engine {
                     Ok(()) => {
                         self.token_next += 1;
                         let mut d = self.reservation.remove(idx).expect("index valid");
+                        d.issue_cycle = cycle;
                         d.tspan = self.register_issue(&d, &mut classes_this_cycle);
                         if d.is_store {
                             self.outstanding_writes += 1;
@@ -709,8 +769,14 @@ impl Engine {
                         self.mem_wait.insert(token, d);
                         issued_this_cycle += 1;
                     }
-                    Err(_rejected) => {
+                    Err(rejected) => {
+                        *self
+                            .stats
+                            .reject_causes
+                            .entry(rejected.cause.label().to_string())
+                            .or_insert(0) += 1;
                         port_rejected = true;
+                        mem_limit_blocked = true;
                         blocked_any = true;
                         if d.is_store {
                             blocked_mix.store = true;
@@ -725,6 +791,7 @@ impl Engine {
 
             // Compute / control issue.
             let mut d = self.reservation.remove(idx).expect("index valid");
+            d.issue_cycle = cycle;
             let value = match self.eval_compute(&d) {
                 Ok(v) => v,
                 Err(e) => panic!(
@@ -771,6 +838,16 @@ impl Engine {
                         self.profile.register.write_energy_pj_per_bit * d.bits as f64;
                 }
                 self.committed[d.uid as usize] = true;
+                if let Some(ds) = self.stats.depstream.as_mut() {
+                    ds.record(
+                        d.uid,
+                        self.func.inst(d.inst).op.mnemonic(),
+                        d.res_class,
+                        d.issue_cycle,
+                        cycle,
+                        std::mem::take(&mut d.all_deps),
+                    );
+                }
                 // Chained op: a zero-duration span at the issue cycle.
                 self.trace.end_span(d.tspan, self.trace_ts(cycle));
             } else {
@@ -804,6 +881,24 @@ impl Engine {
             self.stats.timeline.push(rec);
         }
         self.stats.cycles += 1;
+        // Cycle attribution: charge this cycle to exactly one class, by
+        // strict priority — progress beats any stall cause, resource limits
+        // beat waiting, waiting beats dependence, dependence beats drain.
+        // One charge per step keeps `attribution.total() == cycles` exact.
+        let cycle_class = if issued_this_cycle > 0 {
+            salam_obs::CycleClass::Compute
+        } else if fu_blocked {
+            salam_obs::CycleClass::FuLimit
+        } else if port_rejected || mem_limit_blocked {
+            salam_obs::CycleClass::MemPort
+        } else if !self.mem_wait.is_empty() {
+            salam_obs::CycleClass::DmaWait
+        } else if !self.reservation.is_empty() || !self.compute_q.is_empty() {
+            salam_obs::CycleClass::DepStall
+        } else {
+            salam_obs::CycleClass::Control
+        };
+        self.stats.attribution.charge(cycle_class);
         for (&k, &busy) in &self.fu_busy {
             if busy > 0 {
                 *self.stats.fu_busy_cycle_sum.entry(k).or_insert(0) += busy as u64;

@@ -60,5 +60,5 @@ mod port;
 mod stats;
 
 pub use engine::{Engine, EngineConfig};
-pub use port::{MemAccess, MemCompletion, MemPort, SimpleMem};
+pub use port::{MemAccess, MemCompletion, MemPort, RejectCause, Rejection, SimpleMem};
 pub use stats::{CycleRecord, EngineStats, IssueClass, StallMix};

@@ -29,6 +29,54 @@ pub struct MemCompletion {
     pub data: Option<Vec<u8>>,
 }
 
+/// Why a port refused an access this cycle. Ports attach the cause that
+/// *originated* the refusal, so the engine's cycle accounting can attribute
+/// contention to the component that caused it rather than the one that
+/// observed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RejectCause {
+    /// Per-cycle read-port budget exhausted.
+    ReadPorts,
+    /// Per-cycle write-port budget exhausted.
+    WritePorts,
+    /// Downstream component busy (DMA in flight, MSHRs full).
+    Busy,
+    /// Interconnect width serialization (crossbar beat conflict).
+    Width,
+    /// Unspecified downstream backpressure.
+    Downstream,
+}
+
+impl RejectCause {
+    /// Stable label used in stats maps and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectCause::ReadPorts => "read_ports",
+            RejectCause::WritePorts => "write_ports",
+            RejectCause::Busy => "busy",
+            RejectCause::Width => "width",
+            RejectCause::Downstream => "downstream",
+        }
+    }
+}
+
+/// A refused access plus its cause code, returned by
+/// [`MemPort::try_issue`]. The access is handed back unchanged so the
+/// caller can retry it next cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// The access the port refused.
+    pub access: MemAccess,
+    /// Why it was refused.
+    pub cause: RejectCause,
+}
+
+impl Rejection {
+    pub fn new(access: MemAccess, cause: RejectCause) -> Self {
+        Rejection { access, cause }
+    }
+}
+
 /// What the engine plugs its memory queues into.
 ///
 /// Implementations range from the bundled [`SimpleMem`] (a private
@@ -41,14 +89,15 @@ pub trait MemPort {
     /// port budgets and advances internal time.
     fn begin_cycle(&mut self);
 
-    /// Tries to accept one access this cycle. Returns the access back if the
-    /// port is out of bandwidth or buffering.
+    /// Tries to accept one access this cycle. Returns the access back —
+    /// wrapped in a [`Rejection`] carrying the cause — if the port is out
+    /// of bandwidth or buffering.
     ///
     /// # Errors
     ///
     /// The rejected access is returned unchanged so the caller can retry it
-    /// next cycle.
-    fn try_issue(&mut self, access: MemAccess) -> Result<(), MemAccess>;
+    /// next cycle; the [`RejectCause`] feeds the engine's cycle accounting.
+    fn try_issue(&mut self, access: MemAccess) -> Result<(), Rejection>;
 
     /// Drains completions that have arrived since the last poll.
     fn poll(&mut self) -> Vec<MemCompletion>;
@@ -121,15 +170,15 @@ impl MemPort for SimpleMem {
         self.writes_left = self.write_ports;
     }
 
-    fn try_issue(&mut self, access: MemAccess) -> Result<(), MemAccess> {
+    fn try_issue(&mut self, access: MemAccess) -> Result<(), Rejection> {
         use salam_ir::interp::Memory as _;
-        let budget = if access.is_write {
-            &mut self.writes_left
+        let (budget, cause) = if access.is_write {
+            (&mut self.writes_left, RejectCause::WritePorts)
         } else {
-            &mut self.reads_left
+            (&mut self.reads_left, RejectCause::ReadPorts)
         };
         if *budget == 0 {
-            return Err(access);
+            return Err(Rejection::new(access, cause));
         }
         *budget -= 1;
         let ready = self.cycle + self.latency_cycles;
@@ -224,6 +273,27 @@ mod tests {
                 data: None
             })
             .is_ok());
+    }
+
+    #[test]
+    fn rejects_carry_a_cause_per_direction() {
+        let mut m = SimpleMem::new(1, 1, 1);
+        m.begin_cycle();
+        let acc = |token: u64, is_write: bool| MemAccess {
+            token,
+            addr: 0,
+            size: 4,
+            is_write,
+            data: is_write.then(|| vec![0; 4]),
+        };
+        m.try_issue(acc(1, false)).unwrap();
+        m.try_issue(acc(2, true)).unwrap();
+        let r = m.try_issue(acc(3, false)).unwrap_err();
+        assert_eq!(r.cause, RejectCause::ReadPorts);
+        assert_eq!(r.access.token, 3, "access handed back for retry");
+        let w = m.try_issue(acc(4, true)).unwrap_err();
+        assert_eq!(w.cause, RejectCause::WritePorts);
+        assert_eq!(RejectCause::ReadPorts.label(), "read_ports");
     }
 
     #[test]

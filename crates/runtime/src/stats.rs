@@ -125,6 +125,16 @@ pub struct EngineStats {
     /// Cycles in which a ready memory op was refused by the port
     /// (bandwidth saturation).
     pub port_reject_cycles: u64,
+    /// Per-cycle attribution: every engine cycle charged to exactly one
+    /// [`salam_obs::CycleClass`]. `attribution.total() == cycles` always.
+    pub attribution: salam_obs::Attribution,
+    /// Port rejections by [`crate::RejectCause`] label — one count per
+    /// rejected access (an op can be rejected on many cycles).
+    pub reject_causes: BTreeMap<String, u64>,
+    /// The producer→consumer dependency stream (only populated when
+    /// [`crate::EngineConfig::record_depstream`] is enabled); input to
+    /// [`salam_obs::critpath::analyze`].
+    pub depstream: Option<salam_obs::DepStream>,
     /// Per-cycle activity log (only populated when
     /// [`crate::EngineConfig::record_timeline`] is enabled).
     pub timeline: Vec<CycleRecord>,
@@ -201,6 +211,12 @@ impl EngineStats {
         reg.set(&p("mem.load_bytes"), self.load_bytes as f64);
         reg.set(&p("mem.store_bytes"), self.store_bytes as f64);
         reg.set(&p("mem.port_reject_cycles"), self.port_reject_cycles as f64);
+        for (class, n) in self.attribution.iter() {
+            reg.set(&p(&format!("attribution.{}", class.label())), n as f64);
+        }
+        for (cause, n) in &self.reject_causes {
+            reg.set(&p(&format!("reject.{cause}")), *n as f64);
+        }
     }
 }
 

@@ -209,7 +209,7 @@ fn deadlock_detection_fires() {
         fn try_issue(
             &mut self,
             _a: salam_runtime::MemAccess,
-        ) -> Result<(), salam_runtime::MemAccess> {
+        ) -> Result<(), salam_runtime::Rejection> {
             Ok(()) // accepted, never completed
         }
         fn poll(&mut self) -> Vec<salam_runtime::MemCompletion> {

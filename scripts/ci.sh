@@ -31,4 +31,16 @@ case "$warm" in
   *) echo "ci: DSE cache re-run was not fully served from cache" >&2; exit 1 ;;
 esac
 
+# Bottleneck-report smoke: one MachSuite kernel with profiling on. The
+# binary self-checks the accounting invariant (attribution buckets sum
+# exactly to total cycles, critical path fits in the run) and prints a
+# stable marker line on success.
+echo "+ salam_report gemm (invariant smoke)"
+prof="$(cargo run --release -q --offline -p salam-bench --bin salam_report -- gemm)"
+echo "$prof" | tail -n 1
+case "$prof" in
+  *"invariant: attribution==cycles ok"*) ;;
+  *) echo "ci: salam_report invariant marker missing" >&2; exit 1 ;;
+esac
+
 echo "ci: all checks passed"
