@@ -4,11 +4,41 @@
 //! `SALAM_DSE_NO_CACHE`) and ends with the `dse: hits=… misses=…` summary
 //! line CI asserts on: the second invocation against the same cache
 //! directory must report `misses=0`.
+//!
+//! With `--inject-panic`, one design point's job deliberately panics; CI
+//! uses this to assert that the sweep still completes, reports `failed=1`
+//! in the summary, and renders that point as a `failed:<cause>` row.
 
 use salam::standalone::StandaloneConfig;
-use salam_dse::{run_sweep, Axis, DseOptions, KernelSpec, SweepSpec, SweepTable};
+use salam_dse::{
+    run_sweep, Axis, CacheId, DseOptions, KernelSpec, StandalonePoint, SweepJob, SweepSpec,
+    SweepTable,
+};
+
+/// A standalone point that can be told to panic instead of simulating —
+/// the CI probe for panic isolation in `run_sweep`.
+struct SmokeJob {
+    inner: StandalonePoint,
+    poisoned: bool,
+}
+
+impl SweepJob for SmokeJob {
+    type Output = salam::RunReport;
+
+    fn cache_id(&self) -> CacheId {
+        self.inner.cache_id()
+    }
+
+    fn run(&self) -> salam::RunReport {
+        if self.poisoned {
+            panic!("injected panic for CI");
+        }
+        self.inner.run()
+    }
+}
 
 fn main() {
+    let inject_panic = std::env::args().any(|a| a == "--inject-panic");
     let spec = SweepSpec::new("smoke", StandaloneConfig::default())
         .kernel(KernelSpec::custom("gemm[n=8,u=2]", || {
             machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 2 })
@@ -17,24 +47,38 @@ fn main() {
         .axis(Axis::spm_ports(&[1, 2]))
         .axis(Axis::reservation_entries(&[8, 64]));
     let points = spec.points();
-    let run = run_sweep(&points, &DseOptions::default());
+    let jobs: Vec<SmokeJob> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| SmokeJob {
+            inner: p.clone(),
+            poisoned: inject_panic && i == 0,
+        })
+        .collect();
+    let run = run_sweep(&jobs, &DseOptions::default());
 
     let mut t = SweepTable::new(
         "DSE smoke sweep",
         &["point", "cycles", "dominant_bottleneck", "cached"],
     );
     for (point, outcome) in points.iter().zip(&run.outcomes) {
-        assert!(
-            outcome.payload.verified,
-            "{} failed verification",
-            point.label()
-        );
-        t.row(vec![
-            point.label(),
-            outcome.payload.cycles.to_string(),
-            outcome.payload.dominant_bottleneck().to_string(),
-            if outcome.from_cache { "yes" } else { "no" }.into(),
-        ]);
+        match outcome.payload() {
+            Some(r) => {
+                assert!(r.verified, "{} failed verification", point.label());
+                t.row(vec![
+                    point.label(),
+                    r.cycles.to_string(),
+                    r.dominant_bottleneck().to_string(),
+                    if outcome.from_cache { "yes" } else { "no" }.into(),
+                ]);
+            }
+            None => t.row(vec![
+                point.label(),
+                outcome.failure_label().unwrap(),
+                String::new(),
+                "no".into(),
+            ]),
+        }
     }
     println!("{}", t.render_auto());
     println!("dse: {}", run.summary());

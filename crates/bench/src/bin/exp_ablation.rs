@@ -21,7 +21,7 @@ fn sweep(
     let run = run_sweep(&spec.points(), opts);
     for (point, outcome) in spec.points().iter().zip(&run.outcomes) {
         assert!(
-            outcome.payload.verified,
+            outcome.expect_payload().verified,
             "{} ablation broke correctness",
             point.label()
         );
@@ -59,8 +59,8 @@ fn main() {
         &["bench", "renamed (default)", "strict WAR/WAW", "slowdown"],
     );
     for (i, bench) in benches1.iter().enumerate() {
-        let renamed = run.outcomes[2 * i].payload.cycles;
-        let strict = run.outcomes[2 * i + 1].payload.cycles;
+        let renamed = run.outcomes[2 * i].expect_payload().cycles;
+        let strict = run.outcomes[2 * i + 1].expect_payload().cycles;
         t.row(vec![
             bench.label().into(),
             renamed.to_string(),
@@ -93,8 +93,8 @@ fn main() {
         ],
     );
     for (i, bench) in benches2.iter().enumerate() {
-        let unpiped = run.outcomes[2 * i].payload.cycles;
-        let piped = run.outcomes[2 * i + 1].payload.cycles;
+        let unpiped = run.outcomes[2 * i].expect_payload().cycles;
+        let piped = run.outcomes[2 * i + 1].expect_payload().cycles;
         t.row(vec![
             bench.label().into(),
             unpiped.to_string(),
@@ -123,7 +123,7 @@ fn main() {
         let mut row = vec![bench.label().to_string()];
         row.extend((0..windows.len()).map(|j| {
             run.outcomes[windows.len() * i + j]
-                .payload
+                .expect_payload()
                 .cycles
                 .to_string()
         }));
@@ -161,9 +161,12 @@ fn main() {
     );
     for (i, fu) in fu_limits.iter().enumerate() {
         let mut row = vec![fu.to_string()];
-        row.extend(
-            (0..ports.len()).map(|j| run.outcomes[ports.len() * i + j].payload.cycles.to_string()),
-        );
+        row.extend((0..ports.len()).map(|j| {
+            run.outcomes[ports.len() * i + j]
+                .expect_payload()
+                .cycles
+                .to_string()
+        }));
         t.row(row);
     }
     println!("{}", t.render_auto());

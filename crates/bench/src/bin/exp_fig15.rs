@@ -52,7 +52,7 @@ fn main() {
         ],
     );
     for (point, outcome) in points.iter().zip(&run.outcomes) {
-        let r = &outcome.payload;
+        let r = outcome.expect_payload();
         assert!(r.verified);
         let st = &r.stats;
         let total = st.cycles as f64;
@@ -84,7 +84,7 @@ fn main() {
     let objs: Vec<[f64; 3]> = run
         .outcomes
         .iter()
-        .map(|o| objectives(&o.payload))
+        .map(|o| objectives(o.expect_payload()))
         .collect();
     let frontier = pareto_frontier(&objs);
     let labels: Vec<String> = frontier
@@ -93,7 +93,7 @@ fn main() {
             format!(
                 "{} [{}]",
                 points[i].label(),
-                run.outcomes[i].payload.dominant_bottleneck()
+                run.outcomes[i].expect_payload().dominant_bottleneck()
             )
         })
         .collect();
@@ -104,7 +104,7 @@ fn main() {
         points
             .iter()
             .zip(&run.outcomes)
-            .map(|(p, o)| (p.label(), &o.payload)),
+            .map(|(p, o)| (p.label(), o.expect_payload())),
     );
     println!("metrics rollup: {} series exported", reg.len());
     println!("dse: {}", run.summary());

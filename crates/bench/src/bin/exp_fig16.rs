@@ -28,7 +28,7 @@ fn scenario_table(
     );
     let mut baseline = None;
     for (point, outcome) in points.iter().zip(&run.outcomes) {
-        let r = &outcome.payload;
+        let r = outcome.expect_payload();
         assert!(
             r.verified,
             "{} produced wrong output",
@@ -70,7 +70,7 @@ fn integration_sweep() {
         &["scenario", "dma-burst", "stream-depth", "total(us)", "ok"],
     );
     for (point, outcome) in points.iter().zip(&run.outcomes) {
-        let r = &outcome.payload;
+        let r = outcome.expect_payload();
         t.row(vec![
             point.scenario.label().into(),
             point.params.dma_burst.to_string(),

@@ -4,6 +4,7 @@ use hw_profile::HardwareProfile;
 use memsys::{
     AddrMap, BlockDma, Dram, DramConfig, MemMsg, MmrBlock, Scratchpad, ScratchpadConfig, Xbar,
 };
+use salam_fault::SimError;
 use salam_ir::Function;
 use sim_core::{CompId, Simulation};
 
@@ -92,6 +93,32 @@ impl ClusterConfig {
             self.xbar_width,
         )
     }
+
+    /// Rejects nonsense cluster knobs before any component is built: a
+    /// zero-burst DMA or zero-width crossbar would divide by zero or hang,
+    /// and a shared SPM with no ports can never be reached.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |field: &str, detail: &str| Err(SimError::config("cluster", field, detail));
+        if self.dma_burst == 0 {
+            return bad("dma_burst", "must be nonzero");
+        }
+        if self.dma_inflight == 0 {
+            return bad("dma_inflight", "must be nonzero");
+        }
+        if self.xbar_width == 0 {
+            return bad("xbar_width", "must be nonzero");
+        }
+        if self.shared_spm_bytes > 0
+            && (self.shared_spm.read_ports == 0 || self.shared_spm.write_ports == 0)
+        {
+            return bad("shared_spm", "enabled with zero read or write ports");
+        }
+        Ok(())
+    }
 }
 
 struct AccelDesc {
@@ -159,7 +186,8 @@ impl ClusterBuilder {
         self.extra_ranges.push((lo, hi, dst));
     }
 
-    /// Materializes the cluster into `sim`.
+    /// Materializes the cluster into `sim`, panicking on an invalid
+    /// [`ClusterConfig`]. Thin wrapper over [`ClusterBuilder::try_build`].
     ///
     /// `upstream` is a list of `(lo, hi, component)` ranges served outside
     /// the cluster (typically DRAM behind the global crossbar).
@@ -168,6 +196,25 @@ impl ClusterBuilder {
         sim: &mut Simulation<MemMsg>,
         upstream: &[(u64, u64, CompId)],
     ) -> AcceleratorCluster {
+        match self.try_build(sim, upstream) {
+            Ok(cluster) => cluster,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ClusterBuilder::build`]: validates the configuration and
+    /// returns a typed error instead of panicking, before any component is
+    /// added to `sim`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for rejected knobs.
+    pub fn try_build(
+        self,
+        sim: &mut Simulation<MemMsg>,
+        upstream: &[(u64, u64, CompId)],
+    ) -> Result<AcceleratorCluster, SimError> {
+        self.cfg.validate()?;
         let cfg = self.cfg;
         let mut map = AddrMap::new();
 
@@ -266,12 +313,12 @@ impl ClusterBuilder {
             cfg.dma_inflight,
         ));
 
-        AcceleratorCluster {
+        Ok(AcceleratorCluster {
             local_xbar,
             shared_spm,
             dma,
             accels: handles,
-        }
+        })
     }
 }
 
@@ -516,6 +563,44 @@ mod tests {
             with_llc < without,
             "LLC ({with_llc} ps) should beat raw DRAM ({without} ps)"
         );
+    }
+
+    #[test]
+    fn nonsense_cluster_configs_are_rejected_before_any_component_exists() {
+        for (cfg, field) in [
+            (
+                ClusterConfig {
+                    dma_burst: 0,
+                    ..ClusterConfig::default()
+                },
+                "dma_burst",
+            ),
+            (
+                ClusterConfig {
+                    xbar_width: 0,
+                    ..ClusterConfig::default()
+                },
+                "xbar_width",
+            ),
+            (
+                // with_ports clamps to >= 1, so force the field directly.
+                ClusterConfig {
+                    shared_spm: ScratchpadConfig {
+                        read_ports: 0,
+                        ..ScratchpadConfig::default()
+                    },
+                    ..ClusterConfig::default()
+                },
+                "shared_spm",
+            ),
+        ] {
+            let mut sim: Simulation<MemMsg> = Simulation::new();
+            let b = ClusterBuilder::new(cfg, HardwareProfile::default_40nm());
+            match b.try_build(&mut sim, &[]) {
+                Err(SimError::Config(c)) => assert_eq!(c.field, field),
+                other => panic!("expected config error for {field}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

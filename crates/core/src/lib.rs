@@ -51,7 +51,8 @@ pub use cluster::{
 };
 pub use host::{Host, HostConfig, HostOp};
 pub use report::{PowerBreakdown, RunReport};
+pub use salam_fault::{ConfigError, FaultPlan, SimError, WatchdogSnapshot};
 pub use standalone::{
-    run_kernel, run_kernel_cached, run_kernel_profiled, run_kernel_traced, HierarchyPort,
-    StandaloneConfig,
+    run_kernel, run_kernel_cached, run_kernel_profiled, run_kernel_traced, try_run_kernel,
+    try_run_kernel_faulted, HierarchyPort, StandaloneConfig,
 };

@@ -173,6 +173,9 @@ impl RunReport {
                 }
             });
             s.map_field("reject_causes", st.reject_causes.iter());
+            // Emitted unconditionally (an empty map for clean runs), so a
+            // zero-rate fault plan stays byte-identical to no fault layer.
+            s.map_field("fault_counts", st.fault_counts.iter());
         });
         o.finish()
     }
@@ -300,6 +303,7 @@ impl RunReport {
             port_reject_cycles: sf("port_reject_cycles")? as u64,
             attribution,
             reject_causes: u64_map("reject_causes")?.into_iter().collect(),
+            fault_counts: u64_map("fault_counts")?.into_iter().collect(),
             depstream: None,
             timeline: Vec::new(),
         };

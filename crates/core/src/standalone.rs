@@ -7,7 +7,8 @@
 use hw_profile::{HardwareProfile, SramSpec};
 use machsuite::BuiltKernel;
 use salam_cdfg::{FuConstraints, StaticCdfg};
-use salam_runtime::{Engine, EngineConfig, SimpleMem};
+use salam_fault::{FaultPlan, SimError};
+use salam_runtime::{Engine, EngineConfig, FaultyPort, SimpleMem};
 
 use crate::report::RunReport;
 
@@ -76,6 +77,31 @@ impl StandaloneConfig {
             self.profile.to_text(),
         )
     }
+
+    /// Rejects nonsense knob settings — zero SPM ports can never service a
+    /// memory op, a zero word width breaks the power model — before they
+    /// turn into deep-in-the-run hangs. Includes [`EngineConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.engine.validate()?;
+        let bad = |field: &str, detail: &str| Err(SimError::config("standalone", field, detail));
+        if self.spm_latency == 0 {
+            return bad("spm_latency", "must be nonzero");
+        }
+        if self.spm_read_ports == 0 {
+            return bad("spm_read_ports", "must be nonzero");
+        }
+        if self.spm_write_ports == 0 {
+            return bad("spm_write_ports", "must be nonzero");
+        }
+        if self.spm_word_bytes == 0 {
+            return bad("spm_word_bytes", "must be nonzero");
+        }
+        Ok(())
+    }
 }
 
 /// Runs `kernel` on the runtime engine with a private SPM and returns the
@@ -112,6 +138,53 @@ pub fn run_kernel_traced(
     cfg: &StandaloneConfig,
     trace: &salam_obs::SharedTrace,
 ) -> RunReport {
+    match try_run_kernel_traced(kernel, cfg, trace, None) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`run_kernel`]: validates the configuration up front and turns
+/// deadlocks and kernel faults into [`SimError`] values instead of panics.
+///
+/// # Errors
+///
+/// [`SimError::Config`] for rejected knobs, [`SimError::Deadlock`] with a
+/// populated watchdog snapshot, or [`SimError::KernelFault`] for runtime
+/// evaluation failures.
+pub fn try_run_kernel(kernel: &BuiltKernel, cfg: &StandaloneConfig) -> Result<RunReport, SimError> {
+    try_run_kernel_traced(kernel, cfg, &salam_obs::SharedTrace::disabled(), None)
+}
+
+/// [`try_run_kernel`] under a fault-injection [`FaultPlan`].
+///
+/// The fault layer — engine FU hooks plus a [`FaultyPort`] wrapped around
+/// the SPM — is attached even when the plan's rates are all zero, so the
+/// zero-rate observational-equivalence property genuinely exercises the
+/// injection path rather than bypassing it. Port-side fault counters are
+/// merged into the report's `fault_counts`.
+///
+/// # Errors
+///
+/// Same taxonomy as [`try_run_kernel`]; injected faults surface either as
+/// an unverified report (silent data corruption), a longer run (jitter), or
+/// an `Err` (deadlock from dropped responses, kernel fault from corrupted
+/// control data).
+pub fn try_run_kernel_faulted(
+    kernel: &BuiltKernel,
+    cfg: &StandaloneConfig,
+    plan: &FaultPlan,
+) -> Result<RunReport, SimError> {
+    try_run_kernel_traced(kernel, cfg, &salam_obs::SharedTrace::disabled(), Some(plan))
+}
+
+fn try_run_kernel_traced(
+    kernel: &BuiltKernel,
+    cfg: &StandaloneConfig,
+    trace: &salam_obs::SharedTrace,
+    plan: Option<&FaultPlan>,
+) -> Result<RunReport, SimError> {
+    cfg.validate()?;
     let cdfg = StaticCdfg::elaborate(&kernel.func, &cfg.profile, &cfg.constraints);
     let mut mem = SimpleMem::new(cfg.spm_latency, cfg.spm_read_ports, cfg.spm_write_ports);
     kernel.load_into(mem.memory_mut());
@@ -125,7 +198,17 @@ pub fn run_kernel_traced(
     if trace.is_enabled() {
         engine.set_trace(trace.clone());
     }
-    engine.run_to_completion(&mut mem);
+    let mut mem = if let Some(plan) = plan {
+        engine.set_fault(plan);
+        let mut port = FaultyPort::new(mem, plan);
+        let run = engine.try_run_to_completion(&mut port);
+        engine.merge_fault_counts(port.fault_counts());
+        run?;
+        port.into_inner()
+    } else {
+        engine.try_run_to_completion(&mut mem)?;
+        mem
+    };
     let verified = kernel.check(mem.memory_mut()).is_ok();
 
     // Size the SPM model to the kernel's footprint.
@@ -134,7 +217,7 @@ pub fn run_kernel_traced(
     let spm = SramSpec::new(footprint, cfg.spm_word_bytes)
         .with_ports(cfg.spm_read_ports, cfg.spm_write_ports);
 
-    RunReport::assemble(
+    Ok(RunReport::assemble(
         &kernel.name,
         engine.stats(),
         &cdfg,
@@ -142,7 +225,7 @@ pub fn run_kernel_traced(
         Some(&spm),
         cfg.engine.clock_period_ps,
         verified,
-    )
+    ))
 }
 
 /// A [`salam_runtime::MemPort`] backed by a real `memsys` hierarchy,
@@ -456,6 +539,68 @@ mod tests {
             let r = run_kernel(&k, &StandaloneConfig::default());
             assert!(r.verified, "{} failed verification", k.name);
             assert!(r.cycles > 0, "{} reported zero cycles", k.name);
+        }
+    }
+
+    #[test]
+    fn nonsense_standalone_configs_are_rejected() {
+        let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 4, unroll: 1 });
+        for (cfg, field) in [
+            (
+                StandaloneConfig {
+                    spm_read_ports: 0,
+                    ..StandaloneConfig::default()
+                },
+                "spm_read_ports",
+            ),
+            (
+                StandaloneConfig {
+                    spm_word_bytes: 0,
+                    ..StandaloneConfig::default()
+                },
+                "spm_word_bytes",
+            ),
+        ] {
+            match try_run_kernel(&k, &cfg) {
+                Err(SimError::Config(c)) => assert_eq!(c.field, field),
+                other => panic!("expected config error for {field}, got {other:?}"),
+            }
+        }
+        // Engine-level knobs are validated through the same entry point.
+        let cfg = StandaloneConfig {
+            engine: EngineConfig {
+                deadlock_cycles: 0,
+                ..EngineConfig::default()
+            },
+            ..StandaloneConfig::default()
+        };
+        assert!(matches!(try_run_kernel(&k, &cfg), Err(SimError::Config(_))));
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_observationally_free() {
+        let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 4, unroll: 2 });
+        let cfg = StandaloneConfig::default();
+        let clean = run_kernel(&k, &cfg);
+        let faulted = try_run_kernel_faulted(&k, &cfg, &FaultPlan::seeded(42)).unwrap();
+        assert_eq!(clean.to_json(), faulted.to_json());
+    }
+
+    #[test]
+    fn dropped_responses_surface_as_a_deadlock_error() {
+        let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 4, unroll: 1 });
+        let mut cfg = StandaloneConfig::default();
+        cfg.engine.deadlock_cycles = 200;
+        let plan = FaultPlan {
+            mem_drop_rate: 1.0,
+            ..FaultPlan::seeded(3)
+        };
+        match try_run_kernel_faulted(&k, &cfg, &plan) {
+            Err(SimError::Deadlock(snap)) => {
+                assert_eq!(snap.kernel, "gemm_ncubed");
+                assert!(snap.mem_outstanding > 0, "reads must be stuck in flight");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
         }
     }
 }

@@ -18,7 +18,8 @@ use salam_obs::json::{self, Value};
 
 /// Bumped whenever the entry format or any payload serialization changes
 /// incompatibly; old entries then read as misses, never as wrong results.
-pub const CACHE_FORMAT_VERSION: u64 = 2;
+/// Version 3: [`RunReport`] stats gained the `fault_counts` map.
+pub const CACHE_FORMAT_VERSION: u64 = 3;
 
 /// A value that can live in the cache: serializes to a JSON object and
 /// parses back from the entry's embedded payload value.

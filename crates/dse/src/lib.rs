@@ -18,7 +18,10 @@
 //!   cache or from scratch;
 //! * **reportable** — [`report`] renders CSV/JSON/text tables, rolls every
 //!   point's metrics into one [`salam_obs::MetricsRegistry`], and extracts
-//!   the Pareto frontier over (cycles, area, power).
+//!   the Pareto frontier over (cycles, area, power);
+//! * **panic-isolated** — each job runs under `catch_unwind` with a bounded
+//!   retry, so one diverging design point becomes a `failed:<cause>` row
+//!   instead of killing a thousand-point campaign.
 //!
 //! Everything is std-only: the workspace stays offline-buildable.
 //!
@@ -31,7 +34,10 @@
 //!     .axis(Axis::spm_ports(&[1, 2, 4, 8]));
 //! let run = run_sweep(&spec.points(), &DseOptions::default());
 //! for (point, outcome) in spec.points().iter().zip(&run.outcomes) {
-//!     println!("{}: {} cycles", point.label(), outcome.payload.cycles);
+//!     match outcome.payload() {
+//!         Some(r) => println!("{}: {} cycles", point.label(), r.cycles),
+//!         None => println!("{}: {}", point.label(), outcome.failure_label().unwrap()),
+//!     }
 //! }
 //! ```
 
@@ -67,7 +73,7 @@ pub trait SweepJob: Sync {
 }
 
 /// Engine options; the default reads everything from the environment.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DseOptions {
     /// Worker threads; `None` uses [`worker_count`] (`SALAM_JOBS` / cores).
     pub workers: Option<usize>,
@@ -76,6 +82,22 @@ pub struct DseOptions {
     pub cache_dir: Option<PathBuf>,
     /// Disables the result cache entirely (every point simulates).
     pub no_cache: bool,
+    /// Extra attempts after a job panics before recording it as failed.
+    /// A panic can be an artifact of thread-local or timing state, so one
+    /// retry is cheap insurance; a deterministic panic fails again and is
+    /// reported with `attempts = retries + 1`.
+    pub retries: u32,
+}
+
+impl Default for DseOptions {
+    fn default() -> Self {
+        DseOptions {
+            workers: None,
+            cache_dir: None,
+            no_cache: false,
+            retries: 1,
+        }
+    }
 }
 
 impl DseOptions {
@@ -97,6 +119,12 @@ impl DseOptions {
         self
     }
 
+    /// Explicit retry budget for panicking jobs (0 disables retries).
+    pub fn with_retries(mut self, n: u32) -> Self {
+        self.retries = n;
+        self
+    }
+
     fn resolve_workers(&self) -> usize {
         self.workers.unwrap_or_else(worker_count).max(1)
     }
@@ -113,13 +141,71 @@ impl DseOptions {
     }
 }
 
+/// Why a design point produced no result: its job panicked on every
+/// attempt. The cause is the panic payload (first line, truncated), the
+/// attempt count includes the retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// First line of the panic message.
+    pub cause: String,
+    /// Total attempts made (1 + retries).
+    pub attempts: u32,
+}
+
+impl JobFailure {
+    /// The stable `failed:<cause>` row label used in sweep tables and CI
+    /// output.
+    pub fn label(&self) -> String {
+        format!("failed:{}", self.cause)
+    }
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job failed after {} attempt{}: {}",
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.cause
+        )
+    }
+}
+
 /// One point's result plus its provenance.
 #[derive(Debug, Clone)]
 pub struct PointOutcome<T> {
-    /// The simulation result (fresh or from the cache — byte-equivalent).
-    pub payload: T,
+    /// The simulation result (fresh or from the cache — byte-equivalent),
+    /// or the failure that exhausted the retry budget.
+    pub result: Result<T, JobFailure>,
     /// Served from the result cache without simulating.
     pub from_cache: bool,
+}
+
+impl<T> PointOutcome<T> {
+    /// The payload, if the point succeeded.
+    pub fn payload(&self) -> Option<&T> {
+        self.result.as_ref().ok()
+    }
+
+    /// The failure, if the point's job panicked out.
+    pub fn failure(&self) -> Option<&JobFailure> {
+        self.result.as_ref().err()
+    }
+
+    /// `failed:<cause>` for failed points, `None` otherwise.
+    pub fn failure_label(&self) -> Option<String> {
+        self.failure().map(JobFailure::label)
+    }
+
+    /// The payload, panicking with the failure cause when the point failed.
+    /// For tools that treat any failed point as fatal.
+    pub fn expect_payload(&self) -> &T {
+        match &self.result {
+            Ok(p) => p,
+            Err(f) => panic!("design point failed: {f}"),
+        }
+    }
 }
 
 /// A completed sweep: outcomes in canonical point order plus cache and
@@ -134,6 +220,8 @@ pub struct SweepRun<T> {
     pub misses: usize,
     /// Points re-simulated because their entry failed validation.
     pub corrupt: usize,
+    /// Points whose job panicked on every attempt.
+    pub failed: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the whole sweep.
@@ -141,14 +229,15 @@ pub struct SweepRun<T> {
 }
 
 impl<T> SweepRun<T> {
-    /// `hits=h misses=m corrupt=c workers=w points=n wall=…` — one stable
-    /// line for logs and CI assertions.
+    /// `hits=h misses=m corrupt=c failed=f workers=w points=n wall=…` — one
+    /// stable line for logs and CI assertions.
     pub fn summary(&self) -> String {
         format!(
-            "hits={} misses={} corrupt={} workers={} points={} wall={:.3}s",
+            "hits={} misses={} corrupt={} failed={} workers={} points={} wall={:.3}s",
             self.hits,
             self.misses,
             self.corrupt,
+            self.failed,
             self.workers,
             self.outcomes.len(),
             self.wall.as_secs_f64()
@@ -156,13 +245,44 @@ impl<T> SweepRun<T> {
     }
 }
 
+/// Runs one job under `catch_unwind`, retrying up to `retries` extra times.
+/// The panic payload's first line (capped) becomes the failure cause.
+fn run_isolated<J: SweepJob>(job: &J, retries: u32) -> Result<J::Output, JobFailure> {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run())) {
+            Ok(out) => return Ok(out),
+            Err(payload) if attempts > retries => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic");
+                let mut cause: String = msg.lines().next().unwrap_or("panic").to_string();
+                if cause.len() > 120 {
+                    let mut end = 120;
+                    while !cause.is_char_boundary(end) {
+                        end -= 1;
+                    }
+                    cause.truncate(end);
+                }
+                return Err(JobFailure { cause, attempts });
+            }
+            Err(_) => {}
+        }
+    }
+}
+
 /// Runs every job — cache probe, simulate on miss, store — across the
 /// worker pool and reassembles results in job order. Cache writes are
 /// best-effort: an I/O failure costs a warning and a future re-simulation,
-/// never the sweep.
+/// never the sweep. A job that panics out of its retry budget becomes a
+/// failed outcome (never cached); the rest of the sweep is unaffected.
 pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Output> {
     let workers = opts.resolve_workers();
     let cache = opts.resolve_cache();
+    let retries = opts.retries;
     let t0 = Instant::now();
 
     enum Provenance {
@@ -171,24 +291,27 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
         Corrupt,
     }
 
-    let results: Vec<(Provenance, J::Output)> = run_parallel(jobs.len(), workers, |i| {
+    type Isolated<T> = (Provenance, Result<T, JobFailure>);
+    let results: Vec<Isolated<J::Output>> = run_parallel(jobs.len(), workers, |i| {
         let job = &jobs[i];
         let Some(cache) = &cache else {
-            return (Provenance::Miss, job.run());
+            return (Provenance::Miss, run_isolated(job, retries));
         };
         let id = job.cache_id();
-        let (provenance, payload) = match cache.lookup::<J::Output>(&id) {
-            Lookup::Hit(p) => return (Provenance::Hit, p),
-            Lookup::Miss => (Provenance::Miss, job.run()),
-            Lookup::Corrupt => (Provenance::Corrupt, job.run()),
+        let (provenance, result) = match cache.lookup::<J::Output>(&id) {
+            Lookup::Hit(p) => return (Provenance::Hit, Ok(p)),
+            Lookup::Miss => (Provenance::Miss, run_isolated(job, retries)),
+            Lookup::Corrupt => (Provenance::Corrupt, run_isolated(job, retries)),
         };
-        if let Err(e) = cache.store(&id, &payload) {
-            eprintln!(
-                "salam-dse: warning: could not write cache entry {}: {e}",
-                cache.entry_path(&id).display()
-            );
+        if let Ok(payload) = &result {
+            if let Err(e) = cache.store(&id, payload) {
+                eprintln!(
+                    "salam-dse: warning: could not write cache entry {}: {e}",
+                    cache.entry_path(&id).display()
+                );
+            }
         }
-        (provenance, payload)
+        (provenance, result)
     });
 
     let wall = t0.elapsed();
@@ -197,10 +320,11 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
         hits: 0,
         misses: 0,
         corrupt: 0,
+        failed: 0,
         workers,
         wall,
     };
-    for (provenance, payload) in results {
+    for (provenance, result) in results {
         let from_cache = match provenance {
             Provenance::Hit => {
                 run.hits += 1;
@@ -215,10 +339,10 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
                 false
             }
         };
-        run.outcomes.push(PointOutcome {
-            payload,
-            from_cache,
-        });
+        if result.is_err() {
+            run.failed += 1;
+        }
+        run.outcomes.push(PointOutcome { result, from_cache });
     }
     run
 }

@@ -38,12 +38,19 @@ fn table_csv(spec: &SweepSpec, run: &salam_dse::SweepRun<salam::RunReport>) -> S
     let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
     let mut table = SweepTable::new(&spec.name, &cols);
     for (point, outcome) in points.iter().zip(&run.outcomes) {
-        let r = &outcome.payload;
         let mut row = vec![point.kernel.id.clone()];
         row.extend(point.coords.iter().map(|(_, v)| v.clone()));
-        row.push(r.cycles.to_string());
-        row.push(format!("{:.2}", r.stats.stall_fraction() * 100.0));
-        row.push(format!("{:.3}", r.power.total_mw()));
+        match outcome.payload() {
+            Some(r) => {
+                row.push(r.cycles.to_string());
+                row.push(format!("{:.2}", r.stats.stall_fraction() * 100.0));
+                row.push(format!("{:.3}", r.power.total_mw()));
+            }
+            None => {
+                let label = outcome.failure_label().unwrap();
+                row.extend([label, String::new(), String::new()]);
+            }
+        }
         table.row(row);
     }
     table.to_csv()
@@ -79,7 +86,7 @@ fn parallel_report_is_byte_identical_to_serial() {
     );
     // The full reports — not just the table projection — must agree.
     for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
-        assert_eq!(s.payload.to_json(), p.payload.to_json());
+        assert_eq!(s.expect_payload().to_json(), p.expect_payload().to_json());
     }
 
     let _ = std::fs::remove_dir_all(serial_dir);
@@ -174,7 +181,7 @@ fn pareto_frontier_over_sweep_objectives() {
     let objs: Vec<[f64; 3]> = run
         .outcomes
         .iter()
-        .map(|o| salam_dse::objectives(&o.payload))
+        .map(|o| salam_dse::objectives(o.expect_payload()))
         .collect();
     let frontier = pareto_frontier(&objs);
     assert!(!frontier.is_empty());
@@ -189,6 +196,90 @@ fn pareto_frontier_over_sweep_objectives() {
             assert!(!dominates, "frontier point {i} dominated by {j}");
         }
     }
+}
+
+/// A job wrapper that panics for one designated point. Used to prove a
+/// sweep survives a diverging design point: the point becomes a
+/// `failed:<cause>` row, nothing else changes.
+struct Sabotaged {
+    inner: salam_dse::StandalonePoint,
+    poisoned: bool,
+}
+
+impl SweepJob for Sabotaged {
+    type Output = salam::RunReport;
+
+    fn cache_id(&self) -> salam_dse::CacheId {
+        self.inner.cache_id()
+    }
+
+    fn run(&self) -> salam::RunReport {
+        if self.poisoned {
+            panic!("deliberate divergence for test");
+        }
+        self.inner.run()
+    }
+}
+
+#[test]
+fn sweep_survives_a_panicking_job() {
+    let spec = smoke_spec();
+    let points = spec.points();
+    let poisoned_idx = 3;
+    let jobs: Vec<Sabotaged> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Sabotaged {
+            inner: p.clone(),
+            poisoned: i == poisoned_idx,
+        })
+        .collect();
+
+    let dir = scratch_cache("panic");
+    let opts = DseOptions::default().with_workers(4).with_cache_dir(&dir);
+    let run = run_sweep(&jobs, &opts);
+
+    assert_eq!(run.outcomes.len(), points.len(), "sweep must complete");
+    assert_eq!(run.failed, 1);
+    let failed = &run.outcomes[poisoned_idx];
+    assert!(failed.payload().is_none());
+    assert_eq!(
+        failed.failure_label().as_deref(),
+        Some("failed:deliberate divergence for test")
+    );
+    assert_eq!(
+        failed.failure().unwrap().attempts,
+        2,
+        "default retry budget is one extra attempt"
+    );
+
+    // Every healthy row is byte-identical to a clean sweep of the same spec.
+    let clean_dir = scratch_cache("panic-clean");
+    let clean = run_sweep(
+        &points,
+        &DseOptions::default()
+            .with_workers(4)
+            .with_cache_dir(&clean_dir),
+    );
+    for (i, (sab, ok)) in run.outcomes.iter().zip(&clean.outcomes).enumerate() {
+        if i == poisoned_idx {
+            continue;
+        }
+        assert_eq!(
+            sab.expect_payload().to_json(),
+            ok.expect_payload().to_json()
+        );
+    }
+
+    // A failed point is never cached: re-running the same jobs fails the
+    // point again as a miss while the rest hit.
+    let second = run_sweep(&jobs, &opts);
+    assert_eq!(second.hits, points.len() - 1);
+    assert_eq!(second.failed, 1);
+    assert!(!second.outcomes[poisoned_idx].from_cache);
+
+    let _ = std::fs::remove_dir_all(dir);
+    let _ = std::fs::remove_dir_all(clean_dir);
 }
 
 /// The satellite-1 pattern end-to-end: each worker thread records into its

@@ -1,0 +1,451 @@
+//! `salam-fault` — typed simulation errors and deterministic, seed-driven
+//! fault injection.
+//!
+//! Two concerns live here because they share one contract: *a simulation
+//! never aborts the process on a modeled failure*.
+//!
+//! * [`SimError`] is the error taxonomy for everything that can go wrong
+//!   *inside the model*: nonsense configuration knobs ([`ConfigError`]),
+//!   a wedged design ([`SimError::Deadlock`] carrying a
+//!   [`WatchdogSnapshot`] of the engine's queues at detection time), and
+//!   runtime faults in the modeled kernel (division by zero, undef use —
+//!   [`SimError::KernelFault`]). Library code returns these; thin
+//!   panicking wrappers keep the old call sites working.
+//! * [`FaultPlan`] describes a seeded soft-error campaign: transient bit
+//!   flips in FU results and memory lines, delayed/dropped responses,
+//!   busy storms, DMA stalls and FU latency jitter. Every injection site
+//!   derives its own decorrelated [`SiteRng`] stream from the plan seed,
+//!   so a campaign replays bit-for-bit regardless of worker count or
+//!   cross-component interleaving.
+//!
+//! Everything is std-only (SplitMix64 comes from `salam-obs`), so the
+//! workspace stays offline-buildable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use salam_obs::SplitMix64;
+
+/// FNV-1a over a byte string; used to derive per-site seeds.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---- error taxonomy --------------------------------------------------------
+
+/// A rejected configuration knob: which component, which field, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The component whose config was rejected (`engine`, `spm`, `dma`, …).
+    pub component: String,
+    /// The offending field.
+    pub field: String,
+    /// Human-readable constraint that was violated.
+    pub detail: String,
+}
+
+impl ConfigError {
+    pub fn new(
+        component: impl Into<String>,
+        field: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        ConfigError {
+            component: component.into(),
+            field: field.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} config: {}: {}",
+            self.component, self.field, self.detail
+        )
+    }
+}
+
+/// What the deadlock watchdog saw when it fired: the engine's queue
+/// occupancies and progress history, so a hung design is diagnosable from
+/// the error value alone.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WatchdogSnapshot {
+    /// The kernel (function) that was executing.
+    pub kernel: String,
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Last cycle on which any queue made progress.
+    pub last_progress_cycle: u64,
+    /// Dynamic instructions waiting in the reservation queue.
+    pub reservation_occupancy: usize,
+    /// Operations in flight in the compute queue.
+    pub compute_occupancy: usize,
+    /// Memory operations issued but not yet completed.
+    pub mem_outstanding: usize,
+    /// Basic blocks fetched but not yet imported.
+    pub pending_blocks: usize,
+    /// The most frequent memory-port reject cause so far, if any — usually
+    /// the first thing to look at for a wedged memory system.
+    pub dominant_reject_cause: Option<String>,
+}
+
+impl fmt::Display for WatchdogSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no progress since cycle {} (now {}): {} reservation entries, \
+             {} compute, {} mem outstanding, {} blocks pending fetch",
+            self.last_progress_cycle,
+            self.cycle,
+            self.reservation_occupancy,
+            self.compute_occupancy,
+            self.mem_outstanding,
+            self.pending_blocks,
+        )?;
+        if let Some(cause) = &self.dominant_reject_cause {
+            write!(f, ", dominant reject cause {cause}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything that can go wrong inside a simulation, as a value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration knob failed validation before the run started.
+    Config(ConfigError),
+    /// The engine made no progress for the configured threshold.
+    Deadlock(WatchdogSnapshot),
+    /// The modeled kernel itself faulted (division by zero, undef use, or
+    /// an injected fault tripping the interpreter).
+    KernelFault {
+        /// The kernel (function) that faulted.
+        kernel: String,
+        /// Cycle of the fault.
+        cycle: u64,
+        /// The underlying interpreter error.
+        detail: String,
+    },
+}
+
+impl SimError {
+    /// Shorthand constructor for a [`ConfigError`].
+    pub fn config(
+        component: impl Into<String>,
+        field: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        SimError::Config(ConfigError::new(component, field, detail))
+    }
+
+    /// `true` for [`SimError::Deadlock`].
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, SimError::Deadlock(_))
+    }
+
+    /// A short stable label for outcome classification and failed-row
+    /// reporting: `config` / `deadlock` / `kernel-fault`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimError::Config(_) => "config",
+            SimError::Deadlock(_) => "deadlock",
+            SimError::KernelFault { .. } => "kernel-fault",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => e.fmt(f),
+            SimError::Deadlock(snap) => {
+                write!(f, "engine deadlock in @{}: {snap}", snap.kernel)
+            }
+            SimError::KernelFault {
+                kernel,
+                cycle,
+                detail,
+            } => {
+                write!(f, "runtime fault in @{kernel} at cycle {cycle}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+// ---- fault plans -----------------------------------------------------------
+
+/// A seeded fault-injection campaign description. All rates are per-event
+/// probabilities in `[0, 1]`; the all-zero default plan is observationally
+/// free (it installs the hooks but never fires).
+///
+/// The plan is `canonical_repr`-fingerprintable, so design points that
+/// include a fault plan stay sound under the DSE result cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Campaign seed; every injection site derives its own stream from it.
+    pub seed: u64,
+    /// Probability of flipping one bit in an FU result at issue.
+    pub fu_bitflip_rate: f64,
+    /// Flip integer/pointer FU results too. Off by default: integer flips
+    /// can corrupt loop counters into practically-infinite loops that the
+    /// no-progress watchdog never sees, so the default restricts flips to
+    /// floating-point results (datapath data, never control).
+    pub fu_flip_any: bool,
+    /// Probability of adding latency jitter to an FU operation at issue.
+    pub fu_jitter_rate: f64,
+    /// Extra cycles added when jitter fires.
+    pub fu_jitter_cycles: u32,
+    /// Probability of flipping one bit in a memory response's data.
+    pub mem_bitflip_rate: f64,
+    /// Probability of delaying a memory response.
+    pub mem_delay_rate: f64,
+    /// Extra cycles a delayed response is held.
+    pub mem_delay_cycles: u64,
+    /// Probability of dropping a memory response outright (the request is
+    /// never completed — a detectable hang).
+    pub mem_drop_rate: f64,
+    /// Probability of a spurious busy reject on issue (busy storms).
+    pub port_busy_rate: f64,
+    /// Probability of stalling a DMA burst issue.
+    pub dma_stall_rate: f64,
+    /// Extra cycles a stalled DMA burst waits.
+    pub dma_stall_cycles: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::seeded(0)
+    }
+}
+
+impl FaultPlan {
+    /// The zero-rate plan for `seed`: hooks installed, nothing ever fires.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            fu_bitflip_rate: 0.0,
+            fu_flip_any: false,
+            fu_jitter_rate: 0.0,
+            fu_jitter_cycles: 0,
+            mem_bitflip_rate: 0.0,
+            mem_delay_rate: 0.0,
+            mem_delay_cycles: 0,
+            mem_drop_rate: 0.0,
+            port_busy_rate: 0.0,
+            dma_stall_rate: 0.0,
+            dma_stall_cycles: 0,
+        }
+    }
+
+    /// `true` when no fault can ever fire under this plan.
+    pub fn is_zero(&self) -> bool {
+        self.fu_bitflip_rate == 0.0
+            && self.fu_jitter_rate == 0.0
+            && self.mem_bitflip_rate == 0.0
+            && self.mem_delay_rate == 0.0
+            && self.mem_drop_rate == 0.0
+            && self.port_busy_rate == 0.0
+            && self.dma_stall_rate == 0.0
+    }
+
+    /// A canonical `key=value` line covering every field that can change
+    /// simulated behaviour. Equal plans always produce equal strings — DSE
+    /// cache identities for faulted points key on this.
+    pub fn canonical_repr(&self) -> String {
+        format!(
+            "seed={};fu_bitflip_rate={:?};fu_flip_any={};fu_jitter_rate={:?};\
+             fu_jitter_cycles={};mem_bitflip_rate={:?};mem_delay_rate={:?};\
+             mem_delay_cycles={};mem_drop_rate={:?};port_busy_rate={:?};\
+             dma_stall_rate={:?};dma_stall_cycles={}",
+            self.seed,
+            self.fu_bitflip_rate,
+            self.fu_flip_any,
+            self.fu_jitter_rate,
+            self.fu_jitter_cycles,
+            self.mem_bitflip_rate,
+            self.mem_delay_rate,
+            self.mem_delay_cycles,
+            self.mem_drop_rate,
+            self.port_busy_rate,
+            self.dma_stall_rate,
+            self.dma_stall_cycles,
+        )
+    }
+
+    /// The decorrelated decision stream for one injection site. Each site
+    /// (e.g. `engine.fu_bitflip`, `spm.bitflip`) consumes only its own
+    /// stream, so injection decisions are independent of how components
+    /// interleave — the schedule replays identically across runs and
+    /// across `SALAM_JOBS` worker counts.
+    pub fn site_rng(&self, site: &str) -> SiteRng {
+        SiteRng::new(self.seed, site)
+    }
+}
+
+/// One injection site's private decision stream.
+#[derive(Debug, Clone)]
+pub struct SiteRng {
+    rng: SplitMix64,
+}
+
+impl SiteRng {
+    /// A stream derived from `seed` and the site name.
+    pub fn new(seed: u64, site: &str) -> Self {
+        SiteRng {
+            rng: SplitMix64::new(seed ^ fnv1a64(site.as_bytes())),
+        }
+    }
+
+    /// `true` with probability `rate`. A zero (or negative) rate never
+    /// fires and consumes no stream state, so zero-rate plans are free.
+    pub fn roll(&mut self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        self.rng.next_f64() < rate
+    }
+
+    /// A uniformly chosen bit index in `[0, width)`.
+    pub fn bit(&mut self, width: u32) -> u32 {
+        self.rng.range_u64(0, width.max(1) as u64) as u32
+    }
+
+    /// A uniformly chosen index in `[0, len)`.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.rng.range_usize(0, len.max(1))
+    }
+}
+
+/// Per-kind fault counters, merged from every hooked component into
+/// `EngineStats::fault_counts` / run summaries.
+pub type FaultCounts = BTreeMap<String, u64>;
+
+/// Bumps `counts[kind]` by one.
+pub fn count_fault(counts: &mut FaultCounts, kind: &str) {
+    *counts.entry(kind.to_string()).or_insert(0) += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_display_mentions_deadlock_and_snapshot() {
+        let e = SimError::Deadlock(WatchdogSnapshot {
+            kernel: "gemm".into(),
+            cycle: 5000,
+            last_progress_cycle: 42,
+            reservation_occupancy: 3,
+            compute_occupancy: 1,
+            mem_outstanding: 7,
+            pending_blocks: 2,
+            dominant_reject_cause: Some("read_ports".into()),
+        });
+        let msg = e.to_string();
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(msg.contains("@gemm"), "{msg}");
+        assert!(msg.contains("7 mem outstanding"), "{msg}");
+        assert!(msg.contains("read_ports"), "{msg}");
+        assert_eq!(e.label(), "deadlock");
+        assert!(e.is_deadlock());
+    }
+
+    #[test]
+    fn kernel_fault_display_mentions_runtime_fault() {
+        let e = SimError::KernelFault {
+            kernel: "fft".into(),
+            cycle: 9,
+            detail: "division by zero".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("runtime fault in @fft at cycle 9"), "{msg}");
+        assert!(msg.contains("division by zero"), "{msg}");
+        assert_eq!(e.label(), "kernel-fault");
+    }
+
+    #[test]
+    fn config_error_display() {
+        let e = SimError::config("engine", "deadlock_cycles", "must be nonzero");
+        assert_eq!(
+            e.to_string(),
+            "invalid engine config: deadlock_cycles: must be nonzero"
+        );
+        assert_eq!(e.label(), "config");
+    }
+
+    #[test]
+    fn site_streams_are_deterministic_and_decorrelated() {
+        let plan = FaultPlan {
+            mem_bitflip_rate: 0.5,
+            ..FaultPlan::seeded(77)
+        };
+        let draw = |site: &str| -> Vec<bool> {
+            let mut rng = plan.site_rng(site);
+            (0..64).map(|_| rng.roll(0.5)).collect()
+        };
+        assert_eq!(draw("spm.bitflip"), draw("spm.bitflip"));
+        assert_ne!(draw("spm.bitflip"), draw("dram.bitflip"));
+        // A different seed changes every site's stream.
+        let mut other = FaultPlan::seeded(78).site_rng("spm.bitflip");
+        let other: Vec<bool> = (0..64).map(|_| other.roll(0.5)).collect();
+        assert_ne!(draw("spm.bitflip"), other);
+    }
+
+    #[test]
+    fn zero_rate_never_fires_and_consumes_nothing() {
+        let mut rng = SiteRng::new(1, "x");
+        for _ in 0..100 {
+            assert!(!rng.roll(0.0));
+        }
+        // The stream was untouched: it now equals a fresh one.
+        let mut fresh = SiteRng::new(1, "x");
+        assert_eq!(rng.rng.next_u64(), fresh.rng.next_u64());
+    }
+
+    #[test]
+    fn zero_plan_is_zero_and_canonical_reprs_distinguish() {
+        assert!(FaultPlan::default().is_zero());
+        assert!(FaultPlan::seeded(9).is_zero());
+        let a = FaultPlan::seeded(1);
+        let b = FaultPlan {
+            mem_drop_rate: 0.001,
+            ..a
+        };
+        assert!(!b.is_zero());
+        assert_ne!(a.canonical_repr(), b.canonical_repr());
+        assert_ne!(
+            FaultPlan::seeded(1).canonical_repr(),
+            FaultPlan::seeded(2).canonical_repr()
+        );
+        assert_eq!(a.canonical_repr(), FaultPlan::seeded(1).canonical_repr());
+    }
+
+    #[test]
+    fn bit_and_index_stay_in_range() {
+        let mut rng = SiteRng::new(3, "range");
+        for _ in 0..200 {
+            assert!(rng.bit(64) < 64);
+            assert!(rng.index(10) < 10);
+        }
+    }
+
+    #[test]
+    fn count_fault_accumulates() {
+        let mut counts = FaultCounts::new();
+        count_fault(&mut counts, "fu_bitflip");
+        count_fault(&mut counts, "fu_bitflip");
+        count_fault(&mut counts, "mem_drop");
+        assert_eq!(counts["fu_bitflip"], 2);
+        assert_eq!(counts["mem_drop"], 1);
+    }
+}

@@ -2,9 +2,11 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use salam_fault::{FaultPlan, SimError};
 use salam_obs::{SharedTrace, SpanId, TrackId};
 use sim_core::{ClockDomain, CompId, Component, Ctx};
 
+use crate::fault::FaultState;
 use crate::msg::{MemMsg, MemOp, MemReq, MemResp};
 
 /// Configuration for a [`Cache`].
@@ -54,6 +56,29 @@ impl CacheConfig {
     fn num_sets(&self) -> u64 {
         (self.size_bytes / (self.assoc as u64 * self.line_bytes as u64)).max(1)
     }
+
+    /// Rejects knobs that would divide by zero in set indexing or wedge the
+    /// miss path (a cache with zero MSHRs can never fill a line).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |field: &str, detail: &str| Err(SimError::config("cache", field, detail));
+        if self.assoc == 0 {
+            return bad("assoc", "must be nonzero");
+        }
+        if self.line_bytes == 0 {
+            return bad("line_bytes", "must be nonzero");
+        }
+        if self.mshrs == 0 {
+            return bad("mshrs", "must be nonzero");
+        }
+        if self.size_bytes == 0 {
+            return bad("size_bytes", "must be nonzero");
+        }
+        Ok(())
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -92,15 +117,31 @@ pub struct Cache {
     track: Option<TrackId>,
     // line addr -> span open for the outstanding fill
     fill_spans: HashMap<u64, SpanId>,
+    fault: Option<FaultState>,
 }
 
 impl Cache {
-    /// Creates a cache in front of `next` (the component misses go to).
+    /// Creates a cache in front of `next` (the component misses go to),
+    /// panicking on an invalid configuration. Thin wrapper over
+    /// [`Cache::try_new`].
     pub fn new(name: &str, cfg: CacheConfig, next: CompId) -> Self {
+        match Self::try_new(name, cfg, next) {
+            Ok(cache) => cache,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Cache::new`]: validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] per [`CacheConfig::validate`].
+    pub fn try_new(name: &str, cfg: CacheConfig, next: CompId) -> Result<Self, SimError> {
+        cfg.validate()?;
         let sets = (0..cfg.num_sets())
             .map(|_| vec![None; cfg.assoc as usize])
             .collect();
-        Cache {
+        Ok(Cache {
             name: name.to_string(),
             cfg,
             next,
@@ -119,7 +160,8 @@ impl Cache {
             trace: SharedTrace::disabled(),
             track: None,
             fill_spans: HashMap::new(),
-        }
+            fault: None,
+        })
     }
 
     /// Attaches a trace sink; miss fills become spans on a `cache.{name}`
@@ -129,6 +171,14 @@ impl Cache {
             .is_enabled()
             .then(|| trace.track(&format!("cache.{}", self.name)));
         self.trace = trace;
+    }
+
+    /// Arms fault injection: filled lines take seeded single-bit flips at
+    /// the plan's `mem_bitflip_rate` — a flipped line then serves corrupted
+    /// data to every waiter, the classic "one upset, many consumers" SRAM
+    /// failure mode.
+    pub fn set_fault(&mut self, plan: &FaultPlan) {
+        self.fault = Some(FaultState::new(plan, &format!("cache.{}", self.name)));
     }
 
     /// Hit count so far.
@@ -230,9 +280,16 @@ impl Cache {
         ctx.send(self.next, hit_delay, MemMsg::Req(fill));
     }
 
-    fn install(&mut self, la: u64, data: Vec<u8>, ctx: &mut Ctx<'_, MemMsg>) {
+    fn install(&mut self, la: u64, mut data: Vec<u8>, ctx: &mut Ctx<'_, MemMsg>) {
         if let Some(span) = self.fill_spans.remove(&la) {
             self.trace.end_span(span, ctx.now());
+        }
+        if let Some(f) = self.fault.as_mut() {
+            if f.maybe_flip(&mut data) {
+                if let Some(t) = self.track {
+                    self.trace.instant(t, "fault:mem_bitflip", ctx.now());
+                }
+            }
         }
         let set = self.set_index(la);
         // Pick an invalid way or evict LRU.
@@ -309,13 +366,17 @@ impl Component<MemMsg> for Cache {
     }
 
     fn stats(&self) -> Vec<(String, f64)> {
-        vec![
+        let mut v = vec![
             ("hits".into(), self.hits as f64),
             ("misses".into(), self.misses as f64),
             ("evictions".into(), self.evictions as f64),
             ("writebacks".into(), self.wb_count as f64),
             ("mshr_full_rejects".into(), self.mshr_full_rejects as f64),
-        ]
+        ];
+        if let Some(f) = &self.fault {
+            v.push(("fault_bitflips".into(), f.bitflips as f64));
+        }
+        v
     }
 }
 
@@ -420,6 +481,66 @@ mod tests {
         sim.run();
         let c = sim.component_as::<Collector>(col).unwrap();
         assert_eq!(c.resps.len(), 2);
+    }
+
+    #[test]
+    fn nonsense_cache_configs_are_rejected() {
+        for (cfg, field) in [
+            (
+                CacheConfig {
+                    assoc: 0,
+                    ..CacheConfig::default()
+                },
+                "assoc",
+            ),
+            (
+                CacheConfig {
+                    line_bytes: 0,
+                    ..CacheConfig::default()
+                },
+                "line_bytes",
+            ),
+            (
+                CacheConfig {
+                    mshrs: 0,
+                    ..CacheConfig::default()
+                },
+                "mshrs",
+            ),
+        ] {
+            match Cache::try_new("l1", cfg, CompId::from_raw(0)) {
+                Err(SimError::Config(c)) => assert_eq!(c.field, field),
+                other => panic!("expected config error for {field}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn armed_fill_bitflips_serve_corrupted_lines() {
+        let (mut sim, dram, cache, col) = system(CacheConfig::default());
+        sim.component_as_mut::<Dram>(dram)
+            .unwrap()
+            .poke(0x100, &[0, 0, 0, 0]);
+        sim.component_as_mut::<Cache>(cache)
+            .unwrap()
+            .set_fault(&salam_fault::FaultPlan {
+                mem_bitflip_rate: 1.0,
+                ..salam_fault::FaultPlan::seeded(5)
+            });
+        // Two reads of the same line: both see the same corrupted fill.
+        sim.post(cache, 0, MemMsg::Req(MemReq::read(1, 0x100, 4, col)));
+        sim.post(cache, 100_000, MemMsg::Req(MemReq::read(2, 0x100, 4, col)));
+        sim.run();
+        let c = sim.component_as::<Collector>(col).unwrap();
+        assert_eq!(c.resps[0].data, c.resps[1].data, "one upset, all waiters");
+        let l1 = sim.component_as::<Cache>(cache).unwrap();
+        let flips = l1
+            .stats()
+            .into_iter()
+            .find(|(k, _)| k == "fault_bitflips")
+            .unwrap()
+            .1;
+        assert_eq!(flips, 1.0, "hit on the installed line injects nothing new");
     }
 
     #[test]

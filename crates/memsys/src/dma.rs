@@ -2,9 +2,11 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use salam_fault::{FaultPlan, SimError};
 use salam_obs::{SharedTrace, SpanId, TrackId};
 use sim_core::{ClockDomain, CompId, Component, Ctx};
 
+use crate::fault::FaultState;
 use crate::msg::{MemMsg, MemReq};
 
 /// A DMA command.
@@ -75,16 +77,45 @@ pub struct BlockDma {
     queued_while_busy: u64,
     trace: SharedTrace,
     track: Option<TrackId>,
+    fault: Option<FaultState>,
 }
 
 impl BlockDma {
     /// Creates a DMA pushing requests into `port` (usually a crossbar).
+    /// Degenerate burst/in-flight knobs are clamped to 1 for backwards
+    /// compatibility; use [`BlockDma::try_new`] to reject them instead.
     pub fn new(name: &str, port: CompId, burst_bytes: u32, max_inflight: u32) -> Self {
-        BlockDma {
+        match Self::try_new(name, port, burst_bytes.max(1), max_inflight.max(1)) {
+            Ok(dma) => dma,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`BlockDma::new`]: rejects zero burst size or in-flight
+    /// window (either would make [`MemMsg::DmaStart`] hang forever, issuing
+    /// nothing while the transfer never completes).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] naming the offending field.
+    pub fn try_new(
+        name: &str,
+        port: CompId,
+        burst_bytes: u32,
+        max_inflight: u32,
+    ) -> Result<Self, SimError> {
+        let bad = |field: &str, detail: &str| Err(SimError::config("dma", field, detail));
+        if burst_bytes == 0 {
+            return bad("burst_bytes", "must be nonzero");
+        }
+        if max_inflight == 0 {
+            return bad("max_inflight", "must be nonzero");
+        }
+        Ok(BlockDma {
             name: name.to_string(),
             port,
-            burst_bytes: burst_bytes.max(1),
-            max_inflight: max_inflight.max(1),
+            burst_bytes,
+            max_inflight,
             clock: ClockDomain::default(),
             queue: VecDeque::new(),
             active: None,
@@ -96,7 +127,8 @@ impl BlockDma {
             queued_while_busy: 0,
             trace: SharedTrace::disabled(),
             track: None,
-        }
+            fault: None,
+        })
     }
 
     /// Attaches a trace sink; each block transfer becomes one span on a
@@ -106,6 +138,13 @@ impl BlockDma {
             .is_enabled()
             .then(|| trace.track(&format!("dma.{}", self.name)));
         self.trace = trace;
+    }
+
+    /// Arms fault injection: burst issues take seeded extra stall cycles at
+    /// the plan's `dma_stall_rate`, modeling descriptor-fetch hiccups and
+    /// fabric backpressure storms.
+    pub fn set_fault(&mut self, plan: &FaultPlan) {
+        self.fault = Some(FaultState::new(plan, &format!("dma.{}", self.name)));
     }
 
     /// Total bytes copied.
@@ -152,7 +191,16 @@ impl BlockDma {
             a.inflight += 1;
             let req = MemReq::read(id, a.cmd.src + a.read_cursor, size, me);
             a.read_cursor += size as u64;
-            ctx.send(self.port, self.clock.cycles(1), MemMsg::Req(req));
+            let mut stall = 0;
+            if let Some(f) = self.fault.as_mut() {
+                stall = f.maybe_stall();
+                if stall > 0 {
+                    if let Some(t) = self.track {
+                        self.trace.instant(t, "fault:dma_stall", ctx.now());
+                    }
+                }
+            }
+            ctx.send(self.port, self.clock.cycles(1 + stall), MemMsg::Req(req));
         }
     }
 }
@@ -214,11 +262,15 @@ impl Component<MemMsg> for BlockDma {
     }
 
     fn stats(&self) -> Vec<(String, f64)> {
-        vec![
+        let mut v = vec![
             ("bytes_moved".into(), self.bytes_moved as f64),
             ("transfers".into(), self.xfers as f64),
             ("queued_while_busy".into(), self.queued_while_busy as f64),
-        ]
+        ];
+        if let Some(f) = &self.fault {
+            v.push(("fault_stalls".into(), f.stalls as f64));
+        }
+        v
     }
 }
 
@@ -512,6 +564,46 @@ mod tests {
             sim.component_as::<Collector>(col).unwrap().dma_dones.len(),
             1
         );
+    }
+
+    #[test]
+    fn zero_burst_and_inflight_are_rejected() {
+        let port = CompId::from_raw(0);
+        assert!(BlockDma::try_new("d", port, 0, 4).is_err());
+        assert!(BlockDma::try_new("d", port, 64, 0).is_err());
+        assert!(BlockDma::try_new("d", port, 64, 4).is_ok());
+    }
+
+    #[test]
+    fn armed_stalls_slow_transfers_deterministically() {
+        let run = |plan: Option<salam_fault::FaultPlan>| {
+            let (mut sim, dram, _spm, _xbar, dma) = dma_system(64);
+            sim.component_as_mut::<Dram>(dram)
+                .unwrap()
+                .poke(0x8000_0000, &[3; 1024]);
+            if let Some(p) = plan {
+                sim.component_as_mut::<BlockDma>(dma).unwrap().set_fault(&p);
+            }
+            let col = sim.add_component(Collector::new());
+            sim.post(
+                dma,
+                0,
+                MemMsg::DmaStart(DmaCmd::new(1, 0x8000_0000, 0x1000_0000, 1024, col)),
+            );
+            sim.run();
+            sim.component_as::<Collector>(col).unwrap().dma_dones[0].1
+        };
+        let clean = run(None);
+        let stormy = salam_fault::FaultPlan {
+            dma_stall_rate: 1.0,
+            dma_stall_cycles: 50,
+            ..salam_fault::FaultPlan::seeded(2)
+        };
+        let slow = run(Some(stormy));
+        assert!(slow > clean, "stalls must cost time ({slow} vs {clean})");
+        assert_eq!(slow, run(Some(stormy)), "same seed, same schedule");
+        let zero = run(Some(salam_fault::FaultPlan::seeded(2)));
+        assert_eq!(zero, clean, "zero-rate plan is free");
     }
 
     #[test]

@@ -2,8 +2,10 @@
 
 use std::collections::VecDeque;
 
+use salam_fault::{FaultPlan, SimError};
 use sim_core::{ClockDomain, Component, Ctx, Frequency, Tick};
 
+use crate::fault::FaultState;
 use crate::msg::{MemMsg, MemOp, MemReq, MemResp};
 
 /// Configuration for a [`Dram`].
@@ -58,12 +60,40 @@ pub struct Dram {
     row_hits: u64,
     row_misses: u64,
     bytes: u64,
+    fault: Option<FaultState>,
 }
 
 impl Dram {
-    /// Creates a zeroed DRAM covering `[base, base+size)`.
+    /// Creates a zeroed DRAM covering `[base, base+size)`, panicking on an
+    /// invalid configuration. Thin wrapper over [`Dram::try_new`].
     pub fn new(name: &str, cfg: DramConfig, base: u64, size: u64) -> Self {
-        Dram {
+        match Self::try_new(name, cfg, base, size) {
+            Ok(dram) => dram,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Dram::new`]: validates the configuration and size.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for zero banks, rows, bus width, or size — each
+    /// of which would divide by zero or wedge the issue loop.
+    pub fn try_new(name: &str, cfg: DramConfig, base: u64, size: u64) -> Result<Self, SimError> {
+        let bad = |field: &str, detail: &str| Err(SimError::config("dram", field, detail));
+        if cfg.banks == 0 {
+            return bad("banks", "must be nonzero");
+        }
+        if cfg.row_bytes == 0 {
+            return bad("row_bytes", "must be nonzero");
+        }
+        if cfg.bus_bytes_per_cycle == 0 {
+            return bad("bus_bytes_per_cycle", "must be nonzero");
+        }
+        if size == 0 {
+            return bad("size", "must be nonzero");
+        }
+        Ok(Dram {
             name: name.to_string(),
             base,
             data: vec![0; size as usize],
@@ -78,7 +108,14 @@ impl Dram {
             row_hits: 0,
             row_misses: 0,
             bytes: 0,
-        }
+            fault: None,
+        })
+    }
+
+    /// Arms fault injection: read data takes seeded single-bit flips and
+    /// responses take extra latency, per the plan's `mem_*` rates.
+    pub fn set_fault(&mut self, plan: &FaultPlan) {
+        self.fault = Some(FaultState::new(plan, &format!("dram.{}", self.name)));
     }
 
     /// Direct backdoor write, bypassing timing.
@@ -143,7 +180,7 @@ impl Dram {
             self.bytes += req.size as u64;
 
             let off = (req.addr - self.base) as usize;
-            let resp = match req.op {
+            let mut resp = match req.op {
                 MemOp::Read => {
                     self.reads += 1;
                     let end = (off + req.size as usize).min(self.data.len());
@@ -168,7 +205,15 @@ impl Dram {
                     }
                 }
             };
-            ctx.send(req.reply_to, total, MemMsg::Resp(resp));
+            let mut fault_cycles = 0;
+            if let Some(f) = self.fault.as_mut() {
+                if let Some(data) = resp.data.as_deref_mut() {
+                    f.maybe_flip(data);
+                }
+                fault_cycles = f.maybe_delay();
+            }
+            let resp_delay = total + self.cfg.clock.cycles(fault_cycles);
+            ctx.send(req.reply_to, resp_delay, MemMsg::Resp(resp));
         }
         self.queue = remaining;
         if let Some(t) = next_retry {
@@ -205,13 +250,18 @@ impl Component<MemMsg> for Dram {
     }
 
     fn stats(&self) -> Vec<(String, f64)> {
-        vec![
+        let mut v = vec![
             ("reads".into(), self.reads as f64),
             ("writes".into(), self.writes as f64),
             ("row_hits".into(), self.row_hits as f64),
             ("row_misses".into(), self.row_misses as f64),
             ("bytes".into(), self.bytes as f64),
-        ]
+        ];
+        if let Some(f) = &self.fault {
+            v.push(("fault_bitflips".into(), f.bitflips as f64));
+            v.push(("fault_delays".into(), f.delays as f64));
+        }
+        v
     }
 }
 

@@ -1,0 +1,66 @@
+//! Per-component fault-injection hooks.
+//!
+//! Each memory component owns an optional [`FaultState`] — its slice of a
+//! campaign-wide [`FaultPlan`]. The RNG streams are decorrelated per site
+//! (component name), so whether faults fire in one component never depends
+//! on how another component's requests interleave with it: the same seed
+//! replays the same schedule regardless of system composition.
+
+use salam_fault::{FaultPlan, SiteRng};
+
+/// Decorrelated RNG streams for data flips and response delays, plus local
+/// counters surfaced through `Component::stats`.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub plan: FaultPlan,
+    flip: SiteRng,
+    delay: SiteRng,
+    pub bitflips: u64,
+    pub delays: u64,
+    pub stalls: u64,
+}
+
+impl FaultState {
+    pub fn new(plan: &FaultPlan, site: &str) -> Self {
+        FaultState {
+            plan: *plan,
+            flip: plan.site_rng(&format!("{site}.flip")),
+            delay: plan.site_rng(&format!("{site}.delay")),
+            bitflips: 0,
+            delays: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Flips one bit of one byte in `data` at the plan's line-flip rate.
+    /// Returns `true` when a flip was injected.
+    pub fn maybe_flip(&mut self, data: &mut [u8]) -> bool {
+        if data.is_empty() || !self.flip.roll(self.plan.mem_bitflip_rate) {
+            return false;
+        }
+        let i = self.flip.index(data.len());
+        data[i] ^= 1 << self.flip.bit(8);
+        self.bitflips += 1;
+        true
+    }
+
+    /// Extra response-delay cycles at the plan's delay rate.
+    pub fn maybe_delay(&mut self) -> u64 {
+        if self.plan.mem_delay_cycles > 0 && self.delay.roll(self.plan.mem_delay_rate) {
+            self.delays += 1;
+            self.plan.mem_delay_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Extra DMA stall cycles at the plan's stall rate.
+    pub fn maybe_stall(&mut self) -> u64 {
+        if self.plan.dma_stall_cycles > 0 && self.delay.roll(self.plan.dma_stall_rate) {
+            self.stalls += 1;
+            self.plan.dma_stall_cycles
+        } else {
+            0
+        }
+    }
+}

@@ -43,6 +43,7 @@ mod addr;
 mod cache;
 mod dma;
 mod dram;
+mod fault;
 mod mmr;
 mod msg;
 mod spm;
@@ -56,6 +57,7 @@ pub use dma::{BlockDma, DmaCmd, StreamDma, StreamDmaConfig};
 pub use dram::{Dram, DramConfig};
 pub use mmr::MmrBlock;
 pub use msg::{MemMsg, MemOp, MemReq, MemResp};
+pub use salam_fault::{FaultPlan, SimError};
 pub use spm::{Scratchpad, ScratchpadConfig};
 pub use stream::{StreamBuffer, StreamBufferConfig};
 pub use xbar::Xbar;

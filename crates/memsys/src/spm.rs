@@ -2,9 +2,11 @@
 
 use std::collections::VecDeque;
 
+use salam_fault::{FaultPlan, SimError};
 use salam_obs::{SharedTrace, TrackId};
 use sim_core::{ClockDomain, Component, Ctx, Frequency};
 
+use crate::fault::FaultState;
 use crate::msg::{MemMsg, MemOp, MemReq, MemResp};
 
 /// Configuration for a [`Scratchpad`].
@@ -45,6 +47,26 @@ impl ScratchpadConfig {
         self.write_ports = write.max(1);
         self
     }
+
+    /// Rejects knobs that can never service a request: zero ports wedge the
+    /// queue forever, and banking with a zero word size divides by zero.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |field: &str, detail: &str| Err(SimError::config("scratchpad", field, detail));
+        if self.read_ports == 0 {
+            return bad("read_ports", "must be nonzero");
+        }
+        if self.write_ports == 0 {
+            return bad("write_ports", "must be nonzero");
+        }
+        if self.banks > 0 && self.bank_word == 0 {
+            return bad("bank_word", "must be nonzero when banking is enabled");
+        }
+        Ok(())
+    }
 }
 
 /// A scratchpad: private or shared accelerator SRAM.
@@ -72,12 +94,36 @@ pub struct Scratchpad {
     max_queue: usize,
     trace: SharedTrace,
     track: Option<TrackId>,
+    fault: Option<FaultState>,
 }
 
 impl Scratchpad {
-    /// Creates a zero-initialized scratchpad covering `[base, base+size)`.
+    /// Creates a zero-initialized scratchpad covering `[base, base+size)`,
+    /// panicking on an invalid configuration. Thin wrapper over
+    /// [`Scratchpad::try_new`].
     pub fn new(name: &str, cfg: ScratchpadConfig, base: u64, size: u64) -> Self {
-        Scratchpad {
+        match Self::try_new(name, cfg, base, size) {
+            Ok(spm) => spm,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Scratchpad::new`]: validates the configuration and size.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for zero ports, a zero bank word, or zero size.
+    pub fn try_new(
+        name: &str,
+        cfg: ScratchpadConfig,
+        base: u64,
+        size: u64,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        if size == 0 {
+            return Err(SimError::config("scratchpad", "size", "must be nonzero"));
+        }
+        Ok(Scratchpad {
             name: name.to_string(),
             base,
             data: vec![0; size as usize],
@@ -93,7 +139,8 @@ impl Scratchpad {
             max_queue: 0,
             trace: SharedTrace::disabled(),
             track: None,
-        }
+            fault: None,
+        })
     }
 
     /// Attaches a trace sink; queue depth becomes a counter on an
@@ -103,6 +150,14 @@ impl Scratchpad {
             .is_enabled()
             .then(|| trace.track(&format!("spm.{}", self.name)));
         self.trace = trace;
+    }
+
+    /// Arms fault injection: read data takes seeded single-bit flips at the
+    /// plan's `mem_bitflip_rate` and responses take extra latency at its
+    /// `mem_delay_rate`. Injections appear as `fault:*` trace instants and
+    /// `fault_*` stats.
+    pub fn set_fault(&mut self, plan: &FaultPlan) {
+        self.fault = Some(FaultState::new(plan, &format!("spm.{}", self.name)));
     }
 
     /// Base address.
@@ -151,7 +206,7 @@ impl Scratchpad {
 
     fn service(&mut self, req: MemReq, ctx: &mut Ctx<'_, MemMsg>) {
         let off = (req.addr - self.base) as usize;
-        let resp = match req.op {
+        let mut resp = match req.op {
             MemOp::Read => {
                 self.reads += 1;
                 let end = (off + req.size as usize).min(self.data.len());
@@ -176,7 +231,26 @@ impl Scratchpad {
                 }
             }
         };
-        let delay = self.cfg.clock.cycles(self.cfg.latency_cycles);
+        let mut extra_cycles = 0;
+        if let Some(f) = self.fault.as_mut() {
+            if let Some(data) = resp.data.as_deref_mut() {
+                if f.maybe_flip(data) {
+                    if let Some(t) = self.track {
+                        self.trace.instant(t, "fault:mem_bitflip", ctx.now());
+                    }
+                }
+            }
+            extra_cycles = f.maybe_delay();
+            if extra_cycles > 0 {
+                if let Some(t) = self.track {
+                    self.trace.instant(t, "fault:mem_delay", ctx.now());
+                }
+            }
+        }
+        let delay = self
+            .cfg
+            .clock
+            .cycles(self.cfg.latency_cycles + extra_cycles);
         ctx.send(req.reply_to, delay, MemMsg::Resp(resp));
     }
 }
@@ -278,7 +352,7 @@ impl Component<MemMsg> for Scratchpad {
     }
 
     fn stats(&self) -> Vec<(String, f64)> {
-        vec![
+        let mut v = vec![
             ("reads".into(), self.reads as f64),
             ("writes".into(), self.writes as f64),
             ("busy_cycles".into(), self.busy_cycles as f64),
@@ -286,7 +360,12 @@ impl Component<MemMsg> for Scratchpad {
             ("read_port_rejects".into(), self.read_port_rejects as f64),
             ("write_port_rejects".into(), self.write_port_rejects as f64),
             ("max_queue".into(), self.max_queue as f64),
-        ]
+        ];
+        if let Some(f) = &self.fault {
+            v.push(("fault_bitflips".into(), f.bitflips as f64));
+            v.push(("fault_delays".into(), f.delays as f64));
+        }
+        v
     }
 }
 
@@ -378,5 +457,61 @@ mod tests {
         let mut spm = Scratchpad::new("s", ScratchpadConfig::default(), 0, 64);
         spm.poke(8, &[1, 2, 3]);
         assert_eq!(spm.peek(8, 3), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_size_and_zero_ports_are_rejected() {
+        assert!(Scratchpad::try_new("s", ScratchpadConfig::default(), 0, 0).is_err());
+        let cfg = ScratchpadConfig {
+            read_ports: 0,
+            ..ScratchpadConfig::default()
+        };
+        match Scratchpad::try_new("s", cfg, 0, 64) {
+            Err(SimError::Config(c)) => assert_eq!(c.field, "read_ports"),
+            other => panic!("expected config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn armed_bitflips_corrupt_reads_deterministically() {
+        let run = |seed: u64| {
+            let mut sim: Simulation<MemMsg> = Simulation::new();
+            let mut spm = Scratchpad::new("spm", ScratchpadConfig::default(), 0x1000, 0x1000);
+            spm.poke(0x1000, &[0u8; 8]);
+            spm.set_fault(&salam_fault::FaultPlan {
+                mem_bitflip_rate: 1.0,
+                ..salam_fault::FaultPlan::seeded(seed)
+            });
+            let spm = sim.add_component(spm);
+            let col = sim.add_component(Collector::new());
+            sim.post(spm, 0, MemMsg::Req(MemReq::read(1, 0x1000, 8, col)));
+            sim.run();
+            collector(&sim, col).resps[0].data.clone().unwrap()
+        };
+        let a = run(11);
+        assert_eq!(a, run(11), "same seed, same corruption");
+        assert_ne!(a, vec![0u8; 8], "rate 1.0 must corrupt the read");
+        let flipped: u32 = a.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flips per injection");
+    }
+
+    #[test]
+    fn armed_delays_slow_responses_but_keep_data() {
+        let mut sim: Simulation<MemMsg> = Simulation::new();
+        let mut spm = Scratchpad::new("spm", ScratchpadConfig::default(), 0x1000, 0x1000);
+        spm.poke(0x1000, &[9u8; 4]);
+        spm.set_fault(&salam_fault::FaultPlan {
+            mem_delay_rate: 1.0,
+            mem_delay_cycles: 7,
+            ..salam_fault::FaultPlan::seeded(1)
+        });
+        let spm = sim.add_component(spm);
+        let col = sim.add_component(Collector::new());
+        sim.post(spm, 0, MemMsg::Req(MemReq::read(1, 0x1000, 4, col)));
+        sim.run();
+        let c = collector(&sim, col);
+        assert_eq!(c.resps[0].data.as_deref(), Some(&[9u8; 4][..]));
+        // 1 tick-align + 1 latency + 7 injected = 9 cycles.
+        assert_eq!(c.resp_ticks[0], 9_000);
     }
 }

@@ -2,10 +2,12 @@
 
 use std::collections::HashMap;
 
+use salam_fault::{FaultPlan, SimError};
 use salam_obs::{SharedTrace, TrackId};
 use sim_core::{ClockDomain, CompId, Component, Ctx};
 
 use crate::addr::AddrMap;
+use crate::fault::FaultState;
 use crate::msg::{MemMsg, MemReq, MemResp};
 
 /// A crossbar: routes requests by address, returns responses along the same
@@ -31,17 +33,40 @@ pub struct Xbar {
     width_stalls: u64,
     trace: SharedTrace,
     track: Option<TrackId>,
+    fault: Option<FaultState>,
 }
 
 impl Xbar {
     /// Creates a crossbar with the given routing map, per-hop latency in
-    /// cycles, and data width in bytes per cycle.
+    /// cycles, and data width in bytes per cycle. A zero width is clamped to
+    /// 1 for backwards compatibility; use [`Xbar::try_new`] to reject it.
     pub fn new(name: &str, map: AddrMap, latency_cycles: u64, width_bytes: u32) -> Self {
-        Xbar {
+        match Self::try_new(name, map, latency_cycles, width_bytes.max(1)) {
+            Ok(xbar) => xbar,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Xbar::new`]: rejects a zero fabric width, which would
+    /// divide by zero when computing beat occupancy.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] naming the offending field.
+    pub fn try_new(
+        name: &str,
+        map: AddrMap,
+        latency_cycles: u64,
+        width_bytes: u32,
+    ) -> Result<Self, SimError> {
+        if width_bytes == 0 {
+            return Err(SimError::config("xbar", "width_bytes", "must be nonzero"));
+        }
+        Ok(Xbar {
             name: name.to_string(),
             map,
             latency_cycles,
-            width_bytes: width_bytes.max(1),
+            width_bytes,
             clock: ClockDomain::default(),
             inflight: HashMap::new(),
             next_id: 1,
@@ -52,13 +77,21 @@ impl Xbar {
             width_stalls: 0,
             trace: SharedTrace::disabled(),
             track: None,
-        }
+            fault: None,
+        })
     }
 
     /// Overrides the fabric clock.
     pub fn with_clock(mut self, clock: ClockDomain) -> Self {
         self.clock = clock;
         self
+    }
+
+    /// Arms fault injection: forwarded requests take seeded extra hop
+    /// latency at the plan's `mem_delay_rate`, modeling transient fabric
+    /// congestion outside the modeled width serialization.
+    pub fn set_fault(&mut self, plan: &FaultPlan) {
+        self.fault = Some(FaultState::new(plan, &format!("xbar.{}", self.name)));
     }
 
     /// Attaches a trace sink; in-flight depth becomes a counter on an
@@ -111,7 +144,17 @@ impl Component<MemMsg> for Xbar {
                 if extra_beats > 0 {
                     self.busy_until = start + self.clock.cycles(extra_beats);
                 }
-                let delay = (start - ctx.now()) + self.clock.cycles(self.latency_cycles);
+                let mut fault_cycles = 0;
+                if let Some(f) = self.fault.as_mut() {
+                    fault_cycles = f.maybe_delay();
+                    if fault_cycles > 0 {
+                        if let Some(t) = self.track {
+                            self.trace.instant(t, "fault:mem_delay", ctx.now());
+                        }
+                    }
+                }
+                let delay =
+                    (start - ctx.now()) + self.clock.cycles(self.latency_cycles + fault_cycles);
 
                 let my_id = self.next_id;
                 self.next_id += 1;
@@ -152,12 +195,16 @@ impl Component<MemMsg> for Xbar {
     }
 
     fn stats(&self) -> Vec<(String, f64)> {
-        vec![
+        let mut v = vec![
             ("forwarded".into(), self.forwarded as f64),
             ("bytes".into(), self.bytes as f64),
             ("contended_cycles".into(), self.contended_cycles as f64),
             ("width_stalls".into(), self.width_stalls as f64),
-        ]
+        ];
+        if let Some(f) = &self.fault {
+            v.push(("fault_delays".into(), f.delays as f64));
+        }
+        v
     }
 }
 

@@ -4,6 +4,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use hw_profile::{FuKind, HardwareProfile};
 use salam_cdfg::StaticCdfg;
+use salam_fault::{FaultPlan, SimError, SiteRng, WatchdogSnapshot};
 use salam_ir::interp::{eval_pure, InterpError, RtVal};
 use salam_ir::{BlockId, Function, InstId, Opcode, Type, ValueKind};
 use salam_obs::{SharedTrace, SpanId, TrackId};
@@ -92,6 +93,44 @@ impl EngineConfig {
             self.strict_register_hazards,
         )
     }
+
+    /// Rejects nonsense knob settings before they turn into deep-in-the-run
+    /// panics or silent infinite loops: a zero-entry reservation window can
+    /// never import a block, zero outstanding-op limits wedge every memory
+    /// op, a zero deadlock threshold cannot distinguish a stall from a
+    /// hang, and a zero clock period breaks energy accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |field: &str, detail: &str| Err(SimError::config("engine", field, detail));
+        if self.clock_period_ps == 0 {
+            return bad("clock_period_ps", "must be nonzero");
+        }
+        if self.reservation_entries == 0 {
+            return bad("reservation_entries", "must be nonzero");
+        }
+        if self.max_outstanding_reads == 0 {
+            return bad("max_outstanding_reads", "must be nonzero");
+        }
+        if self.max_outstanding_writes == 0 {
+            return bad("max_outstanding_writes", "must be nonzero");
+        }
+        if self.deadlock_cycles == 0 {
+            return bad("deadlock_cycles", "must be nonzero");
+        }
+        Ok(())
+    }
+}
+
+/// The engine's own injection state: per-site decision streams for FU
+/// result flips and latency jitter.
+#[derive(Debug)]
+struct EngineFault {
+    plan: FaultPlan,
+    flip: SiteRng,
+    jitter: SiteRng,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +240,8 @@ pub struct Engine {
     trace: SharedTrace,
     trace_tracks: Option<TraceTracks>,
     trace_offset_ps: u64,
+
+    fault: Option<EngineFault>,
 }
 
 impl Engine {
@@ -254,6 +295,7 @@ impl Engine {
             trace: SharedTrace::disabled(),
             trace_tracks: None,
             trace_offset_ps: 0,
+            fault: None,
         };
         e.last_instance = vec![None; e.func.num_insts()];
         e.pending_fetch.push_back((entry, None));
@@ -276,6 +318,56 @@ impl Engine {
     /// embedded in a full-system simulation stamps absolute sim time.
     pub fn set_trace_offset_ps(&mut self, offset: u64) {
         self.trace_offset_ps = offset;
+    }
+
+    /// Attaches a fault-injection plan. The engine draws from per-site
+    /// streams derived from the plan seed (`engine.fu_bitflip`,
+    /// `engine.fu_jitter`), so the injection schedule is a pure function
+    /// of the plan and the executed instruction stream. A zero-rate plan
+    /// installs the hooks but never fires and never consumes stream state.
+    pub fn set_fault(&mut self, plan: &FaultPlan) {
+        self.fault = Some(EngineFault {
+            plan: *plan,
+            flip: plan.site_rng("engine.fu_bitflip"),
+            jitter: plan.site_rng("engine.fu_jitter"),
+        });
+    }
+
+    /// Merges fault counters from an external component (e.g. a
+    /// [`crate::FaultyPort`] wrapped around this engine's memory port) into
+    /// the engine's stats, so one report carries the whole campaign.
+    pub fn merge_fault_counts(&mut self, counts: &salam_fault::FaultCounts) {
+        for (kind, n) in counts {
+            *self.stats.fault_counts.entry(kind.clone()).or_insert(0) += n;
+        }
+    }
+
+    /// Counts one injected fault and emits a `fault:<kind>` trace instant.
+    fn note_fault(&mut self, kind: &str, cycle: u64) {
+        *self.stats.fault_counts.entry(kind.to_string()).or_insert(0) += 1;
+        if let Some(t) = &self.trace_tracks {
+            self.trace
+                .instant(t.sched, &format!("fault:{kind}"), self.trace_ts(cycle));
+        }
+    }
+
+    /// The watchdog's view of the engine at deadlock-detection time.
+    fn watchdog_snapshot(&self) -> WatchdogSnapshot {
+        WatchdogSnapshot {
+            kernel: self.func.name.clone(),
+            cycle: self.cycle,
+            last_progress_cycle: self.last_progress,
+            reservation_occupancy: self.reservation.len(),
+            compute_occupancy: self.compute_q.len(),
+            mem_outstanding: self.mem_wait.len(),
+            pending_blocks: self.pending_fetch.len(),
+            dominant_reject_cause: self
+                .stats
+                .reject_causes
+                .iter()
+                .max_by(|(ka, va), (kb, vb)| va.cmp(vb).then_with(|| kb.cmp(ka)))
+                .map(|(k, _)| k.clone()),
+        }
     }
 
     #[inline]
@@ -305,13 +397,34 @@ impl Engine {
 
     /// Runs the engine to completion against `port`; returns final cycles.
     ///
+    /// Thin panicking wrapper over [`Engine::try_run_to_completion`] for
+    /// callers that treat a hung or faulting design as a test failure.
+    ///
     /// # Panics
     ///
     /// Panics if the engine deadlocks (no progress for the configured
-    /// threshold).
+    /// threshold), on a runtime fault in the modeled kernel, or on an
+    /// invalid [`EngineConfig`].
     pub fn run_to_completion(&mut self, port: &mut dyn MemPort) -> u64 {
-        while !self.step(port) {}
-        self.cycle
+        match self.try_run_to_completion(port) {
+            Ok(cycles) => cycles,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the engine to completion against `port`; returns final cycles.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Config`] if the [`EngineConfig`] fails validation.
+    /// * [`SimError::Deadlock`] with a [`WatchdogSnapshot`] if no queue
+    ///   makes progress for `deadlock_cycles`.
+    /// * [`SimError::KernelFault`] if the modeled kernel faults (division
+    ///   by zero, undef use, …).
+    pub fn try_run_to_completion(&mut self, port: &mut dyn MemPort) -> Result<u64, SimError> {
+        self.cfg.validate()?;
+        while !self.try_step(port)? {}
+        Ok(self.cycle)
     }
 
     // ---- import ------------------------------------------------------------
@@ -551,15 +664,31 @@ impl Engine {
     // ---- the cycle loop -------------------------------------------------------
 
     /// Advances one accelerator cycle. Returns `true` once the invocation
-    /// has fully drained.
+    /// has fully drained. Thin panicking wrapper over [`Engine::try_step`].
     ///
     /// # Panics
     ///
     /// Panics on deadlock or on a runtime fault in the modeled kernel
     /// (e.g. division by zero).
     pub fn step(&mut self, port: &mut dyn MemPort) -> bool {
+        match self.try_step(port) {
+            Ok(done) => done,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Advances one accelerator cycle. Returns `Ok(true)` once the
+    /// invocation has fully drained.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] (with a populated [`WatchdogSnapshot`]) when
+    /// no queue has progressed for `deadlock_cycles`; [`SimError::KernelFault`]
+    /// when the modeled kernel faults (e.g. division by zero). After an
+    /// error the engine is wedged: further steps keep returning errors.
+    pub fn try_step(&mut self, port: &mut dyn MemPort) -> Result<bool, SimError> {
         if self.done {
-            return true;
+            return Ok(true);
         }
         port.begin_cycle();
         let mut progressed = false;
@@ -792,13 +921,47 @@ impl Engine {
             // Compute / control issue.
             let mut d = self.reservation.remove(idx).expect("index valid");
             d.issue_cycle = cycle;
-            let value = match self.eval_compute(&d) {
+            let mut value = match self.eval_compute(&d) {
                 Ok(v) => v,
-                Err(e) => panic!(
-                    "runtime fault in @{} at cycle {}: {e}",
-                    self.func.name, cycle
-                ),
+                Err(e) => {
+                    return Err(SimError::KernelFault {
+                        kernel: self.func.name.clone(),
+                        cycle,
+                        detail: e.to_string(),
+                    })
+                }
             };
+            // Fault hooks: transient single-bit flips in the FU result and
+            // latency jitter, each from its own seeded site stream. Flips
+            // default to float results only — integer flips can corrupt
+            // loop counters into hangs the watchdog never sees.
+            let (mut flipped, mut jittered) = (false, false);
+            if let Some(f) = self.fault.as_mut() {
+                match value {
+                    Some(RtVal::F(x)) if f.flip.roll(f.plan.fu_bitflip_rate) => {
+                        let bit = f.flip.bit(64);
+                        value = Some(RtVal::F(f64::from_bits(x.to_bits() ^ (1u64 << bit))));
+                        flipped = true;
+                    }
+                    Some(RtVal::I(x))
+                        if f.plan.fu_flip_any && f.flip.roll(f.plan.fu_bitflip_rate) =>
+                    {
+                        value = Some(RtVal::I(x ^ (1i64 << f.flip.bit(64))));
+                        flipped = true;
+                    }
+                    _ => {}
+                }
+                if d.latency > 0 && f.jitter.roll(f.plan.fu_jitter_rate) {
+                    d.latency += f.plan.fu_jitter_cycles;
+                    jittered = true;
+                }
+            }
+            if flipped {
+                self.note_fault("fu_bitflip", cycle);
+            }
+            if jittered {
+                self.note_fault("fu_jitter", cycle);
+            }
             d.tspan = self.register_issue(&d, &mut classes_this_cycle);
             issued_this_cycle += 1;
             if d.is_term {
@@ -969,14 +1132,7 @@ impl Engine {
         if progressed {
             self.last_progress = self.cycle;
         } else if self.cycle - self.last_progress > self.cfg.deadlock_cycles {
-            panic!(
-                "engine deadlock in @{}: {} reservation entries, {} compute, {} mem outstanding, {} blocks pending fetch",
-                self.func.name,
-                self.reservation.len(),
-                self.compute_q.len(),
-                self.mem_wait.len(),
-                self.pending_fetch.len()
-            );
+            return Err(SimError::Deadlock(self.watchdog_snapshot()));
         }
 
         self.cycle += 1;
@@ -988,7 +1144,7 @@ impl Engine {
         {
             self.done = true;
         }
-        self.done
+        Ok(self.done)
     }
 
     fn register_issue(&mut self, d: &DynInst, classes: &mut HashSet<&'static str>) -> SpanId {

@@ -60,5 +60,6 @@ mod port;
 mod stats;
 
 pub use engine::{Engine, EngineConfig};
-pub use port::{MemAccess, MemCompletion, MemPort, RejectCause, Rejection, SimpleMem};
+pub use port::{FaultyPort, MemAccess, MemCompletion, MemPort, RejectCause, Rejection, SimpleMem};
+pub use salam_fault::{ConfigError, FaultPlan, SimError, WatchdogSnapshot};
 pub use stats::{CycleRecord, EngineStats, IssueClass, StallMix};

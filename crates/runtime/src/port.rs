@@ -218,6 +218,108 @@ impl MemPort for SimpleMem {
     }
 }
 
+/// A fault-injecting wrapper around any [`MemPort`]: spurious busy
+/// rejects on issue, and dropped / delayed / bit-flipped completions on
+/// the return path, all drawn from per-site streams of a
+/// [`salam_fault::FaultPlan`].
+///
+/// A dropped completion is never delivered — the engine's outstanding-op
+/// count stays up and the run ends in a diagnosable
+/// [`salam_fault::SimError::Deadlock`] rather than silent corruption.
+/// Injection counts are kept per kind for merging into
+/// [`crate::EngineStats::fault_counts`].
+#[derive(Debug)]
+pub struct FaultyPort<P> {
+    inner: P,
+    plan: salam_fault::FaultPlan,
+    busy: salam_fault::SiteRng,
+    resp: salam_fault::SiteRng,
+    /// Delayed completions: `(cycles_left, completion)`.
+    held: Vec<(u64, MemCompletion)>,
+    counts: salam_fault::FaultCounts,
+}
+
+impl<P: MemPort> FaultyPort<P> {
+    /// Wraps `inner` under `plan`. A zero-rate plan makes the wrapper a
+    /// pure pass-through.
+    pub fn new(inner: P, plan: &salam_fault::FaultPlan) -> Self {
+        FaultyPort {
+            inner,
+            plan: *plan,
+            busy: plan.site_rng("port.busy"),
+            resp: plan.site_rng("port.response"),
+            held: Vec::new(),
+            counts: salam_fault::FaultCounts::new(),
+        }
+    }
+
+    /// The wrapped port.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Unwraps, discarding fault state.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Injected faults so far, by kind (`mem_busy`, `mem_drop`,
+    /// `mem_bitflip`, `mem_delay`).
+    pub fn fault_counts(&self) -> &salam_fault::FaultCounts {
+        &self.counts
+    }
+}
+
+impl<P: MemPort> MemPort for FaultyPort<P> {
+    fn begin_cycle(&mut self) {
+        self.inner.begin_cycle();
+        for (left, _) in &mut self.held {
+            *left = left.saturating_sub(1);
+        }
+    }
+
+    fn try_issue(&mut self, access: MemAccess) -> Result<(), Rejection> {
+        if self.busy.roll(self.plan.port_busy_rate) {
+            salam_fault::count_fault(&mut self.counts, "mem_busy");
+            return Err(Rejection::new(access, RejectCause::Busy));
+        }
+        self.inner.try_issue(access)
+    }
+
+    fn poll(&mut self) -> Vec<MemCompletion> {
+        let mut out = Vec::new();
+        let mut still_held = Vec::new();
+        for (left, c) in self.held.drain(..) {
+            if left == 0 {
+                out.push(c);
+            } else {
+                still_held.push((left, c));
+            }
+        }
+        self.held = still_held;
+        for mut c in self.inner.poll() {
+            if self.resp.roll(self.plan.mem_drop_rate) {
+                salam_fault::count_fault(&mut self.counts, "mem_drop");
+                continue;
+            }
+            if let Some(data) = c.data.as_mut() {
+                if !data.is_empty() && self.resp.roll(self.plan.mem_bitflip_rate) {
+                    let byte = self.resp.index(data.len());
+                    data[byte] ^= 1 << self.resp.bit(8);
+                    salam_fault::count_fault(&mut self.counts, "mem_bitflip");
+                }
+            }
+            if self.plan.mem_delay_cycles > 0 && self.resp.roll(self.plan.mem_delay_rate) {
+                salam_fault::count_fault(&mut self.counts, "mem_delay");
+                self.held.push((self.plan.mem_delay_cycles, c));
+                continue;
+            }
+            out.push(c);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,5 +436,130 @@ mod tests {
         m.begin_cycle();
         let c = m.poll();
         assert_eq!(c[0].data.as_deref(), Some(&1234i32.to_le_bytes()[..]));
+    }
+
+    fn read_acc(token: u64, addr: u64) -> MemAccess {
+        MemAccess {
+            token,
+            addr,
+            size: 4,
+            is_write: false,
+            data: None,
+        }
+    }
+
+    #[test]
+    fn zero_rate_faulty_port_is_a_pass_through() {
+        let drive = |mut port: Box<dyn MemPort>| -> Vec<MemCompletion> {
+            let mut out = Vec::new();
+            for t in 0..8u64 {
+                port.begin_cycle();
+                port.try_issue(read_acc(t, 4 * t)).unwrap();
+                out.extend(port.poll());
+            }
+            for _ in 0..4 {
+                port.begin_cycle();
+                out.extend(port.poll());
+            }
+            out
+        };
+        let mut plain = SimpleMem::new(2, 2, 2);
+        plain.memory_mut().write_i32_slice(0, &[7; 8]);
+        let mut wrapped = SimpleMem::new(2, 2, 2);
+        wrapped.memory_mut().write_i32_slice(0, &[7; 8]);
+        let faulty = FaultyPort::new(wrapped, &salam_fault::FaultPlan::seeded(123));
+        let a = drive(Box::new(plain));
+        let b = drive(Box::new(faulty));
+        assert_eq!(a, b, "zero-rate plan must be observationally free");
+    }
+
+    #[test]
+    fn dropped_completions_never_arrive_and_are_counted() {
+        let mut mem = SimpleMem::new(1, 4, 4);
+        mem.memory_mut().write_i32_slice(0, &[1; 16]);
+        let plan = salam_fault::FaultPlan {
+            mem_drop_rate: 1.0,
+            ..salam_fault::FaultPlan::seeded(5)
+        };
+        let mut port = FaultyPort::new(mem, &plan);
+        for t in 0..4u64 {
+            port.begin_cycle();
+            port.try_issue(read_acc(t, 4 * t)).unwrap();
+        }
+        for _ in 0..4 {
+            port.begin_cycle();
+            assert!(port.poll().is_empty());
+        }
+        assert_eq!(port.fault_counts()["mem_drop"], 4);
+    }
+
+    #[test]
+    fn delayed_completions_arrive_late_and_intact() {
+        let mut mem = SimpleMem::new(1, 4, 4);
+        mem.memory_mut().write_i32_slice(0, &[42; 4]);
+        let plan = salam_fault::FaultPlan {
+            mem_delay_rate: 1.0,
+            mem_delay_cycles: 3,
+            ..salam_fault::FaultPlan::seeded(5)
+        };
+        let mut port = FaultyPort::new(mem, &plan);
+        port.begin_cycle();
+        port.try_issue(read_acc(1, 0)).unwrap();
+        let mut arrived_after = 0u64;
+        for i in 1..=8u64 {
+            port.begin_cycle();
+            let got = port.poll();
+            if !got.is_empty() {
+                assert_eq!(got[0].data.as_deref(), Some(&42i32.to_le_bytes()[..]));
+                arrived_after = i;
+                break;
+            }
+        }
+        // 1 cycle SPM latency + 3 held cycles.
+        assert_eq!(arrived_after, 4);
+        assert_eq!(port.fault_counts()["mem_delay"], 1);
+    }
+
+    #[test]
+    fn bitflips_change_exactly_one_bit_deterministically() {
+        let run = || {
+            let mut mem = SimpleMem::new(1, 4, 4);
+            mem.memory_mut().write_i32_slice(0, &[0; 4]);
+            let plan = salam_fault::FaultPlan {
+                mem_bitflip_rate: 1.0,
+                ..salam_fault::FaultPlan::seeded(9)
+            };
+            let mut port = FaultyPort::new(mem, &plan);
+            port.begin_cycle();
+            port.try_issue(read_acc(1, 0)).unwrap();
+            port.begin_cycle();
+            port.poll()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must replay the same flip");
+        let bits: u32 = a[0]
+            .data
+            .as_deref()
+            .unwrap()
+            .iter()
+            .map(|x| x.count_ones())
+            .sum();
+        assert_eq!(bits, 1, "exactly one bit flipped in an all-zero word");
+    }
+
+    #[test]
+    fn busy_storms_reject_with_busy_cause() {
+        let mem = SimpleMem::new(1, 4, 4);
+        let plan = salam_fault::FaultPlan {
+            port_busy_rate: 1.0,
+            ..salam_fault::FaultPlan::seeded(2)
+        };
+        let mut port = FaultyPort::new(mem, &plan);
+        port.begin_cycle();
+        let r = port.try_issue(read_acc(1, 0)).unwrap_err();
+        assert_eq!(r.cause, RejectCause::Busy);
+        assert_eq!(r.access.token, 1);
+        assert_eq!(port.fault_counts()["mem_busy"], 1);
     }
 }

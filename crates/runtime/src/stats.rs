@@ -131,6 +131,11 @@ pub struct EngineStats {
     /// Port rejections by [`crate::RejectCause`] label — one count per
     /// rejected access (an op can be rejected on many cycles).
     pub reject_causes: BTreeMap<String, u64>,
+    /// Injected faults by kind (`fu_bitflip`, `mem_drop`, …), merged from
+    /// the engine's own hooks and any [`crate::FaultyPort`] wrapping the
+    /// memory path. Empty for clean runs — including runs with a zero-rate
+    /// [`salam_fault::FaultPlan`] attached, which are observationally free.
+    pub fault_counts: BTreeMap<String, u64>,
     /// The producer→consumer dependency stream (only populated when
     /// [`crate::EngineConfig::record_depstream`] is enabled); input to
     /// [`salam_obs::critpath::analyze`].
@@ -217,6 +222,14 @@ impl EngineStats {
         for (cause, n) in &self.reject_causes {
             reg.set(&p(&format!("reject.{cause}")), *n as f64);
         }
+        for (kind, n) in &self.fault_counts {
+            reg.set(&p(&format!("fault.{kind}")), *n as f64);
+        }
+    }
+
+    /// Total injected faults across kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.fault_counts.values().sum()
     }
 }
 

@@ -199,10 +199,10 @@ fn wrong_arity_is_rejected_at_construction() {
 }
 
 #[test]
-#[should_panic(expected = "deadlock")]
-fn deadlock_detection_fires() {
-    // A port that never completes anything wedges the engine; the detector
-    // must report it instead of spinning forever.
+fn deadlock_detection_returns_a_populated_snapshot() {
+    // A port that never completes anything wedges the engine; the watchdog
+    // must report it as a typed error carrying its queue snapshot instead
+    // of spinning forever (or panicking).
     struct BlackHole;
     impl salam_runtime::MemPort for BlackHole {
         fn begin_cycle(&mut self) {}
@@ -225,5 +225,171 @@ fn deadlock_detection_fires() {
     };
     let mut e = Engine::new(f, cdfg, profile, cfg, vec![RtVal::P(0), RtVal::I(4)]);
     let mut hole = BlackHole;
-    e.run_to_completion(&mut hole);
+    let err = e
+        .try_run_to_completion(&mut hole)
+        .expect_err("a black-hole port must deadlock");
+    let salam_runtime::SimError::Deadlock(snap) = &err else {
+        panic!("expected Deadlock, got {err:?}");
+    };
+    assert_eq!(snap.kernel, "serial");
+    assert!(snap.mem_outstanding > 0, "reads are stuck in flight");
+    assert!(
+        snap.cycle - snap.last_progress_cycle > cfg.deadlock_cycles,
+        "watchdog fired at cycle {} with last progress at {}",
+        snap.cycle,
+        snap.last_progress_cycle
+    );
+    assert!(
+        snap.reservation_occupancy > 0 || snap.compute_occupancy > 0 || snap.pending_blocks > 0,
+        "a wedged engine still holds work"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(msg.contains("@serial"), "{msg}");
+}
+
+#[test]
+fn nonsense_configs_are_rejected_before_the_run() {
+    let f = serial_fmul_loop();
+    let profile = HardwareProfile::default_40nm();
+    for (label, cfg) in [
+        (
+            "deadlock_cycles",
+            EngineConfig {
+                deadlock_cycles: 0,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "reservation_entries",
+            EngineConfig {
+                reservation_entries: 0,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "max_outstanding_reads",
+            EngineConfig {
+                max_outstanding_reads: 0,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "clock_period_ps",
+            EngineConfig {
+                clock_period_ps: 0,
+                ..EngineConfig::default()
+            },
+        ),
+    ] {
+        let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+        let mut mem = SimpleMem::new(1, 4, 4);
+        let mut e = Engine::new(
+            f.clone(),
+            cdfg,
+            profile.clone(),
+            cfg,
+            vec![RtVal::P(0x1000), RtVal::I(4)],
+        );
+        let err = e
+            .try_run_to_completion(&mut mem)
+            .expect_err("invalid config must be rejected");
+        let salam_runtime::SimError::Config(c) = &err else {
+            panic!("expected Config error for {label}, got {err:?}");
+        };
+        assert_eq!(c.field, label);
+    }
+}
+
+#[test]
+fn zero_rate_fault_plan_changes_nothing() {
+    let f = serial_fmul_loop();
+    let run = |with_plan: bool| -> (u64, u64) {
+        let profile = HardwareProfile::default_40nm();
+        let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+        let mut mem = SimpleMem::new(1, 4, 4);
+        mem.memory_mut().write_f64_slice(0x1000, &[1.5; 16]);
+        let mut e = Engine::new(
+            f.clone(),
+            cdfg,
+            profile,
+            EngineConfig::default(),
+            vec![RtVal::P(0x1000), RtVal::I(16)],
+        );
+        if with_plan {
+            e.set_fault(&salam_runtime::FaultPlan::seeded(99));
+        }
+        let cycles = e.run_to_completion(&mut mem);
+        (cycles, e.stats().total_faults())
+    };
+    let (clean_cycles, clean_faults) = run(false);
+    let (planned_cycles, planned_faults) = run(true);
+    assert_eq!(clean_cycles, planned_cycles);
+    assert_eq!(clean_faults, 0);
+    assert_eq!(planned_faults, 0);
+}
+
+#[test]
+fn fu_bitflips_fire_deterministically_and_are_counted() {
+    let f = serial_fmul_loop();
+    let run = |seed: u64| -> (u64, Vec<f64>) {
+        let profile = HardwareProfile::default_40nm();
+        let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+        let mut mem = SimpleMem::new(1, 4, 4);
+        mem.memory_mut().write_f64_slice(0x1000, &[1.5; 16]);
+        let mut e = Engine::new(
+            f.clone(),
+            cdfg,
+            profile,
+            EngineConfig::default(),
+            vec![RtVal::P(0x1000), RtVal::I(16)],
+        );
+        e.set_fault(&salam_runtime::FaultPlan {
+            fu_bitflip_rate: 0.5,
+            ..salam_runtime::FaultPlan::seeded(seed)
+        });
+        e.run_to_completion(&mut mem);
+        let flips = e
+            .stats()
+            .fault_counts
+            .get("fu_bitflip")
+            .copied()
+            .unwrap_or(0);
+        (flips, mem.memory_mut().read_f64_slice(0x1000, 16))
+    };
+    let (flips_a, data_a) = run(7);
+    let (flips_b, data_b) = run(7);
+    assert!(flips_a > 0, "a 50% rate over 16 fmuls must fire");
+    assert_eq!(flips_a, flips_b, "same seed, same schedule");
+    assert_eq!(data_a, data_b, "same seed, same corrupted output");
+    let (_, data_c) = run(8);
+    assert_ne!(data_a, data_c, "a different seed flips different bits");
+}
+
+#[test]
+fn fu_jitter_slows_the_run_but_keeps_it_correct() {
+    let f = serial_fmul_loop();
+    let run = |rate: f64| -> u64 {
+        let profile = HardwareProfile::default_40nm();
+        let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+        let mut mem = SimpleMem::new(1, 4, 4);
+        mem.memory_mut().write_f64_slice(0x1000, &[1.5; 32]);
+        let mut e = Engine::new(
+            f.clone(),
+            cdfg,
+            profile,
+            EngineConfig::default(),
+            vec![RtVal::P(0x1000), RtVal::I(32)],
+        );
+        e.set_fault(&salam_runtime::FaultPlan {
+            fu_jitter_rate: rate,
+            fu_jitter_cycles: 8,
+            ..salam_runtime::FaultPlan::seeded(3)
+        });
+        let cycles = e.run_to_completion(&mut mem);
+        let got = mem.memory_mut().read_f64_slice(0x1000, 32);
+        assert!(got.iter().all(|&v| v == 2.25), "jitter is timing-only");
+        cycles
+    };
+    assert!(run(1.0) > run(0.0));
 }

@@ -31,6 +31,43 @@ case "$warm" in
   *) echo "ci: DSE cache re-run was not fully served from cache" >&2; exit 1 ;;
 esac
 
+# Panic isolation: one deliberately-panicking design point must not kill
+# the sweep — it becomes a failed row, counted in the summary, and is
+# never cached (a fresh cache dir keeps this independent of the run
+# above).
+echo "+ dse_smoke --inject-panic (panic isolation)"
+panic_cache="$(mktemp -d)"
+panicked="$(SALAM_JOBS=2 SALAM_DSE_CACHE="$panic_cache" \
+  cargo run --release -q --offline -p salam-bench --bin dse_smoke -- --inject-panic \
+  2>/dev/null | tail -n 1)"
+rm -rf "$panic_cache"
+echo "$panicked"
+case "$panicked" in
+  *"failed=1"*) ;;
+  *) echo "ci: panicking job did not surface as failed=1" >&2; exit 1 ;;
+esac
+
+# Fault-injection smoke: a seeded campaign over two kernels. The outcome
+# table and counts are a pure function of the seeds, so two runs must be
+# byte-identical and the marker line must show the expected mix of
+# outcome classes.
+echo "+ fault_smoke (seeded campaign, twice)"
+fault_a="$(cargo run --release -q --offline -p salam-bench --bin fault_smoke)"
+fault_b="$(cargo run --release -q --offline -p salam-bench --bin fault_smoke)"
+echo "$fault_a" | tail -n 1
+if [ "$fault_a" != "$fault_b" ]; then
+  echo "ci: fault campaign is not reproducible across runs" >&2; exit 1
+fi
+case "$fault_a" in
+  *"fault_smoke: kernels=2 seeds=12"*) ;;
+  *) echo "ci: fault_smoke marker line missing" >&2; exit 1 ;;
+esac
+case "$fault_a" in
+  *"masked=0"*|*"sdc=0"*|*"deadlock=0"*)
+    echo "ci: fault campaign must exercise masked, sdc and deadlock outcomes" >&2
+    exit 1 ;;
+esac
+
 # Bottleneck-report smoke: one MachSuite kernel with profiling on. The
 # binary self-checks the accounting invariant (attribution buckets sum
 # exactly to total cycles, critical path fits in the run) and prints a
