@@ -7,7 +7,10 @@
 //!
 //! With `--inject-panic`, one design point's job deliberately panics; CI
 //! uses this to assert that the sweep still completes, reports `failed=1`
-//! in the summary, and renders that point as a `failed:<cause>` row.
+//! in the summary, and renders that point as a `failed:<cause>` row. With
+//! `--inject-invalid`, one point carries a statically invalid config
+//! (zero SPM ports): the pre-flight validator must reject it as an
+//! `invalid:C001` row, counted as `invalid=1`, without simulating it.
 
 use salam::standalone::StandaloneConfig;
 use salam_dse::{
@@ -15,8 +18,9 @@ use salam_dse::{
     SweepTable,
 };
 
-/// A standalone point that can be told to panic instead of simulating —
-/// the CI probe for panic isolation in `run_sweep`.
+/// A standalone point that can be told to panic instead of simulating, or
+/// handed a broken config — the CI probes for panic isolation and static
+/// screening in `run_sweep`.
 struct SmokeJob {
     inner: StandalonePoint,
     poisoned: bool,
@@ -29,6 +33,10 @@ impl SweepJob for SmokeJob {
         self.inner.cache_id()
     }
 
+    fn validate(&self) -> Result<(), salam_verify::Diagnostic> {
+        self.inner.validate()
+    }
+
     fn run(&self) -> salam::RunReport {
         if self.poisoned {
             panic!("injected panic for CI");
@@ -39,6 +47,7 @@ impl SweepJob for SmokeJob {
 
 fn main() {
     let inject_panic = std::env::args().any(|a| a == "--inject-panic");
+    let inject_invalid = std::env::args().any(|a| a == "--inject-invalid");
     let spec = SweepSpec::new("smoke", StandaloneConfig::default())
         .kernel(KernelSpec::custom("gemm[n=8,u=2]", || {
             machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 2 })
@@ -50,9 +59,15 @@ fn main() {
     let jobs: Vec<SmokeJob> = points
         .iter()
         .enumerate()
-        .map(|(i, p)| SmokeJob {
-            inner: p.clone(),
-            poisoned: inject_panic && i == 0,
+        .map(|(i, p)| {
+            let mut inner = p.clone();
+            if inject_invalid && i == 0 {
+                inner.config.spm_read_ports = 0; // C001: rejected pre-flight
+            }
+            SmokeJob {
+                inner,
+                poisoned: inject_panic && i == 0,
+            }
         })
         .collect();
     let run = run_sweep(&jobs, &DseOptions::default());

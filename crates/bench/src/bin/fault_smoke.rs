@@ -54,7 +54,9 @@ fn classify(result: &Result<salam::RunReport, SimError>) -> &'static str {
         Ok(_) => "sdc",
         Err(SimError::Deadlock(_)) => "deadlock",
         Err(SimError::KernelFault { .. }) => "detected",
-        Err(e @ SimError::Config(_)) => panic!("campaign config rejected: {e}"),
+        Err(e @ (SimError::Config(_) | SimError::Verify(_))) => {
+            panic!("campaign config rejected: {e}")
+        }
     }
 }
 

@@ -1,0 +1,219 @@
+//! `salam_lint` — the static-verification front end.
+//!
+//! Runs every `salam-verify` pass over its targets and renders the
+//! diagnostics as a table (default) or JSON. Targets are MachSuite kernel
+//! names (`gemm`, `spmv`, …), `all` for the paper's nine-kernel suite, or
+//! paths to textual IR files (`*.ll`); with no targets, `all` is assumed.
+//!
+//! ```text
+//! salam_lint [TARGET...] [--json] [--out FILE] [--deny warnings] [--bounds]
+//! ```
+//!
+//! * `--json`          — print the report as one JSON object instead of a table
+//! * `--out FILE`      — additionally write the JSON report to `FILE` (the CI
+//!   artifact)
+//! * `--deny warnings` — exit nonzero on warnings, not just errors
+//! * `--bounds`        — also print each kernel's static schedule bound
+//!
+//! Built kernels get the full stack: IR verification, static memory
+//! dependences, footprint bounds, and the schedule/watchdog cross-check.
+//! `.ll` files are parsed (a parse failure is itself a `P001` diagnostic)
+//! and IR-verified; without arguments or a memory image the address-level
+//! passes have nothing to resolve, so they are skipped.
+//!
+//! Ends with the stable marker `lint: targets=N diagnostics=D errors=E
+//! warnings=W` that CI asserts on.
+
+use std::collections::HashMap;
+
+use machsuite::{Bench, BuiltKernel};
+use salam::standalone::StandaloneConfig;
+use salam_cdfg::{FuConstraints, StaticCdfg};
+use salam_dse::SweepTable;
+use salam_verify::{
+    check_bounds, check_schedule, parse_and_verify, profile_memdeps, static_lower_bound,
+    static_memdeps, verify_ir, BoundConfig, Diagnostic, MemRegion, Severity,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: salam_lint [TARGET...] [--json] [--out FILE] [--deny warnings] [--bounds]\n\
+         TARGET: a MachSuite kernel (bfs, fft, gemm, md-grid, md-knn, nw, spmv,\n\
+         stencil2d, stencil3d), 'all' for the full suite, or a path to a .ll file"
+    );
+    std::process::exit(2)
+}
+
+fn bench_by_name(name: &str) -> Option<Bench> {
+    Bench::ALL
+        .into_iter()
+        .find(|b| b.label().eq_ignore_ascii_case(name))
+}
+
+/// Every pass over one built kernel, in severity-stable order.
+fn lint_kernel(k: &BuiltKernel, bounds: bool) -> (Vec<Diagnostic>, Option<String>) {
+    let mut diags = verify_ir(&k.func);
+
+    // Address-level passes, with the kernel's real arguments.
+    diags.extend(static_memdeps(&k.func, &k.args).diags);
+    let (lo, hi) = k.footprint;
+    let region = MemRegion {
+        lo,
+        hi,
+        label: "footprint".into(),
+    };
+    diags.extend(check_bounds(&k.func, &k.args, &[region]));
+
+    // Schedule bound under the same resources a default standalone run
+    // would get, cross-checked against its watchdog horizon.
+    let cfg = StandaloneConfig::default();
+    let profile = hw_profile::HardwareProfile::default_40nm();
+    let cdfg = StaticCdfg::elaborate(&k.func, &profile, &FuConstraints::unconstrained());
+    let (prof, _) = profile_memdeps(&k.func, &k.args, &k.init);
+    let trips: HashMap<_, _> = prof.block_entries.clone();
+    let report = static_lower_bound(&k.func, &cdfg, &trips, &BoundConfig::default());
+    diags.extend(check_schedule(&report, cfg.engine.deadlock_cycles));
+
+    let bound_line = bounds.then(|| {
+        format!(
+            "bounds: {} lower_bound={} chain={} fu={} mem=({},{})",
+            k.name,
+            report.lower_bound,
+            report.chain_floor,
+            report
+                .fu_floor
+                .as_ref()
+                .map(|(kind, c)| format!("{kind}:{c}"))
+                .unwrap_or_else(|| "-".into()),
+            report.mem_floor.0,
+            report.mem_floor.1,
+        )
+    });
+    (diags, bound_line)
+}
+
+fn main() {
+    let mut targets: Vec<String> = Vec::new();
+    let (mut json, mut deny_warnings, mut bounds) = (false, false, false);
+    let mut out: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--bounds" => bounds = true,
+            "--deny" => match argv.next().as_deref() {
+                Some("warnings") => deny_warnings = true,
+                _ => usage(),
+            },
+            "--out" => match argv.next() {
+                Some(f) => out = Some(f),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if a.starts_with('-') => usage(),
+            _ => targets.push(a),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets.retain(|t| t != "all");
+        for b in Bench::ALL {
+            targets.push(b.label().to_ascii_lowercase());
+        }
+    }
+
+    // (target name, diagnostics) in target order.
+    let mut results: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+    let mut bound_lines: Vec<String> = Vec::new();
+    for t in &targets {
+        let diags = if let Some(b) = bench_by_name(t) {
+            let k = b.build_standard();
+            let (diags, bound) = lint_kernel(&k, bounds);
+            bound_lines.extend(bound);
+            diags
+        } else if t.ends_with(".ll") {
+            match std::fs::read_to_string(t) {
+                Ok(text) => match parse_and_verify(&text) {
+                    Ok((_, diags)) => diags,
+                    Err(d) => vec![d],
+                },
+                Err(e) => {
+                    eprintln!("salam_lint: cannot read {t}: {e}");
+                    std::process::exit(2)
+                }
+            }
+        } else {
+            eprintln!("salam_lint: unknown target '{t}' (not a kernel name or .ll file)");
+            usage()
+        };
+        results.push((t.clone(), diags));
+    }
+
+    let all: Vec<&Diagnostic> = results.iter().flat_map(|(_, d)| d).collect();
+    let errors = all.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = all
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+
+    let json_report = {
+        let items: Vec<String> = results
+            .iter()
+            .map(|(t, diags)| {
+                format!(
+                    "{{\"target\":\"{t}\",\"diagnostics\":{}}}",
+                    salam_verify::to_json(diags)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"targets\":{},\"errors\":{},\"warnings\":{},\"results\":[{}]}}",
+            results.len(),
+            errors,
+            warnings,
+            items.join(",")
+        )
+    };
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, &json_report) {
+            eprintln!("salam_lint: cannot write {path}: {e}");
+            std::process::exit(2)
+        }
+    }
+
+    if json {
+        println!("{json_report}");
+    } else {
+        let mut t = SweepTable::new(
+            "static verification",
+            &["target", "severity", "code", "span", "message"],
+        );
+        for (target, diags) in &results {
+            for d in diags {
+                t.row(vec![
+                    target.clone(),
+                    d.severity.name().into(),
+                    d.code.into(),
+                    d.span.to_string(),
+                    d.message.clone(),
+                ]);
+            }
+        }
+        println!("{}", t.render_auto());
+    }
+    for line in &bound_lines {
+        println!("{line}");
+    }
+    println!(
+        "lint: targets={} diagnostics={} errors={} warnings={}",
+        results.len(),
+        all.len(),
+        errors,
+        warnings
+    );
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        std::process::exit(1)
+    }
+}

@@ -45,6 +45,12 @@ pub struct ClusterConfig {
     pub xbar_latency: u64,
     /// Local crossbar width in bytes per cycle.
     pub xbar_width: u32,
+    /// Run the static verifier over every accelerator function as a
+    /// pre-build gate: error-severity diagnostics abort
+    /// [`ClusterBuilder::try_build`] with [`SimError::Verify`]. Excluded
+    /// from [`ClusterConfig::canonical_repr`] — gating changes whether a
+    /// cluster builds, never what it simulates.
+    pub verify: bool,
 }
 
 impl Default for ClusterConfig {
@@ -59,6 +65,7 @@ impl Default for ClusterConfig {
             dma_inflight: 4,
             xbar_latency: 1,
             xbar_width: 8,
+            verify: false,
         }
     }
 }
@@ -80,7 +87,9 @@ pub fn scratchpad_canonical_repr(spm: &ScratchpadConfig) -> String {
 impl ClusterConfig {
     /// A canonical single-line-per-knob text form. Equal configs always
     /// produce equal strings — the design-space-exploration cache keys on
-    /// this when sweeping cluster integration scenarios.
+    /// this when sweeping cluster integration scenarios. The `verify` gate
+    /// is deliberately excluded: it never changes a built cluster's
+    /// behaviour.
     pub fn canonical_repr(&self) -> String {
         format!(
             "shared_spm_base={:#x};shared_spm_bytes={};shared_spm:[{}];dma_burst={};dma_inflight={};xbar_latency={};xbar_width={}",
@@ -186,6 +195,33 @@ impl ClusterBuilder {
         self.extra_ranges.push((lo, hi, dst));
     }
 
+    /// Static lint over the cluster as currently described, without
+    /// building anything: IR verification of every accelerator function
+    /// plus the cross-accelerator shared-SPM write-race check (`M004`)
+    /// when a shared scratchpad is configured. Returns *all* diagnostics
+    /// (infos and warnings included); [`ClusterBuilder::try_build`] with
+    /// `verify = true` rejects only on errors.
+    pub fn lint(&self) -> Vec<salam_verify::Diagnostic> {
+        let mut diags: Vec<salam_verify::Diagnostic> = self
+            .accels
+            .iter()
+            .flat_map(|d| salam_verify::verify_ir(&d.func))
+            .collect();
+        if self.cfg.shared_spm_bytes > 0 {
+            let writers: Vec<(&str, &Function)> = self
+                .accels
+                .iter()
+                .map(|d| (d.cfg.name.as_str(), &d.func))
+                .collect();
+            diags.extend(salam_verify::check_shared_spm(
+                &writers,
+                self.cfg.shared_spm_base,
+                self.cfg.shared_spm_base + self.cfg.shared_spm_bytes,
+            ));
+        }
+        diags
+    }
+
     /// Materializes the cluster into `sim`, panicking on an invalid
     /// [`ClusterConfig`]. Thin wrapper over [`ClusterBuilder::try_build`].
     ///
@@ -215,6 +251,16 @@ impl ClusterBuilder {
         upstream: &[(u64, u64, CompId)],
     ) -> Result<AcceleratorCluster, SimError> {
         self.cfg.validate()?;
+        if self.cfg.verify {
+            let errors: Vec<salam_verify::Diagnostic> = self
+                .accels
+                .iter()
+                .flat_map(|d| salam_verify::errors_only(salam_verify::verify_ir(&d.func)))
+                .collect();
+            if !errors.is_empty() {
+                return Err(SimError::Verify(errors));
+            }
+        }
         let cfg = self.cfg;
         let mut map = AddrMap::new();
 

@@ -29,6 +29,11 @@ pub struct StandaloneConfig {
     pub spm_write_ports: u32,
     /// SPM word width in bytes (for the Cacti-style power model).
     pub spm_word_bytes: u32,
+    /// Run the static verifier as a pre-run gate: error-severity
+    /// diagnostics abort the run with [`SimError::Verify`] before any
+    /// cycle is simulated. Excluded from [`StandaloneConfig::canonical_repr`] —
+    /// gating changes whether a run starts, never its result.
+    pub verify: bool,
 }
 
 impl Default for StandaloneConfig {
@@ -42,6 +47,7 @@ impl Default for StandaloneConfig {
             spm_read_ports: 2,
             spm_write_ports: 2,
             spm_word_bytes: 8,
+            verify: false,
         }
     }
 }
@@ -51,6 +57,12 @@ impl StandaloneConfig {
     pub fn with_ports(mut self, ports: u32) -> Self {
         self.spm_read_ports = ports;
         self.spm_write_ports = ports;
+        self
+    }
+
+    /// Enables the static-verification pre-run gate.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
         self
     }
 
@@ -65,6 +77,9 @@ impl StandaloneConfig {
     /// timing/ports, and the full hardware profile. Equal configs always
     /// produce equal strings; the design-space-exploration cache hashes
     /// this (together with the kernel identity) into its content address.
+    /// The `verify` gate is deliberately excluded: it decides whether a
+    /// run *starts*, never what it computes, so it must not split cache
+    /// entries.
     pub fn canonical_repr(&self) -> String {
         format!(
             "constraints: {}\nengine: {}\nspm: latency={};read_ports={};write_ports={};word_bytes={}\nprofile:\n{}",
@@ -185,6 +200,9 @@ fn try_run_kernel_traced(
     plan: Option<&FaultPlan>,
 ) -> Result<RunReport, SimError> {
     cfg.validate()?;
+    if cfg.verify {
+        salam_verify::gate(&kernel.func).map_err(SimError::Verify)?;
+    }
     let cdfg = StaticCdfg::elaborate(&kernel.func, &cfg.profile, &cfg.constraints);
     let mut mem = SimpleMem::new(cfg.spm_latency, cfg.spm_read_ports, cfg.spm_write_ports);
     kernel.load_into(mem.memory_mut());
@@ -575,6 +593,56 @@ mod tests {
             ..StandaloneConfig::default()
         };
         assert!(matches!(try_run_kernel(&k, &cfg), Err(SimError::Config(_))));
+    }
+
+    #[test]
+    fn verify_gate_passes_clean_kernels_and_rejects_broken_ir() {
+        use salam_ir::{FunctionBuilder, IntPredicate, Type};
+
+        // Clean kernel with the gate on: runs and verifies as usual, and
+        // the knob does not perturb the cache key.
+        let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 4, unroll: 1 });
+        let gated = StandaloneConfig::default().with_verify(true);
+        let r = try_run_kernel(&k, &gated).unwrap();
+        assert!(r.verified);
+        assert_eq!(
+            gated.canonical_repr(),
+            StandaloneConfig::default().canonical_repr(),
+            "verify gate must not split cache entries"
+        );
+
+        // A non-dominated use (value defined only on one branch arm, used
+        // at the join) must be rejected before the engine starts.
+        let mut fb = FunctionBuilder::new("broken", &[("p", Type::Ptr), ("n", Type::I64)]);
+        let p = fb.arg(0);
+        let n = fb.arg(1);
+        let then_b = fb.add_block("then");
+        let join = fb.add_block("join");
+        let zero = fb.i64c(0);
+        let c = fb.icmp(IntPredicate::Slt, n, zero, "c");
+        fb.cond_br(c, then_b, join);
+        fb.position_at(then_b);
+        let a = fb.load(Type::I64, p, "a");
+        fb.br(join);
+        fb.position_at(join);
+        fb.store(a, p); // `a` does not dominate this use
+        fb.ret();
+        let broken = machsuite::BuiltKernel::new(
+            "broken",
+            fb.finish(),
+            vec![
+                salam_ir::interp::RtVal::P(0x1000),
+                salam_ir::interp::RtVal::I(4),
+            ],
+            vec![(0x1000, vec![0u8; 8])],
+            Box::new(|_| Ok(())),
+        );
+        match try_run_kernel(&broken, &gated) {
+            Err(SimError::Verify(diags)) => {
+                assert!(diags.iter().any(|d| d.code == salam_verify::codes::V001));
+            }
+            other => panic!("expected a verify rejection, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   the Pareto frontier over (cycles, area, power);
 //! * **panic-isolated** — each job runs under `catch_unwind` with a bounded
 //!   retry, so one diverging design point becomes a `failed:<cause>` row
-//!   instead of killing a thousand-point campaign.
+//!   instead of killing a thousand-point campaign;
+//! * **statically screened** — [`SweepJob::validate`] runs before the cache
+//!   probe, so a point `salam-verify` rejects becomes an `invalid:<code>`
+//!   row without consuming a simulation slot or a cache entry.
 //!
 //! Everything is std-only: the workspace stays offline-buildable.
 //!
@@ -67,6 +70,14 @@ pub trait SweepJob: Sync {
 
     /// The point's content identity. Equal ids ⇒ interchangeable results.
     fn cache_id(&self) -> CacheId;
+
+    /// Static pre-flight check. A rejected point becomes an
+    /// `invalid:<code>` row without consuming a simulation slot or a cache
+    /// entry — the sweep engine never calls [`SweepJob::run`] (or even
+    /// probes the cache) for it. The default accepts everything.
+    fn validate(&self) -> Result<(), salam_verify::Diagnostic> {
+        Ok(())
+    }
 
     /// Simulates the point from scratch.
     fn run(&self) -> Self::Output;
@@ -172,12 +183,42 @@ impl std::fmt::Display for JobFailure {
     }
 }
 
+/// Why a design point has no payload: its job panicked out of the retry
+/// budget, or a static pre-flight check rejected it before any simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointError {
+    /// The job panicked on every attempt.
+    Failed(JobFailure),
+    /// [`SweepJob::validate`] rejected the point; it never simulated.
+    Invalid(salam_verify::Diagnostic),
+}
+
+impl PointError {
+    /// The stable row label: `failed:<cause>` or `invalid:<code>`.
+    pub fn label(&self) -> String {
+        match self {
+            PointError::Failed(f) => f.label(),
+            PointError::Invalid(d) => format!("invalid:{}", d.code),
+        }
+    }
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PointError::Failed(j) => j.fmt(f),
+            PointError::Invalid(d) => write!(f, "invalid design point: {d}"),
+        }
+    }
+}
+
 /// One point's result plus its provenance.
 #[derive(Debug, Clone)]
 pub struct PointOutcome<T> {
     /// The simulation result (fresh or from the cache — byte-equivalent),
-    /// or the failure that exhausted the retry budget.
-    pub result: Result<T, JobFailure>,
+    /// the failure that exhausted the retry budget, or the diagnostic that
+    /// invalidated the point before it ran.
+    pub result: Result<T, PointError>,
     /// Served from the result cache without simulating.
     pub from_cache: bool,
 }
@@ -190,12 +231,24 @@ impl<T> PointOutcome<T> {
 
     /// The failure, if the point's job panicked out.
     pub fn failure(&self) -> Option<&JobFailure> {
-        self.result.as_ref().err()
+        match &self.result {
+            Err(PointError::Failed(f)) => Some(f),
+            _ => None,
+        }
     }
 
-    /// `failed:<cause>` for failed points, `None` otherwise.
+    /// The diagnostic, if the point was statically rejected.
+    pub fn invalid(&self) -> Option<&salam_verify::Diagnostic> {
+        match &self.result {
+            Err(PointError::Invalid(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// `failed:<cause>` / `invalid:<code>` for pointless points, `None`
+    /// otherwise.
     pub fn failure_label(&self) -> Option<String> {
-        self.failure().map(JobFailure::label)
+        self.result.as_ref().err().map(PointError::label)
     }
 
     /// The payload, panicking with the failure cause when the point failed.
@@ -222,6 +275,9 @@ pub struct SweepRun<T> {
     pub corrupt: usize,
     /// Points whose job panicked on every attempt.
     pub failed: usize,
+    /// Points statically rejected by [`SweepJob::validate`] — never
+    /// simulated, never cached.
+    pub invalid: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the whole sweep.
@@ -229,15 +285,16 @@ pub struct SweepRun<T> {
 }
 
 impl<T> SweepRun<T> {
-    /// `hits=h misses=m corrupt=c failed=f workers=w points=n wall=…` — one
-    /// stable line for logs and CI assertions.
+    /// `hits=h misses=m corrupt=c failed=f invalid=i workers=w points=n
+    /// wall=…` — one stable line for logs and CI assertions.
     pub fn summary(&self) -> String {
         format!(
-            "hits={} misses={} corrupt={} failed={} workers={} points={} wall={:.3}s",
+            "hits={} misses={} corrupt={} failed={} invalid={} workers={} points={} wall={:.3}s",
             self.hits,
             self.misses,
             self.corrupt,
             self.failed,
+            self.invalid,
             self.workers,
             self.outcomes.len(),
             self.wall.as_secs_f64()
@@ -289,13 +346,23 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
         Hit,
         Miss,
         Corrupt,
+        Invalid,
     }
 
-    type Isolated<T> = (Provenance, Result<T, JobFailure>);
+    type Isolated<T> = (Provenance, Result<T, PointError>);
     let results: Vec<Isolated<J::Output>> = run_parallel(jobs.len(), workers, |i| {
         let job = &jobs[i];
+        // Pre-flight before the cache probe: an invalid point must not
+        // consume a simulation slot, and caching it would make a later fix
+        // of the validator invisible.
+        if let Err(d) = job.validate() {
+            return (Provenance::Invalid, Err(PointError::Invalid(d)));
+        }
         let Some(cache) = &cache else {
-            return (Provenance::Miss, run_isolated(job, retries));
+            return (
+                Provenance::Miss,
+                run_isolated(job, retries).map_err(PointError::Failed),
+            );
         };
         let id = job.cache_id();
         let (provenance, result) = match cache.lookup::<J::Output>(&id) {
@@ -311,7 +378,7 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
                 );
             }
         }
-        (provenance, result)
+        (provenance, result.map_err(PointError::Failed))
     });
 
     let wall = t0.elapsed();
@@ -321,6 +388,7 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
         misses: 0,
         corrupt: 0,
         failed: 0,
+        invalid: 0,
         workers,
         wall,
     };
@@ -338,8 +406,12 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
                 run.corrupt += 1;
                 false
             }
+            Provenance::Invalid => {
+                run.invalid += 1;
+                false
+            }
         };
-        if result.is_err() {
+        if matches!(result, Err(PointError::Failed(_))) {
             run.failed += 1;
         }
         run.outcomes.push(PointOutcome { result, from_cache });

@@ -281,6 +281,21 @@ impl SweepJob for StandalonePoint {
         )
     }
 
+    /// A nonsensical configuration (zero ports, zero word size, …) is
+    /// rejected as a `C001` diagnostic instead of panicking a worker:
+    /// axis grids routinely sweep a knob through zero.
+    fn validate(&self) -> Result<(), salam_verify::Diagnostic> {
+        use salam_verify::{codes, Diagnostic, Span};
+        self.config.validate().map_err(|e| match e {
+            salam::SimError::Config(c) => Diagnostic::error(
+                codes::C001,
+                Span::default(),
+                format!("{}.{}: {}", c.component, c.field, c.detail),
+            ),
+            other => Diagnostic::error(codes::C001, Span::default(), other.to_string()),
+        })
+    }
+
     fn run(&self) -> RunReport {
         run_kernel(&self.kernel.build(), &self.config)
     }

@@ -282,6 +282,48 @@ fn sweep_survives_a_panicking_job() {
     let _ = std::fs::remove_dir_all(clean_dir);
 }
 
+/// A statically invalid point — here a zero-port SPM, the kind of value an
+/// axis grid sweeps through naturally — must become an `invalid:<code>` row
+/// without ever simulating or touching the cache.
+#[test]
+fn invalid_point_consumes_no_simulation_slot_or_cache_entry() {
+    let spec = SweepSpec::new("invalid", StandaloneConfig::default())
+        .kernel(KernelSpec::custom("gemm[n=4,u=1]", || {
+            machsuite::gemm::build(&machsuite::gemm::Params { n: 4, unroll: 1 })
+        }))
+        .axis(Axis::spm_ports(&[0, 2]));
+    let points = spec.points();
+    assert_eq!(points.len(), 2);
+
+    let dir = scratch_cache("invalid");
+    let opts = DseOptions::default().with_workers(2).with_cache_dir(&dir);
+    let run = run_sweep(&points, &opts);
+
+    assert_eq!(run.invalid, 1);
+    assert_eq!(run.failed, 0, "a screened point is not a failure");
+    assert_eq!(run.misses, 1, "only the valid point simulates");
+    assert!(run.summary().contains("failed=0 invalid=1"));
+
+    let bad = &run.outcomes[0];
+    assert!(bad.payload().is_none());
+    assert_eq!(bad.failure_label().as_deref(), Some("invalid:C001"));
+    let diag = bad.invalid().expect("carries the rejecting diagnostic");
+    assert_eq!(diag.code, "C001");
+    assert!(diag.message.contains("spm_read_ports"), "{}", diag.message);
+    run.outcomes[1].expect_payload();
+
+    // No cache entry was written for the invalid point, and a re-run
+    // screens it again rather than serving anything stale.
+    let cache = salam_dse::ResultCache::at(&dir);
+    assert!(!cache.entry_path(&points[0].cache_id()).exists());
+    let second = run_sweep(&points, &opts);
+    assert_eq!(second.invalid, 1);
+    assert_eq!(second.hits, 1);
+    assert!(!second.outcomes[0].from_cache);
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 /// The satellite-1 pattern end-to-end: each worker thread records into its
 /// own `TraceRecorder` via a thread-local `SharedTrace` (now `Send + Sync`),
 /// and the per-worker traces merge into one coherent, time-sorted timeline.

@@ -134,6 +134,9 @@ pub enum SimError {
         /// The underlying interpreter error.
         detail: String,
     },
+    /// Static verification rejected the input before the run started
+    /// (error-severity `salam-verify` diagnostics).
+    Verify(Vec<salam_verify::Diagnostic>),
 }
 
 impl SimError {
@@ -152,12 +155,13 @@ impl SimError {
     }
 
     /// A short stable label for outcome classification and failed-row
-    /// reporting: `config` / `deadlock` / `kernel-fault`.
+    /// reporting: `config` / `deadlock` / `kernel-fault` / `verify`.
     pub fn label(&self) -> &'static str {
         match self {
             SimError::Config(_) => "config",
             SimError::Deadlock(_) => "deadlock",
             SimError::KernelFault { .. } => "kernel-fault",
+            SimError::Verify(_) => "verify",
         }
     }
 }
@@ -175,6 +179,17 @@ impl fmt::Display for SimError {
                 detail,
             } => {
                 write!(f, "runtime fault in @{kernel} at cycle {cycle}: {detail}")
+            }
+            SimError::Verify(diags) => {
+                let first = diags
+                    .first()
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "no diagnostics".to_string());
+                write!(
+                    f,
+                    "static verification rejected the input ({} error(s)): {first}",
+                    diags.len()
+                )
             }
         }
     }
@@ -381,6 +396,20 @@ mod tests {
             "invalid engine config: deadlock_cycles: must be nonzero"
         );
         assert_eq!(e.label(), "config");
+    }
+
+    #[test]
+    fn verify_error_carries_diagnostics() {
+        use salam_verify::{codes, Diagnostic, Span};
+        let e = SimError::Verify(vec![Diagnostic::error(
+            codes::V001,
+            Span::block("gemm", "body"),
+            "use before def",
+        )]);
+        let msg = e.to_string();
+        assert!(msg.contains("static verification rejected"), "{msg}");
+        assert!(msg.contains("V001"), "{msg}");
+        assert_eq!(e.label(), "verify");
     }
 
     #[test]

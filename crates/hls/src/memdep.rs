@@ -3,197 +3,12 @@
 //! A static scheduler cannot see that `m[i][j]` written in one iteration is
 //! read as `m[i][j-1]` in the next (Needleman–Wunsch's pattern), yet such
 //! recurrences bound the initiation interval of both real HLS designs and
-//! the SALAM runtime engine. This module detects them the way an HLS
-//! co-simulation would: by profiling actual addresses and recording
-//! store→load conflicts together with their iteration distance.
+//! the SALAM runtime engine.
+//!
+//! The implementation lives in [`salam_verify::memdep`] so the HLS
+//! scheduler and the static hazard lint agree on dependence edges by
+//! construction; this module re-exports it under the historical path (the
+//! scheduler's `estimate_cycles` keeps taking `Option<&MemDeps>`
+//! unchanged).
 
-use std::collections::HashMap;
-
-use salam_ir::analysis::{find_natural_loops, Cfg, DomTree};
-use salam_ir::interp::{run_function, Memory, Observer, ProfileObserver, RtVal, SparseMemory};
-use salam_ir::{BlockId, Function, InstId, Opcode};
-
-/// Loop-carried RAW memory dependences, keyed by loop header: each entry is
-/// `(load, store, iteration distance)` meaning the load at distance `d`
-/// iterations after the store reads the store's address.
-#[derive(Debug, Clone, Default)]
-pub struct MemDeps {
-    pub(crate) by_header: HashMap<BlockId, Vec<(InstId, InstId, u64)>>,
-}
-
-impl MemDeps {
-    /// Dependences recorded for the loop headed at `header`.
-    pub fn for_header(&self, header: BlockId) -> &[(InstId, InstId, u64)] {
-        self.by_header
-            .get(&header)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
-    }
-
-    /// Total recorded dependences.
-    pub fn len(&self) -> usize {
-        self.by_header.values().map(Vec::len).sum()
-    }
-
-    /// Whether any dependences were found.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// All recorded distances (diagnostics).
-    pub fn by_header_distances(&self) -> Vec<u64> {
-        self.by_header
-            .values()
-            .flatten()
-            .map(|&(_, _, d)| d)
-            .collect()
-    }
-}
-
-struct DepObserver {
-    /// innermost loop header per instruction (if any).
-    inst_loop: HashMap<InstId, BlockId>,
-    /// iteration clock per header.
-    header_clock: HashMap<BlockId, u64>,
-    /// address -> (store inst, its loop header, header clock at store).
-    last_store: HashMap<u64, (InstId, BlockId, u64)>,
-    /// (header, load, store) -> min distance.
-    found: HashMap<(BlockId, InstId, InstId), u64>,
-    profile: ProfileObserver,
-}
-
-impl Observer for DepObserver {
-    fn on_block_enter(&mut self, f: &Function, b: BlockId) {
-        *self.header_clock.entry(b).or_insert(0) += 1;
-        self.profile.on_block_enter(f, b);
-    }
-
-    fn on_inst(&mut self, f: &Function, id: InstId, result: Option<&RtVal>, mem_addr: Option<u64>) {
-        self.profile.on_inst(f, id, result, mem_addr);
-        let Some(addr) = mem_addr else { return };
-        match f.inst(id).op {
-            Opcode::Store => {
-                if let Some(&header) = self.inst_loop.get(&id) {
-                    let clock = self.header_clock.get(&header).copied().unwrap_or(0);
-                    self.last_store.insert(addr, (id, header, clock));
-                } else {
-                    self.last_store.remove(&addr);
-                }
-            }
-            Opcode::Load => {
-                let Some(&(store, s_header, s_clock)) = self.last_store.get(&addr) else {
-                    return;
-                };
-                let Some(&l_header) = self.inst_loop.get(&id) else {
-                    return;
-                };
-                if l_header != s_header {
-                    return;
-                }
-                let now = self.header_clock.get(&l_header).copied().unwrap_or(0);
-                let distance = now.saturating_sub(s_clock);
-                if distance >= 1 {
-                    let e = self.found.entry((l_header, id, store)).or_insert(distance);
-                    *e = (*e).min(distance);
-                }
-            }
-            _ => {}
-        }
-    }
-}
-
-/// Profiles `f` and returns block trip counts plus loop-carried memory
-/// dependences for its innermost loops.
-///
-/// # Panics
-///
-/// Panics if the reference execution faults.
-pub fn profile_memdeps(
-    f: &Function,
-    args: &[RtVal],
-    init: &[(u64, Vec<u8>)],
-) -> (ProfileObserver, MemDeps) {
-    let cfg = Cfg::new(f);
-    let dom = DomTree::new(f, &cfg);
-    let loops = find_natural_loops(f, &cfg, &dom);
-    let innermost: Vec<_> = loops
-        .iter()
-        .filter(|l| {
-            !loops
-                .iter()
-                .any(|o| o.header != l.header && l.blocks.contains(&o.header))
-        })
-        .collect();
-    let mut inst_loop = HashMap::new();
-    for l in &innermost {
-        for &b in &l.blocks {
-            for &i in &f.block(b).insts {
-                inst_loop.insert(i, l.header);
-            }
-        }
-    }
-    let mut obs = DepObserver {
-        inst_loop,
-        header_clock: HashMap::new(),
-        last_store: HashMap::new(),
-        found: HashMap::new(),
-        profile: ProfileObserver::default(),
-    };
-    let mut mem = SparseMemory::new();
-    for (addr, bytes) in init {
-        mem.write(*addr, bytes);
-    }
-    run_function(f, args, &mut mem, &mut obs, 500_000_000).expect("profiling run");
-
-    let mut deps = MemDeps::default();
-    for ((header, load, store), distance) in obs.found {
-        deps.by_header
-            .entry(header)
-            .or_default()
-            .push((load, store, distance));
-    }
-    (obs.profile, deps)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn nw_has_distance_one_recurrence() {
-        let k = machsuite::nw::build(&machsuite::nw::Params { alen: 8, blen: 8 });
-        let (_, deps) = profile_memdeps(&k.func, &k.args, &k.init);
-        assert!(!deps.is_empty(), "NW's DP recurrence must be detected");
-        let min_dist = deps
-            .by_header
-            .values()
-            .flatten()
-            .map(|&(_, _, d)| d)
-            .min()
-            .unwrap();
-        assert_eq!(min_dist, 1, "m[i][j-1] is read one iteration later");
-    }
-
-    #[test]
-    fn gemm_has_no_loop_carried_memory_raw() {
-        let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 4, unroll: 1 });
-        let (_, deps) = profile_memdeps(&k.func, &k.args, &k.init);
-        assert!(deps.is_empty(), "GEMM reads A/B and writes C: {deps:?}");
-    }
-
-    #[test]
-    fn fft_butterflies_do_not_conflict_across_iterations() {
-        let k = machsuite::fft::build(&machsuite::fft::Params { n: 16 });
-        let (_, deps) = profile_memdeps(&k.func, &k.args, &k.init);
-        // Butterfly addresses within one stage are disjoint; the in-place
-        // update conflicts only across *stages* (outer loop), giving large
-        // or no distances inside the inner loop.
-        let d1 = deps
-            .by_header
-            .values()
-            .flatten()
-            .filter(|&&(_, _, d)| d == 1)
-            .count();
-        assert_eq!(d1, 0, "no distance-1 recurrences inside a stage");
-    }
-}
+pub use salam_verify::memdep::{profile_memdeps, MemDeps};

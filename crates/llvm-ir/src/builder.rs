@@ -5,6 +5,34 @@ use crate::inst::{FloatPredicate, Inst, IntPredicate, Opcode};
 use crate::types::Type;
 use crate::value::{Constant, ValueId};
 
+/// Builder misuse caught at emission time instead of a panic.
+///
+/// The panicking builder methods (`arg`, `iconst`, `add_incoming`, …)
+/// remain the ergonomic default for hand-written kernels; the `try_*`
+/// variants return this error for callers assembling IR from untrusted
+/// input (e.g. a parsed module or a config-driven generator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// Description of the misuse.
+    pub message: String,
+}
+
+impl BuildError {
+    fn new(message: impl Into<String>) -> Self {
+        BuildError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "builder misuse: {}", self.message)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// Builds a [`Function`] instruction by instruction.
 ///
 /// This is the programmatic stand-in for compiling C through clang: the
@@ -59,7 +87,19 @@ impl FunctionBuilder {
     ///
     /// Panics if `i` is out of range.
     pub fn arg(&self, i: usize) -> ValueId {
-        self.func.arg_value(i)
+        self.try_arg(i).unwrap()
+    }
+
+    /// Fallible [`FunctionBuilder::arg`].
+    pub fn try_arg(&self, i: usize) -> Result<ValueId, BuildError> {
+        if i >= self.func.params.len() {
+            return Err(BuildError::new(format!(
+                "argument index {i} out of range for `{}` ({} parameters)",
+                self.func.name,
+                self.func.params.len()
+            )));
+        }
+        Ok(self.func.arg_value(i))
     }
 
     /// Read access to the function being built.
@@ -75,9 +115,22 @@ impl FunctionBuilder {
     // ----- constants -------------------------------------------------------
 
     /// An integer constant of the given type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not an integer type.
     pub fn iconst(&mut self, ty: Type, v: i64) -> ValueId {
-        assert!(ty.is_int(), "iconst requires an integer type");
-        self.func.const_value(Constant::Int { ty, value: v })
+        self.try_iconst(ty, v).unwrap()
+    }
+
+    /// Fallible [`FunctionBuilder::iconst`].
+    pub fn try_iconst(&mut self, ty: Type, v: i64) -> Result<ValueId, BuildError> {
+        if !ty.is_int() {
+            return Err(BuildError::new(format!(
+                "iconst requires an integer type, got {ty}"
+            )));
+        }
+        Ok(self.func.const_value(Constant::Int { ty, value: v }))
     }
 
     /// An `i32` constant.
@@ -259,6 +312,18 @@ impl FunctionBuilder {
         self.emit(Opcode::Load, ty, vec![ptr], name)
     }
 
+    /// Fallible [`FunctionBuilder::load`]: rejects non-pointer addresses at
+    /// emission time instead of failing verification later.
+    pub fn try_load(&mut self, ty: Type, ptr: ValueId, name: &str) -> Result<ValueId, BuildError> {
+        let pt = self.func.value_type(ptr);
+        if pt != Type::Ptr {
+            return Err(BuildError::new(format!(
+                "load address must be a pointer, got {pt}"
+            )));
+        }
+        Ok(self.emit(Opcode::Load, ty, vec![ptr], name))
+    }
+
     /// Stores `value` to `ptr`.
     pub fn store(&mut self, value: ValueId, ptr: ValueId) {
         self.emit_void(Opcode::Store, vec![value, ptr], vec![]);
@@ -368,10 +433,26 @@ impl FunctionBuilder {
     ///
     /// Panics if `phi` is not a `phi` instruction.
     pub fn add_incoming(&mut self, phi: InstId, value: ValueId, from: BlockId) {
+        self.try_add_incoming(phi, value, from).unwrap()
+    }
+
+    /// Fallible [`FunctionBuilder::add_incoming`].
+    pub fn try_add_incoming(
+        &mut self,
+        phi: InstId,
+        value: ValueId,
+        from: BlockId,
+    ) -> Result<(), BuildError> {
         let inst = self.func.inst_mut(phi);
-        assert_eq!(inst.op, Opcode::Phi, "add_incoming on non-phi");
+        if inst.op != Opcode::Phi {
+            return Err(BuildError::new(format!(
+                "add_incoming on non-phi instruction `{}`",
+                inst.op.mnemonic()
+            )));
+        }
         inst.operands.push(value);
         inst.block_refs.push(from);
+        Ok(())
     }
 
     /// `select i1 %cond, %then, %else`.

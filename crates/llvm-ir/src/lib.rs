@@ -64,7 +64,7 @@ mod verify;
 pub mod analysis;
 pub mod passes;
 
-pub use builder::FunctionBuilder;
+pub use builder::{BuildError, FunctionBuilder};
 pub use function::{Block, BlockId, Function, InstId, Module, Param};
 pub use inst::{FloatPredicate, Inst, IntPredicate, Opcode};
 pub use parser::{parse_module, ParseError};

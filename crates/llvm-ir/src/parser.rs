@@ -366,7 +366,10 @@ impl Parser {
                     Some(Tok::LocalRef(_)) => {
                         let result = match self.next() {
                             Some(Tok::LocalRef(n)) => n,
-                            _ => unreachable!(),
+                            other => {
+                                return self
+                                    .err(format!("expected a local reference, found {other:?}"))
+                            }
                         };
                         self.expect_punct('=')?;
                         let line = self.line();

@@ -1,0 +1,311 @@
+//! The one diagnostic currency every salam-verify pass reports through.
+//!
+//! A [`Diagnostic`] is a severity, a **stable code**, a source location
+//! ([`Span`]) and a message. Codes never change meaning once shipped — CI
+//! scripts, the DSE `invalid:<code>` rows and the `salam_lint` exit logic
+//! all key on them. The full registry lives in [`codes`].
+
+use std::fmt;
+
+use salam_ir::{BuildError, ParseError};
+
+/// How bad a finding is. Ordering is `Info < Warning < Error`, so
+/// `diags.iter().map(|d| d.severity).max()` yields the worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Noteworthy structure (e.g. a loop-carried recurrence that bounds II).
+    Info,
+    /// Suspicious but not certainly wrong; `--deny warnings` promotes these.
+    Warning,
+    /// A definite violation; gated runs refuse to start.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase stable name (`info` / `warning` / `error`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a diagnostic points: the function and, when known, the block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Function name (empty for module- or config-level findings).
+    pub function: String,
+    /// Block name, when the finding is block-local.
+    pub block: Option<String>,
+}
+
+impl Span {
+    /// A function-level span.
+    pub fn func(function: impl Into<String>) -> Self {
+        Span {
+            function: function.into(),
+            block: None,
+        }
+    }
+
+    /// A block-level span.
+    pub fn block(function: impl Into<String>, block: impl Into<String>) -> Self {
+        Span {
+            function: function.into(),
+            block: Some(block.into()),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            return f.write_str("<config>");
+        }
+        write!(f, "@{}", self.function)?;
+        if let Some(b) = &self.block {
+            write!(f, " %{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding from a static pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Stable code from [`codes`] (e.g. `V001`).
+    pub code: &'static str,
+    /// Where it points.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        severity: Severity,
+        code: &'static str,
+        span: Span,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            code,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// An [`Severity::Error`] diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Error, code, span, message)
+    }
+
+    /// A [`Severity::Warning`] diagnostic.
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Warning, code, span, message)
+    }
+
+    /// An [`Severity::Info`] diagnostic.
+    pub fn info(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Info, code, span, message)
+    }
+
+    /// One JSON object (hand-rolled; the workspace is dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"severity\":\"{}\",\"code\":\"{}\",\"function\":\"{}\",\"block\":{},\"message\":\"{}\"}}",
+            self.severity,
+            self.code,
+            json_escape(&self.span.function),
+            match &self.span.block {
+                Some(b) => format!("\"{}\"", json_escape(b)),
+                None => "null".to_string(),
+            },
+            json_escape(&self.message),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Number of [`Severity::Error`] diagnostics.
+pub fn error_count(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+}
+
+/// Number of [`Severity::Warning`] diagnostics.
+pub fn warning_count(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count()
+}
+
+/// Keeps only the errors (the set a pre-run gate rejects on).
+pub fn errors_only(diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect()
+}
+
+/// A JSON array of diagnostics.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Parse failures surface as `P001` errors at module scope.
+impl From<ParseError> for Diagnostic {
+    fn from(e: ParseError) -> Self {
+        Diagnostic::error(
+            codes::P001,
+            Span::default(),
+            format!("parse error at line {}: {}", e.line, e.message),
+        )
+    }
+}
+
+/// Builder misuse surfaces as `B001` errors.
+impl From<BuildError> for Diagnostic {
+    fn from(e: BuildError) -> Self {
+        Diagnostic::error(codes::B001, Span::default(), e.message)
+    }
+}
+
+/// The stable code registry. A code is never reused for a different
+/// meaning; new checks get new codes.
+pub mod codes {
+    /// SSA violation: use before def / use not dominated by definition.
+    pub const V001: &str = "V001";
+    /// Operand or result type mismatch for an opcode.
+    pub const V002: &str = "V002";
+    /// CFG structure: terminator placement, empty block, phi not at block
+    /// head, phi in entry.
+    pub const V003: &str = "V003";
+    /// Phi incoming blocks do not match CFG predecessors (or arity broken).
+    pub const V004: &str = "V004";
+    /// Unreachable block (lint).
+    pub const V005: &str = "V005";
+    /// Dead value: an instruction result never used (lint).
+    pub const V006: &str = "V006";
+    /// Integer cast does not change width in the required direction.
+    pub const V007: &str = "V007";
+    /// Loop-carried RAW memory dependence (recurrence; bounds the II).
+    pub const M001: &str = "M001";
+    /// Same-address WAW: two stores statically hit one location.
+    pub const M002: &str = "M002";
+    /// Out-of-bounds: a statically-resolved access escapes its region.
+    pub const M003: &str = "M003";
+    /// Shared-SPM race: two accelerators statically write overlapping
+    /// ranges of the cluster's shared scratchpad.
+    pub const M004: &str = "M004";
+    /// Static schedule bound conflicts with the watchdog threshold.
+    pub const S001: &str = "S001";
+    /// Textual IR parse error.
+    pub const P001: &str = "P001";
+    /// FunctionBuilder misuse.
+    pub const B001: &str = "B001";
+    /// Invalid configuration knob (pre-run validation).
+    pub const C001: &str = "C001";
+
+    /// `(code, one-line description)` for every registered code, in order.
+    pub const ALL: &[(&str, &str)] = &[
+        (V001, "use before def / definition does not dominate use"),
+        (V002, "operand or result type mismatch"),
+        (V003, "terminator/CFG structure violation"),
+        (V004, "phi incoming blocks do not match predecessors"),
+        (V005, "unreachable block"),
+        (V006, "dead value (result never used)"),
+        (V007, "bad integer cast width"),
+        (M001, "loop-carried RAW memory dependence"),
+        (M002, "same-address WAW between stores"),
+        (M003, "statically out-of-bounds memory access"),
+        (M004, "shared-SPM write race between accelerators"),
+        (S001, "static schedule bound vs watchdog threshold"),
+        (P001, "textual IR parse error"),
+        (B001, "builder misuse"),
+        (C001, "invalid configuration knob"),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_names() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.name(), "error");
+    }
+
+    #[test]
+    fn display_and_json_are_stable() {
+        let d = Diagnostic::error(codes::V001, Span::block("f", "b"), "msg \"x\"");
+        assert_eq!(d.to_string(), "error[V001] @f %b: msg \"x\"");
+        assert_eq!(
+            d.to_json(),
+            "{\"severity\":\"error\",\"code\":\"V001\",\"function\":\"f\",\"block\":\"b\",\"message\":\"msg \\\"x\\\"\"}"
+        );
+        assert!(to_json(&[d.clone(), d]).starts_with("[{"));
+    }
+
+    #[test]
+    fn counts_filter_by_severity() {
+        let ds = vec![
+            Diagnostic::info(codes::M001, Span::default(), "i"),
+            Diagnostic::warning(codes::V005, Span::default(), "w"),
+            Diagnostic::error(codes::V001, Span::default(), "e"),
+        ];
+        assert_eq!(error_count(&ds), 1);
+        assert_eq!(warning_count(&ds), 1);
+        assert_eq!(errors_only(ds).len(), 1);
+    }
+
+    #[test]
+    fn code_registry_is_unique() {
+        let mut seen: Vec<&str> = codes::ALL.iter().map(|&(c, _)| c).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), codes::ALL.len());
+    }
+}

@@ -1,0 +1,411 @@
+//! Static schedule bounds: ASAP/ALAP levels over the static CDFG and a
+//! provable lower bound on dynamic cycle count.
+//!
+//! The bound is the maximum of three floors, each of which the runtime
+//! engine cannot beat by construction:
+//!
+//! 1. **Chain floor** — successive basic-block executions serialize
+//!    through their terminators (the engine imports the next block only
+//!    once the branch evaluates), so the run takes at least
+//!    `Σ trips(b) · asap(terminator of b)` cycles, where ASAP levels are
+//!    latency-weighted along in-block dependency chains (latency-0 wiring
+//!    ops chain within a cycle and contribute 0; loads/stores contribute
+//!    at least 1 cycle of port latency).
+//! 2. **FU floor** — a pool of `n` non-pipelined units of one kind can
+//!    deliver at most `n` busy-cycles per cycle, so
+//!    `ceil(Σ trips·latency / n)` cycles are needed per kind (with
+//!    `pipelined_fus`, occupancy drops to 1 cycle per op).
+//! 3. **Memory floor** — `read_ports` loads and `write_ports` stores
+//!    issue per cycle at most: `ceil(dynamic loads / read_ports)` and
+//!    likewise for stores.
+//!
+//! Block trip counts come from a profiling run ([`ProfileObserver`]'s
+//! `block_entries`) or any other oracle; the bound is exact with respect
+//! to the trips it is given. The cross-check `static_lower_bound ≤
+//! dynamic cycles` is asserted for all MachSuite kernels in
+//! `crates/bench/tests/verify.rs` — a violated bound means either the
+//! engine or this analysis is wrong, which is the point.
+
+use std::collections::HashMap;
+
+use salam_cdfg::StaticCdfg;
+use salam_ir::{BlockId, Function, InstId, Opcode, ValueKind};
+
+use crate::diag::{codes, Diagnostic, Span};
+
+/// The throughput knobs the bound must respect, mirroring the engine/SPM
+/// configuration a run will actually use. Defaults match
+/// `StandaloneConfig::default()` (2R/2W SPM, unpipelined FUs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundConfig {
+    /// SPM read ports per cycle.
+    pub read_ports: u32,
+    /// SPM write ports per cycle.
+    pub write_ports: u32,
+    /// Whether FUs are fully pipelined (II = 1).
+    pub pipelined_fus: bool,
+}
+
+impl Default for BoundConfig {
+    fn default() -> Self {
+        BoundConfig {
+            read_ports: 2,
+            write_ports: 2,
+            pipelined_fus: false,
+        }
+    }
+}
+
+/// Per-block static schedule levels.
+#[derive(Debug, Clone)]
+pub struct BlockBound {
+    /// The block.
+    pub block: BlockId,
+    /// Its name.
+    pub name: String,
+    /// Dynamic executions.
+    pub trips: u64,
+    /// Latency-weighted critical path through the whole block DAG.
+    pub crit_path: u64,
+    /// ASAP level of the terminator — the provable serial cost of one
+    /// execution.
+    pub term_level: u64,
+}
+
+/// Latency-weighted ASAP/ALAP levels and slack for one instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct OpSlack {
+    /// The instruction.
+    pub inst: InstId,
+    /// Earliest start relative to block entry.
+    pub asap: u64,
+    /// Latest start that keeps the block's critical path.
+    pub alap: u64,
+    /// `alap - asap`; zero means the op is on the critical path.
+    pub slack: u64,
+}
+
+/// The full static bound report for one kernel/config pair.
+#[derive(Debug, Clone)]
+pub struct BoundReport {
+    /// Function name.
+    pub func_name: String,
+    /// The provable lower bound on dynamic cycles.
+    pub lower_bound: u64,
+    /// Floor 1: serialized terminator chains.
+    pub chain_floor: u64,
+    /// Floor 2: the binding-est FU pool, as `(kind name, cycles)`.
+    pub fu_floor: Option<(String, u64)>,
+    /// Floor 3: `(load cycles, store cycles)` through the memory ports.
+    pub mem_floor: (u64, u64),
+    /// Per-block levels.
+    pub blocks: Vec<BlockBound>,
+    /// ASAP/ALAP slack per instruction (block-relative levels).
+    pub slacks: Vec<OpSlack>,
+}
+
+impl BoundReport {
+    /// Ops with zero slack — the static critical path the paper's
+    /// elaboration would pipeline first.
+    pub fn critical_ops(&self) -> impl Iterator<Item = &OpSlack> + '_ {
+        self.slacks.iter().filter(|s| s.slack == 0)
+    }
+}
+
+/// Cycle weight of one instruction along a dependency chain: CDFG latency
+/// for compute ops (latency-0 wiring forwards within the issue cycle),
+/// and at least one cycle of port latency for memory ops.
+fn chain_weight(cdfg: &StaticCdfg, f: &Function, id: InstId) -> u64 {
+    let lat = cdfg.op(id).latency as u64;
+    match f.inst(id).op {
+        Opcode::Load | Opcode::Store => lat.max(1),
+        _ => lat,
+    }
+}
+
+/// Computes latency-weighted ASAP levels for one block; returns
+/// `(levels by inst, critical path, terminator level)`.
+fn block_asap(f: &Function, cdfg: &StaticCdfg, block: BlockId) -> (HashMap<InstId, u64>, u64, u64) {
+    let insts = &f.block(block).insts;
+    let mut level: HashMap<InstId, u64> = HashMap::new();
+    let mut crit = 0u64;
+    let mut term_level = 0u64;
+    for &id in insts {
+        let inst = f.inst(id);
+        // Phis read end-of-previous-iteration values: level 0.
+        let asap = if inst.op == Opcode::Phi {
+            0
+        } else {
+            inst.operands
+                .iter()
+                .filter_map(|&v| match f.value_kind(v) {
+                    ValueKind::Inst(def) => {
+                        level.get(def).map(|&l| l + chain_weight(cdfg, f, *def))
+                    }
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        level.insert(id, asap);
+        crit = crit.max(asap + chain_weight(cdfg, f, id));
+        if inst.op.is_terminator() {
+            term_level = asap;
+        }
+    }
+    (level, crit, term_level)
+}
+
+/// Computes ALAP levels against the block's critical path.
+fn block_alap(f: &Function, cdfg: &StaticCdfg, block: BlockId, crit: u64) -> HashMap<InstId, u64> {
+    let insts = &f.block(block).insts;
+    let pos: HashMap<InstId, usize> = insts.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    // Reverse users map, in-block only.
+    let mut alap: HashMap<InstId, u64> = HashMap::new();
+    for &id in insts.iter().rev() {
+        let w = chain_weight(cdfg, f, id);
+        // Latest finish = min over in-block users of their ALAP start.
+        let mut latest_finish = crit;
+        for &uid in insts {
+            if pos[&uid] <= pos[&id] {
+                continue;
+            }
+            let user = f.inst(uid);
+            if user.op == Opcode::Phi {
+                continue; // consumes at the next iteration's entry
+            }
+            let feeds = user
+                .operands
+                .iter()
+                .any(|&v| matches!(f.value_kind(v), ValueKind::Inst(def) if *def == id));
+            if feeds {
+                if let Some(&ua) = alap.get(&uid) {
+                    latest_finish = latest_finish.min(ua);
+                }
+            }
+        }
+        alap.insert(id, latest_finish.saturating_sub(w));
+    }
+    alap
+}
+
+/// Computes the static lower bound and schedule levels for `f` elaborated
+/// as `cdfg`, given per-block dynamic trip counts (blocks absent from
+/// `trips` count as zero executions).
+pub fn static_lower_bound(
+    f: &Function,
+    cdfg: &StaticCdfg,
+    trips: &HashMap<BlockId, u64>,
+    cfg: &BoundConfig,
+) -> BoundReport {
+    let mut chain_floor = 0u64;
+    let mut blocks = Vec::new();
+    let mut slacks = Vec::new();
+    let mut fu_busy: HashMap<&'static str, (u64, u32)> = HashMap::new();
+    let mut dyn_loads = 0u64;
+    let mut dyn_stores = 0u64;
+
+    for (bid, b) in f.blocks() {
+        let t = trips.get(&bid).copied().unwrap_or(0);
+        let (asap, crit, term_level) = block_asap(f, cdfg, bid);
+        let alap = block_alap(f, cdfg, bid, crit);
+        for &id in &b.insts {
+            let a = asap.get(&id).copied().unwrap_or(0);
+            let l = alap.get(&id).copied().unwrap_or(a).max(a);
+            slacks.push(OpSlack {
+                inst: id,
+                asap: a,
+                alap: l,
+                slack: l - a,
+            });
+        }
+        blocks.push(BlockBound {
+            block: bid,
+            name: b.name.clone(),
+            trips: t,
+            crit_path: crit,
+            term_level,
+        });
+        if t == 0 {
+            continue;
+        }
+        chain_floor += t * term_level;
+        for &id in &b.insts {
+            let op = cdfg.op(id);
+            match f.inst(id).op {
+                Opcode::Load => dyn_loads += t,
+                Opcode::Store => dyn_stores += t,
+                _ => {}
+            }
+            // Latency-0 ops never occupy a pool slot in the engine.
+            if let (Some(kind), true) = (op.fu, op.latency > 0) {
+                let busy = if cfg.pipelined_fus {
+                    1
+                } else {
+                    op.latency as u64
+                };
+                let pool = cdfg.fu_count(kind).max(1);
+                let e = fu_busy.entry(kind.name()).or_insert((0, pool));
+                e.0 += t * busy;
+            }
+        }
+    }
+
+    let fu_floor = fu_busy
+        .into_iter()
+        .map(|(name, (busy, pool))| (name.to_string(), busy.div_ceil(pool as u64)))
+        .max_by_key(|&(_, c)| c);
+    let load_floor = dyn_loads.div_ceil(cfg.read_ports.max(1) as u64);
+    let store_floor = dyn_stores.div_ceil(cfg.write_ports.max(1) as u64);
+
+    let lower_bound = chain_floor
+        .max(fu_floor.as_ref().map_or(0, |&(_, c)| c))
+        .max(load_floor)
+        .max(store_floor);
+
+    BoundReport {
+        func_name: f.name.clone(),
+        lower_bound,
+        chain_floor,
+        fu_floor,
+        mem_floor: (load_floor, store_floor),
+        blocks,
+        slacks,
+    }
+}
+
+/// Cross-checks a bound report against the engine's watchdog threshold:
+/// if the provable minimum runtime already exceeds `deadlock_cycles`, a
+/// slow-but-healthy run risks being misread (`S001`, warning — the
+/// watchdog triggers on *no progress*, not total cycles, so this is a
+/// smell rather than a certain failure).
+pub fn check_schedule(report: &BoundReport, deadlock_cycles: u64) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if report.lower_bound > deadlock_cycles {
+        diags.push(Diagnostic::warning(
+            codes::S001,
+            Span::func(&report.func_name),
+            format!(
+                "static lower bound {} exceeds deadlock_cycles {}; \
+                 a healthy run of this kernel is slower than the watchdog horizon",
+                report.lower_bound, deadlock_cycles
+            ),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw_profile::HardwareProfile;
+    use salam_cdfg::FuConstraints;
+    use salam_ir::interp::{run_function, ProfileObserver, RtVal, SparseMemory};
+    use salam_ir::{FunctionBuilder, Type};
+
+    fn profile_trips(f: &Function, args: &[RtVal]) -> HashMap<BlockId, u64> {
+        let mut obs = ProfileObserver::default();
+        let mut mem = SparseMemory::new();
+        run_function(f, args, &mut mem, &mut obs, 100_000_000).unwrap();
+        obs.block_entries
+    }
+
+    /// `for i in 0..n { p[0] = fmul(load p[0], c) }` — one fmul per
+    /// iteration, a tight FP chain.
+    fn fp_loop(n: i64) -> Function {
+        let mut fb = FunctionBuilder::new("fp_loop", &[("p", Type::Ptr)]);
+        let p = fb.arg(0);
+        let zero = fb.i64c(0);
+        let n = fb.i64c(n);
+        fb.counted_loop("i", zero, n, |fb, _iv| {
+            let v = fb.load(Type::F64, p, "v");
+            let c = fb.f64c(1.5);
+            let m = fb.fmul(v, c, "m");
+            fb.store(m, p);
+        });
+        fb.ret();
+        fb.finish()
+    }
+
+    #[test]
+    fn floors_combine_into_the_bound() {
+        let f = fp_loop(10);
+        let profile = HardwareProfile::default_40nm();
+        let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+        let trips = profile_trips(&f, &[RtVal::P(0x1000)]);
+        let report = static_lower_bound(&f, &cdfg, &trips, &BoundConfig::default());
+        // Integer control (phi/icmp/br) is latency-0 wiring, so the chain
+        // floor contributes nothing here; the single fp_mul unit is the
+        // bottleneck: 10 iterations × 3-cycle occupancy.
+        let (kind, fu_cycles) = report.fu_floor.clone().expect("fp pool");
+        assert_eq!(fu_cycles, 30, "{kind}: {report:?}");
+        assert!(report.lower_bound >= 30);
+        // The body's critical path load(1)+fmul(3)+store(1) shows in levels.
+        let body = report.blocks.iter().find(|b| b.name == "i.body").unwrap();
+        assert_eq!(body.crit_path, 5, "{report:?}");
+        assert_eq!(body.trips, 10);
+    }
+
+    #[test]
+    fn fu_floor_scales_with_constraints() {
+        let f = fp_loop(16);
+        let profile = HardwareProfile::default_40nm();
+        let trips = profile_trips(&f, &[RtVal::P(0x1000)]);
+        let free = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+        let r_free = static_lower_bound(&f, &free, &trips, &BoundConfig::default());
+        // fmul runs 16 times at latency 3 on one unit either way (only one
+        // fmul instruction exists), so the FU floor is 48 busy-cycles.
+        let (_, fu_cycles) = r_free.fu_floor.clone().expect("has an FP pool");
+        assert!(fu_cycles >= 48, "{fu_cycles}");
+        // Pipelining drops occupancy to 1 per op.
+        let piped = BoundConfig {
+            pipelined_fus: true,
+            ..BoundConfig::default()
+        };
+        let r_piped = static_lower_bound(&f, &free, &trips, &piped);
+        assert!(r_piped.fu_floor.clone().unwrap().1 <= 16);
+    }
+
+    #[test]
+    fn mem_floor_counts_port_throughput() {
+        let f = fp_loop(8);
+        let profile = HardwareProfile::default_40nm();
+        let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+        let trips = profile_trips(&f, &[RtVal::P(0x1000)]);
+        let one_port = BoundConfig {
+            read_ports: 1,
+            write_ports: 1,
+            pipelined_fus: false,
+        };
+        let r = static_lower_bound(&f, &cdfg, &trips, &one_port);
+        // 8 loads through 1 read port, 8 stores through 1 write port.
+        assert_eq!(r.mem_floor, (8, 8));
+    }
+
+    #[test]
+    fn slack_is_zero_on_the_critical_path() {
+        let f = fp_loop(1);
+        let profile = HardwareProfile::default_40nm();
+        let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+        let trips = profile_trips(&f, &[RtVal::P(0x1000)]);
+        let r = static_lower_bound(&f, &cdfg, &trips, &BoundConfig::default());
+        assert!(r.critical_ops().count() > 0);
+        for s in &r.slacks {
+            assert!(s.alap >= s.asap, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn watchdog_cross_check_warns_when_bound_exceeds_horizon() {
+        let f = fp_loop(100);
+        let profile = HardwareProfile::default_40nm();
+        let cdfg = StaticCdfg::elaborate(&f, &profile, &FuConstraints::unconstrained());
+        let trips = profile_trips(&f, &[RtVal::P(0x1000)]);
+        let r = static_lower_bound(&f, &cdfg, &trips, &BoundConfig::default());
+        assert!(check_schedule(&r, 1_000_000).is_empty());
+        let tight = check_schedule(&r, 10);
+        assert_eq!(tight.len(), 1);
+        assert_eq!(tight[0].code, codes::S001);
+        assert_eq!(tight[0].severity, crate::diag::Severity::Warning);
+    }
+}

@@ -1,0 +1,33 @@
+//! Prints a MachSuite kernel as textual IR.
+//!
+//! This is the generator behind the `examples/ir/*.ll` fixtures that CI
+//! feeds to `salam_lint`: regenerate one with
+//!
+//! ```text
+//! cargo run --example dump_ir -- gemm > examples/ir/gemm.ll
+//! ```
+//!
+//! The printed text round-trips through `salam_ir::parse_module`, so the
+//! fixtures stay loadable by anything that consumes textual IR.
+
+use machsuite::Bench;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gemm".into());
+    let Some(bench) = Bench::ALL
+        .into_iter()
+        .find(|b| b.label().eq_ignore_ascii_case(&name))
+    else {
+        eprintln!(
+            "dump_ir: unknown kernel '{name}'; one of: {}",
+            Bench::ALL
+                .map(|b| b.label().to_ascii_lowercase())
+                .join(", ")
+        );
+        std::process::exit(2)
+    };
+    let k = bench.build_standard();
+    let mut m = salam_ir::Module::new(&k.name);
+    m.add_function(k.func);
+    print!("{m}");
+}

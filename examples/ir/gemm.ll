@@ -1,0 +1,47 @@
+define void @gemm_ncubed(ptr %a, ptr %b, ptr %c) {
+entry:
+  br label %i.header
+i.header:
+  %i.iv = phi i64 [ 0, %entry ], [ %i.iv.next, %j.exit ]
+  %i.cond = icmp slt i64 %i.iv, 16
+  br i1 %i.cond, label %i.body, label %i.exit
+i.body:
+  br label %j.header
+i.exit:
+  ret void
+j.header:
+  %j.iv = phi i64 [ 0, %i.body ], [ %j.iv.next, %k.exit ]
+  %j.cond = icmp slt i64 %j.iv, 16
+  br i1 %j.cond, label %j.body, label %j.exit
+j.body:
+  br label %k.header
+j.exit:
+  %i.iv.next = add i64 %i.iv, 1
+  br label %i.header
+k.header:
+  %k.iv = phi i64 [ 0, %j.body ], [ %k.iv.next, %k.body ]
+  %k.acc0 = phi double [ 0.0, %j.body ], [ %sum, %k.body ]
+  %k.cond = icmp slt i64 %k.iv, 16
+  br i1 %k.cond, label %k.body, label %k.exit
+k.body:
+  %row = mul i64 %i.iv, 16
+  %ku = add i64 %k.iv, 0
+  %ai = add i64 %row, %ku
+  %pa = getelementptr double, ptr %a, i64 %ai
+  %av = load double, ptr %pa
+  %brow = mul i64 %ku, 16
+  %bi = add i64 %brow, %j.iv
+  %pb = getelementptr double, ptr %b, i64 %bi
+  %bv = load double, ptr %pb
+  %prod = fmul double %av, %bv
+  %sum = fadd double %k.acc0, %prod
+  %k.iv.next = add i64 %k.iv, 1
+  br label %k.header
+k.exit:
+  %crow = mul i64 %i.iv, 16
+  %ci = add i64 %crow, %j.iv
+  %pc = getelementptr double, ptr %c, i64 %ci
+  store double %k.acc0, ptr %pc
+  %j.iv.next = add i64 %j.iv, 1
+  br label %j.header
+}

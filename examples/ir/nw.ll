@@ -1,0 +1,78 @@
+define void @nw(ptr %seqa, ptr %seqb, ptr %m) {
+entry:
+  br label %initrow.header
+initrow.header:
+  %initrow.iv = phi i64 [ 0, %entry ], [ %initrow.iv.next, %initrow.body ]
+  %initrow.cond = icmp slt i64 %initrow.iv, 25
+  br i1 %initrow.cond, label %initrow.body, label %initrow.exit
+initrow.body:
+  %jt = trunc i64 %initrow.iv to i32
+  %v = mul i32 %jt, -1
+  %pm = getelementptr i32, ptr %m, i64 %initrow.iv
+  store i32 %v, ptr %pm
+  %initrow.iv.next = add i64 %initrow.iv, 1
+  br label %initrow.header
+initrow.exit:
+  br label %initcol.header
+initcol.header:
+  %initcol.iv = phi i64 [ 0, %initrow.exit ], [ %initcol.iv.next, %initcol.body ]
+  %initcol.cond = icmp slt i64 %initcol.iv, 25
+  br i1 %initcol.cond, label %initcol.body, label %initcol.exit
+initcol.body:
+  %it = trunc i64 %initcol.iv to i32
+  %v.1 = mul i32 %it, -1
+  %idx = mul i64 %initcol.iv, 25
+  %pm.1 = getelementptr i32, ptr %m, i64 %idx
+  store i32 %v.1, ptr %pm.1
+  %initcol.iv.next = add i64 %initcol.iv, 1
+  br label %initcol.header
+initcol.exit:
+  br label %i.header
+i.header:
+  %i.iv = phi i64 [ 1, %initcol.exit ], [ %i.iv.next, %j.exit ]
+  %i.cond = icmp slt i64 %i.iv, 25
+  br i1 %i.cond, label %i.body, label %i.exit
+i.body:
+  br label %j.header
+i.exit:
+  ret void
+j.header:
+  %j.iv = phi i64 [ 1, %i.body ], [ %j.iv.next, %j.body ]
+  %j.cond = icmp slt i64 %j.iv, 25
+  br i1 %j.cond, label %j.body, label %j.exit
+j.body:
+  %jm1 = sub i64 %j.iv, 1
+  %im1 = sub i64 %i.iv, 1
+  %pa = getelementptr i32, ptr %seqa, i64 %jm1
+  %av = load i32, ptr %pa
+  %pb = getelementptr i32, ptr %seqb, i64 %im1
+  %bv = load i32, ptr %pb
+  %eq = icmp eq i32 %av, %bv
+  %score = select i1 %eq, i32 1, i32 -1
+  %rowoff = mul i64 %i.iv, 25
+  %prevrow = mul i64 %im1, 25
+  %di = add i64 %prevrow, %jm1
+  %pd = getelementptr i32, ptr %m, i64 %di
+  %diag0 = load i32, ptr %pd
+  %diag = add i32 %diag0, %score
+  %ui = add i64 %prevrow, %j.iv
+  %pu = getelementptr i32, ptr %m, i64 %ui
+  %up0 = load i32, ptr %pu
+  %up = add i32 %up0, -1
+  %li = add i64 %rowoff, %jm1
+  %pl = getelementptr i32, ptr %m, i64 %li
+  %left0 = load i32, ptr %pl
+  %left = add i32 %left0, -1
+  %c1 = icmp sgt i32 %diag, %up
+  %mx1 = select i1 %c1, i32 %diag, i32 %up
+  %c2 = icmp sgt i32 %mx1, %left
+  %mx2 = select i1 %c2, i32 %mx1, i32 %left
+  %oi = add i64 %rowoff, %j.iv
+  %po = getelementptr i32, ptr %m, i64 %oi
+  store i32 %mx2, ptr %po
+  %j.iv.next = add i64 %j.iv, 1
+  br label %j.header
+j.exit:
+  %i.iv.next = add i64 %i.iv, 1
+  br label %i.header
+}

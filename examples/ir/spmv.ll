@@ -1,0 +1,51 @@
+define void @spmv_crs(ptr %vals, ptr %cols, ptr %rowstr, ptr %vec, ptr %out, ptr %flags) {
+entry:
+  br label %r.header
+r.header:
+  %r.iv = phi i64 [ 0, %entry ], [ %r.iv.next, %j.exit ]
+  %r.cond = icmp slt i64 %r.iv, 32
+  br i1 %r.cond, label %r.body, label %r.exit
+r.body:
+  %ps = getelementptr i64, ptr %rowstr, i64 %r.iv
+  %start = load i64, ptr %ps
+  %r1 = add i64 %r.iv, 1
+  %pe = getelementptr i64, ptr %rowstr, i64 %r1
+  %end = load i64, ptr %pe
+  br label %j.header
+r.exit:
+  ret void
+j.header:
+  %j.iv = phi i64 [ %start, %r.body ], [ %j.iv.next, %skip ]
+  %j.acc0 = phi double [ 0.0, %r.body ], [ %sum, %skip ]
+  %j.acc1 = phi i64 [ 0, %r.body ], [ %flag, %skip ]
+  %j.cond = icmp slt i64 %j.iv, %end
+  br i1 %j.cond, label %j.body, label %j.exit
+j.body:
+  %pv = getelementptr double, ptr %vals, i64 %j.iv
+  %v = load double, ptr %pv
+  %pc = getelementptr i64, ptr %cols, i64 %j.iv
+  %col = load i64, ptr %pc
+  %px = getelementptr double, ptr %vec, i64 %col
+  %x = load double, ptr %px
+  %prod = fmul double %v, %x
+  %sum = fadd double %j.acc0, %prod
+  %cgt = fcmp ogt double %v, 4.5e-1
+  %clt = fcmp olt double %v, 5.5e-1
+  %both = and i1 %cgt, %clt
+  br i1 %both, label %shift, label %skip
+j.exit:
+  %po = getelementptr double, ptr %out, i64 %r.iv
+  store double %j.acc0, ptr %po
+  %pf = getelementptr i64, ptr %flags, i64 %r.iv
+  store i64 %j.acc1, ptr %pf
+  %r.iv.next = add i64 %r.iv, 1
+  br label %r.header
+shift:
+  %incd = add i64 %j.acc1, 1
+  %shifted = shl i64 %incd, 1
+  br label %skip
+skip:
+  %flag = phi i64 [ %j.acc1, %j.body ], [ %shifted, %shift ]
+  %j.iv.next = add i64 %j.iv, 1
+  br label %j.header
+}

@@ -47,6 +47,34 @@ case "$panicked" in
   *) echo "ci: panicking job did not surface as failed=1" >&2; exit 1 ;;
 esac
 
+# Static screening: one design point with a statically invalid config
+# (zero SPM read ports) must be rejected pre-flight as an invalid row,
+# counted in the summary, and never handed a simulation slot or a cache
+# entry.
+echo "+ dse_smoke --inject-invalid (static screening)"
+invalid_cache="$(mktemp -d)"
+screened="$(SALAM_JOBS=2 SALAM_DSE_CACHE="$invalid_cache" \
+  cargo run --release -q --offline -p salam-bench --bin dse_smoke -- --inject-invalid \
+  | tail -n 1)"
+rm -rf "$invalid_cache"
+echo "$screened"
+case "$screened" in
+  *"failed=0 invalid=1"*) ;;
+  *) echo "ci: invalid point did not surface as invalid=1" >&2; exit 1 ;;
+esac
+
+# Lint smoke: the checked-in textual-IR fixtures must parse, verify and
+# stay free of diagnostics — salam_lint exits non-zero on any error (or,
+# with --deny warnings, on any warning).
+echo "+ salam_lint examples/ir (deny warnings)"
+lint="$(cargo run --release -q --offline -p salam-bench --bin salam_lint -- \
+  examples/ir/gemm.ll examples/ir/spmv.ll examples/ir/nw.ll --deny warnings)"
+echo "$lint" | tail -n 1
+case "$lint" in
+  *"lint: targets=3"*"errors=0"*) ;;
+  *) echo "ci: salam_lint marker line missing" >&2; exit 1 ;;
+esac
+
 # Fault-injection smoke: a seeded campaign over two kernels. The outcome
 # table and counts are a pure function of the seeds, so two runs must be
 # byte-identical and the marker line must show the expected mix of
