@@ -46,8 +46,15 @@ impl SweepJob for SmokeJob {
 }
 
 fn main() {
-    let inject_panic = std::env::args().any(|a| a == "--inject-panic");
-    let inject_invalid = std::env::args().any(|a| a == "--inject-invalid");
+    let mut args =
+        salam_bench::cli::Args::parse("dse_smoke", "[--inject-panic] [--inject-invalid] [--json]");
+    let inject_panic = args.flag("--inject-panic");
+    let inject_invalid = args.flag("--inject-invalid");
+    let json = args.flag("--json");
+    if !args.finish().is_empty() {
+        eprintln!("dse_smoke: takes no positional arguments");
+        std::process::exit(salam_bench::cli::EXIT_USAGE);
+    }
     let spec = SweepSpec::new("smoke", StandaloneConfig::default())
         .kernel(KernelSpec::custom("gemm[n=8,u=2]", || {
             machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 2 })
@@ -95,6 +102,13 @@ fn main() {
             ]),
         }
     }
-    println!("{}", t.render_auto());
+    t.set_summary(run.summary_pairs());
+    if json {
+        print!("{}", t.to_json());
+    } else {
+        println!("{}", t.render_auto());
+    }
+    // The stable marker CI asserts on — always the last line, in both
+    // output modes.
     println!("dse: {}", run.summary());
 }

@@ -61,6 +61,12 @@ fn classify(result: &Result<salam::RunReport, SimError>) -> &'static str {
 }
 
 fn main() {
+    let mut args = salam_bench::cli::Args::parse("fault_smoke", "[--json]");
+    let json = args.flag("--json");
+    if !args.finish().is_empty() {
+        eprintln!("fault_smoke: takes no positional arguments");
+        std::process::exit(salam_bench::cli::EXIT_USAGE);
+    }
     let kernels: Vec<(&str, BuiltKernel)> = vec![
         (
             "gemm[n=8,u=2]",
@@ -132,7 +138,19 @@ fn main() {
             ]);
         }
     }
-    println!("{}", t.render_auto());
+    t.set_summary(vec![
+        ("masked".into(), masked.to_string()),
+        ("sdc".into(), sdc.to_string()),
+        ("deadlock".into(), deadlock.to_string()),
+        ("detected".into(), detected.to_string()),
+    ]);
+    if json {
+        print!("{}", t.to_json());
+    } else {
+        println!("{}", t.render_auto());
+    }
+    // The stable marker CI asserts on — always the last line, in both
+    // output modes.
     println!(
         "fault_smoke: kernels={} seeds={} masked={masked} sdc={sdc} deadlock={deadlock} detected={detected}",
         kernels.len(),

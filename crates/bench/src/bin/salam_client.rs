@@ -1,0 +1,82 @@
+//! `salam_client` — the command-line client for `salam_serve`.
+//!
+//! One subcommand per wire op; the server's JSON response is printed to
+//! stdout verbatim. Exits 0 when the server answered `ok: true`, 1 when it
+//! answered with a rejection or error (the typed code is in the output),
+//! and 2 on usage errors.
+//!
+//! ```text
+//! salam_client ADDR submit TENANT JOB_JSON     # JOB_JSON: {"type":"kernel",...}
+//! salam_client ADDR status ID
+//! salam_client ADDR wait ID
+//! salam_client ADDR result ID ARTIFACT         # report|trace|csv|table|error|lint
+//! salam_client ADDR metrics
+//! salam_client ADDR stats
+//! salam_client ADDR shutdown
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use salam_bench::cli::{Args, EXIT_FINDINGS, EXIT_USAGE};
+
+const USAGE: &str = "ADDR (submit TENANT JOB_JSON | status ID | wait ID |\n\
+     \x20            result ID ARTIFACT | metrics | stats | shutdown)";
+
+fn main() {
+    let args = Args::parse("salam_client", USAGE);
+    let argv = args.finish();
+    let mut it = argv.iter().map(String::as_str);
+    let usage = || -> ! {
+        eprintln!("usage: salam_client {USAGE}");
+        std::process::exit(EXIT_USAGE);
+    };
+    let Some(addr) = it.next() else { usage() };
+    let Some(cmd) = it.next() else { usage() };
+    let rest: Vec<&str> = it.collect();
+
+    let request = match (cmd, rest.as_slice()) {
+        ("submit", [tenant, job]) => {
+            format!(r#"{{"op":"submit","tenant":"{tenant}","job":{job}}}"#)
+        }
+        ("status", [id]) => format!(r#"{{"op":"status","id":{id}}}"#),
+        ("wait", [id]) => format!(r#"{{"op":"wait","id":{id}}}"#),
+        ("result", [id, artifact]) => {
+            format!(r#"{{"op":"result","id":{id},"artifact":"{artifact}"}}"#)
+        }
+        ("metrics", []) => r#"{"op":"metrics"}"#.to_string(),
+        ("stats", []) => r#"{"op":"stats"}"#.to_string(),
+        ("shutdown", []) => r#"{"op":"shutdown"}"#.to_string(),
+        _ => usage(),
+    };
+
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("salam_client: cannot connect to {addr}: {e}");
+            std::process::exit(EXIT_FINDINGS);
+        }
+    };
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .and_then(|()| stream.flush())
+        .unwrap_or_else(|e| {
+            eprintln!("salam_client: send failed: {e}");
+            std::process::exit(EXIT_FINDINGS);
+        });
+    let mut response = String::new();
+    if reader.read_line(&mut response).unwrap_or(0) == 0 {
+        eprintln!("salam_client: server closed the connection");
+        std::process::exit(EXIT_FINDINGS);
+    }
+    print!("{response}");
+
+    let ok = salam_obs::json::parse(&response)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(|b| b.as_bool()))
+        .unwrap_or(false);
+    if !ok {
+        std::process::exit(EXIT_FINDINGS);
+    }
+}

@@ -35,14 +35,9 @@ use salam_verify::{
     static_memdeps, verify_ir, BoundConfig, Diagnostic, MemRegion, Severity,
 };
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: salam_lint [TARGET...] [--json] [--out FILE] [--deny warnings] [--bounds]\n\
-         TARGET: a MachSuite kernel (bfs, fft, gemm, md-grid, md-knn, nw, spmv,\n\
-         stencil2d, stencil3d), 'all' for the full suite, or a path to a .ll file"
-    );
-    std::process::exit(2)
-}
+const USAGE: &str = "[TARGET...] [--json] [--out FILE] [--deny warnings] [--bounds]\n\
+     TARGET: a MachSuite kernel (bfs, fft, gemm, md-grid, md-knn, nw, spmv,\n\
+     stencil2d, stencil3d), 'all' for the full suite, or a path to a .ll file";
 
 fn bench_by_name(name: &str) -> Option<Bench> {
     Bench::ALL
@@ -93,27 +88,16 @@ fn lint_kernel(k: &BuiltKernel, bounds: bool) -> (Vec<Diagnostic>, Option<String
 }
 
 fn main() {
-    let mut targets: Vec<String> = Vec::new();
-    let (mut json, mut deny_warnings, mut bounds) = (false, false, false);
-    let mut out: Option<String> = None;
-    let mut argv = std::env::args().skip(1);
-    while let Some(a) = argv.next() {
-        match a.as_str() {
-            "--json" => json = true,
-            "--bounds" => bounds = true,
-            "--deny" => match argv.next().as_deref() {
-                Some("warnings") => deny_warnings = true,
-                _ => usage(),
-            },
-            "--out" => match argv.next() {
-                Some(f) => out = Some(f),
-                None => usage(),
-            },
-            "--help" | "-h" => usage(),
-            _ if a.starts_with('-') => usage(),
-            _ => targets.push(a),
-        }
-    }
+    let mut args = salam_bench::cli::Args::parse("salam_lint", USAGE);
+    let json = args.flag("--json");
+    let bounds = args.flag("--bounds");
+    let deny_warnings = match args.opt("--deny").as_deref() {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => args.fail(&format!("--deny supports 'warnings', got '{other}'")),
+    };
+    let out: Option<String> = args.opt("--out");
+    let mut targets: Vec<String> = args.finish();
     if targets.is_empty() {
         targets.push("all".into());
     }
@@ -141,12 +125,13 @@ fn main() {
                 },
                 Err(e) => {
                     eprintln!("salam_lint: cannot read {t}: {e}");
-                    std::process::exit(2)
+                    std::process::exit(salam_bench::cli::EXIT_USAGE)
                 }
             }
         } else {
             eprintln!("salam_lint: unknown target '{t}' (not a kernel name or .ll file)");
-            usage()
+            eprintln!("usage: salam_lint {USAGE}");
+            std::process::exit(salam_bench::cli::EXIT_USAGE)
         };
         results.push((t.clone(), diags));
     }
@@ -179,7 +164,7 @@ fn main() {
     if let Some(path) = &out {
         if let Err(e) = std::fs::write(path, &json_report) {
             eprintln!("salam_lint: cannot write {path}: {e}");
-            std::process::exit(2)
+            std::process::exit(salam_bench::cli::EXIT_USAGE)
         }
     }
 
@@ -214,6 +199,6 @@ fn main() {
         warnings
     );
     if errors > 0 || (deny_warnings && warnings > 0) {
-        std::process::exit(1)
+        std::process::exit(salam_bench::cli::EXIT_FINDINGS)
     }
 }

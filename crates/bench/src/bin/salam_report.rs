@@ -25,22 +25,13 @@ use salam::standalone::StandaloneConfig;
 use salam_bench::bottleneck::{
     bench_by_id, check_invariants, profile, render_csv, render_diff, render_json, render_table,
 };
+use salam_bench::cli::{Args, EXIT_FINDINGS};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: salam_report <bench> [--ports N] [--spm-latency N] [--window N]\n\
-         \x20                 [--reads N] [--writes N] [--limit FU=N]...\n\
-         \x20                 [--format table|csv|json] [--out PATH] [--trace PATH]\n\
-         \x20                 [--diff key=val[,key=val...]]\n\
-         benches: {}",
-        machsuite::Bench::ALL
-            .iter()
-            .map(|b| b.label().to_ascii_lowercase())
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-    std::process::exit(2);
-}
+const USAGE: &str = "<bench> [--ports N] [--spm-latency N] [--window N]\n\
+     \x20            [--reads N] [--writes N] [--limit FU=N]...\n\
+     \x20            [--format table|csv|json] [--json] [--out PATH] [--trace PATH]\n\
+     \x20            [--diff key=val[,key=val...]]\n\
+     benches: bfs, fft, gemm, md-grid, md-knn, nw, spmv, stencil2d, stencil3d";
 
 /// Applies one `key=val` knob to a config. Shared by the CLI flags and the
 /// `--diff` override list so both spell knobs identically.
@@ -73,59 +64,46 @@ fn apply_knob(cfg: &mut StandaloneConfig, key: &str, val: &str) -> Result<(), St
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut bench_id: Option<String> = None;
+    let mut args = Args::parse("salam_report", USAGE);
     let mut cfg = StandaloneConfig::default();
-    let mut format = "table".to_string();
-    let mut out: Option<String> = None;
-    let mut trace: Option<String> = None;
-    let mut diff: Option<String> = None;
-
-    let mut i = 0;
+    for knob in ["ports", "spm-latency", "window", "reads", "writes"] {
+        if let Some(val) = args.opt(&format!("--{knob}")) {
+            if let Err(e) = apply_knob(&mut cfg, knob, &val) {
+                args.fail(&e);
+            }
+        }
+    }
+    for val in args.opts("--limit") {
+        if let Err(e) = apply_knob(&mut cfg, "limit", &val) {
+            args.fail(&e);
+        }
+    }
+    let mut format = args.opt("--format").unwrap_or_else(|| "table".to_string());
+    if args.flag("--json") {
+        format = "json".to_string();
+    }
+    let out: Option<String> = args.opt("--out");
+    let trace: Option<String> = args.opt("--trace");
+    let diff: Option<String> = args.opt("--diff");
+    if !matches!(format.as_str(), "table" | "csv" | "json") {
+        args.fail(&format!("unknown format '{format}'"));
+    }
     let fail = |msg: &str| -> ! {
         eprintln!("salam_report: {msg}");
-        usage();
+        eprintln!("usage: salam_report {USAGE}");
+        std::process::exit(salam_bench::cli::EXIT_USAGE);
     };
-    while i < args.len() {
-        let a = args[i].as_str();
-        let mut take = |name: &str| -> String {
-            i += 1;
-            args.get(i)
-                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
-                .clone()
-        };
-        match a {
-            "--ports" | "--spm-latency" | "--window" | "--reads" | "--writes" | "--limit" => {
-                let key = a.trim_start_matches("--").to_string();
-                let val = take(a);
-                if let Err(e) = apply_knob(&mut cfg, &key, &val) {
-                    fail(&e);
-                }
-            }
-            "--format" => format = take(a),
-            "--out" => out = Some(take(a)),
-            "--trace" => trace = Some(take(a)),
-            "--diff" => diff = Some(take(a)),
-            "--help" | "-h" => usage(),
-            _ if a.starts_with("--") => fail(&format!("unknown flag '{a}'")),
-            _ if bench_id.is_none() => bench_id = Some(a.to_string()),
-            _ => fail("more than one bench given"),
-        }
-        i += 1;
-    }
-    let Some(bench_id) = bench_id else { usage() };
-    let Some(bench) = bench_by_id(&bench_id) else {
-        fail(&format!("unknown bench '{bench_id}'"));
+    let bench = match args.finish().as_slice() {
+        [id] => bench_by_id(id).unwrap_or_else(|| fail(&format!("unknown bench '{id}'"))),
+        [] => fail("a bench is required"),
+        _ => fail("more than one bench given"),
     };
-    if !matches!(format.as_str(), "table" | "csv" | "json") {
-        fail(&format!("unknown format '{format}'"));
-    }
 
     let kernel = bench.build_standard();
     let run = profile(&kernel, &cfg);
     if let Err(e) = check_invariants(&run) {
         eprintln!("salam_report: INVARIANT VIOLATION: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_FINDINGS);
     }
 
     let rendered = match diff {

@@ -1,0 +1,82 @@
+//! `salam_serve` — the multi-tenant simulation server.
+//!
+//! Hosts the whole simulation stack behind `salam-serve`'s line-JSON/HTTP
+//! listener and runs until a client sends the `shutdown` op (or
+//! `POST /shutdown`). Prints one `salam_serve: listening on ADDR` line once
+//! the socket is bound, so scripts can wait for readiness, and one final
+//! `salam_serve: STATS` line on exit.
+//!
+//! ```text
+//! salam_serve [--addr HOST:PORT] [--slots N] [--chunk N]
+//!             [--cache-dir PATH] [--no-cache] [--no-verify]
+//!             [--max-queued N] [--max-running N] [--max-sweep-points N]
+//!             [--metrics-out PATH]
+//! ```
+
+use salam_bench::cli::Args;
+use salam_serve::{ServeConfig, Server, TenantQuota};
+
+const USAGE: &str = "[--addr HOST:PORT] [--slots N] [--chunk N]\n\
+     \x20           [--cache-dir PATH] [--no-cache] [--no-verify]\n\
+     \x20           [--max-queued N] [--max-running N] [--max-sweep-points N]\n\
+     \x20           [--metrics-out PATH]";
+
+fn main() {
+    let mut args = Args::parse("salam_serve", USAGE);
+    let addr = args
+        .opt("--addr")
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let mut quota = TenantQuota::default();
+    if let Some(n) = args.opt_u64("--max-queued") {
+        quota.max_queued = n as usize;
+    }
+    if let Some(n) = args.opt_u64("--max-running") {
+        quota.max_running = n as usize;
+    }
+    if let Some(n) = args.opt_u64("--max-sweep-points") {
+        quota.max_sweep_points = n as usize;
+    }
+    let mut cfg = ServeConfig {
+        quota,
+        no_cache: args.flag("--no-cache"),
+        verify: !args.flag("--no-verify"),
+        cache_dir: args.opt("--cache-dir").map(Into::into),
+        ..ServeConfig::default()
+    };
+    if let Some(n) = args.opt_u64("--slots") {
+        cfg.slots = (n as usize).max(1);
+    }
+    if let Some(n) = args.opt_u64("--chunk") {
+        cfg.sweep_chunk = (n as usize).max(1);
+    }
+    let metrics_out = args.opt("--metrics-out");
+    if !args.finish().is_empty() {
+        eprintln!("salam_serve: takes no positional arguments");
+        std::process::exit(salam_bench::cli::EXIT_USAGE);
+    }
+
+    let server = match Server::bind(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("salam_serve: cannot bind {addr}: {e}");
+            std::process::exit(salam_bench::cli::EXIT_FINDINGS);
+        }
+    };
+    println!("salam_serve: listening on {}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    while !server.stop_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    // Drain in-flight work before the final metrics snapshot, then tear
+    // down the listener (idempotent with the drain).
+    server.core().shutdown();
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, server.core().metrics().to_json()) {
+            eprintln!("salam_serve: cannot write {path}: {e}");
+        }
+    }
+    println!("salam_serve: {}", server.core().stats_line());
+    server.shutdown();
+}

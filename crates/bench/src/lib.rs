@@ -4,6 +4,8 @@
 //! tables and figures.
 //!
 //! * [`table`] — plain-text/CSV table rendering and error metrics.
+//! * [`cli`] — the shared argument-parsing helper and exit-code
+//!   conventions every workspace binary follows.
 //! * [`bottleneck`] — profiled runs (cycle attribution + dynamic critical
 //!   path) and the deterministic renderers behind `salam_report`.
 //! * [`runners`] — timed runs of the three execution models (SALAM engine,
@@ -20,6 +22,7 @@
 //! live in `benches/`.
 
 pub mod bottleneck;
+pub mod cli;
 pub mod cnn;
 pub mod fig16;
 pub mod microbench;

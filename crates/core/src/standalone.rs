@@ -193,7 +193,15 @@ pub fn try_run_kernel_faulted(
     try_run_kernel_traced(kernel, cfg, &salam_obs::SharedTrace::disabled(), Some(plan))
 }
 
-fn try_run_kernel_traced(
+/// The full-generality fallible entry point: optional trace sink, optional
+/// fault plan. Everything else in this module is a special case of this —
+/// and it is what a long-running server calls to host arbitrary tenant jobs
+/// with typed errors instead of panics.
+///
+/// # Errors
+///
+/// Same taxonomy as [`try_run_kernel`].
+pub fn try_run_kernel_traced(
     kernel: &BuiltKernel,
     cfg: &StandaloneConfig,
     trace: &salam_obs::SharedTrace,

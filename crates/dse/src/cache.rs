@@ -11,6 +11,8 @@
 //! behind.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::fnv::{fnv1a64, fnv1a64_from, hex64, splitmix_finalize};
 use salam::RunReport;
@@ -102,15 +104,65 @@ pub enum Lookup<T> {
 }
 
 /// A directory of result entries.
+///
+/// Optionally size-capped: when `max_bytes` is set (explicitly or via
+/// `SALAM_DSE_CACHE_MAX_BYTES`), every store enforces the cap by evicting
+/// the least-recently-written entries (LRU by file mtime, ties broken by
+/// file name for determinism) until the directory fits. A long-running
+/// server would otherwise grow `target/dse-cache` without bound.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    max_bytes: Option<u64>,
+    /// Cumulative evictions, shared across clones so the server's metrics
+    /// see every worker's evictions.
+    evictions: Arc<AtomicU64>,
 }
 
 impl ResultCache {
-    /// A cache rooted at `dir` (created on first store).
+    /// A cache rooted at `dir` (created on first store). Unbounded by
+    /// default; set a cap with [`ResultCache::with_max_bytes`], typically
+    /// from [`env_max_bytes`] at process entry points.
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        ResultCache { dir: dir.into() }
+        ResultCache {
+            dir: dir.into(),
+            max_bytes: None,
+            evictions: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Sets (or clears) the size cap in bytes.
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// The configured size cap, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    /// Entries evicted by this cache (and its clones) so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes of entry files currently on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        list_entries(&self.dir).iter().map(|e| e.bytes).sum()
+    }
+
+    /// Publishes cache occupancy and eviction counters under `prefix`
+    /// (`{prefix}.entries`, `{prefix}.bytes`, `{prefix}.evictions`,
+    /// `{prefix}.max_bytes`).
+    pub fn export_metrics(&self, reg: &mut salam_obs::MetricsRegistry, prefix: &str) {
+        reg.set(&format!("{prefix}.entries"), self.entry_count() as f64);
+        reg.set(&format!("{prefix}.bytes"), self.disk_bytes() as f64);
+        reg.set(&format!("{prefix}.evictions"), self.evictions() as f64);
+        reg.set(
+            &format!("{prefix}.max_bytes"),
+            self.max_bytes.map(|b| b as f64).unwrap_or(-1.0),
+        );
     }
 
     /// The default location: `$SALAM_DSE_CACHE` if set, else
@@ -191,7 +243,28 @@ impl ResultCache {
             .dir
             .join(format!(".{}.tmp.{}", id.key_hex(), std::process::id()));
         std::fs::write(&tmp, entry)?;
-        std::fs::rename(&tmp, &path)
+        std::fs::rename(&tmp, &path)?;
+        self.enforce_cap(&path);
+        Ok(())
+    }
+
+    /// Evicts least-recently-written entries until the directory fits the
+    /// cap. The entry just written (`keep`) is never evicted — a cap
+    /// smaller than one entry must not turn every store into a miss loop.
+    /// Best-effort: racing removals and I/O errors are ignored.
+    fn enforce_cap(&self, keep: &Path) {
+        let Some(cap) = self.max_bytes else { return };
+        let entries = list_entries(&self.dir);
+        for name in plan_evictions(&entries, cap, keep.file_name().and_then(|n| n.to_str())) {
+            let victim = self.dir.join(&name);
+            if std::fs::remove_file(&victim).is_ok() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "salam-dse: cache cap {cap}B exceeded, evicted {}",
+                    victim.display()
+                );
+            }
+        }
     }
 
     /// Number of entries currently on disk (diagnostics / tests).
@@ -208,6 +281,79 @@ impl ResultCache {
 
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One cache entry file as seen by the eviction planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryMeta {
+    /// File name (`<key>.json`).
+    pub name: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Modification time as a sortable integer (nanoseconds since the
+    /// epoch; 0 when the filesystem can't say).
+    pub mtime_ns: u128,
+}
+
+/// The cap configured through `SALAM_DSE_CACHE_MAX_BYTES` (unset, empty,
+/// unparsable or zero all mean unbounded). Read at process entry points —
+/// the sweep driver and the serve binary — not inside [`ResultCache::at`],
+/// so library callers stay deterministic under test.
+pub fn env_max_bytes() -> Option<u64> {
+    std::env::var("SALAM_DSE_CACHE_MAX_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&b| b > 0)
+}
+
+fn list_entries(dir: &Path) -> Vec<EntryMeta> {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out: Vec<EntryMeta> = rd
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .filter_map(|e| {
+            let md = e.metadata().ok()?;
+            let mtime_ns = md
+                .modified()
+                .ok()
+                .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                .map(|d| d.as_nanos())
+                .unwrap_or(0);
+            Some(EntryMeta {
+                name: e.file_name().to_string_lossy().into_owned(),
+                bytes: md.len(),
+                mtime_ns,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Picks the entries to evict so the remaining total fits `cap`: oldest
+/// mtime first, file-name order on ties, `keep` exempt. Pure so the policy
+/// is unit-testable without touching filesystem timestamps.
+pub fn plan_evictions(entries: &[EntryMeta], cap: u64, keep: Option<&str>) -> Vec<String> {
+    let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
+    if total <= cap {
+        return Vec::new();
+    }
+    let mut candidates: Vec<&EntryMeta> = entries
+        .iter()
+        .filter(|e| Some(e.name.as_str()) != keep)
+        .collect();
+    candidates.sort_by(|a, b| a.mtime_ns.cmp(&b.mtime_ns).then(a.name.cmp(&b.name)));
+    let mut out = Vec::new();
+    for e in candidates {
+        if total <= cap {
+            break;
+        }
+        total -= e.bytes;
+        out.push(e.name.clone());
+    }
+    out
 }
 
 #[cfg(test)]
@@ -293,6 +439,86 @@ mod tests {
         std::fs::copy(cache.entry_path(&a), cache.entry_path(&b)).unwrap();
         assert!(matches!(cache.lookup::<RunReport>(&b), Lookup::Corrupt));
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn eviction_plan_is_lru_by_mtime_with_name_tiebreak() {
+        let e = |name: &str, bytes: u64, mtime_ns: u128| EntryMeta {
+            name: name.into(),
+            bytes,
+            mtime_ns,
+        };
+        let entries = vec![
+            e("cc.json", 100, 30),
+            e("aa.json", 100, 10),
+            e("bb.json", 100, 20),
+            e("dd.json", 100, 20),
+        ];
+        // Under cap: nothing to do.
+        assert!(plan_evictions(&entries, 400, None).is_empty());
+        // Oldest first; equal mtimes fall back to name order.
+        assert_eq!(
+            plan_evictions(&entries, 200, None),
+            vec!["aa.json".to_string(), "bb.json".to_string()]
+        );
+        // The just-written entry is exempt even when it is the oldest.
+        assert_eq!(
+            plan_evictions(&entries, 200, Some("aa.json")),
+            vec!["bb.json".to_string(), "dd.json".to_string()]
+        );
+        // A cap below a single entry still keeps the protected one.
+        assert_eq!(plan_evictions(&entries, 0, Some("aa.json")).len(), 3);
+    }
+
+    #[test]
+    fn store_enforces_cap_and_counts_evictions() {
+        let report = sample_report();
+        let entry_bytes = {
+            let probe = ResultCache::at(scratch_dir("cap-probe")).with_max_bytes(None);
+            probe
+                .store(&CacheId::new("standalone/x", "probe"), &report)
+                .unwrap();
+            let bytes = probe.disk_bytes();
+            let _ = std::fs::remove_dir_all(probe.dir());
+            bytes
+        };
+        // Room for two entries, not three.
+        let cache = ResultCache::at(scratch_dir("cap")).with_max_bytes(Some(entry_bytes * 2 + 10));
+        let ids: Vec<CacheId> = (0..3)
+            .map(|i| CacheId::new("standalone/x", format!("canon-{i}")))
+            .collect();
+        for id in &ids {
+            cache.store(id, &report).unwrap();
+        }
+        assert_eq!(cache.entry_count(), 2, "cap must hold two entries");
+        assert_eq!(cache.evictions(), 1);
+        assert!(
+            matches!(cache.lookup::<RunReport>(&ids[2]), Lookup::Hit(_)),
+            "the just-written entry must survive its own eviction pass"
+        );
+        let survivors = (0..2)
+            .filter(|&i| matches!(cache.lookup::<RunReport>(&ids[i]), Lookup::Hit(_)))
+            .count();
+        assert_eq!(survivors, 1, "exactly one older entry must remain");
+
+        let mut reg = salam_obs::MetricsRegistry::new();
+        cache.export_metrics(&mut reg, "cache");
+        assert_eq!(reg.get("cache.evictions"), Some(1.0));
+        assert_eq!(reg.get("cache.entries"), Some(2.0));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cap_env_override_parses() {
+        let _env = crate::test_env::lock();
+        // A huge cap: even if a concurrently-running sweep test resolves
+        // its cache while this guard is live, nothing gets evicted.
+        let _cap = crate::test_env::EnvGuard::set("SALAM_DSE_CACHE_MAX_BYTES", "1099511627776");
+        assert_eq!(env_max_bytes(), Some(1 << 40));
+        let _bad = crate::test_env::EnvGuard::set("SALAM_DSE_CACHE_MAX_BYTES", "nope");
+        assert_eq!(env_max_bytes(), None);
+        let _zero = crate::test_env::EnvGuard::set("SALAM_DSE_CACHE_MAX_BYTES", "0");
+        assert_eq!(env_max_bytes(), None);
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub mod spec;
 #[cfg(test)]
 pub(crate) mod test_env;
 
-pub use cache::{CacheId, CachePayload, Lookup, ResultCache, CACHE_FORMAT_VERSION};
+pub use cache::{
+    env_max_bytes, plan_evictions, CacheId, CachePayload, EntryMeta, Lookup, ResultCache,
+    CACHE_FORMAT_VERSION,
+};
 pub use pool::{run_parallel, worker_count};
 pub use report::{metrics_rollup, objectives, pareto_frontier, SweepTable};
 pub use spec::{Axis, KernelSpec, StandalonePoint, SweepSpec};
@@ -93,6 +96,9 @@ pub struct DseOptions {
     pub cache_dir: Option<PathBuf>,
     /// Disables the result cache entirely (every point simulates).
     pub no_cache: bool,
+    /// Cache size cap in bytes; `None` uses `SALAM_DSE_CACHE_MAX_BYTES`
+    /// ([`cache::env_max_bytes`]; absent means unbounded).
+    pub cache_max_bytes: Option<u64>,
     /// Extra attempts after a job panics before recording it as failed.
     /// A panic can be an artifact of thread-local or timing state, so one
     /// retry is cheap insurance; a deterministic panic fails again and is
@@ -106,6 +112,7 @@ impl Default for DseOptions {
             workers: None,
             cache_dir: None,
             no_cache: false,
+            cache_max_bytes: None,
             retries: 1,
         }
     }
@@ -130,6 +137,12 @@ impl DseOptions {
         self
     }
 
+    /// Explicit cache size cap in bytes.
+    pub fn with_cache_max_bytes(mut self, bytes: u64) -> Self {
+        self.cache_max_bytes = Some(bytes);
+        self
+    }
+
     /// Explicit retry budget for panicking jobs (0 disables retries).
     pub fn with_retries(mut self, n: u32) -> Self {
         self.retries = n;
@@ -144,11 +157,14 @@ impl DseOptions {
         if self.no_cache || std::env::var_os("SALAM_DSE_NO_CACHE").is_some_and(|v| v == "1") {
             return None;
         }
-        Some(ResultCache::at(
-            self.cache_dir
-                .clone()
-                .unwrap_or_else(ResultCache::default_dir),
-        ))
+        Some(
+            ResultCache::at(
+                self.cache_dir
+                    .clone()
+                    .unwrap_or_else(ResultCache::default_dir),
+            )
+            .with_max_bytes(self.cache_max_bytes.or_else(cache::env_max_bytes)),
+        )
     }
 }
 
@@ -299,6 +315,25 @@ impl<T> SweepRun<T> {
             self.outcomes.len(),
             self.wall.as_secs_f64()
         )
+    }
+
+    /// The counts that are a pure function of the submitted job set and
+    /// cache state, as `(key, value)` pairs for
+    /// [`SweepTable::set_summary`]. Environment facts — worker count, wall
+    /// time — are deliberately excluded so exported tables stay
+    /// byte-comparable across runs.
+    pub fn summary_pairs(&self) -> Vec<(String, String)> {
+        [
+            ("points", self.outcomes.len()),
+            ("failed", self.failed),
+            ("invalid", self.invalid),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("corrupt", self.corrupt),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
     }
 }
 

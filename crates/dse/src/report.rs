@@ -14,6 +14,7 @@ pub struct SweepTable {
     pub title: String,
     columns: Vec<String>,
     rows: Vec<Vec<String>>,
+    summary: Vec<(String, String)>,
 }
 
 impl SweepTable {
@@ -23,7 +24,28 @@ impl SweepTable {
             title: title.into(),
             columns: columns.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            summary: Vec::new(),
         }
+    }
+
+    /// Attaches sweep-level summary counters (`failed`, `invalid`, …) so
+    /// they survive into **every** serialization — plain text, CSV and
+    /// JSON — not just the human table. Order is preserved.
+    pub fn set_summary(&mut self, pairs: Vec<(String, String)>) {
+        self.summary = pairs;
+    }
+
+    /// The attached summary pairs (empty when none were set).
+    pub fn summary(&self) -> &[(String, String)] {
+        &self.summary
+    }
+
+    fn summary_line(&self) -> String {
+        self.summary
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 
     /// Appends a row.
@@ -79,28 +101,45 @@ impl SweepTable {
         for r in &self.rows {
             line(r, &mut out);
         }
+        if !self.summary.is_empty() {
+            // A `#` comment line: ignored by naive CSV readers, greppable
+            // by CI, and round-trippable by anything that keeps comments.
+            out.push_str(&format!("# {}\n", self.summary_line()));
+        }
         out
     }
 
-    /// A JSON array of row objects keyed by column name.
+    /// JSON: a plain array of row objects keyed by column name when no
+    /// summary is attached (the historical shape), otherwise
+    /// `{"rows": [...], "summary": {...}}` so `failed=`/`invalid=` counts
+    /// survive machine exports too.
     pub fn to_json(&self) -> String {
         let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
-        let mut out = String::from("[");
+        let mut rows = String::from("[");
         for (ri, r) in self.rows.iter().enumerate() {
             if ri > 0 {
-                out.push(',');
+                rows.push(',');
             }
-            out.push_str("\n  {");
+            rows.push_str("\n  {");
             for (ci, (k, v)) in self.columns.iter().zip(r).enumerate() {
                 if ci > 0 {
-                    out.push_str(", ");
+                    rows.push_str(", ");
                 }
-                out.push_str(&format!("\"{}\": \"{}\"", esc(k), esc(v)));
+                rows.push_str(&format!("\"{}\": \"{}\"", esc(k), esc(v)));
             }
-            out.push('}');
+            rows.push('}');
         }
-        out.push_str("\n]\n");
-        out
+        rows.push_str("\n]");
+        if self.summary.is_empty() {
+            return format!("{rows}\n");
+        }
+        let summary = self
+            .summary
+            .iter()
+            .map(|(k, v)| format!("\"{}\": \"{}\"", esc(k), esc(v)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{{\n\"rows\": {rows},\n\"summary\": {{{summary}}}\n}}\n")
     }
 
     /// Renders CSV when the process was invoked with `--csv` (or
@@ -146,6 +185,9 @@ impl SweepTable {
         for r in &self.rows {
             out.push_str(&fmt_line(r));
             out.push('\n');
+        }
+        if !self.summary.is_empty() {
+            out.push_str(&format!("-- {}\n", self.summary_line()));
         }
         out
     }
@@ -230,6 +272,40 @@ mod tests {
         // "name" padded to the widest cell ("longer", 6 chars) + 2 spaces.
         assert!(lines[1].starts_with("name    cycles"));
         assert!(lines[4].starts_with("longer  9"));
+    }
+
+    #[test]
+    fn summary_survives_every_serialization() {
+        let mut t = SweepTable::new("t", &["k", "v"]);
+        t.row(vec!["gemm".into(), "12".into()]);
+        t.set_summary(vec![
+            ("points".into(), "4".into()),
+            ("failed".into(), "1".into()),
+            ("invalid".into(), "2".into()),
+        ]);
+        // Plain text: summary rendered after the rows.
+        assert!(t.render().contains("-- points=4 failed=1 invalid=2"));
+        // CSV: exact pinned format — rows unchanged, `#` comment trailer.
+        assert_eq!(t.to_csv(), "k,v\ngemm,12\n# points=4 failed=1 invalid=2\n");
+        // JSON: {"rows": [...], "summary": {...}} shape, round-trippable.
+        let v = salam_obs::json::parse(&t.to_json()).unwrap();
+        let rows = v.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].get("k").unwrap().as_str(), Some("gemm"));
+        let summary = v.get("summary").unwrap();
+        assert_eq!(summary.get("failed").unwrap().as_str(), Some("1"));
+        assert_eq!(summary.get("invalid").unwrap().as_str(), Some("2"));
+        assert_eq!(summary.get("points").unwrap().as_str(), Some("4"));
+    }
+
+    #[test]
+    fn summaryless_exports_keep_historical_shape() {
+        let mut t = SweepTable::new("t", &["k"]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.to_csv(), "k\nx\n");
+        assert!(salam_obs::json::parse(&t.to_json())
+            .unwrap()
+            .as_array()
+            .is_some());
     }
 
     #[test]

@@ -1,0 +1,873 @@
+//! The running server: worker threads over the pure scheduler, admission
+//! control, fingerprint coalescing, the shared result cache, and metrics.
+//!
+//! [`ServeCore`] is deliberately transport-free — the TCP/HTTP layer in
+//! [`crate::server`] is a thin shell around it, and the integration tests
+//! drive it directly. Every mutable thing lives in one `Mutex<State>` with
+//! a `Condvar`; workers hold the lock only to pick up and record work, and
+//! simulate unlocked.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Condvar, Mutex};
+
+use salam::standalone::{try_run_kernel_traced, StandaloneConfig};
+use salam_dse::{
+    run_sweep, CacheId, DseOptions, KernelSpec, Lookup, ResultCache, StandalonePoint, SweepJob,
+    SweepSpec, SweepTable,
+};
+use salam_fault::FaultPlan;
+use salam_obs::MetricsRegistry;
+use salam_verify::{errors_only, to_json as diags_to_json, verify_ir, warning_count};
+
+use crate::job::{
+    config_from_knobs, JobId, JobOutcome, JobRequest, JobState, JobStatus, Rejection,
+};
+use crate::quota::TenantQuota;
+use crate::sched::{Class, Dispatched, Scheduler, Task};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Total concurrent simulation slots (worker threads).
+    pub slots: usize,
+    /// Points per sweep chunk — the scheduling granularity of batch work.
+    /// Smaller chunks mean interactive jobs wait less behind a sweep.
+    pub sweep_chunk: usize,
+    /// The quota applied to every tenant.
+    pub quota: TenantQuota,
+    /// Result-cache directory; `None` uses the `salam-dse` default
+    /// (`SALAM_DSE_CACHE` / `target/dse-cache`).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Disables the shared result cache.
+    pub no_cache: bool,
+    /// Cache size cap; `None` reads `SALAM_DSE_CACHE_MAX_BYTES`.
+    pub cache_max_bytes: Option<u64>,
+    /// Run `salam-verify` as a pre-admission gate (IR errors reject the
+    /// job; warnings become its lint artifact).
+    pub verify: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            slots: 2,
+            sweep_chunk: 16,
+            quota: TenantQuota::default(),
+            cache_dir: None,
+            no_cache: false,
+            cache_max_bytes: None,
+            verify: true,
+        }
+    }
+}
+
+/// What a job actually executes. Shared immutably with workers.
+#[derive(Debug)]
+enum Work {
+    Single {
+        point: Box<StandalonePoint>,
+        plan: Option<FaultPlan>,
+        trace: bool,
+    },
+    Sweep {
+        name: String,
+        points: Vec<StandalonePoint>,
+        /// `[start, end)` point ranges, one per chunk task.
+        chunks: Vec<(usize, usize)>,
+    },
+}
+
+/// One sweep point's finished row.
+#[derive(Debug, Clone)]
+struct PointRow {
+    label: String,
+    cycles: String,
+    status: String,
+    ok: bool,
+    invalid: bool,
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    tenant: String,
+    kind: &'static str,
+    state: JobState,
+    submit_seq: u64,
+    complete_seq: Option<u64>,
+    work: Arc<Work>,
+    outcome: Option<JobOutcome>,
+    lint_json: Option<String>,
+    /// Sweep bookkeeping: chunks not yet finished, per-point rows.
+    pending_chunks: usize,
+    rows: Vec<Option<PointRow>>,
+    /// Single-run fingerprint (for coalescing bookkeeping).
+    fingerprint: Option<String>,
+    /// Jobs coalesced onto this one; completed together with it.
+    followers: Vec<JobId>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct TenantStats {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    coalesced: u64,
+    cache_hits: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    jobs: BTreeMap<JobId, JobRecord>,
+    sched: Scheduler,
+    next_id: JobId,
+    submit_seq: u64,
+    complete_seq: u64,
+    shutdown: bool,
+    /// Fingerprint → leader job, for in-flight coalescing of identical
+    /// single runs.
+    inflight: HashMap<String, JobId>,
+    tenants: BTreeMap<String, TenantStats>,
+    coalesced: u64,
+    cache_hits: u64,
+    sim_runs: u64,
+    rejected: u64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cvar: Condvar,
+    cache: Option<ResultCache>,
+    cfg: ServeConfig,
+}
+
+/// The in-process server. Dropping it without [`ServeCore::shutdown`]
+/// leaves worker threads parked; always shut down.
+pub struct ServeCore {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Resolves a MachSuite benchmark id.
+fn bench_by_id(id: &str) -> Option<machsuite::Bench> {
+    machsuite::Bench::ALL
+        .into_iter()
+        .find(|b| b.label().eq_ignore_ascii_case(id))
+}
+
+impl ServeCore {
+    /// Starts the worker pool and returns the running server.
+    pub fn start(cfg: ServeConfig) -> Self {
+        let cache = if cfg.no_cache {
+            None
+        } else {
+            Some(
+                ResultCache::at(
+                    cfg.cache_dir
+                        .clone()
+                        .unwrap_or_else(ResultCache::default_dir),
+                )
+                .with_max_bytes(cfg.cache_max_bytes.or_else(salam_dse::env_max_bytes)),
+            )
+        };
+        let slots = cfg.slots.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                jobs: BTreeMap::new(),
+                sched: Scheduler::new(slots),
+                next_id: 1,
+                submit_seq: 0,
+                complete_seq: 0,
+                shutdown: false,
+                inflight: HashMap::new(),
+                tenants: BTreeMap::new(),
+                coalesced: 0,
+                cache_hits: 0,
+                sim_runs: 0,
+                rejected: 0,
+            }),
+            cvar: Condvar::new(),
+            cache,
+            cfg,
+        });
+        let workers = (0..slots)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        ServeCore {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Admits (or rejects) one job for `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejection`]; rejected submissions never become jobs.
+    pub fn submit(&self, tenant: &str, req: JobRequest) -> Result<JobId, Rejection> {
+        let prepared = self.prepare(&req);
+        let mut st = self.inner.state.lock().unwrap();
+        let reject = |st: &mut State, r: Rejection| {
+            st.rejected += 1;
+            st.tenants.entry(tenant.to_string()).or_default().rejected += 1;
+            Err(r)
+        };
+        if st.shutdown {
+            return reject(
+                &mut st,
+                Rejection::new("shutting-down", "server is shutting down"),
+            );
+        }
+        let active = st
+            .jobs
+            .values()
+            .filter(|j| j.tenant == tenant && !j.state.is_terminal())
+            .count();
+        if active >= self.inner.cfg.quota.max_queued {
+            return reject(
+                &mut st,
+                Rejection::new(
+                    "quota-queued",
+                    format!(
+                        "tenant '{tenant}' already has {active} jobs in flight (max {})",
+                        self.inner.cfg.quota.max_queued
+                    ),
+                ),
+            );
+        }
+        let (work, lint_json) = match prepared {
+            Ok(p) => p,
+            Err(r) => return reject(&mut st, r),
+        };
+
+        let id = st.next_id;
+        st.next_id += 1;
+        st.submit_seq += 1;
+        let seq = st.submit_seq;
+        let stats = st.tenants.entry(tenant.to_string()).or_default();
+        stats.submitted += 1;
+
+        let mut record = JobRecord {
+            tenant: tenant.to_string(),
+            kind: req.kind(),
+            state: JobState::Queued,
+            submit_seq: seq,
+            complete_seq: None,
+            work: Arc::new(work),
+            outcome: None,
+            lint_json,
+            pending_chunks: 0,
+            rows: Vec::new(),
+            fingerprint: None,
+            followers: Vec::new(),
+        };
+        match record.work.as_ref() {
+            Work::Single { point, plan, trace } => {
+                // Coalesce onto an identical in-flight run: the follower
+                // never takes a slot; it completes with the leader.
+                let fp = if *trace {
+                    None
+                } else {
+                    Some(single_fingerprint(point, plan.as_ref()))
+                };
+                record.fingerprint = fp.clone();
+                let leader = fp.as_ref().and_then(|f| st.inflight.get(f).copied());
+                if let Some(leader_id) = leader {
+                    st.coalesced += 1;
+                    st.tenants.entry(tenant.to_string()).or_default().coalesced += 1;
+                    st.jobs.insert(id, record);
+                    st.jobs
+                        .get_mut(&leader_id)
+                        .expect("leader exists while in inflight map")
+                        .followers
+                        .push(id);
+                } else {
+                    if let Some(f) = fp {
+                        st.inflight.insert(f, id);
+                    }
+                    st.jobs.insert(id, record);
+                    st.sched.push(Task {
+                        job: id,
+                        tenant: tenant.to_string(),
+                        class: Class::Regular,
+                        chunk: 0,
+                        seq,
+                        tenant_slots: self.inner.cfg.quota.max_running,
+                    });
+                }
+            }
+            Work::Sweep { chunks, points, .. } => {
+                record.pending_chunks = chunks.len();
+                record.rows = vec![None; points.len()];
+                let n = chunks.len();
+                st.jobs.insert(id, record);
+                for chunk in 0..n {
+                    st.sched.push(Task {
+                        job: id,
+                        tenant: tenant.to_string(),
+                        class: Class::Cpu,
+                        chunk,
+                        seq,
+                        tenant_slots: self.inner.cfg.quota.max_running,
+                    });
+                }
+            }
+        }
+        drop(st);
+        self.inner.cvar.notify_all();
+        Ok(id)
+    }
+
+    /// Validates and lowers a request outside the state lock.
+    #[allow(clippy::type_complexity)]
+    fn prepare(&self, req: &JobRequest) -> Result<(Work, Option<String>), Rejection> {
+        let gate_ir = |kernel: &machsuite::BuiltKernel| -> Result<Option<String>, Rejection> {
+            if !self.inner.cfg.verify {
+                return Ok(None);
+            }
+            let diags = verify_ir(&kernel.func);
+            let errors = errors_only(diags.clone());
+            if !errors.is_empty() {
+                return Err(Rejection {
+                    code: "verify",
+                    message: format!(
+                        "static verification rejected @{} ({} error(s))",
+                        kernel.name,
+                        errors.len()
+                    ),
+                    diagnostics: errors,
+                });
+            }
+            Ok((warning_count(&diags) > 0).then(|| diags_to_json(&diags)))
+        };
+        let single = |bench: &str, knobs: &[(String, u64)]| {
+            let b = bench_by_id(bench).ok_or_else(|| {
+                Rejection::new("bad-request", format!("unknown benchmark '{bench}'"))
+            })?;
+            let config = config_from_knobs(knobs).map_err(|m| Rejection::new("bad-request", m))?;
+            let point = StandalonePoint {
+                kernel: KernelSpec::bench(b),
+                config,
+                coords: Vec::new(),
+            };
+            // The same static screen the sweep engine applies per point.
+            point.validate().map_err(|d| Rejection {
+                code: "invalid-config",
+                message: d.message.clone(),
+                diagnostics: vec![d],
+            })?;
+            let lint = gate_ir(&point.kernel.build())?;
+            Ok((point, lint))
+        };
+        match req {
+            JobRequest::Kernel {
+                bench,
+                knobs,
+                trace,
+            } => {
+                let (point, lint) = single(bench, knobs)?;
+                Ok((
+                    Work::Single {
+                        point: Box::new(point),
+                        plan: None,
+                        trace: *trace,
+                    },
+                    lint,
+                ))
+            }
+            JobRequest::Faulted { bench, knobs, plan } => {
+                let (point, lint) = single(bench, knobs)?;
+                Ok((
+                    Work::Single {
+                        point: Box::new(point),
+                        plan: Some(*plan),
+                        trace: false,
+                    },
+                    lint,
+                ))
+            }
+            JobRequest::Sweep {
+                name,
+                kernels,
+                axes,
+            } => {
+                if kernels.is_empty() {
+                    return Err(Rejection::new("bad-request", "sweep has no kernels"));
+                }
+                let mut spec = SweepSpec::new(name.clone(), StandaloneConfig::default());
+                let mut lint = None;
+                for k in kernels {
+                    let b = bench_by_id(k).ok_or_else(|| {
+                        Rejection::new("bad-request", format!("unknown benchmark '{k}'"))
+                    })?;
+                    lint = gate_ir(&b.build_standard())?.or(lint);
+                    spec = spec.kernel(KernelSpec::bench(b));
+                }
+                for ax in axes {
+                    let axis = ax.to_axis().map_err(|m| Rejection::new("bad-request", m))?;
+                    spec = spec.axis(axis);
+                }
+                let count = spec.point_count();
+                let max = self.inner.cfg.quota.max_sweep_points;
+                if count > max {
+                    return Err(Rejection::new(
+                        "quota-sweep-points",
+                        format!("sweep enumerates {count} points (max {max})"),
+                    ));
+                }
+                let points = spec.points();
+                let chunk = self.inner.cfg.sweep_chunk.max(1);
+                let chunks: Vec<(usize, usize)> = (0..points.len())
+                    .step_by(chunk)
+                    .map(|a| (a, (a + chunk).min(points.len())))
+                    .collect();
+                Ok((
+                    Work::Sweep {
+                        name: name.clone(),
+                        points,
+                        chunks,
+                    },
+                    lint,
+                ))
+            }
+        }
+    }
+
+    fn snapshot(st: &State, id: JobId) -> Option<JobStatus> {
+        st.jobs.get(&id).map(|j| JobStatus {
+            id,
+            tenant: j.tenant.clone(),
+            kind: j.kind,
+            state: j.state,
+            submit_seq: j.submit_seq,
+            complete_seq: j.complete_seq,
+            detail: j.outcome.as_ref().map(JobOutcome::detail),
+        })
+    }
+
+    /// The job's current status, if it exists.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        Self::snapshot(&self.inner.state.lock().unwrap(), id)
+    }
+
+    /// Blocks until the job reaches a terminal state (or doesn't exist).
+    pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            match st.jobs.get(&id) {
+                None => return None,
+                Some(j) if j.state.is_terminal() => return Self::snapshot(&st, id),
+                Some(_) => st = self.inner.cvar.wait(st).unwrap(),
+            }
+        }
+    }
+
+    /// Fetches one artifact of a terminal job: `report`, `trace`, `csv`,
+    /// `table`, `error`, or `lint`.
+    ///
+    /// # Errors
+    ///
+    /// A message when the job/artifact combination does not exist (yet).
+    pub fn artifact(&self, id: JobId, kind: &str) -> Result<String, String> {
+        let st = self.inner.state.lock().unwrap();
+        let j = st.jobs.get(&id).ok_or_else(|| format!("no job {id}"))?;
+        if kind == "lint" {
+            return Ok(j.lint_json.clone().unwrap_or_else(|| "[]".to_string()));
+        }
+        let outcome = j
+            .outcome
+            .as_ref()
+            .ok_or_else(|| format!("job {id} is {}", j.state.name()))?;
+        match (kind, outcome) {
+            ("report", JobOutcome::Report { json, .. }) => Ok(json.clone()),
+            ("trace", JobOutcome::Report { trace_json, .. }) => trace_json
+                .clone()
+                .ok_or_else(|| format!("job {id} was not traced")),
+            ("csv", JobOutcome::Sweep { csv, .. }) => Ok(csv.clone()),
+            ("table", JobOutcome::Sweep { json, .. }) => Ok(json.clone()),
+            ("error", JobOutcome::Error { label, message }) => Ok(format!(
+                "{{\"label\": \"{}\", \"message\": \"{}\"}}",
+                crate::wire::escape(label),
+                crate::wire::escape(message)
+            )),
+            _ => Err(format!("job {id} ({}) has no '{kind}' artifact", j.kind)),
+        }
+    }
+
+    /// A full metrics dump: job/tenant counters plus cache occupancy.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let st = self.inner.state.lock().unwrap();
+        let mut reg = MetricsRegistry::new();
+        let (done, failed, queued, running) =
+            st.jobs
+                .values()
+                .fold((0u64, 0u64, 0u64, 0u64), |acc, j| match j.state {
+                    JobState::Done => (acc.0 + 1, acc.1, acc.2, acc.3),
+                    JobState::Failed => (acc.0, acc.1 + 1, acc.2, acc.3),
+                    JobState::Queued => (acc.0, acc.1, acc.2 + 1, acc.3),
+                    JobState::Running => (acc.0, acc.1, acc.2, acc.3 + 1),
+                });
+        reg.set("serve.jobs.submitted", st.submit_seq as f64);
+        reg.set("serve.jobs.done", done as f64);
+        reg.set("serve.jobs.failed", failed as f64);
+        reg.set("serve.jobs.queued", queued as f64);
+        reg.set("serve.jobs.running", running as f64);
+        reg.set("serve.jobs.rejected", st.rejected as f64);
+        reg.set("serve.jobs.coalesced", st.coalesced as f64);
+        reg.set("serve.cache_hits", st.cache_hits as f64);
+        reg.set("serve.sim_runs", st.sim_runs as f64);
+        for (t, s) in &st.tenants {
+            let p = format!("serve.tenant.{t}");
+            reg.set(&format!("{p}.submitted"), s.submitted as f64);
+            reg.set(&format!("{p}.completed"), s.completed as f64);
+            reg.set(&format!("{p}.failed"), s.failed as f64);
+            reg.set(&format!("{p}.rejected"), s.rejected as f64);
+            reg.set(&format!("{p}.coalesced"), s.coalesced as f64);
+            reg.set(&format!("{p}.cache_hits"), s.cache_hits as f64);
+        }
+        if let Some(cache) = &self.inner.cache {
+            cache.export_metrics(&mut reg, "serve.cache");
+        }
+        reg
+    }
+
+    /// The stable one-line summary CI asserts on.
+    pub fn stats_line(&self) -> String {
+        let st = self.inner.state.lock().unwrap();
+        let (done, failed) = st.jobs.values().fold((0u64, 0u64), |acc, j| match j.state {
+            JobState::Done => (acc.0 + 1, acc.1),
+            JobState::Failed => (acc.0, acc.1 + 1),
+            _ => acc,
+        });
+        format!(
+            "jobs={} done={} failed={} rejected={} coalesced={} cache_hits={} sim_runs={}",
+            st.submit_seq, done, failed, st.rejected, st.coalesced, st.cache_hits, st.sim_runs
+        )
+    }
+
+    /// Stops accepting jobs, lets in-flight tasks finish, and joins the
+    /// workers. Still-queued tasks are abandoned (their jobs stay queued).
+    /// Idempotent; later calls are no-ops.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.inner.cvar.notify_all();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The coalescing identity of one single run: the cache identity plus the
+/// fault-plan fingerprint (a faulted run must never coalesce with a clean
+/// one).
+fn single_fingerprint(point: &StandalonePoint, plan: Option<&FaultPlan>) -> String {
+    let id = point.cache_id();
+    match plan {
+        None => format!("{}\u{0}{}", id.domain, id.canon),
+        Some(p) => format!("{}\u{0}{}\u{0}{}", id.domain, id.canon, p.canonical_repr()),
+    }
+}
+
+/// The cache identity of a faulted single run: its own domain so clean and
+/// faulted results can never shadow each other.
+fn faulted_cache_id(point: &StandalonePoint, plan: &FaultPlan) -> CacheId {
+    CacheId::new(
+        format!("serve-faulted/{}", point.kernel.id),
+        format!(
+            "{}\nfault: {}",
+            point.config.canonical_repr(),
+            plan.canonical_repr()
+        ),
+    )
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let dispatched: Dispatched = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(d) = st.sched.dispatch() {
+                    if let Some(j) = st.jobs.get_mut(&d.task.job) {
+                        j.state = JobState::Running;
+                    }
+                    break d;
+                }
+                st = inner.cvar.wait(st).unwrap();
+            }
+        };
+        let work = {
+            let st = inner.state.lock().unwrap();
+            st.jobs.get(&dispatched.task.job).map(|j| j.work.clone())
+        };
+        let Some(work) = work else {
+            // Job vanished (cannot happen today; records are never dropped
+            // while tasks are queued) — just return the slot.
+            let mut st = inner.state.lock().unwrap();
+            st.sched.task_done(&dispatched);
+            inner.cvar.notify_all();
+            continue;
+        };
+        match work.as_ref() {
+            Work::Single { point, plan, trace } => {
+                let (outcome, from_cache) = run_single(inner, point, plan.as_ref(), *trace);
+                let mut st = inner.state.lock().unwrap();
+                if from_cache {
+                    st.cache_hits += 1;
+                } else {
+                    st.sim_runs += 1;
+                }
+                complete_single(&mut st, dispatched.task.job, outcome, from_cache);
+                st.sched.task_done(&dispatched);
+                drop(st);
+                inner.cvar.notify_all();
+            }
+            Work::Sweep { points, chunks, .. } => {
+                let (a, b) = chunks[dispatched.task.chunk];
+                let run = run_sweep(&points[a..b], &chunk_options(inner));
+                let mut st = inner.state.lock().unwrap();
+                st.cache_hits += run.hits as u64;
+                st.sim_runs += (run.misses + run.corrupt) as u64;
+                record_chunk(&mut st, dispatched.task.job, work.as_ref(), a, &run);
+                st.sched.task_done(&dispatched);
+                drop(st);
+                inner.cvar.notify_all();
+            }
+        }
+    }
+}
+
+fn chunk_options(inner: &Inner) -> DseOptions {
+    // One worker per chunk: parallelism comes from the serve slot pool, and
+    // a chunk must not oversubscribe the machine behind the scheduler's
+    // back.
+    let mut opts = DseOptions::default().with_workers(1);
+    match (&inner.cache, &inner.cfg.cache_dir) {
+        (None, _) => opts = opts.without_cache(),
+        (Some(cache), _) => {
+            opts = opts.with_cache_dir(cache.dir());
+            if let Some(cap) = cache.max_bytes() {
+                opts = opts.with_cache_max_bytes(cap);
+            }
+        }
+    }
+    opts
+}
+
+/// Executes one single run — cache probe, simulate under `catch_unwind`,
+/// store — and returns the outcome plus whether it was served from cache.
+fn run_single(
+    inner: &Inner,
+    point: &StandalonePoint,
+    plan: Option<&FaultPlan>,
+    trace: bool,
+) -> (JobOutcome, bool) {
+    let cache_id = match plan {
+        None => point.cache_id(),
+        Some(p) => faulted_cache_id(point, p),
+    };
+    // Traced runs bypass the cache: the report would hit, but the trace
+    // artifact only exists by simulating.
+    let cache = inner.cache.as_ref().filter(|_| !trace);
+    if let Some(cache) = cache {
+        if let Lookup::Hit(report) = cache.lookup::<salam::RunReport>(&cache_id) {
+            return (report_outcome(&report, None), true);
+        }
+    }
+    let mut shared = if trace {
+        salam_obs::SharedTrace::enabled()
+    } else {
+        salam_obs::SharedTrace::disabled()
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        try_run_kernel_traced(&point.kernel.build(), &point.config, &shared, plan)
+    }));
+    let outcome = match result {
+        Ok(Ok(report)) => {
+            if let Some(cache) = cache {
+                if let Err(e) = cache.store(&cache_id, &report) {
+                    eprintln!("salam-serve: warning: cache store failed: {e}");
+                }
+            }
+            let trace_json = shared
+                .take_recorder()
+                .map(|rec| salam_obs::export_chrome_json(&rec));
+            report_outcome(&report, trace_json)
+        }
+        Ok(Err(sim_err)) => JobOutcome::Error {
+            label: sim_err.label().to_string(),
+            message: sim_err.to_string(),
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("panic");
+            JobOutcome::Error {
+                label: "panic".to_string(),
+                message: msg.lines().next().unwrap_or("panic").to_string(),
+            }
+        }
+    };
+    (outcome, false)
+}
+
+fn report_outcome(report: &salam::RunReport, trace_json: Option<String>) -> JobOutcome {
+    JobOutcome::Report {
+        json: report.to_json(),
+        cycles: report.cycles,
+        verified: report.verified,
+        bottleneck: report.dominant_bottleneck().to_string(),
+        trace_json,
+    }
+}
+
+/// Records a single run's outcome and completes the job together with any
+/// coalesced followers.
+fn complete_single(st: &mut State, id: JobId, outcome: JobOutcome, leader_from_cache: bool) {
+    let followers = {
+        let Some(j) = st.jobs.get_mut(&id) else {
+            return;
+        };
+        if let Some(fp) = j.fingerprint.take() {
+            st.inflight.remove(&fp);
+        }
+        std::mem::take(&mut j.followers)
+    };
+    let finish = |st: &mut State, id: JobId, outcome: JobOutcome, hit: bool| {
+        st.complete_seq += 1;
+        let seq = st.complete_seq;
+        let Some(j) = st.jobs.get_mut(&id) else {
+            return;
+        };
+        j.state = if matches!(outcome, JobOutcome::Error { .. }) {
+            JobState::Failed
+        } else {
+            JobState::Done
+        };
+        j.complete_seq = Some(seq);
+        j.outcome = Some(outcome);
+        let tenant = j.tenant.clone();
+        let failed = j.state == JobState::Failed;
+        let stats = st.tenants.entry(tenant).or_default();
+        if failed {
+            stats.failed += 1;
+        } else {
+            stats.completed += 1;
+        }
+        if hit {
+            stats.cache_hits += 1;
+        }
+    };
+    for f in followers {
+        finish(st, f, outcome.clone(), true);
+    }
+    finish(st, id, outcome, leader_from_cache);
+}
+
+/// Folds one finished chunk into its sweep job; assembles the table when
+/// the last chunk lands.
+fn record_chunk(
+    st: &mut State,
+    id: JobId,
+    work: &Work,
+    start: usize,
+    run: &salam_dse::SweepRun<salam::RunReport>,
+) {
+    let Work::Sweep { name, points, .. } = work else {
+        return;
+    };
+    let Some(j) = st.jobs.get_mut(&id) else {
+        return;
+    };
+    for (i, outcome) in run.outcomes.iter().enumerate() {
+        let point = &points[start + i];
+        let row = match outcome.payload() {
+            Some(r) => PointRow {
+                label: point.label(),
+                cycles: r.cycles.to_string(),
+                status: "ok".to_string(),
+                ok: true,
+                invalid: false,
+            },
+            None => PointRow {
+                label: point.label(),
+                cycles: String::new(),
+                status: outcome.failure_label().unwrap_or_default(),
+                ok: false,
+                invalid: outcome.invalid().is_some(),
+            },
+        };
+        j.rows[start + i] = Some(row);
+    }
+    j.pending_chunks -= 1;
+    if j.pending_chunks > 0 {
+        return;
+    }
+
+    // Last chunk: assemble the deterministic artifact. Cache/worker/wall
+    // telemetry is deliberately excluded so the same submitted sweep is
+    // byte-identical regardless of slot count, arrival order, or cache
+    // warmth.
+    let mut table = SweepTable::new(name.clone(), &["point", "cycles", "status"]);
+    let (mut ok, mut failed, mut invalid) = (0usize, 0usize, 0usize);
+    for row in j.rows.iter().flatten() {
+        if row.ok {
+            ok += 1;
+        } else if row.invalid {
+            invalid += 1;
+        } else {
+            failed += 1;
+        }
+        table.row(vec![
+            row.label.clone(),
+            row.cycles.clone(),
+            row.status.clone(),
+        ]);
+    }
+    let total = j.rows.len();
+    table.set_summary(vec![
+        ("points".into(), total.to_string()),
+        ("ok".into(), ok.to_string()),
+        ("failed".into(), failed.to_string()),
+        ("invalid".into(), invalid.to_string()),
+    ]);
+    let outcome = JobOutcome::Sweep {
+        csv: table.to_csv(),
+        json: table.to_json(),
+        points: total,
+        ok,
+        failed,
+        invalid,
+    };
+    st.complete_seq += 1;
+    let seq = st.complete_seq;
+    let Some(j) = st.jobs.get_mut(&id) else {
+        return;
+    };
+    j.state = if failed > 0 {
+        JobState::Failed
+    } else {
+        JobState::Done
+    };
+    j.complete_seq = Some(seq);
+    j.outcome = Some(outcome);
+    let tenant = j.tenant.clone();
+    let job_failed = j.state == JobState::Failed;
+    let stats = st.tenants.entry(tenant).or_default();
+    if job_failed {
+        stats.failed += 1;
+    } else {
+        stats.completed += 1;
+    }
+}

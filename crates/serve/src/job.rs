@@ -1,0 +1,299 @@
+//! The job model: what tenants submit, how jobs progress, what comes back.
+
+use salam::standalone::StandaloneConfig;
+use salam_dse::Axis;
+use salam_fault::FaultPlan;
+use salam_verify::Diagnostic;
+
+/// A job's server-assigned identity (monotone per server).
+pub type JobId = u64;
+
+/// What a tenant asks the server to run.
+#[derive(Debug, Clone)]
+pub enum JobRequest {
+    /// One kernel simulation, optionally with a Chrome trace recorded.
+    Kernel {
+        /// MachSuite benchmark id (`gemm`, `spmv`, …).
+        bench: String,
+        /// `(knob, value)` overrides over [`StandaloneConfig::default`],
+        /// in submission order (see [`apply_knob`]).
+        knobs: Vec<(String, u64)>,
+        /// Record op spans and stream them back as a trace artifact.
+        trace: bool,
+    },
+    /// One kernel simulation under a seeded fault-injection plan.
+    Faulted {
+        /// MachSuite benchmark id.
+        bench: String,
+        /// Config overrides, as for [`JobRequest::Kernel`].
+        knobs: Vec<(String, u64)>,
+        /// The campaign plan (decorrelated per-site streams; PR 4).
+        plan: FaultPlan,
+    },
+    /// A whole parameter sweep, scheduled as cpu-intensive chunks.
+    Sweep {
+        /// Sweep name (table title, metric prefix).
+        name: String,
+        /// MachSuite benchmark ids, outermost dimension.
+        kernels: Vec<String>,
+        /// Axes in declaration order; later axes vary faster.
+        axes: Vec<WireAxis>,
+    },
+}
+
+impl JobRequest {
+    /// Stable kind label (`kernel` / `faulted` / `sweep`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobRequest::Kernel { .. } => "kernel",
+            JobRequest::Faulted { .. } => "faulted",
+            JobRequest::Sweep { .. } => "sweep",
+        }
+    }
+}
+
+/// One sweep axis as it crosses the wire: a knob name and its values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireAxis {
+    /// Knob name (see [`apply_knob`] for the registry).
+    pub knob: String,
+    /// Settings in sweep order.
+    pub values: Vec<u64>,
+}
+
+impl WireAxis {
+    /// Lowers to a `salam-dse` [`Axis`].
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown knob.
+    pub fn to_axis(&self) -> Result<Axis, String> {
+        match self.knob.as_str() {
+            "ports" => Ok(Axis::spm_ports(
+                &self.values.iter().map(|&v| v as u32).collect::<Vec<_>>(),
+            )),
+            "spm-latency" => Ok(Axis::spm_latency(&self.values)),
+            "window" => Ok(Axis::reservation_entries(
+                &self.values.iter().map(|&v| v as usize).collect::<Vec<_>>(),
+            )),
+            other => Err(format!("unknown sweep knob '{other}'")),
+        }
+    }
+}
+
+/// Applies one named config override — the same knob vocabulary the sweep
+/// axes use, so a single run and a sweep point describe configurations
+/// identically (and therefore share cache entries).
+///
+/// # Errors
+///
+/// A message naming the unknown knob.
+pub fn apply_knob(cfg: &mut StandaloneConfig, knob: &str, value: u64) -> Result<(), String> {
+    match knob {
+        "ports" => {
+            cfg.spm_read_ports = value as u32;
+            cfg.spm_write_ports = value as u32;
+        }
+        "spm-latency" => cfg.spm_latency = value,
+        "window" => cfg.engine.reservation_entries = value as usize,
+        other => return Err(format!("unknown config knob '{other}'")),
+    }
+    Ok(())
+}
+
+/// Builds a [`StandaloneConfig`] from default + ordered overrides.
+///
+/// # Errors
+///
+/// A message naming the unknown knob.
+pub fn config_from_knobs(knobs: &[(String, u64)]) -> Result<StandaloneConfig, String> {
+    let mut cfg = StandaloneConfig::default();
+    for (knob, value) in knobs {
+        apply_knob(&mut cfg, knob, *value)?;
+    }
+    Ok(cfg)
+}
+
+/// Where a job is in its lifecycle. Terminal states are
+/// [`JobState::Done`] and [`JobState::Failed`]; rejected submissions never
+/// become jobs at all (they return a [`Rejection`] instead of a [`JobId`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a simulation slot.
+    Queued,
+    /// At least one of its tasks holds a slot.
+    Running,
+    /// Completed with a result artifact.
+    Done,
+    /// Completed with an error artifact (typed `SimError` or panic).
+    Failed,
+}
+
+impl JobState {
+    /// Lowercase stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// `true` once the job can make no further progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+/// What a finished job produced.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// A single run's full report.
+    Report {
+        /// The exact [`salam::RunReport`] JSON (byte-identical to a direct
+        /// library call on the same configuration).
+        json: String,
+        /// Total cycles, surfaced for status lines.
+        cycles: u64,
+        /// Output verification outcome.
+        verified: bool,
+        /// Dominant attribution class.
+        bottleneck: String,
+        /// Chrome trace JSON, when the job asked for tracing.
+        trace_json: Option<String>,
+    },
+    /// A completed sweep.
+    Sweep {
+        /// The result table as CSV (summary trailer included).
+        csv: String,
+        /// The result table as JSON (`{"rows": …, "summary": …}`).
+        json: String,
+        /// Total points.
+        points: usize,
+        /// Points with a report.
+        ok: usize,
+        /// Points whose job panicked out.
+        failed: usize,
+        /// Points statically rejected.
+        invalid: usize,
+    },
+    /// The job could not produce a result.
+    Error {
+        /// Stable class: a [`salam::SimError::label`] or `panic`.
+        label: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl JobOutcome {
+    /// One short status string (`cycles=… verified=…`, `points=… failed=…`,
+    /// or the error label).
+    pub fn detail(&self) -> String {
+        match self {
+            JobOutcome::Report {
+                cycles, verified, ..
+            } => format!("cycles={cycles} verified={verified}"),
+            JobOutcome::Sweep {
+                points,
+                ok,
+                failed,
+                invalid,
+                ..
+            } => format!("points={points} ok={ok} failed={failed} invalid={invalid}"),
+            JobOutcome::Error { label, .. } => format!("error={label}"),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one job, safe to hand across the wire.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The job.
+    pub id: JobId,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// `kernel` / `faulted` / `sweep`.
+    pub kind: &'static str,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Admission order (monotone across the server).
+    pub submit_seq: u64,
+    /// Completion order, once terminal.
+    pub complete_seq: Option<u64>,
+    /// [`JobOutcome::detail`], once terminal.
+    pub detail: Option<String>,
+}
+
+/// A typed admission refusal. `code` is stable (CI and clients key on it);
+/// verify-gated rejections carry the full diagnostics.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// Stable code: `quota-queued`, `quota-sweep-points`, `bad-request`,
+    /// `invalid-config`, `verify`, `shutting-down`.
+    pub code: &'static str,
+    /// Human-readable reason.
+    pub message: String,
+    /// Verifier findings, when the gate rejected the job.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Rejection {
+    /// A rejection without diagnostics.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        Rejection {
+            code,
+            message: message.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rejected[{}]: {}", self.code, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_vocabulary_matches_axes() {
+        let mut cfg = StandaloneConfig::default();
+        apply_knob(&mut cfg, "ports", 4).unwrap();
+        apply_knob(&mut cfg, "spm-latency", 3).unwrap();
+        apply_knob(&mut cfg, "window", 16).unwrap();
+        assert_eq!(cfg.spm_read_ports, 4);
+        assert_eq!(cfg.spm_write_ports, 4);
+        assert_eq!(cfg.spm_latency, 3);
+        assert_eq!(cfg.engine.reservation_entries, 16);
+        assert!(apply_knob(&mut cfg, "nope", 1).is_err());
+
+        let ax = WireAxis {
+            knob: "ports".into(),
+            values: vec![1, 2],
+        };
+        assert_eq!(ax.to_axis().unwrap().len(), 2);
+        assert!(WireAxis {
+            knob: "bogus".into(),
+            values: vec![1],
+        }
+        .to_axis()
+        .is_err());
+    }
+
+    #[test]
+    fn states_and_outcomes_summarize() {
+        assert!(JobState::Done.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert_eq!(JobState::Queued.name(), "queued");
+        let o = JobOutcome::Error {
+            label: "deadlock".into(),
+            message: "m".into(),
+        };
+        assert_eq!(o.detail(), "error=deadlock");
+    }
+}

@@ -1,0 +1,51 @@
+//! `salam-serve` — multi-tenant simulation-as-a-service.
+//!
+//! The ROADMAP's north star is a long-running server hosting the whole
+//! simulation stack for many tenants at once. This crate is that server,
+//! std-only like the rest of the workspace:
+//!
+//! * [`job`] — the job model: submit a kernel run, a faulted run, or a
+//!   whole sweep; poll status; fetch `RunReport`/table/trace/lint
+//!   artifacts. Typed [`job::Rejection`]s carry stable codes and, for
+//!   verify-gated rejections, the full `salam-verify` diagnostics.
+//! * [`quota`] — per-tenant admission limits: queued jobs, concurrent
+//!   simulation slots, sweep points.
+//! * [`sched`] — the pure two-tier scheduler: an FCFS front queue per
+//!   class with a cpu-intensive/regular slot split and limit borrowing,
+//!   so thousand-point sweeps can never starve interactive single-kernel
+//!   jobs. Unit-testable without threads.
+//! * [`core`] — the running server: worker threads over the scheduler,
+//!   fingerprint coalescing (identical in-flight jobs share one
+//!   simulation), the shared `salam-dse` result cache for cross-tenant
+//!   warmth, `catch_unwind` isolation per job, and per-tenant metrics.
+//! * [`wire`] + [`server`] — line-delimited JSON over TCP with a thin
+//!   HTTP/1.1 shim; zero external dependencies.
+//!
+//! Integration contract with the rest of the workspace:
+//!
+//! * **verify is an admission gate** (PR 5): IR that fails
+//!   [`salam_verify::gate`] and configs that fail validation are rejected
+//!   at submit time with diagnostics — they are never scheduled.
+//! * **typed failures, never crashes** (PR 4): a job that deadlocks or
+//!   faults returns its [`salam::SimError`] label; a job that panics is
+//!   caught and reported. The server survives all of them.
+//! * **shared incremental cache** (PR 2): single runs and sweep points use
+//!   the same `standalone/<kernel>` cache domain as `salam-dse`, so a
+//!   tenant resubmitting a config another tenant already ran is served
+//!   from disk without a simulation slot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod job;
+pub mod quota;
+pub mod sched;
+pub mod server;
+pub mod wire;
+
+pub use crate::core::{ServeConfig, ServeCore};
+pub use job::{JobId, JobOutcome, JobRequest, JobState, JobStatus, Rejection, WireAxis};
+pub use quota::TenantQuota;
+pub use sched::{Class, Scheduler, Task};
+pub use server::Server;

@@ -1,0 +1,39 @@
+//! Per-tenant admission limits.
+
+/// What one tenant may have in flight at once. The server applies one
+/// default quota to every tenant; per-tenant overrides are a config knob
+/// away because admission reads the quota through one lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Maximum non-terminal jobs (queued + running). Submissions beyond
+    /// this are rejected `quota-queued` until something drains.
+    pub max_queued: usize,
+    /// Maximum simulation slots the tenant's tasks may hold concurrently.
+    /// Excess tasks stay queued (not rejected) — this is a fairness cap,
+    /// not an admission limit.
+    pub max_running: usize,
+    /// Maximum points in one sweep submission; larger sweeps are rejected
+    /// `quota-sweep-points` outright.
+    pub max_sweep_points: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_queued: 16,
+            max_running: 2,
+            max_sweep_points: 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_quota_is_sane() {
+        let q = TenantQuota::default();
+        assert!(q.max_queued > 0 && q.max_running > 0 && q.max_sweep_points > 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! The pure two-tier scheduler: all policy, no threads.
+//!
+//! Two FCFS queues — `regular` for interactive single-kernel jobs, `cpu`
+//! for sweep chunks — over a fixed pool of simulation slots, split
+//! ovn-ci-style: `cpu_limit = slots/4 + 1` when more than one slot exists,
+//! otherwise the cpu class owns no slots of its own. Borrowing keeps the
+//! pool busy without starvation:
+//!
+//! * a **regular** task may always take a free cpu slot (interactive work
+//!   is latency-sensitive; a sweep chunk queued behind it waits one
+//!   dispatch round at most);
+//! * a **cpu** task may take a free regular slot only while the regular
+//!   queue has nothing eligible — so the moment an interactive job
+//!   arrives, the next regular slot to free up is its.
+//!
+//! Within a queue, dispatch is FCFS by submission sequence with skip: a
+//! task whose tenant is at its concurrency cap is passed over, not a
+//! head-of-line blocker. Every dispatched task records which bucket's slot
+//! it charged, so completion returns the slot to the right class no matter
+//! who borrowed what.
+//!
+//! Everything here is synchronous and deterministic — the server calls it
+//! under one lock, and the unit tests drive it without any threads.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::job::JobId;
+
+/// Which queue (and slot bucket) a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Interactive single-kernel work.
+    Regular,
+    /// Sweep chunks and other batch work.
+    Cpu,
+}
+
+/// One schedulable unit: a whole single-run job, or one chunk of a sweep.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Owning job.
+    pub job: JobId,
+    /// Owning tenant (for the concurrency cap).
+    pub tenant: String,
+    /// Queue class.
+    pub class: Class,
+    /// Chunk index within the job (0 for single-task jobs).
+    pub chunk: usize,
+    /// Global FCFS order.
+    pub seq: u64,
+    /// The tenant's concurrent-slot cap at admission time.
+    pub tenant_slots: usize,
+}
+
+/// A dispatched task plus the slot bucket it charged.
+#[derive(Debug, Clone)]
+pub struct Dispatched {
+    /// The task to execute.
+    pub task: Task,
+    /// Return the slot here on completion.
+    pub charged: Class,
+}
+
+/// The scheduler state machine.
+#[derive(Debug)]
+pub struct Scheduler {
+    regular: VecDeque<Task>,
+    cpu: VecDeque<Task>,
+    regular_limit: usize,
+    cpu_limit: usize,
+    running_regular: usize,
+    running_cpu: usize,
+    tenant_running: HashMap<String, usize>,
+}
+
+impl Scheduler {
+    /// A scheduler over `slots` total simulation slots (at least 1).
+    pub fn new(slots: usize) -> Self {
+        let slots = slots.max(1);
+        let cpu_limit = if slots > 1 { slots / 4 + 1 } else { 0 };
+        Scheduler {
+            regular: VecDeque::new(),
+            cpu: VecDeque::new(),
+            regular_limit: slots - cpu_limit,
+            cpu_limit,
+            running_regular: 0,
+            running_cpu: 0,
+            tenant_running: HashMap::new(),
+        }
+    }
+
+    /// The `(regular, cpu)` slot split.
+    pub fn limits(&self) -> (usize, usize) {
+        (self.regular_limit, self.cpu_limit)
+    }
+
+    /// Tasks waiting in both queues.
+    pub fn queued(&self) -> usize {
+        self.regular.len() + self.cpu.len()
+    }
+
+    /// Tasks currently holding slots.
+    pub fn running(&self) -> usize {
+        self.running_regular + self.running_cpu
+    }
+
+    /// Enqueues a task at the back of its class queue.
+    pub fn push(&mut self, task: Task) {
+        match task.class {
+            Class::Regular => self.regular.push_back(task),
+            Class::Cpu => self.cpu.push_back(task),
+        }
+    }
+
+    fn tenant_eligible(&self, t: &Task) -> bool {
+        self.tenant_running.get(&t.tenant).copied().unwrap_or(0) < t.tenant_slots
+    }
+
+    /// First tenant-eligible task in `queue`, FCFS with skip.
+    fn pick(queue: &VecDeque<Task>, eligible: impl Fn(&Task) -> bool) -> Option<usize> {
+        queue.iter().position(eligible)
+    }
+
+    /// Picks the next task to run, or `None` when nothing is both eligible
+    /// and fundable. Call repeatedly until `None` to fill all free slots.
+    pub fn dispatch(&mut self) -> Option<Dispatched> {
+        let regular_free = self.regular_limit - self.running_regular;
+        let cpu_free = self.cpu_limit - self.running_cpu;
+
+        // Regular first: take its own bucket, else borrow a cpu slot. When
+        // an eligible interactive task exists but nothing is free, return
+        // None rather than letting the cpu class claim capacity under it —
+        // the next released slot must be the interactive task's.
+        if let Some(i) = Self::pick(&self.regular, |t| self.tenant_eligible(t)) {
+            let charged = if regular_free > 0 {
+                Class::Regular
+            } else if cpu_free > 0 {
+                Class::Cpu
+            } else {
+                return None;
+            };
+            let task = self.regular.remove(i).expect("picked index exists");
+            return Some(self.start(task, charged));
+        }
+
+        // No eligible regular work: cpu may use its bucket and borrow.
+        if let Some(i) = Self::pick(&self.cpu, |t| self.tenant_eligible(t)) {
+            let charged = if cpu_free > 0 {
+                Some(Class::Cpu)
+            } else if regular_free > 0 {
+                Some(Class::Regular)
+            } else {
+                None
+            };
+            if let Some(charged) = charged {
+                let task = self.cpu.remove(i).expect("picked index exists");
+                return Some(self.start(task, charged));
+            }
+        }
+        None
+    }
+
+    fn start(&mut self, task: Task, charged: Class) -> Dispatched {
+        match charged {
+            Class::Regular => self.running_regular += 1,
+            Class::Cpu => self.running_cpu += 1,
+        }
+        *self.tenant_running.entry(task.tenant.clone()).or_insert(0) += 1;
+        Dispatched { task, charged }
+    }
+
+    /// Returns a finished task's slot to the bucket it charged.
+    pub fn task_done(&mut self, d: &Dispatched) {
+        match d.charged {
+            Class::Regular => self.running_regular -= 1,
+            Class::Cpu => self.running_cpu -= 1,
+        }
+        if let Some(n) = self.tenant_running.get_mut(&d.task.tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.tenant_running.remove(&d.task.tenant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(job: JobId, tenant: &str, class: Class, seq: u64) -> Task {
+        Task {
+            job,
+            tenant: tenant.into(),
+            class,
+            chunk: 0,
+            seq,
+            tenant_slots: 2,
+        }
+    }
+
+    #[test]
+    fn slot_split_matches_ovn_rule() {
+        assert_eq!(Scheduler::new(1).limits(), (1, 0));
+        assert_eq!(Scheduler::new(2).limits(), (1, 1));
+        assert_eq!(Scheduler::new(4).limits(), (2, 2));
+        assert_eq!(Scheduler::new(8).limits(), (5, 3));
+    }
+
+    #[test]
+    fn fcfs_within_a_class() {
+        let mut s = Scheduler::new(4);
+        s.push(task(1, "a", Class::Regular, 1));
+        s.push(task(2, "b", Class::Regular, 2));
+        assert_eq!(s.dispatch().unwrap().task.job, 1);
+        assert_eq!(s.dispatch().unwrap().task.job, 2);
+        assert!(s.dispatch().is_none());
+    }
+
+    #[test]
+    fn cpu_borrows_regular_only_when_regular_queue_is_empty() {
+        let mut s = Scheduler::new(4); // (2 regular, 2 cpu)
+        for i in 0..4 {
+            s.push(Task {
+                tenant_slots: 4,
+                ..task(10 + i, "sweep", Class::Cpu, i)
+            });
+        }
+        // Empty regular queue: cpu fills its own bucket, then borrows both
+        // regular slots.
+        let d1 = s.dispatch().unwrap();
+        let d2 = s.dispatch().unwrap();
+        assert!(matches!(d1.charged, Class::Cpu));
+        assert!(matches!(d2.charged, Class::Cpu));
+        let d3 = s.dispatch().unwrap();
+        assert!(matches!(d3.charged, Class::Regular), "borrowed");
+        let d4 = s.dispatch().unwrap();
+        assert!(matches!(d4.charged, Class::Regular), "borrowed");
+        assert_eq!(s.running(), 4);
+
+        // An interactive job arrives: nothing free, it waits…
+        s.push(task(1, "alice", Class::Regular, 99));
+        assert!(s.dispatch().is_none());
+        // …and the next released slot goes to it, not to more cpu work.
+        s.push(Task {
+            tenant_slots: 4,
+            ..task(14, "sweep", Class::Cpu, 100)
+        });
+        s.task_done(&d3);
+        let next = s.dispatch().unwrap();
+        assert_eq!(next.task.job, 1, "interactive preempts queued cpu work");
+        assert!(matches!(next.charged, Class::Regular));
+    }
+
+    #[test]
+    fn regular_borrows_free_cpu_slots() {
+        let mut s = Scheduler::new(4); // (2, 2)
+        for i in 0..3 {
+            s.push(task(i, "a", Class::Regular, i));
+        }
+        // Tenant cap is 2: only two run even with free slots.
+        assert!(s.dispatch().is_some());
+        assert!(s.dispatch().is_some());
+        assert!(s.dispatch().is_none(), "tenant cap holds");
+        // A second tenant's singles may borrow the idle cpu bucket.
+        s.push(task(7, "b", Class::Regular, 10));
+        s.push(task(8, "b", Class::Regular, 11));
+        let d = s.dispatch().unwrap();
+        assert_eq!(d.task.job, 7);
+        assert!(matches!(d.charged, Class::Cpu), "borrowed cpu slot");
+        let d2 = s.dispatch().unwrap();
+        assert!(matches!(d2.charged, Class::Cpu));
+        assert_eq!(s.running(), 4);
+    }
+
+    #[test]
+    fn tenant_cap_skips_not_blocks() {
+        let mut s = Scheduler::new(4);
+        s.push(Task {
+            tenant_slots: 1,
+            ..task(1, "a", Class::Regular, 1)
+        });
+        s.push(Task {
+            tenant_slots: 1,
+            ..task(2, "a", Class::Regular, 2)
+        });
+        s.push(task(3, "b", Class::Regular, 3));
+        assert_eq!(s.dispatch().unwrap().task.job, 1);
+        // Job 2 (tenant a, capped) is skipped; b runs.
+        assert_eq!(s.dispatch().unwrap().task.job, 3);
+        assert!(s.dispatch().is_none());
+    }
+
+    #[test]
+    fn done_returns_slot_to_charged_bucket() {
+        let mut s = Scheduler::new(2); // (1, 1)
+        s.push(task(1, "a", Class::Regular, 1));
+        let d = s.dispatch().unwrap();
+        assert_eq!(s.running(), 1);
+        s.task_done(&d);
+        assert_eq!(s.running(), 0);
+        // Slot is reusable immediately.
+        s.push(task(2, "a", Class::Regular, 2));
+        assert!(s.dispatch().is_some());
+    }
+}

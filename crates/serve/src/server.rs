@@ -1,0 +1,268 @@
+//! The transport shell: line-delimited JSON over TCP, with a thin
+//! HTTP/1.1 shim on the same port.
+//!
+//! A connection speaks whichever protocol its first bytes announce: lines
+//! starting with `GET ` / `POST ` are handled as one HTTP request
+//! (`GET /metrics`, `GET /stats`, `GET /status?id=N`, `POST /submit`);
+//! anything else is the native protocol — one [`crate::wire`] request per
+//! line, one response line each, connection held open until the client
+//! hangs up.
+//!
+//! All policy lives in [`ServeCore`]; this module only frames bytes.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::core::{ServeConfig, ServeCore};
+use crate::wire::{self, Request};
+
+/// A listening server. [`Server::shutdown`] (or the wire `shutdown` op)
+/// stops the accept loop and the core's workers.
+pub struct Server {
+    core: Arc<ServeCore>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, verbatim.
+    pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let core = Arc::new(ServeCore::start(cfg));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let core = core.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let core = core.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(&core, stream, &stop);
+                    });
+                }
+            })
+        };
+        Ok(Server {
+            core,
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hosted core, for in-process inspection (tests, embedding).
+    pub fn core(&self) -> &ServeCore {
+        &self.core
+    }
+
+    /// `true` once a client has requested shutdown over the wire.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Parks until a client requests shutdown over the wire, then tears
+    /// the server down. This is the main loop of the `salam_serve` binary.
+    pub fn serve_until_stopped(self) {
+        while !self.stop_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        self.shutdown();
+    }
+
+    /// Stops accepting connections and shuts the core down. Blocks until
+    /// in-flight simulations finish.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.core.shutdown();
+    }
+}
+
+/// Serves one connection in whichever protocol it opens with.
+fn handle_connection(
+    core: &ServeCore,
+    stream: TcpStream,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(());
+    }
+    if first.starts_with("GET ") || first.starts_with("POST ") {
+        return handle_http(core, stream, reader, &first, stop);
+    }
+    let mut stream = stream;
+    let mut line = first;
+    loop {
+        let response = respond(core, line.trim(), stop);
+        stream.write_all(response.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+    }
+}
+
+/// Executes one native-protocol request and renders the response line.
+fn respond(core: &ServeCore, line: &str, stop: &AtomicBool) -> String {
+    let req = match wire::parse_request(line) {
+        Ok(r) => r,
+        Err(m) => return wire::err_json("bad-request", &m),
+    };
+    match req {
+        Request::Submit { tenant, job } => match core.submit(&tenant, job) {
+            Ok(id) => wire::submit_ok(id),
+            Err(r) => wire::rejection_json(&r),
+        },
+        Request::Status(id) => match core.status(id) {
+            Some(s) => wire::status_json(&s),
+            None => wire::err_json("not-found", &format!("no job {id}")),
+        },
+        Request::Wait(id) => match core.wait(id) {
+            Some(s) => wire::status_json(&s),
+            None => wire::err_json("not-found", &format!("no job {id}")),
+        },
+        Request::Result { id, artifact } => match core.artifact(id, &artifact) {
+            Ok(text) => wire::artifact_json(&text),
+            Err(m) => wire::err_json("not-found", &m),
+        },
+        Request::Metrics => wire::raw_ok("metrics", &core.metrics().to_json()),
+        Request::Stats => wire::raw_ok(
+            "stats",
+            &format!("\"{}\"", wire::escape(&core.stats_line())),
+        ),
+        Request::Shutdown => {
+            // The accept loop and core are torn down after the response is
+            // flushed; the caller sees a clean `ok`.
+            stop.store(true, Ordering::SeqCst);
+            wire::ok_json()
+        }
+    }
+}
+
+/// Serves one HTTP/1.1 request (`Connection: close` semantics).
+fn handle_http(
+    core: &ServeCore,
+    mut stream: TcpStream,
+    mut reader: BufReader<TcpStream>,
+    request_line: &str,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+
+    let mut content_length = 0usize;
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let h = header.trim();
+        if h.is_empty() {
+            break;
+        }
+        if let Some(v) = h
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    if !body.is_empty() {
+        reader.read_exact(&mut body)?;
+    }
+    let body = String::from_utf8_lossy(&body);
+
+    let (status, payload) = http_route(core, method, target, &body, stop);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Maps an HTTP request onto the native operations.
+fn http_route(
+    core: &ServeCore,
+    method: &str,
+    target: &str,
+    body: &str,
+    stop: &AtomicBool,
+) -> (&'static str, String) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match (method, path) {
+        ("GET", "/metrics") => ("200 OK", wire::raw_ok("metrics", &core.metrics().to_json())),
+        ("GET", "/stats") => (
+            "200 OK",
+            wire::raw_ok(
+                "stats",
+                &format!("\"{}\"", wire::escape(&core.stats_line())),
+            ),
+        ),
+        ("GET", "/status") => {
+            let id = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("id="))
+                .and_then(|v| v.parse::<u64>().ok());
+            match id.and_then(|id| core.status(id)) {
+                Some(s) => ("200 OK", wire::status_json(&s)),
+                None => (
+                    "404 Not Found",
+                    wire::err_json("not-found", "unknown or missing id"),
+                ),
+            }
+        }
+        ("POST", "/submit") => match wire::parse_submit_body(body) {
+            Ok((tenant, job)) => match core.submit(&tenant, job) {
+                Ok(id) => ("200 OK", wire::submit_ok(id)),
+                Err(r) => ("403 Forbidden", wire::rejection_json(&r)),
+            },
+            Err(m) => ("400 Bad Request", wire::err_json("bad-request", &m)),
+        },
+        ("POST", "/shutdown") => {
+            stop.store(true, Ordering::SeqCst);
+            ("200 OK", wire::ok_json())
+        }
+        _ => (
+            "404 Not Found",
+            wire::err_json("not-found", &format!("no route {method} {path}")),
+        ),
+    }
+}

@@ -1,0 +1,395 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request. The same encoding
+//! backs the TCP listener and the HTTP shim in [`crate::server`], and the
+//! client half lives in `salam_client`. Parsing rides on
+//! [`salam_obs::json`] — std-only, no external dependencies.
+//!
+//! Requests (`op` selects the operation):
+//!
+//! ```json
+//! {"op":"submit","tenant":"alice","job":{"type":"kernel","bench":"gemm","knobs":{"ports":2},"trace":false}}
+//! {"op":"submit","tenant":"alice","job":{"type":"faulted","bench":"spmv","plan":{"seed":7,"mem_delay_rate":0.01}}}
+//! {"op":"submit","tenant":"bob","job":{"type":"sweep","name":"ports","kernels":["gemm"],"axes":[{"knob":"ports","values":[1,2,4]}]}}
+//! {"op":"status","id":3}
+//! {"op":"wait","id":3}
+//! {"op":"result","id":3,"artifact":"report"}
+//! {"op":"metrics"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`; failures add a stable `code`.
+
+use salam_fault::FaultPlan;
+use salam_obs::json::{self, Value};
+
+use crate::job::{JobId, JobRequest, JobStatus, Rejection, WireAxis};
+
+/// One decoded request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Submit a job for a tenant.
+    Submit {
+        /// Submitting tenant.
+        tenant: String,
+        /// The job payload.
+        job: JobRequest,
+    },
+    /// Snapshot one job's status.
+    Status(JobId),
+    /// Block until the job is terminal, then return its status.
+    Wait(JobId),
+    /// Fetch one artifact of a terminal job.
+    Result {
+        /// The job.
+        id: JobId,
+        /// `report` / `trace` / `csv` / `table` / `error` / `lint`.
+        artifact: String,
+    },
+    /// Dump the server metrics registry.
+    Metrics,
+    /// The one-line server summary.
+    Stats,
+    /// Stop accepting jobs and shut the server down.
+    Shutdown,
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn need_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .filter(|f| *f >= 0.0 && f.fract() == 0.0)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn knob_pairs(v: &Value) -> Result<Vec<(String, u64)>, String> {
+    let Some(knobs) = v.get("knobs") else {
+        return Ok(Vec::new());
+    };
+    let obj = knobs
+        .as_object()
+        .ok_or_else(|| "'knobs' must be an object of name: value".to_string())?;
+    obj.iter()
+        .map(|(k, val)| {
+            val.as_f64()
+                .filter(|f| *f >= 0.0 && f.fract() == 0.0)
+                .map(|f| (k.clone(), f as u64))
+                .ok_or_else(|| format!("knob '{k}' must be a non-negative integer"))
+        })
+        .collect()
+}
+
+fn fault_plan(v: &Value) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::default();
+    let Some(spec) = v.get("plan") else {
+        return Ok(plan);
+    };
+    let obj = spec
+        .as_object()
+        .ok_or_else(|| "'plan' must be an object".to_string())?;
+    for (k, val) in obj {
+        let f = val
+            .as_f64()
+            .ok_or_else(|| format!("plan field '{k}' must be a number"))?;
+        match k.as_str() {
+            "seed" => plan = FaultPlan::seeded(f as u64),
+            "fu_bitflip_rate" => plan.fu_bitflip_rate = f,
+            "fu_flip_any" => plan.fu_flip_any = f != 0.0,
+            "fu_jitter_rate" => plan.fu_jitter_rate = f,
+            "fu_jitter_cycles" => plan.fu_jitter_cycles = f as u32,
+            "mem_bitflip_rate" => plan.mem_bitflip_rate = f,
+            "mem_delay_rate" => plan.mem_delay_rate = f,
+            "mem_delay_cycles" => plan.mem_delay_cycles = f as u64,
+            "mem_drop_rate" => plan.mem_drop_rate = f,
+            "port_busy_rate" => plan.port_busy_rate = f,
+            "dma_stall_rate" => plan.dma_stall_rate = f,
+            "dma_stall_cycles" => plan.dma_stall_cycles = f as u64,
+            other => return Err(format!("unknown plan field '{other}'")),
+        }
+    }
+    Ok(plan)
+}
+
+fn job_request(v: &Value) -> Result<JobRequest, String> {
+    let job = v.get("job").ok_or("missing 'job' object")?;
+    match need_str(job, "type")?.as_str() {
+        "kernel" => Ok(JobRequest::Kernel {
+            bench: need_str(job, "bench")?,
+            knobs: knob_pairs(job)?,
+            trace: job.get("trace").and_then(Value::as_bool).unwrap_or(false),
+        }),
+        "faulted" => Ok(JobRequest::Faulted {
+            bench: need_str(job, "bench")?,
+            knobs: knob_pairs(job)?,
+            plan: fault_plan(job)?,
+        }),
+        "sweep" => {
+            let kernels = job
+                .get("kernels")
+                .and_then(Value::as_array)
+                .ok_or("sweep needs a 'kernels' array")?
+                .iter()
+                .map(|k| {
+                    k.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "kernel ids must be strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let axes = job
+                .get("axes")
+                .and_then(Value::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .map(|ax| {
+                    let knob = need_str(ax, "knob")?;
+                    let values = ax
+                        .get("values")
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| format!("axis '{knob}' needs a 'values' array"))?
+                        .iter()
+                        .map(|n| {
+                            n.as_f64()
+                                .filter(|f| *f >= 0.0 && f.fract() == 0.0)
+                                .map(|f| f as u64)
+                                .ok_or_else(|| {
+                                    format!("axis '{knob}' values must be non-negative integers")
+                                })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(WireAxis { knob, values })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(JobRequest::Sweep {
+                name: need_str(job, "name")?,
+                kernels,
+                axes,
+            })
+        }
+        other => Err(format!("unknown job type '{other}'")),
+    }
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// A message describing the malformed field; the server answers it as a
+/// `bad-request` response without touching the core.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line)?;
+    match need_str(&v, "op")?.as_str() {
+        "submit" => Ok(Request::Submit {
+            tenant: need_str(&v, "tenant")?,
+            job: job_request(&v)?,
+        }),
+        "status" => Ok(Request::Status(need_u64(&v, "id")?)),
+        "wait" => Ok(Request::Wait(need_u64(&v, "id")?)),
+        "result" => Ok(Request::Result {
+            id: need_u64(&v, "id")?,
+            artifact: need_str(&v, "artifact")?,
+        }),
+        "metrics" => Ok(Request::Metrics),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+/// Decodes an HTTP `POST /submit` body: the same shape as the `submit`
+/// op minus the `op` field.
+///
+/// # Errors
+///
+/// A message describing the malformed field.
+pub fn parse_submit_body(text: &str) -> Result<(String, JobRequest), String> {
+    let v = json::parse(text)?;
+    Ok((need_str(&v, "tenant")?, job_request(&v)?))
+}
+
+/// `{"ok": true, "id": N}` — a successful submission.
+pub fn submit_ok(id: JobId) -> String {
+    format!("{{\"ok\": true, \"id\": {id}}}")
+}
+
+/// A rejection response; `code` is the stable rejection code and the
+/// verifier diagnostics ride along verbatim.
+pub fn rejection_json(r: &Rejection) -> String {
+    format!(
+        "{{\"ok\": false, \"code\": \"{}\", \"message\": \"{}\", \"diagnostics\": {}}}",
+        escape(r.code),
+        escape(&r.message),
+        salam_verify::to_json(&r.diagnostics)
+    )
+}
+
+/// A generic failure response.
+pub fn err_json(code: &str, message: &str) -> String {
+    format!(
+        "{{\"ok\": false, \"code\": \"{}\", \"message\": \"{}\"}}",
+        escape(code),
+        escape(message)
+    )
+}
+
+/// A status response.
+pub fn status_json(s: &JobStatus) -> String {
+    let complete = s.complete_seq.map_or("null".to_string(), |c| c.to_string());
+    let detail = s
+        .detail
+        .as_deref()
+        .map_or("null".to_string(), |d| format!("\"{}\"", escape(d)));
+    format!(
+        "{{\"ok\": true, \"status\": {{\"id\": {}, \"tenant\": \"{}\", \"kind\": \"{}\", \
+         \"state\": \"{}\", \"submit_seq\": {}, \"complete_seq\": {complete}, \
+         \"detail\": {detail}}}}}",
+        s.id,
+        escape(&s.tenant),
+        escape(s.kind),
+        s.state.name(),
+        s.submit_seq,
+    )
+}
+
+/// An artifact response; the artifact rides as a JSON string so CSV and
+/// JSON artifacts are carried uniformly.
+pub fn artifact_json(text: &str) -> String {
+    format!("{{\"ok\": true, \"artifact\": \"{}\"}}", escape(text))
+}
+
+/// Embeds an already-JSON payload under `key`.
+pub fn raw_ok(key: &str, raw_json: &str) -> String {
+    format!("{{\"ok\": true, \"{}\": {raw_json}}}", escape(key))
+}
+
+/// `{"ok": true}`.
+pub fn ok_json() -> String {
+    "{\"ok\": true}".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let r = parse_request(
+            r#"{"op":"submit","tenant":"alice","job":{"type":"kernel","bench":"gemm","knobs":{"ports":2},"trace":true}}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit { tenant, job } => {
+                assert_eq!(tenant, "alice");
+                match job {
+                    JobRequest::Kernel {
+                        bench,
+                        knobs,
+                        trace,
+                    } => {
+                        assert_eq!(bench, "gemm");
+                        assert_eq!(knobs, vec![("ports".to_string(), 2)]);
+                        assert!(trace);
+                    }
+                    other => panic!("wrong job: {other:?}"),
+                }
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+
+        let r = parse_request(
+            r#"{"op":"submit","tenant":"t","job":{"type":"faulted","bench":"spmv","plan":{"seed":7,"mem_delay_rate":0.5,"mem_delay_cycles":3}}}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit {
+                job: JobRequest::Faulted { plan, .. },
+                ..
+            } => {
+                assert_eq!(plan.seed, 7);
+                assert!((plan.mem_delay_rate - 0.5).abs() < 1e-12);
+                assert_eq!(plan.mem_delay_cycles, 3);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+
+        let r = parse_request(
+            r#"{"op":"submit","tenant":"t","job":{"type":"sweep","name":"s","kernels":["gemm","spmv"],"axes":[{"knob":"ports","values":[1,2]}]}}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit {
+                job: JobRequest::Sweep { kernels, axes, .. },
+                ..
+            } => {
+                assert_eq!(kernels, vec!["gemm", "spmv"]);
+                assert_eq!(axes.len(), 1);
+                assert_eq!(axes[0].values, vec![1, 2]);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+
+        assert!(matches!(
+            parse_request(r#"{"op":"status","id":3}"#).unwrap(),
+            Request::Status(3)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"wait","id":4}"#).unwrap(),
+            Request::Wait(4)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"result","id":1,"artifact":"report"}"#).unwrap(),
+            Request::Result { id: 1, .. }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+        assert!(parse_request(r#"{"op":"nope"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        use salam_obs::json;
+        let esc = escape("a\"b\\c\nd");
+        assert_eq!(esc, "a\\\"b\\\\c\\nd");
+        for text in [
+            submit_ok(7),
+            err_json("bad-request", "oops \"quoted\""),
+            artifact_json("kernel,cycles\ngemm,12\n"),
+            raw_ok("metrics", "{\"a\": 1}"),
+            ok_json(),
+        ] {
+            let v = json::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert!(v.get("ok").is_some(), "{text}");
+        }
+    }
+}

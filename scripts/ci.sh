@@ -108,4 +108,67 @@ case "$prof" in
   *) echo "ci: salam_report invariant marker missing" >&2; exit 1 ;;
 esac
 
+# Serve smoke: boot the multi-tenant job server on an ephemeral port and
+# drive the whole wire surface with salam_client — two tenants submit a
+# kernel run and a sweep, a statically invalid config is rejected with a
+# typed code before it ever becomes a job, and the server drains and shuts
+# down cleanly via the wire op. The final metrics snapshot lands in
+# SERVE_METRICS_OUT when set (the workflow uploads it as an artifact).
+echo "+ salam_serve / salam_client (serve smoke)"
+serve_tmp="$(mktemp -d)"
+serve_metrics="${SERVE_METRICS_OUT:-$serve_tmp/serve-metrics.json}"
+serve_pid=""
+trap 'rm -rf "$dse_cache" "$serve_tmp"; { [ -n "$serve_pid" ] && kill "$serve_pid"; } 2>/dev/null || true' EXIT
+cargo run --release -q --offline -p salam-bench --bin salam_serve -- \
+  --addr 127.0.0.1:0 --cache-dir "$serve_tmp/cache" --metrics-out "$serve_metrics" \
+  >"$serve_tmp/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 200); do
+  addr="$(sed -n 's/^salam_serve: listening on //p' "$serve_tmp/serve.log")"
+  if [ -n "$addr" ]; then break; fi
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "ci: salam_serve never reported its address" >&2
+  cat "$serve_tmp/serve.log" >&2
+  exit 1
+fi
+client() {
+  cargo run --release -q --offline -p salam-bench --bin salam_client -- "$addr" "$@"
+}
+client submit alice '{"type":"kernel","bench":"gemm","knobs":{"ports":2}}'
+client submit bob '{"type":"sweep","name":"ports","kernels":["spmv"],"axes":[{"knob":"ports","values":[1,2]}]}'
+# salam_client exits 1 on a rejection by design; the typed code is the check.
+rejected="$(client submit alice '{"type":"kernel","bench":"gemm","knobs":{"ports":0}}' || true)"
+echo "$rejected"
+case "$rejected" in
+  *'"code": "invalid-config"'*) ;;
+  *) echo "ci: invalid config was not rejected with a typed code" >&2; exit 1 ;;
+esac
+for id in 1 2; do
+  finished="$(client wait "$id")"
+  case "$finished" in
+    *'"state": "done"'*) ;;
+    *) echo "ci: job $id did not finish: $finished" >&2; exit 1 ;;
+  esac
+done
+sweep_csv="$(client result 2 csv)"
+case "$sweep_csv" in
+  *"points=2 ok=2 failed=0 invalid=0"*) ;;
+  *) echo "ci: sweep summary row missing from the csv artifact" >&2; exit 1 ;;
+esac
+client shutdown
+wait "$serve_pid"
+serve_pid=""
+serve_final="$(tail -n 1 "$serve_tmp/serve.log")"
+echo "$serve_final"
+case "$serve_final" in
+  *"jobs=2 done=2 failed=0 rejected=1"*) ;;
+  *) echo "ci: serve final stats line unexpected" >&2; exit 1 ;;
+esac
+grep -q '"serve.jobs.done": 2' "$serve_metrics" || {
+  echo "ci: serve metrics snapshot missing or wrong" >&2; exit 1
+}
+
 echo "ci: all checks passed"
