@@ -45,6 +45,11 @@ pub struct ServeConfig {
     /// Run `salam-verify` as a pre-admission gate (IR errors reject the
     /// job; warnings become its lint artifact).
     pub verify: bool,
+    /// Terminal job records (and their report/trace/CSV artifacts) kept
+    /// per tenant. Older terminal jobs are evicted oldest-completed-first,
+    /// after which their status/artifacts read as "no such job" — without
+    /// a cap a long-running server grows memory without bound.
+    pub retain_terminal: usize,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +62,7 @@ impl Default for ServeConfig {
             no_cache: false,
             cache_max_bytes: None,
             verify: true,
+            retain_terminal: 256,
         }
     }
 }
@@ -114,6 +120,11 @@ struct TenantStats {
     rejected: u64,
     coalesced: u64,
     cache_hits: u64,
+    /// Non-terminal jobs right now — kept incrementally so admission never
+    /// scans the whole job table.
+    active: u64,
+    /// Terminal job ids in completion order, the retention/eviction queue.
+    terminal: std::collections::VecDeque<JobId>,
 }
 
 #[derive(Debug)]
@@ -132,6 +143,11 @@ struct State {
     cache_hits: u64,
     sim_runs: u64,
     rejected: u64,
+    /// Lifetime done/failed totals; the job table itself only retains the
+    /// last [`ServeConfig::retain_terminal`] terminal records per tenant.
+    done: u64,
+    failed: u64,
+    retain_terminal: usize,
 }
 
 struct Inner {
@@ -185,6 +201,9 @@ impl ServeCore {
                 cache_hits: 0,
                 sim_runs: 0,
                 rejected: 0,
+                done: 0,
+                failed: 0,
+                retain_terminal: cfg.retain_terminal.max(1),
             }),
             cvar: Condvar::new(),
             cache,
@@ -221,11 +240,7 @@ impl ServeCore {
                 Rejection::new("shutting-down", "server is shutting down"),
             );
         }
-        let active = st
-            .jobs
-            .values()
-            .filter(|j| j.tenant == tenant && !j.state.is_terminal())
-            .count();
+        let active = st.tenants.get(tenant).map_or(0, |s| s.active) as usize;
         if active >= self.inner.cfg.quota.max_queued {
             return reject(
                 &mut st,
@@ -249,6 +264,7 @@ impl ServeCore {
         let seq = st.submit_seq;
         let stats = st.tenants.entry(tenant.to_string()).or_default();
         stats.submitted += 1;
+        stats.active += 1;
 
         let mut record = JobRecord {
             tenant: tenant.to_string(),
@@ -501,18 +517,17 @@ impl ServeCore {
     pub fn metrics(&self) -> MetricsRegistry {
         let st = self.inner.state.lock().unwrap();
         let mut reg = MetricsRegistry::new();
-        let (done, failed, queued, running) =
-            st.jobs
-                .values()
-                .fold((0u64, 0u64, 0u64, 0u64), |acc, j| match j.state {
-                    JobState::Done => (acc.0 + 1, acc.1, acc.2, acc.3),
-                    JobState::Failed => (acc.0, acc.1 + 1, acc.2, acc.3),
-                    JobState::Queued => (acc.0, acc.1, acc.2 + 1, acc.3),
-                    JobState::Running => (acc.0, acc.1, acc.2, acc.3 + 1),
-                });
+        // done/failed are lifetime counters — terminal records past the
+        // retention cap leave the job table, so counting states would
+        // undercount. queued/running are never evicted.
+        let (queued, running) = st.jobs.values().fold((0u64, 0u64), |acc, j| match j.state {
+            JobState::Queued => (acc.0 + 1, acc.1),
+            JobState::Running => (acc.0, acc.1 + 1),
+            _ => acc,
+        });
         reg.set("serve.jobs.submitted", st.submit_seq as f64);
-        reg.set("serve.jobs.done", done as f64);
-        reg.set("serve.jobs.failed", failed as f64);
+        reg.set("serve.jobs.done", st.done as f64);
+        reg.set("serve.jobs.failed", st.failed as f64);
         reg.set("serve.jobs.queued", queued as f64);
         reg.set("serve.jobs.running", running as f64);
         reg.set("serve.jobs.rejected", st.rejected as f64);
@@ -537,20 +552,23 @@ impl ServeCore {
     /// The stable one-line summary CI asserts on.
     pub fn stats_line(&self) -> String {
         let st = self.inner.state.lock().unwrap();
-        let (done, failed) = st.jobs.values().fold((0u64, 0u64), |acc, j| match j.state {
-            JobState::Done => (acc.0 + 1, acc.1),
-            JobState::Failed => (acc.0, acc.1 + 1),
-            _ => acc,
-        });
         format!(
             "jobs={} done={} failed={} rejected={} coalesced={} cache_hits={} sim_runs={}",
-            st.submit_seq, done, failed, st.rejected, st.coalesced, st.cache_hits, st.sim_runs
+            st.submit_seq,
+            st.done,
+            st.failed,
+            st.rejected,
+            st.coalesced,
+            st.cache_hits,
+            st.sim_runs
         )
     }
 
     /// Stops accepting jobs, lets in-flight tasks finish, and joins the
-    /// workers. Still-queued tasks are abandoned (their jobs stay queued).
-    /// Idempotent; later calls are no-ops.
+    /// workers. Jobs whose queued tasks never ran are failed with a
+    /// `shutdown` outcome — so every job is terminal afterwards and no
+    /// [`ServeCore::wait`] caller parks forever. Idempotent; later calls
+    /// are no-ops.
     pub fn shutdown(&self) {
         {
             let mut st = self.inner.state.lock().unwrap();
@@ -561,6 +579,32 @@ impl ServeCore {
         for h in handles {
             let _ = h.join();
         }
+        // Workers are gone; whatever is still queued can never run.
+        let mut st = self.inner.state.lock().unwrap();
+        let abandoned: Vec<JobId> = st
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.state.is_terminal())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in abandoned {
+            if let Some(j) = st.jobs.get_mut(&id) {
+                if let Some(fp) = j.fingerprint.take() {
+                    st.inflight.remove(&fp);
+                }
+            }
+            finish_job(
+                &mut st,
+                id,
+                JobOutcome::Error {
+                    label: "shutdown".to_string(),
+                    message: "server shut down before the job ran".to_string(),
+                },
+                false,
+            );
+        }
+        drop(st);
+        self.inner.cvar.notify_all();
     }
 }
 
@@ -744,35 +788,65 @@ fn complete_single(st: &mut State, id: JobId, outcome: JobOutcome, leader_from_c
         }
         std::mem::take(&mut j.followers)
     };
-    let finish = |st: &mut State, id: JobId, outcome: JobOutcome, hit: bool| {
-        st.complete_seq += 1;
-        let seq = st.complete_seq;
-        let Some(j) = st.jobs.get_mut(&id) else {
-            return;
-        };
-        j.state = if matches!(outcome, JobOutcome::Error { .. }) {
-            JobState::Failed
-        } else {
-            JobState::Done
-        };
-        j.complete_seq = Some(seq);
-        j.outcome = Some(outcome);
-        let tenant = j.tenant.clone();
-        let failed = j.state == JobState::Failed;
-        let stats = st.tenants.entry(tenant).or_default();
-        if failed {
-            stats.failed += 1;
-        } else {
-            stats.completed += 1;
-        }
-        if hit {
-            stats.cache_hits += 1;
-        }
-    };
+    // A follower is a cache hit exactly when its leader's result was one:
+    // coalescing is already counted separately at submit.
     for f in followers {
-        finish(st, f, outcome.clone(), true);
+        finish_job(st, f, outcome.clone(), leader_from_cache);
     }
-    finish(st, id, outcome, leader_from_cache);
+    finish_job(st, id, outcome, leader_from_cache);
+}
+
+/// Marks one job terminal with `outcome` and retires it.
+fn finish_job(st: &mut State, id: JobId, outcome: JobOutcome, hit: bool) {
+    st.complete_seq += 1;
+    let seq = st.complete_seq;
+    let Some(j) = st.jobs.get_mut(&id) else {
+        return;
+    };
+    let failed = matches!(outcome, JobOutcome::Error { .. });
+    j.state = if failed {
+        JobState::Failed
+    } else {
+        JobState::Done
+    };
+    j.complete_seq = Some(seq);
+    j.outcome = Some(outcome);
+    let tenant = j.tenant.clone();
+    retire(st, &tenant, id, failed, hit);
+}
+
+/// Bookkeeping for a job that just went terminal: lifetime and tenant
+/// counters, the retention queue, and eviction of the oldest terminal
+/// records past the cap. Evicted ids only ever leave the job table —
+/// `inflight` holds non-terminal leaders, so it never references them.
+fn retire(st: &mut State, tenant: &str, id: JobId, failed: bool, hit: bool) {
+    if failed {
+        st.failed += 1;
+    } else {
+        st.done += 1;
+    }
+    let retain = st.retain_terminal;
+    let stats = st.tenants.entry(tenant.to_string()).or_default();
+    stats.active = stats.active.saturating_sub(1);
+    if failed {
+        stats.failed += 1;
+    } else {
+        stats.completed += 1;
+    }
+    if hit {
+        stats.cache_hits += 1;
+    }
+    stats.terminal.push_back(id);
+    let mut evicted = Vec::new();
+    while stats.terminal.len() > retain {
+        let Some(old) = stats.terminal.pop_front() else {
+            break;
+        };
+        evicted.push(old);
+    }
+    for old in evicted {
+        st.jobs.remove(&old);
+    }
 }
 
 /// Folds one finished chunk into its sweep job; assembles the table when
@@ -855,7 +929,8 @@ fn record_chunk(
     let Some(j) = st.jobs.get_mut(&id) else {
         return;
     };
-    j.state = if failed > 0 {
+    let job_failed = failed > 0;
+    j.state = if job_failed {
         JobState::Failed
     } else {
         JobState::Done
@@ -863,11 +938,5 @@ fn record_chunk(
     j.complete_seq = Some(seq);
     j.outcome = Some(outcome);
     let tenant = j.tenant.clone();
-    let job_failed = j.state == JobState::Failed;
-    let stats = st.tenants.entry(tenant).or_default();
-    if job_failed {
-        stats.failed += 1;
-    } else {
-        stats.completed += 1;
-    }
+    retire(st, &tenant, id, job_failed, false);
 }

@@ -117,7 +117,10 @@ fn fault_plan(v: &Value) -> Result<FaultPlan, String> {
             .as_f64()
             .ok_or_else(|| format!("plan field '{k}' must be a number"))?;
         match k.as_str() {
-            "seed" => plan = FaultPlan::seeded(f as u64),
+            // Assign the field alone: replacing the plan here would zero
+            // every rate parsed before "seed", and JSON key order is not
+            // semantically significant.
+            "seed" => plan.seed = f as u64,
             "fu_bitflip_rate" => plan.fu_bitflip_rate = f,
             "fu_flip_any" => plan.fu_flip_any = f != 0.0,
             "fu_jitter_rate" => plan.fu_jitter_rate = f,
@@ -374,6 +377,27 @@ mod tests {
         ));
         assert!(parse_request(r#"{"op":"nope"}"#).is_err());
         assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn fault_plan_fields_survive_any_key_order() {
+        // "seed" last — where an alphabetical serializer puts it — must not
+        // reset the rate fields parsed before it.
+        let r = parse_request(
+            r#"{"op":"submit","tenant":"t","job":{"type":"faulted","bench":"spmv","plan":{"dma_stall_rate":0.25,"mem_bitflip_rate":0.125,"seed":9}}}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit {
+                job: JobRequest::Faulted { plan, .. },
+                ..
+            } => {
+                assert_eq!(plan.seed, 9);
+                assert!((plan.dma_stall_rate - 0.25).abs() < 1e-12);
+                assert!((plan.mem_bitflip_rate - 0.125).abs() < 1e-12);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
     }
 
     #[test]

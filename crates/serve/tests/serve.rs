@@ -318,7 +318,62 @@ fn identical_inflight_jobs_coalesce_onto_one_simulation() {
     assert_eq!(m.get("serve.jobs.coalesced"), Some(1.0));
     // 4 sweep points + exactly one shared single simulation.
     assert_eq!(m.get("serve.sim_runs"), Some(5.0));
+    // The leader simulated, so riding along is a coalesce — not a cache
+    // hit — for the follower's tenant.
+    assert_eq!(m.get("serve.tenant.bob.coalesced"), Some(1.0));
+    assert_eq!(m.get("serve.tenant.bob.cache_hits"), Some(0.0));
     core.shutdown();
+}
+
+#[test]
+fn terminal_jobs_are_evicted_past_the_retention_cap() {
+    let core = ServeCore::start(ServeConfig {
+        retain_terminal: 1,
+        no_cache: true,
+        ..cfg("retain")
+    });
+    let first = core.submit("alice", kernel_job("bfs", &[])).unwrap();
+    assert_eq!(core.wait(first).unwrap().state, JobState::Done);
+    let second = core
+        .submit("alice", kernel_job("bfs", &[("ports", 2)]))
+        .unwrap();
+    assert_eq!(core.wait(second).unwrap().state, JobState::Done);
+
+    // Only the most recent terminal record (and its artifacts) survives;
+    // the lifetime counters don't shrink with it.
+    assert!(core.status(first).is_none(), "oldest evicted first");
+    assert!(core.artifact(second, "report").is_ok());
+    let m = core.metrics();
+    assert_eq!(m.get("serve.jobs.done"), Some(2.0));
+    assert_eq!(m.get("serve.tenant.alice.completed"), Some(2.0));
+    assert!(core.stats_line().contains("done=2"));
+
+    // Evicted jobs never eat into the tenant's in-flight budget.
+    let third = core.submit("alice", kernel_job("bfs", &[])).unwrap();
+    assert_eq!(core.wait(third).unwrap().state, JobState::Done);
+    core.shutdown();
+}
+
+#[test]
+fn shutdown_fails_abandoned_jobs_instead_of_stranding_waiters() {
+    // max_running: 0 pins the job in the queue, so it is guaranteed to
+    // still be queued when the server shuts down.
+    let core = ServeCore::start(ServeConfig {
+        quota: TenantQuota {
+            max_running: 0,
+            ..TenantQuota::default()
+        },
+        no_cache: true,
+        ..cfg("abandon")
+    });
+    let stuck = core.submit("alice", kernel_job("gemm", &[])).unwrap();
+    core.shutdown();
+    // wait() must return, not park forever on a job that can never run.
+    let s = core.wait(stuck).expect("record survives shutdown");
+    assert_eq!(s.state, JobState::Failed);
+    let err = core.artifact(stuck, "error").unwrap();
+    let v = salam_obs::json::parse(&err).unwrap();
+    assert_eq!(v.get("label").and_then(|l| l.as_str()), Some("shutdown"));
 }
 
 #[test]
