@@ -14,8 +14,8 @@
 
 use salam::standalone::StandaloneConfig;
 use salam_dse::{
-    run_sweep, Axis, CacheId, DseOptions, KernelSpec, StandalonePoint, SweepJob, SweepSpec,
-    SweepTable,
+    run_replay_sweep, run_sweep, Axis, CacheId, DseOptions, KernelSpec, ReplayOptions,
+    StandalonePoint, SweepJob, SweepSpec, SweepTable,
 };
 
 /// A standalone point that can be told to panic instead of simulating, or
@@ -46,11 +46,17 @@ impl SweepJob for SmokeJob {
 }
 
 fn main() {
-    let mut args =
-        salam_bench::cli::Args::parse("dse_smoke", "[--inject-panic] [--inject-invalid] [--json]");
+    let mut args = salam_bench::cli::Args::parse(
+        "dse_smoke",
+        "[--replay] [--inject-panic] [--inject-invalid] [--json]",
+    );
     let inject_panic = args.flag("--inject-panic");
     let inject_invalid = args.flag("--inject-invalid");
+    let replay = args.flag("--replay");
     let json = args.flag("--json");
+    if replay && inject_panic {
+        args.fail("--replay and --inject-panic are mutually exclusive");
+    }
     if !args.finish().is_empty() {
         eprintln!("dse_smoke: takes no positional arguments");
         std::process::exit(salam_bench::cli::EXIT_USAGE);
@@ -63,6 +69,55 @@ fn main() {
         .axis(Axis::spm_ports(&[1, 2]))
         .axis(Axis::reservation_entries(&[8, 64]));
     let points = spec.points();
+
+    // --replay: the same sweep through the trace-replay fast path. Rows
+    // gain an `engine` column (sim / replay / sim-fallback); the summary
+    // line reports the replayed/simulated split CI asserts on.
+    if replay {
+        let mut pts = points.clone();
+        if inject_invalid {
+            pts[0].config.spm_read_ports = 0; // C001: rejected pre-flight
+        }
+        let opts = ReplayOptions {
+            inner: DseOptions::default(),
+            check: false,
+        };
+        let run = run_replay_sweep(&pts, &StandaloneConfig::default(), &opts);
+        let mut t = SweepTable::new(
+            "DSE smoke sweep (replay)",
+            &["point", "cycles", "dominant_bottleneck", "engine", "cached"],
+        );
+        for ((point, outcome), prov) in pts.iter().zip(&run.outcomes).zip(&run.provenance) {
+            match outcome.payload() {
+                Some(r) => {
+                    assert!(r.verified, "{} failed verification", point.label());
+                    t.row(vec![
+                        point.label(),
+                        r.cycles.to_string(),
+                        r.dominant_bottleneck().to_string(),
+                        prov.engine.label().to_string(),
+                        if outcome.from_cache { "yes" } else { "no" }.into(),
+                    ]);
+                }
+                None => t.row(vec![
+                    point.label(),
+                    outcome.failure_label().unwrap(),
+                    String::new(),
+                    String::new(),
+                    "no".into(),
+                ]),
+            }
+        }
+        t.set_summary(run.summary_pairs());
+        if json {
+            print!("{}", t.to_json());
+        } else {
+            println!("{}", t.render_auto());
+        }
+        println!("dse: {}", run.summary());
+        return;
+    }
+
     let jobs: Vec<SmokeJob> = points
         .iter()
         .enumerate()

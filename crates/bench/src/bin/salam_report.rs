@@ -10,6 +10,7 @@
 //! salam_report gemm --format csv --out report.csv    # CSV to a file
 //! salam_report gemm --format json --trace gemm.json  # JSON + Chrome trace
 //! salam_report gemm --ports 1 --diff ports=8         # this run vs variant
+//! salam_report gemm --ports 1 --diff replay          # simulated vs replayed
 //! salam_report spmv --limit fp_mul_f64=2 --window 32
 //! ```
 //!
@@ -18,19 +19,23 @@
 //! (outstanding memory limits), `--limit FU=N` (functional-unit pool,
 //! repeatable). `--diff key=val[,key=val...]` reruns with the overrides
 //! applied on top of the base configuration and prints a side-by-side
-//! delta table. Output is byte-identical across repeat runs.
+//! delta table. The special form `--diff replay` compares the simulated
+//! run (column `a`) against the trace-replay re-schedule of the same
+//! configuration (column `b`), so replay error is debuggable per
+//! attribution class. Output is byte-identical across repeat runs.
 
 use hw_profile::FuKind;
 use salam::standalone::StandaloneConfig;
 use salam_bench::bottleneck::{
     bench_by_id, check_invariants, profile, render_csv, render_diff, render_json, render_table,
+    replay_profile,
 };
 use salam_bench::cli::{Args, EXIT_FINDINGS};
 
 const USAGE: &str = "<bench> [--ports N] [--spm-latency N] [--window N]\n\
      \x20            [--reads N] [--writes N] [--limit FU=N]...\n\
      \x20            [--format table|csv|json] [--json] [--out PATH] [--trace PATH]\n\
-     \x20            [--diff key=val[,key=val...]]\n\
+     \x20            [--diff key=val[,key=val...] | --diff replay]\n\
      benches: bfs, fft, gemm, md-grid, md-knn, nw, spmv, stencil2d, stencil3d";
 
 /// Applies one `key=val` knob to a config. Shared by the CLI flags and the
@@ -107,6 +112,18 @@ fn main() {
     }
 
     let rendered = match diff {
+        // Simulated vs replayed at the *same* configuration: the delta
+        // column is the replay model's per-class attribution error.
+        Some(mode) if mode == "replay" => {
+            let replayed = match replay_profile(&kernel, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("salam_report: replay diff failed: {e}");
+                    std::process::exit(EXIT_FINDINGS);
+                }
+            };
+            render_diff(&run, &replayed)
+        }
         Some(overrides) => {
             let mut other = cfg.clone();
             for kv in overrides.split(',').filter(|s| !s.is_empty()) {

@@ -130,19 +130,46 @@ pub fn run_kernel(kernel: &BuiltKernel, cfg: &StandaloneConfig) -> RunReport {
 /// Returns the report together with the captured [`salam_obs::DepStream`],
 /// ready for [`salam_obs::analyze`] (critical path, slack, headroom). The
 /// stream is moved out of the report so the report stays serialization-sized.
+///
+/// Thin panicking wrapper over [`try_run_kernel_profiled`] for callers that
+/// treat any simulation error as a test failure.
+///
+/// # Panics
+///
+/// Panics on any [`SimError`] (rejected config, deadlock, kernel fault).
 pub fn run_kernel_profiled(
     kernel: &BuiltKernel,
     cfg: &StandaloneConfig,
 ) -> (RunReport, salam_obs::DepStream) {
+    match try_run_kernel_profiled(kernel, cfg) {
+        Ok(pair) => pair,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`run_kernel_profiled`]: same forced dependency-stream
+/// recording, but configuration rejections, deadlocks and kernel faults
+/// come back as typed [`SimError`]s — matching the rest of the `try_*`
+/// API surface.
+///
+/// # Errors
+///
+/// Same taxonomy as [`try_run_kernel`].
+pub fn try_run_kernel_profiled(
+    kernel: &BuiltKernel,
+    cfg: &StandaloneConfig,
+) -> Result<(RunReport, salam_obs::DepStream), SimError> {
     let mut cfg = cfg.clone();
     cfg.engine.record_depstream = true;
-    let mut report = run_kernel(kernel, &cfg);
+    let mut report = try_run_kernel(kernel, &cfg)?;
+    // Infallible once the run succeeded: recording was forced on above, so
+    // the stats always carry a stream.
     let depstream = report
         .stats
         .depstream
         .take()
         .expect("record_depstream was set");
-    (report, depstream)
+    Ok((report, depstream))
 }
 
 /// [`run_kernel`] with a trace sink attached to the engine: op spans and

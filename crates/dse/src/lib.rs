@@ -47,6 +47,7 @@
 pub mod cache;
 pub mod fnv;
 pub mod pool;
+pub mod replay;
 pub mod report;
 pub mod spec;
 #[cfg(test)]
@@ -57,6 +58,10 @@ pub use cache::{
     CACHE_FORMAT_VERSION,
 };
 pub use pool::{run_parallel, worker_count};
+pub use replay::{
+    baseline_config, replay_config, replay_one, replay_safe, run_replay_sweep, trips_from_trace,
+    EngineKind, PointProvenance, ReplayBaseline, ReplayOptions, ReplayRun, ReplayedPoint,
+};
 pub use report::{metrics_rollup, objectives, pareto_frontier, SweepTable};
 pub use spec::{Axis, KernelSpec, StandalonePoint, SweepSpec};
 

@@ -1,0 +1,173 @@
+//! End-to-end guarantees of the trace-replay fast path: cycle accuracy
+//! against the event engine across every MachSuite kernel on a
+//! three-axis grid, the engine selector's sim/replay split on mixed
+//! sweeps, and cache-domain separation between replayed and simulated
+//! results.
+
+use std::path::PathBuf;
+
+use machsuite::Bench;
+use salam::standalone::{run_kernel, StandaloneConfig};
+use salam_dse::{
+    run_replay_sweep, Axis, DseOptions, EngineKind, KernelSpec, ReplayOptions, SweepSpec,
+};
+
+/// A fresh scratch cache directory unique to this test.
+fn scratch_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("salam-replay-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Outstanding-read-cap axis (a replay-safe knob without a stock helper).
+fn reads_axis(values: &[usize]) -> Axis {
+    values.iter().fold(Axis::new("reads"), |a, &v| {
+        a.setting(v.to_string(), move |c| c.engine.max_outstanding_reads = v)
+    })
+}
+
+/// The paper's acceptance grid: every MachSuite kernel over a three-axis
+/// replay-safe grid, measured against the event engine in check mode.
+/// Replay must stay within 2% of simulated cycles (it is in fact exact),
+/// and no point may undercut the static lower bound (a bound violation
+/// would surface as a `sim-fallback` row).
+#[test]
+fn nine_kernels_replay_within_two_percent_over_three_axis_grid() {
+    let mut spec = SweepSpec::new("replay-accept", StandaloneConfig::default())
+        .axis(Axis::spm_ports(&[1, 2]))
+        .axis(Axis::spm_latency(&[1, 3]))
+        .axis(reads_axis(&[4, 64]));
+    for bench in Bench::ALL {
+        spec = spec.kernel(KernelSpec::bench(bench));
+    }
+    let points = spec.points();
+    let opts = ReplayOptions {
+        inner: DseOptions::default().without_cache(),
+        check: true,
+    };
+    let run = run_replay_sweep(&points, &StandaloneConfig::default(), &opts);
+
+    assert_eq!(run.outcomes.len(), 9 * 8);
+    assert_eq!(run.failed, 0);
+    assert_eq!(run.invalid, 0);
+    assert_eq!(
+        run.fallbacks, 0,
+        "a fallback means replay undercut the static lower bound"
+    );
+    let mut max_err: f64 = 0.0;
+    for (point, (outcome, prov)) in points.iter().zip(run.outcomes.iter().zip(&run.provenance)) {
+        let report = outcome.payload().expect("point succeeded");
+        assert!(report.cycles > 0);
+        match prov.engine {
+            EngineKind::Replay => {
+                let err = prov.err_pct.expect("check mode measured the error");
+                assert!(
+                    err <= 2.0,
+                    "{}: replay error {err:.3}% exceeds 2%",
+                    point.label()
+                );
+                max_err = max_err.max(err);
+                let bound = prov.bound.expect("replayed points carry a bound");
+                assert!(
+                    report.cycles >= bound,
+                    "{}: replayed {} cycles below static bound {}",
+                    point.label(),
+                    report.cycles,
+                    bound
+                );
+                // Attribution stays a full partition of the replayed run.
+                assert_eq!(report.stats.attribution.total(), report.cycles);
+            }
+            // The ports=2/spm-lat=1/reads=64 point *is* the baseline.
+            EngineKind::Sim => assert_eq!(
+                point.config.canonical_repr(),
+                salam_dse::baseline_config(&point.config).canonical_repr()
+            ),
+            EngineKind::SimFallback => unreachable!("fallbacks asserted zero"),
+        }
+    }
+    // One baseline-equal point per kernel, everything else replayed.
+    assert_eq!(run.simulated, 9);
+    assert_eq!(run.replayed, 9 * 8 - 9);
+    println!("max replay error over the acceptance grid: {max_err:.4}%");
+}
+
+/// The engine selector on a mixed sweep: points touching the unsafe
+/// reservation-window axis simulate and are byte-identical to a plain
+/// full-sim run; safe-axis points replay.
+#[test]
+fn mixed_sweep_selector_splits_sim_and_replay() {
+    let spec = SweepSpec::new("mixed", StandaloneConfig::default())
+        .kernel(KernelSpec::custom("gemm[n=8,u=2]", || {
+            machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 2 })
+        }))
+        .axis(Axis::reservation_entries(&[8, 128]))
+        .axis(Axis::spm_ports(&[1, 2]));
+    let points = spec.points();
+    let opts = ReplayOptions {
+        inner: DseOptions::default().without_cache(),
+        check: false,
+    };
+    let run = run_replay_sweep(&points, &StandaloneConfig::default(), &opts);
+
+    for (i, point) in points.iter().enumerate() {
+        let is_default_window = point.config.engine.reservation_entries == 128;
+        let is_baseline = point.config.spm_read_ports == 2;
+        let expected = if !is_default_window || is_baseline {
+            EngineKind::Sim
+        } else {
+            EngineKind::Replay
+        };
+        assert_eq!(run.provenance[i].engine, expected, "at {}", point.label());
+        if expected == EngineKind::Sim {
+            // Unsafe-axis (and baseline-reuse) rows are byte-identical to
+            // a from-scratch full simulation.
+            let sim = run_kernel(&point.kernel.build(), &point.config);
+            assert_eq!(
+                run.outcomes[i].payload().expect("sim point ok").to_json(),
+                sim.to_json(),
+                "at {}",
+                point.label()
+            );
+        }
+    }
+    assert_eq!(run.simulated, 3);
+    assert_eq!(run.replayed, 1);
+}
+
+/// Replay results cache under their own domain and are served back on a
+/// second run without re-simulating — and the baseline bundle caches too,
+/// so a warm second sweep does zero event-engine work.
+#[test]
+fn replay_results_cache_and_rerun_hits() {
+    let dir = scratch_cache("rerun");
+    let spec = SweepSpec::new("cache", StandaloneConfig::default())
+        .kernel(KernelSpec::custom("gemm[n=8,u=1]", || {
+            machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 1 })
+        }))
+        .axis(Axis::spm_ports(&[1, 2, 4]));
+    let points = spec.points();
+    let opts = ReplayOptions {
+        inner: DseOptions::default().with_cache_dir(&dir),
+        check: false,
+    };
+    let cold = run_replay_sweep(&points, &StandaloneConfig::default(), &opts);
+    assert_eq!(cold.hits, 0);
+    let warm = run_replay_sweep(&points, &StandaloneConfig::default(), &opts);
+    assert_eq!(warm.misses, 0);
+    assert_eq!(warm.baseline_misses, 0);
+    // Warm rows are byte-identical to cold rows, engine labels included.
+    for ((c, w), (pc, pw)) in cold
+        .outcomes
+        .iter()
+        .zip(&warm.outcomes)
+        .zip(cold.provenance.iter().zip(&warm.provenance))
+    {
+        assert_eq!(
+            c.payload().expect("cold ok").to_json(),
+            w.payload().expect("warm ok").to_json()
+        );
+        assert_eq!(pc.engine, pw.engine);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

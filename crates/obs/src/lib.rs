@@ -38,6 +38,9 @@ pub mod trace;
 pub use chrome::{export_chrome_json, write_chrome_trace};
 pub use critpath::{analyze, CritPath};
 pub use det::SplitMix64;
-pub use profile::{depstream_to_trace, Attribution, CycleClass, DepOp, DepStream};
+pub use profile::{
+    depstream_to_trace, Attribution, CycleClass, DepMeta, DepOp, DepStream, OpKind,
+    DEPSTREAM_FORMAT_VERSION,
+};
 pub use registry::MetricsRegistry;
 pub use trace::{SharedTrace, SpanId, TraceEvent, TraceRecorder, TraceSink, TrackId};

@@ -181,6 +181,15 @@ struct DynInst {
     /// Producer uids captured at import, *before* dependency pruning
     /// (only filled when `record_depstream` is on).
     all_deps: Vec<u64>,
+    /// Block-import sequence number this op arrived with (depstream
+    /// metadata: ops of one `import_block` call share a group).
+    group: u32,
+    /// Uid of the terminator whose issue imported this op's block (0 for
+    /// the entry block) — the control dependence the replay layer needs.
+    ctrl: u64,
+    /// Memory ops: uid of the pointer-operand producer (0 when the
+    /// address comes from an immediate or argument).
+    addr_dep: u64,
 }
 
 /// Trace tracks the engine emits onto, registered once at `set_trace`.
@@ -222,12 +231,15 @@ pub struct Engine {
     last_instance: Vec<Option<u64>>, // indexed by InstId
     readers_of: HashMap<u64, Vec<u64>>,
 
-    pending_fetch: VecDeque<(BlockId, Option<BlockId>)>,
+    /// Blocks awaiting import: `(block, taken predecessor, uid of the
+    /// terminator that scheduled the fetch — 0 for the entry block)`.
+    pending_fetch: VecDeque<(BlockId, Option<BlockId>, u64)>,
     fetch_stopped: bool,
     ret_value: Option<RtVal>,
 
     fu_busy: HashMap<FuKind, u32>,
     uid_next: u64,
+    import_seq: u32,
     token_next: u64,
     outstanding_reads: usize,
     outstanding_writes: usize,
@@ -285,6 +297,7 @@ impl Engine {
             ret_value: None,
             fu_busy: HashMap::new(),
             uid_next: 1,
+            import_seq: 0,
             token_next: 1,
             outstanding_reads: 0,
             outstanding_writes: 0,
@@ -298,7 +311,7 @@ impl Engine {
             fault: None,
         };
         e.last_instance = vec![None; e.func.num_insts()];
-        e.pending_fetch.push_back((entry, None));
+        e.pending_fetch.push_back((entry, None, 0));
         e
     }
 
@@ -444,7 +457,9 @@ impl Engine {
         }
     }
 
-    fn import_block(&mut self, block: BlockId, pred: Option<BlockId>) {
+    fn import_block(&mut self, block: BlockId, pred: Option<BlockId>, ctrl: u64) {
+        let group = self.import_seq;
+        self.import_seq += 1;
         let inst_ids = self.func.block(block).insts.clone();
         for iid in inst_ids {
             let inst = self.func.inst(iid);
@@ -533,6 +548,18 @@ impl Engine {
             let is_store = inst.op == Opcode::Store;
             let class = classify(&inst.op);
             let res_class = sop.fu.map(FuKind::name).unwrap_or(class.label());
+            // The pointer-operand producer of a memory op gates when its
+            // address can be published to the ordering window — recorded so
+            // replay can mirror publication timing.
+            let addr_dep = if is_load || is_store {
+                let ptr_idx = if is_store { 1 } else { 0 };
+                match operands.get(ptr_idx) {
+                    Some(Operand::Inst(def_uid)) => *def_uid,
+                    _ => 0,
+                }
+            } else {
+                0
+            };
             let d = DynInst {
                 uid,
                 inst: iid,
@@ -551,6 +578,9 @@ impl Engine {
                 issue_cycle: 0,
                 res_class,
                 all_deps,
+                group,
+                ctrl,
+                addr_dep,
             };
             if is_load || is_store {
                 self.mem_window.push(MemRec {
@@ -720,13 +750,14 @@ impl Engine {
             self.committed[d.uid as usize] = true;
             self.mem_window.retain(|r| r.uid != d.uid);
             if let Some(ds) = self.stats.depstream.as_mut() {
-                ds.record(
+                ds.record_meta(
                     d.uid,
                     self.func.inst(d.inst).op.mnemonic(),
                     d.res_class,
                     d.issue_cycle,
                     self.cycle,
                     std::mem::take(&mut d.all_deps),
+                    dep_meta(&d),
                 );
             }
             self.trace.end_span(d.tspan, self.trace_ts(self.cycle));
@@ -751,13 +782,14 @@ impl Engine {
                         self.profile.register.write_energy_pj_per_bit * d.bits as f64;
                 }
                 if let Some(ds) = self.stats.depstream.as_mut() {
-                    ds.record(
+                    ds.record_meta(
                         d.uid,
                         self.func.inst(d.inst).op.mnemonic(),
                         d.res_class,
                         d.issue_cycle,
                         cycle,
                         std::mem::take(&mut d.all_deps),
+                        dep_meta(&d),
                     );
                 }
                 self.trace.end_span(d.tspan, commit_ts);
@@ -771,14 +803,14 @@ impl Engine {
         // 3. Import the next basic block(s) while there is room. A block
         //    larger than the whole window is admitted into an empty queue
         //    (blocks cannot be split).
-        while let Some(&(block, pred)) = self.pending_fetch.front() {
+        while let Some(&(block, pred, ctrl)) = self.pending_fetch.front() {
             let room = self.cfg.reservation_entries
                 - self.reservation.len().min(self.cfg.reservation_entries);
             if self.func.block(block).insts.len() > room && !self.reservation.is_empty() {
                 break;
             }
             self.pending_fetch.pop_front();
-            self.import_block(block, pred);
+            self.import_block(block, pred, ctrl);
             progressed = true;
         }
 
@@ -885,6 +917,10 @@ impl Engine {
                         self.token_next += 1;
                         let mut d = self.reservation.remove(idx).expect("index valid");
                         d.issue_cycle = cycle;
+                        // Cache the span so the depstream completion record
+                        // carries the touched address even when the op
+                        // issued before its window publication.
+                        d.span = Some((addr, size));
                         d.tspan = self.register_issue(&d, &mut classes_this_cycle);
                         if d.is_store {
                             self.outstanding_writes += 1;
@@ -969,14 +1005,14 @@ impl Engine {
                 // "Terminators trigger the reservation queue to load the
                 // next basic block immediately after evaluation" — import
                 // inline so the new block can begin issuing this cycle.
-                while let Some(&(block, pred)) = self.pending_fetch.front() {
+                while let Some(&(block, pred, ctrl)) = self.pending_fetch.front() {
                     let used = self.reservation.len().min(self.cfg.reservation_entries);
                     let room = self.cfg.reservation_entries - used;
                     if self.func.block(block).insts.len() > room && !self.reservation.is_empty() {
                         break;
                     }
                     self.pending_fetch.pop_front();
-                    self.import_block(block, pred);
+                    self.import_block(block, pred, ctrl);
                 }
             }
             if let Some(k) = d.fu {
@@ -1002,13 +1038,14 @@ impl Engine {
                 }
                 self.committed[d.uid as usize] = true;
                 if let Some(ds) = self.stats.depstream.as_mut() {
-                    ds.record(
+                    ds.record_meta(
                         d.uid,
                         self.func.inst(d.inst).op.mnemonic(),
                         d.res_class,
                         d.issue_cycle,
                         cycle,
                         std::mem::take(&mut d.all_deps),
+                        dep_meta(&d),
                     );
                 }
                 // Chained op: a zero-duration span at the issue cycle.
@@ -1174,7 +1211,7 @@ impl Engine {
             Opcode::Br => {
                 let target = inst.block_refs[0];
                 self.pending_fetch
-                    .push_back((target, Some(self.cdfg.op(d.inst).block)));
+                    .push_back((target, Some(self.cdfg.op(d.inst).block), d.uid));
             }
             Opcode::CondBr => {
                 let c = self
@@ -1187,7 +1224,7 @@ impl Engine {
                     inst.block_refs[1]
                 };
                 self.pending_fetch
-                    .push_back((target, Some(self.cdfg.op(d.inst).block)));
+                    .push_back((target, Some(self.cdfg.op(d.inst).block), d.uid));
             }
             Opcode::Ret => {
                 self.fetch_stopped = true;
@@ -1198,6 +1235,28 @@ impl Engine {
             }
             _ => unreachable!("not a terminator"),
         }
+    }
+}
+
+/// The replay metadata of a dynamic op at record time (see
+/// [`salam_obs::DepMeta`]).
+fn dep_meta(d: &DynInst) -> salam_obs::DepMeta {
+    let (addr, size) = d.span.unwrap_or((0, 0));
+    salam_obs::DepMeta {
+        kind: if d.is_store {
+            salam_obs::OpKind::Store
+        } else if d.is_load {
+            salam_obs::OpKind::Load
+        } else {
+            salam_obs::OpKind::Compute
+        },
+        latency: d.latency,
+        inst: d.inst.index() as u32,
+        group: d.group,
+        ctrl: d.ctrl,
+        addr_dep: d.addr_dep,
+        addr,
+        size,
     }
 }
 

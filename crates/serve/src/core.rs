@@ -12,8 +12,8 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use salam::standalone::{try_run_kernel_traced, StandaloneConfig};
 use salam_dse::{
-    run_sweep, CacheId, DseOptions, KernelSpec, Lookup, ResultCache, StandalonePoint, SweepJob,
-    SweepSpec, SweepTable,
+    run_replay_sweep, run_sweep, CacheId, DseOptions, EngineKind, KernelSpec, Lookup, PointOutcome,
+    ReplayOptions, ResultCache, StandalonePoint, SweepJob, SweepSpec, SweepTable,
 };
 use salam_fault::FaultPlan;
 use salam_obs::MetricsRegistry;
@@ -80,6 +80,9 @@ enum Work {
         points: Vec<StandalonePoint>,
         /// `[start, end)` point ranges, one per chunk task.
         chunks: Vec<(usize, usize)>,
+        /// Route chunks through the trace-replay fast path; rows gain an
+        /// `engine` column.
+        replay: bool,
     },
 }
 
@@ -89,6 +92,9 @@ struct PointRow {
     label: String,
     cycles: String,
     status: String,
+    /// Engine label (`sim` / `replay` / `sim-fallback`); empty for
+    /// non-replay sweeps.
+    engine: String,
     ok: bool,
     invalid: bool,
 }
@@ -409,6 +415,7 @@ impl ServeCore {
                 name,
                 kernels,
                 axes,
+                replay,
             } => {
                 if kernels.is_empty() {
                     return Err(Rejection::new("bad-request", "sweep has no kernels"));
@@ -445,6 +452,7 @@ impl ServeCore {
                         name: name.clone(),
                         points,
                         chunks,
+                        replay: *replay,
                     },
                     lint,
                 ))
@@ -675,15 +683,50 @@ fn worker_loop(inner: &Inner) {
                 drop(st);
                 inner.cvar.notify_all();
             }
-            Work::Sweep { points, chunks, .. } => {
+            Work::Sweep {
+                points,
+                chunks,
+                replay,
+                ..
+            } => {
                 let (a, b) = chunks[dispatched.task.chunk];
-                let run = run_sweep(&points[a..b], &chunk_options(inner));
-                let mut st = inner.state.lock().unwrap();
-                st.cache_hits += run.hits as u64;
-                st.sim_runs += (run.misses + run.corrupt) as u64;
-                record_chunk(&mut st, dispatched.task.job, work.as_ref(), a, &run);
-                st.sched.task_done(&dispatched);
-                drop(st);
+                if *replay {
+                    let opts = ReplayOptions {
+                        inner: chunk_options(inner),
+                        check: false,
+                    };
+                    let run = run_replay_sweep(&points[a..b], &StandaloneConfig::default(), &opts);
+                    let engines: Vec<EngineKind> =
+                        run.provenance.iter().map(|p| p.engine).collect();
+                    let mut st = inner.state.lock().unwrap();
+                    st.cache_hits += run.hits as u64;
+                    st.sim_runs += (run.misses + run.baseline_misses) as u64;
+                    record_chunk(
+                        &mut st,
+                        dispatched.task.job,
+                        work.as_ref(),
+                        a,
+                        &run.outcomes,
+                        Some(&engines),
+                    );
+                    st.sched.task_done(&dispatched);
+                    drop(st);
+                } else {
+                    let run = run_sweep(&points[a..b], &chunk_options(inner));
+                    let mut st = inner.state.lock().unwrap();
+                    st.cache_hits += run.hits as u64;
+                    st.sim_runs += (run.misses + run.corrupt) as u64;
+                    record_chunk(
+                        &mut st,
+                        dispatched.task.job,
+                        work.as_ref(),
+                        a,
+                        &run.outcomes,
+                        None,
+                    );
+                    st.sched.task_done(&dispatched);
+                    drop(st);
+                }
                 inner.cvar.notify_all();
             }
         }
@@ -856,21 +899,32 @@ fn record_chunk(
     id: JobId,
     work: &Work,
     start: usize,
-    run: &salam_dse::SweepRun<salam::RunReport>,
+    outcomes: &[PointOutcome<salam::RunReport>],
+    engines: Option<&[EngineKind]>,
 ) {
-    let Work::Sweep { name, points, .. } = work else {
+    let Work::Sweep {
+        name,
+        points,
+        replay,
+        ..
+    } = work
+    else {
         return;
     };
     let Some(j) = st.jobs.get_mut(&id) else {
         return;
     };
-    for (i, outcome) in run.outcomes.iter().enumerate() {
+    for (i, outcome) in outcomes.iter().enumerate() {
         let point = &points[start + i];
+        let engine = engines
+            .map(|e| e[i].label().to_string())
+            .unwrap_or_default();
         let row = match outcome.payload() {
             Some(r) => PointRow {
                 label: point.label(),
                 cycles: r.cycles.to_string(),
                 status: "ok".to_string(),
+                engine,
                 ok: true,
                 invalid: false,
             },
@@ -878,6 +932,7 @@ fn record_chunk(
                 label: point.label(),
                 cycles: String::new(),
                 status: outcome.failure_label().unwrap_or_default(),
+                engine,
                 ok: false,
                 invalid: outcome.invalid().is_some(),
             },
@@ -892,9 +947,16 @@ fn record_chunk(
     // Last chunk: assemble the deterministic artifact. Cache/worker/wall
     // telemetry is deliberately excluded so the same submitted sweep is
     // byte-identical regardless of slot count, arrival order, or cache
-    // warmth.
-    let mut table = SweepTable::new(name.clone(), &["point", "cycles", "status"]);
+    // warmth. The `engine` column exists only on replay sweeps, keeping
+    // plain sweep artifacts byte-identical to previous releases.
+    let columns: &[&str] = if *replay {
+        &["point", "cycles", "status", "engine"]
+    } else {
+        &["point", "cycles", "status"]
+    };
+    let mut table = SweepTable::new(name.clone(), columns);
     let (mut ok, mut failed, mut invalid) = (0usize, 0usize, 0usize);
+    let mut replayed = 0usize;
     for row in j.rows.iter().flatten() {
         if row.ok {
             ok += 1;
@@ -903,19 +965,26 @@ fn record_chunk(
         } else {
             failed += 1;
         }
-        table.row(vec![
-            row.label.clone(),
-            row.cycles.clone(),
-            row.status.clone(),
-        ]);
+        if row.engine == "replay" {
+            replayed += 1;
+        }
+        let mut cells = vec![row.label.clone(), row.cycles.clone(), row.status.clone()];
+        if *replay {
+            cells.push(row.engine.clone());
+        }
+        table.row(cells);
     }
     let total = j.rows.len();
-    table.set_summary(vec![
+    let mut summary = vec![
         ("points".into(), total.to_string()),
         ("ok".into(), ok.to_string()),
         ("failed".into(), failed.to_string()),
         ("invalid".into(), invalid.to_string()),
-    ]);
+    ];
+    if *replay {
+        summary.push(("replayed".into(), replayed.to_string()));
+    }
+    table.set_summary(summary);
     let outcome = JobOutcome::Sweep {
         csv: table.to_csv(),
         json: table.to_json(),

@@ -38,6 +38,10 @@ pub enum JobRequest {
         kernels: Vec<String>,
         /// Axes in declaration order; later axes vary faster.
         axes: Vec<WireAxis>,
+        /// Use the trace-replay fast path (PR 7): record each kernel's
+        /// dependence stream once, re-schedule replay-safe points
+        /// analytically, full-sim the rest. Rows gain an `engine` column.
+        replay: bool,
     },
 }
 

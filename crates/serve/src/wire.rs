@@ -191,6 +191,7 @@ fn job_request(v: &Value) -> Result<JobRequest, String> {
                 name: need_str(job, "name")?,
                 kernels,
                 axes,
+                replay: job.get("replay").and_then(Value::as_bool).unwrap_or(false),
             })
         }
         other => Err(format!("unknown job type '{other}'")),
@@ -345,13 +346,32 @@ mod tests {
         .unwrap();
         match r {
             Request::Submit {
-                job: JobRequest::Sweep { kernels, axes, .. },
+                job:
+                    JobRequest::Sweep {
+                        kernels,
+                        axes,
+                        replay,
+                        ..
+                    },
                 ..
             } => {
                 assert_eq!(kernels, vec!["gemm", "spmv"]);
                 assert_eq!(axes.len(), 1);
                 assert_eq!(axes[0].values, vec![1, 2]);
+                assert!(!replay, "replay defaults to off");
             }
+            other => panic!("wrong request: {other:?}"),
+        }
+
+        let r = parse_request(
+            r#"{"op":"submit","tenant":"t","job":{"type":"sweep","name":"s","kernels":["gemm"],"replay":true,"axes":[{"knob":"ports","values":[1,2]}]}}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit {
+                job: JobRequest::Sweep { replay, .. },
+                ..
+            } => assert!(replay, "replay knob parsed"),
             other => panic!("wrong request: {other:?}"),
         }
 

@@ -71,6 +71,7 @@ fn multi_tenant_mix_end_to_end() {
                     knob: "ports".into(),
                     values: vec![1, 2],
                 }],
+                replay: false,
             },
         )
         .unwrap();
@@ -169,6 +170,7 @@ fn fairness_interactive_finishes_before_a_long_sweep() {
                         values: vec![1, 2],
                     },
                 ],
+                replay: false,
             },
         )
         .unwrap();
@@ -215,6 +217,7 @@ fn quotas_reject_at_the_limit_and_admit_after_drain() {
                     knob: "spm-latency".into(),
                     values: (1..=9).collect(),
                 }],
+                replay: false,
             },
         )
         .unwrap_err();
@@ -245,6 +248,7 @@ fn results_are_identical_across_slot_counts_and_arrival_orders() {
             knob: "ports".into(),
             values: vec![1, 2],
         }],
+        replay: false,
     };
     let single = || kernel_job("nw", &[("window", 16)]);
 
@@ -296,6 +300,7 @@ fn identical_inflight_jobs_coalesce_onto_one_simulation() {
                 knob: "spm-latency".into(),
                 values: vec![1, 2, 3, 4],
             }],
+            replay: false,
         },
     )
     .unwrap();
@@ -444,6 +449,7 @@ fn failing_jobs_are_isolated_and_typed() {
                     knob: "ports".into(),
                     values: vec![0, 1],
                 }],
+                replay: false,
             },
         )
         .unwrap();
@@ -451,6 +457,53 @@ fn failing_jobs_are_isolated_and_typed() {
     assert_eq!(s.state, JobState::Done);
     let csv = core.artifact(sweep, "csv").unwrap();
     assert!(csv.contains("# points=2 ok=1 failed=0 invalid=1"), "{csv}");
+    core.shutdown();
+}
+
+#[test]
+fn replay_sweeps_gain_an_engine_column_and_match_full_sim_cycles() {
+    let core = ServeCore::start(ServeConfig {
+        no_cache: true,
+        ..cfg("replay")
+    });
+    let sweep = |replay| JobRequest::Sweep {
+        name: "rp".into(),
+        kernels: vec!["gemm".into()],
+        axes: vec![WireAxis {
+            knob: "ports".into(),
+            values: vec![1, 2, 4],
+        }],
+        replay,
+    };
+    let fast = core.submit("alice", sweep(true)).unwrap();
+    let slow = core.submit("alice", sweep(false)).unwrap();
+    assert_eq!(core.wait(fast).unwrap().state, JobState::Done);
+    assert_eq!(core.wait(slow).unwrap().state, JobState::Done);
+    let fast_csv = core.artifact(fast, "csv").unwrap();
+    let slow_csv = core.artifact(slow, "csv").unwrap();
+
+    // The replay sweep's artifact carries the engine column and the
+    // replayed count; the plain sweep's artifact is unchanged.
+    assert!(fast_csv.contains("engine"), "{fast_csv}");
+    assert!(fast_csv.contains(",replay"), "{fast_csv}");
+    assert!(fast_csv.contains("replayed=2"), "{fast_csv}");
+    assert!(!slow_csv.contains("engine"), "{slow_csv}");
+
+    // Replayed cycles agree with the event engine point for point
+    // (replay is cycle-exact on port axes).
+    let strip = |csv: &str| -> Vec<(String, String)> {
+        csv.lines()
+            .filter(|l| !l.starts_with('#') && !l.starts_with("point"))
+            .map(|l| {
+                let mut parts = l.split(',');
+                (
+                    parts.next().unwrap_or_default().to_string(),
+                    parts.next().unwrap_or_default().to_string(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(strip(&fast_csv), strip(&slow_csv));
     core.shutdown();
 }
 

@@ -108,6 +108,24 @@ case "$prof" in
   *) echo "ci: salam_report invariant marker missing" >&2; exit 1 ;;
 esac
 
+# Trace-replay smoke: every MachSuite kernel over a replay-safe grid in
+# check mode — each eligible point is both replayed and fully simulated,
+# so the ≤2% error and >1x median-speedup gates are measured, not
+# projected; a replayed point undercutting the static lower bound counts
+# as a fallback and fails the binary. The benchmark JSON lands in
+# REPLAY_BENCH_OUT when set (the workflow uploads it as an artifact).
+echo "+ replay_smoke (trace-replay accuracy/speedup gate)"
+replay_tmp="$(mktemp -d)"
+replay_json="${REPLAY_BENCH_OUT:-$replay_tmp/BENCH_replay.json}"
+replayed="$(cargo run --release -q --offline -p salam-bench --bin replay_smoke -- \
+  --out "$replay_json")"
+rm -rf "$replay_tmp"
+echo "$replayed" | tail -n 1
+case "$replayed" in
+  *"replay: kernels=9"*"fallbacks=0"*" ok"*) ;;
+  *) echo "ci: replay_smoke marker line missing or not ok" >&2; exit 1 ;;
+esac
+
 # Serve smoke: boot the multi-tenant job server on an ephemeral port and
 # drive the whole wire surface with salam_client — two tenants submit a
 # kernel run and a sweep, a statically invalid config is rejected with a
