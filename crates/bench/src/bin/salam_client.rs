@@ -1,16 +1,18 @@
 //! `salam_client` — the command-line client for `salam_serve`.
 //!
 //! One subcommand per wire op; the server's JSON response is printed to
-//! stdout verbatim. Exits 0 when the server answered `ok: true`, 1 when it
-//! answered with a rejection or error (the typed code is in the output),
-//! and 2 on usage errors.
+//! stdout verbatim (except `prom`, which unwraps the response and prints
+//! the raw Prometheus text exposition). Exits 0 when the server answered
+//! `ok: true`, 1 when it answered with a rejection or error (the typed
+//! code is in the output), and 2 on usage errors.
 //!
 //! ```text
 //! salam_client ADDR submit TENANT JOB_JSON     # JOB_JSON: {"type":"kernel",...}
 //! salam_client ADDR status ID
 //! salam_client ADDR wait ID
-//! salam_client ADDR result ID ARTIFACT         # report|trace|csv|table|error|lint
+//! salam_client ADDR result ID ARTIFACT         # report|trace|csv|table|error|lint|postmortem
 //! salam_client ADDR metrics
+//! salam_client ADDR prom                       # metrics, Prometheus text format
 //! salam_client ADDR stats
 //! salam_client ADDR shutdown
 //! ```
@@ -21,7 +23,7 @@ use std::net::TcpStream;
 use salam_bench::cli::{Args, EXIT_FINDINGS, EXIT_USAGE};
 
 const USAGE: &str = "ADDR (submit TENANT JOB_JSON | status ID | wait ID |\n\
-     \x20            result ID ARTIFACT | metrics | stats | shutdown)";
+     \x20            result ID ARTIFACT | metrics | prom | stats | shutdown)";
 
 fn main() {
     let args = Args::parse("salam_client", USAGE);
@@ -45,6 +47,7 @@ fn main() {
             format!(r#"{{"op":"result","id":{id},"artifact":"{artifact}"}}"#)
         }
         ("metrics", []) => r#"{"op":"metrics"}"#.to_string(),
+        ("prom", []) => r#"{"op":"metrics","format":"prom"}"#.to_string(),
         ("stats", []) => r#"{"op":"stats"}"#.to_string(),
         ("shutdown", []) => r#"{"op":"shutdown"}"#.to_string(),
         _ => usage(),
@@ -70,10 +73,19 @@ fn main() {
         eprintln!("salam_client: server closed the connection");
         std::process::exit(EXIT_FINDINGS);
     }
-    print!("{response}");
+    let parsed = salam_obs::json::parse(&response).ok();
+    // `prom` responses wrap a text document in a JSON string; unwrap it so
+    // the output is scrape-able Prometheus exposition, not a JSON line.
+    let prom_text = (cmd == "prom")
+        .then_some(parsed.as_ref())
+        .flatten()
+        .and_then(|v| v.get("prom").and_then(|p| p.as_str().map(String::from)));
+    match &prom_text {
+        Some(text) => print!("{text}"),
+        None => print!("{response}"),
+    }
 
-    let ok = salam_obs::json::parse(&response)
-        .ok()
+    let ok = parsed
         .and_then(|v| v.get("ok").and_then(|b| b.as_bool()))
         .unwrap_or(false);
     if !ok {

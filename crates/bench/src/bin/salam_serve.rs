@@ -10,8 +10,13 @@
 //! salam_serve [--addr HOST:PORT] [--slots N] [--chunk N]
 //!             [--cache-dir PATH] [--no-cache] [--no-verify]
 //!             [--max-queued N] [--max-running N] [--max-sweep-points N]
-//!             [--metrics-out PATH]
+//!             [--metrics-out PATH] [--bench-out PATH] [--no-telemetry]
 //! ```
+//!
+//! `--metrics-out` writes the final metrics registry JSON on shutdown;
+//! `--bench-out` writes the per-class latency percentile summary
+//! (`ServeCore::latency_summary_json`). `--no-telemetry` disables the
+//! request-scoped tracing / histogram / flight-recorder layer.
 
 use salam_bench::cli::Args;
 use salam_serve::{ServeConfig, Server, TenantQuota};
@@ -19,7 +24,7 @@ use salam_serve::{ServeConfig, Server, TenantQuota};
 const USAGE: &str = "[--addr HOST:PORT] [--slots N] [--chunk N]\n\
      \x20           [--cache-dir PATH] [--no-cache] [--no-verify]\n\
      \x20           [--max-queued N] [--max-running N] [--max-sweep-points N]\n\
-     \x20           [--metrics-out PATH]";
+     \x20           [--metrics-out PATH] [--bench-out PATH] [--no-telemetry]";
 
 fn main() {
     let mut args = Args::parse("salam_serve", USAGE);
@@ -40,6 +45,7 @@ fn main() {
         quota,
         no_cache: args.flag("--no-cache"),
         verify: !args.flag("--no-verify"),
+        telemetry: !args.flag("--no-telemetry"),
         cache_dir: args.opt("--cache-dir").map(Into::into),
         ..ServeConfig::default()
     };
@@ -50,6 +56,7 @@ fn main() {
         cfg.sweep_chunk = (n as usize).max(1);
     }
     let metrics_out = args.opt("--metrics-out");
+    let bench_out = args.opt("--bench-out");
     if !args.finish().is_empty() {
         eprintln!("salam_serve: takes no positional arguments");
         std::process::exit(salam_bench::cli::EXIT_USAGE);
@@ -74,6 +81,11 @@ fn main() {
     server.core().shutdown();
     if let Some(path) = &metrics_out {
         if let Err(e) = std::fs::write(path, server.core().metrics().to_json()) {
+            eprintln!("salam_serve: cannot write {path}: {e}");
+        }
+    }
+    if let Some(path) = &bench_out {
+        if let Err(e) = std::fs::write(path, server.core().latency_summary_json()) {
             eprintln!("salam_serve: cannot write {path}: {e}");
         }
     }

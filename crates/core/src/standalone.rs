@@ -234,6 +234,35 @@ pub fn try_run_kernel_traced(
     trace: &salam_obs::SharedTrace,
     plan: Option<&FaultPlan>,
 ) -> Result<RunReport, SimError> {
+    try_run_kernel_observed(
+        kernel,
+        cfg,
+        trace,
+        plan,
+        &salam_telemetry::FlightRecorder::disabled(),
+        0,
+    )
+}
+
+/// The full-generality entry point: [`try_run_kernel_traced`] plus a
+/// serving-layer [`salam_telemetry::FlightRecorder`] that receives engine
+/// run-start/run-end/error events and liveness heartbeats tagged with the
+/// request's `trace_id`. A disabled recorder (what every other entry
+/// point passes) makes this identical to `try_run_kernel_traced` — the
+/// recorder never feeds back into simulation state, which is what keeps
+/// telemetry non-perturbing.
+///
+/// # Errors
+///
+/// Same taxonomy as [`try_run_kernel`].
+pub fn try_run_kernel_observed(
+    kernel: &BuiltKernel,
+    cfg: &StandaloneConfig,
+    trace: &salam_obs::SharedTrace,
+    plan: Option<&FaultPlan>,
+    flight: &salam_telemetry::FlightRecorder,
+    trace_id: u64,
+) -> Result<RunReport, SimError> {
     cfg.validate()?;
     if cfg.verify {
         salam_verify::gate(&kernel.func).map_err(SimError::Verify)?;
@@ -250,6 +279,9 @@ pub fn try_run_kernel_traced(
     );
     if trace.is_enabled() {
         engine.set_trace(trace.clone());
+    }
+    if flight.is_enabled() {
+        engine.set_flight(flight.clone(), trace_id);
     }
     let mut mem = if let Some(plan) = plan {
         engine.set_fault(plan);

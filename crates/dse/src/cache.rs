@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use crate::fnv::{fnv1a64, fnv1a64_from, hex64, splitmix_finalize};
 use salam::RunReport;
-use salam_obs::json::{self, Value};
+use salam_obs::json::{self, escape, Value};
 
 /// Bumped whenever the entry format or any payload serialization changes
 /// incompatibly; old entries then read as misses, never as wrong results.
@@ -277,10 +277,6 @@ impl ResultCache {
             })
             .unwrap_or(0)
     }
-}
-
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// One cache entry file as seen by the eviction planner.

@@ -57,7 +57,7 @@ pub use cache::{
     env_max_bytes, plan_evictions, CacheId, CachePayload, EntryMeta, Lookup, ResultCache,
     CACHE_FORMAT_VERSION,
 };
-pub use pool::{run_parallel, worker_count};
+pub use pool::{run_parallel, run_parallel_with, worker_count};
 pub use replay::{
     baseline_config, replay_config, replay_one, replay_safe, run_replay_sweep, trips_from_trace,
     EngineKind, PointProvenance, ReplayBaseline, ReplayOptions, ReplayRun, ReplayedPoint,
@@ -67,6 +67,8 @@ pub use spec::{Axis, KernelSpec, StandalonePoint, SweepSpec};
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+use salam_telemetry::Telemetry;
 
 /// One unit of sweep work: an identity for the cache and a way to produce
 /// the result. Implemented by [`StandalonePoint`] for datapath+SPM runs;
@@ -89,6 +91,13 @@ pub trait SweepJob: Sync {
 
     /// Simulates the point from scratch.
     fn run(&self) -> Self::Output;
+
+    /// Records per-point telemetry (histograms, counters) into the
+    /// sweep-wide registry. Called for every successful outcome — cache
+    /// hits included — so whatever is recorded here is a pure function of
+    /// the point set, independent of cache state and worker count. The
+    /// default records nothing.
+    fn record_telemetry(&self, _output: &Self::Output, _tel: &mut salam_telemetry::Telemetry) {}
 }
 
 /// Engine options; the default reads everything from the environment.
@@ -303,6 +312,12 @@ pub struct SweepRun<T> {
     pub workers: usize,
     /// Wall-clock time of the whole sweep.
     pub wall: Duration,
+    /// Typed telemetry accumulated across workers: `dse.points.*`
+    /// counters plus whatever [`SweepJob::record_telemetry`] contributed.
+    /// Per-worker shards merge commutatively, so counters and histogram
+    /// buckets (and therefore quantiles) are identical for any
+    /// `SALAM_JOBS` value.
+    pub telemetry: Telemetry,
 }
 
 impl<T> SweepRun<T> {
@@ -390,36 +405,63 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
     }
 
     type Isolated<T> = (Provenance, Result<T, PointError>);
-    let results: Vec<Isolated<J::Output>> = run_parallel(jobs.len(), workers, |i| {
-        let job = &jobs[i];
-        // Pre-flight before the cache probe: an invalid point must not
-        // consume a simulation slot, and caching it would make a later fix
-        // of the validator invisible.
-        if let Err(d) = job.validate() {
-            return (Provenance::Invalid, Err(PointError::Invalid(d)));
-        }
-        let Some(cache) = &cache else {
-            return (
-                Provenance::Miss,
-                run_isolated(job, retries).map_err(PointError::Failed),
-            );
-        };
-        let id = job.cache_id();
-        let (provenance, result) = match cache.lookup::<J::Output>(&id) {
-            Lookup::Hit(p) => return (Provenance::Hit, Ok(p)),
-            Lookup::Miss => (Provenance::Miss, run_isolated(job, retries)),
-            Lookup::Corrupt => (Provenance::Corrupt, run_isolated(job, retries)),
-        };
-        if let Ok(payload) = &result {
-            if let Err(e) = cache.store(&id, payload) {
-                eprintln!(
-                    "salam-dse: warning: could not write cache entry {}: {e}",
-                    cache.entry_path(&id).display()
-                );
+    let (results, shards): (Vec<Isolated<J::Output>>, Vec<Telemetry>) = run_parallel_with(
+        jobs.len(),
+        workers,
+        Telemetry::new,
+        |i, tel: &mut Telemetry| {
+            let job = &jobs[i];
+            // Pre-flight before the cache probe: an invalid point must not
+            // consume a simulation slot, and caching it would make a later
+            // fix of the validator invisible.
+            if let Err(d) = job.validate() {
+                tel.counter_add("dse.points.invalid", 1);
+                return (Provenance::Invalid, Err(PointError::Invalid(d)));
             }
-        }
-        (provenance, result.map_err(PointError::Failed))
-    });
+            let finish = |provenance: Provenance,
+                          result: Result<J::Output, JobFailure>,
+                          tel: &mut Telemetry| {
+                match &result {
+                    Ok(out) => {
+                        tel.counter_add(
+                            match provenance {
+                                Provenance::Hit => "dse.points.cache_hits",
+                                _ => "dse.points.simulated",
+                            },
+                            1,
+                        );
+                        // Hits and fresh runs both record, so per-point
+                        // telemetry is independent of cache state.
+                        job.record_telemetry(out, tel);
+                    }
+                    Err(_) => tel.counter_add("dse.points.failed", 1),
+                }
+                (provenance, result.map_err(PointError::Failed))
+            };
+            let Some(cache) = &cache else {
+                return finish(Provenance::Miss, run_isolated(job, retries), tel);
+            };
+            let id = job.cache_id();
+            let (provenance, result) = match cache.lookup::<J::Output>(&id) {
+                Lookup::Hit(p) => return finish(Provenance::Hit, Ok(p), tel),
+                Lookup::Miss => (Provenance::Miss, run_isolated(job, retries)),
+                Lookup::Corrupt => (Provenance::Corrupt, run_isolated(job, retries)),
+            };
+            if let Ok(payload) = &result {
+                if let Err(e) = cache.store(&id, payload) {
+                    eprintln!(
+                        "salam-dse: warning: could not write cache entry {}: {e}",
+                        cache.entry_path(&id).display()
+                    );
+                }
+            }
+            finish(provenance, result, tel)
+        },
+    );
+    let mut telemetry = Telemetry::new();
+    for shard in &shards {
+        telemetry.merge_from(shard);
+    }
 
     let wall = t0.elapsed();
     let mut run = SweepRun {
@@ -431,6 +473,7 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
         invalid: 0,
         workers,
         wall,
+        telemetry,
     };
     for (provenance, result) in results {
         let from_cache = match provenance {

@@ -77,6 +77,80 @@ where
         .collect()
 }
 
+/// [`run_parallel`] with per-worker scratch state: each worker owns an
+/// `S` built by `init` and threads it through every job it runs; all
+/// states come back alongside the ordered results so the caller can fold
+/// them together. The fold order is **not** deterministic (it follows
+/// worker scheduling), so `S` must only carry commutatively-mergeable
+/// data — counters and fixed-layout histograms qualify, gauges and
+/// sequences do not.
+///
+/// With `workers <= 1` the jobs run inline against a single state, which
+/// is the serial baseline the determinism tests compare against.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after the scope joins.
+pub fn run_parallel_with<T, S, I, F>(n: usize, workers: usize, init: I, f: F) -> (Vec<T>, Vec<S>)
+where
+    T: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        let mut state = init();
+        let out = (0..n).map(|i| f(i, &mut state)).collect();
+        return (out, vec![state]);
+    }
+    let (job_tx, job_rx) = mpsc::channel::<usize>();
+    for i in 0..n {
+        job_tx.send(i).expect("queue open");
+    }
+    drop(job_tx);
+    let job_rx = Mutex::new(job_rx);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, T)>();
+    let (state_tx, state_rx) = mpsc::channel::<S>();
+
+    let nworkers = workers.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..nworkers {
+            let res_tx = res_tx.clone();
+            let state_tx = state_tx.clone();
+            let job_rx = &job_rx;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let job = match job_rx.lock().unwrap().recv() {
+                        Ok(i) => i,
+                        Err(_) => break,
+                    };
+                    let out = f(job, &mut state);
+                    if res_tx.send((job, out)).is_err() {
+                        break;
+                    }
+                }
+                let _ = state_tx.send(state);
+            });
+        }
+        drop(res_tx);
+        drop(state_tx);
+    });
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, out) in res_rx.iter() {
+        slots[i] = Some(out);
+    }
+    let out = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("job {i} produced no result")))
+        .collect();
+    (out, state_rx.iter().collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +173,24 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::SeqCst), 64);
         assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn per_worker_state_sees_every_job_once() {
+        for workers in [1, 2, 4] {
+            let (out, states) = run_parallel_with(
+                32,
+                workers,
+                || 0u64,
+                |i, s| {
+                    *s += 1;
+                    i * 2
+                },
+            );
+            assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(states.iter().sum::<u64>(), 32, "workers={workers}");
+            assert!(states.len() <= workers.max(1));
+        }
     }
 
     #[test]

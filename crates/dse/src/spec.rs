@@ -299,6 +299,14 @@ impl SweepJob for StandalonePoint {
     fn run(&self) -> RunReport {
         run_kernel(&self.kernel.build(), &self.config)
     }
+
+    /// Records the point's cycle count into the sweep-wide `dse.point.cycles`
+    /// histogram. Called for cache hits and fresh simulations alike, so the
+    /// histogram is a pure function of the point set — independent of cache
+    /// state, worker count and merge order.
+    fn record_telemetry(&self, output: &RunReport, tel: &mut salam_telemetry::Telemetry) {
+        tel.record("dse.point.cycles", output.cycles);
+    }
 }
 
 #[cfg(test)]

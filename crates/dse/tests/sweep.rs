@@ -94,6 +94,60 @@ fn parallel_report_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn telemetry_histograms_are_identical_across_worker_counts() {
+    // The sweep-wide `dse.point.cycles` histogram is accumulated in
+    // per-worker shards and merged in completion order; element-wise
+    // bucket addition makes that merge commutative, so 1 worker
+    // (`SALAM_JOBS=1`) and 8 workers (`SALAM_JOBS=8`, here pinned via
+    // `with_workers` to keep the env untouched) must produce identical
+    // bucket counts and quantiles — and a warm cache must not change the
+    // histogram either, since hits record the same per-point telemetry.
+    let spec = smoke_spec();
+    let points = spec.points();
+
+    let serial_dir = scratch_cache("tel-serial");
+    let serial = run_sweep(
+        &points,
+        &DseOptions::default()
+            .with_workers(1)
+            .with_cache_dir(&serial_dir),
+    );
+    let parallel_dir = scratch_cache("tel-parallel");
+    let opts8 = DseOptions::default()
+        .with_workers(8)
+        .with_cache_dir(&parallel_dir);
+    let parallel = run_sweep(&points, &opts8);
+
+    let a = serial.telemetry.hist("dse.point.cycles").unwrap();
+    let b = parallel.telemetry.hist("dse.point.cycles").unwrap();
+    assert_eq!(a.count(), points.len() as u64);
+    assert_eq!(a, b, "bucket counts must not depend on worker count");
+    for q in [0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(a.quantile(q), b.quantile(q), "q{q} differs");
+    }
+    assert_eq!(
+        serial.telemetry.counter("dse.points.simulated"),
+        parallel.telemetry.counter("dse.points.simulated")
+    );
+
+    // Warm re-run: all hits, same histogram.
+    let warm = run_sweep(&points, &opts8);
+    assert_eq!(warm.hits, points.len());
+    assert_eq!(
+        warm.telemetry.hist("dse.point.cycles").unwrap(),
+        a,
+        "cache hits must record the same per-point telemetry as fresh runs"
+    );
+    assert_eq!(
+        warm.telemetry.counter("dse.points.cache_hits"),
+        points.len() as u64
+    );
+
+    let _ = std::fs::remove_dir_all(serial_dir);
+    let _ = std::fs::remove_dir_all(parallel_dir);
+}
+
+#[test]
 fn second_run_is_all_cache_hits_and_identical() {
     let spec = smoke_spec();
     let points = spec.points();

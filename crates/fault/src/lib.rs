@@ -97,6 +97,32 @@ pub struct WatchdogSnapshot {
     pub dominant_reject_cause: Option<String>,
 }
 
+impl WatchdogSnapshot {
+    /// The snapshot as a standalone JSON object, for post-mortem
+    /// artifacts and machine-readable failure reports.
+    pub fn to_json(&self) -> String {
+        use salam_obs::json::escape;
+        let cause = match &self.dominant_reject_cause {
+            Some(c) => format!("\"{}\"", escape(c)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"kernel\": \"{}\", \"cycle\": {}, \"last_progress_cycle\": {}, \
+             \"reservation_occupancy\": {}, \"compute_occupancy\": {}, \
+             \"mem_outstanding\": {}, \"pending_blocks\": {}, \
+             \"dominant_reject_cause\": {}}}",
+            escape(&self.kernel),
+            self.cycle,
+            self.last_progress_cycle,
+            self.reservation_occupancy,
+            self.compute_occupancy,
+            self.mem_outstanding,
+            self.pending_blocks,
+            cause,
+        )
+    }
+}
+
 impl fmt::Display for WatchdogSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -466,6 +492,37 @@ mod tests {
             assert!(rng.bit(64) < 64);
             assert!(rng.index(10) < 10);
         }
+    }
+
+    #[test]
+    fn watchdog_snapshot_serializes_to_valid_json() {
+        let snap = WatchdogSnapshot {
+            kernel: "gemm".into(),
+            cycle: 1200,
+            last_progress_cycle: 200,
+            reservation_occupancy: 4,
+            compute_occupancy: 1,
+            mem_outstanding: 3,
+            pending_blocks: 0,
+            dominant_reject_cause: Some("contended:2".into()),
+        };
+        let parsed = salam_obs::json::parse(&snap.to_json()).unwrap();
+        assert_eq!(parsed.get("kernel").and_then(|v| v.as_str()), Some("gemm"));
+        assert_eq!(parsed.get("cycle").and_then(|v| v.as_f64()), Some(1200.0));
+        assert_eq!(
+            parsed.get("last_progress_cycle").and_then(|v| v.as_f64()),
+            Some(200.0)
+        );
+        assert_eq!(
+            parsed.get("dominant_reject_cause").and_then(|v| v.as_str()),
+            Some("contended:2")
+        );
+        let none = WatchdogSnapshot::default().to_json();
+        let parsed = salam_obs::json::parse(&none).unwrap();
+        assert_eq!(
+            parsed.get("dominant_reject_cause"),
+            Some(&salam_obs::json::Value::Null)
+        );
     }
 
     #[test]

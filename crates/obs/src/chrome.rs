@@ -22,22 +22,7 @@ struct Span {
     seq: u64,
 }
 
-/// Escapes a string for inclusion in a JSON literal.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use crate::json::escape;
 
 /// Picoseconds → microseconds (the `ts` unit of the trace_event format).
 fn ts_us(ts_ps: u64) -> f64 {

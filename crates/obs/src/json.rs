@@ -60,6 +60,27 @@ impl Value {
     }
 }
 
+/// Escapes `s` for embedding inside a JSON string literal. Handles the
+/// two mandatory characters (`"`, `\`), the common whitespace escapes
+/// (`\n`, `\r`, `\t`) and every remaining control character in
+/// `\u{0000}`–`\u{001F}` as `\uXXXX` — anything less produces invalid
+/// JSON the moment a control character lands in a metric key or label.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Parses a complete JSON document; trailing non-whitespace is an error.
 pub fn parse(text: &str) -> Result<Value, String> {
     let mut p = Parser {

@@ -5,6 +5,7 @@
 //! Lookups and overwrites are O(1) via a side index — components export
 //! hundreds of stats per run and the registry is rebuilt per report.
 
+use crate::json::escape;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, Default)]
@@ -116,10 +117,6 @@ fn fmt_value(v: f64) -> String {
     }
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +159,25 @@ mod tests {
         r.set("engine.y", 2.0);
         let got: Vec<_> = r.with_prefix("eng").map(|(k, _)| k).collect();
         assert_eq!(got, ["eng.x"]);
+    }
+
+    #[test]
+    fn control_characters_in_keys_still_produce_valid_json() {
+        let mut r = MetricsRegistry::new();
+        r.set("bad\nkey\twith\u{1}ctrl", 1.0);
+        r.set("quote\"and\\slash", 2.0);
+        let j = r.to_json();
+        let parsed = crate::json::parse(&j).unwrap();
+        assert_eq!(
+            parsed
+                .get("bad\nkey\twith\u{1}ctrl")
+                .and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+        assert_eq!(
+            parsed.get("quote\"and\\slash").and_then(|v| v.as_f64()),
+            Some(2.0)
+        );
     }
 
     #[test]

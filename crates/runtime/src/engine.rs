@@ -8,6 +8,7 @@ use salam_fault::{FaultPlan, SimError, SiteRng, WatchdogSnapshot};
 use salam_ir::interp::{eval_pure, InterpError, RtVal};
 use salam_ir::{BlockId, Function, InstId, Opcode, Type, ValueKind};
 use salam_obs::{SharedTrace, SpanId, TrackId};
+use salam_telemetry::FlightRecorder;
 
 use crate::port::{MemAccess, MemPort};
 use crate::stats::{EngineStats, IssueClass, StallMix};
@@ -253,6 +254,9 @@ pub struct Engine {
     trace_tracks: Option<TraceTracks>,
     trace_offset_ps: u64,
 
+    flight: FlightRecorder,
+    flight_trace_id: u64,
+
     fault: Option<EngineFault>,
 }
 
@@ -308,6 +312,8 @@ impl Engine {
             trace: SharedTrace::disabled(),
             trace_tracks: None,
             trace_offset_ps: 0,
+            flight: FlightRecorder::disabled(),
+            flight_trace_id: 0,
             fault: None,
         };
         e.last_instance = vec![None; e.func.num_insts()];
@@ -331,6 +337,16 @@ impl Engine {
     /// embedded in a full-system simulation stamps absolute sim time.
     pub fn set_trace_offset_ps(&mut self, offset: u64) {
         self.trace_offset_ps = offset;
+    }
+
+    /// Attaches the serving layer's flight recorder; run starts/ends,
+    /// errors and a coarse heartbeat land in the shared ring tagged with
+    /// `trace_id`. A disabled recorder (the default) keeps every hook down
+    /// to a single branch — the recorder never observes or perturbs
+    /// simulation state.
+    pub fn set_flight(&mut self, flight: FlightRecorder, trace_id: u64) {
+        self.flight = flight;
+        self.flight_trace_id = trace_id;
     }
 
     /// Attaches a fault-injection plan. The engine draws from per-site
@@ -436,7 +452,41 @@ impl Engine {
     ///   by zero, undef use, …).
     pub fn try_run_to_completion(&mut self, port: &mut dyn MemPort) -> Result<u64, SimError> {
         self.cfg.validate()?;
-        while !self.try_step(port)? {}
+        if self.flight.is_enabled() {
+            self.flight.record(
+                self.flight_trace_id,
+                "engine",
+                format!("run-start kernel={}", self.func.name),
+            );
+        }
+        loop {
+            match self.try_step(port) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => {
+                    if self.flight.is_enabled() {
+                        self.flight.record(
+                            self.flight_trace_id,
+                            "engine",
+                            format!(
+                                "run-error kernel={} cycle={} kind={}: {e}",
+                                self.func.name,
+                                self.cycle,
+                                e.label()
+                            ),
+                        );
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if self.flight.is_enabled() {
+            self.flight.record(
+                self.flight_trace_id,
+                "engine",
+                format!("run-end kernel={} cycles={}", self.func.name, self.cycle),
+            );
+        }
         Ok(self.cycle)
     }
 
@@ -1170,6 +1220,25 @@ impl Engine {
             self.last_progress = self.cycle;
         } else if self.cycle - self.last_progress > self.cfg.deadlock_cycles {
             return Err(SimError::Deadlock(self.watchdog_snapshot()));
+        }
+
+        // Coarse liveness heartbeat for the flight recorder: one event per
+        // 65536 cycles, so even a wedged-but-not-yet-deadlocked run leaves
+        // a recent-history trail. The enabled check keeps the disabled
+        // path to a single branch.
+        if self.flight.is_enabled() && self.cycle & 0xFFFF == 0 && self.cycle > 0 {
+            self.flight.record(
+                self.flight_trace_id,
+                "engine",
+                format!(
+                    "heartbeat kernel={} cycle={} resv={} compute={} mem={}",
+                    self.func.name,
+                    self.cycle,
+                    self.reservation.len(),
+                    self.compute_q.len(),
+                    self.outstanding_reads + self.outstanding_writes
+                ),
+            );
         }
 
         self.cycle += 1;

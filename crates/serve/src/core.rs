@@ -9,14 +9,16 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
-use salam::standalone::{try_run_kernel_traced, StandaloneConfig};
+use salam::standalone::{try_run_kernel_observed, StandaloneConfig};
 use salam_dse::{
     run_replay_sweep, run_sweep, CacheId, DseOptions, EngineKind, KernelSpec, Lookup, PointOutcome,
     ReplayOptions, ResultCache, StandalonePoint, SweepJob, SweepSpec, SweepTable,
 };
 use salam_fault::FaultPlan;
-use salam_obs::MetricsRegistry;
+use salam_obs::{MetricsRegistry, SpanId, TraceRecorder};
+use salam_telemetry::{flight, labeled, FlightRecorder, Histogram, JobTrace, Telemetry, TraceCtx};
 use salam_verify::{errors_only, to_json as diags_to_json, verify_ir, warning_count};
 
 use crate::job::{
@@ -50,6 +52,11 @@ pub struct ServeConfig {
     /// after which their status/artifacts read as "no such job" — without
     /// a cap a long-running server grows memory without bound.
     pub retain_terminal: usize,
+    /// Request-scoped telemetry: per-job span trees, latency histograms,
+    /// and the always-on flight recorder feeding post-mortem artifacts.
+    /// On by default; disabling it removes every per-job recorder (the
+    /// non-perturbation baseline the bench suite compares against).
+    pub telemetry: bool,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +70,7 @@ impl Default for ServeConfig {
             cache_max_bytes: None,
             verify: true,
             retain_terminal: 256,
+            telemetry: true,
         }
     }
 }
@@ -116,6 +124,20 @@ struct JobRecord {
     fingerprint: Option<String>,
     /// Jobs coalesced onto this one; completed together with it.
     followers: Vec<JobId>,
+    /// Lifecycle span tree (`None` when telemetry is off).
+    trace: Option<JobTrace>,
+    /// The end-to-end request span, open from submit to terminal.
+    job_span: SpanId,
+    /// The scheduler-queue span, open from admission to first dispatch.
+    queued_span: SpanId,
+    /// The worker-slot span, open from first dispatch to terminal.
+    run_span: SpanId,
+    /// Server-epoch-relative submit time (nanoseconds).
+    submitted_ns: u64,
+    /// Server-epoch-relative first dispatch time, once scheduled.
+    first_dispatch_ns: Option<u64>,
+    /// Post-mortem artifact JSON, composed when the job fails.
+    postmortem: Option<String>,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -154,6 +176,9 @@ struct State {
     done: u64,
     failed: u64,
     retain_terminal: usize,
+    /// Typed metrics: latency histograms (queue/run/e2e, per class and
+    /// per tenant) plus counters/histograms merged in from sweep chunks.
+    telemetry: Telemetry,
 }
 
 struct Inner {
@@ -161,6 +186,17 @@ struct Inner {
     cvar: Condvar,
     cache: Option<ResultCache>,
     cfg: ServeConfig,
+    /// The server's time zero; every span/histogram timestamp is
+    /// nanoseconds since this instant.
+    epoch: Instant,
+    /// The always-on bounded ring of recent lifecycle/engine events,
+    /// dumped into post-mortem artifacts. Disabled iff telemetry is off.
+    flight: FlightRecorder,
+}
+
+/// Epoch-relative now, in nanoseconds.
+fn now_ns(inner: &Inner) -> u64 {
+    inner.epoch.elapsed().as_nanos() as u64
 }
 
 /// The in-process server. Dropping it without [`ServeCore::shutdown`]
@@ -210,9 +246,16 @@ impl ServeCore {
                 done: 0,
                 failed: 0,
                 retain_terminal: cfg.retain_terminal.max(1),
+                telemetry: Telemetry::new(),
             }),
             cvar: Condvar::new(),
             cache,
+            epoch: Instant::now(),
+            flight: if cfg.telemetry {
+                FlightRecorder::enabled(flight::DEFAULT_CAPACITY)
+            } else {
+                FlightRecorder::disabled()
+            },
             cfg,
         });
         let workers = (0..slots)
@@ -238,6 +281,11 @@ impl ServeCore {
         let reject = |st: &mut State, r: Rejection| {
             st.rejected += 1;
             st.tenants.entry(tenant.to_string()).or_default().rejected += 1;
+            self.inner.flight.record(
+                0,
+                "admission",
+                format!("reject tenant={tenant} code={}", r.code),
+            );
             Err(r)
         };
         if st.shutdown {
@@ -272,6 +320,7 @@ impl ServeCore {
         stats.submitted += 1;
         stats.active += 1;
 
+        let now = now_ns(&self.inner);
         let mut record = JobRecord {
             tenant: tenant.to_string(),
             kind: req.kind(),
@@ -285,7 +334,24 @@ impl ServeCore {
             rows: Vec::new(),
             fingerprint: None,
             followers: Vec::new(),
+            trace: None,
+            job_span: SpanId::INVALID,
+            queued_span: SpanId::INVALID,
+            run_span: SpanId::INVALID,
+            submitted_ns: now,
+            first_dispatch_ns: None,
+            postmortem: None,
         };
+        if self.inner.cfg.telemetry {
+            let jt = JobTrace::new(id);
+            record.job_span = jt.begin(jt.request, &format!("job {id} ({})", record.kind), now);
+            record.trace = Some(jt);
+        }
+        self.inner.flight.record(
+            TraceCtx::for_job(id).trace_id,
+            "job",
+            format!("submit id={id} tenant={tenant} kind={}", record.kind),
+        );
         match record.work.as_ref() {
             Work::Single { point, plan, trace } => {
                 // Coalesce onto an identical in-flight run: the follower
@@ -300,6 +366,9 @@ impl ServeCore {
                 if let Some(leader_id) = leader {
                     st.coalesced += 1;
                     st.tenants.entry(tenant.to_string()).or_default().coalesced += 1;
+                    if let Some(jt) = record.trace.clone() {
+                        jt.instant(jt.request, "coalesced", now);
+                    }
                     st.jobs.insert(id, record);
                     st.jobs
                         .get_mut(&leader_id)
@@ -309,6 +378,10 @@ impl ServeCore {
                 } else {
                     if let Some(f) = fp {
                         st.inflight.insert(f, id);
+                    }
+                    if let Some(jt) = record.trace.clone() {
+                        jt.instant(jt.request, "admitted", now);
+                        record.queued_span = jt.begin(jt.sched, "queued", now);
                     }
                     st.jobs.insert(id, record);
                     st.sched.push(Task {
@@ -325,6 +398,10 @@ impl ServeCore {
                 record.pending_chunks = chunks.len();
                 record.rows = vec![None; points.len()];
                 let n = chunks.len();
+                if let Some(jt) = record.trace.clone() {
+                    jt.instant(jt.request, "admitted", now);
+                    record.queued_span = jt.begin(jt.sched, "queued", now);
+                }
                 st.jobs.insert(id, record);
                 for chunk in 0..n {
                     st.sched.push(Task {
@@ -490,7 +567,7 @@ impl ServeCore {
     }
 
     /// Fetches one artifact of a terminal job: `report`, `trace`, `csv`,
-    /// `table`, `error`, or `lint`.
+    /// `table`, `error`, `lint`, or `postmortem`.
     ///
     /// # Errors
     ///
@@ -500,6 +577,12 @@ impl ServeCore {
         let j = st.jobs.get(&id).ok_or_else(|| format!("no job {id}"))?;
         if kind == "lint" {
             return Ok(j.lint_json.clone().unwrap_or_else(|| "[]".to_string()));
+        }
+        if kind == "postmortem" {
+            return j
+                .postmortem
+                .clone()
+                .ok_or_else(|| format!("job {id} has no post-mortem"));
         }
         let outcome = j
             .outcome
@@ -521,8 +604,27 @@ impl ServeCore {
         }
     }
 
-    /// A full metrics dump: job/tenant counters plus cache occupancy.
+    /// A full metrics dump: job/tenant counters plus cache occupancy and
+    /// the typed telemetry (histograms expand to `.count/.p50/…` gauges).
     pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics_registry(true)
+    }
+
+    /// The Prometheus text exposition of the same metrics: counters and
+    /// gauges as scalar samples, latency histograms as cumulative
+    /// `_bucket`/`_sum`/`_count` series. Served as
+    /// `GET /metrics?format=prom` and the `{"op":"metrics","format":"prom"}`
+    /// wire request.
+    pub fn metrics_prom(&self) -> String {
+        // The registry must not include the telemetry expansion here: the
+        // histograms are emitted natively, and a `…_count` gauge next to a
+        // `…_count` histogram sample would be a duplicate family.
+        let reg = self.metrics_registry(false);
+        let st = self.inner.state.lock().unwrap();
+        salam_telemetry::prom::encode_with_gauges(&st.telemetry, &reg)
+    }
+
+    fn metrics_registry(&self, include_telemetry: bool) -> MetricsRegistry {
         let st = self.inner.state.lock().unwrap();
         let mut reg = MetricsRegistry::new();
         // done/failed are lifetime counters — terminal records past the
@@ -554,22 +656,73 @@ impl ServeCore {
         if let Some(cache) = &self.inner.cache {
             cache.export_metrics(&mut reg, "serve.cache");
         }
+        if include_telemetry {
+            st.telemetry.export_to_registry(&mut reg);
+            reg.set("serve.flight.dropped", self.inner.flight.dropped() as f64);
+        }
         reg
     }
 
-    /// The stable one-line summary CI asserts on.
+    /// The stable one-line summary CI asserts on. The leading counters are
+    /// frozen (scripts key on them); end-to-end latency percentiles ride
+    /// at the end (zeros until a job completes or with telemetry off).
+    /// Format, documented in DESIGN.md §11:
+    /// `jobs=N done=N failed=N rejected=N coalesced=N cache_hits=N
+    /// sim_runs=N e2e_p50_ms=F e2e_p99_ms=F`.
     pub fn stats_line(&self) -> String {
         let st = self.inner.state.lock().unwrap();
+        let (p50, p99) = st
+            .telemetry
+            .hist("serve.latency.e2e_us")
+            .map_or((0, 0), |h| (h.p50(), h.p99()));
         format!(
-            "jobs={} done={} failed={} rejected={} coalesced={} cache_hits={} sim_runs={}",
+            "jobs={} done={} failed={} rejected={} coalesced={} cache_hits={} sim_runs={} \
+             e2e_p50_ms={:.3} e2e_p99_ms={:.3}",
             st.submit_seq,
             st.done,
             st.failed,
             st.rejected,
             st.coalesced,
             st.cache_hits,
-            st.sim_runs
+            st.sim_runs,
+            p50 as f64 / 1000.0,
+            p99 as f64 / 1000.0,
         )
+    }
+
+    /// Per-class end-to-end latency percentiles as JSON — the payload the
+    /// `salam_serve --bench-out` flag writes at shutdown for CI's workflow
+    /// artifact.
+    pub fn latency_summary_json(&self) -> String {
+        let st = self.inner.state.lock().unwrap();
+        let block = |h: &Histogram| {
+            format!(
+                "{{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                h.count(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max()
+            )
+        };
+        let mut classes = String::new();
+        for (key, h) in st.telemetry.hists() {
+            let Some(class) = key
+                .strip_prefix("serve.latency.e2e_us{class=\"")
+                .and_then(|rest| rest.strip_suffix("\"}"))
+            else {
+                continue;
+            };
+            if !classes.is_empty() {
+                classes.push_str(", ");
+            }
+            classes.push_str(&format!("\"{}\": {}", crate::wire::escape(class), block(h)));
+        }
+        let total = st
+            .telemetry
+            .hist("serve.latency.e2e_us")
+            .map_or_else(|| block(&Histogram::new()), block);
+        format!("{{\"total\": {total}, \"classes\": {{{classes}}}}}")
     }
 
     /// Stops accepting jobs, lets in-flight tasks finish, and joins the
@@ -603,12 +756,14 @@ impl ServeCore {
             }
             finish_job(
                 &mut st,
+                &self.inner,
                 id,
                 JobOutcome::Error {
                     label: "shutdown".to_string(),
                     message: "server shut down before the job ran".to_string(),
                 },
                 false,
+                &SingleExtras::NONE,
             );
         }
         drop(st);
@@ -649,9 +804,7 @@ fn worker_loop(inner: &Inner) {
                     return;
                 }
                 if let Some(d) = st.sched.dispatch() {
-                    if let Some(j) = st.jobs.get_mut(&d.task.job) {
-                        j.state = JobState::Running;
-                    }
+                    on_dispatch(&mut st, inner, &d.task);
                     break d;
                 }
                 st = inner.cvar.wait(st).unwrap();
@@ -671,14 +824,31 @@ fn worker_loop(inner: &Inner) {
         };
         match work.as_ref() {
             Work::Single { point, plan, trace } => {
-                let (outcome, from_cache) = run_single(inner, point, plan.as_ref(), *trace);
+                let run = run_single(
+                    inner,
+                    point,
+                    plan.as_ref(),
+                    *trace,
+                    TraceCtx::for_job(dispatched.task.job).trace_id,
+                );
                 let mut st = inner.state.lock().unwrap();
-                if from_cache {
+                if run.from_cache {
                     st.cache_hits += 1;
                 } else {
                     st.sim_runs += 1;
                 }
-                complete_single(&mut st, dispatched.task.job, outcome, from_cache);
+                let extras = SingleExtras {
+                    watchdog_json: run.watchdog_json.as_deref(),
+                    engine_rec: run.engine_rec.as_ref(),
+                };
+                complete_single(
+                    &mut st,
+                    inner,
+                    dispatched.task.job,
+                    run.outcome,
+                    run.from_cache,
+                    &extras,
+                );
                 st.sched.task_done(&dispatched);
                 drop(st);
                 inner.cvar.notify_all();
@@ -703,6 +873,7 @@ fn worker_loop(inner: &Inner) {
                     st.sim_runs += (run.misses + run.baseline_misses) as u64;
                     record_chunk(
                         &mut st,
+                        inner,
                         dispatched.task.job,
                         work.as_ref(),
                         a,
@@ -716,8 +887,16 @@ fn worker_loop(inner: &Inner) {
                     let mut st = inner.state.lock().unwrap();
                     st.cache_hits += run.hits as u64;
                     st.sim_runs += (run.misses + run.corrupt) as u64;
+                    if inner.cfg.telemetry {
+                        // Per-point telemetry (dse.point.cycles, hit/miss
+                        // counters) folds into the server registry; the
+                        // histogram contents are a pure function of the
+                        // point set, so chunking cannot perturb them.
+                        st.telemetry.merge_from(&run.telemetry);
+                    }
                     record_chunk(
                         &mut st,
+                        inner,
                         dispatched.task.job,
                         work.as_ref(),
                         a,
@@ -750,14 +929,39 @@ fn chunk_options(inner: &Inner) -> DseOptions {
     opts
 }
 
+/// What one single run produced, beyond its outcome: whether the cache
+/// served it, the watchdog snapshot when it deadlocked (post-mortem
+/// material), and the engine's op-level trace recorder when it was traced.
+struct SingleRun {
+    outcome: JobOutcome,
+    from_cache: bool,
+    watchdog_json: Option<String>,
+    engine_rec: Option<TraceRecorder>,
+}
+
+/// Borrowed post-run context threaded into job completion so the
+/// terminal-telemetry hook can compose trace and post-mortem artifacts.
+struct SingleExtras<'a> {
+    watchdog_json: Option<&'a str>,
+    engine_rec: Option<&'a TraceRecorder>,
+}
+
+impl SingleExtras<'_> {
+    const NONE: SingleExtras<'static> = SingleExtras {
+        watchdog_json: None,
+        engine_rec: None,
+    };
+}
+
 /// Executes one single run — cache probe, simulate under `catch_unwind`,
-/// store — and returns the outcome plus whether it was served from cache.
+/// store — and returns the outcome plus its telemetry by-products.
 fn run_single(
     inner: &Inner,
     point: &StandalonePoint,
     plan: Option<&FaultPlan>,
     trace: bool,
-) -> (JobOutcome, bool) {
+    trace_id: u64,
+) -> SingleRun {
     let cache_id = match plan {
         None => point.cache_id(),
         Some(p) => faulted_cache_id(point, p),
@@ -767,7 +971,12 @@ fn run_single(
     let cache = inner.cache.as_ref().filter(|_| !trace);
     if let Some(cache) = cache {
         if let Lookup::Hit(report) = cache.lookup::<salam::RunReport>(&cache_id) {
-            return (report_outcome(&report, None), true);
+            return SingleRun {
+                outcome: report_outcome(&report, None),
+                from_cache: true,
+                watchdog_json: None,
+                engine_rec: None,
+            };
         }
     }
     let mut shared = if trace {
@@ -776,8 +985,16 @@ fn run_single(
         salam_obs::SharedTrace::disabled()
     };
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        try_run_kernel_traced(&point.kernel.build(), &point.config, &shared, plan)
+        try_run_kernel_observed(
+            &point.kernel.build(),
+            &point.config,
+            &shared,
+            plan,
+            &inner.flight,
+            trace_id,
+        )
     }));
+    let mut watchdog_json = None;
     let outcome = match result {
         Ok(Ok(report)) => {
             if let Some(cache) = cache {
@@ -785,15 +1002,17 @@ fn run_single(
                     eprintln!("salam-serve: warning: cache store failed: {e}");
                 }
             }
-            let trace_json = shared
-                .take_recorder()
-                .map(|rec| salam_obs::export_chrome_json(&rec));
-            report_outcome(&report, trace_json)
+            report_outcome(&report, None)
         }
-        Ok(Err(sim_err)) => JobOutcome::Error {
-            label: sim_err.label().to_string(),
-            message: sim_err.to_string(),
-        },
+        Ok(Err(sim_err)) => {
+            if let salam::SimError::Deadlock(snap) = &sim_err {
+                watchdog_json = Some(snap.to_json());
+            }
+            JobOutcome::Error {
+                label: sim_err.label().to_string(),
+                message: sim_err.to_string(),
+            }
+        }
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<String>()
@@ -806,7 +1025,12 @@ fn run_single(
             }
         }
     };
-    (outcome, false)
+    SingleRun {
+        outcome,
+        from_cache: false,
+        watchdog_json,
+        engine_rec: shared.take_recorder(),
+    }
 }
 
 fn report_outcome(report: &salam::RunReport, trace_json: Option<String>) -> JobOutcome {
@@ -819,9 +1043,141 @@ fn report_outcome(report: &salam::RunReport, trace_json: Option<String>) -> JobO
     }
 }
 
+/// Telemetry at the moment a task first takes a slot: ends the queued
+/// span, opens the run span with a flow edge, and records the queue-wait
+/// histogram. Runs under the state lock, on the first dispatch only
+/// (later sweep chunks of the same job skip it).
+fn on_dispatch(st: &mut State, inner: &Inner, task: &Task) {
+    let now = now_ns(inner);
+    let Some(j) = st.jobs.get_mut(&task.job) else {
+        return;
+    };
+    j.state = JobState::Running;
+    if j.first_dispatch_ns.is_some() {
+        return;
+    }
+    j.first_dispatch_ns = Some(now);
+    let wait_us = now.saturating_sub(j.submitted_ns) / 1_000;
+    if let Some(jt) = j.trace.clone() {
+        jt.end(j.queued_span, now);
+        let run = jt.begin(jt.run, "run", now);
+        jt.flow(j.queued_span, run, "dispatch", now);
+        j.queued_span = SpanId::INVALID;
+        j.run_span = run;
+    }
+    let (kind, tenant) = (j.kind, j.tenant.clone());
+    if inner.cfg.telemetry {
+        let t = &mut st.telemetry;
+        t.record("serve.latency.queue_us", wait_us);
+        t.record(
+            &labeled("serve.latency.queue_us", &[("class", kind)]),
+            wait_us,
+        );
+        t.record(
+            &labeled("serve.latency.queue_us", &[("tenant", &tenant)]),
+            wait_us,
+        );
+    }
+    inner.flight.record(
+        TraceCtx::for_job(task.job).trace_id,
+        "sched",
+        format!("dispatch id={} class={kind} wait_us={wait_us}", task.job),
+    );
+}
+
+/// How many trailing flight-recorder events a post-mortem carries.
+const POSTMORTEM_FLIGHT_EVENTS: usize = 256;
+
+/// Telemetry at the moment a job goes terminal: closes its lifecycle
+/// spans, records the run/end-to-end latency histograms, attaches the
+/// span-tree trace to successful reports, and — on failure — composes the
+/// post-mortem artifact from the flight recorder and (for deadlocks) the
+/// watchdog snapshot.
+fn job_terminal(
+    st: &mut State,
+    inner: &Inner,
+    id: JobId,
+    failed: bool,
+    outcome: &mut JobOutcome,
+    extras: &SingleExtras,
+) {
+    let now = now_ns(inner);
+    let Some(j) = st.jobs.get_mut(&id) else {
+        return;
+    };
+    if let Some(jt) = j.trace.clone() {
+        jt.end(j.queued_span, now);
+        jt.end(j.run_span, now);
+        j.queued_span = SpanId::INVALID;
+        j.run_span = SpanId::INVALID;
+        jt.instant(jt.request, if failed { "failed" } else { "done" }, now);
+        jt.end(j.job_span, now);
+        j.job_span = SpanId::INVALID;
+        if let JobOutcome::Report { trace_json, .. } = outcome {
+            let extra: Vec<&TraceRecorder> = extras.engine_rec.into_iter().collect();
+            *trace_json = Some(jt.export_chrome(&extra));
+        }
+    } else if let JobOutcome::Report { trace_json, .. } = outcome {
+        // Telemetry off: the trace artifact (for jobs that asked to be
+        // traced) is the engine recorder alone, as before PR 8.
+        if trace_json.is_none() {
+            *trace_json = extras.engine_rec.map(salam_obs::export_chrome_json);
+        }
+    }
+    let trace_id = TraceCtx::for_job(id).trace_id;
+    if failed && inner.cfg.telemetry {
+        if let JobOutcome::Error { label, message } = &*outcome {
+            j.postmortem = Some(format!(
+                "{{\"job\": {id}, \"trace_id\": \"{trace_id:016x}\", \"label\": \"{}\", \
+                 \"message\": \"{}\", \"watchdog\": {}, \"flight\": {}}}",
+                crate::wire::escape(label),
+                crate::wire::escape(message),
+                extras.watchdog_json.unwrap_or("null"),
+                inner.flight.tail_json(POSTMORTEM_FLIGHT_EVENTS),
+            ));
+        }
+    }
+    let (kind, tenant, submitted, first_dispatch) = (
+        j.kind,
+        j.tenant.clone(),
+        j.submitted_ns,
+        j.first_dispatch_ns,
+    );
+    if inner.cfg.telemetry {
+        let t = &mut st.telemetry;
+        let e2e_us = now.saturating_sub(submitted) / 1_000;
+        t.record("serve.latency.e2e_us", e2e_us);
+        t.record(&labeled("serve.latency.e2e_us", &[("class", kind)]), e2e_us);
+        t.record(
+            &labeled("serve.latency.e2e_us", &[("tenant", &tenant)]),
+            e2e_us,
+        );
+        if let Some(t0) = first_dispatch {
+            let run_us = now.saturating_sub(t0) / 1_000;
+            t.record("serve.latency.run_us", run_us);
+            t.record(&labeled("serve.latency.run_us", &[("class", kind)]), run_us);
+        }
+    }
+    inner.flight.record(
+        trace_id,
+        "job",
+        format!(
+            "finish id={id} state={}",
+            if failed { "failed" } else { "done" }
+        ),
+    );
+}
+
 /// Records a single run's outcome and completes the job together with any
 /// coalesced followers.
-fn complete_single(st: &mut State, id: JobId, outcome: JobOutcome, leader_from_cache: bool) {
+fn complete_single(
+    st: &mut State,
+    inner: &Inner,
+    id: JobId,
+    outcome: JobOutcome,
+    leader_from_cache: bool,
+    extras: &SingleExtras,
+) {
     let followers = {
         let Some(j) = st.jobs.get_mut(&id) else {
             return;
@@ -834,19 +1190,27 @@ fn complete_single(st: &mut State, id: JobId, outcome: JobOutcome, leader_from_c
     // A follower is a cache hit exactly when its leader's result was one:
     // coalescing is already counted separately at submit.
     for f in followers {
-        finish_job(st, f, outcome.clone(), leader_from_cache);
+        finish_job(st, inner, f, outcome.clone(), leader_from_cache, extras);
     }
-    finish_job(st, id, outcome, leader_from_cache);
+    finish_job(st, inner, id, outcome, leader_from_cache, extras);
 }
 
 /// Marks one job terminal with `outcome` and retires it.
-fn finish_job(st: &mut State, id: JobId, outcome: JobOutcome, hit: bool) {
+fn finish_job(
+    st: &mut State,
+    inner: &Inner,
+    id: JobId,
+    mut outcome: JobOutcome,
+    hit: bool,
+    extras: &SingleExtras,
+) {
     st.complete_seq += 1;
     let seq = st.complete_seq;
+    let failed = matches!(outcome, JobOutcome::Error { .. });
+    job_terminal(st, inner, id, failed, &mut outcome, extras);
     let Some(j) = st.jobs.get_mut(&id) else {
         return;
     };
-    let failed = matches!(outcome, JobOutcome::Error { .. });
     j.state = if failed {
         JobState::Failed
     } else {
@@ -896,6 +1260,7 @@ fn retire(st: &mut State, tenant: &str, id: JobId, failed: bool, hit: bool) {
 /// the last chunk lands.
 fn record_chunk(
     st: &mut State,
+    inner: &Inner,
     id: JobId,
     work: &Work,
     start: usize,
@@ -985,7 +1350,7 @@ fn record_chunk(
         summary.push(("replayed".into(), replayed.to_string()));
     }
     table.set_summary(summary);
-    let outcome = JobOutcome::Sweep {
+    let mut outcome = JobOutcome::Sweep {
         csv: table.to_csv(),
         json: table.to_json(),
         points: total,
@@ -995,10 +1360,11 @@ fn record_chunk(
     };
     st.complete_seq += 1;
     let seq = st.complete_seq;
+    let job_failed = failed > 0;
+    job_terminal(st, inner, id, job_failed, &mut outcome, &SingleExtras::NONE);
     let Some(j) = st.jobs.get_mut(&id) else {
         return;
     };
-    let job_failed = failed > 0;
     j.state = if job_failed {
         JobState::Failed
     } else {

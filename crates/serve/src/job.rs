@@ -100,6 +100,10 @@ pub fn apply_knob(cfg: &mut StandaloneConfig, knob: &str, value: u64) -> Result<
         }
         "spm-latency" => cfg.spm_latency = value,
         "window" => cfg.engine.reservation_entries = value as usize,
+        // No-progress cycles before the watchdog declares a deadlock.
+        // Exposed so chaos jobs (and CI's post-mortem smoke) can trip the
+        // watchdog quickly instead of spinning out the default million.
+        "deadlock-cycles" => cfg.engine.deadlock_cycles = value,
         other => return Err(format!("unknown config knob '{other}'")),
     }
     Ok(())
@@ -270,10 +274,12 @@ mod tests {
         apply_knob(&mut cfg, "ports", 4).unwrap();
         apply_knob(&mut cfg, "spm-latency", 3).unwrap();
         apply_knob(&mut cfg, "window", 16).unwrap();
+        apply_knob(&mut cfg, "deadlock-cycles", 500).unwrap();
         assert_eq!(cfg.spm_read_ports, 4);
         assert_eq!(cfg.spm_write_ports, 4);
         assert_eq!(cfg.spm_latency, 3);
         assert_eq!(cfg.engine.reservation_entries, 16);
+        assert_eq!(cfg.engine.deadlock_cycles, 500);
         assert!(apply_knob(&mut cfg, "nope", 1).is_err());
 
         let ax = WireAxis {

@@ -3,10 +3,10 @@
 //!
 //! A connection speaks whichever protocol its first bytes announce: lines
 //! starting with `GET ` / `POST ` are handled as one HTTP request
-//! (`GET /metrics`, `GET /stats`, `GET /status?id=N`, `POST /submit`);
-//! anything else is the native protocol — one [`crate::wire`] request per
-//! line, one response line each, connection held open until the client
-//! hangs up.
+//! (`GET /metrics[?format=prom]`, `GET /stats`, `GET /status?id=N`,
+//! `GET /trace?id=N`, `POST /submit`); anything else is the native
+//! protocol — one [`crate::wire`] request per line, one response line
+//! each, connection held open until the client hangs up.
 //!
 //! All policy lives in [`ServeCore`]; this module only frames bytes.
 
@@ -155,6 +155,10 @@ fn respond(core: &ServeCore, line: &str, stop: &AtomicBool) -> String {
             Err(m) => wire::err_json("not-found", &m),
         },
         Request::Metrics => wire::raw_ok("metrics", &core.metrics().to_json()),
+        Request::MetricsProm => wire::raw_ok(
+            "prom",
+            &format!("\"{}\"", wire::escape(&core.metrics_prom())),
+        ),
         Request::Stats => wire::raw_ok(
             "stats",
             &format!("\"{}\"", wire::escape(&core.stats_line())),
@@ -205,15 +209,20 @@ fn handle_http(
     }
     let body = String::from_utf8_lossy(&body);
 
-    let (status, payload) = http_route(core, method, target, &body, stop);
+    let (status, content_type, payload) = http_route(core, method, target, &body, stop);
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
         payload.len()
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()?;
     Ok(())
 }
+
+/// The content type every JSON response carries.
+const JSON: &str = "application/json";
+/// The Prometheus text exposition content type (format 0.0.4).
+const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 /// Maps an HTTP request onto the native operations.
 fn http_route(
@@ -222,46 +231,70 @@ fn http_route(
     target: &str,
     body: &str,
     stop: &AtomicBool,
-) -> (&'static str, String) {
+) -> (&'static str, &'static str, String) {
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
+    let query_val = |key: &str| {
+        query
+            .split('&')
+            .find_map(|kv| kv.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+    };
     match (method, path) {
-        ("GET", "/metrics") => ("200 OK", wire::raw_ok("metrics", &core.metrics().to_json())),
+        ("GET", "/metrics") => match query_val("format") {
+            Some("prom") => ("200 OK", PROM, core.metrics_prom()),
+            _ => (
+                "200 OK",
+                JSON,
+                wire::raw_ok("metrics", &core.metrics().to_json()),
+            ),
+        },
         ("GET", "/stats") => (
             "200 OK",
+            JSON,
             wire::raw_ok(
                 "stats",
                 &format!("\"{}\"", wire::escape(&core.stats_line())),
             ),
         ),
         ("GET", "/status") => {
-            let id = query
-                .split('&')
-                .find_map(|kv| kv.strip_prefix("id="))
-                .and_then(|v| v.parse::<u64>().ok());
+            let id = query_val("id").and_then(|v| v.parse::<u64>().ok());
             match id.and_then(|id| core.status(id)) {
-                Some(s) => ("200 OK", wire::status_json(&s)),
+                Some(s) => ("200 OK", JSON, wire::status_json(&s)),
                 None => (
                     "404 Not Found",
+                    JSON,
                     wire::err_json("not-found", "unknown or missing id"),
                 ),
             }
         }
+        // The span-tree trace artifact, raw — load it straight into
+        // Perfetto / chrome://tracing.
+        ("GET", "/trace") => {
+            let id = query_val("id").and_then(|v| v.parse::<u64>().ok());
+            match id
+                .ok_or_else(|| "unknown or missing id".to_string())
+                .and_then(|id| core.artifact(id, "trace"))
+            {
+                Ok(text) => ("200 OK", JSON, text),
+                Err(m) => ("404 Not Found", JSON, wire::err_json("not-found", &m)),
+            }
+        }
         ("POST", "/submit") => match wire::parse_submit_body(body) {
             Ok((tenant, job)) => match core.submit(&tenant, job) {
-                Ok(id) => ("200 OK", wire::submit_ok(id)),
-                Err(r) => ("403 Forbidden", wire::rejection_json(&r)),
+                Ok(id) => ("200 OK", JSON, wire::submit_ok(id)),
+                Err(r) => ("403 Forbidden", JSON, wire::rejection_json(&r)),
             },
-            Err(m) => ("400 Bad Request", wire::err_json("bad-request", &m)),
+            Err(m) => ("400 Bad Request", JSON, wire::err_json("bad-request", &m)),
         },
         ("POST", "/shutdown") => {
             stop.store(true, Ordering::SeqCst);
-            ("200 OK", wire::ok_json())
+            ("200 OK", JSON, wire::ok_json())
         }
         _ => (
             "404 Not Found",
+            JSON,
             wire::err_json("not-found", &format!("no route {method} {path}")),
         ),
     }

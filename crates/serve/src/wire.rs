@@ -15,6 +15,7 @@
 //! {"op":"wait","id":3}
 //! {"op":"result","id":3,"artifact":"report"}
 //! {"op":"metrics"}
+//! {"op":"metrics","format":"prom"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
@@ -44,32 +45,26 @@ pub enum Request {
     Result {
         /// The job.
         id: JobId,
-        /// `report` / `trace` / `csv` / `table` / `error` / `lint`.
+        /// `report` / `trace` / `csv` / `table` / `error` / `lint` /
+        /// `postmortem`.
         artifact: String,
     },
-    /// Dump the server metrics registry.
+    /// Dump the server metrics registry (JSON gauges).
     Metrics,
+    /// Dump the metrics in Prometheus text exposition format. The text
+    /// rides back as a JSON string under `"prom"` on the native protocol;
+    /// the HTTP shim serves it raw as `GET /metrics?format=prom`.
+    MetricsProm,
     /// The one-line server summary.
     Stats,
     /// Stop accepting jobs and shut the server down.
     Shutdown,
 }
 
-/// Escapes a string for embedding in a JSON literal.
+/// Escapes a string for embedding in a JSON literal (shared with every
+/// other JSON writer in the workspace via [`salam_obs::json::escape`]).
 pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    json::escape(s)
 }
 
 fn need_str(v: &Value, key: &str) -> Result<String, String> {
@@ -217,7 +212,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             id: need_u64(&v, "id")?,
             artifact: need_str(&v, "artifact")?,
         }),
-        "metrics" => Ok(Request::Metrics),
+        "metrics" => match v.get("format").and_then(Value::as_str) {
+            None => Ok(Request::Metrics),
+            Some("prom") => Ok(Request::MetricsProm),
+            Some(other) => Err(format!("unknown metrics format '{other}'")),
+        },
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op '{other}'")),
@@ -391,6 +390,11 @@ mod tests {
             parse_request(r#"{"op":"metrics"}"#).unwrap(),
             Request::Metrics
         ));
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics","format":"prom"}"#).unwrap(),
+            Request::MetricsProm
+        ));
+        assert!(parse_request(r#"{"op":"metrics","format":"xml"}"#).is_err());
         assert!(matches!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown

@@ -508,6 +508,156 @@ fn replay_sweeps_gain_an_engine_column_and_match_full_sim_cycles() {
 }
 
 #[test]
+fn telemetry_records_latency_histograms_and_prometheus_exposition() {
+    let core = ServeCore::start(ServeConfig {
+        no_cache: true,
+        ..cfg("telemetry")
+    });
+    let j1 = core.submit("alice", kernel_job("bfs", &[])).unwrap();
+    let j2 = core
+        .submit("bob", kernel_job("gemm", &[("ports", 2)]))
+        .unwrap();
+    assert_eq!(core.wait(j1).unwrap().state, JobState::Done);
+    assert_eq!(core.wait(j2).unwrap().state, JobState::Done);
+
+    // The JSON registry gains the histogram expansion.
+    let m = core.metrics();
+    assert_eq!(m.get("serve.latency.e2e_us.count"), Some(2.0));
+    assert_eq!(m.get("serve.latency.e2e_us.class.kernel.count"), Some(2.0));
+    assert_eq!(m.get("serve.latency.e2e_us.tenant.alice.count"), Some(1.0));
+    assert_eq!(m.get("serve.latency.queue_us.count"), Some(2.0));
+    assert!(m.get("serve.latency.run_us.p99").is_some());
+
+    // The Prometheus exposition is well-formed: typed families, cumulative
+    // buckets with a +Inf bound, _sum/_count, and the plain gauges.
+    let prom = core.metrics_prom();
+    assert!(
+        prom.contains("# TYPE serve_latency_e2e_us histogram"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("serve_latency_e2e_us_bucket{le=\"+Inf\"} 2"),
+        "{prom}"
+    );
+    assert!(prom.contains("serve_latency_e2e_us_sum"), "{prom}");
+    assert!(prom.contains("serve_latency_e2e_us_count 2"), "{prom}");
+    assert!(prom.contains("# TYPE serve_jobs_done gauge"), "{prom}");
+    assert!(
+        !prom.contains("# TYPE serve_latency_e2e_us_count gauge"),
+        "histogram summaries must not leak into the gauge section: {prom}"
+    );
+
+    // The stats line carries the e2e percentiles (satellite 2).
+    let line = core.stats_line();
+    assert!(line.contains("e2e_p50_ms="), "{line}");
+    assert!(line.contains("e2e_p99_ms="), "{line}");
+
+    // The bench-out summary names each class with its percentiles.
+    let summary = core.latency_summary_json();
+    let v = salam_obs::json::parse(&summary).unwrap();
+    assert_eq!(
+        v.get("total")
+            .and_then(|t| t.get("count"))
+            .and_then(|c| c.as_f64()),
+        Some(2.0),
+        "{summary}"
+    );
+    assert!(
+        v.get("classes")
+            .and_then(|c| c.get("kernel"))
+            .and_then(|k| k.get("p99_us"))
+            .is_some(),
+        "{summary}"
+    );
+    core.shutdown();
+}
+
+#[test]
+fn every_job_gets_a_lifecycle_trace_and_telemetry_off_restores_the_baseline() {
+    // Telemetry on (the default): even an untraced job serves a span-tree
+    // trace artifact with the lifecycle stages and its trace id.
+    let on = ServeCore::start(ServeConfig {
+        no_cache: true,
+        ..cfg("tel-on")
+    });
+    let j = on.submit("alice", kernel_job("bfs", &[])).unwrap();
+    assert_eq!(on.wait(j).unwrap().state, JobState::Done);
+    let report_on = on.artifact(j, "report").unwrap();
+    let trace = on.artifact(j, "trace").unwrap();
+    for needle in ["\"queued\"", "\"run\"", "\"admitted\"", "trace_id:"] {
+        assert!(trace.contains(needle), "missing {needle} in {trace}");
+    }
+    on.shutdown();
+
+    // Telemetry off: no trace artifact for untraced jobs (the pre-PR 8
+    // contract), no histograms — and the simulation artifact itself is
+    // byte-identical, proving telemetry does not perturb the model.
+    let off = ServeCore::start(ServeConfig {
+        no_cache: true,
+        telemetry: false,
+        ..cfg("tel-off")
+    });
+    let j = off.submit("alice", kernel_job("bfs", &[])).unwrap();
+    assert_eq!(off.wait(j).unwrap().state, JobState::Done);
+    assert_eq!(off.artifact(j, "report").unwrap(), report_on);
+    assert!(off.artifact(j, "trace").is_err());
+    assert!(off.metrics().get("serve.latency.e2e_us.count").is_none());
+    let line = off.stats_line();
+    assert!(line.contains("e2e_p50_ms=0.000"), "{line}");
+    off.shutdown();
+}
+
+#[test]
+fn deadlocked_jobs_leave_a_postmortem_with_the_watchdog_snapshot() {
+    let core = ServeCore::start(ServeConfig {
+        no_cache: true,
+        ..cfg("postmortem")
+    });
+    let mut plan = salam_fault::FaultPlan::seeded(3);
+    plan.mem_drop_rate = 1.0;
+    let doomed = core
+        .submit(
+            "chaos",
+            JobRequest::Faulted {
+                bench: "gemm".into(),
+                // Trip the watchdog quickly; the knob keeps the test fast.
+                knobs: vec![("deadlock-cycles".to_string(), 200)],
+                plan,
+            },
+        )
+        .unwrap();
+    assert_eq!(core.wait(doomed).unwrap().state, JobState::Failed);
+
+    let pm = core.artifact(doomed, "postmortem").unwrap();
+    let v = salam_obs::json::parse(&pm).unwrap_or_else(|e| panic!("{pm}: {e}"));
+    assert_eq!(v.get("label").and_then(|l| l.as_str()), Some("deadlock"));
+    let watchdog = v.get("watchdog").expect("watchdog snapshot attached");
+    assert!(
+        watchdog.get("last_progress_cycle").is_some(),
+        "snapshot fields survive: {pm}"
+    );
+    assert_eq!(
+        watchdog.get("kernel").and_then(|k| k.as_str()),
+        Some("gemm_ncubed")
+    );
+    let flight = v.get("flight").and_then(|f| f.as_array()).unwrap();
+    assert!(!flight.is_empty(), "flight recorder tail rides along: {pm}");
+    assert!(
+        flight.iter().any(|e| e
+            .get("msg")
+            .and_then(|m| m.as_str())
+            .is_some_and(|m| m.contains("run-error"))),
+        "the engine's run-error event is in the tail: {pm}"
+    );
+
+    // Healthy jobs have no post-mortem.
+    let fine = core.submit("alice", kernel_job("bfs", &[])).unwrap();
+    assert_eq!(core.wait(fine).unwrap().state, JobState::Done);
+    assert!(core.artifact(fine, "postmortem").is_err());
+    core.shutdown();
+}
+
+#[test]
 fn traced_jobs_return_a_chrome_trace() {
     let core = ServeCore::start(ServeConfig {
         no_cache: true,

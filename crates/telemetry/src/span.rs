@@ -1,0 +1,166 @@
+//! Request-scoped span trees.
+//!
+//! Every served job gets a [`TraceCtx`] at `submit` time and a
+//! [`JobTrace`] — a small per-job [`TraceRecorder`] with three fixed
+//! tracks (`request`, `sched`, `run`) — that follows the job through
+//! admission → scheduler slot → worker → engine run. Stages emit begin /
+//! end spans, instants and flow edges; the result exports through the
+//! existing Chrome `trace_event` machinery as the job's `trace` artifact,
+//! with the engine's own op-level recorder merged in when the job ran
+//! with tracing enabled.
+//!
+//! Timestamps are nanoseconds since the owning server's epoch (its boot
+//! `Instant`), converted to the recorder's picosecond domain. All
+//! emission happens under the server's existing state lock, so the trace
+//! adds no synchronization of its own.
+
+use salam_obs::det::SplitMix64;
+use salam_obs::{export_chrome_json, SharedTrace, SpanId, TraceRecorder, TraceSink, TrackId};
+
+/// The identity a request carries through every stage: a stable
+/// `trace_id` (derived from the job id) and the currently-open span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Request-scoped identity, printed in post-mortems and flight
+    /// events; stable across retries of the same job.
+    pub trace_id: u64,
+    /// The span the next child should parent under / flow from.
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// Derives the context for a job id. SplitMix64 gives well-mixed,
+    /// deterministic ids (job 1 and job 2 don't read as neighbours).
+    pub fn for_job(job_id: u64) -> Self {
+        TraceCtx {
+            trace_id: SplitMix64::new(job_id).next_u64(),
+            span_id: 0,
+        }
+    }
+}
+
+/// Per-job span recorder with the fixed lifecycle tracks.
+#[derive(Debug, Clone)]
+pub struct JobTrace {
+    trace: SharedTrace,
+    ctx: TraceCtx,
+    /// `request`: the end-to-end job span + admission instants.
+    pub request: TrackId,
+    /// `sched`: queued time and scheduler decisions.
+    pub sched: TrackId,
+    /// `run`: worker-slot occupancy and engine lifecycle.
+    pub run: TrackId,
+}
+
+/// Per-job rings are small: a lifecycle is a dozen events, and the
+/// engine's op-level events live in the engine's own recorder.
+const JOB_TRACE_CAPACITY: usize = 4096;
+
+impl JobTrace {
+    pub fn new(job_id: u64) -> Self {
+        let trace = SharedTrace::from_recorder(TraceRecorder::new(JOB_TRACE_CAPACITY));
+        let request = trace.track("request");
+        let sched = trace.track("sched");
+        let run = trace.track("run");
+        JobTrace {
+            trace,
+            ctx: TraceCtx::for_job(job_id),
+            request,
+            sched,
+            run,
+        }
+    }
+
+    pub fn ctx(&self) -> TraceCtx {
+        self.ctx
+    }
+
+    /// Opens a span on `track` at `at_ns` (nanoseconds since the server
+    /// epoch).
+    pub fn begin(&self, track: TrackId, name: &str, at_ns: u64) -> SpanId {
+        self.trace.begin_span(track, name, ns_to_ps(at_ns))
+    }
+
+    pub fn end(&self, span: SpanId, at_ns: u64) {
+        self.trace.end_span(span, ns_to_ps(at_ns));
+    }
+
+    pub fn instant(&self, track: TrackId, name: &str, at_ns: u64) {
+        self.trace.instant(track, name, ns_to_ps(at_ns));
+    }
+
+    /// A flow edge between two spans (rendered as an arrow in Perfetto —
+    /// e.g. queued → running across tracks).
+    pub fn flow(&self, from: SpanId, to: SpanId, name: &str, at_ns: u64) {
+        self.trace.edge(from, to, name, ns_to_ps(at_ns));
+    }
+
+    /// Exports the lifecycle spans — plus `extra` recorders (the engine's
+    /// op-level trace), whose timestamps are already absolute — as Chrome
+    /// `trace_event` JSON.
+    pub fn export_chrome(&self, extra: &[&TraceRecorder]) -> String {
+        let mut merged = TraceRecorder::new(TraceRecorder::DEFAULT_CAPACITY);
+        self.trace.with_recorder(|rec| merged.merge_from(rec));
+        for rec in extra {
+            merged.merge_from(rec);
+        }
+        // Stamp the request identity where trace viewers (and the span
+        // table in `salam_report --spans`) can find it.
+        let meta = merged.track("request");
+        merged.instant(meta, &format!("trace_id:{:016x}", self.ctx.trace_id), 0);
+        export_chrome_json(&merged)
+    }
+}
+
+fn ns_to_ps(ns: u64) -> u64 {
+    ns.saturating_mul(1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_stable_and_distinct() {
+        assert_eq!(TraceCtx::for_job(7).trace_id, TraceCtx::for_job(7).trace_id);
+        assert_ne!(TraceCtx::for_job(1).trace_id, TraceCtx::for_job(2).trace_id);
+    }
+
+    #[test]
+    fn lifecycle_exports_as_chrome_json() {
+        let jt = JobTrace::new(3);
+        let job = jt.begin(jt.request, "job 3 (gemm)", 0);
+        let queued = jt.begin(jt.sched, "queued", 10);
+        jt.instant(jt.request, "admitted", 10);
+        jt.end(queued, 2_000);
+        let run = jt.begin(jt.run, "run", 2_000);
+        jt.flow(queued, run, "dispatch", 2_000);
+        jt.end(run, 5_000);
+        jt.end(job, 5_000);
+
+        let text = jt.export_chrome(&[]);
+        let parsed = salam_obs::json::parse(&text).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events.len() >= 8);
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"queued"));
+        assert!(names.contains(&"dispatch"));
+        assert!(names.iter().any(|n| n.starts_with("trace_id:")));
+    }
+
+    #[test]
+    fn engine_recorder_merges_into_the_export() {
+        let jt = JobTrace::new(1);
+        let s = jt.begin(jt.run, "run", 0);
+        jt.end(s, 100);
+        let mut engine = TraceRecorder::new(64);
+        let t = engine.track("engine/gemm");
+        engine.instant(t, "cycle", 42);
+        let text = jt.export_chrome(&[&engine]);
+        assert!(text.contains("engine/gemm"));
+        assert!(text.contains("\"cycle\""));
+    }
+}

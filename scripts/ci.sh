@@ -126,19 +126,36 @@ case "$replayed" in
   *) echo "ci: replay_smoke marker line missing or not ok" >&2; exit 1 ;;
 esac
 
+# Telemetry smoke: every MachSuite kernel simulated with the flight
+# recorder off and on — the RunReport JSON must be byte-identical in both
+# modes (telemetry must never perturb simulated time) and the enabled
+# pass must stay within the wall-clock overhead gate.
+echo "+ telemetry_smoke (non-perturbation + overhead gate)"
+telem="$(cargo run --release -q --offline -p salam-bench --bin telemetry_smoke)"
+echo "$telem" | tail -n 1
+case "$telem" in
+  *"telemetry: kernels=9 identical=9/9"*" ok"*) ;;
+  *) echo "ci: telemetry_smoke marker line missing or not ok" >&2; exit 1 ;;
+esac
+
 # Serve smoke: boot the multi-tenant job server on an ephemeral port and
 # drive the whole wire surface with salam_client — two tenants submit a
 # kernel run and a sweep, a statically invalid config is rejected with a
-# typed code before it ever becomes a job, and the server drains and shuts
-# down cleanly via the wire op. The final metrics snapshot lands in
-# SERVE_METRICS_OUT when set (the workflow uploads it as an artifact).
+# typed code before it ever becomes a job, a forced-deadlock job leaves a
+# flight-recorder post-mortem, the Prometheus exposition and per-job span
+# trace are scraped, and the server drains and shuts down cleanly via the
+# wire op. The final metrics snapshot lands in SERVE_METRICS_OUT and the
+# per-class latency percentiles in BENCH_SERVE_OUT when set (the workflow
+# uploads both as artifacts).
 echo "+ salam_serve / salam_client (serve smoke)"
 serve_tmp="$(mktemp -d)"
 serve_metrics="${SERVE_METRICS_OUT:-$serve_tmp/serve-metrics.json}"
+serve_bench="${BENCH_SERVE_OUT:-$serve_tmp/BENCH_serve.json}"
 serve_pid=""
 trap 'rm -rf "$dse_cache" "$serve_tmp"; { [ -n "$serve_pid" ] && kill "$serve_pid"; } 2>/dev/null || true' EXIT
 cargo run --release -q --offline -p salam-bench --bin salam_serve -- \
   --addr 127.0.0.1:0 --cache-dir "$serve_tmp/cache" --metrics-out "$serve_metrics" \
+  --bench-out "$serve_bench" \
   >"$serve_tmp/serve.log" &
 serve_pid=$!
 addr=""
@@ -176,17 +193,71 @@ case "$sweep_csv" in
   *"points=2 ok=2 failed=0 invalid=0"*) ;;
   *) echo "ci: sweep summary row missing from the csv artifact" >&2; exit 1 ;;
 esac
+
+# A forced deadlock (aggressive watchdog + 100% response drops) must fail
+# the job and leave a post-mortem artifact carrying the watchdog snapshot
+# and the flight-recorder tail.
+client submit alice '{"type":"faulted","bench":"gemm","knobs":{"deadlock-cycles":200},"plan":{"seed":3,"mem_drop_rate":1.0}}'
+deadlocked="$(client wait 3)"
+case "$deadlocked" in
+  *'"state": "failed"'*) ;;
+  *) echo "ci: forced-deadlock job did not fail: $deadlocked" >&2; exit 1 ;;
+esac
+postmortem="$(client result 3 postmortem)"
+case "$postmortem" in
+  *'deadlock'*) ;;
+  *) echo "ci: post-mortem does not name the deadlock" >&2; exit 1 ;;
+esac
+case "$postmortem" in
+  *'last_progress_cycle'*) ;;
+  *) echo "ci: post-mortem is missing the watchdog snapshot" >&2; exit 1 ;;
+esac
+
+# Prometheus exposition: histogram families with cumulative buckets.
+prom="$(client prom)"
+for needle in '# TYPE serve_latency_e2e_us histogram' \
+              'serve_latency_e2e_us_bucket' 'le="+Inf"' \
+              'serve_latency_e2e_us_sum' 'serve_latency_e2e_us_count'; do
+  case "$prom" in
+    *"$needle"*) ;;
+    *) echo "ci: prometheus exposition missing '$needle'" >&2; exit 1 ;;
+  esac
+done
+
+# Per-job span trace over the HTTP shim, rendered as a latency table:
+# an untraced kernel job carries exactly its three lifecycle spans.
+serve_host="${addr%:*}"; serve_port="${addr##*:}"
+exec 3<>"/dev/tcp/$serve_host/$serve_port"
+printf 'GET /trace?id=1 HTTP/1.1\r\nHost: ci\r\n\r\n' >&3
+timeout 10 cat <&3 >"$serve_tmp/trace.http" || true
+exec 3>&- 3<&-
+awk 'body{print} /^\r?$/{body=1}' "$serve_tmp/trace.http" >"$serve_tmp/job1-trace.json"
+spans="$(cargo run --release -q --offline -p salam-bench --bin salam_report -- \
+  --spans "$serve_tmp/job1-trace.json")"
+echo "$spans" | tail -n 1
+case "$spans" in
+  *"spans: 3 spans"*) ;;
+  *) echo "ci: span table did not recover the job's lifecycle spans" >&2; exit 1 ;;
+esac
+
 client shutdown
 wait "$serve_pid"
 serve_pid=""
 serve_final="$(tail -n 1 "$serve_tmp/serve.log")"
 echo "$serve_final"
 case "$serve_final" in
-  *"jobs=2 done=2 failed=0 rejected=1"*) ;;
+  *"jobs=3 done=2 failed=1 rejected=1"*) ;;
   *) echo "ci: serve final stats line unexpected" >&2; exit 1 ;;
+esac
+case "$serve_final" in
+  *"e2e_p50_ms="*) ;;
+  *) echo "ci: serve stats line is missing latency percentiles" >&2; exit 1 ;;
 esac
 grep -q '"serve.jobs.done": 2' "$serve_metrics" || {
   echo "ci: serve metrics snapshot missing or wrong" >&2; exit 1
+}
+grep -q '"p99_us"' "$serve_bench" || {
+  echo "ci: serve latency summary (BENCH_serve.json) missing percentiles" >&2; exit 1
 }
 
 echo "ci: all checks passed"
