@@ -54,9 +54,7 @@ fn classify(result: &Result<salam::RunReport, SimError>) -> &'static str {
         Ok(_) => "sdc",
         Err(SimError::Deadlock(_)) => "deadlock",
         Err(SimError::KernelFault { .. }) => "detected",
-        Err(e @ (SimError::Config(_) | SimError::Verify(_))) => {
-            panic!("campaign config rejected: {e}")
-        }
+        Err(e) => panic!("campaign run stopped unexpectedly: {e}"),
     }
 }
 

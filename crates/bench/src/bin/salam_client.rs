@@ -10,49 +10,31 @@
 //! salam_client ADDR submit TENANT JOB_JSON     # JOB_JSON: {"type":"kernel",...}
 //! salam_client ADDR status ID
 //! salam_client ADDR wait ID
+//! salam_client ADDR cancel ID
 //! salam_client ADDR result ID ARTIFACT         # report|trace|csv|table|error|lint|postmortem
 //! salam_client ADDR metrics
 //! salam_client ADDR prom                       # metrics, Prometheus text format
 //! salam_client ADDR stats
 //! salam_client ADDR shutdown
 //! ```
+//!
+//! Resilience options (PR 9): `--deadline-ms N` attaches a deadline to a
+//! `submit` — the server cancels the job cooperatively once it expires.
+//! `--retry N` retries a submit up to N times when the server sheds load
+//! (`overloaded`) or fast-fails (`circuit-open`), sleeping the server's
+//! `retry_after_ms` hint between attempts.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 use salam_bench::cli::{Args, EXIT_FINDINGS, EXIT_USAGE};
 
-const USAGE: &str = "ADDR (submit TENANT JOB_JSON | status ID | wait ID |\n\
+const USAGE: &str = "ADDR (submit [--deadline-ms N] [--retry N] TENANT JOB_JSON |\n\
+     \x20            status ID | wait ID | cancel ID |\n\
      \x20            result ID ARTIFACT | metrics | prom | stats | shutdown)";
 
-fn main() {
-    let args = Args::parse("salam_client", USAGE);
-    let argv = args.finish();
-    let mut it = argv.iter().map(String::as_str);
-    let usage = || -> ! {
-        eprintln!("usage: salam_client {USAGE}");
-        std::process::exit(EXIT_USAGE);
-    };
-    let Some(addr) = it.next() else { usage() };
-    let Some(cmd) = it.next() else { usage() };
-    let rest: Vec<&str> = it.collect();
-
-    let request = match (cmd, rest.as_slice()) {
-        ("submit", [tenant, job]) => {
-            format!(r#"{{"op":"submit","tenant":"{tenant}","job":{job}}}"#)
-        }
-        ("status", [id]) => format!(r#"{{"op":"status","id":{id}}}"#),
-        ("wait", [id]) => format!(r#"{{"op":"wait","id":{id}}}"#),
-        ("result", [id, artifact]) => {
-            format!(r#"{{"op":"result","id":{id},"artifact":"{artifact}"}}"#)
-        }
-        ("metrics", []) => r#"{"op":"metrics"}"#.to_string(),
-        ("prom", []) => r#"{"op":"metrics","format":"prom"}"#.to_string(),
-        ("stats", []) => r#"{"op":"stats"}"#.to_string(),
-        ("shutdown", []) => r#"{"op":"shutdown"}"#.to_string(),
-        _ => usage(),
-    };
-
+/// One request/response round trip on a fresh connection.
+fn round_trip(addr: &str, request: &str) -> String {
     let mut stream = match TcpStream::connect(addr) {
         Ok(s) => s,
         Err(e) => {
@@ -73,7 +55,74 @@ fn main() {
         eprintln!("salam_client: server closed the connection");
         std::process::exit(EXIT_FINDINGS);
     }
-    let parsed = salam_obs::json::parse(&response).ok();
+    response
+}
+
+/// `true` when the rejection code is transient and worth retrying.
+fn retryable(parsed: Option<&salam_obs::json::Value>) -> bool {
+    parsed
+        .and_then(|v| v.get("code").and_then(|c| c.as_str()))
+        .is_some_and(|code| code == "overloaded" || code == "circuit-open")
+}
+
+fn main() {
+    let mut args = Args::parse("salam_client", USAGE);
+    let deadline_ms = args.opt_u64("--deadline-ms");
+    let retry = args.opt_u64("--retry").unwrap_or(0);
+    let argv = args.finish();
+    let mut it = argv.iter().map(String::as_str);
+    let usage = || -> ! {
+        eprintln!("usage: salam_client {USAGE}");
+        std::process::exit(EXIT_USAGE);
+    };
+    let Some(addr) = it.next() else { usage() };
+    let Some(cmd) = it.next() else { usage() };
+    let rest: Vec<&str> = it.collect();
+
+    let request = match (cmd, rest.as_slice()) {
+        ("submit", [tenant, job]) => match deadline_ms {
+            Some(ms) => {
+                format!(r#"{{"op":"submit","tenant":"{tenant}","deadline_ms":{ms},"job":{job}}}"#)
+            }
+            None => format!(r#"{{"op":"submit","tenant":"{tenant}","job":{job}}}"#),
+        },
+        ("status", [id]) => format!(r#"{{"op":"status","id":{id}}}"#),
+        ("wait", [id]) => format!(r#"{{"op":"wait","id":{id}}}"#),
+        ("cancel", [id]) => format!(r#"{{"op":"cancel","id":{id}}}"#),
+        ("result", [id, artifact]) => {
+            format!(r#"{{"op":"result","id":{id},"artifact":"{artifact}"}}"#)
+        }
+        ("metrics", []) => r#"{"op":"metrics"}"#.to_string(),
+        ("prom", []) => r#"{"op":"metrics","format":"prom"}"#.to_string(),
+        ("stats", []) => r#"{"op":"stats"}"#.to_string(),
+        ("shutdown", []) => r#"{"op":"shutdown"}"#.to_string(),
+        _ => usage(),
+    };
+
+    let mut response = round_trip(addr, &request);
+    let mut parsed = salam_obs::json::parse(&response).ok();
+    // Honor the server's backpressure hint: a shed or fast-failed submit
+    // carries `retry_after_ms`; sleep that long and try again.
+    let mut attempts = 0;
+    while cmd == "submit"
+        && attempts < retry
+        && parsed
+            .as_ref()
+            .and_then(|v| v.get("ok").and_then(|b| b.as_bool()))
+            == Some(false)
+        && retryable(parsed.as_ref())
+    {
+        let delay_ms = parsed
+            .as_ref()
+            .and_then(|v| v.get("retry_after_ms").and_then(|d| d.as_f64()))
+            .map_or(250, |f| f as u64);
+        attempts += 1;
+        eprintln!("salam_client: retry {attempts}/{retry} after {delay_ms}ms");
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        response = round_trip(addr, &request);
+        parsed = salam_obs::json::parse(&response).ok();
+    }
+
     // `prom` responses wrap a text document in a JSON string; unwrap it so
     // the output is scrape-able Prometheus exposition, not a JSON line.
     let prom_text = (cmd == "prom")

@@ -11,12 +11,21 @@
 //!             [--cache-dir PATH] [--no-cache] [--no-verify]
 //!             [--max-queued N] [--max-running N] [--max-sweep-points N]
 //!             [--metrics-out PATH] [--bench-out PATH] [--no-telemetry]
+//!             [--journal PATH] [--retries N] [--max-pending N]
+//!             [--degrade-pressure N] [--io-timeout-ms N] [--no-breaker]
+//!             [--chaos] [--chaos-panics N]
 //! ```
 //!
 //! `--metrics-out` writes the final metrics registry JSON on shutdown;
 //! `--bench-out` writes the per-class latency percentile summary
 //! (`ServeCore::latency_summary_json`). `--no-telemetry` disables the
 //! request-scoped tracing / histogram / flight-recorder layer.
+//!
+//! Resilience (PR 9): `--journal PATH` makes admissions crash-safe — on
+//! restart with the same path, jobs admitted but not yet terminal are
+//! re-admitted exactly once. `--chaos` enables the `__chaos-panic`
+//! fault-injection bench and `--chaos-panics N` arms N injected worker
+//! panics (both are for the chaos harness; never use them in production).
 
 use salam_bench::cli::Args;
 use salam_serve::{ServeConfig, Server, TenantQuota};
@@ -24,7 +33,10 @@ use salam_serve::{ServeConfig, Server, TenantQuota};
 const USAGE: &str = "[--addr HOST:PORT] [--slots N] [--chunk N]\n\
      \x20           [--cache-dir PATH] [--no-cache] [--no-verify]\n\
      \x20           [--max-queued N] [--max-running N] [--max-sweep-points N]\n\
-     \x20           [--metrics-out PATH] [--bench-out PATH] [--no-telemetry]";
+     \x20           [--metrics-out PATH] [--bench-out PATH] [--no-telemetry]\n\
+     \x20           [--journal PATH] [--retries N] [--max-pending N]\n\
+     \x20           [--degrade-pressure N] [--io-timeout-ms N] [--no-breaker]\n\
+     \x20           [--chaos] [--chaos-panics N]";
 
 fn main() {
     let mut args = Args::parse("salam_serve", USAGE);
@@ -47,14 +59,32 @@ fn main() {
         verify: !args.flag("--no-verify"),
         telemetry: !args.flag("--no-telemetry"),
         cache_dir: args.opt("--cache-dir").map(Into::into),
+        journal: args.opt("--journal").map(Into::into),
+        chaos: args.flag("--chaos"),
         ..ServeConfig::default()
     };
+    if args.flag("--no-breaker") {
+        cfg.breaker = None;
+    }
     if let Some(n) = args.opt_u64("--slots") {
         cfg.slots = (n as usize).max(1);
     }
     if let Some(n) = args.opt_u64("--chunk") {
         cfg.sweep_chunk = (n as usize).max(1);
     }
+    if let Some(n) = args.opt_u64("--retries") {
+        cfg.retries = n as u32;
+    }
+    if let Some(n) = args.opt_u64("--max-pending") {
+        cfg.max_pending = n as usize;
+    }
+    if let Some(n) = args.opt_u64("--degrade-pressure") {
+        cfg.degrade_pressure = n as usize;
+    }
+    if let Some(n) = args.opt_u64("--io-timeout-ms") {
+        cfg.io_timeout_ms = n;
+    }
+    let chaos_panics = args.opt_u64("--chaos-panics");
     let metrics_out = args.opt("--metrics-out");
     let bench_out = args.opt("--bench-out");
     if !args.finish().is_empty() {
@@ -69,6 +99,9 @@ fn main() {
             std::process::exit(salam_bench::cli::EXIT_FINDINGS);
         }
     };
+    if let Some(n) = chaos_panics {
+        server.core().inject_panics(n);
+    }
     println!("salam_serve: listening on {}", server.local_addr());
     use std::io::Write;
     let _ = std::io::stdout().flush();

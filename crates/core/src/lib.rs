@@ -54,6 +54,6 @@ pub use report::{PowerBreakdown, RunReport};
 pub use salam_fault::{ConfigError, FaultPlan, SimError, WatchdogSnapshot};
 pub use standalone::{
     run_kernel, run_kernel_cached, run_kernel_profiled, run_kernel_traced, try_run_kernel,
-    try_run_kernel_faulted, try_run_kernel_observed, try_run_kernel_profiled, HierarchyPort,
-    StandaloneConfig,
+    try_run_kernel_controlled, try_run_kernel_faulted, try_run_kernel_observed,
+    try_run_kernel_profiled, HierarchyPort, StandaloneConfig,
 };

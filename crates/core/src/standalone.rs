@@ -263,6 +263,37 @@ pub fn try_run_kernel_observed(
     flight: &salam_telemetry::FlightRecorder,
     trace_id: u64,
 ) -> Result<RunReport, SimError> {
+    try_run_kernel_controlled(
+        kernel,
+        cfg,
+        trace,
+        plan,
+        flight,
+        trace_id,
+        &salam_resilience::CancelToken::none(),
+    )
+}
+
+/// [`try_run_kernel_observed`] plus a cooperative
+/// [`salam_resilience::CancelToken`]. The engine polls the token at
+/// cycle-batch boundaries ([`salam_runtime::CANCEL_BATCH`] cycles), so an
+/// explicit cancel or an expired deadline stops the run within one batch
+/// and surfaces as [`SimError::Cancelled`]. A disabled token (what every
+/// other entry point passes) costs one branch per batch and never fires.
+///
+/// # Errors
+///
+/// Same taxonomy as [`try_run_kernel`], plus [`SimError::Cancelled`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_kernel_controlled(
+    kernel: &BuiltKernel,
+    cfg: &StandaloneConfig,
+    trace: &salam_obs::SharedTrace,
+    plan: Option<&FaultPlan>,
+    flight: &salam_telemetry::FlightRecorder,
+    trace_id: u64,
+    cancel: &salam_resilience::CancelToken,
+) -> Result<RunReport, SimError> {
     cfg.validate()?;
     if cfg.verify {
         salam_verify::gate(&kernel.func).map_err(SimError::Verify)?;
@@ -282,6 +313,9 @@ pub fn try_run_kernel_observed(
     }
     if flight.is_enabled() {
         engine.set_flight(flight.clone(), trace_id);
+    }
+    if cancel.is_enabled() {
+        engine.set_cancel(cancel.clone());
     }
     let mut mem = if let Some(plan) = plan {
         engine.set_fault(plan);
@@ -719,6 +753,51 @@ mod tests {
         let clean = run_kernel(&k, &cfg);
         let faulted = try_run_kernel_faulted(&k, &cfg, &FaultPlan::seeded(42)).unwrap();
         assert_eq!(clean.to_json(), faulted.to_json());
+    }
+
+    #[test]
+    fn expired_deadline_cancels_within_one_cycle_batch() {
+        let k = machsuite::gemm::build(&machsuite::gemm::Params { n: 4, unroll: 1 });
+        let cfg = StandaloneConfig::default();
+        let token = salam_resilience::CancelToken::with_deadline_ms(0);
+        match try_run_kernel_controlled(
+            &k,
+            &cfg,
+            &salam_obs::SharedTrace::disabled(),
+            None,
+            &salam_telemetry::FlightRecorder::disabled(),
+            0,
+            &token,
+        ) {
+            Err(SimError::Cancelled {
+                kernel,
+                cycle,
+                timeout,
+            }) => {
+                assert_eq!(kernel, "gemm_ncubed");
+                assert!(timeout, "an expired deadline must classify as timeout");
+                assert_eq!(
+                    cycle % salam_runtime::CANCEL_BATCH,
+                    0,
+                    "stops land exactly on cycle-batch boundaries"
+                );
+                assert_eq!(cycle, 0, "an already-expired deadline stops at cycle 0");
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        // A disabled token is observationally free.
+        let clean = run_kernel(&k, &cfg);
+        let controlled = try_run_kernel_controlled(
+            &k,
+            &cfg,
+            &salam_obs::SharedTrace::disabled(),
+            None,
+            &salam_telemetry::FlightRecorder::disabled(),
+            0,
+            &salam_resilience::CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(clean.to_json(), controlled.to_json());
     }
 
     #[test]

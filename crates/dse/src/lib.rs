@@ -118,6 +118,11 @@ pub struct DseOptions {
     /// retry is cheap insurance; a deterministic panic fails again and is
     /// reported with `attempts = retries + 1`.
     pub retries: u32,
+    /// Spacing between retry attempts: seeded exponential backoff with
+    /// full jitter, keyed by the job's cache identity so the schedule is a
+    /// pure function of the point — identical across worker counts.
+    /// `None` retries immediately (the historical behaviour).
+    pub backoff: Option<salam_resilience::BackoffPolicy>,
 }
 
 impl Default for DseOptions {
@@ -128,6 +133,7 @@ impl Default for DseOptions {
             no_cache: false,
             cache_max_bytes: None,
             retries: 1,
+            backoff: None,
         }
     }
 }
@@ -160,6 +166,12 @@ impl DseOptions {
     /// Explicit retry budget for panicking jobs (0 disables retries).
     pub fn with_retries(mut self, n: u32) -> Self {
         self.retries = n;
+        self
+    }
+
+    /// Deterministic backoff between retry attempts.
+    pub fn with_backoff(mut self, policy: salam_resilience::BackoffPolicy) -> Self {
+        self.backoff = Some(policy);
         self
     }
 
@@ -359,7 +371,14 @@ impl<T> SweepRun<T> {
 
 /// Runs one job under `catch_unwind`, retrying up to `retries` extra times.
 /// The panic payload's first line (capped) becomes the failure cause.
-fn run_isolated<J: SweepJob>(job: &J, retries: u32) -> Result<J::Output, JobFailure> {
+/// With a backoff policy, attempts are spaced by the policy's full-jitter
+/// delays keyed on the job's cache identity — a pure function of the
+/// point, so the retry schedule replays across worker counts.
+fn run_isolated<J: SweepJob>(
+    job: &J,
+    retries: u32,
+    backoff: Option<&salam_resilience::BackoffPolicy>,
+) -> Result<J::Output, JobFailure> {
     let mut attempts = 0;
     loop {
         attempts += 1;
@@ -381,7 +400,16 @@ fn run_isolated<J: SweepJob>(job: &J, retries: u32) -> Result<J::Output, JobFail
                 }
                 return Err(JobFailure { cause, attempts });
             }
-            Err(_) => {}
+            Err(_) => {
+                if let Some(policy) = backoff {
+                    let id = job.cache_id();
+                    let site = format!("{}/{}", id.domain, id.canon);
+                    let delay = policy.delay_ms(&site, attempts);
+                    if delay > 0 {
+                        std::thread::sleep(Duration::from_millis(delay));
+                    }
+                }
+            }
         }
     }
 }
@@ -395,6 +423,7 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
     let workers = opts.resolve_workers();
     let cache = opts.resolve_cache();
     let retries = opts.retries;
+    let backoff = opts.backoff.clone();
     let t0 = Instant::now();
 
     enum Provenance {
@@ -439,13 +468,23 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
                 (provenance, result.map_err(PointError::Failed))
             };
             let Some(cache) = &cache else {
-                return finish(Provenance::Miss, run_isolated(job, retries), tel);
+                return finish(
+                    Provenance::Miss,
+                    run_isolated(job, retries, backoff.as_ref()),
+                    tel,
+                );
             };
             let id = job.cache_id();
             let (provenance, result) = match cache.lookup::<J::Output>(&id) {
                 Lookup::Hit(p) => return finish(Provenance::Hit, Ok(p), tel),
-                Lookup::Miss => (Provenance::Miss, run_isolated(job, retries)),
-                Lookup::Corrupt => (Provenance::Corrupt, run_isolated(job, retries)),
+                Lookup::Miss => (
+                    Provenance::Miss,
+                    run_isolated(job, retries, backoff.as_ref()),
+                ),
+                Lookup::Corrupt => (
+                    Provenance::Corrupt,
+                    run_isolated(job, retries, backoff.as_ref()),
+                ),
             };
             if let Ok(payload) = &result {
                 if let Err(e) = cache.store(&id, payload) {

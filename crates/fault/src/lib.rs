@@ -163,6 +163,17 @@ pub enum SimError {
     /// Static verification rejected the input before the run started
     /// (error-severity `salam-verify` diagnostics).
     Verify(Vec<salam_verify::Diagnostic>),
+    /// The run was cooperatively stopped at a cycle-batch boundary — an
+    /// explicit cancel request or an expired job deadline.
+    Cancelled {
+        /// The kernel (function) that was running.
+        kernel: String,
+        /// Cycle at which the stop was observed.
+        cycle: u64,
+        /// `true` when the stop was an expired deadline rather than an
+        /// explicit cancel.
+        timeout: bool,
+    },
 }
 
 impl SimError {
@@ -181,13 +192,16 @@ impl SimError {
     }
 
     /// A short stable label for outcome classification and failed-row
-    /// reporting: `config` / `deadlock` / `kernel-fault` / `verify`.
+    /// reporting: `config` / `deadlock` / `kernel-fault` / `verify` /
+    /// `timeout` / `cancelled`.
     pub fn label(&self) -> &'static str {
         match self {
             SimError::Config(_) => "config",
             SimError::Deadlock(_) => "deadlock",
             SimError::KernelFault { .. } => "kernel-fault",
             SimError::Verify(_) => "verify",
+            SimError::Cancelled { timeout: true, .. } => "timeout",
+            SimError::Cancelled { timeout: false, .. } => "cancelled",
         }
     }
 }
@@ -216,6 +230,18 @@ impl fmt::Display for SimError {
                     "static verification rejected the input ({} error(s)): {first}",
                     diags.len()
                 )
+            }
+            SimError::Cancelled {
+                kernel,
+                cycle,
+                timeout,
+            } => {
+                let what = if *timeout {
+                    "deadline exceeded"
+                } else {
+                    "run cancelled"
+                };
+                write!(f, "{what} in @{kernel} at cycle {cycle}")
             }
         }
     }

@@ -1,0 +1,128 @@
+//! Seeded exponential backoff with full jitter.
+//!
+//! The delay for retry attempt `n` at a given site is drawn uniformly
+//! from `[0, min(cap_ms, base_ms · 2ⁿ)]` ("full jitter", the AWS
+//! architecture-blog variant that minimizes contention). The draw comes
+//! from a SplitMix64 stream seeded by `(seed, site, attempt)`, so the
+//! schedule is a **pure function** — independent of wall clock, worker
+//! count, and call interleaving — which is what makes retry behaviour
+//! byte-identical across `SALAM_JOBS=1` and `SALAM_JOBS=8`.
+
+use salam_obs::SplitMix64;
+
+use crate::fnv1a64;
+
+/// Backoff tuning. `Default` is sized for transient worker panics:
+/// up to 2 retries spaced tens of milliseconds apart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Base delay; the attempt-`n` ceiling is `base_ms · 2ⁿ`.
+    pub base_ms: u64,
+    /// Upper bound on any single delay.
+    pub cap_ms: u64,
+    /// Retry budget a caller should spend with this policy.
+    pub max_retries: u32,
+    /// Stream seed; two policies with different seeds are uncorrelated.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> BackoffPolicy {
+        BackoffPolicy {
+            base_ms: 10,
+            cap_ms: 2_000,
+            max_retries: 2,
+            seed: 0xB0FF,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry `attempt` (1-based) of the work identified
+    /// by `site`. Pure: same `(seed, site, attempt)` → same delay.
+    #[must_use]
+    pub fn delay_ms(&self, site: &str, attempt: u32) -> u64 {
+        let exp = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        let ceiling = self.base_ms.saturating_mul(exp).min(self.cap_ms);
+        if ceiling == 0 {
+            return 0;
+        }
+        // Derive an independent stream per (site, attempt): hash them into
+        // the seed so concurrent sites never share a generator.
+        let stream = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ fnv1a64(site.as_bytes())
+            ^ u64::from(attempt).wrapping_mul(0xA24B_AED4_963E_E407);
+        SplitMix64::new(stream).range_u64(0, ceiling + 1)
+    }
+
+    /// The full retry schedule for `site`: delays for attempts
+    /// `1..=max_retries`. Handy for tests and logs.
+    #[must_use]
+    pub fn schedule(&self, site: &str) -> Vec<u64> {
+        (1..=self.max_retries)
+            .map(|a| self.delay_ms(site, a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_pure_functions_of_seed_site_attempt() {
+        let p = BackoffPolicy::default();
+        for attempt in 1..6 {
+            assert_eq!(
+                p.delay_ms("serve/gemm", attempt),
+                p.delay_ms("serve/gemm", attempt),
+                "attempt {attempt} must be deterministic"
+            );
+        }
+        assert_eq!(p.schedule("x"), p.schedule("x"));
+    }
+
+    #[test]
+    fn different_sites_and_seeds_give_different_streams() {
+        let p = BackoffPolicy {
+            base_ms: 1000,
+            cap_ms: 1_000_000,
+            max_retries: 8,
+            seed: 7,
+        };
+        let q = BackoffPolicy {
+            seed: 8,
+            ..p.clone()
+        };
+        assert_ne!(p.schedule("a"), p.schedule("b"));
+        assert_ne!(p.schedule("a"), q.schedule("a"));
+    }
+
+    #[test]
+    fn delays_respect_the_exponential_ceiling_and_cap() {
+        let p = BackoffPolicy {
+            base_ms: 10,
+            cap_ms: 50,
+            max_retries: 10,
+            seed: 42,
+        };
+        for attempt in 1..12 {
+            let ceiling = 10u64.saturating_mul(1 << attempt.min(20)).min(50);
+            assert!(
+                p.delay_ms("site", attempt) <= ceiling,
+                "attempt {attempt} exceeded ceiling {ceiling}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_base_means_no_sleep() {
+        let p = BackoffPolicy {
+            base_ms: 0,
+            cap_ms: 100,
+            max_retries: 3,
+            seed: 1,
+        };
+        assert_eq!(p.schedule("s"), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Deterministic per-key circuit breakers.
+//!
+//! One breaker per key (the serve layer keys on the job's config
+//! fingerprint) with the classic three-state machine:
+//!
+//! ```text
+//!            failures >= threshold
+//!   Closed ──────────────────────────▶ Open
+//!     ▲                                 │  next `cooldown` submissions
+//!     │ probe succeeds                  │  fast-fail, then…
+//!     │                                 ▼
+//!     └────────────────────────── Half-open ──▶ Open   (probe fails)
+//!                                  (one probe admitted)
+//! ```
+//!
+//! The twist that makes it reproducible: **cooldown is counted in
+//! fast-failed submissions, not wall time.** After opening, the next
+//! `cooldown` submissions for that key are rejected; the one after that is
+//! admitted as the half-open probe. State transitions are therefore a pure
+//! function of the per-key admit/outcome sequence — identical across
+//! worker counts, schedulers, and machines — which is what the
+//! determinism tests pin down.
+
+use std::collections::BTreeMap;
+
+use crate::fnv1a64;
+
+/// Breaker tuning shared by every key in a [`BreakerSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// Submissions fast-failed while Open before the half-open probe.
+    pub cooldown: u32,
+    /// Retry hint attached to fast-fail decisions.
+    pub retry_after_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: 2,
+            retry_after_ms: 250,
+        }
+    }
+}
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Healthy: everything is admitted.
+    #[default]
+    Closed,
+    /// Tripped: submissions fast-fail for the cooldown.
+    Open,
+    /// One probe is in flight; its outcome decides Closed vs Open.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name (`closed` / `open` / `half-open`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// What a submission should do, per [`BreakerSet::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Run it (breaker closed).
+    Allow,
+    /// Run it as the half-open probe; its outcome closes or re-opens.
+    Probe,
+    /// Reject without running; suggest retrying after the hint.
+    FastFail {
+        /// Client-facing retry hint, milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Breaker {
+    state: BreakerState,
+    /// Consecutive failures while Closed.
+    failures: u32,
+    /// Submissions fast-failed since this Open began.
+    fastfails: u32,
+}
+
+/// A family of breakers, one per key, sharing one [`BreakerConfig`].
+#[derive(Debug)]
+pub struct BreakerSet {
+    cfg: BreakerConfig,
+    keys: BTreeMap<String, Breaker>,
+    log: Vec<String>,
+}
+
+/// An 8-hex-digit digest of a key for compact transition logs.
+fn digest(key: &str) -> String {
+    format!("{:08x}", (fnv1a64(key.as_bytes()) >> 32) as u32)
+}
+
+impl BreakerSet {
+    /// An empty set with the given tuning.
+    #[must_use]
+    pub fn new(cfg: BreakerConfig) -> BreakerSet {
+        BreakerSet {
+            cfg,
+            keys: BTreeMap::new(),
+            log: Vec::new(),
+        }
+    }
+
+    fn transition(&mut self, key: &str, from: BreakerState, to: BreakerState) -> &'static str {
+        let label: &'static str = match (from, to) {
+            (BreakerState::Closed, BreakerState::Open) => "closed->open",
+            (BreakerState::Open, BreakerState::HalfOpen) => "open->half-open",
+            (BreakerState::HalfOpen, BreakerState::Open) => "half-open->open",
+            (BreakerState::HalfOpen, BreakerState::Closed) => "half-open->closed",
+            _ => "noop",
+        };
+        self.log.push(format!("{}: {label}", digest(key)));
+        label
+    }
+
+    /// Decides whether a submission for `key` may run. May transition the
+    /// key Open → Half-open (cooldown elapsed); the transition label, if
+    /// any, is returned alongside the decision for the caller's logs.
+    pub fn admit(&mut self, key: &str) -> (BreakerDecision, Option<&'static str>) {
+        let cooldown = self.cfg.cooldown;
+        let retry_after_ms = self.cfg.retry_after_ms;
+        let state = {
+            let b = self.keys.entry(key.to_string()).or_default();
+            match b.state {
+                BreakerState::Closed => return (BreakerDecision::Allow, None),
+                BreakerState::HalfOpen => {
+                    // A probe is already in flight; don't pile on.
+                    return (BreakerDecision::FastFail { retry_after_ms }, None);
+                }
+                BreakerState::Open => {
+                    b.fastfails += 1;
+                    if b.fastfails > cooldown {
+                        b.state = BreakerState::HalfOpen;
+                        BreakerState::HalfOpen
+                    } else {
+                        return (BreakerDecision::FastFail { retry_after_ms }, None);
+                    }
+                }
+            }
+        };
+        debug_assert_eq!(state, BreakerState::HalfOpen);
+        let label = self.transition(key, BreakerState::Open, BreakerState::HalfOpen);
+        (BreakerDecision::Probe, Some(label))
+    }
+
+    /// Records a successful run of `key`. Closes a half-open breaker.
+    pub fn on_success(&mut self, key: &str) -> Option<&'static str> {
+        let from = {
+            let b = self.keys.entry(key.to_string()).or_default();
+            match b.state {
+                BreakerState::Closed => {
+                    b.failures = 0;
+                    return None;
+                }
+                BreakerState::Open => return None,
+                BreakerState::HalfOpen => {
+                    b.state = BreakerState::Closed;
+                    b.failures = 0;
+                    b.fastfails = 0;
+                    BreakerState::HalfOpen
+                }
+            }
+        };
+        Some(self.transition(key, from, BreakerState::Closed))
+    }
+
+    /// Records a breaker-relevant failure of `key` (deadlock / panic).
+    /// Trips Closed → Open at the threshold; re-opens a half-open breaker.
+    pub fn on_failure(&mut self, key: &str) -> Option<&'static str> {
+        let threshold = self.cfg.failure_threshold;
+        let from = {
+            let b = self.keys.entry(key.to_string()).or_default();
+            match b.state {
+                BreakerState::Closed => {
+                    b.failures += 1;
+                    if b.failures < threshold {
+                        return None;
+                    }
+                    b.state = BreakerState::Open;
+                    b.fastfails = 0;
+                    BreakerState::Closed
+                }
+                BreakerState::HalfOpen => {
+                    b.state = BreakerState::Open;
+                    b.fastfails = 0;
+                    BreakerState::HalfOpen
+                }
+                BreakerState::Open => return None,
+            }
+        };
+        Some(self.transition(key, from, BreakerState::Open))
+    }
+
+    /// The current state of `key` (Closed if never seen).
+    #[must_use]
+    pub fn state(&self, key: &str) -> BreakerState {
+        self.keys.get(key).map_or(BreakerState::Closed, |b| b.state)
+    }
+
+    /// Every transition so far, in order, as `"<key8>: <from>-><to>"`
+    /// lines. Byte-identical runs produce byte-identical logs.
+    #[must_use]
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> BreakerSet {
+        BreakerSet::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: 2,
+            retry_after_ms: 100,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_and_fast_fails_through_cooldown() {
+        let mut s = set();
+        assert_eq!(s.admit("k").0, BreakerDecision::Allow);
+        assert!(s.on_failure("k").is_none());
+        assert_eq!(s.on_failure("k"), Some("closed->open"));
+        assert_eq!(s.state("k"), BreakerState::Open);
+        // Cooldown: two fast-fails, then the probe is admitted.
+        for _ in 0..2 {
+            assert_eq!(
+                s.admit("k").0,
+                BreakerDecision::FastFail {
+                    retry_after_ms: 100
+                }
+            );
+        }
+        let (d, t) = s.admit("k");
+        assert_eq!(d, BreakerDecision::Probe);
+        assert_eq!(t, Some("open->half-open"));
+    }
+
+    #[test]
+    fn probe_outcome_closes_or_reopens() {
+        let mut s = set();
+        s.on_failure("k");
+        s.on_failure("k");
+        for _ in 0..2 {
+            s.admit("k");
+        }
+        assert_eq!(s.admit("k").0, BreakerDecision::Probe);
+        // While half-open, everything else fast-fails.
+        assert!(matches!(s.admit("k").0, BreakerDecision::FastFail { .. }));
+        assert_eq!(s.on_failure("k"), Some("half-open->open"));
+        // Second cooldown, second probe — this one succeeds.
+        for _ in 0..2 {
+            s.admit("k");
+        }
+        assert_eq!(s.admit("k").0, BreakerDecision::Probe);
+        assert_eq!(s.on_success("k"), Some("half-open->closed"));
+        assert_eq!(s.state("k"), BreakerState::Closed);
+        assert_eq!(s.admit("k").0, BreakerDecision::Allow);
+        let transitions: Vec<&str> = s
+            .log()
+            .iter()
+            .map(|l| l.split(": ").nth(1).unwrap())
+            .collect();
+        assert_eq!(
+            transitions,
+            [
+                "closed->open",
+                "open->half-open",
+                "half-open->open",
+                "open->half-open",
+                "half-open->closed",
+            ]
+        );
+    }
+
+    #[test]
+    fn keys_are_independent_and_success_resets_the_failure_run() {
+        let mut s = set();
+        s.on_failure("a");
+        s.on_success("a"); // resets the consecutive-failure count
+        assert!(s.on_failure("a").is_none());
+        assert_eq!(s.state("a"), BreakerState::Closed);
+        s.on_failure("b");
+        s.on_failure("b");
+        assert_eq!(s.state("b"), BreakerState::Open);
+        assert_eq!(s.admit("a").0, BreakerDecision::Allow);
+    }
+}

@@ -1,0 +1,169 @@
+//! Cooperative cancellation with optional deadlines.
+//!
+//! A [`CancelToken`] is a cheap shared flag: the owner (the serve core)
+//! keeps one handle per job, simulation code polls its clone at safe
+//! points. Cancellation is *cooperative* — nothing is interrupted; the
+//! engine notices the flag at the next cycle-batch boundary and returns a
+//! typed error, so every stop leaves a consistent, reportable state.
+//!
+//! The disabled token ([`CancelToken::none`]) is an `Option::None` inside;
+//! polling it is a single branch, which is why the engine can poll
+//! unconditionally without perturbing uncontrolled runs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a cooperative stop fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// An explicit cancel request ([`CancelToken::cancel`]).
+    Cancelled,
+    /// The job's deadline passed before it finished.
+    DeadlineExceeded,
+}
+
+impl StopReason {
+    /// Stable short label: `"cancelled"` or `"timeout"`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::Cancelled => "cancelled",
+            StopReason::DeadlineExceeded => "timeout",
+        }
+    }
+
+    /// `true` for [`StopReason::DeadlineExceeded`].
+    #[must_use]
+    pub fn is_timeout(self) -> bool {
+        matches!(self, StopReason::DeadlineExceeded)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancel/deadline flag. Clones observe the same state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// The disabled token: never stops, polls in one branch.
+    #[must_use]
+    pub fn none() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// An enabled token with no deadline — stops only on explicit
+    /// [`CancelToken::cancel`].
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// An enabled token whose deadline is `deadline_ms` from now.
+    #[must_use]
+    pub fn with_deadline_ms(deadline_ms: u64) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(std::time::Duration::from_millis(deadline_ms)),
+            })),
+        }
+    }
+
+    /// [`CancelToken::with_deadline_ms`] when `Some`, otherwise an enabled
+    /// deadline-free token (so the job stays cancellable).
+    #[must_use]
+    pub fn with_deadline_opt(deadline_ms: Option<u64>) -> CancelToken {
+        match deadline_ms {
+            Some(ms) => CancelToken::with_deadline_ms(ms),
+            None => CancelToken::new(),
+        }
+    }
+
+    /// `false` only for [`CancelToken::none`].
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Requests a cooperative stop. Idempotent; a cancel always wins over
+    /// a concurrently expiring deadline.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.cancelled.load(Ordering::SeqCst))
+    }
+
+    /// The stop reason if the token has fired, else `None`. Explicit
+    /// cancels take precedence over deadline expiry.
+    #[must_use]
+    pub fn poll(&self) -> Option<StopReason> {
+        let inner = self.inner.as_ref()?;
+        if inner.cancelled.load(Ordering::SeqCst) {
+            return Some(StopReason::Cancelled);
+        }
+        match inner.deadline {
+            Some(d) if Instant::now() >= d => Some(StopReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_token_never_fires() {
+        let t = CancelToken::none();
+        assert!(!t.is_enabled());
+        t.cancel();
+        assert!(t.poll().is_none());
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(t.poll().is_none());
+        c.cancel();
+        assert_eq!(t.poll(), Some(StopReason::Cancelled));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_reports_timeout_and_cancel_overrides_it() {
+        let t = CancelToken::with_deadline_ms(0);
+        assert_eq!(t.poll(), Some(StopReason::DeadlineExceeded));
+        assert_eq!(t.poll().unwrap().label(), "timeout");
+        t.cancel();
+        assert_eq!(t.poll(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn far_deadline_does_not_fire() {
+        let t = CancelToken::with_deadline_ms(60 * 60 * 1000);
+        assert!(t.poll().is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! An append-only line journal with atomic compaction.
+//!
+//! The serve layer writes one line per job lifecycle event (`admit` /
+//! `terminal`); after a crash, the lines whose `admit` has no matching
+//! `terminal` are exactly the jobs to re-admit. Two properties make that
+//! safe:
+//!
+//! - **Appends are flushed through the process** (`write_all` + `flush` of
+//!   a whole line). A `kill -9` loses nothing already appended — the bytes
+//!   live in the page cache, which survives process death (though not
+//!   power loss; this is crash recovery, not durability against the
+//!   machine dying).
+//! - **Compaction is atomic**: [`Journal::rewrite`] writes a temp file in
+//!   the same directory, fsyncs it, and `rename`s over the journal — the
+//!   same idiom as the DSE result cache — so a reader never observes a
+//!   half-written journal.
+//!
+//! Line content is the caller's business; this type only frames and
+//! persists lines.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// An open append-only journal file.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path` for appending.
+    /// Parent directories are created.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation or open failures, verbatim.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one line (a trailing newline is added) and flushes it out
+    /// of the process.
+    ///
+    /// # Errors
+    ///
+    /// Write failures, verbatim.
+    pub fn append(&self, line: &str) -> std::io::Result<()> {
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()
+    }
+
+    /// Reads every line of the journal at `path`. A missing file is an
+    /// empty journal, not an error; a trailing partial line (torn final
+    /// append) is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Read failures other than `NotFound`, verbatim.
+    pub fn read_lines(path: &Path) -> std::io::Result<Vec<String>> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut lines = Vec::new();
+        let mut buf = Vec::new();
+        let mut reader = BufReader::new(file);
+        loop {
+            buf.clear();
+            if reader.read_until(b'\n', &mut buf)? == 0 {
+                break;
+            }
+            if buf.last() != Some(&b'\n') {
+                break; // torn final append — ignore it
+            }
+            lines.push(String::from_utf8_lossy(&buf[..buf.len() - 1]).into_owned());
+        }
+        Ok(lines)
+    }
+
+    /// Atomically replaces the journal's contents with `lines` (temp file
+    /// + fsync + rename) and re-opens the append handle.
+    ///
+    /// # Errors
+    ///
+    /// Write / rename failures, verbatim.
+    pub fn rewrite(&self, lines: &[String]) -> std::io::Result<()> {
+        let mut guard = self.file.lock().expect("journal lock poisoned");
+        let tmp = self.path.with_extension("journal.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            for line in lines {
+                f.write_all(line.as_bytes())?;
+                f.write_all(b"\n")?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        *guard = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "salam-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        p.push("jobs.journal");
+        p
+    }
+
+    #[test]
+    fn appends_survive_reopen_and_missing_file_reads_empty() {
+        let path = tmp("append");
+        assert!(Journal::read_lines(&path).unwrap().is_empty());
+        {
+            let j = Journal::open(&path).unwrap();
+            j.append("one").unwrap();
+            j.append("two").unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        j.append("three").unwrap();
+        assert_eq!(Journal::read_lines(&path).unwrap(), ["one", "two", "three"]);
+    }
+
+    #[test]
+    fn rewrite_compacts_atomically_and_appends_continue() {
+        let path = tmp("rewrite");
+        let j = Journal::open(&path).unwrap();
+        for i in 0..5 {
+            j.append(&format!("line{i}")).unwrap();
+        }
+        j.rewrite(&["kept".to_string()]).unwrap();
+        j.append("after").unwrap();
+        assert_eq!(Journal::read_lines(&path).unwrap(), ["kept", "after"]);
+        assert!(!path.with_extension("journal.tmp").exists());
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = tmp("torn");
+        let j = Journal::open(&path).unwrap();
+        j.append("whole").unwrap();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"partial-no-newline").unwrap();
+        }
+        assert_eq!(Journal::read_lines(&path).unwrap(), ["whole"]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Resilience primitives for the serving stack.
+//!
+//! Four small, dependency-free building blocks that the serve / DSE /
+//! runtime layers compose into deadlines, retries, overload protection,
+//! and crash recovery:
+//!
+//! - [`CancelToken`] — a shared cancel/deadline flag polled cooperatively
+//!   at engine cycle-batch boundaries and between sweep chunks. The
+//!   disabled token ([`CancelToken::none`]) costs one branch per poll.
+//! - [`BackoffPolicy`] — seeded exponential backoff with full jitter.
+//!   Delays are a pure function of `(seed, site, attempt)` via SplitMix64,
+//!   so retry schedules are byte-identical across worker counts.
+//! - [`BreakerSet`] — per-key circuit breakers that fast-fail submissions
+//!   after repeated failures. Cooldown is counted in *fast-failed
+//!   submissions*, not wall time, so state transitions depend only on the
+//!   submission sequence and replay deterministically.
+//! - [`Journal`] — an append-only line journal with atomic (temp + rename)
+//!   compaction, the crash-safety substrate for exactly-once job recovery.
+//!
+//! Everything here is deliberately mechanism, not policy: thresholds,
+//! seeds, and file formats are chosen by the caller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod breaker;
+pub mod cancel;
+pub mod journal;
+
+pub use backoff::BackoffPolicy;
+pub use breaker::{BreakerConfig, BreakerDecision, BreakerSet, BreakerState};
+pub use cancel::{CancelToken, StopReason};
+pub use journal::Journal;
+
+/// FNV-1a over a byte string — the workspace's standard cheap stable hash,
+/// used here to derive per-site RNG streams and short key digests.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}

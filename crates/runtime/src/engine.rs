@@ -8,10 +8,16 @@ use salam_fault::{FaultPlan, SimError, SiteRng, WatchdogSnapshot};
 use salam_ir::interp::{eval_pure, InterpError, RtVal};
 use salam_ir::{BlockId, Function, InstId, Opcode, Type, ValueKind};
 use salam_obs::{SharedTrace, SpanId, TrackId};
+use salam_resilience::CancelToken;
 use salam_telemetry::FlightRecorder;
 
 use crate::port::{MemAccess, MemPort};
 use crate::stats::{EngineStats, IssueClass, StallMix};
+
+/// Cycles between cooperative-cancellation polls (power of two; the poll
+/// also fires at cycle 0). A cancel or expired deadline therefore stops a
+/// run within one cycle batch of being requested.
+pub const CANCEL_BATCH: u64 = 1024;
 
 /// Tunables of the runtime engine (the paper's "device config" scheduler
 /// options).
@@ -258,6 +264,8 @@ pub struct Engine {
     flight_trace_id: u64,
 
     fault: Option<EngineFault>,
+
+    cancel: CancelToken,
 }
 
 impl Engine {
@@ -315,6 +323,7 @@ impl Engine {
             flight: FlightRecorder::disabled(),
             flight_trace_id: 0,
             fault: None,
+            cancel: CancelToken::none(),
         };
         e.last_instance = vec![None; e.func.num_insts()];
         e.pending_fetch.push_back((entry, None, 0));
@@ -347,6 +356,15 @@ impl Engine {
     pub fn set_flight(&mut self, flight: FlightRecorder, trace_id: u64) {
         self.flight = flight;
         self.flight_trace_id = trace_id;
+    }
+
+    /// Attaches a cooperative cancel/deadline token. The engine polls it
+    /// every [`CANCEL_BATCH`] cycles (and at cycle 0) and stops with
+    /// [`SimError::Cancelled`] when it fires, so a wedged or over-deadline
+    /// run releases its worker within one cycle batch. The disabled token
+    /// (the default) keeps the poll down to a single branch.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Attaches a fault-injection plan. The engine draws from per-site
@@ -1220,6 +1238,19 @@ impl Engine {
             self.last_progress = self.cycle;
         } else if self.cycle - self.last_progress > self.cfg.deadlock_cycles {
             return Err(SimError::Deadlock(self.watchdog_snapshot()));
+        }
+
+        // Cooperative cancellation, polled once per cycle batch (including
+        // cycle 0, so an already-expired deadline stops before any real
+        // work). The disabled token keeps this to a single branch.
+        if self.cancel.is_enabled() && self.cycle & (CANCEL_BATCH - 1) == 0 {
+            if let Some(reason) = self.cancel.poll() {
+                return Err(SimError::Cancelled {
+                    kernel: self.func.name.clone(),
+                    cycle: self.cycle,
+                    timeout: reason.is_timeout(),
+                });
+            }
         }
 
         // Coarse liveness heartbeat for the flight recorder: one event per

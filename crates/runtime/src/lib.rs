@@ -59,7 +59,7 @@ mod engine;
 mod port;
 mod stats;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, CANCEL_BATCH};
 pub use port::{FaultyPort, MemAccess, MemCompletion, MemPort, RejectCause, Rejection, SimpleMem};
 pub use salam_fault::{ConfigError, FaultPlan, SimError, WatchdogSnapshot};
 pub use stats::{CycleRecord, EngineStats, IssueClass, StallMix};

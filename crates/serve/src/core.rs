@@ -8,21 +8,26 @@
 //! simulate unlocked.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use salam::standalone::{try_run_kernel_observed, StandaloneConfig};
+use salam::standalone::{try_run_kernel_controlled, StandaloneConfig};
 use salam_dse::{
     run_replay_sweep, run_sweep, CacheId, DseOptions, EngineKind, KernelSpec, Lookup, PointOutcome,
     ReplayOptions, ResultCache, StandalonePoint, SweepJob, SweepSpec, SweepTable,
 };
 use salam_fault::FaultPlan;
 use salam_obs::{MetricsRegistry, SpanId, TraceRecorder};
+use salam_resilience::{
+    BackoffPolicy, BreakerConfig, BreakerDecision, BreakerSet, CancelToken, Journal, StopReason,
+};
 use salam_telemetry::{flight, labeled, FlightRecorder, Histogram, JobTrace, Telemetry, TraceCtx};
 use salam_verify::{errors_only, to_json as diags_to_json, verify_ir, warning_count};
 
 use crate::job::{
-    config_from_knobs, JobId, JobOutcome, JobRequest, JobState, JobStatus, Rejection,
+    config_from_knobs, JobId, JobLookupError, JobOutcome, JobRequest, JobState, JobStatus,
+    Rejection,
 };
 use crate::quota::TenantQuota;
 use crate::sched::{Class, Dispatched, Scheduler, Task};
@@ -57,6 +62,42 @@ pub struct ServeConfig {
     /// On by default; disabling it removes every per-job recorder (the
     /// non-perturbation baseline the bench suite compares against).
     pub telemetry: bool,
+    /// Re-runs after a worker panic before the job fails for good. The
+    /// panic is already contained by `catch_unwind`; a retry buys through
+    /// transient environmental failures at the cost of one more run.
+    pub retries: u32,
+    /// Backoff between panic retries: seeded full-jitter exponential
+    /// delays, a pure function of `(seed, site, attempt)` so schedules are
+    /// identical across worker counts.
+    pub backoff: BackoffPolicy,
+    /// Per-fingerprint circuit breaker: after repeated deadlocks/panics on
+    /// the same configuration, submissions of that configuration fast-fail
+    /// (`circuit-open`) until a half-open probe succeeds. `None` disables.
+    pub breaker: Option<BreakerConfig>,
+    /// Scheduler-queue depth above which new submissions are shed with an
+    /// `overloaded` rejection and a retry hint. Sweeps shed at half this
+    /// depth (batch work yields to interactive work first). `0` disables.
+    pub max_pending: usize,
+    /// Queue depth above which newly admitted sweeps are downgraded to the
+    /// trace-replay fast path (PR 7) — graceful degradation: cheaper,
+    /// slightly coarser answers instead of refusals. `0` disables.
+    pub degrade_pressure: usize,
+    /// Append-only job journal path. When set, every admission and
+    /// terminal transition is journaled so a restarted server re-admits
+    /// interrupted jobs exactly once. `None` disables crash recovery.
+    pub journal: Option<std::path::PathBuf>,
+    /// Socket read/write timeout for the wire layer, milliseconds
+    /// (`0` disables). A stalled client cannot pin a connection thread
+    /// forever.
+    pub io_timeout_ms: u64,
+    /// Longest accepted request line / HTTP header line, bytes. Overflow
+    /// is answered with a typed `bad-request` instead of buffering an
+    /// unbounded line in memory.
+    pub max_line_bytes: usize,
+    /// Enables the chaos hooks (the `__chaos-panic` benchmark and the
+    /// injected-panic budget) used by `chaos_smoke` and the resilience
+    /// tests. Off in production configurations.
+    pub chaos: bool,
 }
 
 impl Default for ServeConfig {
@@ -71,8 +112,27 @@ impl Default for ServeConfig {
             verify: true,
             retain_terminal: 256,
             telemetry: true,
+            retries: 1,
+            backoff: BackoffPolicy::default(),
+            breaker: Some(BreakerConfig::default()),
+            max_pending: 512,
+            degrade_pressure: 128,
+            journal: None,
+            io_timeout_ms: 30_000,
+            max_line_bytes: 1 << 20,
+            chaos: false,
         }
     }
+}
+
+/// Per-submission options beyond the request payload itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOpts {
+    /// End-to-end deadline, milliseconds from admission. Queue wait
+    /// counts; an expired deadline cancels the job cooperatively at the
+    /// next engine cycle-batch (or chunk) boundary with a `timeout`
+    /// outcome.
+    pub deadline_ms: Option<u64>,
 }
 
 /// What a job actually executes. Shared immutably with workers.
@@ -82,6 +142,9 @@ enum Work {
         point: Box<StandalonePoint>,
         plan: Option<FaultPlan>,
         trace: bool,
+        /// Chaos-mode job: the worker panics instead of simulating while
+        /// the injected-panic budget lasts (see [`ServeCore::inject_panics`]).
+        chaos: bool,
     },
     Sweep {
         name: String,
@@ -138,6 +201,9 @@ struct JobRecord {
     first_dispatch_ns: Option<u64>,
     /// Post-mortem artifact JSON, composed when the job fails.
     postmortem: Option<String>,
+    /// The job's cooperative cancel token (deadline-armed when the
+    /// submission set one); cloned into the engine at dispatch.
+    cancel: CancelToken,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -175,6 +241,19 @@ struct State {
     /// last [`ServeConfig::retain_terminal`] terminal records per tenant.
     done: u64,
     failed: u64,
+    /// Submissions shed by overload protection.
+    shed: u64,
+    /// Jobs that finished with a `cancelled` / `timeout` outcome.
+    cancelled: u64,
+    timeouts: u64,
+    /// Sweeps downgraded to the replay engine under queue pressure.
+    degraded: u64,
+    /// Jobs re-admitted from the journal at startup.
+    recovered: u64,
+    /// Submissions fast-failed by an open circuit breaker.
+    breaker_fastfail: u64,
+    /// The per-fingerprint circuit breakers (`None` when disabled).
+    breaker: Option<BreakerSet>,
     retain_terminal: usize,
     /// Typed metrics: latency histograms (queue/run/e2e, per class and
     /// per tenant) plus counters/histograms merged in from sweep chunks.
@@ -192,6 +271,10 @@ struct Inner {
     /// The always-on bounded ring of recent lifecycle/engine events,
     /// dumped into post-mortem artifacts. Disabled iff telemetry is off.
     flight: FlightRecorder,
+    /// The append-only crash-recovery journal (`None` when disabled).
+    journal: Option<Journal>,
+    /// Chaos mode: worker panics left to inject (decremented per panic).
+    chaos_budget: AtomicU64,
 }
 
 /// Epoch-relative now, in nanoseconds.
@@ -229,6 +312,9 @@ impl ServeCore {
             )
         };
         let slots = cfg.slots.max(1);
+        let journal = cfg.journal.as_ref().map(|p| {
+            Journal::open(p).unwrap_or_else(|e| panic!("cannot open journal {}: {e}", p.display()))
+        });
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 jobs: BTreeMap::new(),
@@ -245,6 +331,13 @@ impl ServeCore {
                 rejected: 0,
                 done: 0,
                 failed: 0,
+                shed: 0,
+                cancelled: 0,
+                timeouts: 0,
+                degraded: 0,
+                recovered: 0,
+                breaker_fastfail: 0,
+                breaker: cfg.breaker.clone().map(BreakerSet::new),
                 retain_terminal: cfg.retain_terminal.max(1),
                 telemetry: Telemetry::new(),
             }),
@@ -256,17 +349,87 @@ impl ServeCore {
             } else {
                 FlightRecorder::disabled()
             },
+            journal,
+            chaos_budget: AtomicU64::new(0),
             cfg,
         });
+        let core = ServeCore {
+            inner,
+            workers: Mutex::new(Vec::new()),
+        };
+        // Recover interrupted jobs from the journal *before* the workers
+        // exist: re-admission must see the pre-crash job ids unclaimed.
+        core.recover_from_journal();
         let workers = (0..slots)
             .map(|_| {
-                let inner = inner.clone();
+                let inner = core.inner.clone();
                 std::thread::spawn(move || worker_loop(&inner))
             })
             .collect();
-        ServeCore {
-            inner,
-            workers: Mutex::new(workers),
+        *core.workers.lock().unwrap() = workers;
+        core
+    }
+
+    /// Replays the journal: every admitted job without a terminal record is
+    /// re-admitted under its original id, then the journal is compacted to
+    /// exactly those open admissions (so recovery is idempotent and the
+    /// file does not grow without bound across restarts).
+    fn recover_from_journal(&self) {
+        let Some(journal) = &self.inner.journal else {
+            return;
+        };
+        let lines = match Journal::read_lines(journal.path()) {
+            Ok(lines) => lines,
+            Err(e) => {
+                eprintln!("salam-serve: warning: journal unreadable, starting empty: {e}");
+                return;
+            }
+        };
+        // Fold the log: later events win, a terminal record closes the id.
+        let mut open: BTreeMap<JobId, (String, crate::wire::JournalAdmit)> = BTreeMap::new();
+        let mut max_id = 0;
+        for line in &lines {
+            match crate::wire::parse_journal_line(line) {
+                Ok(crate::wire::JournalEvent::Admit(admit)) => {
+                    max_id = max_id.max(admit.id);
+                    open.insert(admit.id, (line.clone(), admit));
+                }
+                Ok(crate::wire::JournalEvent::Terminal { id }) => {
+                    max_id = max_id.max(id);
+                    open.remove(&id);
+                }
+                Err(e) => eprintln!("salam-serve: warning: skipping journal line: {e}"),
+            }
+        }
+        // Compact first: the surviving admit lines *are* the re-append, so
+        // a crash during recovery still re-admits exactly these jobs.
+        let keep: Vec<String> = open.values().map(|(line, _)| line.clone()).collect();
+        if let Err(e) = journal.rewrite(&keep) {
+            eprintln!("salam-serve: warning: journal compaction failed: {e}");
+        }
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.next_id = st.next_id.max(max_id + 1);
+        }
+        let mut recovered = 0u64;
+        for (id, (_, admit)) in open {
+            let opts = SubmitOpts {
+                deadline_ms: admit.deadline_ms,
+            };
+            match self.admit(&admit.tenant, admit.job, opts, Some(id)) {
+                Ok(_) => recovered += 1,
+                Err(r) => {
+                    eprintln!("salam-serve: warning: journaled job {id} not re-admitted: {r}")
+                }
+            }
+        }
+        if recovered > 0 {
+            let mut st = self.inner.state.lock().unwrap();
+            st.recovered = recovered;
+            drop(st);
+            self.inner
+                .flight
+                .record(0, "recovery", format!("recovered jobs={recovered}"));
         }
     }
 
@@ -276,6 +439,34 @@ impl ServeCore {
     ///
     /// A typed [`Rejection`]; rejected submissions never become jobs.
     pub fn submit(&self, tenant: &str, req: JobRequest) -> Result<JobId, Rejection> {
+        self.submit_with(tenant, req, SubmitOpts::default())
+    }
+
+    /// [`ServeCore::submit`] with per-submission options (deadline).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejection`]; rejected submissions never become jobs.
+    pub fn submit_with(
+        &self,
+        tenant: &str,
+        req: JobRequest,
+        opts: SubmitOpts,
+    ) -> Result<JobId, Rejection> {
+        self.admit(tenant, req, opts, None)
+    }
+
+    /// The admission pipeline. With `force_id` (journal recovery) the
+    /// admission gates — shutdown, shedding, quota, breaker — are skipped:
+    /// the job was already admitted once, and recovery must not lose it.
+    fn admit(
+        &self,
+        tenant: &str,
+        req: JobRequest,
+        opts: SubmitOpts,
+        force_id: Option<JobId>,
+    ) -> Result<JobId, Rejection> {
+        let gated = force_id.is_none();
         let prepared = self.prepare(&req);
         let mut st = self.inner.state.lock().unwrap();
         let reject = |st: &mut State, r: Rejection| {
@@ -288,37 +479,144 @@ impl ServeCore {
             );
             Err(r)
         };
-        if st.shutdown {
-            return reject(
-                &mut st,
-                Rejection::new("shutting-down", "server is shutting down"),
-            );
-        }
-        let active = st.tenants.get(tenant).map_or(0, |s| s.active) as usize;
-        if active >= self.inner.cfg.quota.max_queued {
-            return reject(
-                &mut st,
-                Rejection::new(
-                    "quota-queued",
-                    format!(
-                        "tenant '{tenant}' already has {active} jobs in flight (max {})",
-                        self.inner.cfg.quota.max_queued
+        if gated {
+            if st.shutdown {
+                return reject(
+                    &mut st,
+                    Rejection::new("shutting-down", "server is shutting down"),
+                );
+            }
+            // Overload protection: a bounded accept queue. Sweeps shed at
+            // half depth — batch work yields headroom to interactive work
+            // before anyone is refused outright.
+            let cap = self.inner.cfg.max_pending;
+            if cap > 0 {
+                let limit = if matches!(req, JobRequest::Sweep { .. }) {
+                    cap / 2
+                } else {
+                    cap
+                };
+                let pending = st.sched.queued();
+                if pending >= limit.max(1) {
+                    st.shed += 1;
+                    let retry_after_ms = ((pending as u64) * 20).clamp(100, 2000);
+                    return reject(
+                        &mut st,
+                        Rejection::new(
+                            "overloaded",
+                            format!("server overloaded ({pending} tasks queued, limit {limit})"),
+                        )
+                        .with_retry_after_ms(retry_after_ms),
+                    );
+                }
+            }
+            let active = st.tenants.get(tenant).map_or(0, |s| s.active) as usize;
+            if active >= self.inner.cfg.quota.max_queued {
+                return reject(
+                    &mut st,
+                    Rejection::new(
+                        "quota-queued",
+                        format!(
+                            "tenant '{tenant}' already has {active} jobs in flight (max {})",
+                            self.inner.cfg.quota.max_queued
+                        ),
                     ),
-                ),
-            );
+                );
+            }
         }
-        let (work, lint_json) = match prepared {
+        let (mut work, lint_json) = match prepared {
             Ok(p) => p,
             Err(r) => return reject(&mut st, r),
         };
 
-        let id = st.next_id;
-        st.next_id += 1;
+        // The coalescing/breaker identity, computed up front so the breaker
+        // can veto before any state is allocated. Chaos jobs get their own
+        // fingerprint space — they must never coalesce with real runs.
+        let fingerprint = match &work {
+            Work::Single {
+                point,
+                plan,
+                trace: false,
+                chaos,
+            } => {
+                let fp = single_fingerprint(point, plan.as_ref());
+                Some(if *chaos {
+                    format!("chaos\u{0}{fp}")
+                } else {
+                    fp
+                })
+            }
+            _ => None,
+        };
+        if gated {
+            if let (Some(breaker), Some(fp)) = (st.breaker.as_mut(), fingerprint.as_ref()) {
+                let (decision, transition) = breaker.admit(fp);
+                if let Some(t) = transition {
+                    self.inner
+                        .flight
+                        .record(0, "breaker", format!("fp={} {t}", fp8(fp)));
+                }
+                match decision {
+                    BreakerDecision::Allow => {}
+                    BreakerDecision::Probe => {
+                        self.inner
+                            .flight
+                            .record(0, "breaker", format!("fp={} probe", fp8(fp)));
+                    }
+                    BreakerDecision::FastFail { retry_after_ms } => {
+                        st.breaker_fastfail += 1;
+                        return reject(
+                            &mut st,
+                            Rejection::new(
+                                "circuit-open",
+                                "circuit breaker open for this configuration \
+                                 (repeated deadlocks/panics)",
+                            )
+                            .with_retry_after_ms(retry_after_ms),
+                        );
+                    }
+                }
+            }
+            // Graceful degradation: under queue pressure, new sweeps take
+            // the replay fast path — a cheaper answer beats a shed one.
+            let pressure = self.inner.cfg.degrade_pressure;
+            if pressure > 0 && st.sched.queued() >= pressure {
+                if let Work::Sweep { replay, .. } = &mut work {
+                    if !*replay {
+                        *replay = true;
+                        st.degraded += 1;
+                        self.inner.flight.record(
+                            0,
+                            "admission",
+                            "degrade sweep to replay".to_string(),
+                        );
+                    }
+                }
+            }
+        }
+
+        let id = match force_id {
+            Some(id) => id,
+            None => st.next_id,
+        };
+        st.next_id = st.next_id.max(id + 1);
         st.submit_seq += 1;
         let seq = st.submit_seq;
         let stats = st.tenants.entry(tenant.to_string()).or_default();
         stats.submitted += 1;
         stats.active += 1;
+
+        // Journal the admission before the job becomes runnable: a crash
+        // after this line re-admits the job, a crash before it rejects the
+        // submission — either way, never a silently lost job.
+        if gated {
+            if let Some(journal) = &self.inner.journal {
+                let line = crate::wire::journal_admit_line(id, tenant, opts.deadline_ms, &req);
+                if let Err(e) = journal.append(&line) {
+                    eprintln!("salam-serve: warning: journal append failed: {e}");
+                }
+            }
+        }
 
         let now = now_ns(&self.inner);
         let mut record = JobRecord {
@@ -341,6 +639,7 @@ impl ServeCore {
             submitted_ns: now,
             first_dispatch_ns: None,
             postmortem: None,
+            cancel: CancelToken::with_deadline_opt(opts.deadline_ms),
         };
         if self.inner.cfg.telemetry {
             let jt = JobTrace::new(id);
@@ -353,14 +652,10 @@ impl ServeCore {
             format!("submit id={id} tenant={tenant} kind={}", record.kind),
         );
         match record.work.as_ref() {
-            Work::Single { point, plan, trace } => {
+            Work::Single { .. } => {
                 // Coalesce onto an identical in-flight run: the follower
                 // never takes a slot; it completes with the leader.
-                let fp = if *trace {
-                    None
-                } else {
-                    Some(single_fingerprint(point, plan.as_ref()))
-                };
+                let fp = fingerprint;
                 record.fingerprint = fp.clone();
                 let leader = fp.as_ref().and_then(|f| st.inflight.get(f).copied());
                 if let Some(leader_id) = leader {
@@ -438,6 +733,7 @@ impl ServeCore {
                         errors.len()
                     ),
                     diagnostics: errors,
+                    retry_after_ms: None,
                 });
             }
             Ok((warning_count(&diags) > 0).then(|| diags_to_json(&diags)))
@@ -457,6 +753,7 @@ impl ServeCore {
                 code: "invalid-config",
                 message: d.message.clone(),
                 diagnostics: vec![d],
+                retry_after_ms: None,
             })?;
             let lint = gate_ir(&point.kernel.build())?;
             Ok((point, lint))
@@ -467,12 +764,16 @@ impl ServeCore {
                 knobs,
                 trace,
             } => {
-                let (point, lint) = single(bench, knobs)?;
+                // Chaos mode only: `__chaos-panic` runs a stand-in kernel
+                // whose worker panics while the injected budget lasts.
+                let chaos = self.inner.cfg.chaos && bench == "__chaos-panic";
+                let (point, lint) = single(if chaos { "gemm" } else { bench }, knobs)?;
                 Ok((
                     Work::Single {
                         point: Box::new(point),
                         plan: None,
                         trace: *trace,
+                        chaos,
                     },
                     lint,
                 ))
@@ -484,6 +785,7 @@ impl ServeCore {
                         point: Box::new(point),
                         plan: Some(*plan),
                         trace: false,
+                        chaos: false,
                     },
                     lint,
                 ))
@@ -549,21 +851,178 @@ impl ServeCore {
         })
     }
 
-    /// The job's current status, if it exists.
-    pub fn status(&self, id: JobId) -> Option<JobStatus> {
-        Self::snapshot(&self.inner.state.lock().unwrap(), id)
+    /// Why `id` is missing from the job table: ids below the allocation
+    /// watermark were real jobs whose terminal record has been evicted;
+    /// anything else was never allocated.
+    fn lookup_err(st: &State, id: JobId) -> JobLookupError {
+        if id > 0 && id < st.next_id {
+            JobLookupError::Evicted
+        } else {
+            JobLookupError::NotFound
+        }
     }
 
-    /// Blocks until the job reaches a terminal state (or doesn't exist).
-    pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+    /// The job's current status.
+    ///
+    /// # Errors
+    ///
+    /// [`JobLookupError::Evicted`] for a completed job whose record aged
+    /// out of retention, [`JobLookupError::NotFound`] for an unknown id.
+    pub fn status(&self, id: JobId) -> Result<JobStatus, JobLookupError> {
+        let st = self.inner.state.lock().unwrap();
+        Self::snapshot(&st, id).ok_or_else(|| Self::lookup_err(&st, id))
+    }
+
+    /// Blocks until the job reaches a terminal state.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeCore::status`] — an evicted id returns immediately with
+    /// [`JobLookupError::Evicted`] instead of parking the caller forever
+    /// (the record can be evicted *while* waiting; the wake-up after its
+    /// completion observes the eviction and reports it).
+    pub fn wait(&self, id: JobId) -> Result<JobStatus, JobLookupError> {
         let mut st = self.inner.state.lock().unwrap();
         loop {
             match st.jobs.get(&id) {
-                None => return None,
-                Some(j) if j.state.is_terminal() => return Self::snapshot(&st, id),
+                None => return Err(Self::lookup_err(&st, id)),
+                Some(j) if j.state.is_terminal() => {
+                    return Self::snapshot(&st, id).ok_or(JobLookupError::NotFound)
+                }
                 Some(_) => st = self.inner.cvar.wait(st).unwrap(),
             }
         }
+    }
+
+    /// Requests cooperative cancellation of a job. Terminal jobs return
+    /// their status unchanged (idempotent). Queued work is failed
+    /// immediately with a `cancelled` outcome; running work is stopped at
+    /// the engine's next cycle-batch (or the sweep's next chunk) boundary.
+    /// Cancelling a coalesced leader first promotes a follower so the
+    /// other tenants' identical jobs still complete.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeCore::status`].
+    pub fn cancel(&self, id: JobId) -> Result<JobStatus, JobLookupError> {
+        let mut st = self.inner.state.lock().unwrap();
+        let (state, work, fp, token) = {
+            let Some(j) = st.jobs.get(&id) else {
+                return Err(Self::lookup_err(&st, id));
+            };
+            if j.state.is_terminal() {
+                return Self::snapshot(&st, id).ok_or(JobLookupError::NotFound);
+            }
+            (
+                j.state,
+                j.work.clone(),
+                j.fingerprint.clone(),
+                j.cancel.clone(),
+            )
+        };
+        self.inner.flight.record(
+            TraceCtx::for_job(id).trace_id,
+            "job",
+            format!("cancel id={id} state={}", state.name()),
+        );
+        let cancelled_now = JobOutcome::Error {
+            label: "cancelled".to_string(),
+            message: "cancelled before the run started".to_string(),
+        };
+        match work.as_ref() {
+            Work::Sweep { .. } => {
+                if state == JobState::Queued {
+                    // No chunk has a slot yet: drop the queued tasks and
+                    // finish immediately.
+                    st.sched.remove_job(id);
+                    finish_job(
+                        &mut st,
+                        &self.inner,
+                        id,
+                        cancelled_now,
+                        false,
+                        &SingleExtras::NONE,
+                    );
+                } else {
+                    // Running chunks stop at their next boundary; queued
+                    // chunks observe the token at dispatch and skip.
+                    token.cancel();
+                }
+            }
+            Work::Single { .. } => {
+                let is_leader = match fp.as_ref() {
+                    Some(f) => st.inflight.get(f) == Some(&id),
+                    // Uncoalescable (traced) singles own their task.
+                    None => true,
+                };
+                if !is_leader {
+                    // A follower: detach from its leader and finish alone.
+                    let leader = fp.as_ref().and_then(|f| st.inflight.get(f).copied());
+                    if let Some(l) = leader.and_then(|l| st.jobs.get_mut(&l)) {
+                        l.followers.retain(|f| *f != id);
+                    }
+                    finish_job(
+                        &mut st,
+                        &self.inner,
+                        id,
+                        cancelled_now,
+                        false,
+                        &SingleExtras::NONE,
+                    );
+                } else if state == JobState::Queued {
+                    st.sched.remove_job(id);
+                    promote_follower(&mut st, &self.inner, id);
+                    finish_job(
+                        &mut st,
+                        &self.inner,
+                        id,
+                        cancelled_now,
+                        false,
+                        &SingleExtras::NONE,
+                    );
+                } else {
+                    // Running: stop the engine cooperatively; followers
+                    // re-run under a promoted leader rather than inherit
+                    // this job's cancellation.
+                    promote_follower(&mut st, &self.inner, id);
+                    token.cancel();
+                }
+            }
+        }
+        let snap = Self::snapshot(&st, id).ok_or(JobLookupError::NotFound);
+        drop(st);
+        self.inner.cvar.notify_all();
+        snap
+    }
+
+    /// `true` while the server accepts work — the `/readyz` signal. Flips
+    /// false permanently once shutdown begins.
+    pub fn ready(&self) -> bool {
+        !self.inner.state.lock().unwrap().shutdown
+    }
+
+    /// The configuration this core was started with (the transport layer
+    /// reads its socket limits from here).
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.cfg
+    }
+
+    /// Arms the chaos panic budget: the next `n` chaos-job runs panic in
+    /// the worker (contained by `catch_unwind`, subject to retry and the
+    /// circuit breaker like any real panic). No-op jobs unless
+    /// [`ServeConfig::chaos`] is set.
+    pub fn inject_panics(&self, n: u64) {
+        self.inner.chaos_budget.store(n, Ordering::SeqCst);
+    }
+
+    /// The circuit breaker's transition log (`<fp8>: from->to` lines, in
+    /// order) — deterministic for a fixed submission sequence, which the
+    /// resilience tests assert across worker counts.
+    pub fn breaker_log(&self) -> Vec<String> {
+        let st = self.inner.state.lock().unwrap();
+        st.breaker
+            .as_ref()
+            .map_or_else(Vec::new, |b| b.log().to_vec())
     }
 
     /// Fetches one artifact of a terminal job: `report`, `trace`, `csv`,
@@ -571,10 +1030,14 @@ impl ServeCore {
     ///
     /// # Errors
     ///
-    /// A message when the job/artifact combination does not exist (yet).
+    /// A message when the job/artifact combination does not exist (yet);
+    /// an evicted job's message says so rather than "no job".
     pub fn artifact(&self, id: JobId, kind: &str) -> Result<String, String> {
         let st = self.inner.state.lock().unwrap();
-        let j = st.jobs.get(&id).ok_or_else(|| format!("no job {id}"))?;
+        let j = st
+            .jobs
+            .get(&id)
+            .ok_or_else(|| Self::lookup_err(&st, id).message(id))?;
         if kind == "lint" {
             return Ok(j.lint_json.clone().unwrap_or_else(|| "[]".to_string()));
         }
@@ -642,6 +1105,12 @@ impl ServeCore {
         reg.set("serve.jobs.running", running as f64);
         reg.set("serve.jobs.rejected", st.rejected as f64);
         reg.set("serve.jobs.coalesced", st.coalesced as f64);
+        reg.set("serve.jobs.shed", st.shed as f64);
+        reg.set("serve.jobs.cancelled", st.cancelled as f64);
+        reg.set("serve.jobs.timeout", st.timeouts as f64);
+        reg.set("serve.jobs.degraded", st.degraded as f64);
+        reg.set("serve.jobs.recovered", st.recovered as f64);
+        reg.set("serve.breaker.fastfail", st.breaker_fastfail as f64);
         reg.set("serve.cache_hits", st.cache_hits as f64);
         reg.set("serve.sim_runs", st.sim_runs as f64);
         for (t, s) in &st.tenants {
@@ -664,11 +1133,11 @@ impl ServeCore {
     }
 
     /// The stable one-line summary CI asserts on. The leading counters are
-    /// frozen (scripts key on them); end-to-end latency percentiles ride
-    /// at the end (zeros until a job completes or with telemetry off).
-    /// Format, documented in DESIGN.md §11:
-    /// `jobs=N done=N failed=N rejected=N coalesced=N cache_hits=N
-    /// sim_runs=N e2e_p50_ms=F e2e_p99_ms=F`.
+    /// frozen (scripts key on them); end-to-end latency percentiles and
+    /// the resilience counters ride at the end (zeros until a job
+    /// completes or with telemetry off). Format, documented in DESIGN.md
+    /// §11: `jobs=N done=N failed=N rejected=N coalesced=N cache_hits=N
+    /// sim_runs=N e2e_p50_ms=F e2e_p99_ms=F shed=N cancelled=N`.
     pub fn stats_line(&self) -> String {
         let st = self.inner.state.lock().unwrap();
         let (p50, p99) = st
@@ -677,7 +1146,7 @@ impl ServeCore {
             .map_or((0, 0), |h| (h.p50(), h.p99()));
         format!(
             "jobs={} done={} failed={} rejected={} coalesced={} cache_hits={} sim_runs={} \
-             e2e_p50_ms={:.3} e2e_p99_ms={:.3}",
+             e2e_p50_ms={:.3} e2e_p99_ms={:.3} shed={} cancelled={}",
             st.submit_seq,
             st.done,
             st.failed,
@@ -687,6 +1156,8 @@ impl ServeCore {
             st.sim_runs,
             p50 as f64 / 1000.0,
             p99 as f64 / 1000.0,
+            st.shed,
+            st.cancelled + st.timeouts,
         )
     }
 
@@ -795,6 +1266,60 @@ fn faulted_cache_id(point: &StandalonePoint, plan: &FaultPlan) -> CacheId {
     )
 }
 
+/// Short hex digest of a fingerprint for breaker log / flight lines.
+fn fp8(fp: &str) -> String {
+    format!(
+        "{:08x}",
+        (salam_resilience::fnv1a64(fp.as_bytes()) >> 32) as u32
+    )
+}
+
+/// Promotes the first follower of a coalesced single to leader: it takes
+/// over the in-flight entry, inherits the remaining followers, and gets
+/// its own scheduler task (re-running the simulation fresh — it must not
+/// inherit the old leader's cancellation). With no followers, the
+/// in-flight entry is simply dropped so later identical submissions start
+/// fresh rather than coalescing onto a cancelled job.
+fn promote_follower(st: &mut State, inner: &Inner, leader: JobId) {
+    let (mut followers, fp) = {
+        let Some(l) = st.jobs.get_mut(&leader) else {
+            return;
+        };
+        (std::mem::take(&mut l.followers), l.fingerprint.take())
+    };
+    let Some(fp) = fp else {
+        return;
+    };
+    if st.inflight.get(&fp) == Some(&leader) {
+        st.inflight.remove(&fp);
+    }
+    if followers.is_empty() {
+        return;
+    }
+    let new_leader = followers.remove(0);
+    let (tenant, seq) = {
+        let Some(n) = st.jobs.get_mut(&new_leader) else {
+            return;
+        };
+        n.followers = followers;
+        (n.tenant.clone(), n.submit_seq)
+    };
+    st.inflight.insert(fp, new_leader);
+    st.sched.push(Task {
+        job: new_leader,
+        tenant,
+        class: Class::Regular,
+        chunk: 0,
+        seq,
+        tenant_slots: inner.cfg.quota.max_running,
+    });
+    inner.flight.record(
+        TraceCtx::for_job(new_leader).trace_id,
+        "job",
+        format!("promote id={new_leader} from={leader}"),
+    );
+}
+
 fn worker_loop(inner: &Inner) {
     loop {
         let dispatched: Dispatched = {
@@ -810,25 +1335,35 @@ fn worker_loop(inner: &Inner) {
                 st = inner.cvar.wait(st).unwrap();
             }
         };
-        let work = {
+        let ctx = {
             let st = inner.state.lock().unwrap();
-            st.jobs.get(&dispatched.task.job).map(|j| j.work.clone())
+            st.jobs
+                .get(&dispatched.task.job)
+                .map(|j| (j.work.clone(), j.cancel.clone()))
         };
-        let Some(work) = work else {
-            // Job vanished (cannot happen today; records are never dropped
-            // while tasks are queued) — just return the slot.
+        let Some((work, cancel)) = ctx else {
+            // Job vanished (a dispatched task's job is never evicted while
+            // non-terminal, so this is belt-and-braces) — return the slot.
             let mut st = inner.state.lock().unwrap();
             st.sched.task_done(&dispatched);
             inner.cvar.notify_all();
             continue;
         };
         match work.as_ref() {
-            Work::Single { point, plan, trace } => {
+            Work::Single {
+                point,
+                plan,
+                trace,
+                chaos,
+            } => {
                 let run = run_single(
                     inner,
+                    dispatched.task.job,
                     point,
                     plan.as_ref(),
                     *trace,
+                    *chaos,
+                    &cancel,
                     TraceCtx::for_job(dispatched.task.job).trace_id,
                 );
                 let mut st = inner.state.lock().unwrap();
@@ -860,6 +1395,24 @@ fn worker_loop(inner: &Inner) {
                 ..
             } => {
                 let (a, b) = chunks[dispatched.task.chunk];
+                // Cooperative cancellation between chunks: a stopped job's
+                // remaining chunks record skipped rows instead of running.
+                if let Some(reason) = cancel.poll() {
+                    let mut st = inner.state.lock().unwrap();
+                    record_chunk_skipped(
+                        &mut st,
+                        inner,
+                        dispatched.task.job,
+                        work.as_ref(),
+                        a,
+                        b,
+                        reason,
+                    );
+                    st.sched.task_done(&dispatched);
+                    drop(st);
+                    inner.cvar.notify_all();
+                    continue;
+                }
                 if *replay {
                     let opts = ReplayOptions {
                         inner: chunk_options(inner),
@@ -953,22 +1506,47 @@ impl SingleExtras<'_> {
     };
 }
 
-/// Executes one single run — cache probe, simulate under `catch_unwind`,
-/// store — and returns the outcome plus its telemetry by-products.
+/// A typed outcome for a run stopped before/without simulating.
+fn stop_outcome(reason: StopReason, when: &str) -> JobOutcome {
+    JobOutcome::Error {
+        label: reason.label().to_string(),
+        message: match reason {
+            StopReason::Cancelled => format!("cancelled {when}"),
+            StopReason::DeadlineExceeded => format!("deadline exceeded {when}"),
+        },
+    }
+}
+
+/// Executes one single run — cache probe, simulate under `catch_unwind`
+/// (with bounded, backoff-spaced retries on panic), store — and returns
+/// the outcome plus its telemetry by-products.
+#[allow(clippy::too_many_arguments)]
 fn run_single(
     inner: &Inner,
+    job: JobId,
     point: &StandalonePoint,
     plan: Option<&FaultPlan>,
     trace: bool,
+    chaos: bool,
+    cancel: &CancelToken,
     trace_id: u64,
 ) -> SingleRun {
+    if let Some(reason) = cancel.poll() {
+        return SingleRun {
+            outcome: stop_outcome(reason, "before the run started"),
+            from_cache: false,
+            watchdog_json: None,
+            engine_rec: None,
+        };
+    }
     let cache_id = match plan {
         None => point.cache_id(),
         Some(p) => faulted_cache_id(point, p),
     };
     // Traced runs bypass the cache: the report would hit, but the trace
-    // artifact only exists by simulating.
-    let cache = inner.cache.as_ref().filter(|_| !trace);
+    // artifact only exists by simulating. Chaos runs bypass it so the
+    // injected panic actually fires.
+    let cache = inner.cache.as_ref().filter(|_| !trace && !chaos);
     if let Some(cache) = cache {
         if let Lookup::Hit(report) = cache.lookup::<salam::RunReport>(&cache_id) {
             return SingleRun {
@@ -979,57 +1557,85 @@ fn run_single(
             };
         }
     }
-    let mut shared = if trace {
-        salam_obs::SharedTrace::enabled()
-    } else {
-        salam_obs::SharedTrace::disabled()
-    };
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        try_run_kernel_observed(
-            &point.kernel.build(),
-            &point.config,
-            &shared,
-            plan,
-            &inner.flight,
-            trace_id,
-        )
-    }));
-    let mut watchdog_json = None;
-    let outcome = match result {
-        Ok(Ok(report)) => {
-            if let Some(cache) = cache {
-                if let Err(e) = cache.store(&cache_id, &report) {
-                    eprintln!("salam-serve: warning: cache store failed: {e}");
+    // The backoff site: retries of the same configuration follow the same
+    // deterministic jittered schedule no matter which worker runs them.
+    let site = format!("{}/{}", cache_id.domain, cache_id.canon);
+    let mut attempts = 0u32;
+    loop {
+        let mut shared = if trace {
+            salam_obs::SharedTrace::enabled()
+        } else {
+            salam_obs::SharedTrace::disabled()
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if chaos
+                && inner
+                    .chaos_budget
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+                    .is_ok()
+            {
+                panic!("chaos: injected worker panic");
+            }
+            try_run_kernel_controlled(
+                &point.kernel.build(),
+                &point.config,
+                &shared,
+                plan,
+                &inner.flight,
+                trace_id,
+                cancel,
+            )
+        }));
+        let mut watchdog_json = None;
+        let outcome = match result {
+            Ok(Ok(report)) => {
+                if let Some(cache) = cache {
+                    if let Err(e) = cache.store(&cache_id, &report) {
+                        eprintln!("salam-serve: warning: cache store failed: {e}");
+                    }
+                }
+                report_outcome(&report, None)
+            }
+            Ok(Err(sim_err)) => {
+                if let salam::SimError::Deadlock(snap) = &sim_err {
+                    watchdog_json = Some(snap.to_json());
+                }
+                JobOutcome::Error {
+                    label: sim_err.label().to_string(),
+                    message: sim_err.to_string(),
                 }
             }
-            report_outcome(&report, None)
-        }
-        Ok(Err(sim_err)) => {
-            if let salam::SimError::Deadlock(snap) = &sim_err {
-                watchdog_json = Some(snap.to_json());
+            Err(payload) => {
+                if attempts < inner.cfg.retries && cancel.poll().is_none() {
+                    attempts += 1;
+                    let delay = inner.cfg.backoff.delay_ms(&site, attempts);
+                    inner.flight.record(
+                        trace_id,
+                        "retry",
+                        format!("retry id={job} attempt={attempts} delay_ms={delay}"),
+                    );
+                    if delay > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(delay));
+                    }
+                    continue;
+                }
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic");
+                JobOutcome::Error {
+                    label: "panic".to_string(),
+                    message: msg.lines().next().unwrap_or("panic").to_string(),
+                }
             }
-            JobOutcome::Error {
-                label: sim_err.label().to_string(),
-                message: sim_err.to_string(),
-            }
-        }
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| payload.downcast_ref::<&str>().copied())
-                .unwrap_or("panic");
-            JobOutcome::Error {
-                label: "panic".to_string(),
-                message: msg.lines().next().unwrap_or("panic").to_string(),
-            }
-        }
-    };
-    SingleRun {
-        outcome,
-        from_cache: false,
-        watchdog_json,
-        engine_rec: shared.take_recorder(),
+        };
+        return SingleRun {
+            outcome,
+            from_cache: false,
+            watchdog_json,
+            engine_rec: shared.take_recorder(),
+        };
     }
 }
 
@@ -1178,15 +1784,38 @@ fn complete_single(
     leader_from_cache: bool,
     extras: &SingleExtras,
 ) {
-    let followers = {
+    let (followers, fp) = {
         let Some(j) = st.jobs.get_mut(&id) else {
             return;
         };
-        if let Some(fp) = j.fingerprint.take() {
-            st.inflight.remove(&fp);
-        }
-        std::mem::take(&mut j.followers)
+        (std::mem::take(&mut j.followers), j.fingerprint.take())
     };
+    if let Some(fp) = &fp {
+        // A promoted follower may own the entry by now — remove only our
+        // own registration.
+        if st.inflight.get(fp) == Some(&id) {
+            st.inflight.remove(fp);
+        }
+        // Circuit-breaker verdict: real runs only (a cache hit proves
+        // nothing new), deadlock/panic count as failures, a report as
+        // success; cancellations and timeouts are neutral.
+        if !leader_from_cache {
+            if let Some(b) = st.breaker.as_mut() {
+                let transition = match &outcome {
+                    JobOutcome::Report { .. } => b.on_success(fp),
+                    JobOutcome::Error { label, .. } if label == "deadlock" || label == "panic" => {
+                        b.on_failure(fp)
+                    }
+                    _ => None,
+                };
+                if let Some(t) = transition {
+                    inner
+                        .flight
+                        .record(0, "breaker", format!("fp={} {t}", fp8(fp)));
+                }
+            }
+        }
+    }
     // A follower is a cache hit exactly when its leader's result was one:
     // coalescing is already counted separately at submit.
     for f in followers {
@@ -1195,7 +1824,10 @@ fn complete_single(
     finish_job(st, inner, id, outcome, leader_from_cache, extras);
 }
 
-/// Marks one job terminal with `outcome` and retires it.
+/// Marks one job terminal with `outcome` and retires it. Idempotent: a
+/// job that is already terminal (e.g. cancelled while its worker was still
+/// finishing) is left untouched — no double counting, no outcome
+/// overwrite.
 fn finish_job(
     st: &mut State,
     inner: &Inner,
@@ -1204,9 +1836,20 @@ fn finish_job(
     hit: bool,
     extras: &SingleExtras,
 ) {
+    match st.jobs.get(&id) {
+        Some(j) if !j.state.is_terminal() => {}
+        _ => return,
+    }
     st.complete_seq += 1;
     let seq = st.complete_seq;
     let failed = matches!(outcome, JobOutcome::Error { .. });
+    if let JobOutcome::Error { label, .. } = &outcome {
+        match label.as_str() {
+            "cancelled" => st.cancelled += 1,
+            "timeout" => st.timeouts += 1,
+            _ => {}
+        }
+    }
     job_terminal(st, inner, id, failed, &mut outcome, extras);
     let Some(j) = st.jobs.get_mut(&id) else {
         return;
@@ -1220,6 +1863,13 @@ fn finish_job(
     j.outcome = Some(outcome);
     let tenant = j.tenant.clone();
     retire(st, &tenant, id, failed, hit);
+    // The journal's terminal record: after this line a restart will not
+    // re-admit the job.
+    if let Some(journal) = &inner.journal {
+        if let Err(e) = journal.append(&crate::wire::journal_terminal_line(id)) {
+            eprintln!("salam-serve: warning: journal append failed: {e}");
+        }
+    }
 }
 
 /// Bookkeeping for a job that just went terminal: lifetime and tenant
@@ -1267,43 +1917,92 @@ fn record_chunk(
     outcomes: &[PointOutcome<salam::RunReport>],
     engines: Option<&[EngineKind]>,
 ) {
-    let Work::Sweep {
-        name,
-        points,
-        replay,
-        ..
-    } = work
-    else {
+    let Work::Sweep { points, .. } = work else {
+        return;
+    };
+    {
+        let Some(j) = st.jobs.get_mut(&id) else {
+            return;
+        };
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let point = &points[start + i];
+            let engine = engines
+                .map(|e| e[i].label().to_string())
+                .unwrap_or_default();
+            let row = match outcome.payload() {
+                Some(r) => PointRow {
+                    label: point.label(),
+                    cycles: r.cycles.to_string(),
+                    status: "ok".to_string(),
+                    engine,
+                    ok: true,
+                    invalid: false,
+                },
+                None => PointRow {
+                    label: point.label(),
+                    cycles: String::new(),
+                    status: outcome.failure_label().unwrap_or_default(),
+                    engine,
+                    ok: false,
+                    invalid: outcome.invalid().is_some(),
+                },
+            };
+            j.rows[start + i] = Some(row);
+        }
+    }
+    chunk_done(st, inner, id, work);
+}
+
+/// Folds one *skipped* chunk (cancelled/deadline-stopped job) into its
+/// sweep: the points record the stop reason instead of running.
+fn record_chunk_skipped(
+    st: &mut State,
+    inner: &Inner,
+    id: JobId,
+    work: &Work,
+    start: usize,
+    end: usize,
+    reason: StopReason,
+) {
+    let Work::Sweep { points, .. } = work else {
+        return;
+    };
+    inner.flight.record(
+        TraceCtx::for_job(id).trace_id,
+        "sched",
+        format!(
+            "skip id={id} points={}..{end} reason={}",
+            start,
+            reason.label()
+        ),
+    );
+    {
+        let Some(j) = st.jobs.get_mut(&id) else {
+            return;
+        };
+        for (i, point) in points.iter().enumerate().take(end).skip(start) {
+            j.rows[i] = Some(PointRow {
+                label: point.label(),
+                cycles: String::new(),
+                status: reason.label().to_string(),
+                engine: String::new(),
+                ok: false,
+                invalid: false,
+            });
+        }
+    }
+    chunk_done(st, inner, id, work);
+}
+
+/// One chunk (run or skipped) is accounted for; when it was the last, the
+/// deterministic artifact is assembled and the job finished.
+fn chunk_done(st: &mut State, inner: &Inner, id: JobId, work: &Work) {
+    let Work::Sweep { name, replay, .. } = work else {
         return;
     };
     let Some(j) = st.jobs.get_mut(&id) else {
         return;
     };
-    for (i, outcome) in outcomes.iter().enumerate() {
-        let point = &points[start + i];
-        let engine = engines
-            .map(|e| e[i].label().to_string())
-            .unwrap_or_default();
-        let row = match outcome.payload() {
-            Some(r) => PointRow {
-                label: point.label(),
-                cycles: r.cycles.to_string(),
-                status: "ok".to_string(),
-                engine,
-                ok: true,
-                invalid: false,
-            },
-            None => PointRow {
-                label: point.label(),
-                cycles: String::new(),
-                status: outcome.failure_label().unwrap_or_default(),
-                engine,
-                ok: false,
-                invalid: outcome.invalid().is_some(),
-            },
-        };
-        j.rows[start + i] = Some(row);
-    }
     j.pending_chunks -= 1;
     if j.pending_chunks > 0 {
         return;
@@ -1322,6 +2021,7 @@ fn record_chunk(
     let mut table = SweepTable::new(name.clone(), columns);
     let (mut ok, mut failed, mut invalid) = (0usize, 0usize, 0usize);
     let mut replayed = 0usize;
+    let (mut stopped_cancel, mut stopped_timeout) = (0usize, 0usize);
     for row in j.rows.iter().flatten() {
         if row.ok {
             ok += 1;
@@ -1329,6 +2029,11 @@ fn record_chunk(
             invalid += 1;
         } else {
             failed += 1;
+        }
+        match row.status.as_str() {
+            "cancelled" => stopped_cancel += 1,
+            "timeout" => stopped_timeout += 1,
+            _ => {}
         }
         if row.engine == "replay" {
             replayed += 1;
@@ -1350,28 +2055,30 @@ fn record_chunk(
         summary.push(("replayed".into(), replayed.to_string()));
     }
     table.set_summary(summary);
-    let mut outcome = JobOutcome::Sweep {
-        csv: table.to_csv(),
-        json: table.to_json(),
-        points: total,
-        ok,
-        failed,
-        invalid,
-    };
-    st.complete_seq += 1;
-    let seq = st.complete_seq;
-    let job_failed = failed > 0;
-    job_terminal(st, inner, id, job_failed, &mut outcome, &SingleExtras::NONE);
-    let Some(j) = st.jobs.get_mut(&id) else {
-        return;
-    };
-    j.state = if job_failed {
-        JobState::Failed
+    // A stopped sweep is typed by its stop reason, not by a partial table:
+    // clients keying on the outcome see `cancelled`/`timeout` directly.
+    let outcome = if stopped_cancel + stopped_timeout > 0 {
+        let label = if stopped_timeout > 0 {
+            "timeout"
+        } else {
+            "cancelled"
+        };
+        JobOutcome::Error {
+            label: label.to_string(),
+            message: format!(
+                "sweep stopped: {} of {total} points skipped",
+                stopped_cancel + stopped_timeout
+            ),
+        }
     } else {
-        JobState::Done
+        JobOutcome::Sweep {
+            csv: table.to_csv(),
+            json: table.to_json(),
+            points: total,
+            ok,
+            failed,
+            invalid,
+        }
     };
-    j.complete_seq = Some(seq);
-    j.outcome = Some(outcome);
-    let tenant = j.tenant.clone();
-    retire(st, &tenant, id, job_failed, false);
+    finish_job(st, inner, id, outcome, false, &SingleExtras::NONE);
 }

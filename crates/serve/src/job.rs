@@ -239,12 +239,17 @@ pub struct JobStatus {
 #[derive(Debug, Clone)]
 pub struct Rejection {
     /// Stable code: `quota-queued`, `quota-sweep-points`, `bad-request`,
-    /// `invalid-config`, `verify`, `shutting-down`.
+    /// `invalid-config`, `verify`, `shutting-down`, `overloaded`,
+    /// `circuit-open`.
     pub code: &'static str,
     /// Human-readable reason.
     pub message: String,
     /// Verifier findings, when the gate rejected the job.
     pub diagnostics: Vec<Diagnostic>,
+    /// For load-shed and circuit-open refusals: how long the client should
+    /// wait before retrying. Rides the wire as `retry_after_ms` and as an
+    /// HTTP `Retry-After` header.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Rejection {
@@ -254,13 +259,56 @@ impl Rejection {
             code,
             message: message.into(),
             diagnostics: Vec::new(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attaches a retry hint (builder-style).
+    #[must_use]
+    pub fn with_retry_after_ms(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
 impl std::fmt::Display for Rejection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "rejected[{}]: {}", self.code, self.message)
+    }
+}
+
+/// Why a job lookup (`status` / `wait` / `result`) found nothing.
+///
+/// The distinction matters: an [`Evicted`](JobLookupError::Evicted) id was
+/// once real and its terminal record aged out of the bounded retention
+/// window, so a client holding it should not park forever — while a
+/// [`NotFound`](JobLookupError::NotFound) id was never allocated at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobLookupError {
+    /// The id was never allocated by this server.
+    NotFound,
+    /// The id was allocated, completed, and its record has since been
+    /// evicted by the terminal-retention cap.
+    Evicted,
+}
+
+impl JobLookupError {
+    /// Stable wire code (`not-found` / `evicted`).
+    pub fn code(self) -> &'static str {
+        match self {
+            JobLookupError::NotFound => "not-found",
+            JobLookupError::Evicted => "evicted",
+        }
+    }
+
+    /// Human-readable message for a given id.
+    pub fn message(self, id: JobId) -> String {
+        match self {
+            JobLookupError::NotFound => format!("no job {id}"),
+            JobLookupError::Evicted => {
+                format!("job {id} completed and its record was evicted from retention")
+            }
+        }
     }
 }
 

@@ -44,8 +44,10 @@ pub mod sched;
 pub mod server;
 pub mod wire;
 
-pub use crate::core::{ServeConfig, ServeCore};
-pub use job::{JobId, JobOutcome, JobRequest, JobState, JobStatus, Rejection, WireAxis};
+pub use crate::core::{ServeConfig, ServeCore, SubmitOpts};
+pub use job::{
+    JobId, JobLookupError, JobOutcome, JobRequest, JobState, JobStatus, Rejection, WireAxis,
+};
 pub use quota::TenantQuota;
 pub use sched::{Class, Scheduler, Task};
 pub use server::Server;

@@ -112,6 +112,17 @@ impl Scheduler {
         }
     }
 
+    /// Removes every queued task belonging to `job` (cancellation of a
+    /// not-yet-dispatched job). Returns how many tasks were dropped; tasks
+    /// already dispatched are unaffected — the caller stops those through
+    /// the job's cancel token instead.
+    pub fn remove_job(&mut self, job: JobId) -> usize {
+        let before = self.regular.len() + self.cpu.len();
+        self.regular.retain(|t| t.job != job);
+        self.cpu.retain(|t| t.job != job);
+        before - (self.regular.len() + self.cpu.len())
+    }
+
     fn tenant_eligible(&self, t: &Task) -> bool {
         self.tenant_running.get(&t.tenant).copied().unwrap_or(0) < t.tenant_slots
     }

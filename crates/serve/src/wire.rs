@@ -11,8 +11,10 @@
 //! {"op":"submit","tenant":"alice","job":{"type":"kernel","bench":"gemm","knobs":{"ports":2},"trace":false}}
 //! {"op":"submit","tenant":"alice","job":{"type":"faulted","bench":"spmv","plan":{"seed":7,"mem_delay_rate":0.01}}}
 //! {"op":"submit","tenant":"bob","job":{"type":"sweep","name":"ports","kernels":["gemm"],"axes":[{"knob":"ports","values":[1,2,4]}]}}
+//! {"op":"submit","tenant":"alice","deadline_ms":5000,"job":{"type":"kernel","bench":"gemm"}}
 //! {"op":"status","id":3}
 //! {"op":"wait","id":3}
+//! {"op":"cancel","id":3}
 //! {"op":"result","id":3,"artifact":"report"}
 //! {"op":"metrics"}
 //! {"op":"metrics","format":"prom"}
@@ -36,11 +38,15 @@ pub enum Request {
         tenant: String,
         /// The job payload.
         job: JobRequest,
+        /// Optional end-to-end deadline, milliseconds from admission.
+        deadline_ms: Option<u64>,
     },
     /// Snapshot one job's status.
     Status(JobId),
     /// Block until the job is terminal, then return its status.
     Wait(JobId),
+    /// Request cooperative cancellation; returns the job's status.
+    Cancel(JobId),
     /// Fetch one artifact of a terminal job.
     Result {
         /// The job.
@@ -80,6 +86,19 @@ fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
         .filter(|f| *f >= 0.0 && f.fract() == 0.0)
         .map(|f| f as u64)
         .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+/// An optional non-negative integer field; present-but-malformed is an
+/// error, absent (or null) is `None`.
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(val) => val
+            .as_f64()
+            .filter(|f| *f >= 0.0 && f.fract() == 0.0)
+            .map(|f| Some(f as u64))
+            .ok_or_else(|| format!("'{key}' must be a non-negative integer")),
+    }
 }
 
 fn knob_pairs(v: &Value) -> Result<Vec<(String, u64)>, String> {
@@ -205,9 +224,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "submit" => Ok(Request::Submit {
             tenant: need_str(&v, "tenant")?,
             job: job_request(&v)?,
+            deadline_ms: opt_u64(&v, "deadline_ms")?,
         }),
         "status" => Ok(Request::Status(need_u64(&v, "id")?)),
         "wait" => Ok(Request::Wait(need_u64(&v, "id")?)),
+        "cancel" => Ok(Request::Cancel(need_u64(&v, "id")?)),
         "result" => Ok(Request::Result {
             id: need_u64(&v, "id")?,
             artifact: need_str(&v, "artifact")?,
@@ -229,9 +250,161 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 /// # Errors
 ///
 /// A message describing the malformed field.
-pub fn parse_submit_body(text: &str) -> Result<(String, JobRequest), String> {
+pub fn parse_submit_body(text: &str) -> Result<(String, JobRequest, Option<u64>), String> {
     let v = json::parse(text)?;
-    Ok((need_str(&v, "tenant")?, job_request(&v)?))
+    Ok((
+        need_str(&v, "tenant")?,
+        job_request(&v)?,
+        opt_u64(&v, "deadline_ms")?,
+    ))
+}
+
+/// Encodes a [`JobRequest`] as its wire `job` object — the exact shape
+/// [`parse_request`] accepts, so journaled jobs round-trip through the
+/// same parser the TCP listener uses.
+pub fn job_json(job: &JobRequest) -> String {
+    let knobs_json = |knobs: &[(String, u64)]| {
+        let body = knobs
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", escape(k)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{{{body}}}")
+    };
+    match job {
+        JobRequest::Kernel {
+            bench,
+            knobs,
+            trace,
+        } => format!(
+            "{{\"type\": \"kernel\", \"bench\": \"{}\", \"knobs\": {}, \"trace\": {trace}}}",
+            escape(bench),
+            knobs_json(knobs)
+        ),
+        JobRequest::Faulted { bench, knobs, plan } => format!(
+            "{{\"type\": \"faulted\", \"bench\": \"{}\", \"knobs\": {}, \"plan\": \
+             {{\"seed\": {}, \"fu_bitflip_rate\": {}, \"fu_flip_any\": {}, \
+             \"fu_jitter_rate\": {}, \"fu_jitter_cycles\": {}, \"mem_bitflip_rate\": {}, \
+             \"mem_delay_rate\": {}, \"mem_delay_cycles\": {}, \"mem_drop_rate\": {}, \
+             \"port_busy_rate\": {}, \"dma_stall_rate\": {}, \"dma_stall_cycles\": {}}}}}",
+            escape(bench),
+            knobs_json(knobs),
+            plan.seed,
+            plan.fu_bitflip_rate,
+            // The parser reads every plan field as a number.
+            u8::from(plan.fu_flip_any),
+            plan.fu_jitter_rate,
+            plan.fu_jitter_cycles,
+            plan.mem_bitflip_rate,
+            plan.mem_delay_rate,
+            plan.mem_delay_cycles,
+            plan.mem_drop_rate,
+            plan.port_busy_rate,
+            plan.dma_stall_rate,
+            plan.dma_stall_cycles,
+        ),
+        JobRequest::Sweep {
+            name,
+            kernels,
+            axes,
+            replay,
+        } => {
+            let ks = kernels
+                .iter()
+                .map(|k| format!("\"{}\"", escape(k)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let axs = axes
+                .iter()
+                .map(|a| {
+                    let vals = a
+                        .values
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "{{\"knob\": \"{}\", \"values\": [{vals}]}}",
+                        escape(&a.knob)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{\"type\": \"sweep\", \"name\": \"{}\", \"kernels\": [{ks}], \
+                 \"axes\": [{axs}], \"replay\": {replay}}}",
+                escape(name)
+            )
+        }
+    }
+}
+
+/// A journaled admission, as recovered from one `admit` line.
+#[derive(Debug, Clone)]
+pub struct JournalAdmit {
+    /// The job's original server-assigned id (reused on recovery).
+    pub id: JobId,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// The submission's deadline option.
+    pub deadline_ms: Option<u64>,
+    /// The job payload.
+    pub job: JobRequest,
+}
+
+/// One decoded crash-recovery journal line.
+#[derive(Debug, Clone)]
+pub enum JournalEvent {
+    /// A job was admitted.
+    Admit(JournalAdmit),
+    /// A job reached a terminal state (will not be re-admitted).
+    Terminal {
+        /// The job.
+        id: JobId,
+    },
+}
+
+/// One journal `admit` line (newline-free; the journal appends one).
+pub fn journal_admit_line(
+    id: JobId,
+    tenant: &str,
+    deadline_ms: Option<u64>,
+    job: &JobRequest,
+) -> String {
+    let deadline = deadline_ms.map_or("null".to_string(), |ms| ms.to_string());
+    format!(
+        "{{\"event\": \"admit\", \"id\": {id}, \"tenant\": \"{}\", \
+         \"deadline_ms\": {deadline}, \"job\": {}}}",
+        escape(tenant),
+        job_json(job)
+    )
+}
+
+/// One journal `terminal` line.
+pub fn journal_terminal_line(id: JobId) -> String {
+    format!("{{\"event\": \"terminal\", \"id\": {id}}}")
+}
+
+/// Decodes one journal line.
+///
+/// # Errors
+///
+/// A message describing the malformed line; recovery skips it with a
+/// warning rather than refusing to start.
+pub fn parse_journal_line(line: &str) -> Result<JournalEvent, String> {
+    let v = json::parse(line)?;
+    match need_str(&v, "event")?.as_str() {
+        "admit" => Ok(JournalEvent::Admit(JournalAdmit {
+            id: need_u64(&v, "id")?,
+            tenant: need_str(&v, "tenant")?,
+            deadline_ms: opt_u64(&v, "deadline_ms")?,
+            job: job_request(&v)?,
+        })),
+        "terminal" => Ok(JournalEvent::Terminal {
+            id: need_u64(&v, "id")?,
+        }),
+        other => Err(format!("unknown journal event '{other}'")),
+    }
 }
 
 /// `{"ok": true, "id": N}` — a successful submission.
@@ -239,11 +412,16 @@ pub fn submit_ok(id: JobId) -> String {
     format!("{{\"ok\": true, \"id\": {id}}}")
 }
 
-/// A rejection response; `code` is the stable rejection code and the
-/// verifier diagnostics ride along verbatim.
+/// A rejection response; `code` is the stable rejection code, the
+/// verifier diagnostics ride along verbatim, and shed/circuit-open
+/// refusals carry their retry hint.
 pub fn rejection_json(r: &Rejection) -> String {
+    let retry = r
+        .retry_after_ms
+        .map_or("null".to_string(), |ms| ms.to_string());
     format!(
-        "{{\"ok\": false, \"code\": \"{}\", \"message\": \"{}\", \"diagnostics\": {}}}",
+        "{{\"ok\": false, \"code\": \"{}\", \"message\": \"{}\", \"retry_after_ms\": {retry}, \
+         \"diagnostics\": {}}}",
         escape(r.code),
         escape(&r.message),
         salam_verify::to_json(&r.diagnostics)
@@ -305,8 +483,13 @@ mod tests {
         )
         .unwrap();
         match r {
-            Request::Submit { tenant, job } => {
+            Request::Submit {
+                tenant,
+                job,
+                deadline_ms,
+            } => {
                 assert_eq!(tenant, "alice");
+                assert_eq!(deadline_ms, None);
                 match job {
                     JobRequest::Kernel {
                         bench,

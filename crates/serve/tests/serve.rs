@@ -6,7 +6,8 @@ use std::net::TcpStream;
 
 use salam::standalone::{try_run_kernel_traced, StandaloneConfig};
 use salam_serve::{
-    JobRequest, JobState, Rejection, ServeConfig, ServeCore, Server, TenantQuota, WireAxis,
+    JobLookupError, JobRequest, JobState, Rejection, ServeConfig, ServeCore, Server, TenantQuota,
+    WireAxis,
 };
 
 fn tmp(tag: &str) -> std::path::PathBuf {
@@ -291,19 +292,20 @@ fn identical_inflight_jobs_coalesce_onto_one_simulation() {
         no_cache: true,
         ..cfg("coalesce")
     });
-    core.submit(
-        "blocker",
-        JobRequest::Sweep {
-            name: "warm".into(),
-            kernels: vec!["gemm".into()],
-            axes: vec![WireAxis {
-                knob: "spm-latency".into(),
-                values: vec![1, 2, 3, 4],
-            }],
-            replay: false,
-        },
-    )
-    .unwrap();
+    let blocker = core
+        .submit(
+            "blocker",
+            JobRequest::Sweep {
+                name: "warm".into(),
+                kernels: vec!["gemm".into()],
+                axes: vec![WireAxis {
+                    knob: "spm-latency".into(),
+                    values: vec![1, 2, 3, 4],
+                }],
+                replay: false,
+            },
+        )
+        .unwrap();
     let leader = core
         .submit("alice", kernel_job("spmv", &[("ports", 2)]))
         .unwrap();
@@ -319,6 +321,9 @@ fn identical_inflight_jobs_coalesce_onto_one_simulation() {
         core.artifact(leader, "report").unwrap(),
         core.artifact(twin, "report").unwrap()
     );
+    // The blocker must be terminal too before reading run counters — the
+    // single can win the slot race, leaving the sweep in flight here.
+    assert_eq!(core.wait(blocker).unwrap().state, JobState::Done);
     let m = core.metrics();
     assert_eq!(m.get("serve.jobs.coalesced"), Some(1.0));
     // 4 sweep points + exactly one shared single simulation.
@@ -346,7 +351,11 @@ fn terminal_jobs_are_evicted_past_the_retention_cap() {
 
     // Only the most recent terminal record (and its artifacts) survives;
     // the lifetime counters don't shrink with it.
-    assert!(core.status(first).is_none(), "oldest evicted first");
+    assert_eq!(
+        core.status(first).err(),
+        Some(JobLookupError::Evicted),
+        "oldest evicted first, with a typed eviction error"
+    );
     assert!(core.artifact(second, "report").is_ok());
     let m = core.metrics();
     assert_eq!(m.get("serve.jobs.done"), Some(2.0));

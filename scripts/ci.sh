@@ -260,4 +260,24 @@ grep -q '"p99_us"' "$serve_bench" || {
   echo "ci: serve latency summary (BENCH_serve.json) missing percentiles" >&2; exit 1
 }
 
+# Chaos / resilience gate (PR 9): in-process fault drills — a deadline
+# that expires mid-run fails typed `timeout`, queued and running jobs are
+# cancelled cooperatively, injected worker panics trip the circuit
+# breaker open -> half-open -> closed with a transition log that must be
+# byte-identical at 1 and 8 workers, a full accept queue sheds with a
+# retry hint, queue pressure degrades a sweep to the replay engine, and
+# eviction is a typed condition — plus the crash-recovery drill: a
+# journaled salam_serve is SIGKILLed mid-flight and restarted, and every
+# open job must complete exactly once with byte-identical artifacts
+# (lost=0 dup=0 identical=1 on the marker line). CHAOS_OUT captures the
+# drill facts as a JSON artifact when set (the workflow uploads it).
+echo "+ chaos_smoke (resilience + crash-recovery gate)"
+chaos="$(CHAOS_OUT="${CHAOS_OUT:-$serve_tmp/chaos.json}" \
+  cargo run --release -q --offline -p salam-bench --bin chaos_smoke)"
+echo "$chaos" | tail -n 1
+case "$chaos" in
+  *"chaos: "*"lost=0 dup=0 identical=1"*" ok") ;;
+  *) echo "ci: chaos_smoke invariants not satisfied" >&2; exit 1 ;;
+esac
+
 echo "ci: all checks passed"
