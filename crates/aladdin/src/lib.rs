@@ -18,6 +18,9 @@
 //! 3. [`sim::simulate_trace`] re-schedules the trace under the derived
 //!    resource constraints to produce a cycle estimate.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod datapath;
 pub mod sim;
 pub mod trace;

@@ -65,12 +65,14 @@ fn kernel(bench: &str, knobs: &[(&str, u64)]) -> JobRequest {
     }
 }
 
-/// A job that deadlocks (every memory response dropped) with a watchdog
-/// horizon far enough out that, at simulation speed, it runs "forever" —
-/// the canonical victim for deadline and cancel drills.
+/// A job that deadlocks (nearly every memory response dropped) with a
+/// watchdog horizon far enough out that, at simulation speed, it runs
+/// "forever" — the canonical victim for deadline and cancel drills. The
+/// rate stays below 1.0 so the static deadlock gate (F004) classifies it
+/// `Possible` and admits it; the seeded draw still wedges immediately.
 fn stuck_job(seed: u64) -> JobRequest {
     let mut plan = FaultPlan::seeded(seed);
-    plan.mem_drop_rate = 1.0;
+    plan.mem_drop_rate = 0.999;
     JobRequest::Faulted {
         bench: "gemm".into(),
         knobs: vec![("deadlock-cycles".into(), 2_000_000_000)],

@@ -11,11 +11,14 @@
 //! `--inject-invalid`, one point carries a statically invalid config
 //! (zero SPM ports): the pre-flight validator must reject it as an
 //! `invalid:C001` row, counted as `invalid=1`, without simulating it.
+//! With `--prune`, the sweep runs through flow-based pre-flight pruning:
+//! dominated points surface as `pruned:F005` rows (counted as `pruned=`),
+//! and the probe re-simulates each one to prove it never could have won.
 
 use salam::standalone::StandaloneConfig;
 use salam_dse::{
-    run_replay_sweep, run_sweep, Axis, CacheId, DseOptions, KernelSpec, ReplayOptions,
-    StandalonePoint, SweepJob, SweepSpec, SweepTable,
+    run_replay_sweep, run_sweep, run_sweep_pruned, Axis, CacheId, DseOptions, KernelSpec,
+    PrunableJob, ReplayOptions, StandalonePoint, SweepJob, SweepSpec, SweepTable,
 };
 
 /// A standalone point that can be told to panic instead of simulating, or
@@ -48,14 +51,18 @@ impl SweepJob for SmokeJob {
 fn main() {
     let mut args = salam_bench::cli::Args::parse(
         "dse_smoke",
-        "[--replay] [--inject-panic] [--inject-invalid] [--json]",
+        "[--replay] [--prune] [--inject-panic] [--inject-invalid] [--json]",
     );
     let inject_panic = args.flag("--inject-panic");
     let inject_invalid = args.flag("--inject-invalid");
     let replay = args.flag("--replay");
+    let prune = args.flag("--prune");
     let json = args.flag("--json");
     if replay && inject_panic {
         args.fail("--replay and --inject-panic are mutually exclusive");
+    }
+    if prune && (replay || inject_panic || inject_invalid) {
+        args.fail("--prune is mutually exclusive with the other modes");
     }
     if !args.finish().is_empty() {
         eprintln!("dse_smoke: takes no positional arguments");
@@ -69,6 +76,96 @@ fn main() {
         .axis(Axis::spm_ports(&[1, 2]))
         .axis(Axis::reservation_entries(&[8, 64]));
     let points = spec.points();
+
+    // --prune: the same sweep through flow-based pre-flight pruning. Per
+    // kernel, the cheapest-ports / largest-window point is the reference;
+    // any sibling whose static flow bound proves it can never beat that
+    // reference becomes a `pruned:F005` row without simulating. The probe
+    // then re-simulates every pruned point once and asserts the dominance
+    // chain held — the CI proof that pruned rows were never winners.
+    if prune {
+        let refs: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.label().ends_with("/ports=1/window=64"))
+            .map(|(i, _)| i)
+            .collect();
+        let run = run_sweep_pruned(&points, &refs, &DseOptions::default());
+        let mut t = SweepTable::new(
+            "DSE smoke sweep (pruned)",
+            &["point", "cycles", "dominant_bottleneck", "cached"],
+        );
+        for (point, outcome) in points.iter().zip(&run.outcomes) {
+            match outcome.payload() {
+                Some(r) => {
+                    assert!(r.verified, "{} failed verification", point.label());
+                    t.row(vec![
+                        point.label(),
+                        r.cycles.to_string(),
+                        r.dominant_bottleneck().to_string(),
+                        if outcome.from_cache { "yes" } else { "no" }.into(),
+                    ]);
+                }
+                None => t.row(vec![
+                    point.label(),
+                    outcome.failure_label().unwrap(),
+                    String::new(),
+                    "no".into(),
+                ]),
+            }
+        }
+        for (point, outcome) in points.iter().zip(&run.outcomes) {
+            let Some(diag) = outcome.pruned() else {
+                continue;
+            };
+            // Prove the pruned point was never a winner: its measured
+            // cycles must respect the static bound, and the reference the
+            // verdict cites must be at least as fast.
+            let bound = point.static_profile().expect("pruned points have profiles");
+            let resim = point.run();
+            assert!(
+                resim.cycles >= bound.cycle_bound,
+                "{}: simulated {} cycles below its static bound {} — unsound",
+                point.label(),
+                resim.cycles,
+                bound.cycle_bound,
+            );
+            let best_ref = refs
+                .iter()
+                .filter(|&&r| points[r].kernel.id == point.kernel.id)
+                .filter_map(|&r| run.outcomes[r].payload())
+                .map(|r| r.cycles)
+                .min()
+                .expect("a same-kernel reference simulated");
+            assert!(
+                best_ref <= resim.cycles,
+                "{}: pruned ({}) but re-simulation beat the reference: {} < {}",
+                point.label(),
+                diag.message,
+                resim.cycles,
+                best_ref,
+            );
+            eprintln!(
+                "dse_smoke: pruned {} verified: bound {} <= resimulated {} and reference {} wins",
+                point.label(),
+                bound.cycle_bound,
+                resim.cycles,
+                best_ref,
+            );
+        }
+        assert!(
+            run.pruned > 0,
+            "prune probe expected at least one pruned point"
+        );
+        t.set_summary(run.summary_pairs());
+        if json {
+            print!("{}", t.to_json());
+        } else {
+            println!("{}", t.render_auto());
+        }
+        println!("dse: {}", run.summary());
+        return;
+    }
 
     // --replay: the same sweep through the trace-replay fast path. Rows
     // gain an `engine` column (sim / replay / sim-fallback); the summary

@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! salam_lint [TARGET...] [--json] [--out FILE] [--deny warnings] [--bounds]
+//!            [--flow] [--sarif FILE] [--explain CODE]
 //! ```
 //!
 //! * `--json`          — print the report as one JSON object instead of a table
@@ -14,6 +15,13 @@
 //!   artifact)
 //! * `--deny warnings` — exit nonzero on warnings, not just errors
 //! * `--bounds`        — also print each kernel's static schedule bound
+//! * `--flow`          — print the dataflow facts per kernel: proven value
+//!   ranges, per-loop trip counts, and the flow-tightened bound
+//!   decomposition with its delta over the per-block floors
+//! * `--sarif FILE`    — additionally write the diagnostics as a SARIF
+//!   2.1.0 log to `FILE` (code-scanning upload format)
+//! * `--explain CODE`  — print the stable documentation for a diagnostic
+//!   code (e.g. `M003`, `F001`) and exit
 //!
 //! Built kernels get the full stack: IR verification, static memory
 //! dependences, footprint bounds, and the schedule/watchdog cross-check.
@@ -31,11 +39,13 @@ use salam::standalone::StandaloneConfig;
 use salam_cdfg::{FuConstraints, StaticCdfg};
 use salam_dse::SweepTable;
 use salam_verify::{
-    check_bounds, check_schedule, parse_and_verify, profile_memdeps, static_lower_bound,
-    static_memdeps, verify_ir, BoundConfig, Diagnostic, MemRegion, Severity,
+    check_bounds, check_schedule, explain, flow_lower_bound, parse_and_verify, profile_memdeps,
+    static_lower_bound, static_memdeps, to_sarif, verify_ir, BoundConfig, Diagnostic, MemRegion,
+    Severity,
 };
 
 const USAGE: &str = "[TARGET...] [--json] [--out FILE] [--deny warnings] [--bounds]\n\
+     [--flow] [--sarif FILE] [--explain CODE]\n\
      TARGET: a MachSuite kernel (bfs, fft, gemm, md-grid, md-knn, nw, spmv,\n\
      stencil2d, stencil3d), 'all' for the full suite, or a path to a .ll file";
 
@@ -87,10 +97,125 @@ fn lint_kernel(k: &BuiltKernel, bounds: bool) -> (Vec<Diagnostic>, Option<String
     (diags, bound_line)
 }
 
+/// The dataflow report for one kernel: proven ranges, loop trips, and the
+/// flow-tightened bound decomposition on *inferred* (not profiled) trips.
+fn flow_lines(k: &BuiltKernel) -> Vec<String> {
+    let facts = salam_flow::analyze(&k.func, &k.args);
+    let mut lines = Vec::new();
+    let bounded = facts
+        .ranges
+        .values
+        .iter()
+        .filter(|(_, i)| i.is_bounded())
+        .count();
+    let resolved = facts
+        .accesses
+        .iter()
+        .filter(|a| a.interval.is_some())
+        .count();
+    lines.push(format!(
+        "flow: {} ranges={}/{} accesses-resolved={}/{}",
+        k.name,
+        bounded,
+        facts.ranges.values.len(),
+        resolved,
+        facts.accesses.len(),
+    ));
+    // Per-op ranges for named instruction results, bounded ones only.
+    for (bid, b) in k.func.blocks() {
+        for &id in &b.insts {
+            let inst = k.func.inst(id);
+            if inst.name.is_empty() {
+                continue;
+            }
+            let Some(v) = k.func.inst_result(id) else {
+                continue;
+            };
+            let Some(i) = facts.ranges.of(v).filter(salam_flow::Interval::is_bounded) else {
+                continue;
+            };
+            lines.push(format!(
+                "flow: {} range {}.{} = [{}, {}]",
+                k.name,
+                k.func.block(bid).name,
+                inst.name,
+                i.lo,
+                i.hi
+            ));
+        }
+    }
+    for l in &facts.trips.loops {
+        lines.push(format!(
+            "flow: {} loop {} iterations={} entries={} total={}",
+            k.name,
+            k.func.block(l.header).name,
+            opt(l.iterations),
+            opt(l.entries),
+            opt(l.total_iterations),
+        ));
+    }
+    // Flow-tightened bound over the inferred trips, with the delta each
+    // new floor adds over the PR-5 per-block floors.
+    let profile = hw_profile::HardwareProfile::default_40nm();
+    let cdfg = StaticCdfg::elaborate(&k.func, &profile, &FuConstraints::unconstrained());
+    let trips: HashMap<_, _> = facts
+        .trips
+        .block_trips
+        .iter()
+        .map(|(&b, &t)| (b, t))
+        .collect();
+    let deps = static_memdeps(&k.func, &k.args);
+    let r = flow_lower_bound(&k.func, &cdfg, &trips, &BoundConfig::default(), &deps.edges);
+    for lb in &r.loops {
+        lines.push(format!(
+            "flow: {} bound-loop {} latches={} entries={} adv_chain={} adv_rec={} adv_mem={} value={}",
+            k.name,
+            lb.name,
+            lb.latch_traversals,
+            lb.entries,
+            lb.adv_chain,
+            lb.adv_recurrence,
+            lb.adv_mem,
+            lb.value,
+        ));
+    }
+    if let Some(rv) = &r.resv {
+        lines.push(format!(
+            "flow: {} bound-resv {} trips={} advance={}",
+            k.name, rv.name, rv.trips, rv.advance
+        ));
+    }
+    lines.push(format!(
+        "flow: {} bound base={} flow={} recur_floor={} resv_floor={} delta=+{}",
+        k.name,
+        r.base.lower_bound,
+        r.lower_bound,
+        r.recur_floor,
+        r.resv_floor,
+        r.tightening(),
+    ));
+    lines
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map(|v| v.to_string()).unwrap_or_else(|| "?".into())
+}
+
 fn main() {
     let mut args = salam_bench::cli::Args::parse("salam_lint", USAGE);
     let json = args.flag("--json");
     let bounds = args.flag("--bounds");
+    let flow = args.flag("--flow");
+    let sarif_out: Option<String> = args.opt("--sarif");
+    if let Some(code) = args.opt("--explain") {
+        match explain(&code.to_ascii_uppercase()) {
+            Some(text) => {
+                println!("{}: {text}", code.to_ascii_uppercase());
+                return;
+            }
+            None => args.fail(&format!("--explain: unknown diagnostic code '{code}'")),
+        }
+    }
     let deny_warnings = match args.opt("--deny").as_deref() {
         None => false,
         Some("warnings") => true,
@@ -116,6 +241,9 @@ fn main() {
             let k = b.build_standard();
             let (diags, bound) = lint_kernel(&k, bounds);
             bound_lines.extend(bound);
+            if flow {
+                bound_lines.extend(flow_lines(&k));
+            }
             diags
         } else if t.ends_with(".ll") {
             match std::fs::read_to_string(t) {
@@ -163,6 +291,13 @@ fn main() {
     };
     if let Some(path) = &out {
         if let Err(e) = std::fs::write(path, &json_report) {
+            eprintln!("salam_lint: cannot write {path}: {e}");
+            std::process::exit(salam_bench::cli::EXIT_USAGE)
+        }
+    }
+    if let Some(path) = &sarif_out {
+        let owned: Vec<Diagnostic> = all.iter().map(|d| (*d).clone()).collect();
+        if let Err(e) = std::fs::write(path, to_sarif(&owned)) {
             eprintln!("salam_lint: cannot write {path}: {e}");
             std::process::exit(salam_bench::cli::EXIT_USAGE)
         }

@@ -21,6 +21,9 @@
 //! benches ([`microbench`]) covering the same experiments at reduced scale
 //! live in `benches/`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod bottleneck;
 pub mod cli;
 pub mod cnn;

@@ -13,12 +13,16 @@ use std::time::{Duration, Instant};
 /// One finished measurement.
 #[derive(Debug, Clone)]
 pub struct Measurement {
+    /// Benchmark label.
     pub name: String,
+    /// Iterations executed during the timed window.
     pub iters: u64,
+    /// Total wall time of the timed window.
     pub total: Duration,
 }
 
 impl Measurement {
+    /// Mean nanoseconds per iteration.
     pub fn ns_per_iter(&self) -> f64 {
         self.total.as_nanos() as f64 / self.iters.max(1) as f64
     }

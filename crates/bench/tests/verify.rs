@@ -18,8 +18,9 @@ use salam_cdfg::StaticCdfg;
 use salam_ir::interp::RtVal;
 use salam_ir::{FunctionBuilder, Type};
 use salam_verify::{
-    check_bounds, check_schedule, codes, parse_and_verify, profile_memdeps, static_lower_bound,
-    static_memdeps, verify_ir, BoundConfig, Diagnostic, MemRegion, Severity,
+    check_bounds, check_schedule, codes, flow_lower_bound, parse_and_verify, profile_memdeps,
+    static_lower_bound, static_memdeps, verify_ir, BoundConfig, Diagnostic, FlowBoundReport,
+    MemRegion, Severity,
 };
 
 /// The static bound for `k` under exactly the resources `cfg` gives the
@@ -32,6 +33,7 @@ fn bound_under(k: &BuiltKernel, cfg: &StandaloneConfig) -> u64 {
         read_ports: cfg.spm_read_ports,
         write_ports: cfg.spm_write_ports,
         pipelined_fus: cfg.engine.pipelined_fus,
+        reservation_entries: cfg.engine.reservation_entries,
     };
     static_lower_bound(&k.func, &cdfg, &trips, &bc).lower_bound
 }
@@ -108,6 +110,80 @@ fn static_bound_never_exceeds_dynamic_cycles_fu_limited() {
             bound <= dynamic,
             "{}: static lower bound {bound} > dynamic {dynamic} under FU limits",
             k.name
+        );
+    }
+}
+
+/// The flow-tightened bound for `k` under exactly the resources `cfg`
+/// gives the dynamic engine, fed by the statically-proven dependence
+/// edges.
+fn flow_bound_under(k: &BuiltKernel, cfg: &StandaloneConfig) -> FlowBoundReport {
+    let cdfg = StaticCdfg::elaborate(&k.func, &cfg.profile, &cfg.constraints);
+    let (prof, _) = profile_memdeps(&k.func, &k.args, &k.init);
+    let trips: HashMap<_, _> = prof.block_entries.clone();
+    let bc = BoundConfig {
+        read_ports: cfg.spm_read_ports,
+        write_ports: cfg.spm_write_ports,
+        pipelined_fus: cfg.engine.pipelined_fus,
+        reservation_entries: cfg.engine.reservation_entries,
+    };
+    let deps = static_memdeps(&k.func, &k.args);
+    flow_lower_bound(&k.func, &cdfg, &trips, &bc, &deps.edges)
+}
+
+/// PR-10 soundness gate: on every kernel and every configuration the
+/// flow-tightened bound must sit between the PR-5 bound and the dynamic
+/// cycle count. Asserts per-config minimums on how many kernels tighten
+/// *strictly*, so a refactor that silently neuters the new floors fails
+/// here rather than shipping a vacuous analysis.
+#[test]
+fn flow_bound_is_sound_and_strictly_tightens() {
+    let default_cfg = StandaloneConfig::default();
+    // A 48-entry reservation queue: large bodies stop double-buffering,
+    // so the reservation-pressure floor binds on most kernels.
+    let mut pressure = StandaloneConfig::default();
+    pressure.engine.reservation_entries = 48;
+    let mut starved = StandaloneConfig::default();
+    for kind in [
+        FuKind::FpAddF64,
+        FuKind::FpMulF64,
+        FuKind::FpDivF64,
+        FuKind::FpAddF32,
+        FuKind::FpMulF32,
+        FuKind::IntMultiplier,
+    ] {
+        starved.constraints = starved.constraints.clone().with_limit(kind, 1);
+    }
+    for (cfg_name, cfg, want_tighter) in [
+        ("default", &default_cfg, 1),
+        ("pressure", &pressure, 3),
+        ("fu-starved", &starved, 0),
+    ] {
+        let mut tighter = 0usize;
+        for bench in Bench::ALL {
+            let k = bench.build_standard();
+            let r = flow_bound_under(&k, cfg);
+            let dynamic = try_run_kernel(&k, cfg).unwrap().cycles;
+            assert!(
+                r.lower_bound >= r.base.lower_bound,
+                "{} [{cfg_name}]: flow bound {} dropped below PR-5 bound {}",
+                k.name,
+                r.lower_bound,
+                r.base.lower_bound
+            );
+            assert!(
+                r.lower_bound <= dynamic,
+                "{} [{cfg_name}]: flow bound {} > dynamic {dynamic} — UNSOUND",
+                k.name,
+                r.lower_bound
+            );
+            if r.lower_bound > r.base.lower_bound {
+                tighter += 1;
+            }
+        }
+        assert!(
+            tighter >= want_tighter,
+            "[{cfg_name}]: only {tighter} kernels tightened strictly, wanted ≥ {want_tighter}"
         );
     }
 }
@@ -344,4 +420,75 @@ fn c001_invalid_config_rejects_a_sweep_point() {
     let d = point.validate().unwrap_err();
     assert_eq!(d.code, codes::C001);
     assert!(d.message.contains("spm_read_ports"), "{}", d.message);
+}
+
+/// The `F004` verdict contract against the live watchdog, over a fixture
+/// matrix of kernels × drop rates: a `Deadlock` verdict implies the
+/// watchdog fires; a `NoDeadlock` verdict implies it stays quiet;
+/// `Possible` is consistent with either outcome.
+#[test]
+fn f004_predictions_agree_with_the_watchdog_on_every_fixture() {
+    use salam::standalone::try_run_kernel_faulted;
+    use salam_flow::{DeadlockVerdict, HazardSpec};
+
+    let kernels = [
+        machsuite::gemm::build(&machsuite::gemm::Params { n: 4, unroll: 1 }),
+        machsuite::spmv::build(&machsuite::spmv::Params::default()),
+    ];
+    let mut cfg = StandaloneConfig::default();
+    // A short fuse keeps the doomed runs fast; clean runs make progress
+    // every few cycles, so they never come near it.
+    cfg.engine.deadlock_cycles = 2_000;
+    for k in &kernels {
+        let facts = salam_flow::analyze(&k.func, &k.args);
+        for rate in [0.0, 0.5, 1.0] {
+            let pred = facts.predict_deadlock(
+                &k.func,
+                &HazardSpec {
+                    mem_drop_rate: rate,
+                },
+            );
+            let mut plan = salam_fault::FaultPlan::seeded(11);
+            plan.mem_drop_rate = rate;
+            let outcome = try_run_kernel_faulted(k, &cfg, &plan);
+            let dynamic_deadlock = matches!(&outcome, Err(e) if e.is_deadlock());
+            match pred.verdict {
+                DeadlockVerdict::Deadlock => assert!(
+                    dynamic_deadlock,
+                    "{} rate={rate}: static verdict Deadlock but the run finished ({:?})",
+                    k.name,
+                    outcome.map(|r| r.cycles),
+                ),
+                DeadlockVerdict::NoDeadlock => assert!(
+                    !dynamic_deadlock,
+                    "{} rate={rate}: static verdict NoDeadlock but the watchdog fired",
+                    k.name,
+                ),
+                DeadlockVerdict::Possible { expected_drops } => assert!(
+                    expected_drops > 0.0,
+                    "{} rate={rate}: Possible verdict must carry a positive risk measure",
+                    k.name,
+                ),
+            }
+        }
+    }
+}
+
+/// Flow facts are a pure function of the kernel: repeated analyses of the
+/// same IR render byte-identically, so cached DSE rows and CI transcripts
+/// never churn across runs or worker counts.
+#[test]
+fn flow_facts_are_deterministic_across_repeated_analyses() {
+    for bench in [Bench::GemmNcubed, Bench::Nw, Bench::MdGrid] {
+        let k = bench.build_standard();
+        let first = format!("{:?}", salam_flow::analyze(&k.func, &k.args));
+        for _ in 0..3 {
+            let again = format!("{:?}", salam_flow::analyze(&k.func, &k.args));
+            assert_eq!(
+                first, again,
+                "{}: flow facts drifted between analyses",
+                k.name
+            );
+        }
+    }
 }

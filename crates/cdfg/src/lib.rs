@@ -37,6 +37,9 @@
 //! assert!(cdfg.area_report(&profile).total_um2 > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::collections::BTreeMap;
 
 use hw_profile::{fu_for_opcode, FuKind, HardwareProfile};

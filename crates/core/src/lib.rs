@@ -38,6 +38,9 @@
 //! assert!(report.verified);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod accel;
 mod cluster;
 mod host;

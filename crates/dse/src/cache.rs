@@ -62,6 +62,7 @@ pub struct CacheId {
 }
 
 impl CacheId {
+    /// An id from a cache domain and a canonical configuration string.
     pub fn new(domain: impl Into<String>, canon: impl Into<String>) -> Self {
         CacheId {
             domain: domain.into(),

@@ -24,7 +24,12 @@
 //!   instead of killing a thousand-point campaign;
 //! * **statically screened** — [`SweepJob::validate`] runs before the cache
 //!   probe, so a point `salam-verify` rejects becomes an `invalid:<code>`
-//!   row without consuming a simulation slot or a cache entry.
+//!   row without consuming a simulation slot or a cache entry;
+//! * **flow-pruned** — [`run_sweep_pruned`] simulates a small reference set
+//!   first, then drops every point whose `salam-flow`-tightened static
+//!   cycle bound proves it cannot beat a no-costlier reference: a
+//!   `pruned:F005` row and a `pruned=` summary count instead of a
+//!   simulation.
 //!
 //! Everything is std-only: the workspace stays offline-buildable.
 //!
@@ -44,9 +49,13 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod fnv;
 pub mod pool;
+pub mod prune;
 pub mod replay;
 pub mod report;
 pub mod spec;
@@ -58,6 +67,7 @@ pub use cache::{
     CACHE_FORMAT_VERSION,
 };
 pub use pool::{run_parallel, run_parallel_with, worker_count};
+pub use prune::{run_sweep_pruned, PrunableJob, StaticProfile};
 pub use replay::{
     baseline_config, replay_config, replay_one, replay_safe, run_replay_sweep, trips_from_trace,
     EngineKind, PointProvenance, ReplayBaseline, ReplayOptions, ReplayRun, ReplayedPoint,
@@ -98,6 +108,29 @@ pub trait SweepJob: Sync {
     /// the point set, independent of cache state and worker count. The
     /// default records nothing.
     fn record_telemetry(&self, _output: &Self::Output, _tel: &mut salam_telemetry::Telemetry) {}
+}
+
+/// References delegate, so sweep drivers can run arbitrary sub-slices
+/// (e.g. [`run_sweep_pruned`]'s reference and survivor phases) without
+/// cloning jobs.
+impl<J: SweepJob> SweepJob for &J {
+    type Output = J::Output;
+
+    fn cache_id(&self) -> CacheId {
+        (**self).cache_id()
+    }
+
+    fn validate(&self) -> Result<(), salam_verify::Diagnostic> {
+        (**self).validate()
+    }
+
+    fn run(&self) -> Self::Output {
+        (**self).run()
+    }
+
+    fn record_telemetry(&self, output: &Self::Output, tel: &mut salam_telemetry::Telemetry) {
+        (**self).record_telemetry(output, tel)
+    }
 }
 
 /// Engine options; the default reads everything from the environment.
@@ -226,21 +259,27 @@ impl std::fmt::Display for JobFailure {
 }
 
 /// Why a design point has no payload: its job panicked out of the retry
-/// budget, or a static pre-flight check rejected it before any simulation.
+/// budget, a static pre-flight check rejected it before any simulation, or
+/// flow-based pruning proved it can never win the sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PointError {
     /// The job panicked on every attempt.
     Failed(JobFailure),
     /// [`SweepJob::validate`] rejected the point; it never simulated.
     Invalid(salam_verify::Diagnostic),
+    /// [`run_sweep_pruned`] proved the point dominated by an
+    /// already-simulated reference; it never simulated.
+    Pruned(salam_verify::Diagnostic),
 }
 
 impl PointError {
-    /// The stable row label: `failed:<cause>` or `invalid:<code>`.
+    /// The stable row label: `failed:<cause>`, `invalid:<code>` or
+    /// `pruned:<code>`.
     pub fn label(&self) -> String {
         match self {
             PointError::Failed(f) => f.label(),
             PointError::Invalid(d) => format!("invalid:{}", d.code),
+            PointError::Pruned(d) => format!("pruned:{}", d.code),
         }
     }
 }
@@ -250,6 +289,7 @@ impl std::fmt::Display for PointError {
         match self {
             PointError::Failed(j) => j.fmt(f),
             PointError::Invalid(d) => write!(f, "invalid design point: {d}"),
+            PointError::Pruned(d) => write!(f, "pruned design point: {d}"),
         }
     }
 }
@@ -287,8 +327,16 @@ impl<T> PointOutcome<T> {
         }
     }
 
-    /// `failed:<cause>` / `invalid:<code>` for pointless points, `None`
-    /// otherwise.
+    /// The diagnostic, if the point was pruned as provably dominated.
+    pub fn pruned(&self) -> Option<&salam_verify::Diagnostic> {
+        match &self.result {
+            Err(PointError::Pruned(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// `failed:<cause>` / `invalid:<code>` / `pruned:<code>` for pointless
+    /// points, `None` otherwise.
     pub fn failure_label(&self) -> Option<String> {
         self.result.as_ref().err().map(PointError::label)
     }
@@ -320,6 +368,9 @@ pub struct SweepRun<T> {
     /// Points statically rejected by [`SweepJob::validate`] — never
     /// simulated, never cached.
     pub invalid: usize,
+    /// Points [`run_sweep_pruned`] proved dominated — never simulated,
+    /// never cached. Always 0 for plain [`run_sweep`].
+    pub pruned: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the whole sweep.
@@ -333,16 +384,18 @@ pub struct SweepRun<T> {
 }
 
 impl<T> SweepRun<T> {
-    /// `hits=h misses=m corrupt=c failed=f invalid=i workers=w points=n
-    /// wall=…` — one stable line for logs and CI assertions.
+    /// `hits=h misses=m corrupt=c failed=f invalid=i pruned=p workers=w
+    /// points=n wall=…` — one stable line for logs and CI assertions.
     pub fn summary(&self) -> String {
         format!(
-            "hits={} misses={} corrupt={} failed={} invalid={} workers={} points={} wall={:.3}s",
+            "hits={} misses={} corrupt={} failed={} invalid={} pruned={} workers={} points={} \
+             wall={:.3}s",
             self.hits,
             self.misses,
             self.corrupt,
             self.failed,
             self.invalid,
+            self.pruned,
             self.workers,
             self.outcomes.len(),
             self.wall.as_secs_f64()
@@ -359,6 +412,7 @@ impl<T> SweepRun<T> {
             ("points", self.outcomes.len()),
             ("failed", self.failed),
             ("invalid", self.invalid),
+            ("pruned", self.pruned),
             ("hits", self.hits),
             ("misses", self.misses),
             ("corrupt", self.corrupt),
@@ -510,6 +564,7 @@ pub fn run_sweep<J: SweepJob>(jobs: &[J], opts: &DseOptions) -> SweepRun<J::Outp
         corrupt: 0,
         failed: 0,
         invalid: 0,
+        pruned: 0,
         workers,
         wall,
         telemetry,

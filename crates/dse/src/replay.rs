@@ -423,6 +423,7 @@ impl SweepJob for ReplayPointJob {
                         read_ports: cfg.spm_read_ports,
                         write_ports: cfg.spm_write_ports,
                         pipelined_fus: cfg.engine.pipelined_fus,
+                        reservation_entries: cfg.engine.reservation_entries,
                     },
                 )
                 .lower_bound;
@@ -542,6 +543,7 @@ pub fn replay_one(
             read_ports: cfg.spm_read_ports,
             write_ports: cfg.spm_write_ports,
             pipelined_fus: cfg.engine.pipelined_fus,
+            reservation_entries: cfg.engine.reservation_entries,
         },
     )
     .lower_bound;

@@ -430,3 +430,62 @@ fn per_worker_traces_merge_into_one_timeline() {
         "merged timeline must be sorted"
     );
 }
+
+/// Flow-based pruning on real kernels: the verdict vector is a pure
+/// function of the point set (identical across worker counts), pruned
+/// points never simulate (no cache entry, no miss), and the pruned count
+/// lands in the summary.
+#[test]
+fn pruned_sweep_is_deterministic_and_skips_simulation() {
+    use salam_dse::run_sweep_pruned;
+
+    // gemm only: 4 points, reference = ports=1/window=64.
+    let spec = SweepSpec::new("prune", StandaloneConfig::default())
+        .kernel(KernelSpec::custom("gemm[n=8,u=2]", || {
+            machsuite::gemm::build(&machsuite::gemm::Params { n: 8, unroll: 2 })
+        }))
+        .axis(Axis::spm_ports(&[1, 2]))
+        .axis(Axis::reservation_entries(&[8, 64]));
+    let points = spec.points();
+    let refs: Vec<usize> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.label().ends_with("/ports=1/window=64"))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(refs, [1]);
+
+    let serial = run_sweep_pruned(
+        &points,
+        &refs,
+        &DseOptions::default().without_cache().with_workers(1),
+    );
+    let parallel = run_sweep_pruned(
+        &points,
+        &refs,
+        &DseOptions::default().without_cache().with_workers(4),
+    );
+    let labels = |run: &salam_dse::SweepRun<salam::RunReport>| -> Vec<Option<String>> {
+        run.outcomes.iter().map(|o| o.failure_label()).collect()
+    };
+    assert_eq!(labels(&serial), labels(&parallel));
+    assert!(serial.pruned > 0, "the starved-window points should prune");
+    assert_eq!(serial.pruned, parallel.pruned);
+    // Pruned points never simulated: misses cover only the reference and
+    // the survivors.
+    assert_eq!(
+        serial.misses,
+        points.len() - serial.pruned,
+        "each non-pruned point simulates exactly once"
+    );
+    assert!(serial
+        .summary()
+        .contains(&format!("pruned={}", serial.pruned)));
+    // Every pruned verdict cites F005 and the reference point.
+    for outcome in &serial.outcomes {
+        if let Some(d) = outcome.pruned() {
+            assert_eq!(d.code, "F005");
+            assert!(d.message.contains("ports=1/window=64"), "{}", d.message);
+        }
+    }
+}

@@ -21,6 +21,9 @@
 //! Everything is std-only (SplitMix64 comes from `salam-obs`), so the
 //! workspace stays offline-buildable.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -50,6 +53,7 @@ pub struct ConfigError {
 }
 
 impl ConfigError {
+    /// A new error naming the offending component, field, and constraint.
     pub fn new(
         component: impl Into<String>,
         field: impl Into<String>,

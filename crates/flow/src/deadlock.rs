@@ -1,0 +1,220 @@
+//! Static deadlock prediction (`F004`).
+//!
+//! The runtime's only unbounded wait is a memory operation whose response
+//! never arrives: the consuming op waits on the port, every op behind it
+//! waits on the reservation window, and the watchdog eventually trips.
+//! This pass predicts that outcome *before* simulation from a
+//! [`HazardSpec`] describing the armed fault model:
+//!
+//! * drop rate ≥ 1 and a memory access *provably executes* (its block has
+//!   a positive static trip count) → [`DeadlockVerdict::Deadlock`] — the
+//!   very first access wedges the resource-wait cycle
+//!   `op → port → response (never) → watchdog`;
+//! * drop rate in (0, 1) and some memory access may execute →
+//!   [`DeadlockVerdict::Possible`], with the expected number of dropped
+//!   responses (`rate × static access count`) as the risk measure;
+//! * no drop hazard, or no reachable memory access →
+//!   [`DeadlockVerdict::NoDeadlock`] — bit-flips and finite jitter delay
+//!   or corrupt responses but always deliver them, so the wait cycle
+//!   cannot close.
+//!
+//! The verdict contract, cross-checked against the fault-campaign
+//! fixtures: a dynamic watchdog deadlock implies the static verdict was
+//! `Deadlock` or `Possible`; a `NoDeadlock` verdict implies the watchdog
+//! stays quiet; a `Deadlock` verdict implies the watchdog fires.
+
+use salam_ir::{Function, Opcode};
+
+use crate::sccp::Sccp;
+use crate::trips::TripFacts;
+
+/// The fault hazards armed for a run, as far as deadlock is concerned.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HazardSpec {
+    /// Probability that a memory response is silently dropped.
+    pub mem_drop_rate: f64,
+}
+
+/// The three-valued static deadlock verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeadlockVerdict {
+    /// A memory access provably executes and its response is certainly
+    /// dropped: the watchdog will fire.
+    Deadlock,
+    /// Responses may be dropped; whether one is depends on the draw.
+    Possible {
+        /// Expected dropped responses over the statically-counted
+        /// accesses (a lower bound when some trip counts are unknown).
+        expected_drops: f64,
+    },
+    /// The resource-wait cycle cannot close.
+    NoDeadlock,
+}
+
+/// The prediction plus the evidence it rests on.
+#[derive(Debug, Clone)]
+pub struct DeadlockPrediction {
+    /// The verdict.
+    pub verdict: DeadlockVerdict,
+    /// Statically-counted memory accesses (exact-trip blocks only).
+    pub counted_accesses: u64,
+    /// Whether some memory access sits in a block with unknown trips.
+    pub uncounted_accesses: bool,
+    /// Human-readable wait-cycle explanation.
+    pub description: String,
+}
+
+/// Predicts whether `spec` wedges `f`, using reachability from `sccp`
+/// and access counts from `trips`.
+pub fn predict_deadlock(
+    f: &Function,
+    sccp: &Sccp,
+    trips: &TripFacts,
+    spec: &HazardSpec,
+) -> DeadlockPrediction {
+    let mut counted: u64 = 0;
+    let mut uncounted = false;
+    let mut provable = false; // some access in a trips ≥ 1 block
+    let mut reachable = false; // some access in an executable block
+    for (bid, b) in f.blocks() {
+        if !sccp.executable.contains(&bid) {
+            continue;
+        }
+        let mem = b
+            .insts
+            .iter()
+            .filter(|&&i| matches!(f.inst(i).op, Opcode::Load | Opcode::Store))
+            .count() as u64;
+        if mem == 0 {
+            continue;
+        }
+        reachable = true;
+        match trips.block_trips.get(&bid) {
+            Some(&t) => {
+                counted = counted.saturating_add(mem.saturating_mul(t));
+                provable |= t >= 1;
+            }
+            None => uncounted = true,
+        }
+    }
+
+    let rate = spec.mem_drop_rate;
+    let (verdict, description) = if rate <= 0.0 || !reachable {
+        (
+            DeadlockVerdict::NoDeadlock,
+            if reachable {
+                "no drop hazard armed: every memory response is eventually \
+                 delivered, so the op → port → response wait cycle cannot close"
+                    .to_string()
+            } else {
+                "no reachable memory access: nothing can wait on a response".to_string()
+            },
+        )
+    } else if rate >= 1.0 && provable {
+        (
+            DeadlockVerdict::Deadlock,
+            format!(
+                "certain deadlock: drop rate {rate} loses the first of \
+                 {counted}+ memory responses; the consumer waits on the port, \
+                 the reservation window fills behind it, and the watchdog fires"
+            ),
+        )
+    } else {
+        let expected = rate * counted as f64;
+        (
+            DeadlockVerdict::Possible {
+                expected_drops: expected,
+            },
+            format!(
+                "possible deadlock: drop rate {rate} over {counted} statically \
+                 counted memory accesses ({expected:.3} expected drops{}); any \
+                 drop wedges the op → port → response wait cycle",
+                if uncounted {
+                    ", plus accesses in unprofiled blocks"
+                } else {
+                    ""
+                }
+            ),
+        )
+    };
+
+    DeadlockPrediction {
+        verdict,
+        counted_accesses: counted,
+        uncounted_accesses: uncounted,
+        description,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sccp::sccp;
+    use crate::trips::infer_trips;
+    use salam_ir::interp::RtVal;
+    use salam_ir::{FunctionBuilder, Type};
+
+    fn kernel() -> Function {
+        let mut fb = FunctionBuilder::new("k", &[("a", Type::Ptr), ("n", Type::I64)]);
+        let a = fb.arg(0);
+        let n = fb.arg(1);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |fb, iv| {
+            let p = fb.gep1(Type::I64, a, iv, "p");
+            let v = fb.load(Type::I64, p, "v");
+            fb.store(v, p);
+        });
+        fb.ret();
+        fb.finish()
+    }
+
+    fn predict(f: &Function, args: &[RtVal], rate: f64) -> DeadlockPrediction {
+        let s = sccp(f, args);
+        let t = infer_trips(f, &s);
+        predict_deadlock(
+            f,
+            &s,
+            &t,
+            &HazardSpec {
+                mem_drop_rate: rate,
+            },
+        )
+    }
+
+    #[test]
+    fn certain_drop_with_provable_access_is_deadlock() {
+        let f = kernel();
+        let p = predict(&f, &[RtVal::P(0), RtVal::I(8)], 1.0);
+        assert_eq!(p.verdict, DeadlockVerdict::Deadlock);
+        assert_eq!(p.counted_accesses, 16);
+    }
+
+    #[test]
+    fn fractional_drop_is_possible_with_expected_count() {
+        let f = kernel();
+        let p = predict(&f, &[RtVal::P(0), RtVal::I(8)], 0.25);
+        match p.verdict {
+            DeadlockVerdict::Possible { expected_drops } => {
+                assert!((expected_drops - 4.0).abs() < 1e-9)
+            }
+            v => panic!("expected Possible, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn no_hazard_or_zero_trip_loop_cannot_deadlock() {
+        let f = kernel();
+        assert_eq!(
+            predict(&f, &[RtVal::P(0), RtVal::I(8)], 0.0).verdict,
+            DeadlockVerdict::NoDeadlock
+        );
+        // n = 0: the loop body never runs, so even a certain drop has
+        // nothing to drop.
+        let p = predict(&f, &[RtVal::P(0), RtVal::I(0)], 1.0);
+        assert_eq!(p.counted_accesses, 0);
+        assert!(matches!(
+            p.verdict,
+            DeadlockVerdict::Possible { .. } | DeadlockVerdict::NoDeadlock
+        ));
+    }
+}

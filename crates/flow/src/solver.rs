@@ -1,0 +1,271 @@
+//! The generic monotone dataflow engine: a deterministic worklist solver
+//! over basic blocks with widening-after-K-iterations.
+//!
+//! A client implements [`BlockAnalysis`]: a join-semilattice fact type
+//! ([`Lattice`]), a direction, a boundary fact, and a block transfer
+//! function. The solver iterates blocks in reverse postorder (forward) or
+//! postorder (backward) until the facts stop changing. After a block's
+//! input fact has been recomputed `widen_after` times, further updates go
+//! through [`Lattice::widen`] instead of [`Lattice::join`]; a correct
+//! `widen` ascends a finite chain, so fixpoints terminate even on
+//! infinite-height domains such as intervals (see
+//! [`crate::interval::Interval::widen`]).
+//!
+//! Determinism: the worklist is a `BTreeSet` keyed by the block's
+//! traversal index, so iteration order — and therefore every published
+//! fact, including widened ones — is a pure function of the input IR.
+
+use std::collections::BTreeSet;
+
+use salam_ir::analysis::Cfg;
+use salam_ir::{BlockId, Function};
+
+/// A join-semilattice with a widening operator.
+///
+/// `join` must be monotone (`a ⊑ a ⊔ b`); `widen` must additionally
+/// guarantee that every chain `a, a ∇ b₁, (a ∇ b₁) ∇ b₂, …` stabilises
+/// after finitely many steps. Domains of finite height may leave `widen`
+/// as the default (`join`).
+pub trait Lattice: Clone {
+    /// The least element (empty information).
+    fn bottom() -> Self;
+    /// Least upper bound, in place. Returns `true` when `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+    /// Widening, in place. Returns `true` when `self` changed. Defaults
+    /// to `join`, which is only correct for finite-height domains.
+    fn widen(&mut self, other: &Self) -> bool {
+        self.join(other)
+    }
+}
+
+/// Which way facts propagate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow entry → exit along CFG edges.
+    Forward,
+    /// Facts flow exit → entry against CFG edges.
+    Backward,
+}
+
+/// One dataflow problem over a function's CFG.
+pub trait BlockAnalysis {
+    /// The per-block fact.
+    type Fact: Lattice;
+
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+
+    /// The boundary fact: the entry block's input (forward) or every
+    /// exit block's input (backward).
+    fn boundary(&self) -> Self::Fact;
+
+    /// Transfer one block: consume the input fact, produce the output.
+    fn transfer(&self, f: &Function, block: BlockId, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// A solved dataflow problem: input and output fact per block, indexed
+/// by [`BlockId::index`]. For backward problems, `input` is the fact at
+/// block *exit* and `output` the fact at block *entry*.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact flowing into each block's transfer.
+    pub input: Vec<F>,
+    /// Fact produced by each block's transfer.
+    pub output: Vec<F>,
+    /// Total transfer applications (a fixpoint-effort metric).
+    pub iterations: u64,
+    /// Whether any update went through [`Lattice::widen`].
+    pub widened: bool,
+}
+
+/// Runs `analysis` to fixpoint over `f` and returns the per-block facts.
+///
+/// `widen_after` is the number of joins a block's input tolerates before
+/// updates switch to widening; pass a small K (the canonical choice is 3)
+/// for infinite domains, or `u32::MAX` to disable widening on provably
+/// finite ones.
+pub fn solve<A: BlockAnalysis>(f: &Function, analysis: &A, widen_after: u32) -> Solution<A::Fact> {
+    let cfg = Cfg::new(f);
+    let n = f.num_blocks();
+    // Traversal order: reverse postorder forward, postorder backward —
+    // the order that visits defs before uses (resp. uses before defs)
+    // for reducible CFGs, minimising iterations.
+    let rpo = cfg.reverse_postorder().to_vec();
+    let order: Vec<BlockId> = match analysis.direction() {
+        Direction::Forward => rpo,
+        Direction::Backward => rpo.into_iter().rev().collect(),
+    };
+    let mut order_of = vec![usize::MAX; n];
+    for (i, &b) in order.iter().enumerate() {
+        order_of[b.index()] = i;
+    }
+
+    let mut input: Vec<A::Fact> = (0..n).map(|_| A::Fact::bottom()).collect();
+    let mut output: Vec<A::Fact> = (0..n).map(|_| A::Fact::bottom()).collect();
+    let mut joins = vec![0u32; n];
+
+    // Boundary blocks: the entry (forward) or every block whose
+    // direction-wise successor set is empty (backward: Ret blocks).
+    match analysis.direction() {
+        Direction::Forward => {
+            input[f.entry().index()] = analysis.boundary();
+        }
+        Direction::Backward => {
+            for &b in &order {
+                if cfg.successors(b).is_empty() {
+                    input[b.index()] = analysis.boundary();
+                }
+            }
+        }
+    }
+
+    let mut work: BTreeSet<usize> = order
+        .iter()
+        .map(|b| order_of[b.index()])
+        .filter(|&i| i != usize::MAX)
+        .collect();
+    let mut iterations = 0u64;
+    let mut widened = false;
+
+    while let Some(&i) = work.iter().next() {
+        work.remove(&i);
+        let b = order[i];
+        iterations += 1;
+        let out = analysis.transfer(f, b, &input[b.index()]);
+        let changed = {
+            let slot = &mut output[b.index()];
+            // Output slots only ever grow (transfer of a larger input is
+            // larger for monotone clients); join keeps this robust even
+            // for non-monotone transfers, at worst costing extra passes.
+            slot.join(&out)
+        };
+        if !changed && iterations > n as u64 {
+            continue;
+        }
+        let nexts: Vec<BlockId> = match analysis.direction() {
+            Direction::Forward => cfg.successors(b).to_vec(),
+            Direction::Backward => cfg.predecessors(b).to_vec(),
+        };
+        for s in nexts {
+            let si = s.index();
+            joins[si] = joins[si].saturating_add(1);
+            let grew = if joins[si] > widen_after {
+                widened = true;
+                input[si].widen(&output[b.index()])
+            } else {
+                input[si].join(&output[b.index()])
+            };
+            if grew && order_of[si] != usize::MAX {
+                work.insert(order_of[si]);
+            }
+        }
+    }
+
+    Solution {
+        input,
+        output,
+        iterations,
+        widened,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use salam_ir::{FunctionBuilder, Type};
+
+    /// `Interval` as a solver fact, widened against the full 64-bit range.
+    #[derive(Clone, PartialEq, Debug)]
+    struct Range(Interval);
+    impl Lattice for Range {
+        fn bottom() -> Self {
+            Range(Interval::bottom())
+        }
+        fn join(&mut self, other: &Self) -> bool {
+            self.0.join(&other.0)
+        }
+        fn widen(&mut self, other: &Self) -> bool {
+            let b = Interval::top_for(64);
+            self.0.widen(&other.0, &b)
+        }
+    }
+
+    /// A deliberately non-monotone-looking client: each visit of the loop
+    /// body bumps the interval by [1, 1] — without widening the chain
+    /// `[0,0], [0,1], [0,2], …` never stabilises.
+    struct Bumper;
+    impl BlockAnalysis for Bumper {
+        type Fact = Range;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self) -> Range {
+            Range(Interval::exact(0))
+        }
+        fn transfer(&self, f: &Function, b: BlockId, fact: &Range) -> Range {
+            if f.block(b).name.contains("body") {
+                Range(fact.0.add(&Interval::exact(1), 64))
+            } else {
+                fact.clone()
+            }
+        }
+    }
+
+    fn looped() -> Function {
+        let mut fb = FunctionBuilder::new("looped", &[("n", Type::I64)]);
+        let n = fb.arg(0);
+        let zero = fb.i64c(0);
+        fb.counted_loop("i", zero, n, |_, _| {});
+        fb.ret();
+        fb.finish()
+    }
+
+    #[test]
+    fn widening_terminates_an_infinite_ascent() {
+        let f = looped();
+        let sol = solve(&f, &Bumper, 3);
+        assert!(sol.widened, "the loop must trigger widening");
+        assert!(
+            sol.iterations < 100,
+            "fixpoint took {} iterations",
+            sol.iterations
+        );
+        // The widened fact is sound: it contains every bumped value.
+        let body = f.block_by_name("i.body").unwrap();
+        let fact = &sol.output[body.index()];
+        assert!(fact.0.hi >= 4, "{fact:?}");
+    }
+
+    #[test]
+    fn solver_is_deterministic() {
+        let f = looped();
+        let a = solve(&f, &Bumper, 3);
+        let b = solve(&f, &Bumper, 3);
+        assert_eq!(a.input, b.input);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn without_widening_a_finite_problem_still_converges() {
+        // A transfer that is the identity: fixpoint in one pass per block.
+        struct Id;
+        impl BlockAnalysis for Id {
+            type Fact = Range;
+            fn direction(&self) -> Direction {
+                Direction::Backward
+            }
+            fn boundary(&self) -> Range {
+                Range(Interval::exact(7))
+            }
+            fn transfer(&self, _f: &Function, _b: BlockId, fact: &Range) -> Range {
+                fact.clone()
+            }
+        }
+        let f = looped();
+        let sol = solve(&f, &Id, u32::MAX);
+        assert!(!sol.widened);
+        assert_eq!(sol.output[f.entry().index()].0, Interval::exact(7));
+    }
+}

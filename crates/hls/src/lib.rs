@@ -15,6 +15,9 @@
 //!   the reference interpreter — a different methodology from the profile-
 //!   driven SALAM estimates it validates.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod memdep;
 pub mod netlist;
 pub mod scheduler;

@@ -23,6 +23,9 @@
 //! assert_eq!(hw_profile::fu_for_opcode(&Opcode::FAdd, 64), Some(FuKind::FpAddF64));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod cacti;
 mod fu;
 mod profile;

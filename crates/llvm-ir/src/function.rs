@@ -204,6 +204,11 @@ impl Function {
         self.insts.len()
     }
 
+    /// Number of SSA values (arguments, constants and instruction results).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
     /// The entry block.
     pub fn entry(&self) -> BlockId {
         BlockId(0)

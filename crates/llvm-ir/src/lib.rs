@@ -51,6 +51,9 @@
 //! assert_eq!(reparsed.to_string(), text);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod builder;
 mod function;
 mod inst;

@@ -11,6 +11,12 @@ impl ValueId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a `ValueId` from a raw index (for external data structures
+    /// that mirror a function's arenas).
+    pub fn from_raw(raw: u32) -> Self {
+        ValueId(raw)
+    }
 }
 
 /// What a [`ValueId`] refers to.

@@ -41,6 +41,9 @@
 //! k.check(&mut mem).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod bfs;
 pub mod data;
 pub mod fft;

@@ -39,6 +39,9 @@
 //! assert_eq!(sim.component_as::<Requester>(req).unwrap().ok, Some(true));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod addr;
 mod cache;
 mod dma;

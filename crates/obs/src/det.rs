@@ -13,6 +13,7 @@ pub struct SplitMix64 {
 }
 
 impl SplitMix64 {
+    /// A generator seeded with `seed` (same seed, same stream).
     pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
@@ -26,6 +27,7 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
+    /// Next 32-bit output (upper half of [`Self::next_u64`]).
     pub fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }

@@ -5,17 +5,25 @@
 //! are f64). Not a validator of exotic corners (surrogate pairs are passed
 //! through unpaired); good enough for machine-generated input.
 
+/// A parsed JSON value. Objects preserve key order; all numbers are `f64`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number.
     Number(f64),
+    /// A string, with escapes decoded.
     String(String),
+    /// `[...]`.
     Array(Vec<Value>),
+    /// `{...}`, keys in source order.
     Object(Vec<(String, Value)>),
 }
 
 impl Value {
+    /// The number, if this is a [`Value::Number`].
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(n) => Some(*n),
@@ -23,6 +31,7 @@ impl Value {
         }
     }
 
+    /// The boolean, if this is a [`Value::Bool`].
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
@@ -30,6 +39,7 @@ impl Value {
         }
     }
 
+    /// The string, if this is a [`Value::String`].
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::String(s) => Some(s),
@@ -37,6 +47,7 @@ impl Value {
         }
     }
 
+    /// The elements, if this is a [`Value::Array`].
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {
             Value::Array(a) => Some(a),
@@ -44,6 +55,7 @@ impl Value {
         }
     }
 
+    /// The key/value pairs, if this is a [`Value::Object`].
     pub fn as_object(&self) -> Option<&[(String, Value)]> {
         match self {
             Value::Object(o) => Some(o),
@@ -257,14 +269,25 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so this
-                    // always lands on a boundary).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8 scalar (input is a &str, so `pos`
+                    // always lands on a boundary and the tail decodes).
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    self.pos += len;
                 }
             }
         }

@@ -27,6 +27,9 @@
 //! dependencies) and [`json`] (a minimal JSON reader the golden tests use
 //! to validate exported traces).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod chrome;
 pub mod critpath;
 pub mod det;

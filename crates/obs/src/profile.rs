@@ -124,9 +124,12 @@ impl Attribution {
 /// outstanding-access queues.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum OpKind {
+    /// Occupies a functional unit.
     #[default]
     Compute,
+    /// A memory read (SPM read port + outstanding-access slot).
     Load,
+    /// A memory write (SPM write port + outstanding-access slot).
     Store,
 }
 
@@ -212,6 +215,7 @@ pub struct DepStream {
 }
 
 impl DepStream {
+    /// An empty stream.
     pub fn new() -> Self {
         DepStream::default()
     }
@@ -293,10 +297,12 @@ impl DepStream {
         &self.classes
     }
 
+    /// Number of recorded ops.
     pub fn len(&self) -> usize {
         self.ops.len()
     }
 
+    /// True when no ops were recorded.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }

@@ -8,6 +8,7 @@
 use crate::json::escape;
 use std::collections::HashMap;
 
+/// A flat, insertion-ordered `path -> f64` metrics store with JSON export.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     entries: Vec<(String, f64)>,
@@ -15,6 +16,7 @@ pub struct MetricsRegistry {
 }
 
 impl MetricsRegistry {
+    /// An empty registry.
     pub fn new() -> Self {
         MetricsRegistry::default()
     }
@@ -39,6 +41,7 @@ impl MetricsRegistry {
         }
     }
 
+    /// The current value of `path`, if set.
     pub fn get(&self, path: &str) -> Option<f64> {
         self.index.get(path).map(|&i| self.entries[i].1)
     }
@@ -64,10 +67,12 @@ impl MetricsRegistry {
         &self.entries
     }
 
+    /// Number of metric paths recorded.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// True when no metric has been set.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

@@ -17,8 +17,10 @@ pub struct TrackId(pub u32);
 pub struct SpanId(pub u64);
 
 impl SpanId {
+    /// The disabled/ignored sentinel span id.
     pub const INVALID: SpanId = SpanId(0);
 
+    /// True for any id other than [`SpanId::INVALID`].
     pub fn is_valid(self) -> bool {
         self.0 != 0
     }
@@ -30,32 +32,52 @@ impl SpanId {
 pub enum TraceEvent {
     /// A span opened on `track` at `ts_ps`.
     Begin {
+        /// Track the span belongs to.
         track: TrackId,
+        /// Id used by the matching [`TraceEvent::End`].
         span: SpanId,
+        /// Human-readable span label.
         name: String,
+        /// Open timestamp, picoseconds.
         ts_ps: u64,
     },
     /// The span identified by `span` closed at `ts_ps`.
-    End { span: SpanId, ts_ps: u64 },
+    End {
+        /// Id of the span being closed.
+        span: SpanId,
+        /// Close timestamp, picoseconds.
+        ts_ps: u64,
+    },
     /// A point-in-time marker (stall, port reject, interrupt).
     Instant {
+        /// Track the marker belongs to.
         track: TrackId,
+        /// Marker label.
         name: String,
+        /// Timestamp, picoseconds.
         ts_ps: u64,
     },
     /// A counter sample (queue depth, outstanding requests).
     Counter {
+        /// Track the counter belongs to.
         track: TrackId,
+        /// Counter series name.
         name: String,
+        /// Sample timestamp, picoseconds.
         ts_ps: u64,
+        /// Sampled value.
         value: f64,
     },
     /// A producer→consumer dependency arrow between two spans (exported as
     /// a Chrome flow event). Used by the profiler to draw the critical path.
     Edge {
+        /// Producer span.
         from: SpanId,
+        /// Consumer span.
         to: SpanId,
+        /// Dependency label.
         name: String,
+        /// Timestamp, picoseconds.
         ts_ps: u64,
     },
 }
@@ -134,6 +156,7 @@ impl TraceRecorder {
     /// staying well under a hundred MB of event storage.
     pub const DEFAULT_CAPACITY: usize = 1 << 20;
 
+    /// A recorder whose ring holds at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
         TraceRecorder {
             tracks: Vec::new(),
@@ -162,10 +185,12 @@ impl TraceRecorder {
         self.events.iter()
     }
 
+    /// Number of events currently held in the ring.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
+    /// True when no events have been recorded (or all were evicted).
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
@@ -363,6 +388,8 @@ impl SharedTrace {
         self.inner.is_some()
     }
 
+    /// Looks up or creates the named track. Returns `TrackId(0)` when
+    /// tracing is disabled.
     pub fn track(&self, name: &str) -> TrackId {
         match &self.inner {
             Some(rc) => rc.lock().unwrap().track(name),
@@ -370,6 +397,7 @@ impl SharedTrace {
         }
     }
 
+    /// Opens a span; returns [`SpanId::INVALID`] when tracing is disabled.
     #[inline]
     pub fn begin_span(&self, track: TrackId, name: &str, ts_ps: u64) -> SpanId {
         match &self.inner {
@@ -378,6 +406,7 @@ impl SharedTrace {
         }
     }
 
+    /// Closes a previously opened span. No-op when disabled.
     #[inline]
     pub fn end_span(&self, span: SpanId, ts_ps: u64) {
         if let Some(rc) = &self.inner {
@@ -385,6 +414,7 @@ impl SharedTrace {
         }
     }
 
+    /// Records a point-in-time marker. No-op when disabled.
     #[inline]
     pub fn instant(&self, track: TrackId, name: &str, ts_ps: u64) {
         if let Some(rc) = &self.inner {
@@ -392,6 +422,7 @@ impl SharedTrace {
         }
     }
 
+    /// Records a counter sample. No-op when disabled.
     #[inline]
     pub fn counter(&self, track: TrackId, name: &str, ts_ps: u64, value: f64) {
         if let Some(rc) = &self.inner {
@@ -399,6 +430,7 @@ impl SharedTrace {
         }
     }
 
+    /// Records a dependency arrow between two spans. No-op when disabled.
     #[inline]
     pub fn edge(&self, from: SpanId, to: SpanId, name: &str, ts_ps: u64) {
         if let Some(rc) = &self.inner {

@@ -24,6 +24,9 @@
 //! injection, and strict register hazards (their issue-ordering deps are
 //! approximated as commit deps, which is conservative).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::collections::HashMap;
 use std::fmt;
 
@@ -111,12 +114,18 @@ pub enum ReplayError {
     /// The schedule wedged: ops remain but no future event can unblock
     /// them under the given constraints.
     Deadlock {
+        /// Cycle at which progress stopped.
         cycle: u64,
+        /// Ops that had committed by then.
         committed: usize,
+        /// Ops in the stream.
         total: usize,
     },
     /// `max_cycles` exceeded.
-    CycleLimit { limit: u64 },
+    CycleLimit {
+        /// The configured cycle budget.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ReplayError {

@@ -55,6 +55,9 @@
 //! assert!(engine.stats().cycles > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod engine;
 mod port;
 mod stats;

@@ -72,6 +72,7 @@ pub struct Rejection {
 }
 
 impl Rejection {
+    /// Pairs the refused access with its cause.
     pub fn new(access: MemAccess, cause: RejectCause) -> Self {
         Rejection { access, cause }
     }

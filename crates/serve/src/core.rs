@@ -736,6 +736,35 @@ impl ServeCore {
                     retry_after_ms: None,
                 });
             }
+            // Flow gate: a range-proven out-of-bounds access (`F001`) is a
+            // wrong result on every path, so the job is rejected before it
+            // ever occupies a batch slot.
+            let facts = salam_flow::analyze(&kernel.func, &kernel.args);
+            let (lo, hi) = kernel.footprint;
+            let region = salam_verify::MemRegion {
+                lo,
+                hi,
+                label: "footprint".into(),
+            };
+            let flow_errors = errors_only(salam_verify::check_bounds_flow(
+                &kernel.func,
+                &facts,
+                &kernel.args,
+                &[region],
+            ));
+            if !flow_errors.is_empty() {
+                return Err(Rejection {
+                    code: "flow",
+                    message: format!(
+                        "dataflow analysis rejected @{} ({} provably out-of-bounds \
+                         access(es))",
+                        kernel.name,
+                        flow_errors.len()
+                    ),
+                    diagnostics: flow_errors,
+                    retry_after_ms: None,
+                });
+            }
             Ok((warning_count(&diags) > 0).then(|| diags_to_json(&diags)))
         };
         let single = |bench: &str, knobs: &[(String, u64)]| {
@@ -780,6 +809,35 @@ impl ServeCore {
             }
             JobRequest::Faulted { bench, knobs, plan } => {
                 let (point, lint) = single(bench, knobs)?;
+                // Flow gate: a plan that certainly drops every memory
+                // response wedges the very first access — the run can only
+                // end in a watchdog timeout, so burning a simulation slot
+                // on it is pointless (`F004`).
+                if self.inner.cfg.verify && plan.mem_drop_rate >= 1.0 {
+                    let k = point.kernel.build();
+                    let facts = salam_flow::analyze(&k.func, &k.args);
+                    let pred = facts.predict_deadlock(
+                        &k.func,
+                        &salam_flow::HazardSpec {
+                            mem_drop_rate: plan.mem_drop_rate,
+                        },
+                    );
+                    if pred.verdict == salam_flow::DeadlockVerdict::Deadlock {
+                        return Err(Rejection {
+                            code: "flow-deadlock",
+                            message: format!(
+                                "fault plan provably deadlocks @{}: {}",
+                                k.name, pred.description
+                            ),
+                            diagnostics: vec![salam_verify::Diagnostic::warning(
+                                salam_verify::codes::F004,
+                                salam_verify::Span::default(),
+                                pred.description,
+                            )],
+                            retry_after_ms: None,
+                        });
+                    }
+                }
                 Ok((
                     Work::Single {
                         point: Box::new(point),

@@ -422,10 +422,12 @@ fn failing_jobs_are_isolated_and_typed() {
         no_cache: true,
         ..cfg("faults")
     });
-    // Dropping every memory response is a guaranteed, detectable hang;
-    // the watchdog turns it into a typed deadlock, not a wedged server.
+    // Dropping nearly every memory response is a detectable hang: the
+    // watchdog turns it into a typed deadlock, not a wedged server. (A
+    // rate of exactly 1.0 would be rejected pre-flight as a provable
+    // `F004` deadlock — this test wants the *dynamic* path.)
     let mut plan = salam_fault::FaultPlan::seeded(3);
-    plan.mem_drop_rate = 1.0;
+    plan.mem_drop_rate = 0.999;
     let doomed = core
         .submit(
             "chaos",
@@ -467,6 +469,62 @@ fn failing_jobs_are_isolated_and_typed() {
     let csv = core.artifact(sweep, "csv").unwrap();
     assert!(csv.contains("# points=2 ok=1 failed=0 invalid=1"), "{csv}");
     core.shutdown();
+}
+
+#[test]
+fn certain_deadlock_plans_are_rejected_by_the_flow_gate() {
+    let core = ServeCore::start(ServeConfig {
+        no_cache: true,
+        ..cfg("flowgate")
+    });
+    let mut plan = salam_fault::FaultPlan::seeded(3);
+    plan.mem_drop_rate = 1.0;
+    let rej = core
+        .submit(
+            "chaos",
+            JobRequest::Faulted {
+                bench: "gemm".into(),
+                knobs: vec![],
+                plan,
+            },
+        )
+        .unwrap_err();
+    assert_eq!(rej.code, "flow-deadlock");
+    assert_eq!(rej.diagnostics.len(), 1);
+    assert_eq!(rej.diagnostics[0].code, "F004");
+    assert!(
+        rej.message.contains("provably deadlocks"),
+        "{}",
+        rej.message
+    );
+    core.shutdown();
+
+    // The prediction the gate acted on agrees with the dynamic outcome:
+    // with verification off the same plan is admitted, and the watchdog
+    // fires exactly as the `F004` verdict promised.
+    let off = ServeCore::start(ServeConfig {
+        no_cache: true,
+        verify: false,
+        ..cfg("flowgate-off")
+    });
+    let mut plan = salam_fault::FaultPlan::seeded(3);
+    plan.mem_drop_rate = 1.0;
+    let id = off
+        .submit(
+            "chaos",
+            JobRequest::Faulted {
+                bench: "gemm".into(),
+                knobs: vec![("deadlock-cycles".to_string(), 200)],
+                plan,
+            },
+        )
+        .unwrap();
+    let s = off.wait(id).unwrap();
+    assert_eq!(s.state, JobState::Failed);
+    let err = off.artifact(id, "error").unwrap();
+    let v = salam_obs::json::parse(&err).unwrap();
+    assert_eq!(v.get("label").and_then(|l| l.as_str()), Some("deadlock"));
+    off.shutdown();
 }
 
 #[test]
@@ -622,8 +680,10 @@ fn deadlocked_jobs_leave_a_postmortem_with_the_watchdog_snapshot() {
         no_cache: true,
         ..cfg("postmortem")
     });
+    // Just below certain-drop: admitted by the flow gate, still a
+    // deterministic watchdog deadlock under the seeded draw.
     let mut plan = salam_fault::FaultPlan::seeded(3);
-    plan.mem_drop_rate = 1.0;
+    plan.mem_drop_rate = 0.999;
     let doomed = core
         .submit(
             "chaos",

@@ -56,6 +56,9 @@
 //! assert_eq!(end, 45);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod clock;
 mod event;
 mod sim;

@@ -107,6 +107,7 @@ impl FlightRecorder {
     }
 
     /// Number of events currently held.
+    /// Number of events currently held (0 when disabled).
     pub fn len(&self) -> usize {
         self.inner
             .as_ref()
@@ -114,6 +115,7 @@ impl FlightRecorder {
             .unwrap_or(0)
     }
 
+    /// True when the recorder is disabled or holds no events.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -64,6 +64,7 @@ fn upper_bound(index: usize) -> u64 {
 }
 
 impl Histogram {
+    /// An empty histogram.
     pub fn new() -> Self {
         Histogram {
             counts: vec![0; BUCKETS],
@@ -113,6 +114,7 @@ impl Histogram {
         self.sum
     }
 
+    /// True when no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
@@ -163,14 +165,17 @@ impl Histogram {
         self.max
     }
 
+    /// Median (bucket upper bound).
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
     }
 
+    /// 95th percentile (bucket upper bound).
     pub fn p95(&self) -> u64 {
         self.quantile(0.95)
     }
 
+    /// 99th percentile (bucket upper bound).
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }

@@ -21,6 +21,9 @@
 //! in `salam-bench` pin that simulation artifacts are byte-identical with
 //! telemetry on and off.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::collections::BTreeMap;
 
 pub mod flight;
@@ -71,6 +74,7 @@ pub struct Telemetry {
 }
 
 impl Telemetry {
+    /// An empty registry.
     pub fn new() -> Self {
         Telemetry::default()
     }
@@ -95,10 +99,12 @@ impl Telemetry {
         self.hists.get(key)
     }
 
+    /// The counter at `key`, zero if never incremented.
     pub fn counter(&self, key: &str) -> u64 {
         self.counters.get(key).copied().unwrap_or(0)
     }
 
+    /// The gauge at `key`, if ever set.
     pub fn gauge(&self, key: &str) -> Option<f64> {
         self.gauges.get(key).copied()
     }
@@ -118,6 +124,7 @@ impl Telemetry {
         self.hists.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
     }

@@ -57,6 +57,7 @@ pub struct JobTrace {
 const JOB_TRACE_CAPACITY: usize = 4096;
 
 impl JobTrace {
+    /// A fresh per-job trace with `request`/`sched`/`run` tracks.
     pub fn new(job_id: u64) -> Self {
         let trace = SharedTrace::from_recorder(TraceRecorder::new(JOB_TRACE_CAPACITY));
         let request = trace.track("request");
@@ -71,6 +72,7 @@ impl JobTrace {
         }
     }
 
+    /// The job's trace context (trace id + job id).
     pub fn ctx(&self) -> TraceCtx {
         self.ctx
     }
@@ -81,10 +83,12 @@ impl JobTrace {
         self.trace.begin_span(track, name, ns_to_ps(at_ns))
     }
 
+    /// Closes a span opened by [`JobTrace::begin`].
     pub fn end(&self, span: SpanId, at_ns: u64) {
         self.trace.end_span(span, ns_to_ps(at_ns));
     }
 
+    /// Records a point-in-time marker on `track`.
     pub fn instant(&self, track: TrackId, name: &str, at_ns: u64) {
         self.trace.instant(track, name, ns_to_ps(at_ns));
     }

@@ -148,7 +148,7 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -246,6 +246,19 @@ pub mod codes {
     pub const B001: &str = "B001";
     /// Invalid configuration knob (pre-run validation).
     pub const C001: &str = "C001";
+    /// Provably out-of-bounds: the access's *entire* range-proven address
+    /// interval lies outside every declared region.
+    pub const F001: &str = "F001";
+    /// Dead store: range-proven unobservable by any later load or
+    /// declared live-out region.
+    pub const F002: &str = "F002";
+    /// Unwritten read: a load range-proven disjoint from every store and
+    /// declared initialized region.
+    pub const F003: &str = "F003";
+    /// Static deadlock prediction for an armed drop-hazard fault plan.
+    pub const F004: &str = "F004";
+    /// DSE sweep point provably dominated (pruned without simulation).
+    pub const F005: &str = "F005";
 
     /// `(code, one-line description)` for every registered code, in order.
     pub const ALL: &[(&str, &str)] = &[
@@ -264,7 +277,183 @@ pub mod codes {
         (P001, "textual IR parse error"),
         (B001, "builder misuse"),
         (C001, "invalid configuration knob"),
+        (
+            F001,
+            "provably out-of-bounds memory access (range analysis)",
+        ),
+        (F002, "dead store to scratchpad (liveness analysis)"),
+        (F003, "read of a never-written scratchpad region"),
+        (F004, "static deadlock prediction for a fault plan"),
+        (F005, "DSE sweep point provably dominated"),
     ];
+}
+
+/// Stable long-form documentation for a diagnostic code, rendered by
+/// `salam_lint --explain <CODE>`. Every code in [`codes::ALL`] has an
+/// entry (a test pins this), so emitted findings are always explainable.
+pub fn explain(code: &str) -> Option<&'static str> {
+    let text = match code {
+        "V001" => {
+            "V001 · SSA dominance violation (error)\n\n\
+             An instruction uses a value whose definition does not dominate \
+             the use: on some CFG path the value is read before it is \
+             written. Well-formed SSA requires every use to be reached by \
+             its unique definition; the runtime would read garbage. Fix the \
+             producing pass or builder code — values that merge control flow \
+             must go through a phi in the join block."
+        }
+        "V002" => {
+            "V002 · type mismatch (error)\n\n\
+             An opcode's operand or result types are inconsistent (e.g. an \
+             integer add over floats, a load whose result type differs from \
+             the accessed element). The elaborated datapath would wire a \
+             functional unit to the wrong width. Align the IR types with the \
+             operation's signature."
+        }
+        "V003" => {
+            "V003 · CFG structure violation (error)\n\n\
+             A block breaks basic-block discipline: it is empty, lacks a \
+             terminator, has a terminator before the end, hosts a phi after \
+             a non-phi, or puts a phi in the entry block. Downstream passes \
+             iterate `block.insts` assuming the canonical layout."
+        }
+        "V004" => {
+            "V004 · phi/predecessor mismatch (error)\n\n\
+             A phi's incoming blocks do not match the block's actual CFG \
+             predecessors (missing, extra, or duplicated). The interpreter \
+             and the engine resolve phis by looking up the taken edge; an \
+             unmatched edge would make that lookup fail at runtime."
+        }
+        "V005" => {
+            "V005 · unreachable block (warning)\n\n\
+             No path from the entry reaches this block, so it can never \
+             execute. Usually dead scaffolding left by hand-built IR; it \
+             inflates datapath area estimates because elaboration still \
+             allocates units for it. Delete it or wire it in."
+        }
+        "V006" => {
+            "V006 · dead value (info)\n\n\
+             An instruction computes a result no one reads. Harmless to \
+             correctness but it occupies a functional unit and a reservation \
+             slot every execution — free latency and area savings if \
+             removed."
+        }
+        "V007" => {
+            "V007 · bad cast width (error)\n\n\
+             An integer cast does not change width in the required \
+             direction: a trunc that widens, or an ext that narrows. The \
+             engine's value encoding relies on casts moving monotonically \
+             between widths."
+        }
+        "M001" => {
+            "M001 · loop-carried RAW dependence (info)\n\n\
+             A store in one iteration feeds a load in a later iteration \
+             (distance d). This recurrence bounds the loop's achievable \
+             initiation interval: no amount of unrolling or extra ports \
+             pipelines past it. Reported as structure, not as a defect — \
+             use it to set expectations for the II and to pick unroll \
+             factors."
+        }
+        "M002" => {
+            "M002 · same-address WAW (warning)\n\n\
+             Two stores statically hit the same address. With reordering \
+             hazards disabled (`strict_register_hazards = false`) the final \
+             value depends on commit order; even when ordered it wastes a \
+             write port. Usually an indexing bug — check the subscripts."
+        }
+        "M003" => {
+            "M003 · statically out-of-bounds access (error)\n\n\
+             An access whose affine address interval is fully resolved \
+             escapes every declared memory region. The physical scratchpad \
+             would alias the access somewhere else or the bus would fault. \
+             The interval is exact (affine over counted induction \
+             variables), so this is a proof. See also F001, the \
+             range-analysis generalisation that covers non-affine \
+             addresses."
+        }
+        "M004" => {
+            "M004 · shared-SPM write race (warning)\n\n\
+             Two accelerators in one cluster statically write overlapping \
+             byte ranges of the shared scratchpad. With both enabled, the \
+             result depends on scheduling order. Range-proven disjoint \
+             writes are filtered out before this fires; partition the \
+             shared buffer or serialise the writers to clear it."
+        }
+        "S001" => {
+            "S001 · bound vs watchdog conflict (warning)\n\n\
+             The static lower bound on dynamic cycles meets or exceeds the \
+             configured watchdog deadlock threshold: the watchdog would \
+             kill a run that is provably still making progress. Raise \
+             `deadlock_cycles` above the bound or shrink the workload."
+        }
+        "P001" => {
+            "P001 · parse error (error)\n\n\
+             The textual IR failed to parse; the diagnostic message carries \
+             the line and reason. Nothing downstream ran."
+        }
+        "B001" => {
+            "B001 · builder misuse (error)\n\n\
+             A FunctionBuilder sequence violated its contract (terminating \
+             an already-terminated block, adding incomings to a non-phi, \
+             …). Raised while *constructing* IR, before verification."
+        }
+        "C001" => {
+            "C001 · invalid configuration (error)\n\n\
+             A run configuration knob is out of range (zero ports, zero \
+             clock, empty FU pool with constraints enabled, …). Rejected \
+             before elaboration; fix the sweep axis or config file."
+        }
+        "F001" => {
+            "F001 · provably out-of-bounds access (error)\n\n\
+             Interval range analysis bounded the access's byte addresses \
+             and the entire interval lies outside every declared region — \
+             every execution of the access is out of bounds, even when the \
+             index is not affine (the case M003 cannot see). Because ranges \
+             over-approximate, partial overlap only warns (M003 path); full \
+             disjointness is required to prove the violation."
+        }
+        "F002" => {
+            "F002 · dead store (warning)\n\n\
+             Backward liveness over byte intervals proved no later load and \
+             no declared live-out (output) region can observe the stored \
+             bytes. The store burns a write port and a reservation slot \
+             every trip for nothing — or, more often, the subscript is \
+             wrong and the data was meant to land somewhere observable."
+        }
+        "F003" => {
+            "F003 · read of never-written region (warning)\n\n\
+             A load's byte interval is disjoint from every store in the \
+             kernel and from every declared initialized (input) region: it \
+             can only ever read uninitialised scratchpad. This is the \
+             static twin of the silent-data-corruption class the fault \
+             campaign finds dynamically. Declare the region as an input if \
+             the host DMA fills it; otherwise fix the subscript."
+        }
+        "F004" => {
+            "F004 · static deadlock prediction (warning)\n\n\
+             The armed fault plan can drop memory responses. A dropped \
+             response closes the resource-wait cycle op → port → response \
+             (never arrives), the reservation window fills behind the \
+             waiting op, and the watchdog fires. Verdicts: `deadlock` \
+             (drop certain and an access provably executes — the watchdog \
+             WILL fire), `possible` (fractional drop rate; reported with \
+             the expected number of drops), `no-deadlock` (no drop hazard \
+             or no reachable access — the watchdog stays quiet). Verdicts \
+             are cross-checked against watchdog outcomes in CI."
+        }
+        "F005" => {
+            "F005 · dominated sweep point (info)\n\n\
+             Design-space exploration skipped this point without simulating \
+             it: its flow-tightened static lower bound is at least the \
+             measured cycle count of an already-simulated point, so it can \
+             never win the sweep (bound ≤ its cycles, and the reference is \
+             already better-or-equal). Rows appear as `pruned:F005` with \
+             the summary's `pruned=` count; CI re-simulates pruned points \
+             to assert dominance."
+        }
+        _ => return None,
+    };
+    Some(text)
 }
 
 #[cfg(test)]
@@ -307,5 +496,18 @@ mod tests {
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), codes::ALL.len());
+    }
+
+    #[test]
+    fn every_registered_code_has_an_explain_entry() {
+        for &(code, _) in codes::ALL {
+            let doc = explain(code).unwrap_or_else(|| panic!("no explain entry for {code}"));
+            assert!(
+                doc.starts_with(code),
+                "explain({code}) must lead with the code"
+            );
+            assert!(doc.len() > 80, "explain({code}) is too thin to be useful");
+        }
+        assert!(explain("Z999").is_none());
     }
 }

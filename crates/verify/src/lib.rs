@@ -17,7 +17,11 @@
 //! * [`schedule`] — ASAP/ALAP levels over the static CDFG and a provable
 //!   lower bound on dynamic cycles (`static_lower_bound ≤ dynamic
 //!   cycles`, the correctness oracle cross-checked in tests), plus the
-//!   watchdog cross-check (`S001`).
+//!   watchdog cross-check (`S001`) and the flow-tightened
+//!   [`flow_lower_bound`] that folds loop-recurrence floors into the
+//!   bound using `salam-flow` trip counts.
+//! * [`sarif`] — SARIF 2.1.0 export of any diagnostic batch, for IDE
+//!   and code-scanning integrations.
 //!
 //! Consumers: the `salam_lint` CLI renders diagnostics as a table or
 //! JSON; `salam-core` gates standalone/cluster runs on `verify = true`;
@@ -30,18 +34,22 @@
 pub mod diag;
 pub mod ir;
 pub mod memdep;
+pub mod sarif;
 pub mod schedule;
 
 pub use diag::{
-    codes, error_count, errors_only, to_json, warning_count, Diagnostic, Severity, Span,
+    codes, error_count, errors_only, explain, to_json, warning_count, Diagnostic, Severity, Span,
 };
 pub use ir::{verify_ir, verify_module};
 pub use memdep::{
-    analyze_accesses, check_bounds, check_shared_spm, profile_memdeps, static_memdeps, DepEdge,
-    DepKind, IvRange, MemDeps, MemRegion, StaticAccess, StaticDeps,
+    analyze_accesses, check_bounds, check_bounds_flow, check_shared_spm, check_shared_spm_flow,
+    profile_memdeps, static_memdeps, DepEdge, DepKind, IvRange, MemDeps, MemRegion, StaticAccess,
+    StaticDeps,
 };
+pub use sarif::to_sarif;
 pub use schedule::{
-    check_schedule, static_lower_bound, BlockBound, BoundConfig, BoundReport, OpSlack,
+    check_schedule, flow_lower_bound, static_lower_bound, BlockBound, BoundConfig, BoundReport,
+    FlowBoundReport, LoopBound, OpSlack,
 };
 
 use salam_ir::Function;

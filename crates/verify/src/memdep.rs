@@ -787,11 +787,105 @@ pub fn check_bounds(f: &Function, args: &[RtVal], regions: &[MemRegion]) -> Vec<
     diags
 }
 
+/// Range-proven bounds check (`F001`, error), covering accesses the
+/// affine resolver cannot fold — masked indices, division-derived
+/// offsets, anything non-affine that interval analysis still bounds.
+///
+/// An access fires only when its *entire* flow interval is disjoint from
+/// every declared region: intervals over-approximate the address set, so
+/// full disjointness proves the access can never land in bounds. Accesses
+/// the affine path fully resolves are left to [`check_bounds`] (`M003`)
+/// so one defect reports exactly once; accesses in blocks `salam-flow`'s
+/// constant propagation proves dead are skipped — they never execute.
+pub fn check_bounds_flow(
+    f: &Function,
+    facts: &salam_flow::FlowFacts,
+    args: &[RtVal],
+    regions: &[MemRegion],
+) -> Vec<Diagnostic> {
+    let affine_resolved: std::collections::BTreeSet<InstId> = analyze_accesses(f, args)
+        .into_iter()
+        .filter(|a| a.interval.is_some())
+        .map(|a| a.inst)
+        .collect();
+    let mut diags = Vec::new();
+    for a in &facts.accesses {
+        if affine_resolved.contains(&a.inst) || !facts.sccp.executable.contains(&a.block) {
+            continue;
+        }
+        let Some((lo, hi)) = a.interval else { continue };
+        let disjoint = regions
+            .iter()
+            .all(|r| hi <= r.lo as i128 || lo >= r.hi as i128);
+        if disjoint && !regions.is_empty() {
+            let names: Vec<&str> = regions.iter().map(|r| r.label.as_str()).collect();
+            diags.push(Diagnostic::error(
+                codes::F001,
+                Span::block(&f.name, &f.block(a.block).name),
+                format!(
+                    "{} range [{lo:#x}, {hi:#x}) is provably disjoint from every \
+                     declared region ({}); the access is out of bounds on every path",
+                    if a.is_store { "store" } else { "load" },
+                    names.join(", "),
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Flow-based shared-SPM race lint (`M004`, warning): like
+/// [`check_shared_spm`] but driven by interval analysis, so it covers
+/// non-affine addresses, drops stores in provably-dead blocks, and stays
+/// silent for accelerator pairs whose bounded store footprints are
+/// provably disjoint. Each accelerator supplies its own argument bindings
+/// for the analysis.
+pub fn check_shared_spm_flow(
+    accels: &[(&str, &Function, &[RtVal])],
+    shared_lo: u64,
+    shared_hi: u64,
+) -> Vec<Diagnostic> {
+    let per_accel: Vec<Vec<(i128, i128)>> = accels
+        .iter()
+        .map(|(_, f, args)| {
+            let facts = salam_flow::analyze(f, args);
+            facts
+                .accesses
+                .iter()
+                .filter(|a| a.is_store && facts.sccp.executable.contains(&a.block))
+                .filter_map(|a| a.interval)
+                .filter(|&(lo, hi)| hi > shared_lo as i128 && lo < shared_hi as i128)
+                .collect()
+        })
+        .collect();
+    let mut diags = Vec::new();
+    for (ai, a_spans) in per_accel.iter().enumerate() {
+        for (bi, b_spans) in per_accel.iter().enumerate().skip(ai + 1) {
+            let overlap = a_spans
+                .iter()
+                .any(|&(alo, ahi)| b_spans.iter().any(|&(blo, bhi)| alo < bhi && blo < ahi));
+            if overlap {
+                diags.push(Diagnostic::warning(
+                    codes::M004,
+                    Span::func(accels[ai].0),
+                    format!(
+                        "accelerators `{}` and `{}` write overlapping ranges of the \
+                         shared scratchpad [{:#x}, {:#x}) (range analysis; provably \
+                         disjoint pairs are suppressed)",
+                        accels[ai].0, accels[bi].0, shared_lo, shared_hi
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
 /// Cross-accelerator shared-SPM race lint (`M004`, warning): flags pairs
 /// of accelerators whose statically-resolved store intervals into the
 /// shared region `[shared_lo, shared_hi)` overlap. Accesses that do not
-/// resolve (the common case when pointers arrive via MMRs at runtime)
-/// are silently ignored.
+/// resolve affinely are silently ignored — see [`check_shared_spm_flow`]
+/// for the interval-analysis variant.
 pub fn check_shared_spm(
     accels: &[(&str, &Function)],
     shared_lo: u64,
@@ -997,6 +1091,127 @@ mod tests {
         assert_eq!(diags[0].code, codes::M004);
         assert!(diags[0].message.contains("prod_a"));
         assert!(diags[0].message.contains("prod_b"));
+    }
+
+    // -- flow-based checks ---------------------------------------------------
+
+    /// `for i in 0..16 { p[i & 7] = i }` — a masked index the affine
+    /// resolver cannot fold but interval analysis bounds to `[0, 7]`.
+    fn masked_writer(name: &str) -> Function {
+        let mut fb = FunctionBuilder::new(name, &[("p", Type::Ptr)]);
+        let p = fb.arg(0);
+        let zero = fb.i64c(0);
+        let n = fb.i64c(16);
+        fb.counted_loop("i", zero, n, |fb, iv| {
+            let seven = fb.i64c(7);
+            let m = fb.and(iv, seven, "m");
+            let dst = fb.gep1(Type::I64, p, m, "dst");
+            fb.store(iv, dst);
+        });
+        fb.ret();
+        fb.finish()
+    }
+
+    #[test]
+    fn masked_index_oob_is_proven_by_ranges() {
+        let f = masked_writer("masked");
+        let args = [RtVal::P(0x10_000)];
+        let facts = salam_flow::analyze(&f, &args);
+        // Affine analysis can't see through the mask: silent.
+        let low = [MemRegion::new(0, 0x100, "spm")];
+        assert!(check_bounds(&f, &args, &low).is_empty());
+        // Flow proves the store lands in [0x10000, 0x10040) — fully
+        // disjoint from the declared region on every path.
+        let oob = check_bounds_flow(&f, &facts, &args, &low);
+        assert_eq!(oob.len(), 1, "{oob:?}");
+        assert_eq!(oob[0].code, codes::F001);
+        // A region that actually covers the footprint stays silent.
+        let roomy = [MemRegion::new(0x10_000, 0x10_000 + 8 * 8, "spm")];
+        assert!(check_bounds_flow(&f, &facts, &args, &roomy).is_empty());
+    }
+
+    #[test]
+    fn affine_resolved_oob_reports_once_as_m003() {
+        let f = shift_kernel(0x1000, 8);
+        let args = [RtVal::P(0x1000), RtVal::I(8)];
+        let facts = salam_flow::analyze(&f, &args);
+        let tight = [MemRegion::new(0x1000, 0x1000 + 8 * 8, "spm")];
+        let affine = check_bounds(&f, &args, &tight);
+        let flow = check_bounds_flow(&f, &facts, &args, &tight);
+        // The affine path already proved this one; flow must not repeat it.
+        assert_eq!(affine.len(), 1);
+        assert!(flow.is_empty(), "{flow:?}");
+    }
+
+    #[test]
+    fn dead_store_does_not_raise_a_flow_shared_spm_race() {
+        // `if (5 < 3) { *(0x3000_0000) = 1 }` — the store never runs.
+        let mut fb = FunctionBuilder::new("dead_w", &[]);
+        let wr = fb.add_block("wr");
+        let done = fb.add_block("done");
+        let five = fb.i64c(5);
+        let three = fb.i64c(3);
+        let c = fb.icmp(salam_ir::IntPredicate::Slt, five, three, "c");
+        fb.cond_br(c, wr, done);
+        fb.position_at(wr);
+        let addr = fb.i64c(0x3000_0000);
+        let p = fb.inttoptr(addr, "p");
+        let one = fb.i64c(1);
+        fb.store(one, p);
+        fb.br(done);
+        fb.position_at(done);
+        fb.ret();
+        let dead = fb.finish();
+
+        let mut fb = FunctionBuilder::new("live_w", &[]);
+        let addr = fb.i64c(0x3000_0000);
+        let p = fb.inttoptr(addr, "p");
+        let one = fb.i64c(1);
+        fb.store(one, p);
+        fb.ret();
+        let live = fb.finish();
+
+        // The affine lint can't see executability: false positive.
+        let affine = check_shared_spm(
+            &[("dead_w", &dead), ("live_w", &live)],
+            0x3000_0000,
+            0x3000_1000,
+        );
+        assert_eq!(affine.len(), 1, "{affine:?}");
+        // Constant propagation proves the guarded store dead: suppressed.
+        let flow = check_shared_spm_flow(
+            &[("dead_w", &dead, &[]), ("live_w", &live, &[])],
+            0x3000_0000,
+            0x3000_1000,
+        );
+        assert!(flow.is_empty(), "{flow:?}");
+    }
+
+    #[test]
+    fn flow_shared_spm_covers_non_affine_writers() {
+        let a = masked_writer("mask_a");
+        let b = masked_writer("mask_b");
+        let base_a = [RtVal::P(0x2000_0000)];
+        let overlap_b = [RtVal::P(0x2000_0020)]; // overlaps a's [0x..00, 0x..40)
+        let disjoint_b = [RtVal::P(0x2000_0100)];
+        // Affine analysis is blind to masked addresses either way.
+        assert!(
+            check_shared_spm(&[("mask_a", &a), ("mask_b", &b)], 0x2000_0000, 0x2001_0000)
+                .is_empty()
+        );
+        let racy = check_shared_spm_flow(
+            &[("mask_a", &a, &base_a), ("mask_b", &b, &overlap_b)],
+            0x2000_0000,
+            0x2001_0000,
+        );
+        assert_eq!(racy.len(), 1, "{racy:?}");
+        assert_eq!(racy[0].code, codes::M004);
+        let safe = check_shared_spm_flow(
+            &[("mask_a", &a, &base_a), ("mask_b", &b, &disjoint_b)],
+            0x2000_0000,
+            0x2001_0000,
+        );
+        assert!(safe.is_empty(), "{safe:?}");
     }
 
     #[test]

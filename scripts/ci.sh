@@ -63,6 +63,23 @@ case "$screened" in
   *) echo "ci: invalid point did not surface as invalid=1" >&2; exit 1 ;;
 esac
 
+# Flow-based pruning: dominated design points must be screened out as
+# pruned rows without simulating; the probe itself re-simulates each
+# pruned point once and asserts the dominance chain held (a pruned row
+# was provably never a winner).
+echo "+ dse_smoke --prune (flow-based pruning)"
+prune_cache="$(mktemp -d)"
+pruned="$(SALAM_JOBS=2 SALAM_DSE_CACHE="$prune_cache" \
+  cargo run --release -q --offline -p salam-bench --bin dse_smoke -- --prune \
+  2>/dev/null | tail -n 1)"
+rm -rf "$prune_cache"
+echo "$pruned"
+case "$pruned" in
+  *"pruned=0"*) echo "ci: prune probe pruned nothing" >&2; exit 1 ;;
+  *"pruned="*) ;;
+  *) echo "ci: prune probe reported no pruned= summary" >&2; exit 1 ;;
+esac
+
 # Lint smoke: the checked-in textual-IR fixtures must parse, verify and
 # stay free of diagnostics — salam_lint exits non-zero on any error (or,
 # with --deny warnings, on any warning).
@@ -73,6 +90,22 @@ echo "$lint" | tail -n 1
 case "$lint" in
   *"lint: targets=3"*"errors=0"*) ;;
   *) echo "ci: salam_lint marker line missing" >&2; exit 1 ;;
+esac
+
+# Dataflow report determinism: the flow facts (ranges, trips, bound
+# decomposition) are a pure function of the kernel — byte-identical
+# regardless of the worker-pool environment.
+echo "+ salam_lint --flow determinism (SALAM_JOBS=1 vs 8)"
+flow_1="$(SALAM_JOBS=1 cargo run --release -q --offline -p salam-bench --bin salam_lint -- \
+  gemm nw md-grid --flow)"
+flow_8="$(SALAM_JOBS=8 cargo run --release -q --offline -p salam-bench --bin salam_lint -- \
+  gemm nw md-grid --flow)"
+if [ "$flow_1" != "$flow_8" ]; then
+  echo "ci: flow facts differ across SALAM_JOBS settings" >&2; exit 1
+fi
+case "$flow_1" in
+  *"flow: "*"bound base="*) ;;
+  *) echo "ci: salam_lint --flow emitted no bound decomposition" >&2; exit 1 ;;
 esac
 
 # Fault-injection smoke: a seeded campaign over two kernels. The outcome
@@ -194,10 +227,20 @@ case "$sweep_csv" in
   *) echo "ci: sweep summary row missing from the csv artifact" >&2; exit 1 ;;
 esac
 
-# A forced deadlock (aggressive watchdog + 100% response drops) must fail
-# the job and leave a post-mortem artifact carrying the watchdog snapshot
-# and the flight-recorder tail.
-client submit alice '{"type":"faulted","bench":"gemm","knobs":{"deadlock-cycles":200},"plan":{"seed":3,"mem_drop_rate":1.0}}'
+# A certain deadlock (100% response drops) is caught by the dataflow gate
+# before a cycle runs: typed flow-deadlock rejection carrying the F004
+# prediction.
+predicted="$(client submit alice '{"type":"faulted","bench":"gemm","knobs":{"deadlock-cycles":200},"plan":{"seed":3,"mem_drop_rate":1.0}}' || true)"
+case "$predicted" in
+  *'"code": "flow-deadlock"'*'F004'*) ;;
+  *) echo "ci: certain-deadlock plan was not rejected by the flow gate: $predicted" >&2; exit 1 ;;
+esac
+
+# A near-certain deadlock (aggressive watchdog + 99.9% response drops) is
+# only `Possible` statically, so it is admitted — and must then fail the
+# job dynamically and leave a post-mortem artifact carrying the watchdog
+# snapshot and the flight-recorder tail.
+client submit alice '{"type":"faulted","bench":"gemm","knobs":{"deadlock-cycles":200},"plan":{"seed":3,"mem_drop_rate":0.999}}'
 deadlocked="$(client wait 3)"
 case "$deadlocked" in
   *'"state": "failed"'*) ;;
@@ -246,7 +289,7 @@ serve_pid=""
 serve_final="$(tail -n 1 "$serve_tmp/serve.log")"
 echo "$serve_final"
 case "$serve_final" in
-  *"jobs=3 done=2 failed=1 rejected=1"*) ;;
+  *"jobs=3 done=2 failed=1 rejected=2"*) ;;
   *) echo "ci: serve final stats line unexpected" >&2; exit 1 ;;
 esac
 case "$serve_final" in
