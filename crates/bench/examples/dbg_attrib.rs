@@ -1,0 +1,16 @@
+use salam::standalone::{run_kernel, StandaloneConfig};
+
+fn main() {
+    for bench in machsuite::Bench::ALL {
+        let k = bench.build_standard();
+        let cfg = StandaloneConfig::default();
+        let r = run_kernel(&k, &cfg);
+        let st = &r.stats;
+        println!(
+            "{:12} cycles={:8} attrib={:?}",
+            format!("{bench:?}"),
+            st.cycles,
+            st.attribution,
+        );
+    }
+}

@@ -1,0 +1,35 @@
+use salam::standalone::{try_run_kernel, StandaloneConfig};
+use salam_cdfg::StaticCdfg;
+use salam_verify::{profile_memdeps, static_lower_bound, BoundConfig};
+
+fn main() {
+    for bench in machsuite::Bench::ALL {
+        let k = bench.build_standard();
+        let cfg = StandaloneConfig::default();
+        let cdfg = StaticCdfg::elaborate(&k.func, &cfg.profile, &cfg.constraints);
+        let (prof, _) = profile_memdeps(&k.func, &k.args, &k.init);
+        let trips = prof.block_entries.clone();
+        let b = static_lower_bound(
+            &k.func,
+            &cdfg,
+            &trips,
+            &BoundConfig {
+                read_ports: cfg.spm_read_ports,
+                write_ports: cfg.spm_write_ports,
+                pipelined_fus: cfg.engine.pipelined_fus,
+                reservation_entries: cfg.engine.reservation_entries,
+            },
+        );
+        let dyn_cycles = try_run_kernel(&k, &cfg).map(|r| r.cycles).unwrap_or(0);
+        println!(
+            "{:12} dyn={:8} bound={:8} chain={:8} fu={:?} mem={:?} gap={:.2}x",
+            format!("{bench:?}"),
+            dyn_cycles,
+            b.lower_bound,
+            b.chain_floor,
+            b.fu_floor,
+            b.mem_floor,
+            dyn_cycles as f64 / b.lower_bound.max(1) as f64
+        );
+    }
+}
